@@ -1,0 +1,124 @@
+//! Diagnostics with byte-span source locations.
+
+use std::fmt;
+
+/// A byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-length span at `pos`.
+    pub fn at(pos: usize) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A compiler diagnostic: message plus location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diag {
+    pub message: String,
+    pub span: Span,
+}
+
+impl Diag {
+    /// Create a diagnostic.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Diag {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Render the diagnostic against its source, with line/column and a
+    /// caret line — the usual compiler error format.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = line_col(src, self.span.start);
+        let line_text = src.lines().nth(line - 1).unwrap_or("");
+        let caret_pad = " ".repeat(col.saturating_sub(1));
+        let caret_len = (self.span.end.saturating_sub(self.span.start)).max(1);
+        let carets = "^".repeat(caret_len.min(line_text.len().saturating_sub(col - 1).max(1)));
+        format!(
+            "error: {}\n --> line {line}, column {col}\n  | {line_text}\n  | {caret_pad}{carets}",
+            self.message
+        )
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error: {} (at byte {})", self.message, self.span.start)
+    }
+}
+
+impl std::error::Error for Diag {}
+
+/// 1-based line and column of byte offset `pos` in `src`.
+pub fn line_col(src: &str, pos: usize) -> (usize, usize) {
+    let pos = pos.min(src.len());
+    let mut line = 1;
+    let mut col = 1;
+    for (i, c) in src.char_indices() {
+        if i >= pos {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn line_col_basic() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 1), (1, 2));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 7), (3, 2));
+        assert_eq!(line_col(src, 999), (3, 3));
+    }
+
+    #[test]
+    fn render_points_at_error() {
+        let src = "int x = @;\n";
+        let d = Diag::new("unexpected character `@`", Span::at(8));
+        let r = d.render(src);
+        assert!(r.contains("line 1, column 9"));
+        assert!(r.contains("int x = @;"));
+        assert!(r.contains('^'));
+    }
+}

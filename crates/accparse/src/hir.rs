@@ -1,0 +1,379 @@
+//! High-level IR: the typed, resolved form of a program produced by
+//! [`crate::sema::analyze`] and consumed by the lowering compiler.
+//!
+//! Scalars are resolved to symbol ids, expressions carry their C result
+//! type, loops are canonicalized to `(var, lower, bound, cmp, step)` form,
+//! and every reduction clause carries its *detected span*: the set of
+//! parallelism levels the reduction must cover (the paper's §3.2.1
+//! auto-detection).
+
+use crate::ast::{BinOpKind, CType, DataDir, Level, RedOp, UnOpKind};
+use crate::diag::Span;
+
+/// A resolved scalar symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sym {
+    /// Host-bound scalar (`hosts[i]`): uniform kernel parameter; written
+    /// back if it is a reduction target or assigned in the region.
+    Host(usize),
+    /// Region-local scalar (`locals[i]`): a per-thread register.
+    Local(usize),
+}
+
+/// A host scalar declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostScalar {
+    pub name: String,
+    pub ty: CType,
+}
+
+/// An array declaration with runtime-evaluated dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayDecl {
+    pub name: String,
+    pub ty: CType,
+    /// Dimension extents, host-evaluable expressions (may reference host
+    /// scalars). Row-major layout, like C.
+    pub dims: Vec<HExpr>,
+}
+
+/// A region-local scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalScalar {
+    pub name: String,
+    pub ty: CType,
+    /// True if this local is a loop induction variable.
+    pub is_loop_var: bool,
+}
+
+/// Math intrinsics callable in kernel code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MathFunc {
+    FMax,
+    FMin,
+    FAbs,
+    Sqrt,
+    IMax,
+    IMin,
+    IAbs,
+}
+
+impl MathFunc {
+    /// Resolve a C function name (including `f`-suffixed float variants).
+    pub fn from_name(s: &str) -> Option<MathFunc> {
+        match s {
+            "fmax" | "fmaxf" => Some(MathFunc::FMax),
+            "fmin" | "fminf" => Some(MathFunc::FMin),
+            "fabs" | "fabsf" => Some(MathFunc::FAbs),
+            "sqrt" | "sqrtf" => Some(MathFunc::Sqrt),
+            "max" => Some(MathFunc::IMax),
+            "min" => Some(MathFunc::IMin),
+            "abs" | "labs" => Some(MathFunc::IAbs),
+            _ => None,
+        }
+    }
+
+    /// Number of arguments the intrinsic takes.
+    pub fn arity(self) -> usize {
+        match self {
+            MathFunc::FMax | MathFunc::FMin | MathFunc::IMax | MathFunc::IMin => 2,
+            MathFunc::FAbs | MathFunc::Sqrt | MathFunc::IAbs => 1,
+        }
+    }
+}
+
+/// A typed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HExpr {
+    pub ty: CType,
+    pub kind: HExprKind,
+    pub span: Span,
+}
+
+/// Typed expression variants. Binary operands are *not* pre-converted;
+/// codegen converts each side to `ty` (or to the comparison type for
+/// comparison ops, which have `ty == Int` like C).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HExprKind {
+    Int(i64),
+    Float(f64),
+    /// Read a scalar symbol.
+    Sym(Sym),
+    /// Load `array[indices...]`.
+    Load {
+        array: usize,
+        indices: Vec<HExpr>,
+    },
+    Un {
+        op: UnOpKind,
+        operand: Box<HExpr>,
+    },
+    /// Arithmetic / comparison / logical binary op. For comparisons and
+    /// logical ops `ty` is `Int` (C truth values); `cmp_ty` records the
+    /// promoted operand type used for the comparison itself.
+    Bin {
+        op: BinOpKind,
+        cmp_ty: CType,
+        lhs: Box<HExpr>,
+        rhs: Box<HExpr>,
+    },
+    Cond {
+        cond: Box<HExpr>,
+        then: Box<HExpr>,
+        els: Box<HExpr>,
+    },
+    Call {
+        func: MathFunc,
+        args: Vec<HExpr>,
+    },
+    Cast {
+        operand: Box<HExpr>,
+    },
+}
+
+impl HExpr {
+    /// Fold a constant integer expression, if it is one.
+    pub fn const_int(&self) -> Option<i64> {
+        match &self.kind {
+            HExprKind::Int(v) => Some(*v),
+            HExprKind::Un {
+                op: UnOpKind::Neg,
+                operand,
+            } => operand.const_int().map(|v| -v),
+            HExprKind::Cast { operand } if !self.ty.is_float() => operand.const_int(),
+            HExprKind::Bin { op, lhs, rhs, .. } => {
+                let (a, b) = (lhs.const_int()?, rhs.const_int()?);
+                match op {
+                    BinOpKind::Add => Some(a + b),
+                    BinOpKind::Sub => Some(a - b),
+                    BinOpKind::Mul => Some(a * b),
+                    BinOpKind::Div if b != 0 => Some(a / b),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A reduction attached to a loop, with its detected span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reduction {
+    pub op: RedOp,
+    /// The reduction target (host scalar or region local).
+    pub sym: Sym,
+    /// Element type of the reduction.
+    pub ty: CType,
+    /// The levels the user wrote on the clause (on this loop).
+    pub clause_levels: Vec<Level>,
+    /// The detected full span: every parallelism level between this loop
+    /// and the innermost loop updating the variable (paper §3.2.1). Sorted
+    /// outermost-first. Always non-empty for a parallel loop.
+    pub span_levels: Vec<Level>,
+    /// True when update sites occur at *different* parallelism depths
+    /// (e.g. one update directly in the gang loop body and another inside
+    /// the nested worker loop). A single per-thread private accumulator
+    /// over-counts the shallow site, so codegen rejects this case.
+    pub mixed_updates: bool,
+    pub span: Span,
+}
+
+/// A canonicalized loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HLoop {
+    /// Local id of the induction variable.
+    pub var: usize,
+    /// Inclusive start value.
+    pub lower: HExpr,
+    /// Bound expression from the condition.
+    pub bound: HExpr,
+    /// The comparison against `bound` (`Lt`, `Le`, `Gt`, `Ge`).
+    pub cmp: BinOpKind,
+    /// Signed step (constant or uniform expression).
+    pub step: HExpr,
+    /// Parallelism levels this loop is distributed over (empty = sequential).
+    pub sched: Vec<Level>,
+    /// Reductions whose clause sits on this loop.
+    pub reductions: Vec<Reduction>,
+    pub body: Vec<HStmt>,
+    pub span: Span,
+}
+
+/// A typed, resolved statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HStmt {
+    /// `locals[local] = value` (covers declarations with initializers;
+    /// compound assignments are normalized into plain assigns).
+    AssignLocal {
+        local: usize,
+        value: HExpr,
+    },
+    /// `hosts[h] = value` — assignment to a host scalar inside the region
+    /// (the final value is copied back to the host).
+    AssignHost {
+        host: usize,
+        value: HExpr,
+    },
+    /// `array[indices...] = value`.
+    Store {
+        array: usize,
+        indices: Vec<HExpr>,
+        value: HExpr,
+    },
+    /// A recognized reduction update: `sym = sym <op> value` (or the
+    /// equivalent `+=`/`fmax` form). Codegen accumulates into the
+    /// reduction's private register.
+    ReduceUpdate {
+        sym: Sym,
+        op: RedOp,
+        value: HExpr,
+        span: Span,
+    },
+    If {
+        cond: HExpr,
+        then: Vec<HStmt>,
+        els: Vec<HStmt>,
+    },
+    Loop(HLoop),
+}
+
+/// A resolved data clause.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataBinding {
+    pub array: usize,
+    pub dir: DataDir,
+    /// True when the binding was implied (array referenced but not named in
+    /// any data clause: OpenACC `present_or_copy` default).
+    pub implied: bool,
+}
+
+/// An analyzed parallel region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzedRegion {
+    pub num_gangs: Option<HExpr>,
+    pub num_workers: Option<HExpr>,
+    pub vector_length: Option<HExpr>,
+    pub data: Vec<DataBinding>,
+    /// Region-local scalars (indexed by `Sym::Local`).
+    pub locals: Vec<LocalScalar>,
+    /// Host scalars referenced by the region (indices into
+    /// `AnalyzedProgram::hosts`), in first-use order.
+    pub hosts_used: Vec<usize>,
+    /// Host scalars written by the region (reduction results and direct
+    /// assignments) that must be copied back.
+    pub hosts_written: Vec<usize>,
+    pub body: Vec<HStmt>,
+    pub span: Span,
+}
+
+/// A host-side scalar assignment executed before the regions run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostAssign {
+    pub host: usize,
+    pub value: HExpr,
+}
+
+/// A resolved structured data region: residency of `bindings` spans the
+/// execution of `regions[first_region..end_region]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataScope {
+    /// (array index, direction) pairs.
+    pub bindings: Vec<(usize, DataDir)>,
+    pub first_region: usize,
+    pub end_region: usize,
+}
+
+/// The analyzed program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzedProgram {
+    pub hosts: Vec<HostScalar>,
+    pub arrays: Vec<ArrayDecl>,
+    /// Host assignments, in source order (before any region executes).
+    pub host_assigns: Vec<HostAssign>,
+    pub regions: Vec<AnalyzedRegion>,
+    /// Structured `acc data` scopes, in source order.
+    pub data_scopes: Vec<DataScope>,
+}
+
+impl AnalyzedProgram {
+    /// Look up a host scalar by name.
+    pub fn host_index(&self, name: &str) -> Option<usize> {
+        self.hosts.iter().position(|h| h.name == name)
+    }
+
+    /// Look up an array by name.
+    pub fn array_index(&self, name: &str) -> Option<usize> {
+        self.arrays.iter().position(|a| a.name == name)
+    }
+}
+
+/// Walk helper: visit every loop in a statement list (depth-first).
+pub fn visit_loops<'a>(stmts: &'a [HStmt], f: &mut impl FnMut(&'a HLoop)) {
+    for s in stmts {
+        match s {
+            HStmt::Loop(l) => {
+                f(l);
+                visit_loops(&l.body, f);
+            }
+            HStmt::If { then, els, .. } => {
+                visit_loops(then, f);
+                visit_loops(els, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> HExpr {
+        HExpr {
+            ty: CType::Int,
+            kind: HExprKind::Int(v),
+            span: Span::default(),
+        }
+    }
+
+    #[test]
+    fn const_int_folding() {
+        assert_eq!(int(5).const_int(), Some(5));
+        let neg = HExpr {
+            ty: CType::Int,
+            kind: HExprKind::Un {
+                op: UnOpKind::Neg,
+                operand: Box::new(int(3)),
+            },
+            span: Span::default(),
+        };
+        assert_eq!(neg.const_int(), Some(-3));
+        let add = HExpr {
+            ty: CType::Int,
+            kind: HExprKind::Bin {
+                op: BinOpKind::Add,
+                cmp_ty: CType::Int,
+                lhs: Box::new(int(2)),
+                rhs: Box::new(int(3)),
+            },
+            span: Span::default(),
+        };
+        assert_eq!(add.const_int(), Some(5));
+        let sym = HExpr {
+            ty: CType::Int,
+            kind: HExprKind::Sym(Sym::Host(0)),
+            span: Span::default(),
+        };
+        assert_eq!(sym.const_int(), None);
+    }
+
+    #[test]
+    fn mathfunc_resolution() {
+        assert_eq!(MathFunc::from_name("fmax"), Some(MathFunc::FMax));
+        assert_eq!(MathFunc::from_name("fabsf"), Some(MathFunc::FAbs));
+        assert_eq!(MathFunc::from_name("sqrt"), Some(MathFunc::Sqrt));
+        assert_eq!(MathFunc::from_name("nosuch"), None);
+        assert_eq!(MathFunc::FMax.arity(), 2);
+        assert_eq!(MathFunc::FAbs.arity(), 1);
+    }
+}

@@ -1,0 +1,1911 @@
+//! Semantic analysis: resolve names, type expressions, canonicalize loops,
+//! recognize reduction updates and detect each reduction's parallelism span.
+//!
+//! The span detection implements the paper's §3.2.1 behaviour: the user
+//! writes one `reduction` clause on the loop closest to the next use of the
+//! variable; the compiler finds every update of the variable in deeper
+//! loops and widens the reduction to cover all parallelism levels between
+//! the clause loop and the innermost updating loop.
+
+use crate::ast::{
+    self, AssignOp, BinOpKind, CType, DataDir, Expr, ExprKind, LValue, Level, Program, RedOp, Stmt,
+    StmtKind, UnOpKind,
+};
+use crate::diag::{Diag, Span};
+use crate::hir::*;
+use std::collections::{HashMap, HashSet};
+
+/// Analyze a parsed program into typed HIR.
+pub fn analyze(p: &Program) -> Result<AnalyzedProgram, Diag> {
+    let mut hosts: Vec<HostScalar> = Vec::new();
+    let mut arrays: Vec<ArrayDecl> = Vec::new();
+    let mut host_assigns: Vec<HostAssign> = Vec::new();
+    let mut names: HashMap<String, TopSym> = HashMap::new();
+
+    #[derive(Clone, Copy)]
+    enum TopSym {
+        Host(usize),
+        Array(usize),
+    }
+
+    // -- top-level declarations and host assignments ------------------------
+    for d in &p.decls {
+        match &d.kind {
+            StmtKind::Decl {
+                ty,
+                name,
+                dims,
+                init,
+            } => {
+                if names.contains_key(name) {
+                    return Err(Diag::new(format!("`{name}` redeclared"), d.span));
+                }
+                if dims.is_empty() {
+                    let idx = hosts.len();
+                    hosts.push(HostScalar {
+                        name: name.clone(),
+                        ty: *ty,
+                    });
+                    names.insert(name.clone(), TopSym::Host(idx));
+                    if let Some(e) = init {
+                        let value = host_expr(e, &hosts, |n| match names.get(n) {
+                            Some(TopSym::Host(i)) => Some(*i),
+                            _ => None,
+                        })?;
+                        host_assigns.push(HostAssign { host: idx, value });
+                    }
+                } else {
+                    let mut hdims = Vec::new();
+                    for dim in dims {
+                        hdims.push(host_expr(dim, &hosts, |n| match names.get(n) {
+                            Some(TopSym::Host(i)) => Some(*i),
+                            _ => None,
+                        })?);
+                    }
+                    let idx = arrays.len();
+                    arrays.push(ArrayDecl {
+                        name: name.clone(),
+                        ty: *ty,
+                        dims: hdims,
+                    });
+                    names.insert(name.clone(), TopSym::Array(idx));
+                }
+            }
+            StmtKind::Assign {
+                op: AssignOp::Assign,
+                lhs: LValue::Var(name),
+                rhs,
+            } => {
+                let idx = match names.get(name) {
+                    Some(TopSym::Host(i)) => *i,
+                    _ => {
+                        return Err(Diag::new(
+                            format!("assignment to undeclared host scalar `{name}`"),
+                            d.span,
+                        ))
+                    }
+                };
+                let value = host_expr(rhs, &hosts, |n| match names.get(n) {
+                    Some(TopSym::Host(i)) => Some(*i),
+                    _ => None,
+                })?;
+                host_assigns.push(HostAssign { host: idx, value });
+            }
+            _ => {
+                return Err(Diag::new(
+                    "only declarations and scalar assignments are allowed at host scope",
+                    d.span,
+                ))
+            }
+        }
+    }
+
+    let top_lookup = |name: &str| -> Option<Sym0> {
+        match names.get(name) {
+            Some(TopSym::Host(i)) => Some(Sym0::Host(*i)),
+            Some(TopSym::Array(i)) => Some(Sym0::Array(*i)),
+            None => None,
+        }
+    };
+
+    // -- regions -------------------------------------------------------------
+    let mut regions = Vec::new();
+    for r in &p.regions {
+        let mut rs = RegionSema {
+            hosts: &hosts,
+            arrays: &arrays,
+            top: &top_lookup,
+            locals: Vec::new(),
+            scopes: vec![HashMap::new()],
+            active_reds: Vec::new(),
+            level_path: Vec::new(),
+            hosts_used: Vec::new(),
+            hosts_written: Vec::new(),
+            arrays_used: Vec::new(),
+        };
+        regions.push(rs.region(r)?);
+    }
+
+    // Resolve structured data regions.
+    let mut data_scopes = Vec::new();
+    for db in &p.data_blocks {
+        let mut bindings = Vec::new();
+        for item in &db.items {
+            match names.get(&item.name) {
+                Some(TopSym::Array(i)) => bindings.push((*i, item.dir)),
+                Some(TopSym::Host(_)) => {
+                    return Err(Diag::new(
+                        format!("`{}` is a scalar; data clauses take arrays", item.name),
+                        item.span,
+                    ))
+                }
+                None => {
+                    return Err(Diag::new(
+                        format!("unknown array `{}` in data region", item.name),
+                        item.span,
+                    ))
+                }
+            }
+        }
+        data_scopes.push(DataScope {
+            bindings,
+            first_region: db.first_region,
+            end_region: db.end_region,
+        });
+    }
+
+    Ok(AnalyzedProgram {
+        hosts,
+        arrays,
+        host_assigns,
+        regions,
+        data_scopes,
+    })
+}
+
+/// Top-level symbol class used during host-expression analysis.
+#[derive(Clone, Copy)]
+enum Sym0 {
+    Host(usize),
+    Array(usize),
+}
+
+/// Analyze an expression in *host* context: only literals and host scalars.
+fn host_expr<F>(e: &Expr, hosts: &[HostScalar], lookup: F) -> Result<HExpr, Diag>
+where
+    F: Fn(&str) -> Option<usize> + Copy,
+{
+    let kind_ty: (HExprKind, CType) = match &e.kind {
+        ExprKind::IntLit(v) => (HExprKind::Int(*v), CType::Int),
+        ExprKind::FloatLit(v) => (HExprKind::Float(*v), CType::Double),
+        ExprKind::Ident(n) => match lookup(n) {
+            Some(i) => (HExprKind::Sym(Sym::Host(i)), hosts[i].ty),
+            None => {
+                return Err(Diag::new(
+                    format!(
+                        "`{n}` is not a host scalar (host expressions may only use \
+                             literals and previously declared scalars)"
+                    ),
+                    e.span,
+                ))
+            }
+        },
+        ExprKind::Un { op, operand } => {
+            let o = host_expr(operand, hosts, lookup)?;
+            let ty = o.ty;
+            (
+                HExprKind::Un {
+                    op: *op,
+                    operand: Box::new(o),
+                },
+                ty,
+            )
+        }
+        ExprKind::Bin { op, lhs, rhs } => {
+            let l = host_expr(lhs, hosts, lookup)?;
+            let r = host_expr(rhs, hosts, lookup)?;
+            let ty = bin_result_type(*op, l.ty, r.ty, e.span)?;
+            let cmp_ty = CType::promote(l.ty, r.ty);
+            (
+                HExprKind::Bin {
+                    op: *op,
+                    cmp_ty,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                },
+                ty,
+            )
+        }
+        ExprKind::Cast { ty, operand } => {
+            let o = host_expr(operand, hosts, lookup)?;
+            (
+                HExprKind::Cast {
+                    operand: Box::new(o),
+                },
+                *ty,
+            )
+        }
+        _ => {
+            return Err(Diag::new(
+                "unsupported construct in host expression",
+                e.span,
+            ))
+        }
+    };
+    Ok(HExpr {
+        ty: kind_ty.1,
+        kind: kind_ty.0,
+        span: e.span,
+    })
+}
+
+/// Result type of a binary operator given operand types (C rules), with
+/// validity checks for int-only operators.
+fn bin_result_type(op: BinOpKind, l: CType, r: CType, span: Span) -> Result<CType, Diag> {
+    use BinOpKind::*;
+    match op {
+        Add | Sub | Mul | Div => Ok(CType::promote(l, r)),
+        Rem | Shl | Shr | BitAnd | BitOr | BitXor => {
+            if l.is_float() || r.is_float() {
+                Err(Diag::new(
+                    format!("operator `{op:?}` requires integer operands"),
+                    span,
+                ))
+            } else {
+                Ok(CType::promote(l, r))
+            }
+        }
+        Lt | Le | Gt | Ge | Eq | Ne | LogAnd | LogOr => Ok(CType::Int),
+    }
+}
+
+/// An active reduction clause while walking the body of its loop.
+struct ActiveRed {
+    sym: Sym,
+    op: RedOp,
+    /// Depth of `level_path` at the clause loop (levels before the clause
+    /// loop's own levels were pushed).
+    base_depth: usize,
+    /// Accumulated span levels (set).
+    span_levels: HashSet<Level>,
+    /// Distinct crossed-level signatures of update sites (used to detect
+    /// mixed-depth updates, which codegen must reject).
+    update_sites: Vec<Vec<Level>>,
+    found_update: bool,
+}
+
+struct RegionSema<'a, F: Fn(&str) -> Option<Sym0>> {
+    hosts: &'a [HostScalar],
+    arrays: &'a [ArrayDecl],
+    top: &'a F,
+    locals: Vec<LocalScalar>,
+    scopes: Vec<HashMap<String, Sym>>,
+    active_reds: Vec<ActiveRed>,
+    /// The scheduled levels of the enclosing loops, outermost first, one
+    /// entry per level (a `gang vector` loop contributes two entries).
+    level_path: Vec<Level>,
+    hosts_used: Vec<usize>,
+    hosts_written: Vec<usize>,
+    arrays_used: Vec<usize>,
+}
+
+impl<'a, F: Fn(&str) -> Option<Sym0>> RegionSema<'a, F> {
+    fn region(&mut self, r: &ast::ParallelConstruct) -> Result<AnalyzedRegion, Diag> {
+        let num_gangs = r
+            .num_gangs
+            .as_ref()
+            .map(|e| self.host_only(e))
+            .transpose()?;
+        let num_workers = r
+            .num_workers
+            .as_ref()
+            .map(|e| self.host_only(e))
+            .transpose()?;
+        let vector_length = r
+            .vector_length
+            .as_ref()
+            .map(|e| self.host_only(e))
+            .transpose()?;
+
+        // Reductions written on the parallel construct apply to the
+        // outermost gang loop; we implement them by pre-registering active
+        // reductions at depth 0.
+        for rc in &r.reductions {
+            let sym = self.resolve_scalar(&rc.var, rc.span)?;
+            self.mark_host_written(sym);
+            self.active_reds.push(ActiveRed {
+                sym,
+                op: rc.op,
+                base_depth: 0,
+                span_levels: HashSet::new(),
+                update_sites: Vec::new(),
+                found_update: false,
+            });
+        }
+        let n_construct_reds = r.reductions.len();
+
+        let body = self.stmts(&r.body)?;
+
+        // Construct-level reductions: their spans were accumulated.
+        let drained: Vec<ActiveRed> = self.active_reds.drain(..).collect();
+        let construct_reds: Vec<Reduction> = drained
+            .into_iter()
+            .zip(&r.reductions)
+            .map(|(ar, rc)| Reduction {
+                op: ar.op,
+                sym: ar.sym,
+                ty: self.sym_type(ar.sym),
+                clause_levels: Vec::new(),
+                span_levels: sorted_levels(&ar.span_levels),
+                mixed_updates: ar.update_sites.len() > 1,
+                span: rc.span,
+            })
+            .collect();
+        debug_assert_eq!(construct_reds.len(), n_construct_reds);
+        // Attach construct-level reductions to the outermost gang loop.
+        let mut body = body;
+        if !construct_reds.is_empty() {
+            attach_to_outermost_parallel_loop(&mut body, construct_reds, r.span)?;
+        }
+
+        // Data bindings: explicit clauses + implied copies.
+        let mut data: Vec<DataBinding> = Vec::new();
+        let mut named: HashSet<usize> = HashSet::new();
+        for item in &r.data {
+            let idx = match (self.top)(&item.name) {
+                Some(Sym0::Array(i)) => i,
+                Some(Sym0::Host(_)) => {
+                    return Err(Diag::new(
+                        format!(
+                            "`{}` is a scalar; scalars are passed as parameters, not data \
+                             clauses",
+                            item.name
+                        ),
+                        item.span,
+                    ))
+                }
+                None => {
+                    return Err(Diag::new(
+                        format!("unknown array `{}` in data clause", item.name),
+                        item.span,
+                    ))
+                }
+            };
+            if !named.insert(idx) {
+                return Err(Diag::new(
+                    format!("array `{}` appears in multiple data clauses", item.name),
+                    item.span,
+                ));
+            }
+            data.push(DataBinding {
+                array: idx,
+                dir: item.dir,
+                implied: false,
+            });
+        }
+        for &a in &self.arrays_used {
+            if !named.contains(&a) {
+                data.push(DataBinding {
+                    array: a,
+                    dir: DataDir::Copy,
+                    implied: true,
+                });
+            }
+        }
+
+        Ok(AnalyzedRegion {
+            num_gangs,
+            num_workers,
+            vector_length,
+            data,
+            locals: std::mem::take(&mut self.locals),
+            hosts_used: std::mem::take(&mut self.hosts_used),
+            hosts_written: std::mem::take(&mut self.hosts_written),
+            body,
+            span: r.span,
+        })
+    }
+
+    fn host_only(&mut self, e: &Expr) -> Result<HExpr, Diag> {
+        host_expr(e, self.hosts, |n| match (self.top)(n) {
+            Some(Sym0::Host(i)) => Some(i),
+            _ => None,
+        })
+    }
+
+    fn sym_type(&self, s: Sym) -> CType {
+        match s {
+            Sym::Host(i) => self.hosts[i].ty,
+            Sym::Local(i) => self.locals[i].ty,
+        }
+    }
+
+    fn resolve(&mut self, name: &str, span: Span) -> Result<ResolvedName, Diag> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(s) = scope.get(name) {
+                return Ok(ResolvedName::Scalar(*s));
+            }
+        }
+        match (self.top)(name) {
+            Some(Sym0::Host(i)) => {
+                if !self.hosts_used.contains(&i) {
+                    self.hosts_used.push(i);
+                }
+                Ok(ResolvedName::Scalar(Sym::Host(i)))
+            }
+            Some(Sym0::Array(i)) => {
+                if !self.arrays_used.contains(&i) {
+                    self.arrays_used.push(i);
+                }
+                Ok(ResolvedName::Array(i))
+            }
+            None => Err(Diag::new(format!("unknown identifier `{name}`"), span)),
+        }
+    }
+
+    fn resolve_scalar(&mut self, name: &str, span: Span) -> Result<Sym, Diag> {
+        match self.resolve(name, span)? {
+            ResolvedName::Scalar(s) => Ok(s),
+            ResolvedName::Array(_) => Err(Diag::new(
+                format!("`{name}` is an array, expected a scalar"),
+                span,
+            )),
+        }
+    }
+
+    fn mark_host_written(&mut self, s: Sym) {
+        if let Sym::Host(i) = s {
+            if !self.hosts_written.contains(&i) {
+                self.hosts_written.push(i);
+            }
+            if !self.hosts_used.contains(&i) {
+                self.hosts_used.push(i);
+            }
+        }
+    }
+
+    fn new_local(&mut self, name: &str, ty: CType, is_loop_var: bool) -> usize {
+        let id = self.locals.len();
+        self.locals.push(LocalScalar {
+            name: name.to_string(),
+            ty,
+            is_loop_var,
+        });
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), Sym::Local(id));
+        id
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<Vec<HStmt>, Diag> {
+        let mut out = Vec::new();
+        for s in stmts {
+            self.stmt(s, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self, s: &Stmt, out: &mut Vec<HStmt>) -> Result<(), Diag> {
+        match &s.kind {
+            StmtKind::Decl {
+                ty,
+                name,
+                dims,
+                init,
+            } => {
+                if !dims.is_empty() {
+                    return Err(Diag::new(
+                        "array declarations inside a parallel region are not supported",
+                        s.span,
+                    ));
+                }
+                let init_h = init.as_ref().map(|e| self.expr(e)).transpose()?;
+                let id = self.new_local(name, *ty, false);
+                if let Some(v) = init_h {
+                    out.push(HStmt::AssignLocal {
+                        local: id,
+                        value: self.coerce(v, *ty),
+                    });
+                }
+            }
+            StmtKind::Assign { op, lhs, rhs } => {
+                self.assign(*op, lhs, rhs, s.span, out)?;
+            }
+            StmtKind::IncDec { name, inc } => {
+                let one = Expr::new(ExprKind::IntLit(1), s.span);
+                let op = if *inc { AssignOp::Add } else { AssignOp::Sub };
+                self.assign(op, &LValue::Var(name.clone()), &one, s.span, out)?;
+            }
+            StmtKind::If { cond, then, els } => {
+                let c = self.expr(cond)?;
+                self.scopes.push(HashMap::new());
+                let t = self.stmts(then)?;
+                self.scopes.pop();
+                self.scopes.push(HashMap::new());
+                let e = self.stmts(els)?;
+                self.scopes.pop();
+                out.push(HStmt::If {
+                    cond: c,
+                    then: t,
+                    els: e,
+                });
+            }
+            StmtKind::For(f) => {
+                let l = self.for_loop(f, s.span)?;
+                out.push(HStmt::Loop(l));
+            }
+            StmtKind::Block(inner) => {
+                self.scopes.push(HashMap::new());
+                let mut stmts = self.stmts(inner)?;
+                self.scopes.pop();
+                out.append(&mut stmts);
+            }
+        }
+        Ok(())
+    }
+
+    fn assign(
+        &mut self,
+        op: AssignOp,
+        lhs: &LValue,
+        rhs: &Expr,
+        span: Span,
+        out: &mut Vec<HStmt>,
+    ) -> Result<(), Diag> {
+        match lhs {
+            LValue::Var(name) => {
+                let sym = self.resolve_scalar(name, span)?;
+                let ty = self.sym_type(sym);
+                // Is this an update of an active reduction?
+                if let Some(red_idx) = self.active_reds.iter().rposition(|ar| ar.sym == sym) {
+                    let red_op = self.active_reds[red_idx].op;
+                    let value = self.reduction_update_value(red_op, op, sym, rhs, span)?;
+                    let value = self.coerce(value, ty);
+                    // Record the span levels crossed at this update site.
+                    let base = self.active_reds[red_idx].base_depth;
+                    let crossed: Vec<Level> = self.level_path[base..].to_vec();
+                    let ar = &mut self.active_reds[red_idx];
+                    ar.found_update = true;
+                    if !ar.update_sites.contains(&crossed) {
+                        ar.update_sites.push(crossed.clone());
+                    }
+                    for l in crossed {
+                        ar.span_levels.insert(l);
+                    }
+                    out.push(HStmt::ReduceUpdate {
+                        sym,
+                        op: red_op,
+                        value,
+                        span,
+                    });
+                    return Ok(());
+                }
+                // Plain assignment (normalize compound ops).
+                let rhs_h = self.expr(rhs)?;
+                let value = match assign_bin_op(op) {
+                    None => rhs_h,
+                    Some(bop) => {
+                        let cur = HExpr {
+                            ty,
+                            kind: HExprKind::Sym(sym),
+                            span,
+                        };
+                        let rty = bin_result_type(bop, ty, rhs_h.ty, span)?;
+                        let cmp_ty = CType::promote(ty, rhs_h.ty);
+                        HExpr {
+                            ty: rty,
+                            kind: HExprKind::Bin {
+                                op: bop,
+                                cmp_ty,
+                                lhs: Box::new(cur),
+                                rhs: Box::new(rhs_h),
+                            },
+                            span,
+                        }
+                    }
+                };
+                let value = self.coerce(value, ty);
+                match sym {
+                    Sym::Local(i) => out.push(HStmt::AssignLocal { local: i, value }),
+                    Sym::Host(i) => {
+                        self.mark_host_written(sym);
+                        out.push(HStmt::AssignHost { host: i, value });
+                    }
+                }
+            }
+            LValue::Elem { base, indices } => {
+                let arr = match self.resolve(base, span)? {
+                    ResolvedName::Array(i) => i,
+                    ResolvedName::Scalar(_) => {
+                        return Err(Diag::new(
+                            format!("`{base}` is a scalar, cannot subscript"),
+                            span,
+                        ))
+                    }
+                };
+                let ety = self.arrays[arr].ty;
+                let idx_h = self.indices(arr, indices, span)?;
+                let rhs_h = self.expr(rhs)?;
+                let value = match assign_bin_op(op) {
+                    None => rhs_h,
+                    Some(bop) => {
+                        let cur = HExpr {
+                            ty: ety,
+                            kind: HExprKind::Load {
+                                array: arr,
+                                indices: idx_h.clone(),
+                            },
+                            span,
+                        };
+                        let rty = bin_result_type(bop, ety, rhs_h.ty, span)?;
+                        let cmp_ty = CType::promote(ety, rhs_h.ty);
+                        HExpr {
+                            ty: rty,
+                            kind: HExprKind::Bin {
+                                op: bop,
+                                cmp_ty,
+                                lhs: Box::new(cur),
+                                rhs: Box::new(rhs_h),
+                            },
+                            span,
+                        }
+                    }
+                };
+                let value = self.coerce(value, ety);
+                out.push(HStmt::Store {
+                    array: arr,
+                    indices: idx_h,
+                    value,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate that an assignment to a reduction variable matches the
+    /// clause operator and extract the contributed value.
+    fn reduction_update_value(
+        &mut self,
+        red_op: RedOp,
+        aop: AssignOp,
+        sym: Sym,
+        rhs: &Expr,
+        span: Span,
+    ) -> Result<HExpr, Diag> {
+        let mismatch = |found: &str| {
+            Diag::new(
+                format!(
+                    "reduction variable is updated with `{found}` but the clause declares \
+                     `{}`",
+                    red_op.clause_token()
+                ),
+                span,
+            )
+        };
+        // Compound-assignment forms.
+        if let Some(op_str) = match aop {
+            AssignOp::Add => Some("+"),
+            AssignOp::Mul => Some("*"),
+            AssignOp::And => Some("&"),
+            AssignOp::Or => Some("|"),
+            AssignOp::Xor => Some("^"),
+            AssignOp::Sub | AssignOp::Div | AssignOp::Rem | AssignOp::Shl | AssignOp::Shr => {
+                let s = match aop {
+                    AssignOp::Sub => "-=",
+                    AssignOp::Div => "/=",
+                    AssignOp::Rem => "%=",
+                    AssignOp::Shl => "<<=",
+                    _ => ">>=",
+                };
+                return Err(mismatch(s));
+            }
+            AssignOp::Assign => None,
+        } {
+            let expect = RedOp::from_clause_token(op_str).expect("valid op");
+            if expect != red_op {
+                return Err(mismatch(op_str));
+            }
+            return self.expr(rhs);
+        }
+        // Plain `v = <expr>` form: the rhs must be `v <op> e`, `e <op> v`,
+        // or `fmax/fmin/max/min(v, e)`.
+        let is_self = |e: &Expr| -> bool {
+            matches!(&e.kind, ExprKind::Ident(n)
+                if self.scopes.iter().rev().find_map(|s| s.get(n)).copied()
+                    .or_else(|| match (self.top)(n) { Some(Sym0::Host(i)) => Some(Sym::Host(i)), _ => None })
+                    == Some(sym))
+        };
+        match &rhs.kind {
+            ExprKind::Bin { op, lhs, rhs: r } => {
+                let bop_as_red = match op {
+                    BinOpKind::Add => Some(RedOp::Add),
+                    BinOpKind::Mul => Some(RedOp::Mul),
+                    BinOpKind::BitAnd => Some(RedOp::BitAnd),
+                    BinOpKind::BitOr => Some(RedOp::BitOr),
+                    BinOpKind::BitXor => Some(RedOp::BitXor),
+                    BinOpKind::LogAnd => Some(RedOp::LogAnd),
+                    BinOpKind::LogOr => Some(RedOp::LogOr),
+                    _ => None,
+                };
+                match bop_as_red {
+                    Some(r_op) if r_op == red_op => {
+                        if is_self(lhs) {
+                            self.expr(r)
+                        } else if is_self(r) {
+                            self.expr(lhs)
+                        } else {
+                            Err(Diag::new(
+                                "reduction update must reference the reduction variable",
+                                span,
+                            ))
+                        }
+                    }
+                    _ => Err(mismatch(&format!("{op:?}"))),
+                }
+            }
+            ExprKind::Call { name, args } if args.len() == 2 => {
+                let f_as_red = match MathFunc::from_name(name) {
+                    Some(MathFunc::FMax | MathFunc::IMax) => Some(RedOp::Max),
+                    Some(MathFunc::FMin | MathFunc::IMin) => Some(RedOp::Min),
+                    _ => None,
+                };
+                match f_as_red {
+                    Some(r_op) if r_op == red_op => {
+                        if is_self(&args[0]) {
+                            self.expr(&args[1])
+                        } else if is_self(&args[1]) {
+                            self.expr(&args[0])
+                        } else {
+                            Err(Diag::new(
+                                "reduction update must reference the reduction variable",
+                                span,
+                            ))
+                        }
+                    }
+                    _ => Err(mismatch(name)),
+                }
+            }
+            _ => Err(Diag::new(
+                "assignment to a reduction variable must be a reduction update \
+                 (e.g. `v += e` or `v = fmax(v, e)`)",
+                span,
+            )),
+        }
+    }
+
+    fn for_loop(&mut self, f: &ast::ForLoop, span: Span) -> Result<HLoop, Diag> {
+        let dir = f.directive.clone().unwrap_or_default();
+        if let Some(n) = dir.collapse {
+            if n > 1 {
+                return self.collapsed_loop(f, n, span);
+            }
+        }
+        let mut sched: Vec<Level> = Vec::new();
+        if !dir.seq {
+            for l in &dir.levels {
+                if sched.contains(l) {
+                    return Err(Diag::new(
+                        format!("duplicate `{l}` on loop directive"),
+                        dir.span,
+                    ));
+                }
+                sched.push(*l);
+            }
+        } else if !dir.levels.is_empty() {
+            return Err(Diag::new(
+                "`seq` conflicts with parallelism levels",
+                dir.span,
+            ));
+        }
+        let mut sched_sorted = sched.clone();
+        sched_sorted.sort();
+        if sched_sorted != sched {
+            return Err(Diag::new(
+                "parallelism levels must be ordered gang, worker, vector",
+                dir.span,
+            ));
+        }
+        // Nesting: each level here must be deeper than all enclosing levels.
+        if let (Some(&outer_max), Some(&inner_min)) = (self.level_path.last(), sched.first()) {
+            if inner_min <= outer_max {
+                return Err(Diag::new(
+                    format!("`{inner_min}` loop cannot be nested inside a `{outer_max}` loop"),
+                    dir.span,
+                ));
+            }
+        }
+
+        // Analyze bounds in the *enclosing* scope.
+        let lower = self.expr(&f.init)?;
+        let bound = self.expr(&f.bound)?;
+        let step = self.expr(&f.step)?;
+        if lower.ty.is_float() || bound.ty.is_float() || step.ty.is_float() {
+            return Err(Diag::new("loop bounds and step must be integers", span));
+        }
+        if !sched.is_empty() && step.const_int().is_none() {
+            return Err(Diag::new("a parallel loop requires a constant step", span));
+        }
+        if let Some(s) = step.const_int() {
+            let upward = matches!(f.cmp, BinOpKind::Lt | BinOpKind::Le);
+            if s == 0 || (upward && s < 0) || (!upward && s > 0) {
+                return Err(Diag::new(
+                    "loop step direction contradicts its condition",
+                    span,
+                ));
+            }
+        }
+
+        self.scopes.push(HashMap::new());
+        let var_ty = f.decl_ty.unwrap_or(CType::Int);
+        if var_ty.is_float() {
+            return Err(Diag::new("loop variable must have integer type", span));
+        }
+        let var = self.new_local(&f.var, var_ty, true);
+
+        // Register this loop's reduction clauses.
+        let base_depth = self.level_path.len();
+        self.level_path.extend(sched.iter().copied());
+        let n_before = self.active_reds.len();
+        for rc in &dir.reductions {
+            let sym = self.resolve_scalar(&rc.var, rc.span)?;
+            if self.active_reds.iter().any(|ar| ar.sym == sym) {
+                return Err(Diag::new(
+                    format!(
+                        "`{}` already has a reduction clause on an enclosing loop",
+                        rc.var
+                    ),
+                    rc.span,
+                ));
+            }
+            // A host scalar reduced inside an enclosing parallel loop would
+            // end with a different value in every gang/worker; its value
+            // after the region would be unspecified. Require the clause on
+            // the outermost parallel loop (the span auto-detection widens it
+            // from there).
+            if matches!(sym, Sym::Host(_)) && base_depth > 0 {
+                return Err(Diag::new(
+                    format!(
+                        "reduction on `{}` is nested inside {} parallelism, so its \
+                         value after the region would be unspecified; move the \
+                         reduction clause to the outermost parallel loop (the \
+                         compiler widens the span automatically)",
+                        rc.var,
+                        self.level_path[base_depth - 1]
+                    ),
+                    rc.span,
+                ));
+            }
+            self.mark_host_written(sym);
+            self.active_reds.push(ActiveRed {
+                sym,
+                op: rc.op,
+                base_depth,
+                span_levels: sched.iter().copied().collect(),
+                update_sites: Vec::new(),
+                found_update: false,
+            });
+        }
+
+        let body = self.stmts(&f.body)?;
+
+        // Pop this loop's reductions and finalize their spans.
+        let mut reductions = Vec::new();
+        let drained: Vec<ActiveRed> = self.active_reds.drain(n_before..).collect();
+        for (ar, rc) in drained.into_iter().zip(&dir.reductions) {
+            reductions.push(Reduction {
+                op: ar.op,
+                sym: ar.sym,
+                ty: self.sym_type(ar.sym),
+                clause_levels: sched.clone(),
+                span_levels: sorted_levels(&ar.span_levels),
+                mixed_updates: ar.update_sites.len() > 1,
+                span: rc.span,
+            });
+        }
+        self.level_path.truncate(base_depth);
+        self.scopes.pop();
+
+        Ok(HLoop {
+            var,
+            lower,
+            bound,
+            cmp: f.cmp,
+            step,
+            sched,
+            reductions,
+            body,
+            span,
+        })
+    }
+
+    /// Handle `collapse(n)` with `n > 1`: fuse a perfectly nested,
+    /// rectangular loop nest into a single linearized loop distributed over
+    /// the directive's levels. Inner loop variables are recovered with
+    /// div/mod arithmetic, exactly as CUDA compilers lower `collapse`.
+    fn collapsed_loop(&mut self, f: &ast::ForLoop, n: u32, span: Span) -> Result<HLoop, Diag> {
+        let dir = f.directive.clone().unwrap_or_default();
+        // Gather the n perfectly nested loops.
+        let mut specs: Vec<ast::ForLoop> = vec![f.clone()];
+        for d in 1..n {
+            let body = &specs[d as usize - 1].body;
+            // Exactly one statement, which must be a for loop.
+            let inner = match body.as_slice() {
+                [Stmt {
+                    kind: StmtKind::For(inner),
+                    ..
+                }] => inner.clone(),
+                _ => {
+                    return Err(Diag::new(
+                        format!(
+                            "collapse({n}) requires {n} perfectly nested loops; level {d} \
+                             is not a single nested for loop"
+                        ),
+                        dir.span,
+                    ))
+                }
+            };
+            if inner.directive.is_some() {
+                return Err(Diag::new(
+                    "loops inside a collapse nest must not carry their own directives",
+                    dir.span,
+                ));
+            }
+            specs.push(inner);
+        }
+
+        // Analyze each level's bounds in the enclosing scope: referencing an
+        // outer collapsed loop variable fails name resolution, which is
+        // exactly the rectangularity requirement.
+        let mk_long = |kind: HExprKind| HExpr {
+            ty: CType::Long,
+            kind,
+            span,
+        };
+        let int_lit = |v: i64| HExpr {
+            ty: CType::Long,
+            kind: HExprKind::Int(v),
+            span,
+        };
+        let bin = |op: BinOpKind, l: HExpr, r: HExpr| HExpr {
+            ty: CType::Long,
+            kind: HExprKind::Bin {
+                op,
+                cmp_ty: CType::Long,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            },
+            span,
+        };
+        let cast_long = |e: HExpr| {
+            if e.ty == CType::Long {
+                e
+            } else {
+                mk_long(HExprKind::Cast {
+                    operand: Box::new(e),
+                })
+            }
+        };
+
+        struct LevelInfo {
+            lower: HExpr,
+            trip: HExpr,
+            stepv: i64,
+            var_ty: CType,
+        }
+        let mut levels: Vec<LevelInfo> = Vec::new();
+        for (d, sp) in specs.iter().enumerate() {
+            let lower = self.expr(&sp.init).map_err(|e| {
+                Diag::new(
+                    format!(
+                        "in collapse level {d}: {} (collapsed bounds must not depend on \
+                         outer collapsed loop variables)",
+                        e.message
+                    ),
+                    e.span,
+                )
+            })?;
+            let bound = self.expr(&sp.bound).map_err(|e| {
+                Diag::new(
+                    format!(
+                        "in collapse level {d}: {} (collapsed bounds must not depend on \
+                         outer collapsed loop variables)",
+                        e.message
+                    ),
+                    e.span,
+                )
+            })?;
+            let step = self.expr(&sp.step)?;
+            if lower.ty.is_float() || bound.ty.is_float() {
+                return Err(Diag::new("loop bounds must be integers", sp.init.span));
+            }
+            let stepv = step.const_int().ok_or_else(|| {
+                Diag::new("collapsed loops require constant steps of +1 or -1", span)
+            })?;
+            if stepv != 1 && stepv != -1 {
+                return Err(Diag::new(
+                    "collapsed loops require constant steps of +1 or -1",
+                    span,
+                ));
+            }
+            let upward = matches!(sp.cmp, BinOpKind::Lt | BinOpKind::Le);
+            if (upward && stepv < 0) || (!upward && stepv > 0) {
+                return Err(Diag::new(
+                    "loop step direction contradicts its condition",
+                    span,
+                ));
+            }
+            let incl = matches!(sp.cmp, BinOpKind::Le | BinOpKind::Ge);
+            // trip = max(0, bound - lower [+1]) for upward, (lower - bound
+            // [+1]) for downward. Negative trips are clamped by the fused
+            // bound comparison (a negative factor makes the product <= 0,
+            // and the fused loop runs `lin < total`).
+            let (lo64, bo64) = (cast_long(lower.clone()), cast_long(bound));
+            let diff = if upward {
+                bin(BinOpKind::Sub, bo64, lo64)
+            } else {
+                bin(BinOpKind::Sub, lo64, bo64)
+            };
+            let trip = if incl {
+                bin(BinOpKind::Add, diff, int_lit(1))
+            } else {
+                diff
+            };
+            levels.push(LevelInfo {
+                lower,
+                trip,
+                stepv,
+                var_ty: sp.decl_ty.unwrap_or(CType::Int),
+            });
+        }
+
+        // total = product of trips.
+        let mut total = levels[0].trip.clone();
+        for l in &levels[1..] {
+            total = bin(BinOpKind::Mul, total, l.trip.clone());
+        }
+
+        // Schedule validation (same rules as plain loops).
+        let mut sched: Vec<Level> = Vec::new();
+        for l in &dir.levels {
+            if sched.contains(l) {
+                return Err(Diag::new(
+                    format!("duplicate `{l}` on loop directive"),
+                    dir.span,
+                ));
+            }
+            sched.push(*l);
+        }
+        let mut ss = sched.clone();
+        ss.sort();
+        if ss != sched {
+            return Err(Diag::new(
+                "parallelism levels must be ordered gang, worker, vector",
+                dir.span,
+            ));
+        }
+        if let (Some(&outer_max), Some(&inner_min)) = (self.level_path.last(), sched.first()) {
+            if inner_min <= outer_max {
+                return Err(Diag::new(
+                    format!("`{inner_min}` loop cannot be nested inside a `{outer_max}` loop"),
+                    dir.span,
+                ));
+            }
+        }
+
+        self.scopes.push(HashMap::new());
+        let lin = self.new_local("__collapse_lin", CType::Long, true);
+
+        // Recover each original loop variable:
+        //   var_d = lower_d + stepv_d * ((lin / stride_d) % trip_d)
+        // with stride_d the product of deeper trips.
+        let mut recover: Vec<HStmt> = Vec::new();
+        let mut var_ids: Vec<usize> = Vec::new();
+        for (d, sp) in specs.iter().enumerate() {
+            let var = self.new_local(&sp.var, levels[d].var_ty, true);
+            var_ids.push(var);
+        }
+        for d in 0..specs.len() {
+            let mut idx = mk_long(HExprKind::Sym(Sym::Local(lin)));
+            // stride = product of trips deeper than d
+            for deeper in &levels[d + 1..] {
+                idx = bin(BinOpKind::Div, idx, deeper.trip.clone());
+            }
+            if d > 0 {
+                idx = bin(BinOpKind::Rem, idx, levels[d].trip.clone());
+            }
+            let scaled = if levels[d].stepv == 1 {
+                idx
+            } else {
+                bin(BinOpKind::Sub, int_lit(0), idx)
+            };
+            let value = bin(BinOpKind::Add, cast_long(levels[d].lower.clone()), scaled);
+            let value = HExpr {
+                ty: levels[d].var_ty,
+                kind: HExprKind::Cast {
+                    operand: Box::new(value),
+                },
+                span,
+            };
+            recover.push(HStmt::AssignLocal {
+                local: var_ids[d],
+                value,
+            });
+        }
+
+        // Register reductions on the fused loop.
+        let base_depth = self.level_path.len();
+        self.level_path.extend(sched.iter().copied());
+        let n_before = self.active_reds.len();
+        for rc in &dir.reductions {
+            let sym = self.resolve_scalar(&rc.var, rc.span)?;
+            if self.active_reds.iter().any(|ar| ar.sym == sym) {
+                return Err(Diag::new(
+                    format!(
+                        "`{}` already has a reduction clause on an enclosing loop",
+                        rc.var
+                    ),
+                    rc.span,
+                ));
+            }
+            // A host scalar reduced inside an enclosing parallel loop would
+            // end with a different value in every gang/worker; its value
+            // after the region would be unspecified. Require the clause on
+            // the outermost parallel loop (the span auto-detection widens it
+            // from there).
+            if matches!(sym, Sym::Host(_)) && base_depth > 0 {
+                return Err(Diag::new(
+                    format!(
+                        "reduction on `{}` is nested inside {} parallelism, so its \
+                         value after the region would be unspecified; move the \
+                         reduction clause to the outermost parallel loop (the \
+                         compiler widens the span automatically)",
+                        rc.var,
+                        self.level_path[base_depth - 1]
+                    ),
+                    rc.span,
+                ));
+            }
+            self.mark_host_written(sym);
+            self.active_reds.push(ActiveRed {
+                sym,
+                op: rc.op,
+                base_depth,
+                span_levels: sched.iter().copied().collect(),
+                update_sites: Vec::new(),
+                found_update: false,
+            });
+        }
+
+        let mut body = recover;
+        body.extend(self.stmts(&specs[n as usize - 1].body)?);
+
+        let mut reductions = Vec::new();
+        let drained: Vec<ActiveRed> = self.active_reds.drain(n_before..).collect();
+        for (ar, rc) in drained.into_iter().zip(&dir.reductions) {
+            reductions.push(Reduction {
+                op: ar.op,
+                sym: ar.sym,
+                ty: self.sym_type(ar.sym),
+                clause_levels: sched.clone(),
+                span_levels: sorted_levels(&ar.span_levels),
+                mixed_updates: ar.update_sites.len() > 1,
+                span: rc.span,
+            });
+        }
+        self.level_path.truncate(base_depth);
+        self.scopes.pop();
+
+        Ok(HLoop {
+            var: lin,
+            lower: int_lit(0),
+            bound: total,
+            cmp: BinOpKind::Lt,
+            step: int_lit(1),
+            sched,
+            reductions,
+            body,
+            span,
+        })
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn coerce(&self, e: HExpr, ty: CType) -> HExpr {
+        if e.ty == ty {
+            e
+        } else {
+            let span = e.span;
+            HExpr {
+                ty,
+                kind: HExprKind::Cast {
+                    operand: Box::new(e),
+                },
+                span,
+            }
+        }
+    }
+
+    fn indices(&mut self, arr: usize, indices: &[Expr], span: Span) -> Result<Vec<HExpr>, Diag> {
+        let ndims = self.arrays[arr].dims.len();
+        if indices.len() != ndims {
+            return Err(Diag::new(
+                format!(
+                    "array `{}` has {ndims} dimension(s) but {} index(es) were given",
+                    self.arrays[arr].name,
+                    indices.len()
+                ),
+                span,
+            ));
+        }
+        let mut out = Vec::new();
+        for ix in indices {
+            let h = self.expr(ix)?;
+            if h.ty.is_float() {
+                return Err(Diag::new("array index must be an integer", ix.span));
+            }
+            out.push(h);
+        }
+        Ok(out)
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<HExpr, Diag> {
+        let (kind, ty): (HExprKind, CType) = match &e.kind {
+            ExprKind::IntLit(v) => (HExprKind::Int(*v), CType::Int),
+            ExprKind::FloatLit(v) => (HExprKind::Float(*v), CType::Double),
+            ExprKind::Ident(n) => match self.resolve(n, e.span)? {
+                ResolvedName::Scalar(s) => (HExprKind::Sym(s), self.sym_type(s)),
+                ResolvedName::Array(_) => {
+                    return Err(Diag::new(
+                        format!("array `{n}` used without a subscript"),
+                        e.span,
+                    ))
+                }
+            },
+            ExprKind::Index { base, indices } => {
+                let arr = match self.resolve(base, e.span)? {
+                    ResolvedName::Array(i) => i,
+                    ResolvedName::Scalar(_) => {
+                        return Err(Diag::new(
+                            format!("`{base}` is a scalar, cannot subscript"),
+                            e.span,
+                        ))
+                    }
+                };
+                let idx = self.indices(arr, indices, e.span)?;
+                (
+                    HExprKind::Load {
+                        array: arr,
+                        indices: idx,
+                    },
+                    self.arrays[arr].ty,
+                )
+            }
+            ExprKind::Un { op, operand } => {
+                let o = self.expr(operand)?;
+                let ty = match op {
+                    UnOpKind::Neg => o.ty,
+                    UnOpKind::Not => CType::Int,
+                    UnOpKind::BitNot => {
+                        if o.ty.is_float() {
+                            return Err(Diag::new("`~` requires an integer operand", e.span));
+                        }
+                        o.ty
+                    }
+                };
+                (
+                    HExprKind::Un {
+                        op: *op,
+                        operand: Box::new(o),
+                    },
+                    ty,
+                )
+            }
+            ExprKind::Bin { op, lhs, rhs } => {
+                let l = self.expr(lhs)?;
+                let r = self.expr(rhs)?;
+                let ty = bin_result_type(*op, l.ty, r.ty, e.span)?;
+                let cmp_ty = CType::promote(l.ty, r.ty);
+                (
+                    HExprKind::Bin {
+                        op: *op,
+                        cmp_ty,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
+                    ty,
+                )
+            }
+            ExprKind::Cond { cond, then, els } => {
+                let c = self.expr(cond)?;
+                let t = self.expr(then)?;
+                let el = self.expr(els)?;
+                let ty = CType::promote(t.ty, el.ty);
+                (
+                    HExprKind::Cond {
+                        cond: Box::new(c),
+                        then: Box::new(t),
+                        els: Box::new(el),
+                    },
+                    ty,
+                )
+            }
+            ExprKind::Call { name, args } => {
+                let func = MathFunc::from_name(name).ok_or_else(|| {
+                    Diag::new(
+                        format!(
+                            "unknown function `{name}` (only math intrinsics are callable \
+                             in kernels)"
+                        ),
+                        e.span,
+                    )
+                })?;
+                if args.len() != func.arity() {
+                    return Err(Diag::new(
+                        format!("`{name}` takes {} argument(s)", func.arity()),
+                        e.span,
+                    ));
+                }
+                let mut hargs = Vec::new();
+                for a in args {
+                    hargs.push(self.expr(a)?);
+                }
+                let ty = match func {
+                    MathFunc::FMax | MathFunc::FMin => {
+                        let t = CType::promote(hargs[0].ty, hargs[1].ty);
+                        if t.is_float() {
+                            t
+                        } else {
+                            CType::Double
+                        }
+                    }
+                    MathFunc::FAbs | MathFunc::Sqrt => {
+                        if hargs[0].ty == CType::Float {
+                            CType::Float
+                        } else {
+                            CType::Double
+                        }
+                    }
+                    MathFunc::IMax | MathFunc::IMin => {
+                        let t = CType::promote(hargs[0].ty, hargs[1].ty);
+                        if t.is_float() {
+                            return Err(Diag::new(
+                                format!("`{name}` requires integer arguments (use f{name})"),
+                                e.span,
+                            ));
+                        }
+                        t
+                    }
+                    MathFunc::IAbs => {
+                        if hargs[0].ty.is_float() {
+                            return Err(Diag::new(
+                                "`abs` requires an integer argument (use fabs)",
+                                e.span,
+                            ));
+                        }
+                        hargs[0].ty
+                    }
+                };
+                (HExprKind::Call { func, args: hargs }, ty)
+            }
+            ExprKind::Cast { ty, operand } => {
+                let o = self.expr(operand)?;
+                (
+                    HExprKind::Cast {
+                        operand: Box::new(o),
+                    },
+                    *ty,
+                )
+            }
+        };
+        Ok(HExpr {
+            ty,
+            kind,
+            span: e.span,
+        })
+    }
+}
+
+enum ResolvedName {
+    Scalar(Sym),
+    Array(usize),
+}
+
+fn assign_bin_op(op: AssignOp) -> Option<BinOpKind> {
+    match op {
+        AssignOp::Assign => None,
+        AssignOp::Add => Some(BinOpKind::Add),
+        AssignOp::Sub => Some(BinOpKind::Sub),
+        AssignOp::Mul => Some(BinOpKind::Mul),
+        AssignOp::Div => Some(BinOpKind::Div),
+        AssignOp::Rem => Some(BinOpKind::Rem),
+        AssignOp::And => Some(BinOpKind::BitAnd),
+        AssignOp::Or => Some(BinOpKind::BitOr),
+        AssignOp::Xor => Some(BinOpKind::BitXor),
+        AssignOp::Shl => Some(BinOpKind::Shl),
+        AssignOp::Shr => Some(BinOpKind::Shr),
+    }
+}
+
+fn sorted_levels(set: &HashSet<Level>) -> Vec<Level> {
+    let mut v: Vec<Level> = set.iter().copied().collect();
+    v.sort();
+    v
+}
+
+/// Attach construct-level reductions to the outermost parallel loop of the
+/// region body.
+fn attach_to_outermost_parallel_loop(
+    body: &mut [HStmt],
+    reds: Vec<Reduction>,
+    span: Span,
+) -> Result<(), Diag> {
+    for s in body.iter_mut() {
+        if let HStmt::Loop(l) = s {
+            if !l.sched.is_empty() {
+                for mut r in reds {
+                    r.clause_levels = l.sched.clone();
+                    l.reductions.push(r);
+                }
+                return Ok(());
+            }
+        }
+    }
+    Err(Diag::new(
+        "reduction on `parallel` construct requires a parallel loop in the region",
+        span,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn analyze_src(src: &str) -> Result<AnalyzedProgram, Diag> {
+        analyze(&parse_program(src).unwrap())
+    }
+
+    const VECTOR_RED: &str = r#"
+        int NK; int NJ; int NI;
+        float input[NK][NJ][NI];
+        float temp[NK][NJ][NI];
+        #pragma acc parallel copyin(input) copyout(temp)
+        {
+            #pragma acc loop gang
+            for (int k = 0; k < NK; k++) {
+                #pragma acc loop worker
+                for (int j = 0; j < NJ; j++) {
+                    int i_sum = j;
+                    #pragma acc loop vector reduction(+:i_sum)
+                    for (int i = 0; i < NI; i++) {
+                        i_sum += input[k][j][i];
+                    }
+                    temp[k][j][0] = i_sum;
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn analyzes_vector_reduction() {
+        let p = analyze_src(VECTOR_RED).unwrap();
+        assert_eq!(p.hosts.len(), 3);
+        assert_eq!(p.arrays.len(), 2);
+        let r = &p.regions[0];
+        // find the vector loop's reduction
+        let mut found = false;
+        visit_loops(&r.body, &mut |l| {
+            if l.sched == vec![Level::Vector] {
+                assert_eq!(l.reductions.len(), 1);
+                let red = &l.reductions[0];
+                assert_eq!(red.op, RedOp::Add);
+                assert_eq!(red.span_levels, vec![Level::Vector]);
+                assert_eq!(red.ty, CType::Int);
+                found = true;
+            }
+        });
+        assert!(found);
+        // i_sum += ... became a ReduceUpdate
+        let mut has_update = false;
+        fn find_update(stmts: &[HStmt], has: &mut bool) {
+            for s in stmts {
+                match s {
+                    HStmt::ReduceUpdate { .. } => *has = true,
+                    HStmt::Loop(l) => find_update(&l.body, has),
+                    HStmt::If { then, els, .. } => {
+                        find_update(then, has);
+                        find_update(els, has);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        find_update(&r.body, &mut has_update);
+        assert!(has_update);
+    }
+
+    #[test]
+    fn rmp_span_autodetected_across_loops() {
+        // Paper Fig. 9: clause on the worker loop, update inside the vector
+        // loop -> span must be worker+vector.
+        let src = r#"
+            int NK; int NJ; int NI;
+            float input[NK][NJ][NI];
+            float temp[NK];
+            #pragma acc parallel copyin(input) copyout(temp)
+            {
+                #pragma acc loop gang
+                for (int k = 0; k < NK; k++) {
+                    int j_sum = k;
+                    #pragma acc loop worker reduction(+:j_sum)
+                    for (int j = 0; j < NJ; j++) {
+                        #pragma acc loop vector
+                        for (int i = 0; i < NI; i++) {
+                            j_sum += input[k][j][i];
+                        }
+                    }
+                    temp[k] = j_sum;
+                }
+            }
+        "#;
+        let p = analyze_src(src).unwrap();
+        let mut spans = Vec::new();
+        visit_loops(&p.regions[0].body, &mut |l| {
+            for r in &l.reductions {
+                spans.push(r.span_levels.clone());
+            }
+        });
+        assert_eq!(spans, vec![vec![Level::Worker, Level::Vector]]);
+    }
+
+    #[test]
+    fn same_loop_multi_level_span() {
+        let src = r#"
+            int N; int s;
+            int a[N];
+            #pragma acc parallel copyin(a)
+            {
+                #pragma acc loop gang worker vector reduction(+:s)
+                for (int i = 0; i < N; i++) {
+                    s += a[i];
+                }
+            }
+        "#;
+        let p = analyze_src(src).unwrap();
+        let mut spans = Vec::new();
+        visit_loops(&p.regions[0].body, &mut |l| {
+            for r in &l.reductions {
+                spans.push(r.span_levels.clone());
+            }
+        });
+        assert_eq!(spans, vec![vec![Level::Gang, Level::Worker, Level::Vector]]);
+        // s is a host scalar written back
+        assert_eq!(p.regions[0].hosts_written, vec![p.host_index("s").unwrap()]);
+    }
+
+    #[test]
+    fn max_reduction_via_fmax() {
+        let src = r#"
+            int N; double err;
+            double a[N]; double b[N];
+            #pragma acc parallel copyin(a, b)
+            {
+                #pragma acc loop gang vector reduction(max:err)
+                for (int i = 0; i < N; i++) {
+                    err = fmax(err, fabs(a[i] - b[i]));
+                }
+            }
+        "#;
+        let p = analyze_src(src).unwrap();
+        let mut ops = Vec::new();
+        visit_loops(&p.regions[0].body, &mut |l| {
+            for r in &l.reductions {
+                ops.push(r.op);
+            }
+        });
+        assert_eq!(ops, vec![RedOp::Max]);
+    }
+
+    #[test]
+    fn mismatched_update_operator_rejected() {
+        let src = r#"
+            int N; int s;
+            int a[N];
+            #pragma acc parallel copyin(a)
+            {
+                #pragma acc loop gang reduction(+:s)
+                for (int i = 0; i < N; i++) {
+                    s *= a[i];
+                }
+            }
+        "#;
+        let err = analyze_src(src).unwrap_err();
+        assert!(err.message.contains("clause declares"), "{}", err.message);
+    }
+
+    #[test]
+    fn subtraction_update_rejected() {
+        let src = r#"
+            int N; int s;
+            #pragma acc parallel
+            {
+                #pragma acc loop gang reduction(+:s)
+                for (int i = 0; i < N; i++) { s -= 1; }
+            }
+        "#;
+        assert!(analyze_src(src).is_err());
+    }
+
+    #[test]
+    fn nesting_order_enforced() {
+        let src = r#"
+            int N;
+            float a[N];
+            #pragma acc parallel copyin(a)
+            {
+                #pragma acc loop vector
+                for (int i = 0; i < N; i++) {
+                    #pragma acc loop gang
+                    for (int j = 0; j < N; j++) {
+                        a[j] = 0.0;
+                    }
+                }
+            }
+        "#;
+        let err = analyze_src(src).unwrap_err();
+        assert!(err.message.contains("nested"), "{}", err.message);
+    }
+
+    #[test]
+    fn implied_copy_binding_created() {
+        let src = r#"
+            int N;
+            float a[N];
+            #pragma acc parallel
+            {
+                #pragma acc loop gang
+                for (int i = 0; i < N; i++) { a[i] = 1.0; }
+            }
+        "#;
+        let p = analyze_src(src).unwrap();
+        let d = &p.regions[0].data;
+        assert_eq!(d.len(), 1);
+        assert!(d[0].implied);
+        assert_eq!(d[0].dir, DataDir::Copy);
+    }
+
+    #[test]
+    fn type_errors_detected() {
+        // float loop bound
+        assert!(analyze_src(
+            "int N; float s;\n#pragma acc parallel\n{\n#pragma acc loop gang reduction(+:s)\nfor (int i = 0; i < 1.5; i++) { s += 1.0; } }"
+        )
+        .is_err());
+        // modulo on float
+        assert!(analyze_src(
+            "int N; float s; float a[N];\n#pragma acc parallel copyin(a)\n{\n#pragma acc loop gang reduction(+:s)\nfor (int i = 0; i < N; i++) { s += a[i] % 2.0; } }"
+        )
+        .is_err());
+        // wrong index count
+        assert!(analyze_src(
+            "int N; float s; float a[N][N];\n#pragma acc parallel copyin(a)\n{\n#pragma acc loop gang reduction(+:s)\nfor (int i = 0; i < N; i++) { s += a[i]; } }"
+        )
+        .is_err());
+        // unknown function
+        assert!(analyze_src(
+            "int N; float s;\n#pragma acc parallel\n{\n#pragma acc loop gang reduction(+:s)\nfor (int i = 0; i < N; i++) { s += rand(); } }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn host_assigns_ordered() {
+        let src = r#"
+            int N = 4;
+            int s;
+            s = 0;
+            int a[N];
+            #pragma acc parallel copyin(a)
+            {
+                #pragma acc loop gang reduction(+:s)
+                for (int i = 0; i < N; i++) { s += a[i]; }
+            }
+        "#;
+        let p = analyze_src(src).unwrap();
+        assert_eq!(p.host_assigns.len(), 2);
+        assert_eq!(p.host_assigns[0].host, p.host_index("N").unwrap());
+        assert_eq!(p.host_assigns[1].host, p.host_index("s").unwrap());
+    }
+
+    #[test]
+    fn duplicate_reduction_clause_rejected() {
+        let src = r#"
+            int N; int s;
+            #pragma acc parallel
+            {
+                #pragma acc loop gang reduction(+:s)
+                for (int i = 0; i < N; i++) {
+                    #pragma acc loop vector reduction(+:s)
+                    for (int j = 0; j < N; j++) { s += 1; }
+                }
+            }
+        "#;
+        let err = analyze_src(src).unwrap_err();
+        assert!(
+            err.message.contains("already has a reduction"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn reduction_on_parallel_construct_attaches_to_gang_loop() {
+        let src = r#"
+            int N; int s;
+            #pragma acc parallel reduction(+:s)
+            {
+                #pragma acc loop gang
+                for (int i = 0; i < N; i++) { s += 1; }
+            }
+        "#;
+        let p = analyze_src(src).unwrap();
+        let mut found = Vec::new();
+        visit_loops(&p.regions[0].body, &mut |l| {
+            for r in &l.reductions {
+                found.push((r.op, r.span_levels.clone()));
+            }
+        });
+        assert_eq!(found, vec![(RedOp::Add, vec![Level::Gang])]);
+    }
+
+    #[test]
+    fn downward_loop_canonicalized() {
+        let src = r#"
+            int N; int s;
+            #pragma acc parallel
+            {
+                #pragma acc loop gang reduction(+:s)
+                for (int i = N; i > 0; i--) { s += i; }
+            }
+        "#;
+        let p = analyze_src(src).unwrap();
+        visit_loops(&p.regions[0].body, &mut |l| {
+            assert_eq!(l.cmp, BinOpKind::Gt);
+            assert_eq!(l.step.const_int(), Some(-1));
+        });
+    }
+
+    #[test]
+    fn seq_loop_reduction_has_empty_extra_span() {
+        // reduction clause on a seq loop inside a gang loop: purely
+        // sequential accumulation per thread.
+        let src = r#"
+            int N; int M;
+            float A[N][M];
+            float out[N];
+            #pragma acc parallel copyin(A) copyout(out)
+            {
+                #pragma acc loop gang
+                for (int i = 0; i < N; i++) {
+                    float c = 0.0;
+                    #pragma acc loop seq reduction(+:c)
+                    for (int k = 0; k < M; k++) {
+                        c += A[i][k];
+                    }
+                    out[i] = c;
+                }
+            }
+        "#;
+        let p = analyze_src(src).unwrap();
+        let mut spans = Vec::new();
+        visit_loops(&p.regions[0].body, &mut |l| {
+            for r in &l.reductions {
+                spans.push(r.span_levels.clone());
+            }
+        });
+        assert_eq!(spans, vec![Vec::<Level>::new()]);
+    }
+}
+
+#[cfg(test)]
+mod collapse_tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn analyze_src(src: &str) -> Result<AnalyzedProgram, Diag> {
+        analyze(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn collapse_fuses_rectangular_nest() {
+        let src = r#"
+            int NI; int NJ; int s;
+            int a[NI][NJ];
+            #pragma acc parallel copyin(a)
+            {
+                #pragma acc loop gang vector collapse(2) reduction(+:s)
+                for (int i = 0; i < NI; i++) {
+                    for (int j = 0; j < NJ; j++) {
+                        s += a[i][j];
+                    }
+                }
+            }
+        "#;
+        let p = analyze_src(src).unwrap();
+        let mut found = 0;
+        visit_loops(&p.regions[0].body, &mut |l| {
+            found += 1;
+            assert_eq!(l.sched, vec![Level::Gang, Level::Vector]);
+            assert_eq!(l.cmp, BinOpKind::Lt);
+            assert_eq!(l.lower.const_int(), Some(0));
+        });
+        // The nest fused into exactly one loop.
+        assert_eq!(found, 1);
+    }
+
+    #[test]
+    fn collapse_requires_perfect_nest() {
+        let src = r#"
+            int NI; int NJ; int s;
+            #pragma acc parallel
+            {
+                #pragma acc loop gang collapse(2) reduction(+:s)
+                for (int i = 0; i < NI; i++) {
+                    s += 1;
+                    for (int j = 0; j < NJ; j++) { s += 1; }
+                }
+            }
+        "#;
+        let err = analyze_src(src).unwrap_err();
+        assert!(err.message.contains("perfectly nested"), "{}", err.message);
+    }
+
+    #[test]
+    fn collapse_rejects_non_rectangular() {
+        let src = r#"
+            int NI; int s;
+            #pragma acc parallel
+            {
+                #pragma acc loop gang collapse(2) reduction(+:s)
+                for (int i = 0; i < NI; i++) {
+                    for (int j = 0; j < i; j++) { s += 1; }
+                }
+            }
+        "#;
+        let err = analyze_src(src).unwrap_err();
+        assert!(err.message.contains("collapse"), "{}", err.message);
+    }
+
+    #[test]
+    fn collapse_rejects_inner_directives_and_big_steps() {
+        let src = r#"
+            int NI; int NJ; int s;
+            #pragma acc parallel
+            {
+                #pragma acc loop gang collapse(2) reduction(+:s)
+                for (int i = 0; i < NI; i++) {
+                    #pragma acc loop vector
+                    for (int j = 0; j < NJ; j++) { s += 1; }
+                }
+            }
+        "#;
+        assert!(analyze_src(src).unwrap_err().message.contains("directives"));
+        let src = r#"
+            int NI; int NJ; int s;
+            #pragma acc parallel
+            {
+                #pragma acc loop gang collapse(2) reduction(+:s)
+                for (int i = 0; i < NI; i += 2) {
+                    for (int j = 0; j < NJ; j++) { s += 1; }
+                }
+            }
+        "#;
+        assert!(analyze_src(src)
+            .unwrap_err()
+            .message
+            .contains("steps of +1 or -1"));
+    }
+}

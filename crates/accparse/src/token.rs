@@ -1,0 +1,348 @@
+//! Lexer for the mini-C + `#pragma acc` input dialect.
+//!
+//! The lexer is line-aware only for pragmas: a `#pragma` introduces a
+//! directive that extends to the end of the (possibly `\`-continued) line
+//! and is emitted as a [`Tok::PragmaStart`] token followed by the pragma's
+//! word/punctuation tokens and a [`Tok::PragmaEnd`].
+
+use crate::diag::{Diag, Span};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating literal.
+    FloatLit(f64),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// Start of a `#pragma` directive; payload is the first word (e.g. "acc").
+    PragmaStart,
+    /// End of a `#pragma` directive (end of line).
+    PragmaEnd,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A token paired with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+/// All multi-character punctuation, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=", "++", "--", "->", "+", "-", "*", "/", "%", "<", ">", "=", "!", "&",
+    "|", "^", "~", "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+];
+
+/// Tokenize `src` into a vector of spanned tokens ending with [`Tok::Eof`].
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, Diag> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let n = bytes.len();
+    let mut in_pragma = false;
+
+    while i < n {
+        let c = bytes[i];
+        // Pragma end at newline.
+        if in_pragma && c == b'\n' {
+            // Line continuation?
+            toks.push(SpannedTok {
+                tok: Tok::PragmaEnd,
+                span: Span::at(i),
+            });
+            in_pragma = false;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+            while i < n && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+            let start = i;
+            i += 2;
+            loop {
+                if i + 1 >= n {
+                    return Err(Diag::new("unterminated block comment", Span::at(start)));
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        // Pragma line continuation inside a pragma: `\` at end of line.
+        if in_pragma && c == b'\\' {
+            let mut j = i + 1;
+            while j < n && (bytes[j] == b' ' || bytes[j] == b'\r' || bytes[j] == b'\t') {
+                j += 1;
+            }
+            if j < n && bytes[j] == b'\n' {
+                i = j + 1;
+                continue;
+            }
+        }
+        // Pragma start.
+        if c == b'#' {
+            let start = i;
+            i += 1;
+            while i < n && bytes[i].is_ascii_whitespace() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            let ws = i;
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &src[ws..i];
+            if word != "pragma" {
+                return Err(Diag::new(
+                    format!("unsupported preprocessor directive `#{word}`"),
+                    Span::at(start),
+                ));
+            }
+            toks.push(SpannedTok {
+                tok: Tok::PragmaStart,
+                span: Span::new(start, i),
+            });
+            in_pragma = true;
+            continue;
+        }
+        // Identifier.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            toks.push(SpannedTok {
+                tok: Tok::Ident(src[start..i].to_string()),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() || (c == b'.' && i + 1 < n && bytes[i + 1].is_ascii_digit()) {
+            let start = i;
+            let mut is_float = false;
+            while i < n && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < n && bytes[i] == b'.' {
+                is_float = true;
+                i += 1;
+                while i < n && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < n && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let mut j = i + 1;
+                if j < n && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < n && bytes[j].is_ascii_digit() {
+                    is_float = true;
+                    i = j;
+                    while i < n && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            // Suffixes: f/F (float), l/L/u/U (integer) — consumed, type noted.
+            let mut float_suffix = false;
+            while i < n && matches!(bytes[i], b'f' | b'F' | b'l' | b'L' | b'u' | b'U') {
+                if bytes[i] == b'f' || bytes[i] == b'F' {
+                    float_suffix = true;
+                }
+                i += 1;
+            }
+            let text: String = src[start..i]
+                .chars()
+                .filter(|c| !"fFlLuU".contains(*c))
+                .collect();
+            let span = Span::new(start, i);
+            if is_float || float_suffix {
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| Diag::new(format!("bad float literal `{text}`"), span))?;
+                toks.push(SpannedTok {
+                    tok: Tok::FloatLit(v),
+                    span,
+                });
+            } else {
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| Diag::new(format!("bad integer literal `{text}`"), span))?;
+                toks.push(SpannedTok {
+                    tok: Tok::IntLit(v),
+                    span,
+                });
+            }
+            continue;
+        }
+        // Punctuation (maximal munch).
+        let rest = &src[i..];
+        let mut matched = None;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                matched = Some(*p);
+                break;
+            }
+        }
+        match matched {
+            Some(p) => {
+                toks.push(SpannedTok {
+                    tok: Tok::Punct(p),
+                    span: Span::new(i, i + p.len()),
+                });
+                i += p.len();
+            }
+            None => {
+                return Err(Diag::new(
+                    format!(
+                        "unexpected character `{}`",
+                        &src[i..].chars().next().unwrap()
+                    ),
+                    Span::at(i),
+                ));
+            }
+        }
+    }
+    if in_pragma {
+        toks.push(SpannedTok {
+            tok: Tok::PragmaEnd,
+            span: Span::at(n),
+        });
+    }
+    toks.push(SpannedTok {
+        tok: Tok::Eof,
+        span: Span::at(n),
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_idents_numbers_puncts() {
+        let t = kinds("int x = 42 + y2_;");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::IntLit(42),
+                Tok::Punct("+"),
+                Tok::Ident("y2_".into()),
+                Tok::Punct(";"),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_floats() {
+        assert_eq!(kinds("1.5")[0], Tok::FloatLit(1.5));
+        assert_eq!(kinds("2e3")[0], Tok::FloatLit(2000.0));
+        assert_eq!(kinds("1.0f")[0], Tok::FloatLit(1.0));
+        assert_eq!(kinds(".25")[0], Tok::FloatLit(0.25));
+        assert_eq!(kinds("3")[0], Tok::IntLit(3));
+        assert_eq!(kinds("3L")[0], Tok::IntLit(3));
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        let t = kinds("a<<=b<<c<=d");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("<<"),
+                Tok::Ident("c".into()),
+                Tok::Punct("<="),
+                Tok::Ident("d".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = kinds("a // comment\n b /* multi\nline */ c");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn pragma_tokens_bracketed() {
+        let t = kinds("#pragma acc loop gang\nx;");
+        assert_eq!(t[0], Tok::PragmaStart);
+        assert_eq!(t[1], Tok::Ident("acc".into()));
+        assert_eq!(t[2], Tok::Ident("loop".into()));
+        assert_eq!(t[3], Tok::Ident("gang".into()));
+        assert_eq!(t[4], Tok::PragmaEnd);
+        assert_eq!(t[5], Tok::Ident("x".into()));
+    }
+
+    #[test]
+    fn pragma_line_continuation() {
+        let t = kinds("#pragma acc parallel \\\n  copyin(a)\nx;");
+        let end_pos = t.iter().position(|k| *k == Tok::PragmaEnd).unwrap();
+        // copyin tokens are inside the pragma
+        assert!(t[..end_pos].contains(&Tok::Ident("copyin".into())));
+        assert_eq!(t[end_pos + 1], Tok::Ident("x".into()));
+    }
+
+    #[test]
+    fn pragma_at_eof_closes() {
+        let t = kinds("#pragma acc loop vector");
+        assert_eq!(t[t.len() - 2], Tok::PragmaEnd);
+    }
+
+    #[test]
+    fn errors_on_bad_directive_and_char() {
+        assert!(lex("#include <x>").is_err());
+        assert!(lex("a @ b").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

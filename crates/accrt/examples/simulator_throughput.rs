@@ -1,0 +1,51 @@
+//! Host-side throughput microbenchmark: how many simulated lane
+//! instructions per second the interpreter sustains on this machine
+//! (useful when choosing testsuite sizes).
+//!
+//! Run with: `cargo run --release -p accrt --example simulator_throughput`
+
+use accrt::{AccRunner, HostBuffer};
+use gpsim::Device;
+use std::time::Instant;
+use uhacc_core::{CompilerOptions, LaunchDims};
+
+fn main() {
+    let src = r#"
+        int N; long sum;
+        int a[N];
+        sum = 0;
+        #pragma acc parallel copyin(a)
+        {
+            #pragma acc loop gang worker vector reduction(+:sum)
+            for (int i = 0; i < N; i++) {
+                sum += a[i];
+            }
+        }
+    "#;
+    for n in [1usize << 17, 1 << 20] {
+        let t0 = Instant::now();
+        let mut r = AccRunner::with_options(
+            src,
+            CompilerOptions::openuh(),
+            LaunchDims::paper(),
+            Device::default(),
+        )
+        .unwrap();
+        r.bind_int("N", n as i64).unwrap();
+        let a: Vec<i32> = (0..n).map(|x| (x % 3) as i32).collect();
+        r.bind_array("a", HostBuffer::from_i32(&a)).unwrap();
+        r.run().unwrap();
+        let dt = t0.elapsed();
+        let st = r.device().stats();
+        println!(
+            "n={n:>8}  host {dt:>12.3?}  lane-insts {:>9}  sim {:>7.3} ms  -> {:>6.1}M lane-insts/s",
+            st.totals.lane_insts,
+            r.elapsed_ms(),
+            st.totals.lane_insts as f64 / dt.as_secs_f64() / 1e6
+        );
+        assert_eq!(
+            r.scalar("sum").unwrap().as_i64(),
+            a.iter().map(|&v| v as i64).sum::<i64>()
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Runtime error type.
+
+use accparse::diag::Diag;
+use gpsim::SimError;
+use std::fmt;
+
+/// Errors from the OpenACC runtime: front-end/compiler diagnostics,
+/// simulated device faults, or host binding problems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccError {
+    /// Parse/semantic/codegen diagnostic.
+    Compile(Diag),
+    /// Simulated device error.
+    Device(SimError),
+    /// Host-side binding problem (missing scalar, size mismatch, ...).
+    Binding(String),
+}
+
+impl fmt::Display for AccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccError::Compile(d) => write!(f, "compile error: {d}"),
+            AccError::Device(e) => write!(f, "device error: {e}"),
+            AccError::Binding(m) => write!(f, "binding error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AccError {}
+
+impl From<Diag> for AccError {
+    fn from(d: Diag) -> Self {
+        AccError::Compile(d)
+    }
+}
+
+impl From<SimError> for AccError {
+    fn from(e: SimError) -> Self {
+        AccError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accparse::diag::Span;
+
+    #[test]
+    fn display_and_from() {
+        let e: AccError = Diag::new("bad", Span::at(0)).into();
+        assert!(e.to_string().contains("compile error"));
+        let e: AccError = SimError::DivisionByZero.into();
+        assert!(e.to_string().contains("device error"));
+        let e = AccError::Binding("missing `N`".into());
+        assert!(e.to_string().contains("missing `N`"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # accrt — the OpenACC-style runtime
+//!
+//! Executes programs compiled by [`uhacc_core`] on the [`gpsim`] simulated
+//! device: host data environment (scalar and array bindings), data-clause
+//! transfers, kernel launches, second-pass reduction kernels, and
+//! gang-reduction result folds.
+//!
+//! ```
+//! use accrt::{AccRunner, HostBuffer};
+//! use gpsim::Value;
+//!
+//! let src = r#"
+//!     int N; int s;
+//!     int a[N];
+//!     s = 0;
+//!     #pragma acc parallel copyin(a) num_gangs(4) vector_length(32)
+//!     {
+//!         #pragma acc loop gang vector reduction(+:s)
+//!         for (int i = 0; i < N; i++) { s += a[i]; }
+//!     }
+//! "#;
+//! let mut r = AccRunner::new(src).unwrap();
+//! r.bind_int("N", 100).unwrap();
+//! r.bind_array("a", HostBuffer::from_i32(&vec![1; 100])).unwrap();
+//! r.run().unwrap();
+//! assert_eq!(r.scalar("s").unwrap(), Value::I32(100));
+//! ```
+
+pub mod error;
+pub mod hostbuf;
+pub mod hosteval;
+pub mod runner;
+
+pub use error::AccError;
+pub use hostbuf::HostBuffer;
+pub use hosteval::{eval_host_expr, eval_host_extent};
+pub use runner::AccRunner;

@@ -1,0 +1,636 @@
+//! The OpenACC program runner: owns the device, the host data
+//! environment, and the compiled-region cache, and executes regions
+//! (transfers, main kernel, finalize kernels, result folds) the way the
+//! OpenUH runtime drives CUDA.
+
+use crate::error::AccError;
+use crate::hostbuf::HostBuffer;
+use crate::hosteval::{eval_host_expr, eval_host_extent};
+use accparse::ast::DataDir;
+use accparse::hir::AnalyzedProgram;
+use gpsim::{BufferHandle, Device, LaunchConfig, Value};
+use std::collections::HashMap;
+use uhacc_core::plan::{CompiledRegion, ParamSpec};
+use uhacc_core::types::{apply_host, machine_ty};
+use uhacc_core::{CompilerOptions, LaunchDims};
+
+/// Cached device-side state for one compiled region.
+struct RegionInstance {
+    compiled: CompiledRegion,
+    temp_buffers: Vec<BufferHandle>,
+}
+
+/// The runner: program + device + data environment.
+pub struct AccRunner {
+    prog: AnalyzedProgram,
+    device: Device,
+    opts: CompilerOptions,
+    default_dims: LaunchDims,
+    scalars: Vec<Value>,
+    scalar_bound: Vec<bool>,
+    arrays: Vec<Option<HostBuffer>>,
+    dev_arrays: Vec<Option<(BufferHandle, u64)>>,
+    /// Residency reference counts: arrays entered via [`AccRunner::enter_data`]
+    /// or an enclosing `#pragma acc data` scope. While positive, per-region
+    /// `copyin`/`copyout` clauses become `present` (no transfers).
+    resident: Vec<u32>,
+    instances: HashMap<(usize, u32, u32, u32), RegionInstance>,
+    host_assigns_done: bool,
+}
+
+impl AccRunner {
+    /// Parse, analyze and prepare `src` with default options (OpenUH
+    /// strategies, paper launch dims scaled to the source's needs) on a
+    /// default device.
+    pub fn new(src: &str) -> Result<Self, AccError> {
+        Self::with_options(
+            src,
+            CompilerOptions::openuh(),
+            LaunchDims::paper(),
+            Device::default(),
+        )
+    }
+
+    /// Full-control constructor.
+    pub fn with_options(
+        src: &str,
+        opts: CompilerOptions,
+        default_dims: LaunchDims,
+        device: Device,
+    ) -> Result<Self, AccError> {
+        let prog = accparse::compile(src)?;
+        Ok(Self::from_hir(prog, opts, default_dims, device))
+    }
+
+    /// Build from an already-analyzed program.
+    pub fn from_hir(
+        prog: AnalyzedProgram,
+        opts: CompilerOptions,
+        default_dims: LaunchDims,
+        device: Device,
+    ) -> Self {
+        let n_scalars = prog.hosts.len();
+        let n_arrays = prog.arrays.len();
+        AccRunner {
+            prog,
+            device,
+            opts,
+            default_dims,
+            scalars: vec![Value::I32(0); n_scalars],
+            scalar_bound: vec![false; n_scalars],
+            arrays: (0..n_arrays).map(|_| None).collect(),
+            dev_arrays: vec![None; n_arrays],
+            resident: vec![0; n_arrays],
+            instances: HashMap::new(),
+            host_assigns_done: false,
+        }
+    }
+
+    /// The analyzed program.
+    pub fn program(&self) -> &AnalyzedProgram {
+        &self.prog
+    }
+
+    /// The simulated device (stats, cost model, ...).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Mutable device access (cost-model calibration in experiments).
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
+    }
+
+    /// Modelled milliseconds elapsed on the device so far.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.device.elapsed_ms()
+    }
+
+    /// Reset device timing/statistics (keeps data).
+    pub fn reset_stats(&mut self) {
+        self.device.reset_stats();
+    }
+
+    fn host_index(&self, name: &str) -> Result<usize, AccError> {
+        self.prog
+            .host_index(name)
+            .ok_or_else(|| AccError::Binding(format!("no host scalar named `{name}`")))
+    }
+
+    fn array_index(&self, name: &str) -> Result<usize, AccError> {
+        self.prog
+            .array_index(name)
+            .ok_or_else(|| AccError::Binding(format!("no array named `{name}`")))
+    }
+
+    /// Bind a host scalar by name.
+    pub fn bind_scalar(&mut self, name: &str, v: Value) -> Result<(), AccError> {
+        let i = self.host_index(name)?;
+        let ty = machine_ty(self.prog.hosts[i].ty);
+        self.scalars[i] = v.convert(ty);
+        self.scalar_bound[i] = true;
+        Ok(())
+    }
+
+    /// Bind an integer host scalar by name.
+    pub fn bind_int(&mut self, name: &str, v: i64) -> Result<(), AccError> {
+        self.bind_scalar(name, Value::I64(v))
+    }
+
+    /// Bind a float host scalar by name.
+    pub fn bind_float(&mut self, name: &str, v: f64) -> Result<(), AccError> {
+        self.bind_scalar(name, Value::F64(v))
+    }
+
+    /// Read a host scalar's current value.
+    pub fn scalar(&self, name: &str) -> Result<Value, AccError> {
+        Ok(self.scalars[self.host_index(name)?])
+    }
+
+    /// Bind a host array by name. The element type must match the
+    /// declaration; the length is validated at region launch against the
+    /// declared dimensions.
+    pub fn bind_array(&mut self, name: &str, buf: HostBuffer) -> Result<(), AccError> {
+        let i = self.array_index(name)?;
+        let want = self.prog.arrays[i].ty;
+        if buf.ty() != want {
+            return Err(AccError::Binding(format!(
+                "array `{name}` is declared {want} but the binding is {}",
+                buf.ty()
+            )));
+        }
+        self.arrays[i] = Some(buf);
+        Ok(())
+    }
+
+    /// Borrow a bound host array.
+    pub fn array(&self, name: &str) -> Result<&HostBuffer, AccError> {
+        let i = self.array_index(name)?;
+        self.arrays[i]
+            .as_ref()
+            .ok_or_else(|| AccError::Binding(format!("array `{name}` is not bound")))
+    }
+
+    /// Mutably borrow a bound host array.
+    pub fn array_mut(&mut self, name: &str) -> Result<&mut HostBuffer, AccError> {
+        let i = self.array_index(name)?;
+        self.arrays[i]
+            .as_mut()
+            .ok_or_else(|| AccError::Binding(format!("array `{name}` is not bound")))
+    }
+
+    /// Swap two arrays' host and device bindings (the classic stencil
+    /// double-buffer swap; both arrays must have identical shape/type).
+    pub fn swap_arrays(&mut self, a: &str, b: &str) -> Result<(), AccError> {
+        let ia = self.array_index(a)?;
+        let ib = self.array_index(b)?;
+        if self.prog.arrays[ia].ty != self.prog.arrays[ib].ty
+            || self.prog.arrays[ia].dims.len() != self.prog.arrays[ib].dims.len()
+        {
+            return Err(AccError::Binding(format!(
+                "arrays `{a}` and `{b}` are not compatible"
+            )));
+        }
+        self.arrays.swap(ia, ib);
+        self.dev_arrays.swap(ia, ib);
+        self.resident.swap(ia, ib);
+        Ok(())
+    }
+
+    /// Ensure a device buffer of the declared size exists for array `i`.
+    fn ensure_device_array(&mut self, i: usize) -> Result<(BufferHandle, u64), AccError> {
+        let decl = self.prog.arrays[i].clone();
+        let mut elems = 1u64;
+        for d in &decl.dims {
+            elems *= eval_host_extent(d, &self.scalars, &format!("dimension of `{}`", decl.name))?;
+        }
+        let realloc = match self.dev_arrays[i] {
+            Some((_, have)) => have != elems,
+            None => true,
+        };
+        if realloc {
+            let h = self
+                .device
+                .alloc(elems * machine_ty(decl.ty).size() as u64)?;
+            self.dev_arrays[i] = Some((h, elems));
+        }
+        Ok(self.dev_arrays[i].unwrap())
+    }
+
+    /// Enter a structured-data binding: allocate, optionally upload, and
+    /// bump the residency refcount (transfers only on the 0 -> 1 edge,
+    /// OpenACC `present_or_*` semantics).
+    fn enter_binding(&mut self, i: usize, dir: DataDir) -> Result<(), AccError> {
+        if self.resident[i] == 0 {
+            if dir == DataDir::Present && self.dev_arrays[i].is_none() {
+                return Err(AccError::Binding(format!(
+                    "array `{}` marked present but not on the device",
+                    self.prog.arrays[i].name
+                )));
+            }
+            let (handle, elems) = self.ensure_device_array(i)?;
+            if matches!(dir, DataDir::CopyIn | DataDir::Copy) {
+                let host = self.arrays[i].as_ref().ok_or_else(|| {
+                    AccError::Binding(format!("array `{}` is not bound", self.prog.arrays[i].name))
+                })?;
+                if host.len() as u64 != elems {
+                    return Err(AccError::Binding(format!(
+                        "array `{}` declared with {elems} element(s) but bound with {}",
+                        self.prog.arrays[i].name,
+                        host.len()
+                    )));
+                }
+                let bytes = host.bytes().to_vec();
+                self.device.memcpy_h2d(handle, &bytes)?;
+            }
+        }
+        self.resident[i] += 1;
+        Ok(())
+    }
+
+    /// Exit a structured-data binding: drop the refcount and download on
+    /// the 1 -> 0 edge for `copyout`/`copy`.
+    fn exit_binding(&mut self, i: usize, dir: DataDir) -> Result<(), AccError> {
+        debug_assert!(self.resident[i] > 0, "unbalanced data scope exit");
+        self.resident[i] = self.resident[i].saturating_sub(1);
+        if self.resident[i] == 0 && matches!(dir, DataDir::CopyOut | DataDir::Copy) {
+            self.download_array(i)?;
+        }
+        Ok(())
+    }
+
+    fn download_array(&mut self, i: usize) -> Result<(), AccError> {
+        let (handle, elems) = self.dev_arrays[i].ok_or_else(|| {
+            AccError::Binding(format!(
+                "array `{}` has no device buffer",
+                self.prog.arrays[i].name
+            ))
+        })?;
+        let decl_ty = self.prog.arrays[i].ty;
+        if self.arrays[i].is_none() {
+            self.arrays[i] = Some(HostBuffer::new(decl_ty, elems as usize));
+        }
+        let host = self.arrays[i].as_mut().unwrap();
+        let mut bytes = vec![0u8; host.bytes().len()];
+        self.device.memcpy_d2h(handle, &mut bytes)?;
+        host.bytes_mut().copy_from_slice(&bytes);
+        Ok(())
+    }
+
+    /// Allocate + upload `name` and keep it device-resident (the OpenACC
+    /// 2.0 `enter data copyin` runtime behaviour the paper's §2.1 refers
+    /// to): subsequent regions skip its transfers until
+    /// [`AccRunner::exit_data`].
+    pub fn enter_data(&mut self, name: &str) -> Result<(), AccError> {
+        self.run_host_assigns()?;
+        let i = self.array_index(name)?;
+        self.enter_binding(i, DataDir::Copy)
+    }
+
+    /// Download `name` from the device and end its residency (the OpenACC
+    /// 2.0 `exit data copyout` behaviour).
+    pub fn exit_data(&mut self, name: &str) -> Result<(), AccError> {
+        let i = self.array_index(name)?;
+        if self.resident[i] == 0 {
+            return Err(AccError::Binding(format!(
+                "array `{name}` is not device-resident"
+            )));
+        }
+        self.exit_binding(i, DataDir::Copy)
+    }
+
+    /// `#pragma acc update host(name)`: refresh the host copy from the
+    /// device without ending residency.
+    pub fn update_host(&mut self, name: &str) -> Result<(), AccError> {
+        let i = self.array_index(name)?;
+        let (handle, elems) = self.dev_arrays[i]
+            .ok_or_else(|| AccError::Binding(format!("array `{name}` has no device buffer")))?;
+        let decl_ty = self.prog.arrays[i].ty;
+        if self.arrays[i].is_none() {
+            self.arrays[i] = Some(HostBuffer::new(decl_ty, elems as usize));
+        }
+        let host = self.arrays[i].as_mut().unwrap();
+        let mut bytes = vec![0u8; host.bytes().len()];
+        self.device.memcpy_d2h(handle, &mut bytes)?;
+        host.bytes_mut().copy_from_slice(&bytes);
+        Ok(())
+    }
+
+    /// `#pragma acc update device(name)`: push the host copy to the device
+    /// without ending residency.
+    pub fn update_device(&mut self, name: &str) -> Result<(), AccError> {
+        let i = self.array_index(name)?;
+        let (handle, _) = self.dev_arrays[i]
+            .ok_or_else(|| AccError::Binding(format!("array `{name}` has no device buffer")))?;
+        let host = self.arrays[i]
+            .as_ref()
+            .ok_or_else(|| AccError::Binding(format!("array `{name}` is not bound")))?;
+        let bytes = host.bytes().to_vec();
+        self.device.memcpy_h2d(handle, &bytes)?;
+        Ok(())
+    }
+
+    /// Execute the program's host assignments (idempotent; runs once).
+    pub fn run_host_assigns(&mut self) -> Result<(), AccError> {
+        if self.host_assigns_done {
+            return Ok(());
+        }
+        let assigns = self.prog.host_assigns.clone();
+        for ha in &assigns {
+            let v = eval_host_expr(&ha.value, &self.scalars)?;
+            let ty = machine_ty(self.prog.hosts[ha.host].ty);
+            self.scalars[ha.host] = v.convert(ty);
+            self.scalar_bound[ha.host] = true;
+        }
+        self.host_assigns_done = true;
+        Ok(())
+    }
+
+    /// Run the whole program: host assignments, then every region in order,
+    /// entering/exiting structured `acc data` scopes at their boundaries.
+    pub fn run(&mut self) -> Result<(), AccError> {
+        self.run_host_assigns()?;
+        let scopes = self.prog.data_scopes.clone();
+        let n = self.prog.regions.len();
+        for p in 0..=n {
+            // Exits first (scopes ending before region p), innermost first.
+            let mut exiting: Vec<&accparse::hir::DataScope> =
+                scopes.iter().filter(|s| s.end_region == p).collect();
+            exiting.sort_by_key(|s| std::cmp::Reverse(s.first_region));
+            for sc in exiting {
+                for &(a, dir) in &sc.bindings {
+                    self.exit_binding(a, dir)?;
+                }
+            }
+            // Then enters (scopes starting at region p), outermost first.
+            let mut entering: Vec<&accparse::hir::DataScope> = scopes
+                .iter()
+                .filter(|s| s.first_region == p && s.end_region > p)
+                .collect();
+            entering.sort_by_key(|s| std::cmp::Reverse(s.end_region));
+            for sc in entering {
+                for &(a, dir) in &sc.bindings {
+                    self.enter_binding(a, dir)?;
+                }
+            }
+            if p < n {
+                self.run_region(p)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve launch dims for a region from its clauses (falling back to
+    /// the runner defaults; `num_workers` defaults to 1 unless the region
+    /// names worker parallelism).
+    pub fn resolve_dims(&self, region: usize) -> Result<LaunchDims, AccError> {
+        let r = &self.prog.regions[region];
+        let gangs = match &r.num_gangs {
+            Some(e) => eval_host_extent(e, &self.scalars, "num_gangs")? as u32,
+            None => self.default_dims.gangs,
+        };
+        let mut uses_worker = false;
+        let mut uses_vector = false;
+        accparse::hir::visit_loops(&r.body, &mut |l| {
+            for lv in &l.sched {
+                match lv {
+                    accparse::ast::Level::Worker => uses_worker = true,
+                    accparse::ast::Level::Vector => uses_vector = true,
+                    _ => {}
+                }
+            }
+        });
+        let workers = match &r.num_workers {
+            Some(e) => eval_host_extent(e, &self.scalars, "num_workers")? as u32,
+            None => {
+                if uses_worker {
+                    self.default_dims.workers
+                } else {
+                    1
+                }
+            }
+        };
+        let vector = match &r.vector_length {
+            Some(e) => eval_host_extent(e, &self.scalars, "vector_length")? as u32,
+            None => {
+                if uses_vector {
+                    self.default_dims.vector
+                } else {
+                    1
+                }
+            }
+        };
+        Ok(LaunchDims {
+            gangs,
+            workers,
+            vector,
+        })
+    }
+
+    /// Execute one region: compile (cached), move data in, launch the main
+    /// kernel and any finalize kernels, fold gang-reduction results into
+    /// host scalars, read mailbox writebacks, move data out.
+    pub fn run_region(&mut self, region: usize) -> Result<(), AccError> {
+        self.run_host_assigns()?;
+        let dims = self.resolve_dims(region)?;
+
+        // Compile (cached per region+dims).
+        let key = (region, dims.gangs, dims.workers, dims.vector);
+        if !self.instances.contains_key(&key) {
+            let compiled = uhacc_core::compile_region(&self.prog, region, dims, &self.opts)?;
+            let mut temp_buffers = Vec::new();
+            for spec in &compiled.buffers {
+                let h = self
+                    .device
+                    .alloc(spec.elems.max(1) * machine_ty(spec.ty).size() as u64)?;
+                temp_buffers.push(h);
+            }
+            self.instances.insert(
+                key,
+                RegionInstance {
+                    compiled,
+                    temp_buffers,
+                },
+            );
+        }
+
+        // Validate bindings and stage arrays.
+        let data = self.prog.regions[region].data.clone();
+        for db in &data {
+            let decl = self.prog.arrays[db.array].clone();
+            let elems: u64 = {
+                let mut n = 1u64;
+                for d in &decl.dims {
+                    n *= eval_host_extent(
+                        d,
+                        &self.scalars,
+                        &format!("dimension of `{}`", decl.name),
+                    )?;
+                }
+                n
+            };
+            // Ensure a device buffer of the right size exists.
+            let need_bytes = elems * machine_ty(decl.ty).size() as u64;
+            let realloc = match self.dev_arrays[db.array] {
+                Some((_, have)) => have != elems,
+                None => true,
+            };
+            if realloc {
+                if db.dir == DataDir::Present {
+                    return Err(AccError::Binding(format!(
+                        "array `{}` marked present but not on the device",
+                        decl.name
+                    )));
+                }
+                let h = self.device.alloc(need_bytes)?;
+                self.dev_arrays[db.array] = Some((h, elems));
+            }
+            let (handle, _) = self.dev_arrays[db.array].unwrap();
+            let resident = self.resident[db.array] > 0;
+            let needs_in = !resident && matches!(db.dir, DataDir::CopyIn | DataDir::Copy);
+            let needs_host = needs_in || (!resident && matches!(db.dir, DataDir::CopyOut));
+            if needs_host {
+                let host = self.arrays[db.array].as_ref().ok_or_else(|| {
+                    AccError::Binding(format!("array `{}` is not bound", decl.name))
+                })?;
+                if host.len() as u64 != elems {
+                    return Err(AccError::Binding(format!(
+                        "array `{}` declared with {elems} element(s) but bound with {}",
+                        decl.name,
+                        host.len()
+                    )));
+                }
+            }
+            if needs_in {
+                let bytes = self.arrays[db.array].as_ref().unwrap().bytes().to_vec();
+                self.device.memcpy_h2d(handle, &bytes)?;
+            }
+        }
+
+        // Check host scalars used are bound (assignments count as binding).
+        for &h in &self.prog.regions[region].hosts_used {
+            if !self.scalar_bound[h] {
+                return Err(AccError::Binding(format!(
+                    "host scalar `{}` is used by the region but never bound",
+                    self.prog.hosts[h].name
+                )));
+            }
+        }
+
+        // Build parameter list.
+        let inst = &self.instances[&key];
+        let mut params: Vec<Value> = Vec::with_capacity(inst.compiled.params.len());
+        for p in &inst.compiled.params {
+            params.push(match p {
+                ParamSpec::ArrayBase(a) => {
+                    let (h, _) = self.dev_arrays[*a].ok_or_else(|| {
+                        AccError::Binding(format!(
+                            "array `{}` has no device buffer",
+                            self.prog.arrays[*a].name
+                        ))
+                    })?;
+                    Value::U64(h.addr)
+                }
+                ParamSpec::ArrayDim { array, dim } => {
+                    let e = &self.prog.arrays[*array].dims[*dim];
+                    Value::I32(eval_host_extent(e, &self.scalars, "dimension")? as i32)
+                }
+                ParamSpec::HostScalar(h) => self.scalars[*h],
+                ParamSpec::TempBuffer(i) => Value::U64(inst.temp_buffers[*i].addr),
+            });
+        }
+
+        // Initialize accumulator buffers (atomic gang strategy) before
+        // every launch.
+        {
+            let inst = &self.instances[&key];
+            let inits: Vec<(gpsim::BufferHandle, gpsim::Value)> = inst
+                .compiled
+                .buffers
+                .iter()
+                .zip(&inst.temp_buffers)
+                .filter_map(|(spec, h)| spec.init.map(|v| (*h, v)))
+                .collect();
+            for (h, v) in inits {
+                self.device.poke(h.addr, v)?;
+            }
+        }
+
+        // Launch.
+        let cfg = LaunchConfig::gwv(dims.gangs, dims.workers, dims.vector);
+        let main = inst.compiled.main.clone();
+        let finalize: Vec<_> = inst.compiled.finalize.clone();
+        let results = inst.compiled.results.clone();
+        let writebacks = inst.compiled.writebacks.clone();
+        let mailbox = inst.compiled.mailbox;
+        let temp_buffers = inst.temp_buffers.clone();
+
+        self.device.launch(&main, cfg, &params)?;
+        for fp in &finalize {
+            let buf = temp_buffers[fp.buffer];
+            self.device.launch(
+                &fp.kernel,
+                LaunchConfig::d1(1, fp.threads),
+                &[Value::U64(buf.addr), Value::I32(fp.elems as i32)],
+            )?;
+        }
+
+        // Gang-reduction results: fold into host scalars.
+        for rr in &results {
+            let buf = temp_buffers[rr.buffer];
+            let cty = self.prog.hosts[rr.host].ty;
+            let v = self.device.peek(machine_ty(cty), buf.addr)?;
+            let old = self.scalars[rr.host];
+            self.scalars[rr.host] = if rr.fold {
+                apply_host(rr.op, cty, old, v)
+            } else {
+                v.convert(machine_ty(cty))
+            };
+            self.scalar_bound[rr.host] = true;
+        }
+        // Mailbox writebacks.
+        if let Some(mb) = mailbox {
+            let base = temp_buffers[mb].addr;
+            for wb in &writebacks {
+                let cty = self.prog.hosts[wb.host].ty;
+                let v = self.device.peek(machine_ty(cty), base + wb.slot * 8)?;
+                self.scalars[wb.host] = v;
+                self.scalar_bound[wb.host] = true;
+            }
+        }
+
+        // Data out.
+        for db in &data {
+            if self.resident[db.array] > 0 {
+                continue; // device-resident: host copy refreshed at scope exit
+            }
+            if matches!(db.dir, DataDir::CopyOut | DataDir::Copy) {
+                let (handle, elems) = self.dev_arrays[db.array].unwrap();
+                let decl_ty = self.prog.arrays[db.array].ty;
+                if self.arrays[db.array].is_none() {
+                    self.arrays[db.array] = Some(HostBuffer::new(decl_ty, elems as usize));
+                }
+                let host = self.arrays[db.array].as_mut().unwrap();
+                let mut bytes = vec![0u8; host.bytes().len()];
+                self.device.memcpy_d2h(handle, &mut bytes)?;
+                host.bytes_mut().copy_from_slice(&bytes);
+            }
+        }
+        Ok(())
+    }
+
+    /// Read one value from a device-resident array without a full copy-out
+    /// (verification/debug helper).
+    pub fn peek_device_array(&self, name: &str, index: u64) -> Result<Value, AccError> {
+        let i = self.array_index(name)?;
+        let (h, elems) = self.dev_arrays[i]
+            .ok_or_else(|| AccError::Binding(format!("array `{name}` has no device buffer")))?;
+        if index >= elems {
+            return Err(AccError::Binding(format!(
+                "index {index} out of range ({elems})"
+            )));
+        }
+        let ty = machine_ty(self.prog.arrays[i].ty);
+        Ok(self.device.peek(ty, h.addr + index * ty.size() as u64)?)
+    }
+}

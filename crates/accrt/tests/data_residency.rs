@@ -1,0 +1,290 @@
+//! Tests for the OpenACC 2.0-style runtime data management: `enter_data`,
+//! `exit_data`, `update_host`, `update_device`.
+
+use accrt::{AccRunner, HostBuffer};
+use gpsim::Device;
+use uhacc_core::{CompilerOptions, LaunchDims};
+
+const SCALE_SRC: &str = r#"
+    int N;
+    double a[N];
+    #pragma acc parallel copy(a)
+    {
+        #pragma acc loop gang vector
+        for (int i = 0; i < N; i++) {
+            a[i] = a[i] * 2.0;
+        }
+    }
+"#;
+
+fn runner() -> AccRunner {
+    AccRunner::with_options(
+        SCALE_SRC,
+        CompilerOptions::openuh(),
+        LaunchDims {
+            gangs: 4,
+            workers: 1,
+            vector: 64,
+        },
+        Device::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn resident_array_skips_transfers() {
+    let n = 50_000usize;
+    let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+
+    // Without residency: copy in + out every region run.
+    let mut r1 = runner();
+    r1.bind_int("N", n as i64).unwrap();
+    r1.bind_array("a", HostBuffer::from_f64(&data)).unwrap();
+    for _ in 0..4 {
+        r1.run_region(0).unwrap();
+    }
+    let bytes_no_res = r1.device().stats().bytes_h2d + r1.device().stats().bytes_d2h;
+
+    // With residency: one upload, one download.
+    let mut r2 = runner();
+    r2.bind_int("N", n as i64).unwrap();
+    r2.bind_array("a", HostBuffer::from_f64(&data)).unwrap();
+    r2.enter_data("a").unwrap();
+    for _ in 0..4 {
+        r2.run_region(0).unwrap();
+    }
+    r2.exit_data("a").unwrap();
+    let bytes_res = r2.device().stats().bytes_h2d + r2.device().stats().bytes_d2h;
+
+    assert!(
+        bytes_res * 3 < bytes_no_res,
+        "{bytes_res} vs {bytes_no_res}"
+    );
+    // Results identical: x * 2^4.
+    let a1 = r1.array("a").unwrap().to_f64_vec();
+    let a2 = r2.array("a").unwrap().to_f64_vec();
+    assert_eq!(a1, a2);
+    assert_eq!(a2[3], 3.0 * 16.0);
+}
+
+#[test]
+fn update_host_refreshes_without_ending_residency() {
+    let n = 1000usize;
+    let mut r = runner();
+    r.bind_int("N", n as i64).unwrap();
+    r.bind_array("a", HostBuffer::from_f64(&vec![1.0; n]))
+        .unwrap();
+    r.enter_data("a").unwrap();
+    r.run_region(0).unwrap();
+    // Host copy is stale until update_host.
+    assert_eq!(r.array("a").unwrap().get(0).as_f64(), 1.0);
+    r.update_host("a").unwrap();
+    assert_eq!(r.array("a").unwrap().get(0).as_f64(), 2.0);
+    // Still resident: mutate on host, push with update_device, run again.
+    r.array_mut("a").unwrap().set(0, gpsim::Value::F64(10.0));
+    r.update_device("a").unwrap();
+    r.run_region(0).unwrap();
+    r.update_host("a").unwrap();
+    assert_eq!(r.array("a").unwrap().get(0).as_f64(), 20.0);
+}
+
+#[test]
+fn enter_data_requires_binding() {
+    let mut r = runner();
+    r.bind_int("N", 10).unwrap();
+    assert!(r.enter_data("a").is_err());
+    assert!(r.enter_data("nosuch").is_err());
+}
+
+#[test]
+fn present_clause_satisfied_by_residency() {
+    let src = r#"
+        int N; double s;
+        double a[N];
+        s = 0.0;
+        #pragma acc parallel present(a)
+        {
+            #pragma acc loop gang vector reduction(+:s)
+            for (int i = 0; i < N; i++) { s += a[i]; }
+        }
+    "#;
+    let n = 2000usize;
+    let mut r = AccRunner::with_options(
+        src,
+        CompilerOptions::openuh(),
+        LaunchDims {
+            gangs: 4,
+            workers: 1,
+            vector: 64,
+        },
+        Device::default(),
+    )
+    .unwrap();
+    r.bind_int("N", n as i64).unwrap();
+    // Without enter_data the present clause must fail.
+    r.bind_array("a", HostBuffer::from_f64(&vec![0.5; n]))
+        .unwrap();
+    assert!(r.run_region(0).is_err());
+    r.enter_data("a").unwrap();
+    r.run_region(0).unwrap();
+    assert_eq!(r.scalar("s").unwrap().as_f64(), 1000.0);
+}
+
+/// Structured `#pragma acc data` region in the source: arrays stay
+/// device-resident across the enclosed regions, with one upload and one
+/// download at the scope boundaries.
+#[test]
+fn structured_data_region_governs_transfers() {
+    let src = r#"
+        int N;
+        double a[N];
+        double norm2;
+        norm2 = 0.0;
+        #pragma acc data copy(a)
+        {
+            #pragma acc parallel copy(a)
+            {
+                #pragma acc loop gang vector
+                for (int i = 0; i < N; i++) { a[i] = a[i] * 2.0; }
+            }
+            #pragma acc parallel copy(a)
+            {
+                #pragma acc loop gang vector
+                for (int i = 0; i < N; i++) { a[i] = a[i] + 1.0; }
+            }
+            #pragma acc parallel copyin(a)
+            {
+                #pragma acc loop gang vector reduction(+:norm2)
+                for (int i = 0; i < N; i++) { norm2 += a[i] * a[i]; }
+            }
+        }
+    "#;
+    let n = 20_000usize;
+    let data: Vec<f64> = (0..n).map(|i| (i % 10) as f64).collect();
+    let mut r = AccRunner::with_options(
+        src,
+        CompilerOptions::openuh(),
+        LaunchDims {
+            gangs: 4,
+            workers: 1,
+            vector: 64,
+        },
+        Device::default(),
+    )
+    .unwrap();
+    r.bind_int("N", n as i64).unwrap();
+    r.bind_array("a", HostBuffer::from_f64(&data)).unwrap();
+    r.run().unwrap();
+    // One upload + one download of `a` in total.
+    let bytes = n as u64 * 8;
+    assert_eq!(r.device().stats().bytes_h2d, bytes);
+    assert_eq!(r.device().stats().bytes_d2h, bytes);
+    // Results correct.
+    let want: f64 = data.iter().map(|x| (x * 2.0 + 1.0) * (x * 2.0 + 1.0)).sum();
+    assert!((r.scalar("norm2").unwrap().as_f64() - want).abs() < 1e-6 * want);
+    assert_eq!(r.array("a").unwrap().get(1).as_f64(), data[1] * 2.0 + 1.0);
+}
+
+/// Nested data regions: the inner `present` clause is satisfied by the
+/// outer scope; transfers happen only at the outer boundary.
+#[test]
+fn nested_data_regions_refcount() {
+    let src = r#"
+        int N;
+        int a[N];
+        #pragma acc data copy(a)
+        {
+            #pragma acc data present(a)
+            {
+                #pragma acc parallel present(a)
+                {
+                    #pragma acc loop gang vector
+                    for (int i = 0; i < N; i++) { a[i] = a[i] + 5; }
+                }
+            }
+            #pragma acc parallel present(a)
+            {
+                #pragma acc loop gang vector
+                for (int i = 0; i < N; i++) { a[i] = a[i] * 3; }
+            }
+        }
+    "#;
+    let n = 1000usize;
+    let mut r = AccRunner::with_options(
+        src,
+        CompilerOptions::openuh(),
+        LaunchDims {
+            gangs: 2,
+            workers: 1,
+            vector: 32,
+        },
+        Device::default(),
+    )
+    .unwrap();
+    r.bind_int("N", n as i64).unwrap();
+    r.bind_array("a", HostBuffer::from_i32(&vec![1; n]))
+        .unwrap();
+    r.run().unwrap();
+    assert_eq!(r.array("a").unwrap().get(0).as_i64(), (1 + 5) * 3);
+    let bytes = n as u64 * 4;
+    assert_eq!(r.device().stats().bytes_h2d, bytes, "single upload");
+    assert_eq!(r.device().stats().bytes_d2h, bytes, "single download");
+}
+
+/// `create` in a data region allocates without uploading; the first region
+/// fills the array, the second consumes it, and nothing crosses PCIe
+/// until... never (create has no copyout).
+#[test]
+fn create_clause_allocates_only() {
+    let src = r#"
+        int N; long total;
+        int scratch[N];
+        total = 0;
+        #pragma acc data create(scratch)
+        {
+            #pragma acc parallel present(scratch)
+            {
+                #pragma acc loop gang vector
+                for (int i = 0; i < N; i++) { scratch[i] = i; }
+            }
+            #pragma acc parallel present(scratch)
+            {
+                #pragma acc loop gang vector reduction(+:total)
+                for (int i = 0; i < N; i++) { total += scratch[i]; }
+            }
+        }
+    "#;
+    let n = 5000usize;
+    let mut r = AccRunner::with_options(
+        src,
+        CompilerOptions::openuh(),
+        LaunchDims {
+            gangs: 2,
+            workers: 1,
+            vector: 64,
+        },
+        Device::default(),
+    )
+    .unwrap();
+    r.bind_int("N", n as i64).unwrap();
+    r.run().unwrap();
+    assert_eq!(
+        r.scalar("total").unwrap().as_i64(),
+        (n as i64 - 1) * n as i64 / 2
+    );
+    assert_eq!(r.device().stats().bytes_h2d, 0);
+    assert_eq!(r.device().stats().bytes_d2h, 0);
+}
+
+/// Data-region diagnostics: unknown arrays and scalars are rejected.
+#[test]
+fn data_region_diagnostics() {
+    assert!(accparse::compile(
+        "int N;\n#pragma acc data copy(nosuch)\n{\n#pragma acc parallel\n{\n#pragma acc loop gang\nfor (int i = 0; i < N; i++) { }\n}\n}"
+    )
+    .is_err());
+    assert!(accparse::compile(
+        "int N;\n#pragma acc data copy(N)\n{\n#pragma acc parallel\n{\n#pragma acc loop gang\nfor (int i = 0; i < N; i++) { }\n}\n}"
+    )
+    .is_err());
+}

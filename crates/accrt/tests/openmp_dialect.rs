@@ -1,0 +1,136 @@
+//! Tests for the OpenMP 4.0 offload dialect (paper §6): `target teams
+//! distribute [parallel for]` maps teams -> gang and threads -> vector,
+//! with the worker level unused.
+
+use accrt::{AccRunner, HostBuffer};
+use gpsim::Device;
+use uhacc_core::{CompilerOptions, LaunchDims};
+
+#[test]
+fn omp_combined_teams_parallel_for_reduction() {
+    let src = r#"
+        int N; double s;
+        double a[N];
+        s = 1.5;
+        #pragma omp target teams distribute parallel for reduction(+:s) map(to: a) num_teams(8)
+        for (int i = 0; i < N; i++) {
+            s += a[i];
+        }
+    "#;
+    let n = 20_000usize;
+    let mut r = AccRunner::with_options(
+        src,
+        CompilerOptions::openuh(),
+        LaunchDims {
+            gangs: 8,
+            workers: 4,
+            vector: 64,
+        },
+        Device::default(),
+    )
+    .unwrap();
+    r.bind_int("N", n as i64).unwrap();
+    let a: Vec<f64> = (0..n).map(|i| ((i % 100) as f64) * 0.25).collect();
+    r.bind_array("a", HostBuffer::from_f64(&a)).unwrap();
+    r.run().unwrap();
+    let want: f64 = 1.5 + a.iter().sum::<f64>();
+    let got = r.scalar("s").unwrap().as_f64();
+    assert!((got - want).abs() < 1e-9 * want, "{got} vs {want}");
+    // Two-level mapping: the teams clause resolved to 8 gangs and, since no
+    // worker level is named anywhere, the runner launches with workers = 1.
+    let dims = r.resolve_dims(0).unwrap();
+    assert_eq!(dims.gangs, 8);
+    assert_eq!(dims.workers, 1, "the worker level is ignored (paper §6)");
+}
+
+#[test]
+fn omp_teams_distribute_with_inner_parallel_for() {
+    let src = r#"
+        int N; int M;
+        int A[N][M];
+        int rs[N];
+        #pragma omp target teams distribute map(to: A) map(from: rs)
+        for (int i = 0; i < N; i++) {
+            int s = 0;
+            #pragma omp parallel for reduction(+:s)
+            for (int j = 0; j < M; j++) {
+                s += A[i][j];
+            }
+            rs[i] = s;
+        }
+    "#;
+    let (n, m) = (30usize, 500usize);
+    let mut r = AccRunner::with_options(
+        src,
+        CompilerOptions::openuh(),
+        LaunchDims {
+            gangs: 6,
+            workers: 2,
+            vector: 64,
+        },
+        Device::default(),
+    )
+    .unwrap();
+    r.bind_int("N", n as i64).unwrap();
+    r.bind_int("M", m as i64).unwrap();
+    let a: Vec<i32> = (0..n * m).map(|x| (x % 23) as i32 - 11).collect();
+    r.bind_array("A", HostBuffer::from_i32(&a)).unwrap();
+    r.bind_array("rs", HostBuffer::from_i32(&vec![0; n]))
+        .unwrap();
+    r.run().unwrap();
+    let rs = r.array("rs").unwrap();
+    for i in 0..n {
+        let want: i32 = a[i * m..(i + 1) * m].iter().sum();
+        assert_eq!(rs.get(i).as_i64() as i32, want, "i={i}");
+    }
+}
+
+#[test]
+fn omp_collapse_clause() {
+    let src = r#"
+        int N; int M; long s;
+        int A[N][M];
+        s = 0;
+        #pragma omp target teams distribute parallel for collapse(2) reduction(+:s) map(to: A)
+        for (int i = 0; i < N; i++) {
+            for (int j = 0; j < M; j++) {
+                s += A[i][j];
+            }
+        }
+    "#;
+    let (n, m) = (19usize, 31usize);
+    let mut r = AccRunner::with_options(
+        src,
+        CompilerOptions::openuh(),
+        LaunchDims {
+            gangs: 4,
+            workers: 1,
+            vector: 32,
+        },
+        Device::default(),
+    )
+    .unwrap();
+    r.bind_int("N", n as i64).unwrap();
+    r.bind_int("M", m as i64).unwrap();
+    let a: Vec<i32> = (0..n * m).map(|x| (x % 7) as i32 - 3).collect();
+    r.bind_array("A", HostBuffer::from_i32(&a)).unwrap();
+    r.run().unwrap();
+    assert_eq!(
+        r.scalar("s").unwrap().as_i64(),
+        a.iter().map(|&v| v as i64).sum::<i64>()
+    );
+}
+
+#[test]
+fn omp_rejects_unsupported_forms() {
+    // Not the offload form.
+    assert!(
+        accparse::compile("int N;\n#pragma omp parallel for\nfor (int i = 0; i < N; i++) { }")
+            .is_err()
+    );
+    // Unknown clause.
+    assert!(accparse::compile(
+        "int N; int s;\n#pragma omp target teams distribute parallel for bogus(3) reduction(+:s)\nfor (int i = 0; i < N; i++) { s += 1; }"
+    )
+    .is_err());
+}

@@ -1,0 +1,1064 @@
+//! End-to-end tests for every reduction case in the paper (§3.1–§3.3),
+//! run through the full pipeline: parse → analyze → compile → simulate →
+//! verify against host-computed expectations.
+
+use accrt::{AccRunner, HostBuffer};
+use gpsim::Device;
+use uhacc_core::{
+    CombineSpace, CompilerOptions, LaunchDims, Schedule, TreeStyle, VectorLayout, WorkerStrategy,
+};
+
+fn small_dims() -> LaunchDims {
+    LaunchDims {
+        gangs: 4,
+        workers: 4,
+        vector: 64,
+    }
+}
+
+fn runner(src: &str, opts: CompilerOptions, dims: LaunchDims) -> AccRunner {
+    AccRunner::with_options(src, opts, dims, Device::default()).expect("compile")
+}
+
+/// Paper Fig. 4(a): reduction only in vector. The worker loop has a ragged
+/// trip count (NJ=2 < workers), exercising the padded uniform-trip form.
+const VECTOR_ONLY: &str = r#"
+    int NK; int NJ; int NI;
+    int input[NK][NJ][NI];
+    int temp[NK][NJ][NI];
+    #pragma acc parallel copyin(input) copyout(temp)
+    {
+        #pragma acc loop gang
+        for (int k = 0; k < NK; k++) {
+            #pragma acc loop worker
+            for (int j = 0; j < NJ; j++) {
+                int i_sum = j;
+                #pragma acc loop vector reduction(+:i_sum)
+                for (int i = 0; i < NI; i++) {
+                    i_sum += input[k][j][i];
+                }
+                temp[k][j][0] = i_sum;
+            }
+        }
+    }
+"#;
+
+fn check_vector_only(opts: CompilerOptions, dims: LaunchDims) {
+    let (nk, nj, ni) = (3usize, 2usize, 1000usize);
+    let mut r = runner(VECTOR_ONLY, opts, dims);
+    r.bind_int("NK", nk as i64).unwrap();
+    r.bind_int("NJ", nj as i64).unwrap();
+    r.bind_int("NI", ni as i64).unwrap();
+    let input: Vec<i32> = (0..nk * nj * ni).map(|x| (x % 17) as i32 - 5).collect();
+    r.bind_array("input", HostBuffer::from_i32(&input)).unwrap();
+    r.bind_array("temp", HostBuffer::from_i32(&vec![0; nk * nj * ni]))
+        .unwrap();
+    r.run().unwrap();
+    let temp = r.array("temp").unwrap();
+    for k in 0..nk {
+        for j in 0..nj {
+            let want: i32 = j as i32 + (0..ni).map(|i| input[(k * nj + j) * ni + i]).sum::<i32>();
+            let got = temp.get((k * nj + j) * ni).as_i64() as i32;
+            assert_eq!(got, want, "k={k} j={j}");
+        }
+    }
+}
+
+#[test]
+fn vector_only_reduction_rowwise() {
+    check_vector_only(CompilerOptions::openuh(), small_dims());
+}
+
+#[test]
+fn vector_only_reduction_transposed_layout() {
+    let opts = CompilerOptions {
+        vector_layout: VectorLayout::Transposed,
+        ..CompilerOptions::openuh()
+    };
+    check_vector_only(opts, small_dims());
+}
+
+#[test]
+fn vector_only_reduction_blocking_schedule() {
+    let opts = CompilerOptions {
+        schedule: Schedule::Blocking,
+        ..CompilerOptions::openuh()
+    };
+    check_vector_only(opts, small_dims());
+}
+
+#[test]
+fn vector_only_reduction_looped_tree() {
+    let opts = CompilerOptions {
+        tree: TreeStyle::Looped,
+        ..CompilerOptions::openuh()
+    };
+    check_vector_only(opts, small_dims());
+}
+
+#[test]
+fn vector_only_reduction_global_combine() {
+    let opts = CompilerOptions {
+        combine_space: CombineSpace::Global,
+        ..CompilerOptions::openuh()
+    };
+    check_vector_only(opts, small_dims());
+}
+
+#[test]
+fn vector_only_reduction_non_pow2_vector() {
+    // §3.3: vector length 96 exercises the pre-step that folds the
+    // remainder down to the previous power of two.
+    check_vector_only(
+        CompilerOptions::openuh(),
+        LaunchDims {
+            gangs: 4,
+            workers: 4,
+            vector: 96,
+        },
+    );
+    // Non-multiple-of-warp sizes degrade performance but stay correct.
+    check_vector_only(
+        CompilerOptions::openuh(),
+        LaunchDims {
+            gangs: 2,
+            workers: 2,
+            vector: 48,
+        },
+    );
+    check_vector_only(
+        CompilerOptions::openuh(),
+        LaunchDims {
+            gangs: 2,
+            workers: 3,
+            vector: 40,
+        },
+    );
+}
+
+/// Paper Fig. 4(b): reduction only in worker.
+const WORKER_ONLY: &str = r#"
+    int NK; int NJ; int NI;
+    int input[NK][NJ][NI];
+    int temp[NK][NJ][NI];
+    #pragma acc parallel copyin(input) copy(temp)
+    {
+        #pragma acc loop gang
+        for (int k = 0; k < NK; k++) {
+            int j_sum = k;
+            #pragma acc loop worker reduction(+:j_sum)
+            for (int j = 0; j < NJ; j++) {
+                #pragma acc loop vector
+                for (int i = 0; i < NI; i++) {
+                    temp[k][j][i] = input[k][j][i];
+                }
+                j_sum += temp[k][j][0];
+            }
+            temp[k][0][0] = j_sum;
+        }
+    }
+"#;
+
+fn check_worker_only(opts: CompilerOptions, dims: LaunchDims) {
+    let (nk, nj, ni) = (3usize, 7usize, 40usize);
+    let mut r = runner(WORKER_ONLY, opts, dims);
+    r.bind_int("NK", nk as i64).unwrap();
+    r.bind_int("NJ", nj as i64).unwrap();
+    r.bind_int("NI", ni as i64).unwrap();
+    let input: Vec<i32> = (0..nk * nj * ni).map(|x| (x % 23) as i32 - 7).collect();
+    r.bind_array("input", HostBuffer::from_i32(&input)).unwrap();
+    r.bind_array("temp", HostBuffer::from_i32(&vec![0; nk * nj * ni]))
+        .unwrap();
+    r.run().unwrap();
+    let temp = r.array("temp").unwrap();
+    for k in 0..nk {
+        let want: i32 = k as i32 + (0..nj).map(|j| input[(k * nj + j) * ni]).sum::<i32>();
+        assert_eq!(temp.get(k * nj * ni).as_i64() as i32, want, "k={k}");
+    }
+}
+
+#[test]
+fn worker_only_reduction_first_row() {
+    check_worker_only(CompilerOptions::openuh(), small_dims());
+}
+
+#[test]
+fn worker_only_reduction_duplicate_rows() {
+    let opts = CompilerOptions {
+        worker_strategy: WorkerStrategy::DuplicateRows,
+        ..CompilerOptions::openuh()
+    };
+    check_worker_only(opts, small_dims());
+}
+
+#[test]
+fn worker_only_reduction_ragged_workers() {
+    // NJ=7 over 4 workers: ragged worker trips with a barrier-free worker
+    // combine after the loop.
+    check_worker_only(
+        CompilerOptions::openuh(),
+        LaunchDims {
+            gangs: 2,
+            workers: 4,
+            vector: 64,
+        },
+    );
+    // workers=3 (non-pow2 worker tree).
+    check_worker_only(
+        CompilerOptions::openuh(),
+        LaunchDims {
+            gangs: 2,
+            workers: 3,
+            vector: 32,
+        },
+    );
+}
+
+/// Paper Fig. 4(c): reduction only in gang, with a host initial value.
+const GANG_ONLY: &str = r#"
+    int NK; int NJ; int NI;
+    int sum;
+    int input[NK][NJ][NI];
+    int temp[NK][NJ][NI];
+    sum = 100;
+    #pragma acc parallel copyin(input) copy(temp)
+    {
+        #pragma acc loop gang reduction(+:sum)
+        for (int k = 0; k < NK; k++) {
+            #pragma acc loop worker
+            for (int j = 0; j < NJ; j++) {
+                #pragma acc loop vector
+                for (int i = 0; i < NI; i++) {
+                    temp[k][j][i] = input[k][j][i];
+                }
+            }
+            sum += temp[k][0][0];
+        }
+    }
+"#;
+
+#[test]
+fn gang_only_reduction_with_initial_value() {
+    let (nk, nj, ni) = (37usize, 2usize, 33usize);
+    let mut r = runner(GANG_ONLY, CompilerOptions::openuh(), small_dims());
+    r.bind_int("NK", nk as i64).unwrap();
+    r.bind_int("NJ", nj as i64).unwrap();
+    r.bind_int("NI", ni as i64).unwrap();
+    let input: Vec<i32> = (0..nk * nj * ni).map(|x| (x % 11) as i32 - 3).collect();
+    r.bind_array("input", HostBuffer::from_i32(&input)).unwrap();
+    r.bind_array("temp", HostBuffer::from_i32(&vec![0; nk * nj * ni]))
+        .unwrap();
+    r.run().unwrap();
+    let want: i64 = 100 + (0..nk).map(|k| input[k * nj * ni] as i64).sum::<i64>();
+    assert_eq!(r.scalar("sum").unwrap().as_i64(), want);
+}
+
+/// Paper Fig. 9: RMP in different loops — one clause on the worker loop,
+/// updates inside the vector loop; OpenUH auto-detects the worker+vector
+/// span.
+const RMP_WORKER_VECTOR: &str = r#"
+    int NK; int NJ; int NI;
+    int input[NK][NJ][NI];
+    int out[NK];
+    #pragma acc parallel copyin(input) copyout(out)
+    {
+        #pragma acc loop gang
+        for (int k = 0; k < NK; k++) {
+            int j_sum = k;
+            #pragma acc loop worker reduction(+:j_sum)
+            for (int j = 0; j < NJ; j++) {
+                #pragma acc loop vector
+                for (int i = 0; i < NI; i++) {
+                    j_sum += input[k][j][i];
+                }
+            }
+            out[k] = j_sum;
+        }
+    }
+"#;
+
+#[test]
+fn rmp_worker_vector_different_loops() {
+    let (nk, nj, ni) = (5usize, 3usize, 200usize);
+    let mut r = runner(RMP_WORKER_VECTOR, CompilerOptions::openuh(), small_dims());
+    r.bind_int("NK", nk as i64).unwrap();
+    r.bind_int("NJ", nj as i64).unwrap();
+    r.bind_int("NI", ni as i64).unwrap();
+    let input: Vec<i32> = (0..nk * nj * ni).map(|x| (x % 13) as i32 - 6).collect();
+    r.bind_array("input", HostBuffer::from_i32(&input)).unwrap();
+    r.bind_array("out", HostBuffer::from_i32(&vec![0; nk]))
+        .unwrap();
+    r.run().unwrap();
+    let out = r.array("out").unwrap();
+    for k in 0..nk {
+        let want: i32 = k as i32 + input[k * nj * ni..(k + 1) * nj * ni].iter().sum::<i32>();
+        assert_eq!(out.get(k).as_i64() as i32, want, "k={k}");
+    }
+}
+
+/// RMP gang&worker in different loops (the paper's "gang worker" testsuite
+/// row): clause on the gang loop, updates in the worker loop.
+const RMP_GANG_WORKER: &str = r#"
+    int NK; int NJ; int NI;
+    int sum;
+    int input[NK][NJ][NI];
+    int temp[NK][NJ][NI];
+    sum = 0;
+    #pragma acc parallel copyin(input) create(temp)
+    {
+        #pragma acc loop gang reduction(+:sum)
+        for (int k = 0; k < NK; k++) {
+            #pragma acc loop worker
+            for (int j = 0; j < NJ; j++) {
+                #pragma acc loop vector
+                for (int i = 0; i < NI; i++) {
+                    temp[k][j][i] = input[k][j][i];
+                }
+                sum += temp[k][j][0];
+            }
+        }
+    }
+"#;
+
+#[test]
+fn rmp_gang_worker_different_loops() {
+    let (nk, nj, ni) = (9usize, 5usize, 64usize);
+    let mut r = runner(RMP_GANG_WORKER, CompilerOptions::openuh(), small_dims());
+    r.bind_int("NK", nk as i64).unwrap();
+    r.bind_int("NJ", nj as i64).unwrap();
+    r.bind_int("NI", ni as i64).unwrap();
+    let input: Vec<i32> = (0..nk * nj * ni).map(|x| (x % 19) as i32 - 9).collect();
+    r.bind_array("input", HostBuffer::from_i32(&input)).unwrap();
+    r.run().unwrap();
+    let want: i64 = (0..nk)
+        .flat_map(|k| (0..nj).map(move |j| (k, j)))
+        .map(|(k, j)| input[(k * nj + j) * ni] as i64)
+        .sum();
+    assert_eq!(r.scalar("sum").unwrap().as_i64(), want);
+}
+
+/// RMP gang&worker&vector in different loops.
+const RMP_GWV: &str = r#"
+    int NK; int NJ; int NI;
+    int sum;
+    int input[NK][NJ][NI];
+    sum = 0;
+    #pragma acc parallel copyin(input)
+    {
+        #pragma acc loop gang reduction(+:sum)
+        for (int k = 0; k < NK; k++) {
+            #pragma acc loop worker
+            for (int j = 0; j < NJ; j++) {
+                #pragma acc loop vector
+                for (int i = 0; i < NI; i++) {
+                    sum += input[k][j][i];
+                }
+            }
+        }
+    }
+"#;
+
+#[test]
+fn rmp_gang_worker_vector_different_loops() {
+    let (nk, nj, ni) = (6usize, 3usize, 150usize);
+    let mut r = runner(RMP_GWV, CompilerOptions::openuh(), small_dims());
+    r.bind_int("NK", nk as i64).unwrap();
+    r.bind_int("NJ", nj as i64).unwrap();
+    r.bind_int("NI", ni as i64).unwrap();
+    let input: Vec<i32> = (0..nk * nj * ni).map(|x| (x % 7) as i32 - 2).collect();
+    r.bind_array("input", HostBuffer::from_i32(&input)).unwrap();
+    r.run().unwrap();
+    let want: i64 = input.iter().map(|&v| v as i64).sum();
+    assert_eq!(r.scalar("sum").unwrap().as_i64(), want);
+}
+
+/// Paper Fig. 10: RMP in the same loop (`gang worker vector` on one loop).
+const SAME_LINE_GWV: &str = r#"
+    int N; int sum;
+    int a[N];
+    sum = 0;
+    #pragma acc parallel copyin(a)
+    {
+        #pragma acc loop gang worker vector reduction(+:sum)
+        for (int i = 0; i < N; i++) {
+            sum += a[i];
+        }
+    }
+"#;
+
+#[test]
+fn same_line_gang_worker_vector() {
+    let n = 100_000usize;
+    let mut r = runner(SAME_LINE_GWV, CompilerOptions::openuh(), small_dims());
+    r.bind_int("N", n as i64).unwrap();
+    let a: Vec<i32> = (0..n).map(|x| (x % 5) as i32 - 1).collect();
+    r.bind_array("a", HostBuffer::from_i32(&a)).unwrap();
+    r.run().unwrap();
+    assert_eq!(
+        r.scalar("sum").unwrap().as_i64(),
+        a.iter().map(|&v| v as i64).sum::<i64>()
+    );
+}
+
+/// Gang + vector in the same loop (the Monte Carlo PI shape).
+#[test]
+fn same_loop_gang_vector() {
+    let src = r#"
+        int N; int m;
+        double x[N]; double y[N];
+        m = 0;
+        #pragma acc parallel loop gang vector reduction(+:m) copyin(x, y)
+        for (int i = 0; i < N; i++) {
+            if (x[i]*x[i] + y[i]*y[i] < 1.0) {
+                m += 1;
+            }
+        }
+    "#;
+    let n = 10_000usize;
+    let mut r = runner(src, CompilerOptions::openuh(), small_dims());
+    r.bind_int("N", n as i64).unwrap();
+    let xs: Vec<f64> = (0..n).map(|i| (i as f64 / n as f64) * 2.0 - 1.0).collect();
+    let ys: Vec<f64> = (0..n)
+        .map(|i| ((i * 7 % n) as f64 / n as f64) * 2.0 - 1.0)
+        .collect();
+    r.bind_array("x", HostBuffer::from_f64(&xs)).unwrap();
+    r.bind_array("y", HostBuffer::from_f64(&ys)).unwrap();
+    r.run().unwrap();
+    let want = xs
+        .iter()
+        .zip(&ys)
+        .filter(|(x, y)| **x * **x + **y * **y < 1.0)
+        .count() as i64;
+    assert_eq!(r.scalar("m").unwrap().as_i64(), want);
+}
+
+// ---- operators and data types ------------------------------------------
+
+fn op_src(cty: &str, op: &str, update: &str) -> String {
+    format!(
+        r#"
+        int N; {cty} acc;
+        {cty} a[N];
+        #pragma acc parallel copyin(a)
+        {{
+            #pragma acc loop gang worker vector reduction({op}:acc)
+            for (int i = 0; i < N; i++) {{
+                {update}
+            }}
+        }}
+    "#
+    )
+}
+
+#[test]
+fn product_reduction_int() {
+    // Product of many ones with a few twos (stays in range).
+    let src = op_src("int", "*", "acc *= a[i];");
+    let n = 3000usize;
+    let mut r = runner(&src, CompilerOptions::openuh(), small_dims());
+    r.bind_int("N", n as i64).unwrap();
+    let a: Vec<i32> = (0..n).map(|i| if i % 997 == 0 { 2 } else { 1 }).collect();
+    r.bind_array("a", HostBuffer::from_i32(&a)).unwrap();
+    r.bind_int("acc", 3).unwrap();
+    r.run().unwrap();
+    let want: i64 = 3 * a.iter().map(|&v| v as i64).product::<i64>();
+    assert_eq!(r.scalar("acc").unwrap().as_i64(), want);
+}
+
+#[test]
+fn max_min_reductions() {
+    for (op, update, init, want_fn) in [
+        (
+            "max",
+            "acc = max(acc, a[i]);",
+            -1_000_000i64,
+            Box::new(|a: &[i32]| *a.iter().max().unwrap() as i64) as Box<dyn Fn(&[i32]) -> i64>,
+        ),
+        (
+            "min",
+            "acc = min(acc, a[i]);",
+            1_000_000i64,
+            Box::new(|a: &[i32]| *a.iter().min().unwrap() as i64),
+        ),
+    ] {
+        let src = op_src("int", op, update);
+        let n = 5000usize;
+        let mut r = runner(&src, CompilerOptions::openuh(), small_dims());
+        r.bind_int("N", n as i64).unwrap();
+        let a: Vec<i32> = (0..n)
+            .map(|i| ((i * 2654435761usize) % 100_000) as i32 - 50_000)
+            .collect();
+        r.bind_array("a", HostBuffer::from_i32(&a)).unwrap();
+        r.bind_int("acc", init).unwrap();
+        r.run().unwrap();
+        assert_eq!(r.scalar("acc").unwrap().as_i64(), want_fn(&a), "op={op}");
+    }
+}
+
+#[test]
+fn bitwise_reductions() {
+    for (op, update, init, want_fn) in [
+        (
+            "&",
+            "acc &= a[i];",
+            -1i64,
+            Box::new(|a: &[i32]| a.iter().fold(-1i32, |x, &y| x & y) as i64)
+                as Box<dyn Fn(&[i32]) -> i64>,
+        ),
+        (
+            "|",
+            "acc |= a[i];",
+            0,
+            Box::new(|a: &[i32]| a.iter().fold(0i32, |x, &y| x | y) as i64),
+        ),
+        (
+            "^",
+            "acc ^= a[i];",
+            0,
+            Box::new(|a: &[i32]| a.iter().fold(0i32, |x, &y| x ^ y) as i64),
+        ),
+    ] {
+        let src = op_src("int", op, update);
+        let n = 4097usize;
+        let mut r = runner(&src, CompilerOptions::openuh(), small_dims());
+        r.bind_int("N", n as i64).unwrap();
+        let a: Vec<i32> = (0..n).map(|i| (i * 2654435761usize) as i32).collect();
+        r.bind_array("a", HostBuffer::from_i32(&a)).unwrap();
+        r.bind_int("acc", init).unwrap();
+        r.run().unwrap();
+        assert_eq!(r.scalar("acc").unwrap().as_i64(), want_fn(&a), "op={op}");
+    }
+}
+
+#[test]
+fn logical_reductions() {
+    // && over all-nonzero data is 1; over data with one zero is 0.
+    for (data_has_zero, want) in [(false, 1i64), (true, 0i64)] {
+        let src = op_src("int", "&&", "acc = acc && a[i];");
+        let n = 2000usize;
+        let mut r = runner(&src, CompilerOptions::openuh(), small_dims());
+        r.bind_int("N", n as i64).unwrap();
+        let a: Vec<i32> = (0..n)
+            .map(|i| if data_has_zero && i == 1234 { 0 } else { 3 })
+            .collect();
+        r.bind_array("a", HostBuffer::from_i32(&a)).unwrap();
+        r.bind_int("acc", 1).unwrap();
+        r.run().unwrap();
+        assert_eq!(
+            r.scalar("acc").unwrap().as_i64(),
+            want,
+            "zero={data_has_zero}"
+        );
+    }
+    // || over all-zero is 0, with one nonzero is 1.
+    for (has_one, want) in [(false, 0i64), (true, 1i64)] {
+        let src = op_src("int", "||", "acc = acc || a[i];");
+        let n = 2000usize;
+        let mut r = runner(&src, CompilerOptions::openuh(), small_dims());
+        r.bind_int("N", n as i64).unwrap();
+        let a: Vec<i32> = (0..n)
+            .map(|i| if has_one && i == 777 { 9 } else { 0 })
+            .collect();
+        r.bind_array("a", HostBuffer::from_i32(&a)).unwrap();
+        r.bind_int("acc", 0).unwrap();
+        r.run().unwrap();
+        assert_eq!(r.scalar("acc").unwrap().as_i64(), want, "one={has_one}");
+    }
+}
+
+#[test]
+fn float_and_double_sums() {
+    for (cty, tol) in [("float", 1e-3f64), ("double", 1e-9f64)] {
+        let src = op_src(cty, "+", "acc += a[i];");
+        let n = 20_000usize;
+        let mut r = runner(&src, CompilerOptions::openuh(), small_dims());
+        r.bind_int("N", n as i64).unwrap();
+        let a: Vec<f64> = (0..n).map(|i| ((i % 100) as f64) * 0.25 - 12.0).collect();
+        if cty == "float" {
+            let af: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+            r.bind_array("a", HostBuffer::from_f32(&af)).unwrap();
+        } else {
+            r.bind_array("a", HostBuffer::from_f64(&a)).unwrap();
+        }
+        r.bind_float("acc", 0.5).unwrap();
+        r.run().unwrap();
+        let want: f64 = 0.5 + a.iter().sum::<f64>();
+        let got = r.scalar("acc").unwrap().as_f64();
+        let rel = (got - want).abs() / want.abs().max(1.0);
+        assert!(rel < tol, "{cty}: got {got}, want {want} (rel {rel})");
+    }
+}
+
+#[test]
+fn long_sum() {
+    let src = op_src("long", "+", "acc += a[i];");
+    let n = 10_000usize;
+    let mut r = runner(&src, CompilerOptions::openuh(), small_dims());
+    r.bind_int("N", n as i64).unwrap();
+    let a: Vec<i64> = (0..n).map(|i| (i as i64) * 1_000_003).collect();
+    r.bind_array("a", HostBuffer::from_i64(&a)).unwrap();
+    r.bind_int("acc", 0).unwrap();
+    r.run().unwrap();
+    assert_eq!(r.scalar("acc").unwrap().as_i64(), a.iter().sum::<i64>());
+}
+
+#[test]
+fn max_reduction_via_fmax_double() {
+    let src = r#"
+        int N; double err;
+        double a[N]; double b[N];
+        err = 0.0;
+        #pragma acc parallel loop gang vector reduction(max:err) copyin(a, b)
+        for (int i = 0; i < N; i++) {
+            err = fmax(err, fabs(a[i] - b[i]));
+        }
+    "#;
+    let n = 7777usize;
+    let mut r = runner(src, CompilerOptions::openuh(), small_dims());
+    r.bind_int("N", n as i64).unwrap();
+    let a: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+    r.bind_array("a", HostBuffer::from_f64(&a)).unwrap();
+    r.bind_array("b", HostBuffer::from_f64(&b)).unwrap();
+    r.run().unwrap();
+    let want = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max);
+    assert!((r.scalar("err").unwrap().as_f64() - want).abs() < 1e-12);
+}
+
+/// Multiple reductions with different data types in one clause region
+/// (§3.3: they share the widest-type shared slab).
+#[test]
+fn mixed_type_reductions_same_loop() {
+    let src = r#"
+        int NK; int NJ;
+        int temp[NK][NJ];
+        #pragma acc parallel copyin(temp)
+        {
+            #pragma acc loop gang
+            for (int k = 0; k < NK; k++) {
+                int si = 0;
+                double sd = 0.0;
+                #pragma acc loop worker reduction(+:si) reduction(+:sd)
+                for (int j = 0; j < NJ; j++) {
+                    si += temp[k][j];
+                    sd += temp[k][j] * 0.5;
+                }
+                temp[k][0] = si + (int)sd;
+            }
+        }
+    "#;
+    let (nk, nj) = (3usize, 30usize);
+    let mut r = AccRunner::with_options(
+        src,
+        CompilerOptions::openuh(),
+        LaunchDims {
+            gangs: 2,
+            workers: 8,
+            vector: 64,
+        },
+        Device::default(),
+    )
+    .unwrap();
+    r.bind_int("NK", nk as i64).unwrap();
+    r.bind_int("NJ", nj as i64).unwrap();
+    let temp: Vec<i32> = (0..nk * nj).map(|x| (x % 9) as i32).collect();
+    r.bind_array("temp", HostBuffer::from_i32(&temp)).unwrap();
+    // `copyin` only: results come back via peeking the device array.
+    r.run().unwrap();
+    for k in 0..nk {
+        let si: i32 = temp[k * nj..(k + 1) * nj].iter().sum();
+        let sd: f64 = temp[k * nj..(k + 1) * nj]
+            .iter()
+            .map(|&v| v as f64 * 0.5)
+            .sum();
+        let want = si + sd as i32;
+        let got = r
+            .peek_device_array("temp", (k * nj) as u64)
+            .unwrap()
+            .as_i64() as i32;
+        assert_eq!(got, want, "k={k}");
+    }
+}
+
+/// `seq` reduction clause: purely sequential accumulation.
+#[test]
+fn seq_reduction_clause() {
+    let src = r#"
+        int N; int M;
+        int A[N][M];
+        int out[N];
+        #pragma acc parallel copyin(A) copyout(out)
+        {
+            #pragma acc loop gang vector
+            for (int i = 0; i < N; i++) {
+                int c = 0;
+                #pragma acc loop seq reduction(+:c)
+                for (int k = 0; k < M; k++) {
+                    c += A[i][k];
+                }
+                out[i] = c;
+            }
+        }
+    "#;
+    let (n, m) = (100usize, 37usize);
+    let mut r = runner(src, CompilerOptions::openuh(), small_dims());
+    r.bind_int("N", n as i64).unwrap();
+    r.bind_int("M", m as i64).unwrap();
+    let a: Vec<i32> = (0..n * m).map(|x| (x % 15) as i32 - 4).collect();
+    r.bind_array("A", HostBuffer::from_i32(&a)).unwrap();
+    r.bind_array("out", HostBuffer::from_i32(&vec![0; n]))
+        .unwrap();
+    r.run().unwrap();
+    let out = r.array("out").unwrap();
+    for i in 0..n {
+        let want: i32 = a[i * m..(i + 1) * m].iter().sum();
+        assert_eq!(out.get(i).as_i64() as i32, want, "i={i}");
+    }
+}
+
+/// Downward loops distribute correctly.
+#[test]
+fn downward_parallel_loop_reduction() {
+    let src = r#"
+        int N; int sum;
+        int a[N];
+        sum = 0;
+        #pragma acc parallel loop gang vector reduction(+:sum) copyin(a)
+        for (int i = N - 1; i >= 0; i -= 1) {
+            sum += a[i];
+        }
+    "#;
+    let n = 9999usize;
+    let mut r = runner(src, CompilerOptions::openuh(), small_dims());
+    r.bind_int("N", n as i64).unwrap();
+    let a: Vec<i32> = (0..n).map(|x| (x % 31) as i32 - 15).collect();
+    r.bind_array("a", HostBuffer::from_i32(&a)).unwrap();
+    r.run().unwrap();
+    assert_eq!(
+        r.scalar("sum").unwrap().as_i64(),
+        a.iter().map(|&v| v as i64).sum::<i64>()
+    );
+}
+
+/// Injected baseline bugs produce the documented failure classes.
+#[test]
+fn injected_bugs_cause_wrong_results() {
+    // clause_levels_only: the Fig. 9 source relies on auto-span detection;
+    // honouring only the clause's own level loses vector contributions.
+    let opts = CompilerOptions {
+        bugs: uhacc_core::InjectedBugs {
+            clause_levels_only: true,
+            ..Default::default()
+        },
+        auto_span: false,
+        ..CompilerOptions::openuh()
+    };
+    let (nk, nj, ni) = (2usize, 3usize, 100usize);
+    let mut r = runner(RMP_WORKER_VECTOR, opts, small_dims());
+    r.bind_int("NK", nk as i64).unwrap();
+    r.bind_int("NJ", nj as i64).unwrap();
+    r.bind_int("NI", ni as i64).unwrap();
+    let input: Vec<i32> = (0..nk * nj * ni).map(|_| 1).collect();
+    r.bind_array("input", HostBuffer::from_i32(&input)).unwrap();
+    r.bind_array("out", HostBuffer::from_i32(&vec![0; nk]))
+        .unwrap();
+    r.run().unwrap();
+    let got = r.array("out").unwrap().get(0).as_i64();
+    let want = (nj * ni) as i64;
+    assert_ne!(got, want, "the injected span bug must lose contributions");
+}
+
+#[test]
+fn reject_rules_produce_compile_errors() {
+    use accparse::ast::{Level, RedOp};
+    let opts = CompilerOptions {
+        rejects: vec![uhacc_core::RejectRule {
+            span: vec![Level::Gang, Level::Worker, Level::Vector],
+            op: Some(RedOp::Add),
+            reason: "internal compiler limitation",
+        }],
+        ..CompilerOptions::openuh()
+    };
+    let mut r = runner(RMP_GWV, opts, small_dims());
+    r.bind_int("NK", 2).unwrap();
+    r.bind_int("NJ", 2).unwrap();
+    r.bind_int("NI", 8).unwrap();
+    r.bind_array("input", HostBuffer::from_i32(&vec![1; 32]))
+        .unwrap();
+    let err = r.run().unwrap_err();
+    assert!(matches!(err, accrt::AccError::Compile(_)), "got {err:?}");
+}
+
+/// The paper's launch configuration (192 gangs, 8 workers, vector 128)
+/// works end-to-end.
+#[test]
+fn paper_launch_dims() {
+    let n = 65_536usize;
+    let mut r = runner(
+        SAME_LINE_GWV,
+        CompilerOptions::openuh(),
+        LaunchDims::paper(),
+    );
+    r.bind_int("N", n as i64).unwrap();
+    let a: Vec<i32> = (0..n).map(|x| (x % 3) as i32).collect();
+    r.bind_array("a", HostBuffer::from_i32(&a)).unwrap();
+    r.run().unwrap();
+    assert_eq!(
+        r.scalar("sum").unwrap().as_i64(),
+        a.iter().map(|&v| v as i64).sum::<i64>()
+    );
+}
+
+/// `collapse(2)` (§4: "the user can use collapse clause if the loop level
+/// is more than three") fuses and distributes a rectangular nest; results
+/// match the unfused version and the host.
+#[test]
+fn collapse_2_reduction_end_to_end() {
+    let src = r#"
+        int NI; int NJ; int s;
+        int a[NI][NJ];
+        s = 0;
+        #pragma acc parallel copyin(a)
+        {
+            #pragma acc loop gang vector collapse(2) reduction(+:s)
+            for (int i = 0; i < NI; i++) {
+                for (int j = 0; j < NJ; j++) {
+                    s += a[i][j];
+                }
+            }
+        }
+    "#;
+    let (ni, nj) = (37usize, 53usize);
+    let mut r = runner(src, CompilerOptions::openuh(), small_dims());
+    r.bind_int("NI", ni as i64).unwrap();
+    r.bind_int("NJ", nj as i64).unwrap();
+    let a: Vec<i32> = (0..ni * nj).map(|x| (x % 29) as i32 - 14).collect();
+    r.bind_array("a", HostBuffer::from_i32(&a)).unwrap();
+    r.run().unwrap();
+    assert_eq!(
+        r.scalar("s").unwrap().as_i64(),
+        a.iter().map(|&v| v as i64).sum::<i64>()
+    );
+}
+
+/// collapse(3) over a triple nest with stores: the recovered indices hit
+/// every element exactly once.
+#[test]
+fn collapse_3_stores_every_element_once() {
+    let src = r#"
+        int NK; int NJ; int NI;
+        int out[NK][NJ][NI];
+        #pragma acc parallel copyout(out)
+        {
+            #pragma acc loop gang worker vector collapse(3)
+            for (int k = 0; k < NK; k++) {
+                for (int j = 0; j < NJ; j++) {
+                    for (int i = 0; i < NI; i++) {
+                        out[k][j][i] = k * 10000 + j * 100 + i;
+                    }
+                }
+            }
+        }
+    "#;
+    let (nk, nj, ni) = (5usize, 7usize, 11usize);
+    let mut r = runner(src, CompilerOptions::openuh(), small_dims());
+    r.bind_int("NK", nk as i64).unwrap();
+    r.bind_int("NJ", nj as i64).unwrap();
+    r.bind_int("NI", ni as i64).unwrap();
+    r.bind_array("out", HostBuffer::from_i32(&vec![-1; nk * nj * ni]))
+        .unwrap();
+    r.run().unwrap();
+    let out = r.array("out").unwrap();
+    for k in 0..nk {
+        for j in 0..nj {
+            for i in 0..ni {
+                let got = out.get((k * nj + j) * ni + i).as_i64();
+                assert_eq!(got, (k * 10000 + j * 100 + i) as i64, "({k},{j},{i})");
+            }
+        }
+    }
+}
+
+/// collapse with a downward inner loop.
+#[test]
+fn collapse_with_downward_inner_loop() {
+    let src = r#"
+        int NI; int NJ; long s;
+        long a[NI][NJ];
+        s = 0;
+        #pragma acc parallel copyin(a)
+        {
+            #pragma acc loop gang vector collapse(2) reduction(+:s)
+            for (int i = 0; i < NI; i++) {
+                for (int j = NJ - 1; j >= 0; j--) {
+                    s += a[i][j] * (j + 1);
+                }
+            }
+        }
+    "#;
+    let (ni, nj) = (12usize, 9usize);
+    let mut r = runner(src, CompilerOptions::openuh(), small_dims());
+    r.bind_int("NI", ni as i64).unwrap();
+    r.bind_int("NJ", nj as i64).unwrap();
+    let a: Vec<i64> = (0..ni * nj).map(|x| (x % 13) as i64 - 6).collect();
+    r.bind_array("a", HostBuffer::from_i64(&a)).unwrap();
+    r.run().unwrap();
+    let want: i64 = (0..ni)
+        .flat_map(|i| (0..nj).map(move |j| (i, j)))
+        .map(|(i, j)| a[i * nj + j] * (j as i64 + 1))
+        .sum();
+    assert_eq!(r.scalar("s").unwrap().as_i64(), want);
+}
+
+/// The atomic gang strategy: same results as the paper's two-kernel
+/// approach for every atomic-capable operator, with no finalize kernel.
+#[test]
+fn atomic_gang_strategy_matches_two_kernel() {
+    use uhacc_core::GangStrategy;
+    for (op_clause, update, init) in [
+        ("+", "sum += a[i];", 7i64),
+        ("max", "sum = max(sum, a[i]);", -999_999i64),
+        ("|", "sum |= a[i];", 0i64),
+    ] {
+        let src = format!(
+            r#"
+            int N; int sum;
+            int a[N];
+            sum = {init};
+            #pragma acc parallel copyin(a)
+            {{
+                #pragma acc loop gang worker vector reduction({op_clause}:sum)
+                for (int i = 0; i < N; i++) {{
+                    {update}
+                }}
+            }}
+        "#
+        );
+        let n = 30_000usize;
+        let a: Vec<i32> = (0..n).map(|x| ((x * 31) % 1000) as i32 - 500).collect();
+        let mut results = Vec::new();
+        for strat in [GangStrategy::TwoKernel, GangStrategy::Atomic] {
+            let opts = CompilerOptions {
+                gang_strategy: strat,
+                ..CompilerOptions::openuh()
+            };
+            let mut r = runner(&src, opts, small_dims());
+            r.bind_int("N", n as i64).unwrap();
+            r.bind_array("a", HostBuffer::from_i32(&a)).unwrap();
+            r.run().unwrap();
+            // Run twice to check accumulator re-initialization between runs.
+            r.bind_int("sum", init).unwrap();
+            r.run_region(0).unwrap();
+            results.push((
+                r.scalar("sum").unwrap().as_i64(),
+                r.device().stats().launches,
+            ));
+        }
+        assert_eq!(results[0].0, results[1].0, "op {op_clause}");
+        // Two-kernel launched 2 kernels per run (4 total), atomic 1 per run.
+        assert_eq!(results[0].1, 4, "op {op_clause}");
+        assert_eq!(results[1].1, 2, "op {op_clause}");
+    }
+}
+
+/// The atomic strategy silently falls back to two-kernel for `*`
+/// (no atomic multiply exists).
+#[test]
+fn atomic_gang_strategy_falls_back_for_product() {
+    use uhacc_core::GangStrategy;
+    let src = r#"
+        int N; int p;
+        int a[N];
+        p = 1;
+        #pragma acc parallel copyin(a)
+        {
+            #pragma acc loop gang vector reduction(*:p)
+            for (int i = 0; i < N; i++) {
+                p *= a[i];
+            }
+        }
+    "#;
+    let n = 4000usize;
+    let a: Vec<i32> = (0..n).map(|x| 1 + (x % 2) as i32).collect();
+    let opts = CompilerOptions {
+        gang_strategy: GangStrategy::Atomic,
+        ..CompilerOptions::openuh()
+    };
+    let mut r = runner(src, opts, small_dims());
+    r.bind_int("N", n as i64).unwrap();
+    r.bind_array("a", HostBuffer::from_i32(&a)).unwrap();
+    r.run().unwrap();
+    let want = a.iter().fold(1i32, |x, &y| x.wrapping_mul(y)) as i64;
+    assert_eq!(r.scalar("p").unwrap().as_i64(), want);
+    // Fallback => second kernel launched.
+    assert_eq!(r.device().stats().launches, 2);
+}
+
+/// Multiple variables in one reduction clause (`reduction(+:x,y)`).
+#[test]
+fn multiple_variables_in_one_clause() {
+    let src = r#"
+        int N; long evens; long odds;
+        int a[N];
+        evens = 0;
+        odds = 0;
+        #pragma acc parallel copyin(a)
+        {
+            #pragma acc loop gang vector reduction(+:evens,odds)
+            for (int i = 0; i < N; i++) {
+                if (a[i] % 2 == 0) {
+                    evens += a[i];
+                } else {
+                    odds += a[i];
+                }
+            }
+        }
+    "#;
+    let n = 12_345usize;
+    let mut r = runner(src, CompilerOptions::openuh(), small_dims());
+    r.bind_int("N", n as i64).unwrap();
+    let a: Vec<i32> = (0..n).map(|x| (x % 97) as i32).collect();
+    r.bind_array("a", HostBuffer::from_i32(&a)).unwrap();
+    r.run().unwrap();
+    let evens: i64 = a.iter().filter(|v| *v % 2 == 0).map(|&v| v as i64).sum();
+    let odds: i64 = a.iter().filter(|v| *v % 2 != 0).map(|&v| v as i64).sum();
+    assert_eq!(r.scalar("evens").unwrap().as_i64(), evens);
+    assert_eq!(r.scalar("odds").unwrap().as_i64(), odds);
+}
+
+/// Two different reduction clauses with different operators on one loop.
+#[test]
+fn different_operators_on_one_loop() {
+    let src = r#"
+        int N; int total; int biggest;
+        int a[N];
+        total = 0;
+        biggest = -1000000;
+        #pragma acc parallel copyin(a)
+        {
+            #pragma acc loop gang vector reduction(+:total) reduction(max:biggest)
+            for (int i = 0; i < N; i++) {
+                total += a[i];
+                biggest = max(biggest, a[i]);
+            }
+        }
+    "#;
+    let n = 9_999usize;
+    let mut r = runner(src, CompilerOptions::openuh(), small_dims());
+    r.bind_int("N", n as i64).unwrap();
+    let a: Vec<i32> = (0..n).map(|x| ((x * 7919) % 5000) as i32 - 2500).collect();
+    r.bind_array("a", HostBuffer::from_i32(&a)).unwrap();
+    r.run().unwrap();
+    assert_eq!(
+        r.scalar("total").unwrap().as_i64(),
+        a.iter().map(|&v| v as i64).sum::<i64>()
+    );
+    assert_eq!(
+        r.scalar("biggest").unwrap().as_i64(),
+        *a.iter().max().unwrap() as i64
+    );
+}

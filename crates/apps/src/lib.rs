@@ -1,0 +1,21 @@
+//! # acc-apps — the paper's three real-world applications
+//!
+//! §4 of the paper evaluates the reduction implementation on three
+//! applications beyond the synthetic testsuite:
+//!
+//! - [`heat2d`] — 2D heat equation: Jacobi relaxation with a
+//!   `reduction(max:error)` convergence test every iteration (Fig. 12a).
+//! - [`matmul`] — matrix multiplication with the inner-product k loop
+//!   parallelized as a vector `+` reduction (Fig. 12b).
+//! - [`pi`] — Monte Carlo PI with a gang+vector `+` reduction over
+//!   host-pregenerated sample points (Fig. 12c).
+//!
+//! Every app verifies its device result against a plain CPU computation.
+
+pub mod heat2d;
+pub mod matmul;
+pub mod pi;
+
+pub use heat2d::{run_heat, HeatConfig, HeatResult};
+pub use matmul::{run_matmul, MatmulConfig, MatmulResult};
+pub use pi::{run_pi, PiConfig, PiResult};

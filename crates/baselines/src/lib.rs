@@ -1,0 +1,19 @@
+//! # acc-baselines — baseline compilers and the CPU reference executor
+//!
+//! Two things the paper's evaluation needs besides the OpenUH compiler:
+//!
+//! 1. [`cpu::CpuExec`] — a sequential CPU interpreter of the analyzed
+//!    program. The paper verifies every testsuite case by comparing the
+//!    OpenACC result to the CPU result; this is that oracle.
+//! 2. [`personality::Compiler`] — the three compilers of the evaluation
+//!    (OpenUH plus CAPS-like and PGI-like personalities) as strategy sets
+//!    for the single shared code generator, including the baseline
+//!    defects that reproduce the `F`/`CE` failure pattern of Table 2 as
+//!    real miscompilations (dropped barriers, collapsed reduction spans)
+//!    rather than hard-coded results.
+
+pub mod cpu;
+pub mod personality;
+
+pub use cpu::CpuExec;
+pub use personality::{Compiler, ReductionCase};

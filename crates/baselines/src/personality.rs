@@ -1,0 +1,295 @@
+//! Compiler personalities: OpenUH and the two commercial baselines.
+//!
+//! The paper compares OpenUH against CAPS 3.4.0 and PGI 13.10, observing
+//! them only externally (pass/fail + time, Table 2). The personalities
+//! reproduce that externally visible behaviour with real codegen:
+//!
+//! - **OpenUH**: the paper's strategy set (window sliding, Fig. 6c row
+//!   layout, Fig. 8c first-row worker strategy, fully unrolled tree with
+//!   warp-synchronous tail, shared-memory staging, automatic reduction
+//!   span detection).
+//! - **CapsLike**: transposed layouts (Fig. 6b / Fig. 8b duplicate rows).
+//!   Its documented defect is multi-level spans: the paper reports wrong
+//!   results unless the user annotates every level, and `F` entries for
+//!   the `+` RMP rows of Table 2 even then. Reproduced by honouring only
+//!   clause levels (span collapse) or dropping the staging barrier on the
+//!   affected rows — real miscompilations, not table lookups.
+//! - **PgiLike**: blocking schedule (uncoalesced vector accesses), naive
+//!   looped tree with a barrier per step, global-memory staging. Fails
+//!   (wrong result) on the `+` worker/vector/gang-worker rows and errors
+//!   at compile time on three-level RMP in different loops, matching
+//!   Table 2's `F`/`CE` pattern.
+
+use accparse::ast::{CType, Level, RedOp};
+use uhacc_core::{
+    CombineSpace, CompilerOptions, InjectedBugs, Schedule, TreeStyle, VectorLayout, WorkerStrategy,
+};
+
+/// A compiler under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Compiler {
+    OpenUH,
+    CapsLike,
+    PgiLike,
+}
+
+impl Compiler {
+    /// All three compilers, in the paper's presentation order.
+    pub fn all() -> [Compiler; 3] {
+        [Compiler::OpenUH, Compiler::PgiLike, Compiler::CapsLike]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Compiler::OpenUH => "OpenUH",
+            Compiler::CapsLike => "CAPS-like",
+            Compiler::PgiLike => "PGI-like",
+        }
+    }
+
+    /// Base strategy options (case-independent).
+    pub fn base_options(&self) -> CompilerOptions {
+        match self {
+            Compiler::OpenUH => CompilerOptions::openuh(),
+            Compiler::CapsLike => CompilerOptions {
+                schedule: Schedule::WindowSliding,
+                vector_layout: VectorLayout::Transposed,
+                worker_strategy: WorkerStrategy::DuplicateRows,
+                tree: TreeStyle::Unrolled,
+                combine_space: CombineSpace::Shared,
+                ..CompilerOptions::openuh()
+            },
+            Compiler::PgiLike => CompilerOptions {
+                schedule: Schedule::Blocking,
+                vector_layout: VectorLayout::Transposed,
+                worker_strategy: WorkerStrategy::DuplicateRows,
+                tree: TreeStyle::Looped,
+                combine_space: CombineSpace::Global,
+                ..CompilerOptions::openuh()
+            },
+        }
+    }
+
+    /// Options for compiling a specific reduction case; `Err` is a
+    /// compile-time rejection (a Table 2 "CE" entry).
+    pub fn options_for_case(&self, case: &ReductionCase) -> Result<CompilerOptions, String> {
+        let mut opts = self.base_options();
+        let lv = &case.levels;
+        let add = case.op == RedOp::Add;
+        match self {
+            Compiler::OpenUH => {}
+            Compiler::CapsLike => {
+                let gw = lv == &[Level::Gang, Level::Worker];
+                let wv = lv == &[Level::Worker, Level::Vector];
+                let gwv = lv == &[Level::Gang, Level::Worker, Level::Vector];
+                if !case.same_loop && add && gw {
+                    opts.bugs = InjectedBugs {
+                        clause_levels_only: true,
+                        ..Default::default()
+                    };
+                }
+                if !case.same_loop && add && wv {
+                    opts.bugs = InjectedBugs {
+                        skip_stage_barrier: true,
+                        ..Default::default()
+                    };
+                }
+                if !case.same_loop && add && gwv {
+                    opts.bugs = InjectedBugs {
+                        clause_levels_only: true,
+                        ..Default::default()
+                    };
+                }
+            }
+            Compiler::PgiLike => {
+                let gwv = lv == &[Level::Gang, Level::Worker, Level::Vector];
+                if !case.same_loop && gwv && (add || case.dtype != CType::Int) {
+                    return Err(format!(
+                        "PGI-like front end: reduction of `{}` spanning gang, worker and \
+                         vector in different loops is not supported",
+                        case.op.clause_token()
+                    ));
+                }
+                if add && lv == &[Level::Worker] {
+                    opts.bugs = InjectedBugs {
+                        skip_stage_barrier: true,
+                        ..Default::default()
+                    };
+                }
+                if add && lv == &[Level::Vector] {
+                    opts.bugs = InjectedBugs {
+                        skip_stage_barrier: true,
+                        ..Default::default()
+                    };
+                }
+                if add && lv == &[Level::Gang, Level::Worker] {
+                    opts.bugs = InjectedBugs {
+                        clause_levels_only: true,
+                        ..Default::default()
+                    };
+                }
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Descriptor of a testsuite reduction case (position x operator x type).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReductionCase {
+    /// The parallelism levels the reduction spans.
+    pub levels: Vec<Level>,
+    /// True for "RMP in the same loop" (Fig. 10), false for reductions in
+    /// (nested) different loops.
+    pub same_loop: bool,
+    pub op: RedOp,
+    pub dtype: CType,
+}
+
+impl ReductionCase {
+    /// Construct a case.
+    pub fn new(levels: Vec<Level>, same_loop: bool, op: RedOp, dtype: CType) -> Self {
+        ReductionCase {
+            levels,
+            same_loop,
+            op,
+            dtype,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(levels: Vec<Level>, same_loop: bool, op: RedOp, dtype: CType) -> ReductionCase {
+        ReductionCase::new(levels, same_loop, op, dtype)
+    }
+
+    #[test]
+    fn openuh_never_fails() {
+        for op in [RedOp::Add, RedOp::Mul] {
+            for lv in [
+                vec![Level::Gang],
+                vec![Level::Worker],
+                vec![Level::Vector],
+                vec![Level::Gang, Level::Worker, Level::Vector],
+            ] {
+                let o = Compiler::OpenUH
+                    .options_for_case(&case(lv, false, op, CType::Float))
+                    .unwrap();
+                assert_eq!(o.bugs, InjectedBugs::default());
+            }
+        }
+    }
+
+    #[test]
+    fn pgi_matrix_matches_table2() {
+        let p = Compiler::PgiLike;
+        // CE: gwv different loops, + any type; * for float/double only.
+        assert!(p
+            .options_for_case(&case(
+                vec![Level::Gang, Level::Worker, Level::Vector],
+                false,
+                RedOp::Add,
+                CType::Int
+            ))
+            .is_err());
+        assert!(p
+            .options_for_case(&case(
+                vec![Level::Gang, Level::Worker, Level::Vector],
+                false,
+                RedOp::Mul,
+                CType::Float
+            ))
+            .is_err());
+        assert!(p
+            .options_for_case(&case(
+                vec![Level::Gang, Level::Worker, Level::Vector],
+                false,
+                RedOp::Mul,
+                CType::Int
+            ))
+            .is_ok());
+        // Same-line gwv passes both ops.
+        assert!(p
+            .options_for_case(&case(
+                vec![Level::Gang, Level::Worker, Level::Vector],
+                true,
+                RedOp::Add,
+                CType::Double
+            ))
+            .is_ok());
+        // F rows carry injected bugs; the matching * rows don't.
+        let f = p
+            .options_for_case(&case(vec![Level::Worker], false, RedOp::Add, CType::Int))
+            .unwrap();
+        assert!(f.bugs.skip_stage_barrier);
+        let ok = p
+            .options_for_case(&case(vec![Level::Worker], false, RedOp::Mul, CType::Int))
+            .unwrap();
+        assert_eq!(ok.bugs, InjectedBugs::default());
+    }
+
+    #[test]
+    fn caps_matrix_matches_table2() {
+        let c = Compiler::CapsLike;
+        let f = c
+            .options_for_case(&case(
+                vec![Level::Worker, Level::Vector],
+                false,
+                RedOp::Add,
+                CType::Int,
+            ))
+            .unwrap();
+        assert!(f.bugs.skip_stage_barrier);
+        let ok = c
+            .options_for_case(&case(
+                vec![Level::Worker, Level::Vector],
+                false,
+                RedOp::Mul,
+                CType::Int,
+            ))
+            .unwrap();
+        assert_eq!(ok.bugs, InjectedBugs::default());
+        // Single-level cases all pass.
+        for lv in [vec![Level::Gang], vec![Level::Worker], vec![Level::Vector]] {
+            let o = c
+                .options_for_case(&case(lv, false, RedOp::Add, CType::Double))
+                .unwrap();
+            assert_eq!(o.bugs, InjectedBugs::default());
+        }
+        // Same-line gwv passes.
+        let o = c
+            .options_for_case(&case(
+                vec![Level::Gang, Level::Worker, Level::Vector],
+                true,
+                RedOp::Add,
+                CType::Int,
+            ))
+            .unwrap();
+        assert_eq!(o.bugs, InjectedBugs::default());
+    }
+
+    #[test]
+    fn personality_base_strategies_differ() {
+        assert_eq!(
+            Compiler::OpenUH.base_options().vector_layout,
+            VectorLayout::RowWise
+        );
+        assert_eq!(
+            Compiler::CapsLike.base_options().vector_layout,
+            VectorLayout::Transposed
+        );
+        assert_eq!(
+            Compiler::PgiLike.base_options().schedule,
+            Schedule::Blocking
+        );
+        assert_eq!(Compiler::PgiLike.base_options().tree, TreeStyle::Looped);
+        assert_eq!(
+            Compiler::PgiLike.base_options().combine_space,
+            CombineSpace::Global
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Criterion bench for the design-choice ablations the paper discusses:
+//! Fig. 6 vector layouts, Fig. 8 worker strategies, window-sliding vs
+//! blocking schedules, shared vs global staging, unrolled vs looped trees,
+//! and non-power-of-two vector lengths (§3.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use uhacc_bench::{ablation_vector_case, ablation_worker_case};
+use uhacc_core::{
+    CombineSpace, CompilerOptions, LaunchDims, Schedule, TreeStyle, VectorLayout, WorkerStrategy,
+};
+
+fn dims() -> LaunchDims {
+    LaunchDims {
+        gangs: 4,
+        workers: 8,
+        vector: 128,
+    }
+}
+
+fn bench_vector_strategies(c: &mut Criterion) {
+    let base = CompilerOptions::openuh();
+    let cases: Vec<(&str, CompilerOptions)> = vec![
+        ("rowwise_fig6c", base.clone()),
+        (
+            "transposed_fig6b",
+            CompilerOptions {
+                vector_layout: VectorLayout::Transposed,
+                ..base.clone()
+            },
+        ),
+        (
+            "blocking",
+            CompilerOptions {
+                schedule: Schedule::Blocking,
+                ..base.clone()
+            },
+        ),
+        (
+            "looped_tree",
+            CompilerOptions {
+                tree: TreeStyle::Looped,
+                ..base.clone()
+            },
+        ),
+        (
+            "global_staging",
+            CompilerOptions {
+                combine_space: CombineSpace::Global,
+                ..base.clone()
+            },
+        ),
+    ];
+    let mut g = c.benchmark_group("ablation_vector");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    for (label, opts) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, opts| {
+            b.iter(|| ablation_vector_case(opts.clone(), dims(), 4096))
+        });
+    }
+    g.finish();
+}
+
+fn bench_worker_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_worker");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    for (label, ws) in [
+        ("first_row_fig8c", WorkerStrategy::FirstRow),
+        ("duplicate_rows_fig8b", WorkerStrategy::DuplicateRows),
+    ] {
+        let opts = CompilerOptions {
+            worker_strategy: ws,
+            ..CompilerOptions::openuh()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, opts| {
+            b.iter(|| ablation_worker_case(opts.clone(), dims(), 256))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pow2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_pow2_vector_length");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    for vector in [128u32, 96, 48] {
+        let d = LaunchDims {
+            gangs: 4,
+            workers: 8,
+            vector,
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(vector), &d, |b, &d| {
+            b.iter(|| ablation_vector_case(CompilerOptions::openuh(), d, 4096))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vector_strategies,
+    bench_worker_strategies,
+    bench_pow2
+);
+criterion_main!(benches);

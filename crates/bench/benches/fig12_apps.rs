@@ -1,0 +1,82 @@
+//! Criterion bench for Fig. 12: the three applications at several sizes
+//! under the OpenUH options (host wall time; modelled device times come
+//! from `make-figures fig12a|fig12b|fig12c`).
+
+use acc_apps::heat2d::{run_heat, HeatConfig};
+use acc_apps::matmul::{run_matmul, MatmulConfig};
+use acc_apps::pi::{run_pi, PiConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use uhacc_core::CompilerOptions;
+
+fn bench_heat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12a_heat");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    for n in [32usize, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let cfg = HeatConfig {
+                    n,
+                    tol: 0.0,
+                    max_iters: 3,
+                    ..Default::default()
+                };
+                run_heat(&cfg, CompilerOptions::openuh()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12b_matmul");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    for n in [32usize, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                run_matmul(
+                    &MatmulConfig {
+                        n,
+                        ..Default::default()
+                    },
+                    CompilerOptions::openuh(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12c_pi");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    for samples in [1usize << 14, 1 << 16] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(samples),
+            &samples,
+            |b, &samples| {
+                b.iter(|| {
+                    run_pi(
+                        &PiConfig {
+                            samples,
+                            ..Default::default()
+                        },
+                        CompilerOptions::openuh(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_heat, bench_matmul, bench_pi);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for Table 2: every reduction position under each
+//! compiler personality (host wall time of the full simulated pipeline;
+//! the modelled device times of the actual table come from
+//! `make-figures table2`).
+
+use acc_baselines::Compiler;
+use acc_testsuite::run::{reference, run_case, CaseStatus, SuiteConfig};
+use acc_testsuite::Position;
+use accparse::ast::{CType, RedOp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_table2(c: &mut Criterion) {
+    let cfg = SuiteConfig {
+        red_n: 2048,
+        ..SuiteConfig::quick()
+    };
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    for pos in Position::all() {
+        let expected = reference(pos, RedOp::Add, CType::Int, &cfg);
+        for compiler in Compiler::all() {
+            // Skip combinations that fail (F/CE): the bench measures the
+            // passing cells of the table.
+            let probe = run_case(compiler, pos, RedOp::Add, CType::Int, &cfg, &expected);
+            if !matches!(probe.status, CaseStatus::Pass { .. }) {
+                continue;
+            }
+            g.bench_with_input(
+                BenchmarkId::new(pos.label().replace(' ', "_"), compiler.name()),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        let r = run_case(compiler, pos, RedOp::Add, CType::Int, &cfg, &expected);
+                        assert!(matches!(r.status, CaseStatus::Pass { .. }));
+                        r
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+fn main() {
+    use acc_baselines::Compiler;
+    use acc_testsuite::run::{reference, run_case, CaseStatus, SuiteConfig};
+    use acc_testsuite::Position;
+    use accparse::ast::{CType, RedOp};
+    for red_n in [8192usize, 262144, 1048576] {
+        let cfg = SuiteConfig {
+            red_n,
+            ..Default::default()
+        };
+        let exp = reference(Position::SameLineGwv, RedOp::Add, CType::Int, &cfg);
+        let mut line = format!("red_n {red_n:>8}:");
+        for c in Compiler::all() {
+            let r = run_case(c, Position::SameLineGwv, RedOp::Add, CType::Int, &cfg, &exp);
+            line += &match r.status {
+                CaseStatus::Pass { ms } => format!("  {}={ms:.3}ms", c.name()),
+                s => format!("  {}={s:?}", c.name()),
+            };
+        }
+        println!("{line}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Shape-invariant regression tests: the qualitative results the paper
+//! reports must hold in the modelled timings, so a cost-model or codegen
+//! change that silently breaks the reproduction fails CI.
+
+use acc_baselines::Compiler;
+use acc_testsuite::run::{reference, run_case, CaseStatus, SuiteConfig};
+use acc_testsuite::Position;
+use accparse::ast::{CType, RedOp};
+use uhacc_bench::{ablation_vector_case, ablation_vector_combine_heavy, ablation_worker_case};
+use uhacc_core::{
+    CompilerOptions, GangStrategy, LaunchDims, Schedule, VectorLayout, WorkerStrategy,
+};
+
+fn cfg() -> SuiteConfig {
+    SuiteConfig {
+        red_n: 4096,
+        dims: LaunchDims {
+            gangs: 16,
+            workers: 8,
+            vector: 128,
+        },
+    }
+}
+
+fn ms(c: Compiler, pos: Position) -> Option<f64> {
+    let cfg = cfg();
+    let exp = reference(pos, RedOp::Add, CType::Int, &cfg);
+    match run_case(c, pos, RedOp::Add, CType::Int, &cfg, &exp).status {
+        CaseStatus::Pass { ms } => Some(ms),
+        _ => None,
+    }
+}
+
+/// Table 2 / Fig. 11: PGI-like is slower than OpenUH on every passing `+`
+/// cell (the paper's headline performance claim).
+#[test]
+fn pgi_like_slower_than_openuh_everywhere() {
+    for pos in [
+        Position::Gang,
+        Position::WorkerVector,
+        Position::SameLineGwv,
+    ] {
+        let open = ms(Compiler::OpenUH, pos).expect("OpenUH passes");
+        let pgi = ms(Compiler::PgiLike, pos).expect("PGI passes this position");
+        assert!(
+            pgi > open,
+            "{}: PGI-like {pgi} must exceed OpenUH {open}",
+            pos.label()
+        );
+    }
+}
+
+/// Table 2: worker is the slowest single-level reduction position (it has
+/// the least parallelism available to the reduction loop).
+#[test]
+fn worker_is_slowest_single_level() {
+    let gang = ms(Compiler::OpenUH, Position::Gang).unwrap();
+    let worker = ms(Compiler::OpenUH, Position::Worker).unwrap();
+    let vector = ms(Compiler::OpenUH, Position::Vector).unwrap();
+    assert!(worker > gang, "{worker} vs {gang}");
+    assert!(worker > vector, "{worker} vs {vector}");
+}
+
+/// Table 2: the same-line gang-worker-vector case is the fastest of all
+/// positions (full-device parallelism on one flat loop).
+#[test]
+fn same_line_gwv_is_fastest() {
+    let fastest = ms(Compiler::OpenUH, Position::SameLineGwv).unwrap();
+    for pos in [
+        Position::Gang,
+        Position::Worker,
+        Position::Vector,
+        Position::GangWorker,
+        Position::WorkerVector,
+        Position::GangWorkerVector,
+    ] {
+        let t = ms(Compiler::OpenUH, pos).unwrap();
+        assert!(
+            fastest < t,
+            "{} ({t}) vs same-line ({fastest})",
+            pos.label()
+        );
+    }
+}
+
+/// §2.2/§3.1.3: window sliding must beat blocking by a wide margin on a
+/// memory-bound vector loop (coalescing), and the transaction counter must
+/// show why.
+#[test]
+fn window_sliding_beats_blocking() {
+    let dims = LaunchDims {
+        gangs: 4,
+        workers: 8,
+        vector: 128,
+    };
+    let (win_ms, win_st) = ablation_vector_case(CompilerOptions::openuh(), dims, 16 * 1024);
+    let (blk_ms, blk_st) = ablation_vector_case(
+        CompilerOptions {
+            schedule: Schedule::Blocking,
+            ..CompilerOptions::openuh()
+        },
+        dims,
+        16 * 1024,
+    );
+    assert!(
+        blk_ms > win_ms * 2.0,
+        "blocking {blk_ms} vs window {win_ms}"
+    );
+    assert!(win_st.totals.transactions_per_access() < 1.5);
+    assert!(blk_st.totals.transactions_per_access() > 8.0);
+}
+
+/// Fig. 6: the transposed layout must show bank conflicts and cost more on
+/// a combine-heavy workload; Fig. 8: first-row must not lose to duplicate
+/// rows.
+#[test]
+fn layout_and_worker_strategy_shapes() {
+    let dims = LaunchDims {
+        gangs: 8,
+        workers: 8,
+        vector: 128,
+    };
+    let (row_ms, row_st) = ablation_vector_combine_heavy(CompilerOptions::openuh(), dims);
+    let (tr_ms, tr_st) = ablation_vector_combine_heavy(
+        CompilerOptions {
+            vector_layout: VectorLayout::Transposed,
+            ..CompilerOptions::openuh()
+        },
+        dims,
+    );
+    assert!(
+        tr_st.totals.conflict_ways_per_access() > 2.0,
+        "transposed must conflict"
+    );
+    assert!(
+        row_st.totals.conflict_ways_per_access() < 1.5,
+        "row-wise must not"
+    );
+    assert!(tr_ms > row_ms, "transposed {tr_ms} vs row {row_ms}");
+
+    let fr = ablation_worker_case(CompilerOptions::openuh(), dims, 256);
+    let dr = ablation_worker_case(
+        CompilerOptions {
+            worker_strategy: WorkerStrategy::DuplicateRows,
+            ..CompilerOptions::openuh()
+        },
+        dims,
+        256,
+    );
+    assert!(fr <= dr * 1.01, "first-row {fr} vs duplicate-rows {dr}");
+}
+
+/// The atomic gang strategy must save the second kernel launch.
+#[test]
+fn atomic_gang_strategy_saves_a_launch() {
+    use uhacc_bench::ablation_gang_strategy;
+    let d = LaunchDims {
+        gangs: 32,
+        workers: 1,
+        vector: 128,
+    };
+    let two = ablation_gang_strategy(GangStrategy::TwoKernel, d, 64 * 1024);
+    let atomic = ablation_gang_strategy(GangStrategy::Atomic, d, 64 * 1024);
+    assert!(atomic < two, "atomic {atomic} vs two-kernel {two}");
+}
+
+/// Fig. 12a: the heat equation's reduction cost must grow with grid size
+/// and stay below PGI-like's.
+#[test]
+fn heat_shape() {
+    use uhacc_bench::fig12a_point;
+    let p128 = fig12a_point(64, 4);
+    let p256 = fig12a_point(128, 4);
+    let get = |pts: &[(Compiler, Option<f64>)], c: Compiler| {
+        pts.iter()
+            .find(|(k, _)| *k == c)
+            .and_then(|(_, ms)| *ms)
+            .unwrap()
+    };
+    assert!(get(&p256, Compiler::OpenUH) > get(&p128, Compiler::OpenUH));
+    assert!(get(&p128, Compiler::PgiLike) > get(&p128, Compiler::OpenUH));
+    assert!(get(&p256, Compiler::PgiLike) > get(&p256, Compiler::OpenUH));
+}

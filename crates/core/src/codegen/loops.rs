@@ -1,0 +1,299 @@
+//! Loop emission: the Fig. 3 mapping of gang/worker/vector loops onto the
+//! thread hierarchy, with the window-sliding (grid-stride) schedule or the
+//! blocking schedule, plus the uniform-trip-count (padded) form required
+//! when barrier-bearing reduction combines execute inside the loop.
+
+use super::{RedState, RegionCodegen};
+use crate::options::Schedule;
+use crate::types::machine_ty;
+use accparse::ast::{BinOpKind, Level};
+use accparse::diag::Diag;
+use accparse::hir::HLoop;
+use gpsim::{BinOp, CmpOp, Reg, SpecialReg, Ty, Value};
+
+impl<'a> RegionCodegen<'a> {
+    /// Emit a loop (sequential or parallel) and the reduction combines for
+    /// clauses attached to it.
+    pub fn emit_loop(&mut self, l: &HLoop) -> Result<(), Diag> {
+        let loop_id = self.next_loop_id;
+        self.next_loop_id += 1;
+        let padded = self.plan.padded[loop_id];
+
+        // Activate this loop's reductions.
+        let red_base = self.red_stack.len();
+        for r in &l.reductions {
+            let red_id = self.next_red_id;
+            self.next_red_id += 1;
+            let planned = self.plan.reds[red_id].clone();
+            let cur = self.sym_reg(r.sym);
+            let saved_init = self.b.mov(cur);
+            let priv_reg = self.identity_reg(r.op, r.ty);
+            self.red_stack.push(RedState {
+                sym: r.sym,
+                op: r.op,
+                cty: r.ty,
+                priv_reg,
+                saved_init,
+                span: planned.span,
+                buffer: planned.buffer,
+            });
+        }
+
+        if l.sched.is_empty() {
+            self.emit_seq_loop(l)?;
+        } else {
+            match self.opts.schedule {
+                Schedule::WindowSliding => self.emit_window_loop(l, padded)?,
+                Schedule::Blocking => self.emit_blocking_loop(l, padded)?,
+            }
+        }
+
+        // Deactivate and combine (combines read priv + saved_init; sym
+        // reads must no longer be routed to the private).
+        let states: Vec<RedState> = self.red_stack.drain(red_base..).collect();
+        for st in &states {
+            self.emit_combine(st)?;
+        }
+        Ok(())
+    }
+
+    /// `(pos, total)` for a parallel loop's schedule: the thread's position
+    /// in the flattened index space of the named levels and that space's
+    /// size. The innermost component is always `threadIdx.x` when `vector`
+    /// is named, which is what makes window-sliding coalesce.
+    fn pos_total(&mut self, sched: &[Level]) -> (Reg, u32) {
+        let mut total = 1u32;
+        let mut pos: Option<Reg> = None;
+        for lv in sched {
+            let (idx, size) = match lv {
+                Level::Gang => (self.special(SpecialReg::CtaIdX), self.dims.gangs),
+                Level::Worker => (self.special(SpecialReg::TidY), self.dims.workers),
+                Level::Vector => (self.special(SpecialReg::TidX), self.dims.vector),
+            };
+            pos = Some(match pos {
+                None => idx,
+                Some(p) => {
+                    let scaled = self.b.bin(BinOp::Mul, Ty::I32, p, Value::I32(size as i32));
+                    self.b.bin(BinOp::Add, Ty::I32, scaled, idx)
+                }
+            });
+            total *= size;
+        }
+        (pos.expect("parallel loop has at least one level"), total)
+    }
+
+    fn cmp_op(cmp: BinOpKind) -> CmpOp {
+        match cmp {
+            BinOpKind::Lt => CmpOp::Lt,
+            BinOpKind::Le => CmpOp::Le,
+            BinOpKind::Gt => CmpOp::Gt,
+            BinOpKind::Ge => CmpOp::Ge,
+            _ => unreachable!("parser canonicalizes loop conditions"),
+        }
+    }
+
+    /// Inactive-thread default bounds that make any loop form exit
+    /// immediately: chosen so `cmp(lower, bound)` is false.
+    fn inactive_defaults(cmp: BinOpKind) -> (Value, Value) {
+        match cmp {
+            BinOpKind::Lt | BinOpKind::Le => (Value::I32(1), Value::I32(0)),
+            _ => (Value::I32(0), Value::I32(1)),
+        }
+    }
+
+    /// Evaluate lower/bound with inactive-safe defaults; returns regs at
+    /// the loop variable's machine type.
+    fn eval_bounds(&mut self, l: &HLoop) -> Result<(Reg, Reg, Ty), Diag> {
+        let vt = machine_ty(self.region.locals[l.var].ty);
+        let (dl, db) = Self::inactive_defaults(l.cmp);
+        let lo = self.expr_or_default(&l.lower, dl)?;
+        let lo = self.b.cvt(vt, lo);
+        let bo = self.expr_or_default(&l.bound, db)?;
+        let bo = self.b.cvt(vt, bo);
+        Ok((lo, bo, vt))
+    }
+
+    /// A sequential loop (no distribution): plain while form.
+    fn emit_seq_loop(&mut self, l: &HLoop) -> Result<(), Diag> {
+        let (lo, bound, vt) = self.eval_bounds(l)?;
+        // Step may be a uniform expression for seq loops; default 0 is safe
+        // because inactive defaults already fail the condition.
+        let step = self.expr_or_default(&l.step, Value::I32(0))?;
+        let step = self.b.cvt(vt, step);
+        let var = self.local_regs[l.var];
+        self.b.mov_to(var, lo);
+        let top = self.b.new_label();
+        let exit = self.b.new_label();
+        self.b.place(top);
+        let p = self.b.cmp(Self::cmp_op(l.cmp), vt, var, bound);
+        self.b.bra_unless(p, exit);
+        self.stmts(&l.body)?;
+        self.b.bin_to(var, BinOp::Add, vt, var, step);
+        self.b.bra(top);
+        self.b.place(exit);
+        Ok(())
+    }
+
+    /// Window-sliding parallel loop (paper Fig. 3):
+    /// `var = lower + pos*step; while (cmp(var, bound)) { body; var += total*step; }`
+    fn emit_window_loop(&mut self, l: &HLoop, padded: bool) -> Result<(), Diag> {
+        let (lo, bound, vt) = self.eval_bounds(l)?;
+        let stepv = l
+            .step
+            .const_int()
+            .expect("sema enforces constant parallel step");
+        let (pos, total) = self.pos_total(&l.sched);
+        let off = self
+            .b
+            .bin(BinOp::Mul, Ty::I32, pos, Value::I32(stepv as i32));
+        let var = self.local_regs[l.var];
+        let off_vt = self.b.cvt(vt, off);
+        self.b.bin_to(var, BinOp::Add, vt, lo, off_vt);
+        let stride = Value::I32((total as i64 * stepv) as i32);
+        let cmp = Self::cmp_op(l.cmp);
+
+        if !padded {
+            let top = self.b.new_label();
+            let exit = self.b.new_label();
+            self.b.place(top);
+            let p = self.b.cmp(cmp, vt, var, bound);
+            self.b.bra_unless(p, exit);
+            self.stmts(&l.body)?;
+            self.b.bin_to(var, BinOp::Add, vt, var, stride);
+            self.b.bra(top);
+            self.b.place(exit);
+            return Ok(());
+        }
+
+        // Padded form: every thread executes the same number of slices so
+        // that barriers inside the body stay uniform; out-of-range slices
+        // run with the active predicate off.
+        let n_slices = self.emit_slice_count(lo, bound, l.cmp, stepv, total);
+        let it = self.b.mov_imm(Value::I64(0));
+        let top = self.b.new_label();
+        let exit = self.b.new_label();
+        let outer_active = self.active;
+        self.b.place(top);
+        let p_it = self.b.cmp(CmpOp::Lt, Ty::I64, it, n_slices);
+        self.b.bra_unless(p_it, exit);
+        let in_range = self.b.cmp(cmp, vt, var, bound);
+        let new_active = match outer_active {
+            None => in_range,
+            Some(a) => self.b.bin(BinOp::And, Ty::Pred, a, in_range),
+        };
+        self.active = Some(new_active);
+        self.stmts(&l.body)?;
+        self.active = outer_active;
+        self.b.bin_to(var, BinOp::Add, vt, var, stride);
+        self.b.bin_to(it, BinOp::Add, Ty::I64, it, Value::I64(1));
+        self.b.bra(top);
+        self.b.place(exit);
+        Ok(())
+    }
+
+    /// Blocking-schedule parallel loop (the §2.2/§3.1.3 ablation): each
+    /// thread takes one contiguous chunk of `ceil(trip/total)` iterations.
+    /// The chunk count is uniform, so this form is barrier-safe by
+    /// construction; out-of-range iterations are predicated off.
+    fn emit_blocking_loop(&mut self, l: &HLoop, padded: bool) -> Result<(), Diag> {
+        let (lo, bound, vt) = self.eval_bounds(l)?;
+        let stepv = l
+            .step
+            .const_int()
+            .expect("sema enforces constant parallel step");
+        let (pos, total) = self.pos_total(&l.sched);
+        let cmp = Self::cmp_op(l.cmp);
+        let trip = self.emit_trip_count(lo, bound, l.cmp, stepv);
+        // chunk = ceil(trip / total)
+        let t_plus = self
+            .b
+            .bin(BinOp::Add, Ty::I64, trip, Value::I64(total as i64 - 1));
+        let chunk = self
+            .b
+            .bin(BinOp::Div, Ty::I64, t_plus, Value::I64(total as i64));
+        let pos64 = self.b.cvt(Ty::I64, pos);
+        let start = self.b.bin(BinOp::Mul, Ty::I64, pos64, chunk);
+        let it = self.b.mov(start);
+        let lim = self.b.bin(BinOp::Add, Ty::I64, start, chunk);
+        let lo64 = self.b.cvt(Ty::I64, lo);
+        let var = self.local_regs[l.var];
+
+        let top = self.b.new_label();
+        let exit = self.b.new_label();
+        let outer_active = self.active;
+        self.b.place(top);
+
+        if padded {
+            // Iterate exactly `chunk` times; predicate the body on it < trip.
+            let p = self.b.cmp(CmpOp::Lt, Ty::I64, it, lim);
+            self.b.bra_unless(p, exit);
+            let in_trip = self.b.cmp(CmpOp::Lt, Ty::I64, it, trip);
+            let new_active = match outer_active {
+                None => in_trip,
+                Some(a) => self.b.bin(BinOp::And, Ty::Pred, a, in_trip),
+            };
+            let scaled = self.b.bin(BinOp::Mul, Ty::I64, it, Value::I64(stepv));
+            let v64 = self.b.bin(BinOp::Add, Ty::I64, lo64, scaled);
+            self.b.cvt_to(var, vt, v64);
+            self.active = Some(new_active);
+            self.stmts(&l.body)?;
+            self.active = outer_active;
+        } else {
+            // end = min(lim, trip)
+            let p_end = self.b.cmp(CmpOp::Lt, Ty::I64, lim, trip);
+            let end = self.b.select(p_end, lim, trip);
+            let p = self.b.cmp(CmpOp::Lt, Ty::I64, it, end);
+            self.b.bra_unless(p, exit);
+            let scaled = self.b.bin(BinOp::Mul, Ty::I64, it, Value::I64(stepv));
+            let v64 = self.b.bin(BinOp::Add, Ty::I64, lo64, scaled);
+            self.b.cvt_to(var, vt, v64);
+            self.stmts(&l.body)?;
+        }
+        let _ = cmp;
+        self.b.bin_to(it, BinOp::Add, Ty::I64, it, Value::I64(1));
+        self.b.bra(top);
+        self.b.place(exit);
+        Ok(())
+    }
+
+    /// Emit the I64 trip count `max(0, ceil((bound-lower)/step))` adjusted
+    /// for the comparison kind.
+    fn emit_trip_count(&mut self, lo: Reg, bound: Reg, cmp: BinOpKind, stepv: i64) -> Reg {
+        let lo64 = self.b.cvt(Ty::I64, lo);
+        let b64 = self.b.cvt(Ty::I64, bound);
+        let (diff, incl) = match cmp {
+            BinOpKind::Lt => (self.b.bin(BinOp::Sub, Ty::I64, b64, lo64), 0),
+            BinOpKind::Le => (self.b.bin(BinOp::Sub, Ty::I64, b64, lo64), 1),
+            BinOpKind::Gt => (self.b.bin(BinOp::Sub, Ty::I64, lo64, b64), 0),
+            BinOpKind::Ge => (self.b.bin(BinOp::Sub, Ty::I64, lo64, b64), 1),
+            _ => unreachable!(),
+        };
+        let diff = if incl == 1 {
+            self.b.bin(BinOp::Add, Ty::I64, diff, Value::I64(1))
+        } else {
+            diff
+        };
+        let sabs = stepv.unsigned_abs() as i64;
+        let num = self.b.bin(BinOp::Add, Ty::I64, diff, Value::I64(sabs - 1));
+        let trip = self.b.bin(BinOp::Div, Ty::I64, num, Value::I64(sabs));
+        // clamp to >= 0
+        self.b.bin(BinOp::Max, Ty::I64, trip, Value::I64(0))
+    }
+
+    /// Emit the uniform slice count `ceil(trip / total)` for padded loops.
+    fn emit_slice_count(
+        &mut self,
+        lo: Reg,
+        bound: Reg,
+        cmp: BinOpKind,
+        stepv: i64,
+        total: u32,
+    ) -> Reg {
+        let trip = self.emit_trip_count(lo, bound, cmp, stepv);
+        let num = self
+            .b
+            .bin(BinOp::Add, Ty::I64, trip, Value::I64(total as i64 - 1));
+        self.b
+            .bin(BinOp::Div, Ty::I64, num, Value::I64(total as i64))
+    }
+}

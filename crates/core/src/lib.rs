@@ -1,0 +1,35 @@
+//! # uhacc-core — the OpenUH-style reduction-lowering compiler
+//!
+//! This crate is the reproduction of the primary contribution of
+//! *"Reduction Operations in Parallel Loops for GPGPUs"* (Xu, Tian, Yan,
+//! Chandrasekaran, Chapman — PMAM/PPoPP 2014): a compiler that maps
+//! OpenACC gang/worker/vector loop nests onto the SIMT thread hierarchy
+//! and parallelizes scalar reductions at every combination of levels.
+//!
+//! Input: the analyzed HIR from [`accparse`]. Output: [`plan::CompiledRegion`]
+//! — kernels for the [`gpsim`] simulator plus the buffer/parameter/launch
+//! plan the `accrt` runtime executes.
+//!
+//! Every strategy the paper discusses is a knob in
+//! [`options::CompilerOptions`]:
+//!
+//! | Paper | Knob |
+//! |---|---|
+//! | window sliding vs blocking (Fig. 3, §3.1.3) | [`options::Schedule`] |
+//! | Fig. 6b vs 6c vector layouts | [`options::VectorLayout`] |
+//! | Fig. 8b vs 8c worker strategies | [`options::WorkerStrategy`] |
+//! | unrolled + warp-sync tail vs naive tree (Fig. 7, §3.3) | [`options::TreeStyle`] |
+//! | shared vs global staging (§3.3) | [`options::CombineSpace`] |
+//! | §3.2.1 automatic reduction-span detection | `auto_span` |
+
+pub mod codegen;
+pub mod options;
+pub mod plan;
+pub mod types;
+
+pub use codegen::compile_region;
+pub use options::{
+    CombineSpace, CompilerOptions, GangStrategy, InjectedBugs, RejectRule, Schedule, TreeStyle,
+    VectorLayout, WorkerStrategy,
+};
+pub use plan::{CompiledRegion, LaunchDims};

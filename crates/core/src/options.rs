@@ -1,0 +1,200 @@
+//! Compiler strategy options.
+//!
+//! Every design choice the paper discusses (and every alternative it
+//! compares against) is a knob here, so the OpenUH strategy, the two
+//! commercial-compiler personalities, and the ablation benches all drive
+//! the *same* codegen with different options.
+
+use accparse::ast::{Level, RedOp};
+
+/// How a parallel loop's iterations are distributed over its threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// The paper's window-sliding (grid-stride / round-robin) schedule
+    /// (Fig. 3). Consecutive threads touch consecutive iterations, so
+    /// vector loops coalesce.
+    WindowSliding,
+    /// Blocking: each thread takes one contiguous chunk. Same work, but
+    /// vector loops stop coalescing — the §3.1.3 ablation.
+    Blocking,
+}
+
+/// Shared-memory layout for the vector reduction (paper Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VectorLayout {
+    /// Fig. 6(c), OpenUH: threads and data keep the global-memory layout;
+    /// each worker's row is contiguous in shared memory (conflict-prone
+    /// only at the tail, fixed by unrolling).
+    RowWise,
+    /// Fig. 6(b): data and threads transposed in shared memory; reduction
+    /// runs down columns, so lanes hit strided addresses (bank conflicts,
+    /// memory divergence).
+    Transposed,
+}
+
+/// Strategy for the worker reduction (paper Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerStrategy {
+    /// Fig. 8(c), OpenUH: lane 0 of each worker stores the partial into the
+    /// first row; the first row's vector threads tree-reduce it. Uses
+    /// `workers` elements of shared memory and (mostly) warp-synchronous
+    /// steps.
+    FirstRow,
+    /// Fig. 8(b): every vector lane stores its worker's partial, producing
+    /// `vector x workers` duplicated values; every row reduces in parallel
+    /// with a barrier per step. More shared memory, more synchronization.
+    DuplicateRows,
+}
+
+/// How the in-kernel tree reduction is emitted (paper Fig. 7 and §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeStyle {
+    /// Fully unrolled interleaved log-step reduction with warp-synchronous
+    /// tail (no `__syncthreads()` once the active lanes fit in one warp) —
+    /// OpenUH unrolls all iterations since blocks are at most 1024 threads.
+    Unrolled,
+    /// A plain loop with a barrier after every step (the naive form).
+    Looped,
+}
+
+/// Where in-kernel reduction partials are staged (§3.3: the global-memory
+/// fallback exists for kernels whose shared memory is reserved for other
+/// blocking optimizations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombineSpace {
+    Shared,
+    Global,
+}
+
+/// How gang-spanning reductions are consolidated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GangStrategy {
+    /// The paper's strategy: per-participant partials in a global buffer,
+    /// reduced by a second kernel (§3.1.3 — blocks cannot synchronize).
+    TwoKernel,
+    /// Alternative: every participant issues one global atomic RMW on a
+    /// single accumulator. No extra launch, but lane-serialized contention.
+    /// Falls back to TwoKernel for operators without an atomic (e.g. `*`).
+    Atomic,
+}
+
+/// Injectable codegen defects used by the baseline personalities to
+/// reproduce the failure matrix of the paper's Table 2. `None` for the
+/// real compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InjectedBugs {
+    /// Omit the barrier between staging partials and tree-reducing them:
+    /// warps read stale partials, producing deterministic wrong results.
+    pub skip_stage_barrier: bool,
+    /// Ignore the detected multi-level span and honour only the levels
+    /// written on the clause (the CAPS behaviour the paper describes:
+    /// "failing which incorrect result is generated").
+    pub clause_levels_only: bool,
+    /// Skip folding the variable's initial value into the result.
+    pub skip_init_fold: bool,
+}
+
+/// Full option set for one compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompilerOptions {
+    pub schedule: Schedule,
+    pub vector_layout: VectorLayout,
+    pub worker_strategy: WorkerStrategy,
+    pub tree: TreeStyle,
+    pub combine_space: CombineSpace,
+    /// Use the auto-detected reduction span (§3.2.1). When false, the span
+    /// is the clause's own levels (plus `InjectedBugs::clause_levels_only`
+    /// marks this as a deliberate baseline defect rather than a feature).
+    pub auto_span: bool,
+    pub bugs: InjectedBugs,
+    /// Reductions this compiler cannot compile at all (returns a
+    /// compile-time error, the "CE" entries of Table 2): predicate on
+    /// (span levels, operator). Encoded as an explicit reject list.
+    pub rejects: Vec<RejectRule>,
+    /// Threads of the one-block finalize kernel used for gang-spanning
+    /// reductions.
+    pub finalize_threads: u32,
+    /// Gang-reduction consolidation strategy.
+    pub gang_strategy: GangStrategy,
+}
+
+/// A rejection rule: a reduction whose detected span equals `span` (order-
+/// insensitive) and whose operator matches (None = any) fails to compile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RejectRule {
+    pub span: Vec<Level>,
+    pub op: Option<RedOp>,
+    /// Human-readable reason used in the diagnostic.
+    pub reason: &'static str,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions::openuh()
+    }
+}
+
+impl CompilerOptions {
+    /// The OpenUH strategy set described by the paper.
+    pub fn openuh() -> Self {
+        CompilerOptions {
+            schedule: Schedule::WindowSliding,
+            vector_layout: VectorLayout::RowWise,
+            worker_strategy: WorkerStrategy::FirstRow,
+            tree: TreeStyle::Unrolled,
+            combine_space: CombineSpace::Shared,
+            auto_span: true,
+            bugs: InjectedBugs::default(),
+            rejects: Vec::new(),
+            finalize_threads: 256,
+            gang_strategy: GangStrategy::TwoKernel,
+        }
+    }
+
+    /// Does any rule reject this reduction?
+    pub fn rejected(&self, span: &[Level], op: RedOp) -> Option<&RejectRule> {
+        self.rejects.iter().find(|r| {
+            let mut a = r.span.clone();
+            let mut b = span.to_vec();
+            a.sort();
+            b.sort();
+            a == b && r.op.is_none_or(|o| o == op)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_openuh() {
+        let o = CompilerOptions::default();
+        assert_eq!(o.schedule, Schedule::WindowSliding);
+        assert_eq!(o.vector_layout, VectorLayout::RowWise);
+        assert_eq!(o.worker_strategy, WorkerStrategy::FirstRow);
+        assert_eq!(o.tree, TreeStyle::Unrolled);
+        assert!(o.auto_span);
+        assert!(o.rejects.is_empty());
+        assert!(!o.bugs.skip_stage_barrier);
+    }
+
+    #[test]
+    fn reject_rules_match_span_order_insensitively() {
+        let mut o = CompilerOptions::openuh();
+        o.rejects.push(RejectRule {
+            span: vec![Level::Gang, Level::Worker, Level::Vector],
+            op: Some(RedOp::Add),
+            reason: "three-level reduction not supported",
+        });
+        assert!(o
+            .rejected(&[Level::Vector, Level::Worker, Level::Gang], RedOp::Add)
+            .is_some());
+        assert!(o
+            .rejected(&[Level::Gang, Level::Worker], RedOp::Add)
+            .is_none());
+        assert!(o
+            .rejected(&[Level::Gang, Level::Worker, Level::Vector], RedOp::Mul)
+            .is_none());
+    }
+}

@@ -1,0 +1,141 @@
+//! Output artifacts of region compilation: the compiled kernels plus the
+//! launch/data plan the runtime executes.
+
+use accparse::ast::{CType, RedOp};
+use gpsim::Kernel;
+
+/// Resolved launch geometry: the OpenACC `num_gangs`/`num_workers`/
+/// `vector_length` mapped to CUDA grid/block dims (gang -> block,
+/// worker -> `threadIdx.y`, vector -> `threadIdx.x`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchDims {
+    pub gangs: u32,
+    pub workers: u32,
+    pub vector: u32,
+}
+
+impl LaunchDims {
+    /// The paper's evaluation configuration: 192 gangs (12 usable SMs x 16
+    /// resident blocks), 8 workers, vector length 128.
+    pub fn paper() -> Self {
+        LaunchDims {
+            gangs: 192,
+            workers: 8,
+            vector: 128,
+        }
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        self.workers * self.vector
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> u32 {
+        self.gangs * self.threads_per_block()
+    }
+}
+
+/// One kernel launch parameter the runtime must supply, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamSpec {
+    /// Device base address of array `arrays[i]`.
+    ArrayBase(usize),
+    /// Extent of dimension `dim` of array `arrays[i]` (as i32).
+    ArrayDim { array: usize, dim: usize },
+    /// Current host value of scalar `hosts[i]`.
+    HostScalar(usize),
+    /// Device base address of temp buffer `buffers[i]` of this region.
+    TempBuffer(usize),
+}
+
+/// A temporary device buffer the runtime must allocate for this region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferSpec {
+    /// Element count (known at compile time — it depends only on launch
+    /// dims, never on data sizes).
+    pub elems: u64,
+    /// Element C type.
+    pub ty: CType,
+    /// What the buffer is for (diagnostics/debugging).
+    pub purpose: BufferPurpose,
+    /// Value to store into element 0 before every launch (atomic
+    /// accumulators start at the operator identity).
+    pub init: Option<gpsim::Value>,
+}
+
+/// Why a temp buffer exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferPurpose {
+    /// Per-participant partials of a gang-spanning reduction.
+    GangPartials,
+    /// Global-memory staging area for an in-kernel combine
+    /// (`CombineSpace::Global`).
+    GlobalCombine,
+    /// Mailbox for host scalars written inside the kernel (8-byte slots).
+    Mailbox,
+    /// Single-element accumulator for the atomic gang strategy.
+    GangAtomic,
+}
+
+/// A second-pass reduction kernel over a partials buffer (the paper's
+/// "another kernel is launched to do the reduction within only one block").
+#[derive(Debug, Clone)]
+pub struct FinalizePass {
+    pub kernel: Kernel,
+    /// Buffer index holding the partials; the result lands in element 0.
+    pub buffer: usize,
+    /// Number of partial elements to reduce.
+    pub elems: u64,
+    /// Threads of the single block.
+    pub threads: u32,
+}
+
+/// After all kernels ran: fold `buffers[buffer][0]` into host scalar
+/// `hosts[host]` with `op` (the initial-value handling of §3.1.1, done on
+/// the host for gang-spanning reductions).
+#[derive(Debug, Clone, Copy)]
+pub struct ResultRead {
+    pub host: usize,
+    pub buffer: usize,
+    pub op: RedOp,
+    /// When false (injected baseline bug), overwrite instead of folding.
+    pub fold: bool,
+}
+
+/// Which host scalars the main kernel writes directly (non-gang-spanning
+/// reductions on host scalars and plain host assignments): the runtime
+/// reads them back from a small mailbox buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct HostWriteback {
+    pub host: usize,
+    /// Element index in the region's host-mailbox buffer.
+    pub slot: u64,
+}
+
+/// A fully compiled parallel region.
+#[derive(Debug, Clone)]
+pub struct CompiledRegion {
+    pub main: Kernel,
+    pub dims: LaunchDims,
+    pub params: Vec<ParamSpec>,
+    pub buffers: Vec<BufferSpec>,
+    pub finalize: Vec<FinalizePass>,
+    pub results: Vec<ResultRead>,
+    /// Host scalars written in-kernel, returned via the mailbox buffer.
+    pub writebacks: Vec<HostWriteback>,
+    /// Mailbox buffer index (present iff `writebacks` is non-empty).
+    pub mailbox: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dims() {
+        let d = LaunchDims::paper();
+        assert_eq!(d.threads_per_block(), 1024);
+        assert_eq!(d.total_threads(), 192 * 1024);
+    }
+}

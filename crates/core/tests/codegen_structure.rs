@@ -1,0 +1,293 @@
+//! Structural tests on the generated kernels: the emitted IR must match
+//! the shapes the paper describes (Fig. 3 index mapping, Fig. 5 combine
+//! structure, §3.3 barrier elision and shared-memory sizing).
+
+use accparse::compile as front;
+use gpsim::Inst;
+use uhacc_core::{
+    compile_region, CombineSpace, CompilerOptions, LaunchDims, TreeStyle, VectorLayout,
+    WorkerStrategy,
+};
+
+const TRIPLE: &str = r#"
+    int NK; int NJ; int NI;
+    int input[NK][NJ][NI];
+    int out[NK][NJ];
+    #pragma acc parallel copyin(input) copyout(out)
+    {
+        #pragma acc loop gang
+        for (int k = 0; k < NK; k++) {
+            #pragma acc loop worker
+            for (int j = 0; j < NJ; j++) {
+                int s = 0;
+                #pragma acc loop vector reduction(+:s)
+                for (int i = 0; i < NI; i++) {
+                    s += input[k][j][i];
+                }
+                out[k][j] = s;
+            }
+        }
+    }
+"#;
+
+const GANG_RED: &str = r#"
+    int N; int s;
+    int a[N];
+    s = 0;
+    #pragma acc parallel copyin(a)
+    {
+        #pragma acc loop gang reduction(+:s)
+        for (int k = 0; k < N; k++) {
+            s += a[k];
+        }
+    }
+"#;
+
+fn bars(k: &gpsim::Kernel) -> usize {
+    k.insts.iter().filter(|i| matches!(i, Inst::Bar)).count()
+}
+
+#[test]
+fn fig3_window_mapping_uses_all_three_dims() {
+    let prog = front(TRIPLE).unwrap();
+    let dims = LaunchDims {
+        gangs: 8,
+        workers: 4,
+        vector: 64,
+    };
+    let c = compile_region(&prog, 0, dims, &CompilerOptions::openuh()).unwrap();
+    let d = c.main.disasm();
+    // The Fig. 3 mapping reads all three hardware indices.
+    assert!(d.contains("%ctaid.x"), "gang -> blockIdx.x:\n{d}");
+    assert!(d.contains("%tid.y"), "worker -> threadIdx.y:\n{d}");
+    assert!(d.contains("%tid.x"), "vector -> threadIdx.x:\n{d}");
+    // Window-sliding strides appear as the grid/block extents.
+    assert!(
+        d.contains("add.s32") && d.contains(", 64"),
+        "vector stride 64 (window sliding):\n{d}"
+    );
+}
+
+#[test]
+fn warp_sync_tail_elides_barriers() {
+    let prog = front(TRIPLE).unwrap();
+    // vector=128 (warp-aligned): stage bar + one bar after the s=64 step +
+    // broadcast bar + post-read bar = 4.
+    let dims = LaunchDims {
+        gangs: 2,
+        workers: 4,
+        vector: 128,
+    };
+    let c = compile_region(&prog, 0, dims, &CompilerOptions::openuh()).unwrap();
+    assert_eq!(bars(&c.main), 4, "{}", c.main.disasm());
+    // vector=32, one worker row per warp: no barriers at all (§3.1.2's
+    // "we do not need synchronization" observation).
+    let dims = LaunchDims {
+        gangs: 2,
+        workers: 4,
+        vector: 32,
+    };
+    let c = compile_region(&prog, 0, dims, &CompilerOptions::openuh()).unwrap();
+    assert_eq!(bars(&c.main), 0, "{}", c.main.disasm());
+    // vector=48 (rows straddle warps): barrier after every one of the
+    // log2(32)=5 steps plus pre-step, stage, broadcast, post-read.
+    let dims = LaunchDims {
+        gangs: 2,
+        workers: 4,
+        vector: 48,
+    };
+    let c = compile_region(&prog, 0, dims, &CompilerOptions::openuh()).unwrap();
+    assert!(bars(&c.main) > 6, "{}", c.main.disasm());
+}
+
+#[test]
+fn looped_tree_has_barrier_inside_loop() {
+    let prog = front(TRIPLE).unwrap();
+    let dims = LaunchDims {
+        gangs: 2,
+        workers: 4,
+        vector: 128,
+    };
+    let opts = CompilerOptions {
+        tree: TreeStyle::Looped,
+        ..CompilerOptions::openuh()
+    };
+    let c = compile_region(&prog, 0, dims, &opts).unwrap();
+    // The looped tree emits far fewer static instructions but loops over a
+    // barrier; the unrolled version has more static tree steps.
+    let unrolled = compile_region(&prog, 0, dims, &CompilerOptions::openuh()).unwrap();
+    assert!(
+        c.main.insts.len() < unrolled.main.insts.len(),
+        "looped {} vs unrolled {}",
+        c.main.insts.len(),
+        unrolled.main.insts.len()
+    );
+}
+
+#[test]
+fn shared_memory_sizing_matches_strategy() {
+    let worker_red = r#"
+        int NK; int NJ;
+        int a[NK][NJ];
+        int out[NK];
+        #pragma acc parallel copyin(a) copyout(out)
+        {
+            #pragma acc loop gang
+            for (int k = 0; k < NK; k++) {
+                int s = 0;
+                #pragma acc loop worker reduction(+:s)
+                for (int j = 0; j < NJ; j++) {
+                    s += a[k][j];
+                }
+                out[k] = s;
+            }
+        }
+    "#;
+    let prog = front(worker_red).unwrap();
+    let dims = LaunchDims {
+        gangs: 2,
+        workers: 8,
+        vector: 64,
+    };
+    // Fig. 8c first-row: `workers` elements.
+    let c = compile_region(&prog, 0, dims, &CompilerOptions::openuh()).unwrap();
+    assert_eq!(c.main.shared_bytes, 8 * 4, "{}", c.main.shared_bytes);
+    // Fig. 8b duplicate rows: one element per thread ("consumes a lot of
+    // shared memory").
+    let opts = CompilerOptions {
+        worker_strategy: WorkerStrategy::DuplicateRows,
+        ..CompilerOptions::openuh()
+    };
+    let c = compile_region(&prog, 0, dims, &opts).unwrap();
+    assert_eq!(c.main.shared_bytes, 8 * 64 * 4);
+    // Global staging: no shared memory at all.
+    let opts = CompilerOptions {
+        combine_space: CombineSpace::Global,
+        ..CompilerOptions::openuh()
+    };
+    let c = compile_region(&prog, 0, dims, &opts).unwrap();
+    assert_eq!(c.main.shared_bytes, 0);
+}
+
+#[test]
+fn mixed_type_reductions_share_the_widest_slab() {
+    // §3.3: an int and a double reduction on the same loop share one slab
+    // sized for the double.
+    let src = r#"
+        int NK; int NJ;
+        int a[NK][NJ];
+        #pragma acc parallel copyin(a)
+        {
+            #pragma acc loop gang
+            for (int k = 0; k < NK; k++) {
+                int si = 0;
+                double sd = 0.0;
+                #pragma acc loop worker vector reduction(+:si) reduction(+:sd)
+                for (int j = 0; j < NJ; j++) {
+                    si += a[k][j];
+                    sd += a[k][j] * 0.5;
+                }
+                a[k][0] = si + (int)sd;
+            }
+        }
+    "#;
+    let prog = front(src).unwrap();
+    let dims = LaunchDims {
+        gangs: 2,
+        workers: 4,
+        vector: 32,
+    };
+    let c = compile_region(&prog, 0, dims, &CompilerOptions::openuh()).unwrap();
+    // One slab of tpb * sizeof(double); NOT tpb * (4 + 8).
+    assert_eq!(c.main.shared_bytes, 128 * 8);
+}
+
+#[test]
+fn gang_reduction_creates_buffer_and_finalize_kernel() {
+    let prog = front(GANG_RED).unwrap();
+    let dims = LaunchDims {
+        gangs: 24,
+        workers: 1,
+        vector: 1,
+    };
+    let c = compile_region(&prog, 0, dims, &CompilerOptions::openuh()).unwrap();
+    assert_eq!(c.buffers.len(), 1);
+    assert_eq!(c.buffers[0].elems, 24, "one partial per gang");
+    assert_eq!(c.finalize.len(), 1, "the paper's second kernel");
+    assert_eq!(c.results.len(), 1);
+    assert!(c.results[0].fold, "initial value folded on the host");
+    // The finalize kernel is a single-block tree reduction.
+    let d = c.finalize[0].kernel.disasm();
+    assert!(d.contains("acc_reduce_final"));
+    assert!(d.contains("ld.global"));
+}
+
+#[test]
+fn no_finalize_kernel_for_non_gang_spans() {
+    let prog = front(TRIPLE).unwrap();
+    let dims = LaunchDims {
+        gangs: 2,
+        workers: 4,
+        vector: 64,
+    };
+    let c = compile_region(&prog, 0, dims, &CompilerOptions::openuh()).unwrap();
+    assert!(c.finalize.is_empty());
+    assert!(c.buffers.is_empty());
+    assert!(c.results.is_empty());
+}
+
+#[test]
+fn params_are_deterministic_and_complete() {
+    let prog = front(TRIPLE).unwrap();
+    let dims = LaunchDims {
+        gangs: 2,
+        workers: 4,
+        vector: 64,
+    };
+    let a = compile_region(&prog, 0, dims, &CompilerOptions::openuh()).unwrap();
+    let b = compile_region(&prog, 0, dims, &CompilerOptions::openuh()).unwrap();
+    assert_eq!(a.params, b.params);
+    assert_eq!(a.main.num_params as usize, a.params.len());
+    // input (base + 3 dims) + out (base + 2 dims) + 3 host scalars = 10.
+    assert_eq!(a.params.len(), 10, "{:?}", a.params);
+}
+
+#[test]
+fn transposed_layout_changes_staging_indexing() {
+    let prog = front(TRIPLE).unwrap();
+    let dims = LaunchDims {
+        gangs: 2,
+        workers: 4,
+        vector: 64,
+    };
+    let row = compile_region(&prog, 0, dims, &CompilerOptions::openuh()).unwrap();
+    let opts = CompilerOptions {
+        vector_layout: VectorLayout::Transposed,
+        ..CompilerOptions::openuh()
+    };
+    let tr = compile_region(&prog, 0, dims, &opts).unwrap();
+    // Same shared size, different code.
+    assert_eq!(row.main.shared_bytes, tr.main.shared_bytes);
+    assert_ne!(row.main.insts, tr.main.insts);
+}
+
+#[test]
+fn compile_is_deterministic() {
+    let prog = front(GANG_RED).unwrap();
+    let dims = LaunchDims::paper();
+    let a = compile_region(&prog, 0, dims, &CompilerOptions::openuh()).unwrap();
+    let b = compile_region(&prog, 0, dims, &CompilerOptions::openuh()).unwrap();
+    assert_eq!(a.main.insts, b.main.insts);
+    assert_eq!(a.main.disasm(), b.main.disasm());
+}
+
+#[test]
+fn rejects_zero_dims() {
+    let prog = front(GANG_RED).unwrap();
+    let dims = LaunchDims {
+        gangs: 0,
+        workers: 1,
+        vector: 1,
+    };
+    assert!(compile_region(&prog, 0, dims, &CompilerOptions::openuh()).is_err());
+}

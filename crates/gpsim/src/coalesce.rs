@@ -1,0 +1,147 @@
+//! Memory access pattern analysis: global-memory coalescing and shared-
+//! memory bank conflicts.
+//!
+//! These two functions are the heart of the performance model — they are
+//! what makes the paper's layout choices (Fig. 6b vs 6c, Fig. 8b vs 8c)
+//! and the window-sliding schedule measurably different.
+
+use std::collections::HashSet;
+
+/// Number of distinct aligned `segment_bytes` segments touched by a warp's
+/// active lanes, i.e. the number of global-memory transactions issued
+/// (Fermi+ coalescing rule).
+///
+/// `accesses` holds `(byte_address, access_size)` per active lane.
+pub fn global_transactions(accesses: &[(u64, usize)], segment_bytes: u64) -> u64 {
+    debug_assert!(segment_bytes.is_power_of_two());
+    let mut segments: HashSet<u64> = HashSet::with_capacity(accesses.len());
+    for &(addr, len) in accesses {
+        if len == 0 {
+            continue;
+        }
+        let first = addr / segment_bytes;
+        let last = (addr + len as u64 - 1) / segment_bytes;
+        for s in first..=last {
+            segments.insert(s);
+        }
+    }
+    segments.len() as u64
+}
+
+/// Shared-memory bank conflict degree for one warp access: the maximum
+/// number of active lanes hitting the same bank with *different* 32-bit
+/// words. Lanes reading the same word broadcast (no conflict), as on real
+/// hardware.
+///
+/// Returns the serialization factor: 1 for conflict-free (or broadcast),
+/// `n` when the access replays `n` times. 64-bit accesses count both words.
+pub fn bank_conflict_degree(accesses: &[(u64, usize)], num_banks: u32) -> u64 {
+    if accesses.is_empty() {
+        return 0;
+    }
+    // bank -> set of distinct word indices accessed in that bank
+    let mut per_bank: std::collections::HashMap<u64, HashSet<u64>> =
+        std::collections::HashMap::new();
+    for &(off, len) in accesses {
+        if len == 0 {
+            continue;
+        }
+        let first_word = off / 4;
+        let last_word = (off + len as u64 - 1) / 4;
+        for w in first_word..=last_word {
+            per_bank.entry(w % num_banks as u64).or_default().insert(w);
+        }
+    }
+    per_bank
+        .values()
+        .map(|words| words.len() as u64)
+        .max()
+        .unwrap_or(0)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lanes_f32(offsets: impl IntoIterator<Item = u64>) -> Vec<(u64, usize)> {
+        offsets.into_iter().map(|o| (o, 4)).collect()
+    }
+
+    #[test]
+    fn fully_coalesced_warp_is_one_transaction() {
+        // 32 consecutive f32 loads starting at a segment boundary.
+        let acc = lanes_f32((0..32).map(|i| i * 4));
+        assert_eq!(global_transactions(&acc, 128), 1);
+    }
+
+    #[test]
+    fn strided_warp_explodes_transactions() {
+        // Stride of 128 bytes: every lane in its own segment.
+        let acc = lanes_f32((0..32).map(|i| i * 128));
+        assert_eq!(global_transactions(&acc, 128), 32);
+    }
+
+    #[test]
+    fn misaligned_warp_takes_two_transactions() {
+        // 32 consecutive f32 loads starting 64 bytes into a segment.
+        let acc = lanes_f32((0..32).map(|i| 64 + i * 4));
+        assert_eq!(global_transactions(&acc, 128), 2);
+    }
+
+    #[test]
+    fn f64_consecutive_takes_two_segments() {
+        let acc: Vec<_> = (0..32u64).map(|i| (i * 8, 8)).collect();
+        assert_eq!(global_transactions(&acc, 128), 2);
+    }
+
+    #[test]
+    fn empty_and_zero_len() {
+        assert_eq!(global_transactions(&[], 128), 0);
+        assert_eq!(global_transactions(&[(100, 0)], 128), 0);
+    }
+
+    #[test]
+    fn straddling_access_counts_both_segments() {
+        let acc = [(126u64, 4usize)];
+        assert_eq!(global_transactions(&acc, 128), 2);
+    }
+
+    #[test]
+    fn conflict_free_consecutive_words() {
+        let acc = lanes_f32((0..32).map(|i| i * 4));
+        assert_eq!(bank_conflict_degree(&acc, 32), 1);
+    }
+
+    #[test]
+    fn same_word_broadcasts() {
+        let acc = lanes_f32(std::iter::repeat(16).take(32));
+        assert_eq!(bank_conflict_degree(&acc, 32), 1);
+    }
+
+    #[test]
+    fn stride_32_words_is_full_conflict() {
+        // All lanes hit bank 0 with distinct words: 32-way conflict.
+        let acc = lanes_f32((0..32).map(|i| i * 32 * 4));
+        assert_eq!(bank_conflict_degree(&acc, 32), 32);
+    }
+
+    #[test]
+    fn stride_2_words_is_two_way_conflict() {
+        let acc = lanes_f32((0..32).map(|i| i * 2 * 4));
+        assert_eq!(bank_conflict_degree(&acc, 32), 2);
+    }
+
+    #[test]
+    fn f64_access_touches_two_banks() {
+        // Consecutive f64: lane i touches words 2i, 2i+1 -> with 32 lanes the
+        // 64 words cover each bank twice with distinct words: 2-way replay.
+        let acc: Vec<_> = (0..32u64).map(|i| (i * 8, 8)).collect();
+        assert_eq!(bank_conflict_degree(&acc, 32), 2);
+    }
+
+    #[test]
+    fn empty_access_has_zero_degree() {
+        assert_eq!(bank_conflict_degree(&[], 32), 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! The [`Device`] facade: global memory, configuration, cost model and
+//! session statistics behind one handle — the simulated analogue of a CUDA
+//! context.
+
+use crate::cost::{CostModel, DeviceConfig};
+use crate::error::SimError;
+use crate::exec::{run_kernel, LaunchConfig};
+use crate::ir::Kernel;
+use crate::memory::{BufferHandle, GlobalMemory};
+use crate::stats::{LaunchStats, SessionStats};
+use crate::types::{Ty, Value};
+
+/// A simulated GPU device.
+#[derive(Debug)]
+pub struct Device {
+    config: DeviceConfig,
+    cost: CostModel,
+    global: GlobalMemory,
+    stats: SessionStats,
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Device::new(DeviceConfig::default(), CostModel::default())
+    }
+}
+
+impl Device {
+    /// Create a device with the given configuration and cost model.
+    pub fn new(config: DeviceConfig, cost: CostModel) -> Self {
+        let global = GlobalMemory::new(config.global_mem_bytes);
+        Device {
+            config,
+            cost,
+            global,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// A small device for fast unit tests.
+    pub fn test_small() -> Self {
+        Device::new(DeviceConfig::test_small(), CostModel::default())
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Mutable cost model (for calibration experiments).
+    pub fn cost_model_mut(&mut self) -> &mut CostModel {
+        &mut self.cost
+    }
+
+    /// Session statistics accumulated so far.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Reset session statistics (keeps memory contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = SessionStats::default();
+    }
+
+    /// Total modelled milliseconds elapsed in this session.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.cost
+            .cycles_to_ms(self.stats.total_cycles(), self.config.clock_hz)
+    }
+
+    /// Allocate `len` bytes of device global memory.
+    pub fn alloc(&mut self, len: u64) -> Result<BufferHandle, SimError> {
+        self.global.alloc(len)
+    }
+
+    /// Allocate a buffer for `n` elements of type `ty`.
+    pub fn alloc_elems(&mut self, ty: Ty, n: u64) -> Result<BufferHandle, SimError> {
+        self.global.alloc(n * ty.size() as u64)
+    }
+
+    /// Copy host bytes to the device (modelled PCIe transfer).
+    pub fn memcpy_h2d(&mut self, dst: BufferHandle, src: &[u8]) -> Result<(), SimError> {
+        self.global.write_bytes(dst.addr, src)?;
+        self.stats.bytes_h2d += src.len() as u64;
+        self.stats.transfer_cycles += self.cost.transfer_cycles(src.len() as u64);
+        Ok(())
+    }
+
+    /// Copy device bytes to the host (modelled PCIe transfer).
+    pub fn memcpy_d2h(&mut self, src: BufferHandle, dst: &mut [u8]) -> Result<(), SimError> {
+        self.global.read_bytes(src.addr, dst)?;
+        self.stats.bytes_d2h += dst.len() as u64;
+        self.stats.transfer_cycles += self.cost.transfer_cycles(dst.len() as u64);
+        Ok(())
+    }
+
+    /// Read one typed value from device memory without charging transfer
+    /// cost (debug/verification access).
+    pub fn peek(&self, ty: Ty, addr: u64) -> Result<Value, SimError> {
+        self.global.read(ty, addr)
+    }
+
+    /// Write one typed value to device memory without charging transfer
+    /// cost (debug/initialization access).
+    pub fn poke(&mut self, addr: u64, v: Value) -> Result<(), SimError> {
+        self.global.write(addr, v)
+    }
+
+    /// Launch `kernel` with the given config and parameters; blocks until
+    /// completion (the simulator is synchronous). Returns the launch stats;
+    /// cycles are also accumulated into the session.
+    pub fn launch(
+        &mut self,
+        kernel: &Kernel,
+        cfg: LaunchConfig,
+        params: &[Value],
+    ) -> Result<LaunchStats, SimError> {
+        let stats = run_kernel(
+            kernel,
+            cfg,
+            params,
+            &mut self.global,
+            &self.config,
+            &self.cost,
+        )?;
+        self.stats.launches += 1;
+        self.stats.kernel_cycles += stats.cycles;
+        self.stats.totals += stats;
+        Ok(stats)
+    }
+
+    /// [`Device::launch`] with a bounded execution trace: capture up to
+    /// `limit` warp-instructions (with active masks) for debugging.
+    pub fn launch_traced(
+        &mut self,
+        kernel: &Kernel,
+        cfg: LaunchConfig,
+        params: &[Value],
+        limit: usize,
+    ) -> Result<(LaunchStats, crate::trace::Trace), SimError> {
+        let mut trace = crate::trace::Trace::with_limit(limit);
+        let stats = crate::exec::run_kernel_traced(
+            kernel,
+            cfg,
+            params,
+            &mut self.global,
+            &self.config,
+            &self.cost,
+            Some(&mut trace),
+        )?;
+        self.stats.launches += 1;
+        self.stats.kernel_cycles += stats.cycles;
+        self.stats.totals += stats;
+        Ok((stats, trace))
+    }
+
+    /// Typed host->device copy of a slice of `f64`-convertible values.
+    pub fn upload_values(&mut self, dst: BufferHandle, vals: &[Value]) -> Result<(), SimError> {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            let (b, n) = v.to_bytes();
+            bytes.extend_from_slice(&b[..n]);
+        }
+        self.memcpy_h2d(dst, &bytes)
+    }
+
+    /// Typed device->host copy of `n` values of type `ty`.
+    pub fn download_values(
+        &mut self,
+        src: BufferHandle,
+        ty: Ty,
+        n: usize,
+    ) -> Result<Vec<Value>, SimError> {
+        let mut bytes = vec![0u8; n * ty.size()];
+        self.memcpy_d2h(src, &mut bytes)?;
+        Ok((0..n)
+            .map(|i| Value::from_bytes(ty, &bytes[i * ty.size()..]))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::ir::{BinOp, MemRef, SpecialReg};
+
+    #[test]
+    fn alloc_and_transfer_roundtrip() {
+        let mut d = Device::test_small();
+        let buf = d.alloc(16).unwrap();
+        d.memcpy_h2d(
+            buf,
+            &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16],
+        )
+        .unwrap();
+        let mut out = [0u8; 16];
+        d.memcpy_d2h(buf, &mut out).unwrap();
+        assert_eq!(out[0], 1);
+        assert_eq!(out[15], 16);
+        assert_eq!(d.stats().bytes_h2d, 16);
+        assert_eq!(d.stats().bytes_d2h, 16);
+        assert!(d.stats().transfer_cycles > 0);
+    }
+
+    #[test]
+    fn launch_accumulates_session_stats() {
+        let mut d = Device::test_small();
+        let buf = d.alloc_elems(Ty::I32, 32).unwrap();
+        let mut b = KernelBuilder::new("k");
+        let out = b.param(0);
+        let tid = b.special(SpecialReg::TidX);
+        let v = b.bin(BinOp::Mul, Ty::I32, tid, Value::I32(3));
+        let t64 = b.cvt(Ty::I64, tid);
+        b.st_global(Ty::I32, MemRef::indexed(out, t64, 4), v);
+        let k = b.finish();
+        let s = d
+            .launch(&k, LaunchConfig::d1(1, 32), &[Value::U64(buf.addr)])
+            .unwrap();
+        assert_eq!(d.stats().launches, 1);
+        assert_eq!(d.stats().kernel_cycles, s.cycles);
+        assert!(d.elapsed_ms() > 0.0);
+        assert_eq!(d.peek(Ty::I32, buf.addr + 4).unwrap(), Value::I32(3));
+    }
+
+    #[test]
+    fn upload_download_values() {
+        let mut d = Device::test_small();
+        let buf = d.alloc_elems(Ty::F64, 3).unwrap();
+        d.upload_values(buf, &[Value::F64(1.0), Value::F64(2.0), Value::F64(3.0)])
+            .unwrap();
+        let vals = d.download_values(buf, Ty::F64, 3).unwrap();
+        assert_eq!(
+            vals,
+            vec![Value::F64(1.0), Value::F64(2.0), Value::F64(3.0)]
+        );
+    }
+
+    #[test]
+    fn reset_stats() {
+        let mut d = Device::test_small();
+        let buf = d.alloc(8).unwrap();
+        d.memcpy_h2d(buf, &[0u8; 8]).unwrap();
+        assert!(d.stats().transfer_cycles > 0);
+        d.reset_stats();
+        assert_eq!(d.stats().total_cycles(), 0);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::ir::{BinOp, SpecialReg};
+
+    #[test]
+    fn traced_launch_captures_warp_instructions() {
+        let mut d = Device::test_small();
+        let mut b = KernelBuilder::new("traced");
+        let tid = b.special(SpecialReg::TidX);
+        let _ = b.bin(BinOp::Add, Ty::I32, tid, Value::I32(1));
+        let k = b.finish();
+        let (stats, trace) = d
+            .launch_traced(&k, LaunchConfig::d1(2, 64), &[], 100)
+            .unwrap();
+        // 2 blocks x 2 warps x 3 instructions (2 + implicit ret).
+        assert_eq!(trace.events().len(), 12);
+        assert!(!trace.truncated());
+        assert_eq!(stats.warp_insts, 12);
+        let r = trace.render();
+        assert!(r.contains("%tid.x"), "{r}");
+        assert!(r.contains("add.s32"), "{r}");
+        assert!(r.contains("[32 lanes]"), "{r}");
+        // Limit is respected.
+        let (_, t2) = d
+            .launch_traced(&k, LaunchConfig::d1(2, 64), &[], 3)
+            .unwrap();
+        assert_eq!(t2.events().len(), 3);
+        assert!(t2.truncated());
+    }
+}

@@ -1,0 +1,124 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors raised by the simulated device.
+///
+/// Functional bugs in generated code surface as these errors (or as wrong
+/// results verified against the CPU reference) — exactly the externally
+/// visible failure classes the paper reports for the baseline compilers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Device global allocation failed.
+    OutOfMemory { requested: u64 },
+    /// A global access touched unmapped/null memory.
+    GlobalOutOfBounds { addr: u64, len: usize },
+    /// A shared access fell outside the block's shared window.
+    SharedOutOfBounds { off: u64, len: usize, window: usize },
+    /// The kernel requested more shared memory than the device provides.
+    SharedMemExceeded { requested: usize, limit: usize },
+    /// Launch configuration violates device limits.
+    InvalidLaunch { reason: String },
+    /// All unfinished warps are blocked at a barrier that can never fill —
+    /// the classic divergent `__syncthreads()` bug.
+    BarrierDeadlock {
+        block: (u32, u32),
+        arrived: usize,
+        expected: usize,
+    },
+    /// Threads of one block arrived at *different* barrier instructions —
+    /// `__syncthreads()` executed under divergent control flow (undefined
+    /// behaviour on real hardware; reported strictly here).
+    BarrierDivergence {
+        block: (u32, u32),
+        pc_a: usize,
+        pc_b: usize,
+    },
+    /// A kernel ran longer than the configured watchdog allows.
+    Watchdog { executed_insts: u64 },
+    /// Division (or remainder) by zero at an integer type.
+    DivisionByZero,
+    /// An instruction read a register holding an incompatible value class
+    /// (interpreter type confusion — indicates a codegen bug).
+    TypeError { context: String },
+    /// Wrong number of launch parameters.
+    BadParams { expected: u32, got: u32 },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory { requested } => {
+                write!(f, "device out of memory (requested {requested} bytes)")
+            }
+            SimError::GlobalOutOfBounds { addr, len } => {
+                write!(
+                    f,
+                    "global memory access out of bounds: addr={addr:#x} len={len}"
+                )
+            }
+            SimError::SharedOutOfBounds { off, len, window } => write!(
+                f,
+                "shared memory access out of bounds: off={off} len={len} window={window}"
+            ),
+            SimError::SharedMemExceeded { requested, limit } => write!(
+                f,
+                "kernel requests {requested} bytes of shared memory, device limit is {limit}"
+            ),
+            SimError::InvalidLaunch { reason } => write!(f, "invalid launch: {reason}"),
+            SimError::BarrierDeadlock {
+                block,
+                arrived,
+                expected,
+            } => write!(
+                f,
+                "barrier deadlock in block ({}, {}): {arrived}/{expected} threads arrived \
+                 (divergent __syncthreads?)",
+                block.0, block.1
+            ),
+            SimError::BarrierDivergence { block, pc_a, pc_b } => write!(
+                f,
+                "threads of block ({}, {}) arrived at different barriers (pc {pc_a} vs \
+                 {pc_b}): __syncthreads() under divergent control flow",
+                block.0, block.1
+            ),
+            SimError::Watchdog { executed_insts } => {
+                write!(
+                    f,
+                    "kernel watchdog fired after {executed_insts} warp-instructions"
+                )
+            }
+            SimError::DivisionByZero => write!(f, "integer division by zero"),
+            SimError::TypeError { context } => write!(f, "interpreter type error: {context}"),
+            SimError::BadParams { expected, got } => {
+                write!(
+                    f,
+                    "kernel expects {expected} parameters, launch passed {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::BarrierDeadlock {
+            block: (3, 0),
+            arrived: 5,
+            expected: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadlock"));
+        assert!(s.contains("5/64"));
+        assert!(SimError::DivisionByZero.to_string().contains("division"));
+        assert!(SimError::OutOfMemory { requested: 42 }
+            .to_string()
+            .contains("42"));
+    }
+}

@@ -1,0 +1,1225 @@
+//! The SIMT interpreter.
+//!
+//! Execution model:
+//! - A launch is a grid of thread blocks; blocks are independent (no
+//!   inter-block synchronization — the property the paper's gang-reduction
+//!   strategy works around with a second kernel).
+//! - Within a block, threads are grouped into warps of 32 consecutive
+//!   linear ids (`tid.y * ntid.x + tid.x`), executed in lockstep.
+//! - Divergence uses *min-PC reconvergence*: a warp repeatedly executes the
+//!   instruction at the smallest program counter among its runnable lanes,
+//!   with the active mask being exactly the lanes at that PC. For the
+//!   structured control flow our compilers emit this reconverges at the
+//!   immediate post-dominator, like hardware.
+//! - Warps are scheduled run-to-block: each warp executes until all its
+//!   lanes have exited or arrived at a barrier, then the next warp runs.
+//!   This is deterministic; racy programs (e.g. a missing
+//!   `__syncthreads()`) produce deterministic *wrong* answers, which is how
+//!   the baseline compilers' miscompilations manifest, rather than flaky
+//!   tests.
+//! - A barrier releases when every non-exited thread of the block has
+//!   arrived; if all warps block and the barrier cannot fill, the launch
+//!   fails with [`SimError::BarrierDeadlock`].
+
+use crate::coalesce::{bank_conflict_degree, global_transactions};
+use crate::cost::{CostModel, DeviceConfig};
+use crate::error::SimError;
+use crate::ir::{AtomOp, BinOp, CmpOp, Inst, Kernel, MemRef, Operand, SpecialReg, UnOp};
+use crate::memory::{GlobalMemory, SharedMemory};
+use crate::stats::LaunchStats;
+use crate::trace::{Trace, TraceEvent};
+use crate::types::{Ty, Value};
+
+/// Grid/block geometry for one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// `(gridDim.x, gridDim.y)`
+    pub grid: (u32, u32),
+    /// `(blockDim.x, blockDim.y)`
+    pub block: (u32, u32),
+}
+
+impl LaunchConfig {
+    /// 1-D launch helper: `grid_x` blocks of `block_x` threads.
+    pub fn d1(grid_x: u32, block_x: u32) -> Self {
+        LaunchConfig {
+            grid: (grid_x, 1),
+            block: (block_x, 1),
+        }
+    }
+
+    /// 2-D block helper with a 1-D grid, the paper's gang/worker/vector
+    /// shape: `gangs` blocks of `vector x workers` threads.
+    pub fn gwv(gangs: u32, workers: u32, vector: u32) -> Self {
+        LaunchConfig {
+            grid: (gangs, 1),
+            block: (vector, workers),
+        }
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        self.block.0 * self.block.1
+    }
+
+    /// Number of blocks in the grid.
+    pub fn num_blocks(&self) -> u32 {
+        self.grid.0 * self.grid.1
+    }
+
+    /// Warps per block given `warp_size`.
+    pub fn warps_per_block(&self, warp_size: u32) -> u32 {
+        self.threads_per_block().div_ceil(warp_size)
+    }
+
+    /// Validate against device limits.
+    pub fn validate(&self, dev: &DeviceConfig) -> Result<(), SimError> {
+        if self.threads_per_block() == 0 || self.num_blocks() == 0 {
+            return Err(SimError::InvalidLaunch {
+                reason: "empty grid or block".into(),
+            });
+        }
+        if self.threads_per_block() > dev.max_threads_per_block {
+            return Err(SimError::InvalidLaunch {
+                reason: format!(
+                    "{} threads per block exceeds device limit {}",
+                    self.threads_per_block(),
+                    dev.max_threads_per_block
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-thread execution state.
+struct Thread {
+    pc: usize,
+    exited: bool,
+    at_barrier: bool,
+    regs: Vec<Value>,
+}
+
+impl Thread {
+    fn runnable(&self) -> bool {
+        !self.exited && !self.at_barrier
+    }
+}
+
+/// Executes one block; owns the block's threads and shared memory.
+struct BlockExec<'a> {
+    kernel: &'a Kernel,
+    params: &'a [Value],
+    threads: Vec<Thread>,
+    shared: SharedMemory,
+    block_idx: (u32, u32),
+    cfg: LaunchConfig,
+    dev: &'a DeviceConfig,
+    cost: &'a CostModel,
+    stats: LaunchStats,
+    cycles_raw: u64,
+    // scratch buffers reused across warp steps
+    scratch_addr: Vec<(u64, usize)>,
+    trace: Option<&'a mut Trace>,
+}
+
+/// Result of executing one block.
+struct BlockResult {
+    stats: LaunchStats,
+    cycles: u64,
+}
+
+impl<'a> BlockExec<'a> {
+    fn new(
+        kernel: &'a Kernel,
+        params: &'a [Value],
+        block_idx: (u32, u32),
+        cfg: LaunchConfig,
+        dev: &'a DeviceConfig,
+        cost: &'a CostModel,
+    ) -> Self {
+        let n = cfg.threads_per_block() as usize;
+        let threads = (0..n)
+            .map(|_| Thread {
+                pc: 0,
+                exited: false,
+                at_barrier: false,
+                regs: vec![Value::I32(0); kernel.num_regs as usize],
+            })
+            .collect();
+        BlockExec {
+            kernel,
+            params,
+            threads,
+            shared: SharedMemory::new(kernel.shared_bytes),
+            block_idx,
+            cfg,
+            dev,
+            cost,
+            stats: LaunchStats::default(),
+            cycles_raw: 0,
+            scratch_addr: Vec::with_capacity(32),
+            trace: None,
+        }
+    }
+
+    fn lane_tid(&self, lane: usize) -> (u32, u32) {
+        let l = lane as u32;
+        (l % self.cfg.block.0, l / self.cfg.block.0)
+    }
+
+    fn special(&self, lane: usize, sr: SpecialReg) -> Value {
+        let (tx, ty) = self.lane_tid(lane);
+        let v = match sr {
+            SpecialReg::TidX => tx,
+            SpecialReg::TidY => ty,
+            SpecialReg::TidZ => 0,
+            SpecialReg::NTidX => self.cfg.block.0,
+            SpecialReg::NTidY => self.cfg.block.1,
+            SpecialReg::NTidZ => 1,
+            SpecialReg::CtaIdX => self.block_idx.0,
+            SpecialReg::CtaIdY => self.block_idx.1,
+            SpecialReg::NCtaIdX => self.cfg.grid.0,
+            SpecialReg::NCtaIdY => self.cfg.grid.1,
+            SpecialReg::LaneLinear => lane as u32,
+        };
+        Value::I32(v as i32)
+    }
+
+    fn operand(&self, lane: usize, op: Operand) -> Value {
+        match op {
+            Operand::Reg(r) => self.threads[lane].regs[r.0 as usize],
+            Operand::Imm(v) => v,
+        }
+    }
+
+    fn resolve_mref(&self, lane: usize, m: &MemRef) -> u64 {
+        let base = self.operand(lane, m.base).as_u64();
+        let idx = m
+            .index
+            .map_or(0, |r| self.threads[lane].regs[r.0 as usize].as_i64());
+        (base as i64 + idx * m.scale as i64 + m.disp) as u64
+    }
+
+    /// Run the block to completion.
+    fn run(mut self, global: &mut GlobalMemory) -> Result<BlockResult, SimError> {
+        let warp = self.dev.warp_size as usize;
+        let n = self.threads.len();
+        let num_warps = n.div_ceil(warp);
+        loop {
+            // Run every warp until it blocks (exit or barrier).
+            for w in 0..num_warps {
+                let lo = w * warp;
+                let hi = ((w + 1) * warp).min(n);
+                loop {
+                    // Find min PC among runnable lanes of this warp.
+                    let mut min_pc = usize::MAX;
+                    for l in lo..hi {
+                        let t = &self.threads[l];
+                        if t.runnable() && t.pc < min_pc {
+                            min_pc = t.pc;
+                        }
+                    }
+                    if min_pc == usize::MAX {
+                        break; // warp fully blocked or exited
+                    }
+                    self.step(global, lo, hi, min_pc)?;
+                    if self.cost.watchdog_warp_insts > 0
+                        && self.stats.warp_insts > self.cost.watchdog_warp_insts
+                    {
+                        return Err(SimError::Watchdog {
+                            executed_insts: self.stats.warp_insts,
+                        });
+                    }
+                }
+            }
+            // All warps are blocked: barrier bookkeeping.
+            let alive = self.threads.iter().filter(|t| !t.exited).count();
+            if alive == 0 {
+                break;
+            }
+            let arrived = self.threads.iter().filter(|t| t.at_barrier).count();
+            if arrived == alive {
+                // Strict check: every arriving thread must be at the same
+                // barrier instruction. Mixed barrier sites mean
+                // __syncthreads() under divergent control flow.
+                let mut site: Option<usize> = None;
+                for t in self.threads.iter().filter(|t| t.at_barrier) {
+                    match site {
+                        None => site = Some(t.pc),
+                        Some(p) if p != t.pc => {
+                            return Err(SimError::BarrierDivergence {
+                                block: self.block_idx,
+                                pc_a: p - 1,
+                                pc_b: t.pc - 1,
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+                for t in &mut self.threads {
+                    t.at_barrier = false;
+                }
+            } else {
+                return Err(SimError::BarrierDeadlock {
+                    block: self.block_idx,
+                    arrived,
+                    expected: alive,
+                });
+            }
+        }
+        self.stats.blocks = 1;
+        let overlap = self.cost.overlap(num_warps as u32);
+        let cycles = (self.cycles_raw as f64 / overlap).ceil() as u64;
+        self.stats.cycles = cycles;
+        Ok(BlockResult {
+            stats: self.stats,
+            cycles,
+        })
+    }
+
+    /// Execute one warp-instruction: the instruction at `pc` for every lane
+    /// in `[lo, hi)` whose PC equals `pc`.
+    fn step(
+        &mut self,
+        global: &mut GlobalMemory,
+        lo: usize,
+        hi: usize,
+        pc: usize,
+    ) -> Result<(), SimError> {
+        debug_assert!(
+            pc < self.kernel.insts.len(),
+            "pc fell off the end of the kernel"
+        );
+        let inst = self.kernel.insts[pc].clone();
+        // Collect the active mask.
+        let mut mask: Vec<usize> = Vec::with_capacity(hi - lo);
+        for l in lo..hi {
+            let t = &self.threads[l];
+            if t.runnable() && t.pc == pc {
+                mask.push(l);
+            }
+        }
+        debug_assert!(!mask.is_empty());
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record(TraceEvent {
+                block: self.block_idx,
+                warp: (lo / self.dev.warp_size as usize) as u32,
+                pc,
+                active: mask.len() as u32,
+                text: crate::ir::format_inst(&inst),
+            });
+        }
+        self.stats.warp_insts += 1;
+        self.stats.lane_insts += mask.len() as u64;
+        let mut cyc = self.cost.issue;
+
+        let mut advance = true; // advance pc by 1 for the mask afterwards
+        match &inst {
+            Inst::MovImm { dst, value } => {
+                for &l in &mask {
+                    self.threads[l].regs[dst.0 as usize] = *value;
+                }
+                cyc += self.cost.alu;
+            }
+            Inst::Mov { dst, src } => {
+                for &l in &mask {
+                    let v = self.threads[l].regs[src.0 as usize];
+                    self.threads[l].regs[dst.0 as usize] = v;
+                }
+                cyc += self.cost.alu;
+            }
+            Inst::ReadSpecial { dst, sr } => {
+                for &l in &mask {
+                    let v = self.special(l, *sr);
+                    self.threads[l].regs[dst.0 as usize] = v;
+                }
+                cyc += self.cost.alu;
+            }
+            Inst::ReadParam { dst, idx } => {
+                let v = *self.params.get(*idx as usize).ok_or(SimError::BadParams {
+                    expected: self.kernel.num_params,
+                    got: self.params.len() as u32,
+                })?;
+                for &l in &mask {
+                    self.threads[l].regs[dst.0 as usize] = v;
+                }
+                cyc += self.cost.alu;
+            }
+            Inst::Bin { op, ty, dst, a, b } => {
+                for &l in &mask {
+                    let av = self.operand(l, *a);
+                    let bv = self.operand(l, *b);
+                    let r = eval_bin(*op, *ty, av, bv)?;
+                    self.threads[l].regs[dst.0 as usize] = r;
+                }
+                cyc += alu_cost(self.cost, *ty, matches!(op, BinOp::Div | BinOp::Rem));
+            }
+            Inst::Cmp { op, ty, dst, a, b } => {
+                for &l in &mask {
+                    let av = self.operand(l, *a).convert(*ty);
+                    let bv = self.operand(l, *b).convert(*ty);
+                    let r = eval_cmp(*op, *ty, av, bv);
+                    self.threads[l].regs[dst.0 as usize] = Value::Pred(r);
+                }
+                cyc += alu_cost(self.cost, *ty, false);
+            }
+            Inst::Un { op, ty, dst, a } => {
+                for &l in &mask {
+                    let av = self.operand(l, *a);
+                    let r = eval_un(*op, *ty, av)?;
+                    self.threads[l].regs[dst.0 as usize] = r;
+                }
+                cyc += alu_cost(self.cost, *ty, matches!(op, UnOp::Sqrt));
+            }
+            Inst::Select { dst, cond, a, b } => {
+                for &l in &mask {
+                    let c = self.threads[l].regs[cond.0 as usize].as_bool();
+                    let v = if c {
+                        self.operand(l, *a)
+                    } else {
+                        self.operand(l, *b)
+                    };
+                    self.threads[l].regs[dst.0 as usize] = v;
+                }
+                cyc += self.cost.alu;
+            }
+            Inst::Cvt { dst, ty, src } => {
+                for &l in &mask {
+                    let v = self.operand(l, *src).convert(*ty);
+                    self.threads[l].regs[dst.0 as usize] = v;
+                }
+                cyc += self.cost.alu;
+            }
+            Inst::LdGlobal { ty, dst, mref } => {
+                self.scratch_addr.clear();
+                for &l in &mask {
+                    self.scratch_addr
+                        .push((self.resolve_mref(l, mref), ty.size()));
+                }
+                let tx = global_transactions(&self.scratch_addr, self.dev.segment_bytes);
+                self.stats.global_accesses += 1;
+                self.stats.global_transactions += tx;
+                cyc += tx * self.cost.global_segment;
+                for (i, &l) in mask.iter().enumerate() {
+                    let v = global.read(*ty, self.scratch_addr[i].0)?;
+                    self.threads[l].regs[dst.0 as usize] = v;
+                }
+            }
+            Inst::StGlobal { ty, src, mref } => {
+                self.scratch_addr.clear();
+                for &l in &mask {
+                    self.scratch_addr
+                        .push((self.resolve_mref(l, mref), ty.size()));
+                }
+                let tx = global_transactions(&self.scratch_addr, self.dev.segment_bytes);
+                self.stats.global_accesses += 1;
+                self.stats.global_transactions += tx;
+                cyc += tx * self.cost.global_segment;
+                for (i, &l) in mask.iter().enumerate() {
+                    let v = self.operand(l, *src).convert(*ty);
+                    global.write(self.scratch_addr[i].0, v)?;
+                }
+            }
+            Inst::LdShared { ty, dst, mref } => {
+                self.scratch_addr.clear();
+                for &l in &mask {
+                    self.scratch_addr
+                        .push((self.resolve_mref(l, mref), ty.size()));
+                }
+                let ways = bank_conflict_degree(&self.scratch_addr, self.dev.shared_banks);
+                self.stats.shared_accesses += 1;
+                self.stats.shared_ways += ways;
+                cyc += ways * self.cost.shared_way;
+                for (i, &l) in mask.iter().enumerate() {
+                    let v = self.shared.read(*ty, self.scratch_addr[i].0)?;
+                    self.threads[l].regs[dst.0 as usize] = v;
+                }
+            }
+            Inst::StShared { ty, src, mref } => {
+                self.scratch_addr.clear();
+                for &l in &mask {
+                    self.scratch_addr
+                        .push((self.resolve_mref(l, mref), ty.size()));
+                }
+                let ways = bank_conflict_degree(&self.scratch_addr, self.dev.shared_banks);
+                self.stats.shared_accesses += 1;
+                self.stats.shared_ways += ways;
+                cyc += ways * self.cost.shared_way;
+                for (i, &l) in mask.iter().enumerate() {
+                    let v = self.operand(l, *src).convert(*ty);
+                    self.shared.write(self.scratch_addr[i].0, v)?;
+                }
+            }
+            Inst::AtomGlobal {
+                op,
+                ty,
+                mref,
+                src,
+                dst,
+            } => {
+                self.stats.atomics += 1;
+                self.stats.global_accesses += 1;
+                cyc += mask.len() as u64 * self.cost.atomic_lane;
+                // Atomics serialize lane by lane.
+                for &l in &mask {
+                    let addr = self.resolve_mref(l, mref);
+                    let old = global.read(*ty, addr)?;
+                    let v = self.operand(l, *src).convert(*ty);
+                    let new = match op {
+                        AtomOp::Add => eval_bin(BinOp::Add, *ty, old, v)?,
+                        AtomOp::Min => eval_bin(BinOp::Min, *ty, old, v)?,
+                        AtomOp::Max => eval_bin(BinOp::Max, *ty, old, v)?,
+                        AtomOp::And => eval_bin(BinOp::And, *ty, old, v)?,
+                        AtomOp::Or => eval_bin(BinOp::Or, *ty, old, v)?,
+                        AtomOp::Xor => eval_bin(BinOp::Xor, *ty, old, v)?,
+                        AtomOp::Exch => v,
+                    };
+                    global.write(addr, new)?;
+                    if let Some(d) = dst {
+                        self.threads[l].regs[d.0 as usize] = old;
+                    }
+                }
+                self.stats.global_transactions += mask.len() as u64;
+            }
+            Inst::Bar => {
+                self.stats.barriers += 1;
+                cyc += self.cost.barrier;
+                for &l in &mask {
+                    self.threads[l].at_barrier = true;
+                    self.threads[l].pc = pc + 1;
+                }
+                advance = false;
+            }
+            Inst::Bra { target, cond } => {
+                let tpc = self.kernel.target(*target);
+                for &l in &mask {
+                    let take = match cond {
+                        None => true,
+                        Some((r, expect)) => {
+                            self.threads[l].regs[r.0 as usize].as_bool() == *expect
+                        }
+                    };
+                    self.threads[l].pc = if take { tpc } else { pc + 1 };
+                }
+                cyc += self.cost.alu;
+                advance = false;
+            }
+            Inst::Ret => {
+                for &l in &mask {
+                    self.threads[l].exited = true;
+                }
+                advance = false;
+            }
+        }
+        if advance {
+            for &l in &mask {
+                self.threads[l].pc = pc + 1;
+            }
+        }
+        self.cycles_raw += cyc;
+        Ok(())
+    }
+}
+
+fn alu_cost(cost: &CostModel, ty: Ty, sfu: bool) -> u64 {
+    let mut c = cost.alu;
+    if ty == Ty::F64 {
+        c += cost.alu_f64_extra;
+    }
+    if sfu {
+        c += cost.sfu;
+    }
+    c
+}
+
+/// Evaluate a typed binary operation with C semantics (wrapping integer
+/// arithmetic, IEEE floats).
+pub fn eval_bin(op: BinOp, ty: Ty, a: Value, b: Value) -> Result<Value, SimError> {
+    let a = a.convert(ty);
+    let b = b.convert(ty);
+    macro_rules! int_case {
+        ($av:expr, $bv:expr, $wrap:ident, $ctor:ident, $t:ty) => {{
+            let (x, y) = ($av, $bv);
+            let r: $t = match op {
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                BinOp::Div => {
+                    if y == 0 {
+                        return Err(SimError::DivisionByZero);
+                    }
+                    x.wrapping_div(y)
+                }
+                BinOp::Rem => {
+                    if y == 0 {
+                        return Err(SimError::DivisionByZero);
+                    }
+                    x.wrapping_rem(y)
+                }
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+                BinOp::And => x & y,
+                BinOp::Or => x | y,
+                BinOp::Xor => x ^ y,
+                BinOp::Shl => x.wrapping_shl(y as u32),
+                BinOp::Shr => x.wrapping_shr(y as u32),
+            };
+            Ok(Value::$ctor(r))
+        }};
+    }
+    macro_rules! float_case {
+        ($av:expr, $bv:expr, $ctor:ident) => {{
+            let (x, y) = ($av, $bv);
+            let r = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Rem => x % y,
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+                _ => {
+                    return Err(SimError::TypeError {
+                        context: format!("bitwise {op} on float type {ty}"),
+                    })
+                }
+            };
+            Ok(Value::$ctor(r))
+        }};
+    }
+    match ty {
+        Ty::I32 => int_case!(a.as_i64() as i32, b.as_i64() as i32, wrapping, I32, i32),
+        Ty::I64 => int_case!(a.as_i64(), b.as_i64(), wrapping, I64, i64),
+        Ty::U64 => int_case!(a.as_u64(), b.as_u64(), wrapping, U64, u64),
+        Ty::F32 => float_case!(
+            match a {
+                Value::F32(v) => v,
+                o => o.as_f64() as f32,
+            },
+            match b {
+                Value::F32(v) => v,
+                o => o.as_f64() as f32,
+            },
+            F32
+        ),
+        Ty::F64 => float_case!(a.as_f64(), b.as_f64(), F64),
+        Ty::Pred => {
+            let (x, y) = (a.as_bool(), b.as_bool());
+            let r = match op {
+                BinOp::And => x && y,
+                BinOp::Or => x || y,
+                BinOp::Xor => x ^ y,
+                _ => {
+                    return Err(SimError::TypeError {
+                        context: format!("arithmetic {op} on predicate"),
+                    })
+                }
+            };
+            Ok(Value::Pred(r))
+        }
+    }
+}
+
+/// Evaluate a typed comparison.
+pub fn eval_cmp(op: CmpOp, ty: Ty, a: Value, b: Value) -> bool {
+    use std::cmp::Ordering;
+    let ord = match ty {
+        Ty::F32 | Ty::F64 => a.as_f64().partial_cmp(&b.as_f64()),
+        Ty::U64 => Some(a.as_u64().cmp(&b.as_u64())),
+        _ => Some(a.as_i64().cmp(&b.as_i64())),
+    };
+    match (op, ord) {
+        (CmpOp::Eq, Some(Ordering::Equal)) => true,
+        (CmpOp::Ne, Some(o)) => o != Ordering::Equal,
+        (CmpOp::Ne, None) => true, // NaN != anything
+        (CmpOp::Lt, Some(Ordering::Less)) => true,
+        (CmpOp::Le, Some(Ordering::Less | Ordering::Equal)) => true,
+        (CmpOp::Gt, Some(Ordering::Greater)) => true,
+        (CmpOp::Ge, Some(Ordering::Greater | Ordering::Equal)) => true,
+        _ => false,
+    }
+}
+
+/// Evaluate a typed unary operation.
+pub fn eval_un(op: UnOp, ty: Ty, a: Value) -> Result<Value, SimError> {
+    let a = a.convert(ty);
+    Ok(match (op, ty) {
+        (UnOp::Neg, Ty::I32) => Value::I32((a.as_i64() as i32).wrapping_neg()),
+        (UnOp::Neg, Ty::I64) => Value::I64(a.as_i64().wrapping_neg()),
+        (UnOp::Neg, Ty::F32) => Value::F32(-(a.as_f64() as f32)),
+        (UnOp::Neg, Ty::F64) => Value::F64(-a.as_f64()),
+        (UnOp::Abs, Ty::I32) => Value::I32((a.as_i64() as i32).wrapping_abs()),
+        (UnOp::Abs, Ty::I64) => Value::I64(a.as_i64().wrapping_abs()),
+        (UnOp::Abs, Ty::F32) => Value::F32((a.as_f64() as f32).abs()),
+        (UnOp::Abs, Ty::F64) => Value::F64(a.as_f64().abs()),
+        (UnOp::Sqrt, Ty::F32) => Value::F32((a.as_f64() as f32).sqrt()),
+        (UnOp::Sqrt, Ty::F64) => Value::F64(a.as_f64().sqrt()),
+        (UnOp::Not, Ty::Pred) => Value::Pred(!a.as_bool()),
+        (UnOp::Not, Ty::I32) => Value::I32(!(a.as_i64() as i32)),
+        (UnOp::Not, Ty::I64) => Value::I64(!a.as_i64()),
+        (op, ty) => {
+            return Err(SimError::TypeError {
+                context: format!("unary {op} at type {ty}"),
+            })
+        }
+    })
+}
+
+/// Execute `kernel` over the whole grid, returning aggregate stats.
+///
+/// Blocks run sequentially (deterministic), but timing models them
+/// distributed round-robin across the device's SMs: the launch's modelled
+/// cycle count is `max over SMs of (sum of that SM's block cycles)` plus
+/// the fixed launch overhead.
+pub fn run_kernel(
+    kernel: &Kernel,
+    cfg: LaunchConfig,
+    params: &[Value],
+    global: &mut GlobalMemory,
+    dev: &DeviceConfig,
+    cost: &CostModel,
+) -> Result<LaunchStats, SimError> {
+    run_kernel_traced(kernel, cfg, params, global, dev, cost, None)
+}
+
+/// [`run_kernel`] with an optional bounded execution trace.
+#[allow(clippy::too_many_arguments)]
+pub fn run_kernel_traced(
+    kernel: &Kernel,
+    cfg: LaunchConfig,
+    params: &[Value],
+    global: &mut GlobalMemory,
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    mut trace: Option<&mut Trace>,
+) -> Result<LaunchStats, SimError> {
+    cfg.validate(dev)?;
+    if kernel.shared_bytes > dev.shared_mem_per_block {
+        return Err(SimError::SharedMemExceeded {
+            requested: kernel.shared_bytes,
+            limit: dev.shared_mem_per_block,
+        });
+    }
+    if (params.len() as u32) < kernel.num_params {
+        return Err(SimError::BadParams {
+            expected: kernel.num_params,
+            got: params.len() as u32,
+        });
+    }
+    let mut totals = LaunchStats::default();
+    let mut sm_cycles = vec![0u64; dev.num_sms as usize];
+    let mut block_linear = 0usize;
+    for by in 0..cfg.grid.1 {
+        for bx in 0..cfg.grid.0 {
+            let mut exec = BlockExec::new(kernel, params, (bx, by), cfg, dev, cost);
+            if let Some(t) = trace.as_deref_mut() {
+                exec.trace = Some(t);
+            }
+            let res = exec.run(global)?;
+            let cycles = res.cycles;
+            totals += res.stats;
+            sm_cycles[block_linear % dev.num_sms as usize] += cycles;
+            block_linear += 1;
+        }
+    }
+    totals.cycles = sm_cycles.iter().copied().max().unwrap_or(0) + cost.launch_overhead;
+    Ok(totals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::ir::MemRef;
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::test_small()
+    }
+
+    fn run(
+        k: &Kernel,
+        cfg: LaunchConfig,
+        params: &[Value],
+        mem: &mut GlobalMemory,
+    ) -> Result<LaunchStats, SimError> {
+        run_kernel(k, cfg, params, mem, &dev(), &CostModel::default())
+    }
+
+    /// Each thread writes its global linear id to out[gid].
+    #[test]
+    fn threads_write_their_ids() {
+        let mut b = KernelBuilder::new("ids");
+        let out = b.param(0);
+        let tid = b.special(SpecialReg::TidX);
+        let ctaid = b.special(SpecialReg::CtaIdX);
+        let ntid = b.special(SpecialReg::NTidX);
+        let base = b.bin(BinOp::Mul, Ty::I32, ctaid, ntid);
+        let gid = b.bin(BinOp::Add, Ty::I32, base, tid);
+        let gid64 = b.cvt(Ty::I64, gid);
+        b.st_global(Ty::I32, MemRef::indexed(out, gid64, 4), gid);
+        let k = b.finish();
+
+        let mut mem = GlobalMemory::new(1 << 20);
+        let buf = mem.alloc(4 * 64).unwrap();
+        let stats = run(
+            &k,
+            LaunchConfig::d1(2, 32),
+            &[Value::U64(buf.addr)],
+            &mut mem,
+        )
+        .unwrap();
+        for i in 0..64u64 {
+            assert_eq!(
+                mem.read(Ty::I32, buf.addr + i * 4).unwrap(),
+                Value::I32(i as i32)
+            );
+        }
+        assert_eq!(stats.blocks, 2);
+        // The store is fully coalesced: one transaction per warp store.
+        assert_eq!(stats.global_transactions, 2);
+    }
+
+    /// Grid-stride loop (the paper's window-sliding): 4 threads, 32 elements.
+    #[test]
+    fn grid_stride_loop_sums() {
+        let mut b = KernelBuilder::new("stride");
+        let inp = b.param(0);
+        let out = b.param(1);
+        let n = b.param(2);
+        let i = b.special(SpecialReg::TidX);
+        let acc = b.mov_imm(Value::I32(0));
+        let top = b.new_label();
+        let done = b.new_label();
+        b.place(top);
+        let c = b.cmp(CmpOp::Ge, Ty::I32, i, n);
+        b.bra_if(c, done);
+        let i64r = b.cvt(Ty::I64, i);
+        let v = b.ld_global(Ty::I32, MemRef::indexed(inp, i64r, 4));
+        b.bin_to(acc, BinOp::Add, Ty::I32, acc, v);
+        let ntid = b.special(SpecialReg::NTidX);
+        b.bin_to(i, BinOp::Add, Ty::I32, i, ntid);
+        b.bra(top);
+        b.place(done);
+        // out[tid] = acc
+        let tid = b.special(SpecialReg::TidX);
+        let tid64 = b.cvt(Ty::I64, tid);
+        b.st_global(Ty::I32, MemRef::indexed(out, tid64, 4), acc);
+        let k = b.finish();
+
+        let mut mem = GlobalMemory::new(1 << 20);
+        let inp_buf = mem.alloc(4 * 32).unwrap();
+        let out_buf = mem.alloc(4 * 4).unwrap();
+        for i in 0..32u64 {
+            mem.write(inp_buf.addr + i * 4, Value::I32(1 + i as i32))
+                .unwrap();
+        }
+        run(
+            &k,
+            LaunchConfig::d1(1, 4),
+            &[
+                Value::U64(inp_buf.addr),
+                Value::U64(out_buf.addr),
+                Value::I32(32),
+            ],
+            &mut mem,
+        )
+        .unwrap();
+        let mut total = 0;
+        for t in 0..4u64 {
+            total += match mem.read(Ty::I32, out_buf.addr + t * 4).unwrap() {
+                Value::I32(v) => v,
+                _ => unreachable!(),
+            };
+        }
+        assert_eq!(total, (1..=32).sum::<i32>());
+    }
+
+    /// Divergent lanes reconverge: even lanes add 1, odd lanes add 2,
+    /// then all lanes multiply by 10 after reconvergence.
+    #[test]
+    fn divergence_reconverges() {
+        let mut b = KernelBuilder::new("div");
+        let out = b.param(0);
+        let tid = b.special(SpecialReg::TidX);
+        let two = Value::I32(2);
+        let parity = b.bin(BinOp::Rem, Ty::I32, tid, two);
+        let is_odd = b.cmp(CmpOp::Ne, Ty::I32, parity, Value::I32(0));
+        let acc = b.mov_imm(Value::I32(0));
+        let odd = b.new_label();
+        let join = b.new_label();
+        b.bra_if(is_odd, odd);
+        b.bin_to(acc, BinOp::Add, Ty::I32, acc, Value::I32(1));
+        b.bra(join);
+        b.place(odd);
+        b.bin_to(acc, BinOp::Add, Ty::I32, acc, Value::I32(2));
+        b.place(join);
+        b.bin_to(acc, BinOp::Mul, Ty::I32, acc, Value::I32(10));
+        let tid64 = b.cvt(Ty::I64, tid);
+        b.st_global(Ty::I32, MemRef::indexed(out, tid64, 4), acc);
+        let k = b.finish();
+
+        let mut mem = GlobalMemory::new(1 << 20);
+        let buf = mem.alloc(4 * 8).unwrap();
+        let stats = run(
+            &k,
+            LaunchConfig::d1(1, 8),
+            &[Value::U64(buf.addr)],
+            &mut mem,
+        )
+        .unwrap();
+        for i in 0..8u64 {
+            let want = if i % 2 == 0 { 10 } else { 20 };
+            assert_eq!(
+                mem.read(Ty::I32, buf.addr + i * 4).unwrap(),
+                Value::I32(want)
+            );
+        }
+        // Divergence visible in stats: average active lanes < 8.
+        assert!(stats.avg_active_lanes() < 8.0);
+    }
+
+    /// Shared memory + barrier: lane 0 writes, all lanes read after sync.
+    #[test]
+    fn shared_memory_barrier_broadcast() {
+        let mut b = KernelBuilder::new("bcast");
+        let out = b.param(0);
+        let slot = b.alloc_shared(4, 4);
+        let tid = b.special(SpecialReg::TidX);
+        let is0 = b.cmp(CmpOp::Eq, Ty::I32, tid, Value::I32(0));
+        let skip = b.new_label();
+        b.bra_unless(is0, skip);
+        b.st_shared(
+            Ty::I32,
+            MemRef::direct(Value::U64(slot as u64)),
+            Value::I32(77),
+        );
+        b.place(skip);
+        b.bar();
+        let v = b.ld_shared(Ty::I32, MemRef::direct(Value::U64(slot as u64)));
+        let tid64 = b.cvt(Ty::I64, tid);
+        b.st_global(Ty::I32, MemRef::indexed(out, tid64, 4), v);
+        let k = b.finish();
+
+        let mut mem = GlobalMemory::new(1 << 20);
+        // 64 threads = 2 warps: the barrier really synchronizes across warps.
+        let buf = mem.alloc(4 * 64).unwrap();
+        let stats = run(
+            &k,
+            LaunchConfig::d1(1, 64),
+            &[Value::U64(buf.addr)],
+            &mut mem,
+        )
+        .unwrap();
+        for i in 0..64u64 {
+            assert_eq!(mem.read(Ty::I32, buf.addr + i * 4).unwrap(), Value::I32(77));
+        }
+        assert!(stats.barriers >= 2); // one arrival per warp
+    }
+
+    /// Without the barrier, warp 1 reads stale zero — the deterministic
+    /// manifestation of a missing-__syncthreads bug.
+    #[test]
+    fn missing_barrier_reads_stale_value() {
+        let mut b = KernelBuilder::new("race");
+        let out = b.param(0);
+        let slot = b.alloc_shared(4, 4);
+        let tid = b.special(SpecialReg::TidX);
+        // Lane 32 (warp 1) writes; warp 0 reads without a barrier.
+        let is_writer = b.cmp(CmpOp::Eq, Ty::I32, tid, Value::I32(32));
+        let skip = b.new_label();
+        b.bra_unless(is_writer, skip);
+        b.st_shared(
+            Ty::I32,
+            MemRef::direct(Value::U64(slot as u64)),
+            Value::I32(55),
+        );
+        b.place(skip);
+        let v = b.ld_shared(Ty::I32, MemRef::direct(Value::U64(slot as u64)));
+        let tid64 = b.cvt(Ty::I64, tid);
+        b.st_global(Ty::I32, MemRef::indexed(out, tid64, 4), v);
+        let k = b.finish();
+
+        let mut mem = GlobalMemory::new(1 << 20);
+        let buf = mem.alloc(4 * 64).unwrap();
+        run(
+            &k,
+            LaunchConfig::d1(1, 64),
+            &[Value::U64(buf.addr)],
+            &mut mem,
+        )
+        .unwrap();
+        // Warp 0 ran first and saw 0; warp 1 saw its own write.
+        assert_eq!(mem.read(Ty::I32, buf.addr).unwrap(), Value::I32(0));
+        assert_eq!(
+            mem.read(Ty::I32, buf.addr + 32 * 4).unwrap(),
+            Value::I32(55)
+        );
+    }
+
+    /// Warps reaching *different* `__syncthreads()` sites is divergent-sync
+    /// UB and is reported strictly.
+    #[test]
+    fn divergent_barrier_sites_detected() {
+        let mut b = KernelBuilder::new("divergent_bar");
+        let tid = b.special(SpecialReg::TidX);
+        let low = b.cmp(CmpOp::Lt, Ty::I32, tid, Value::I32(32));
+        let other = b.new_label();
+        let join = b.new_label();
+        b.bra_unless(low, other);
+        b.bar(); // barrier site A (lower warp)
+        b.bra(join);
+        b.place(other);
+        b.bar(); // barrier site B (upper warp)
+        b.place(join);
+        b.ret();
+        let k = b.finish();
+        let mut mem = GlobalMemory::new(1 << 20);
+        let err = run(&k, LaunchConfig::d1(1, 64), &[], &mut mem).unwrap_err();
+        assert!(
+            matches!(err, SimError::BarrierDivergence { .. }),
+            "got {err:?}"
+        );
+    }
+
+    /// A barrier some threads skip while others spin forever is caught by
+    /// the watchdog (the lanes that skipped can never release it).
+    #[test]
+    fn barrier_plus_spin_hits_watchdog() {
+        let mut b = KernelBuilder::new("spin_bar");
+        let slot = b.alloc_shared(4, 4);
+        let tid = b.special(SpecialReg::TidX);
+        let low = b.cmp(CmpOp::Lt, Ty::I32, tid, Value::I32(32));
+        let waiter = b.new_label();
+        b.bra_unless(low, waiter);
+        b.bar(); // lower warp waits at the barrier...
+        b.st_shared(
+            Ty::I32,
+            MemRef::direct(Value::U64(slot as u64)),
+            Value::I32(1),
+        );
+        b.ret();
+        b.place(waiter);
+        // ...while the upper warp spins on a flag only set after the barrier.
+        let top = b.new_label();
+        b.place(top);
+        let v = b.ld_shared(Ty::I32, MemRef::direct(Value::U64(slot as u64)));
+        let unset = b.cmp(CmpOp::Eq, Ty::I32, v, Value::I32(0));
+        b.bra_if(unset, top);
+        b.ret();
+        let k = b.finish();
+        let mut mem = GlobalMemory::new(1 << 20);
+        let cost = CostModel {
+            watchdog_warp_insts: 50_000,
+            ..Default::default()
+        };
+        let err =
+            run_kernel(&k, LaunchConfig::d1(1, 64), &[], &mut mem, &dev(), &cost).unwrap_err();
+        assert!(matches!(err, SimError::Watchdog { .. }), "got {err:?}");
+    }
+
+    /// Threads that exited don't block a barrier (CUDA semantics).
+    #[test]
+    fn exited_threads_release_barrier() {
+        let mut b = KernelBuilder::new("exit_bar");
+        let tid = b.special(SpecialReg::TidX);
+        let low = b.cmp(CmpOp::Lt, Ty::I32, tid, Value::I32(32));
+        let cont = b.new_label();
+        b.bra_if(low, cont);
+        b.ret(); // upper warp exits
+        b.place(cont);
+        b.bar(); // lower warp syncs among survivors
+        b.ret();
+        let k = b.finish();
+        let mut mem = GlobalMemory::new(1 << 20);
+        run(&k, LaunchConfig::d1(1, 64), &[], &mut mem).unwrap();
+    }
+
+    /// Watchdog catches infinite loops.
+    #[test]
+    fn watchdog_fires() {
+        let mut b = KernelBuilder::new("spin");
+        let top = b.new_label();
+        b.place(top);
+        b.bra(top);
+        let k = b.finish();
+        let mut mem = GlobalMemory::new(1 << 20);
+        let cost = CostModel {
+            watchdog_warp_insts: 10_000,
+            ..Default::default()
+        };
+        let err =
+            run_kernel(&k, LaunchConfig::d1(1, 32), &[], &mut mem, &dev(), &cost).unwrap_err();
+        assert!(matches!(err, SimError::Watchdog { .. }));
+    }
+
+    #[test]
+    fn atomics_accumulate_across_all_threads() {
+        let mut b = KernelBuilder::new("atom");
+        let out = b.param(0);
+        b.atom_global(
+            AtomOp::Add,
+            Ty::I32,
+            MemRef::direct(out),
+            Value::I32(1),
+            false,
+        );
+        let k = b.finish();
+        let mut mem = GlobalMemory::new(1 << 20);
+        let buf = mem.alloc(4).unwrap();
+        let stats = run(
+            &k,
+            LaunchConfig::d1(4, 64),
+            &[Value::U64(buf.addr)],
+            &mut mem,
+        )
+        .unwrap();
+        assert_eq!(mem.read(Ty::I32, buf.addr).unwrap(), Value::I32(256));
+        assert_eq!(stats.atomics, 4 * 2); // one per warp
+    }
+
+    #[test]
+    fn launch_validation() {
+        let k = KernelBuilder::new("t").finish();
+        let mut mem = GlobalMemory::new(1 << 20);
+        let err = run(&k, LaunchConfig::d1(1, 2048), &[], &mut mem).unwrap_err();
+        assert!(matches!(err, SimError::InvalidLaunch { .. }));
+        let err = run(&k, LaunchConfig::d1(0, 32), &[], &mut mem).unwrap_err();
+        assert!(matches!(err, SimError::InvalidLaunch { .. }));
+    }
+
+    #[test]
+    fn missing_params_rejected() {
+        let mut b = KernelBuilder::new("p");
+        let p = b.param(2);
+        let _ = p;
+        let k = b.finish();
+        let mut mem = GlobalMemory::new(1 << 20);
+        let err = run(&k, LaunchConfig::d1(1, 32), &[Value::I32(0)], &mut mem).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::BadParams {
+                expected: 3,
+                got: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn shared_overflow_rejected() {
+        let mut b = KernelBuilder::new("s");
+        let _ = b.alloc_shared(100 * 1024, 8);
+        let k = b.finish();
+        let mut mem = GlobalMemory::new(1 << 20);
+        let err = run(&k, LaunchConfig::d1(1, 32), &[], &mut mem).unwrap_err();
+        assert!(matches!(err, SimError::SharedMemExceeded { .. }));
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let mut b = KernelBuilder::new("dz");
+        let z = b.mov_imm(Value::I32(0));
+        let _ = b.bin(BinOp::Div, Ty::I32, Value::I32(1), z);
+        let k = b.finish();
+        let mut mem = GlobalMemory::new(1 << 20);
+        let err = run(&k, LaunchConfig::d1(1, 32), &[], &mut mem).unwrap_err();
+        assert_eq!(err, SimError::DivisionByZero);
+    }
+
+    #[test]
+    fn eval_bin_int_semantics() {
+        assert_eq!(
+            eval_bin(BinOp::Add, Ty::I32, Value::I32(i32::MAX), Value::I32(1)).unwrap(),
+            Value::I32(i32::MIN)
+        );
+        assert_eq!(
+            eval_bin(BinOp::Max, Ty::I32, Value::I32(-5), Value::I32(3)).unwrap(),
+            Value::I32(3)
+        );
+        assert_eq!(
+            eval_bin(BinOp::Min, Ty::F64, Value::F64(-5.0), Value::F64(3.0)).unwrap(),
+            Value::F64(-5.0)
+        );
+        assert!(eval_bin(BinOp::And, Ty::F32, Value::F32(1.0), Value::F32(2.0)).is_err());
+        assert_eq!(
+            eval_bin(BinOp::And, Ty::Pred, Value::Pred(true), Value::Pred(false)).unwrap(),
+            Value::Pred(false)
+        );
+    }
+
+    #[test]
+    fn eval_cmp_nan_semantics() {
+        assert!(!eval_cmp(
+            CmpOp::Lt,
+            Ty::F64,
+            Value::F64(f64::NAN),
+            Value::F64(1.0)
+        ));
+        assert!(eval_cmp(
+            CmpOp::Ne,
+            Ty::F64,
+            Value::F64(f64::NAN),
+            Value::F64(f64::NAN)
+        ));
+        assert!(!eval_cmp(
+            CmpOp::Eq,
+            Ty::F64,
+            Value::F64(f64::NAN),
+            Value::F64(f64::NAN)
+        ));
+        assert!(eval_cmp(CmpOp::Le, Ty::I32, Value::I32(3), Value::I32(3)));
+    }
+
+    #[test]
+    fn eval_un_semantics() {
+        assert_eq!(
+            eval_un(UnOp::Abs, Ty::F64, Value::F64(-2.5)).unwrap(),
+            Value::F64(2.5)
+        );
+        assert_eq!(
+            eval_un(UnOp::Neg, Ty::I32, Value::I32(7)).unwrap(),
+            Value::I32(-7)
+        );
+        assert_eq!(
+            eval_un(UnOp::Sqrt, Ty::F32, Value::F32(4.0)).unwrap(),
+            Value::F32(2.0)
+        );
+        assert_eq!(
+            eval_un(UnOp::Not, Ty::Pred, Value::Pred(false)).unwrap(),
+            Value::Pred(true)
+        );
+        assert!(eval_un(UnOp::Sqrt, Ty::I32, Value::I32(4)).is_err());
+    }
+
+    /// Timing model: the same work on more SMs takes fewer cycles.
+    #[test]
+    fn more_sms_is_faster() {
+        let mut b = KernelBuilder::new("work");
+        let acc = b.mov_imm(Value::I32(0));
+        let i = b.mov_imm(Value::I32(0));
+        let top = b.new_label();
+        let done = b.new_label();
+        b.place(top);
+        let c = b.cmp(CmpOp::Ge, Ty::I32, i, Value::I32(100));
+        b.bra_if(c, done);
+        b.bin_to(acc, BinOp::Add, Ty::I32, acc, i);
+        b.bin_to(i, BinOp::Add, Ty::I32, i, Value::I32(1));
+        b.bra(top);
+        b.place(done);
+        let k = b.finish();
+        let cost = CostModel::default();
+        let mut mem1 = GlobalMemory::new(1 << 20);
+        let d1 = DeviceConfig {
+            num_sms: 1,
+            ..DeviceConfig::test_small()
+        };
+        let s1 = run_kernel(&k, LaunchConfig::d1(8, 32), &[], &mut mem1, &d1, &cost).unwrap();
+        let mut mem2 = GlobalMemory::new(1 << 20);
+        let d8 = DeviceConfig {
+            num_sms: 8,
+            ..DeviceConfig::test_small()
+        };
+        let s8 = run_kernel(&k, LaunchConfig::d1(8, 32), &[], &mut mem2, &d8, &cost).unwrap();
+        assert!(s8.cycles < s1.cycles);
+    }
+}

@@ -1,0 +1,534 @@
+//! The kernel intermediate representation executed by the simulator.
+//!
+//! The IR is a flat, PTX-like instruction list with labels resolved to
+//! instruction indices. Each thread owns a register file of [`Value`]s;
+//! instructions are typed. Control flow uses conditional/unconditional
+//! branches; the interpreter provides SIMT divergence semantics on top
+//! (see [`crate::exec`]).
+
+use crate::types::{Ty, Value};
+use std::fmt;
+
+/// A virtual register index into a thread's register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%r{}", self.0)
+    }
+}
+
+/// An instruction operand: either a register or an immediate value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    Reg(Reg),
+    Imm(Value),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<Value> for Operand {
+    fn from(v: Value) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Special (read-only) hardware registers, as in CUDA/PTX.
+///
+/// These are the CUDA builtins of the paper's Table 1: `threadIdx`,
+/// `blockDim`, `blockIdx`, `gridDim` (plus Y/Z where defined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialReg {
+    /// `threadIdx.x`
+    TidX,
+    /// `threadIdx.y`
+    TidY,
+    /// `threadIdx.z`
+    TidZ,
+    /// `blockDim.x`
+    NTidX,
+    /// `blockDim.y`
+    NTidY,
+    /// `blockDim.z`
+    NTidZ,
+    /// `blockIdx.x`
+    CtaIdX,
+    /// `blockIdx.y`
+    CtaIdY,
+    /// `gridDim.x`
+    NCtaIdX,
+    /// `gridDim.y`
+    NCtaIdY,
+    /// Linear thread id within the block: `threadIdx.y * blockDim.x + threadIdx.x`.
+    LaneLinear,
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpecialReg::TidX => "%tid.x",
+            SpecialReg::TidY => "%tid.y",
+            SpecialReg::TidZ => "%tid.z",
+            SpecialReg::NTidX => "%ntid.x",
+            SpecialReg::NTidY => "%ntid.y",
+            SpecialReg::NTidZ => "%ntid.z",
+            SpecialReg::CtaIdX => "%ctaid.x",
+            SpecialReg::CtaIdY => "%ctaid.y",
+            SpecialReg::NCtaIdX => "%nctaid.x",
+            SpecialReg::NCtaIdY => "%nctaid.y",
+            SpecialReg::LaneLinear => "%linear",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Binary arithmetic/logical operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Min,
+    Max,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison operations producing predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary math operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Absolute value (`fabs`/`abs`).
+    Abs,
+    /// Square root (float types only).
+    Sqrt,
+    /// Logical not (predicates) / bitwise not (integers).
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnOp::Neg => "neg",
+            UnOp::Abs => "abs",
+            UnOp::Sqrt => "sqrt",
+            UnOp::Not => "not",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A memory reference: `base + index * scale + disp`, all in bytes.
+///
+/// For global accesses `base` evaluates to a device byte address (usually a
+/// kernel parameter); for shared accesses it is a byte offset into the
+/// block's shared memory window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemRef {
+    pub base: Operand,
+    /// Optional integer index register (interpreted as i64).
+    pub index: Option<Reg>,
+    /// Byte scale applied to `index` (element size, typically).
+    pub scale: u64,
+    /// Constant byte displacement.
+    pub disp: i64,
+}
+
+impl MemRef {
+    /// A reference at exactly the address/offset in `base`.
+    pub fn direct(base: impl Into<Operand>) -> Self {
+        MemRef {
+            base: base.into(),
+            index: None,
+            scale: 1,
+            disp: 0,
+        }
+    }
+
+    /// `base + index * scale` (the common array-element form).
+    pub fn indexed(base: impl Into<Operand>, index: Reg, scale: u64) -> Self {
+        MemRef {
+            base: base.into(),
+            index: Some(index),
+            scale,
+            disp: 0,
+        }
+    }
+
+    /// Add a constant byte displacement.
+    pub fn with_disp(mut self, disp: i64) -> Self {
+        self.disp = disp;
+        self
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}", self.base)?;
+        if let Some(idx) = self.index {
+            write!(f, " + {idx}*{}", self.scale)?;
+        }
+        if self.disp != 0 {
+            write!(f, " + {}", self.disp)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Atomic read-modify-write operations on global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomOp {
+    Add,
+    Min,
+    Max,
+    And,
+    Or,
+    Xor,
+    Exch,
+}
+
+/// A branch target label, resolved to an instruction index at finalize time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(pub u32);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A single IR instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// `dst = imm`
+    MovImm { dst: Reg, value: Value },
+    /// `dst = src`
+    Mov { dst: Reg, src: Reg },
+    /// `dst = special_register` (as `I32`, except addresses).
+    ReadSpecial { dst: Reg, sr: SpecialReg },
+    /// `dst = param[idx]` — read a kernel launch parameter.
+    ReadParam { dst: Reg, idx: u32 },
+    /// `dst = a <op> b` at type `ty` (operands converted to `ty` first).
+    Bin {
+        op: BinOp,
+        ty: Ty,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
+    /// `dst = a <cmp> b` at type `ty`, producing a predicate.
+    Cmp {
+        op: CmpOp,
+        ty: Ty,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
+    /// `dst = <op> a` at type `ty`.
+    Un {
+        op: UnOp,
+        ty: Ty,
+        dst: Reg,
+        a: Operand,
+    },
+    /// `dst = cond ? a : b`
+    Select {
+        dst: Reg,
+        cond: Reg,
+        a: Operand,
+        b: Operand,
+    },
+    /// `dst = convert(src, ty)`
+    Cvt { dst: Reg, ty: Ty, src: Operand },
+    /// Load `ty` from global memory.
+    LdGlobal { ty: Ty, dst: Reg, mref: MemRef },
+    /// Store `ty` to global memory.
+    StGlobal { ty: Ty, src: Operand, mref: MemRef },
+    /// Load `ty` from the block's shared memory.
+    LdShared { ty: Ty, dst: Reg, mref: MemRef },
+    /// Store `ty` to the block's shared memory.
+    StShared { ty: Ty, src: Operand, mref: MemRef },
+    /// Atomic read-modify-write on global memory; optionally returns the old value.
+    AtomGlobal {
+        op: AtomOp,
+        ty: Ty,
+        mref: MemRef,
+        src: Operand,
+        dst: Option<Reg>,
+    },
+    /// Block-wide barrier (`__syncthreads()`).
+    Bar,
+    /// Branch to `target`; conditional if `cond` is set (branch taken when
+    /// predicate equals `expect`).
+    Bra {
+        target: Label,
+        cond: Option<(Reg, bool)>,
+    },
+    /// Thread exit.
+    Ret,
+}
+
+impl Inst {
+    /// True if this instruction writes register `r`.
+    pub fn writes(&self, r: Reg) -> bool {
+        self.def() == Some(r)
+    }
+
+    /// The register defined by this instruction, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match self {
+            Inst::MovImm { dst, .. }
+            | Inst::Mov { dst, .. }
+            | Inst::ReadSpecial { dst, .. }
+            | Inst::ReadParam { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Select { dst, .. }
+            | Inst::Cvt { dst, .. }
+            | Inst::LdGlobal { dst, .. }
+            | Inst::LdShared { dst, .. } => Some(*dst),
+            Inst::AtomGlobal { dst, .. } => *dst,
+            _ => None,
+        }
+    }
+
+    /// True for instructions that access global memory.
+    pub fn is_global_access(&self) -> bool {
+        matches!(
+            self,
+            Inst::LdGlobal { .. } | Inst::StGlobal { .. } | Inst::AtomGlobal { .. }
+        )
+    }
+
+    /// True for instructions that access shared memory.
+    pub fn is_shared_access(&self) -> bool {
+        matches!(self, Inst::LdShared { .. } | Inst::StShared { .. })
+    }
+}
+
+/// A compiled kernel: a finalized instruction list plus launch metadata.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Human-readable kernel name (shows up in stats and errors).
+    pub name: String,
+    /// The instruction stream. Branch targets are instruction indices.
+    pub insts: Vec<Inst>,
+    /// Resolved label table: `label_targets[label.0]` = instruction index.
+    pub label_targets: Vec<usize>,
+    /// Number of virtual registers per thread.
+    pub num_regs: u32,
+    /// Bytes of shared memory required per block.
+    pub shared_bytes: usize,
+    /// Number of launch parameters expected.
+    pub num_params: u32,
+}
+
+impl Kernel {
+    /// Resolve a label to its instruction index.
+    ///
+    /// # Panics
+    /// Panics if the label was never placed (builder bug).
+    pub fn target(&self, l: Label) -> usize {
+        self.label_targets[l.0 as usize]
+    }
+
+    /// Disassemble the kernel to a readable listing (for golden tests and
+    /// debugging).
+    pub fn disasm(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            ".kernel {} (regs={}, shared={}B, params={})",
+            self.name, self.num_regs, self.shared_bytes, self.num_params
+        );
+        // Invert label table for printing.
+        let mut labels_at: Vec<Vec<usize>> = vec![Vec::new(); self.insts.len() + 1];
+        for (li, &ti) in self.label_targets.iter().enumerate() {
+            if ti <= self.insts.len() {
+                labels_at[ti].push(li);
+            }
+        }
+        for (i, inst) in self.insts.iter().enumerate() {
+            for &l in &labels_at[i] {
+                let _ = writeln!(out, "L{l}:");
+            }
+            let _ = writeln!(out, "  {:4}  {}", i, format_inst(inst));
+        }
+        for &l in &labels_at[self.insts.len()] {
+            let _ = writeln!(out, "L{l}:");
+        }
+        out
+    }
+}
+
+/// Render one instruction as text (used by `disasm` and the tracer).
+pub fn format_inst(inst: &Inst) -> String {
+    match inst {
+        Inst::MovImm { dst, value } => format!("mov {dst}, {value}"),
+        Inst::Mov { dst, src } => format!("mov {dst}, {src}"),
+        Inst::ReadSpecial { dst, sr } => format!("mov {dst}, {sr}"),
+        Inst::ReadParam { dst, idx } => format!("ld.param {dst}, [{idx}]"),
+        Inst::Bin { op, ty, dst, a, b } => format!("{op}.{ty} {dst}, {a}, {b}"),
+        Inst::Cmp { op, ty, dst, a, b } => format!("setp.{op}.{ty} {dst}, {a}, {b}"),
+        Inst::Un { op, ty, dst, a } => format!("{op}.{ty} {dst}, {a}"),
+        Inst::Select { dst, cond, a, b } => format!("selp {dst}, {cond}, {a}, {b}"),
+        Inst::Cvt { dst, ty, src } => format!("cvt.{ty} {dst}, {src}"),
+        Inst::LdGlobal { ty, dst, mref } => format!("ld.global.{ty} {dst}, {mref}"),
+        Inst::StGlobal { ty, src, mref } => format!("st.global.{ty} {mref}, {src}"),
+        Inst::LdShared { ty, dst, mref } => format!("ld.shared.{ty} {dst}, {mref}"),
+        Inst::StShared { ty, src, mref } => format!("st.shared.{ty} {mref}, {src}"),
+        Inst::AtomGlobal {
+            op,
+            ty,
+            mref,
+            src,
+            dst,
+        } => match dst {
+            Some(d) => format!("atom.global.{op:?}.{ty} {d}, {mref}, {src}"),
+            None => format!("red.global.{op:?}.{ty} {mref}, {src}"),
+        },
+        Inst::Bar => "bar.sync 0".to_string(),
+        Inst::Bra { target, cond } => match cond {
+            Some((r, true)) => format!("@{r} bra {target}"),
+            Some((r, false)) => format!("@!{r} bra {target}"),
+            None => format!("bra {target}"),
+        },
+        Inst::Ret => "ret".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memref_constructors() {
+        let r = Reg(3);
+        let m = MemRef::indexed(Reg(1), r, 4).with_disp(8);
+        assert_eq!(m.index, Some(r));
+        assert_eq!(m.scale, 4);
+        assert_eq!(m.disp, 8);
+        let d = MemRef::direct(Value::U64(16));
+        assert_eq!(d.index, None);
+        assert_eq!(d.scale, 1);
+    }
+
+    #[test]
+    fn inst_def_and_classes() {
+        let i = Inst::Bin {
+            op: BinOp::Add,
+            ty: Ty::I32,
+            dst: Reg(5),
+            a: Reg(1).into(),
+            b: Operand::Imm(Value::I32(2)),
+        };
+        assert_eq!(i.def(), Some(Reg(5)));
+        assert!(i.writes(Reg(5)));
+        assert!(!i.writes(Reg(1)));
+        assert!(!i.is_global_access());
+
+        let ld = Inst::LdGlobal {
+            ty: Ty::F32,
+            dst: Reg(0),
+            mref: MemRef::direct(Reg(1)),
+        };
+        assert!(ld.is_global_access());
+        let ls = Inst::LdShared {
+            ty: Ty::F32,
+            dst: Reg(0),
+            mref: MemRef::direct(Reg(1)),
+        };
+        assert!(ls.is_shared_access());
+        assert_eq!(Inst::Bar.def(), None);
+    }
+
+    #[test]
+    fn disasm_contains_name_and_instructions() {
+        let k = Kernel {
+            name: "demo".into(),
+            insts: vec![
+                Inst::MovImm {
+                    dst: Reg(0),
+                    value: Value::I32(1),
+                },
+                Inst::Ret,
+            ],
+            label_targets: vec![1],
+            num_regs: 1,
+            shared_bytes: 0,
+            num_params: 0,
+        };
+        let d = k.disasm();
+        assert!(d.contains(".kernel demo"));
+        assert!(d.contains("mov %r0, 1"));
+        assert!(d.contains("L0:"));
+        assert!(d.contains("ret"));
+    }
+}

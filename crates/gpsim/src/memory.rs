@@ -1,0 +1,247 @@
+//! Simulated device memories.
+//!
+//! Global memory is a flat byte array with a bump allocator (like a simple
+//! `cudaMalloc` pool). Shared memory is a per-block byte array sized by the
+//! kernel's requirement and bounded by the device's per-block limit.
+
+use crate::error::SimError;
+use crate::types::{Ty, Value};
+
+/// Alignment applied to every global allocation (matches CUDA's 256-byte
+/// `cudaMalloc` alignment, and keeps allocations segment-aligned for the
+/// coalescing model).
+pub const GLOBAL_ALLOC_ALIGN: u64 = 256;
+
+/// A device global-memory buffer handle: base byte address plus length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferHandle {
+    pub addr: u64,
+    pub len: u64,
+}
+
+impl BufferHandle {
+    /// Address one past the end of the buffer.
+    pub fn end(&self) -> u64 {
+        self.addr + self.len
+    }
+}
+
+/// Simulated global memory with a bump allocator.
+#[derive(Debug)]
+pub struct GlobalMemory {
+    data: Vec<u8>,
+    next: u64,
+    capacity: u64,
+}
+
+impl GlobalMemory {
+    /// Create a global memory of `capacity` bytes. Address 0 is reserved as
+    /// a null address: allocations start at `GLOBAL_ALLOC_ALIGN`.
+    pub fn new(capacity: u64) -> Self {
+        GlobalMemory {
+            data: Vec::new(),
+            next: GLOBAL_ALLOC_ALIGN,
+            capacity,
+        }
+    }
+
+    /// Bytes currently allocated (high-water mark).
+    pub fn used(&self) -> u64 {
+        self.next
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Allocate `len` bytes, 256-byte aligned.
+    pub fn alloc(&mut self, len: u64) -> Result<BufferHandle, SimError> {
+        let addr = (self.next + GLOBAL_ALLOC_ALIGN - 1) & !(GLOBAL_ALLOC_ALIGN - 1);
+        let end = addr
+            .checked_add(len)
+            .ok_or(SimError::OutOfMemory { requested: len })?;
+        if end > self.capacity {
+            return Err(SimError::OutOfMemory { requested: len });
+        }
+        self.next = end;
+        if self.data.len() < end as usize {
+            self.data.resize(end as usize, 0);
+        }
+        Ok(BufferHandle { addr, len })
+    }
+
+    /// Reset the allocator and zero the memory (device reset).
+    pub fn reset(&mut self) {
+        self.next = GLOBAL_ALLOC_ALIGN;
+        self.data.clear();
+    }
+
+    fn check(&self, addr: u64, len: usize) -> Result<(), SimError> {
+        let end = addr as usize + len;
+        if addr == 0 || end > self.data.len() {
+            return Err(SimError::GlobalOutOfBounds { addr, len });
+        }
+        Ok(())
+    }
+
+    /// Read a typed value.
+    pub fn read(&self, ty: Ty, addr: u64) -> Result<Value, SimError> {
+        self.check(addr, ty.size())?;
+        Ok(Value::from_bytes(ty, &self.data[addr as usize..]))
+    }
+
+    /// Write a typed value.
+    pub fn write(&mut self, addr: u64, v: Value) -> Result<(), SimError> {
+        let (bytes, n) = v.to_bytes();
+        self.check(addr, n)?;
+        self.data[addr as usize..addr as usize + n].copy_from_slice(&bytes[..n]);
+        Ok(())
+    }
+
+    /// Raw byte read (host-side transfers).
+    pub fn read_bytes(&self, addr: u64, out: &mut [u8]) -> Result<(), SimError> {
+        self.check(addr, out.len())?;
+        out.copy_from_slice(&self.data[addr as usize..addr as usize + out.len()]);
+        Ok(())
+    }
+
+    /// Raw byte write (host-side transfers).
+    pub fn write_bytes(&mut self, addr: u64, src: &[u8]) -> Result<(), SimError> {
+        self.check(addr, src.len())?;
+        self.data[addr as usize..addr as usize + src.len()].copy_from_slice(src);
+        Ok(())
+    }
+}
+
+/// Per-block shared memory.
+#[derive(Debug)]
+pub struct SharedMemory {
+    data: Vec<u8>,
+}
+
+impl SharedMemory {
+    /// Create a shared memory window of `len` bytes (zero-initialized; real
+    /// hardware leaves it undefined, but deterministic zero simplifies
+    /// failure-reproduction tests).
+    pub fn new(len: usize) -> Self {
+        SharedMemory { data: vec![0; len] }
+    }
+
+    /// Window size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the kernel requested no shared memory.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn check(&self, off: u64, len: usize) -> Result<(), SimError> {
+        if off as usize + len > self.data.len() {
+            return Err(SimError::SharedOutOfBounds {
+                off,
+                len,
+                window: self.data.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Read a typed value at byte offset `off`.
+    pub fn read(&self, ty: Ty, off: u64) -> Result<Value, SimError> {
+        self.check(off, ty.size())?;
+        Ok(Value::from_bytes(ty, &self.data[off as usize..]))
+    }
+
+    /// Write a typed value at byte offset `off`.
+    pub fn write(&mut self, off: u64, v: Value) -> Result<(), SimError> {
+        let (bytes, n) = v.to_bytes();
+        self.check(off, n)?;
+        self.data[off as usize..off as usize + n].copy_from_slice(&bytes[..n]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut m = GlobalMemory::new(1 << 20);
+        let a = m.alloc(100).unwrap();
+        let b = m.alloc(10).unwrap();
+        assert_eq!(a.addr % GLOBAL_ALLOC_ALIGN, 0);
+        assert_eq!(b.addr % GLOBAL_ALLOC_ALIGN, 0);
+        assert!(b.addr >= a.end());
+        assert_ne!(a.addr, 0, "null address must stay unmapped");
+    }
+
+    #[test]
+    fn alloc_oom() {
+        let mut m = GlobalMemory::new(1024);
+        assert!(m.alloc(512).is_ok());
+        assert!(matches!(m.alloc(1024), Err(SimError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn global_rw_roundtrip() {
+        let mut m = GlobalMemory::new(1 << 16);
+        let b = m.alloc(64).unwrap();
+        m.write(b.addr, Value::F64(2.5)).unwrap();
+        m.write(b.addr + 8, Value::I32(-9)).unwrap();
+        assert_eq!(m.read(Ty::F64, b.addr).unwrap(), Value::F64(2.5));
+        assert_eq!(m.read(Ty::I32, b.addr + 8).unwrap(), Value::I32(-9));
+    }
+
+    #[test]
+    fn global_oob_and_null_detected() {
+        let mut m = GlobalMemory::new(1 << 16);
+        let b = m.alloc(8).unwrap();
+        assert!(m.read(Ty::I64, b.addr).is_ok());
+        assert!(matches!(
+            m.read(Ty::I32, 0),
+            Err(SimError::GlobalOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.write(m.used() + 100_000, Value::I32(1)),
+            Err(SimError::GlobalOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut m = GlobalMemory::new(1 << 16);
+        let b = m.alloc(16).unwrap();
+        m.write_bytes(b.addr, &[1, 2, 3, 4]).unwrap();
+        let mut out = [0u8; 4];
+        m.read_bytes(b.addr, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shared_rw_and_oob() {
+        let mut s = SharedMemory::new(32);
+        s.write(0, Value::F32(1.5)).unwrap();
+        assert_eq!(s.read(Ty::F32, 0).unwrap(), Value::F32(1.5));
+        assert!(matches!(
+            s.write(30, Value::F64(1.0)),
+            Err(SimError::SharedOutOfBounds { .. })
+        ));
+        assert!(!s.is_empty());
+        assert!(SharedMemory::new(0).is_empty());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = GlobalMemory::new(1 << 16);
+        let b = m.alloc(8).unwrap();
+        m.write(b.addr, Value::I64(7)).unwrap();
+        m.reset();
+        let b2 = m.alloc(8).unwrap();
+        assert_eq!(b2.addr, b.addr);
+        assert_eq!(m.read(Ty::I64, b2.addr).unwrap(), Value::I64(0));
+    }
+}

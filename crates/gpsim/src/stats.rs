@@ -1,0 +1,155 @@
+//! Execution statistics collected per kernel launch and per device session.
+
+use std::ops::AddAssign;
+
+/// Counters collected while executing one kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LaunchStats {
+    /// Warp-instructions executed (one per (warp, pc-group) step).
+    pub warp_insts: u64,
+    /// Lane-instructions executed (warp-insts weighted by active lanes).
+    pub lane_insts: u64,
+    /// Global memory transactions (coalescing-model segments).
+    pub global_transactions: u64,
+    /// Global memory instructions (warp-level).
+    pub global_accesses: u64,
+    /// Shared memory instructions (warp-level).
+    pub shared_accesses: u64,
+    /// Sum of bank-conflict serialization ways over shared accesses.
+    pub shared_ways: u64,
+    /// Barrier arrivals (warp-level).
+    pub barriers: u64,
+    /// Atomic instructions (warp-level).
+    pub atomics: u64,
+    /// Blocks executed.
+    pub blocks: u64,
+    /// Modelled execution cycles for the launch (max over SMs).
+    pub cycles: u64,
+}
+
+impl LaunchStats {
+    /// Average active lanes per warp-instruction — 32.0 means no divergence.
+    pub fn avg_active_lanes(&self) -> f64 {
+        if self.warp_insts == 0 {
+            0.0
+        } else {
+            self.lane_insts as f64 / self.warp_insts as f64
+        }
+    }
+
+    /// Average transactions per global access — 1.0 means perfectly coalesced.
+    pub fn transactions_per_access(&self) -> f64 {
+        if self.global_accesses == 0 {
+            0.0
+        } else {
+            self.global_transactions as f64 / self.global_accesses as f64
+        }
+    }
+
+    /// Average bank-conflict ways per shared access — 1.0 means conflict-free.
+    pub fn conflict_ways_per_access(&self) -> f64 {
+        if self.shared_accesses == 0 {
+            0.0
+        } else {
+            self.shared_ways as f64 / self.shared_accesses as f64
+        }
+    }
+}
+
+impl AddAssign for LaunchStats {
+    fn add_assign(&mut self, o: Self) {
+        self.warp_insts += o.warp_insts;
+        self.lane_insts += o.lane_insts;
+        self.global_transactions += o.global_transactions;
+        self.global_accesses += o.global_accesses;
+        self.shared_accesses += o.shared_accesses;
+        self.shared_ways += o.shared_ways;
+        self.barriers += o.barriers;
+        self.atomics += o.atomics;
+        self.blocks += o.blocks;
+        self.cycles += o.cycles;
+    }
+}
+
+/// Accumulated statistics for a whole device session (multiple launches and
+/// transfers): what a profiler would report for an application run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionStats {
+    /// Number of kernel launches.
+    pub launches: u64,
+    /// Sum of per-launch stats.
+    pub totals: LaunchStats,
+    /// Cycles spent in kernels (including launch overheads).
+    pub kernel_cycles: u64,
+    /// Cycles spent in host<->device transfers.
+    pub transfer_cycles: u64,
+    /// Bytes moved host->device.
+    pub bytes_h2d: u64,
+    /// Bytes moved device->host.
+    pub bytes_d2h: u64,
+}
+
+impl SessionStats {
+    /// Total modelled cycles (kernels + transfers).
+    pub fn total_cycles(&self) -> u64 {
+        self.kernel_cycles + self.transfer_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let s = LaunchStats {
+            warp_insts: 10,
+            lane_insts: 160,
+            global_transactions: 30,
+            global_accesses: 10,
+            shared_accesses: 5,
+            shared_ways: 10,
+            ..Default::default()
+        };
+        assert_eq!(s.avg_active_lanes(), 16.0);
+        assert_eq!(s.transactions_per_access(), 3.0);
+        assert_eq!(s.conflict_ways_per_access(), 2.0);
+    }
+
+    #[test]
+    fn zero_division_guarded() {
+        let s = LaunchStats::default();
+        assert_eq!(s.avg_active_lanes(), 0.0);
+        assert_eq!(s.transactions_per_access(), 0.0);
+        assert_eq!(s.conflict_ways_per_access(), 0.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = LaunchStats {
+            warp_insts: 1,
+            cycles: 10,
+            ..Default::default()
+        };
+        let b = LaunchStats {
+            warp_insts: 2,
+            cycles: 5,
+            blocks: 3,
+            ..Default::default()
+        };
+        a += b;
+        assert_eq!(a.warp_insts, 3);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.blocks, 3);
+    }
+
+    #[test]
+    fn session_total() {
+        let s = SessionStats {
+            kernel_cycles: 7,
+            transfer_cycles: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.total_cycles(), 10);
+    }
+}

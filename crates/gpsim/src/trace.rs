@@ -1,0 +1,100 @@
+//! Execution tracing: capture the first N warp-instructions of a launch
+//! with their active masks — the "look at what the machine actually did"
+//! debugging facility.
+
+/// One executed warp-instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Block index (x, y).
+    pub block: (u32, u32),
+    /// Warp index within the block.
+    pub warp: u32,
+    /// Instruction index in the kernel.
+    pub pc: usize,
+    /// Number of active lanes.
+    pub active: u32,
+    /// Disassembled instruction text.
+    pub text: String,
+}
+
+/// A bounded trace buffer.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    limit: usize,
+    events: Vec<TraceEvent>,
+    truncated: bool,
+}
+
+impl Trace {
+    /// Capture at most `limit` events (the rest are dropped and
+    /// [`Trace::truncated`] reports it).
+    pub fn with_limit(limit: usize) -> Self {
+        Trace {
+            limit,
+            events: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// Record an event (drops once full).
+    pub(crate) fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.limit {
+            self.events.push(ev);
+        } else {
+            self.truncated = true;
+        }
+    }
+
+    /// The captured events, in execution order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// True if events were dropped because the limit was reached.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Render the trace as a listing.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "b({:>2},{}) w{:<2} pc {:>4} [{:>2} lanes]  {}",
+                e.block.0, e.block.1, e.warp, e.pc, e.active, e.text
+            );
+        }
+        if self.truncated {
+            let _ = writeln!(out, "... (truncated at {} events)", self.limit);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_and_renders() {
+        let mut t = Trace::with_limit(2);
+        for pc in 0..3 {
+            t.record(TraceEvent {
+                block: (0, 0),
+                warp: 0,
+                pc,
+                active: 32,
+                text: format!("inst{pc}"),
+            });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert!(t.truncated());
+        let r = t.render();
+        assert!(r.contains("inst0"));
+        assert!(r.contains("inst1"));
+        assert!(!r.contains("inst2"));
+        assert!(r.contains("truncated"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the simulator core: arithmetic semantics,
+//! coalescing/bank-conflict analysis, and kernel-level invariants.
+
+use gpsim::coalesce::{bank_conflict_degree, global_transactions};
+use gpsim::{
+    eval_bin, eval_cmp, BinOp, CmpOp, Device, KernelBuilder, LaunchConfig, MemRef, SpecialReg, Ty,
+    Value,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Reduction-relevant operators are associative and commutative on
+    /// integers (the property §3 of the paper builds on).
+    #[test]
+    fn int_ops_assoc_comm(a in any::<i32>(), b in any::<i32>(), c in any::<i32>()) {
+        for op in [BinOp::Add, BinOp::Mul, BinOp::Min, BinOp::Max, BinOp::And, BinOp::Or, BinOp::Xor] {
+            let f = |x: Value, y: Value| eval_bin(op, Ty::I32, x, y).unwrap();
+            let (va, vb, vc) = (Value::I32(a), Value::I32(b), Value::I32(c));
+            prop_assert_eq!(f(f(va, vb), vc), f(va, f(vb, vc)), "{:?} assoc", op);
+            prop_assert_eq!(f(va, vb), f(vb, va), "{:?} comm", op);
+        }
+    }
+
+    /// Conversions preserve i32 values through i64 and back.
+    #[test]
+    fn convert_roundtrip_i32(v in any::<i32>()) {
+        let w = Value::I32(v).convert(Ty::I64).convert(Ty::I32);
+        prop_assert_eq!(w, Value::I32(v));
+    }
+
+    /// Byte encode/decode round-trips for every type.
+    #[test]
+    fn value_bytes_roundtrip(v in any::<i64>(), f in any::<f64>()) {
+        for val in [Value::I64(v), Value::I32(v as i32), Value::F64(f), Value::F32(f as f32), Value::U64(v as u64)] {
+            let (bytes, n) = val.to_bytes();
+            prop_assert_eq!(Value::from_bytes(val.ty(), &bytes[..n]), val);
+        }
+    }
+
+    /// Comparison trichotomy on integers.
+    #[test]
+    fn cmp_trichotomy(a in any::<i64>(), b in any::<i64>()) {
+        let lt = eval_cmp(CmpOp::Lt, Ty::I64, Value::I64(a), Value::I64(b));
+        let eq = eval_cmp(CmpOp::Eq, Ty::I64, Value::I64(a), Value::I64(b));
+        let gt = eval_cmp(CmpOp::Gt, Ty::I64, Value::I64(a), Value::I64(b));
+        prop_assert_eq!(lt as u8 + eq as u8 + gt as u8, 1);
+        prop_assert_eq!(eval_cmp(CmpOp::Le, Ty::I64, Value::I64(a), Value::I64(b)), lt || eq);
+        prop_assert_eq!(eval_cmp(CmpOp::Ne, Ty::I64, Value::I64(a), Value::I64(b)), !eq);
+    }
+
+    /// Transaction counts: bounded by lane count and segment-permutation
+    /// invariant.
+    #[test]
+    fn transactions_bounded_and_permutation_invariant(
+        mut addrs in prop::collection::vec(0u64..100_000, 1..32),
+        size in prop_oneof![Just(4usize), Just(8usize)],
+    ) {
+        let acc: Vec<(u64, usize)> = addrs.iter().map(|&a| (a, size)).collect();
+        let t = global_transactions(&acc, 128);
+        prop_assert!(t >= 1);
+        prop_assert!(t <= acc.len() as u64 * 2, "each lane touches at most 2 segments");
+        addrs.reverse();
+        let acc2: Vec<(u64, usize)> = addrs.iter().map(|&a| (a, size)).collect();
+        prop_assert_eq!(global_transactions(&acc2, 128), t);
+    }
+
+    /// A fully coalesced aligned warp access is always 1 transaction.
+    #[test]
+    fn coalesced_access_is_one_transaction(base in 0u64..1000) {
+        let acc: Vec<(u64, usize)> = (0..32u64).map(|i| (base * 128 + i * 4, 4)).collect();
+        prop_assert_eq!(global_transactions(&acc, 128), 1);
+    }
+
+    /// Bank conflict degree is between 1 and the lane count.
+    #[test]
+    fn conflict_degree_bounds(offsets in prop::collection::vec(0u64..4096, 1..32)) {
+        let acc: Vec<(u64, usize)> = offsets.iter().map(|&o| (o * 4, 4)).collect();
+        let d = bank_conflict_degree(&acc, 32);
+        prop_assert!(d >= 1);
+        prop_assert!(d <= acc.len() as u64);
+    }
+
+    /// Kernel-level: a grid-stride sum over random data is exact for any
+    /// thread/block geometry.
+    #[test]
+    fn device_sum_matches_host(
+        data in prop::collection::vec(-1000i32..1000, 1..400),
+        blocks in 1u32..4,
+        threads in prop_oneof![Just(32u32), Just(64), Just(96), Just(17)],
+    ) {
+        let mut b = KernelBuilder::new("sum");
+        let inp = b.param(0);
+        let out = b.param(1);
+        let n = b.param(2);
+        let tid = b.special(SpecialReg::TidX);
+        let ctaid = b.special(SpecialReg::CtaIdX);
+        let ntid = b.special(SpecialReg::NTidX);
+        let nctaid = b.special(SpecialReg::NCtaIdX);
+        let base = b.bin(BinOp::Mul, Ty::I32, ctaid, ntid);
+        let gid = b.bin(BinOp::Add, Ty::I32, base, tid);
+        let total = b.bin(BinOp::Mul, Ty::I32, ntid, nctaid);
+        let acc = b.mov_imm(Value::I64(0));
+        let i = b.mov(gid);
+        let top = b.new_label();
+        let done = b.new_label();
+        b.place(top);
+        let p = b.cmp(CmpOp::Ge, Ty::I32, i, n);
+        b.bra_if(p, done);
+        let i64r = b.cvt(Ty::I64, i);
+        let v = b.ld_global(Ty::I32, MemRef::indexed(inp, i64r, 4));
+        let v64 = b.cvt(Ty::I64, v);
+        b.bin_to(acc, BinOp::Add, Ty::I64, acc, v64);
+        b.bin_to(i, BinOp::Add, Ty::I32, i, total);
+        b.bra(top);
+        b.place(done);
+        // Atomically fold the per-thread partials (tests atomics too).
+        b.atom_global(gpsim::AtomOp::Add, Ty::I64, MemRef::direct(out), acc, false);
+        let k = b.finish();
+
+        let mut dev = Device::test_small();
+        let ibuf = dev.alloc_elems(Ty::I32, data.len() as u64).unwrap();
+        let obuf = dev.alloc_elems(Ty::I64, 1).unwrap();
+        let vals: Vec<Value> = data.iter().map(|&v| Value::I32(v)).collect();
+        dev.upload_values(ibuf, &vals).unwrap();
+        dev.poke(obuf.addr, Value::I64(0)).unwrap();
+        dev.launch(
+            &k,
+            LaunchConfig::d1(blocks, threads),
+            &[Value::U64(ibuf.addr), Value::U64(obuf.addr), Value::I32(data.len() as i32)],
+        )
+        .unwrap();
+        let got = dev.peek(Ty::I64, obuf.addr).unwrap().as_i64();
+        let want: i64 = data.iter().map(|&v| v as i64).sum();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Stats sanity on random launches: lane-insts never exceed 32x
+    /// warp-insts, cycles are positive.
+    #[test]
+    fn stats_invariants(blocks in 1u32..4, threads in 1u32..130) {
+        let mut b = KernelBuilder::new("nop_work");
+        let tid = b.special(SpecialReg::TidX);
+        let _ = b.bin(BinOp::Mul, Ty::I32, tid, Value::I32(3));
+        let k = b.finish();
+        let mut dev = Device::test_small();
+        let st = dev.launch(&k, LaunchConfig::d1(blocks, threads), &[]).unwrap();
+        prop_assert!(st.lane_insts <= st.warp_insts * 32);
+        prop_assert!(st.lane_insts >= st.warp_insts, "at least one lane per warp-inst");
+        prop_assert!(st.cycles > 0);
+        prop_assert_eq!(st.blocks, blocks as u64);
+    }
+}

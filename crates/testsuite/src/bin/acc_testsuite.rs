@@ -1,0 +1,72 @@
+//! Command-line driver for the reduction testsuite (regenerates the
+//! paper's Table 2 and Figure 11 with modelled device times).
+//!
+//! Usage: `acc-testsuite [--red-n N] [--quick] [--all-ops] [--fig11]`
+
+use acc_baselines::Compiler;
+use acc_testsuite::{format_fig11, format_summary, format_table2, run_suite, SuiteConfig};
+use accparse::ast::{CType, RedOp};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = SuiteConfig::default();
+    let mut fig11 = false;
+    let mut all_ops = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--red-n" => {
+                i += 1;
+                cfg.red_n = args[i].parse().expect("--red-n takes a number");
+            }
+            "--quick" => cfg = SuiteConfig::quick(),
+            "--fig11" => fig11 = true,
+            "--all-ops" => all_ops = true,
+            "--help" | "-h" => {
+                println!(
+                    "acc-testsuite: regenerate Table 2 / Fig. 11 of the paper\n\
+                     --red-n N    reduction loop size (default 16384; paper used up to 1M)\n\
+                     --quick      small sizes for smoke testing\n\
+                     --all-ops    run all nine OpenACC reduction operators (not just + and *)\n\
+                     --fig11      also print the Figure 11 per-position series"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let ops: Vec<RedOp> = if all_ops {
+        vec![
+            RedOp::Add,
+            RedOp::Mul,
+            RedOp::Max,
+            RedOp::Min,
+            RedOp::BitAnd,
+            RedOp::BitOr,
+            RedOp::BitXor,
+            RedOp::LogAnd,
+            RedOp::LogOr,
+        ]
+    } else {
+        vec![RedOp::Add, RedOp::Mul]
+    };
+    let dtypes = [CType::Int, CType::Float, CType::Double];
+    eprintln!(
+        "running {} positions x {} ops x {} types x 3 compilers (red_n = {}) ...",
+        7,
+        ops.len(),
+        dtypes.len(),
+        cfg.red_n
+    );
+    let results = run_suite(&Compiler::all(), &ops, &dtypes, &cfg);
+    println!("{}", format_table2(&results, &ops, &dtypes));
+    println!("{}", format_summary(&results));
+    if fig11 {
+        println!("{}", format_fig11(&results, &ops, &dtypes));
+    }
+}

@@ -1,0 +1,21 @@
+//! # acc-testsuite — the paper's reduction testsuite
+//!
+//! "Since there are no existing benchmarks that could cover all the
+//! reduction cases, we have designed and implemented a testsuite to
+//! validate all possible cases of reduction including different reduction
+//! data types and reduction operations" (§4).
+//!
+//! This crate generates the directive sources for every reduction
+//! position of Table 2 (gang / worker / vector / gang-worker /
+//! worker-vector / gang-worker-vector / same-line-gwv), runs them under
+//! each compiler personality on the simulated device, verifies each
+//! result against the sequential CPU reference, and formats the outcomes
+//! as the paper's Table 2 and Figure 11.
+
+pub mod cases;
+pub mod report;
+pub mod run;
+
+pub use cases::{case_source, Position};
+pub use report::{format_fig11, format_summary, format_table2};
+pub use run::{run_case, run_suite, CaseResult, CaseStatus, SuiteConfig};

@@ -1,0 +1,184 @@
+//! Result formatting: the paper's Table 2 and the Fig. 11 series.
+
+use crate::cases::{ctype_name, Position};
+use crate::run::{CaseResult, CaseStatus};
+use acc_baselines::Compiler;
+use accparse::ast::{CType, RedOp};
+
+/// Find a result in a result set.
+pub fn find(
+    results: &[CaseResult],
+    compiler: Compiler,
+    pos: Position,
+    op: RedOp,
+    t: CType,
+) -> Option<&CaseResult> {
+    results
+        .iter()
+        .find(|r| r.compiler == compiler && r.position == pos && r.op == op && r.dtype == t)
+}
+
+fn cell(results: &[CaseResult], c: Compiler, pos: Position, op: RedOp, t: CType) -> String {
+    match find(results, c, pos, op, t) {
+        None => "-".to_string(),
+        Some(r) => match &r.status {
+            CaseStatus::Pass { ms } => format!("{ms:.2}"),
+            CaseStatus::Fail { .. } => "F".to_string(),
+            CaseStatus::CompileError { .. } => "CE".to_string(),
+        },
+    }
+}
+
+/// Render the paper's Table 2 layout: rows are (position, operator), column
+/// groups are data types, columns within a group are compilers.
+pub fn format_table2(results: &[CaseResult], ops: &[RedOp], dtypes: &[CType]) -> String {
+    use std::fmt::Write;
+    let compilers = [Compiler::OpenUH, Compiler::PgiLike, Compiler::CapsLike];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2: Performance results of OpenACC compilers using the reduction testsuite."
+    );
+    let _ = writeln!(
+        out,
+        "Time in milliseconds (modelled device time). F = wrong result, CE = compile error.\n"
+    );
+    let _ = write!(out, "{:<30} {:<4}", "Reduction Position", "Op");
+    for t in dtypes {
+        for c in compilers {
+            let _ = write!(out, " {:>10}", format!("{}[{}]", c.name(), ctype_name(*t)));
+        }
+    }
+    let _ = writeln!(out);
+    let width = 30 + 1 + 4 + dtypes.len() * compilers.len() * 11;
+    let _ = writeln!(out, "{}", "-".repeat(width));
+    for pos in Position::all() {
+        for &op in ops {
+            let _ = write!(out, "{:<30} {:<4}", pos.label(), op.clause_token());
+            for &t in dtypes {
+                for c in compilers {
+                    let _ = write!(out, " {:>10}", cell(results, c, pos, op, t));
+                }
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// Render the Fig. 11 view: for each reduction position, one line per
+/// (operator, type) with all compiler times side by side — the data behind
+/// the paper's bar charts.
+pub fn format_fig11(results: &[CaseResult], ops: &[RedOp], dtypes: &[CType]) -> String {
+    use std::fmt::Write;
+    let compilers = [Compiler::OpenUH, Compiler::PgiLike, Compiler::CapsLike];
+    let mut out = String::new();
+    for pos in Position::all() {
+        let _ = writeln!(
+            out,
+            "Figure 11 ({}): time in ms, missing bar = failed",
+            pos.label()
+        );
+        for &op in ops {
+            for &t in dtypes {
+                if find(results, Compiler::OpenUH, pos, op, t).is_none() {
+                    continue;
+                }
+                let _ = write!(out, "  [{}] {:<7}", op.clause_token(), ctype_name(t));
+                for c in compilers {
+                    let _ = write!(out, " {}={:<10}", c.name(), cell(results, c, pos, op, t));
+                }
+                let _ = writeln!(out);
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Summarize pass/fail counts per compiler (the paper's robustness claim:
+/// "only OpenUH passed all of the reduction tests").
+pub fn format_summary(results: &[CaseResult]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for c in [Compiler::OpenUH, Compiler::PgiLike, Compiler::CapsLike] {
+        let (mut pass, mut fail, mut ce) = (0, 0, 0);
+        for r in results.iter().filter(|r| r.compiler == c) {
+            match r.status {
+                CaseStatus::Pass { .. } => pass += 1,
+                CaseStatus::Fail { .. } => fail += 1,
+                CaseStatus::CompileError { .. } => ce += 1,
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:<10} passed {pass:>3}  wrong {fail:>3}  compile-error {ce:>3}",
+            c.name()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(c: Compiler, pos: Position, op: RedOp, t: CType, status: CaseStatus) -> CaseResult {
+        CaseResult {
+            compiler: c,
+            position: pos,
+            op,
+            dtype: t,
+            status,
+        }
+    }
+
+    #[test]
+    fn table_renders_all_statuses() {
+        let results = vec![
+            mk(
+                Compiler::OpenUH,
+                Position::Gang,
+                RedOp::Add,
+                CType::Int,
+                CaseStatus::Pass { ms: 1.23 },
+            ),
+            mk(
+                Compiler::PgiLike,
+                Position::Gang,
+                RedOp::Add,
+                CType::Int,
+                CaseStatus::Fail { detail: "x".into() },
+            ),
+            mk(
+                Compiler::CapsLike,
+                Position::Gang,
+                RedOp::Add,
+                CType::Int,
+                CaseStatus::CompileError { msg: "y".into() },
+            ),
+        ];
+        let t = format_table2(&results, &[RedOp::Add], &[CType::Int]);
+        assert!(t.contains("1.23"));
+        assert!(t.contains(" F"));
+        assert!(t.contains("CE"));
+        assert!(t.contains("gang"));
+        let s = format_summary(&results);
+        assert!(s.contains("OpenUH"));
+        assert!(s.contains("passed   1"));
+    }
+
+    #[test]
+    fn fig11_lists_rows() {
+        let results = vec![mk(
+            Compiler::OpenUH,
+            Position::Vector,
+            RedOp::Mul,
+            CType::Double,
+            CaseStatus::Pass { ms: 4.0 },
+        )];
+        let f = format_fig11(&results, &[RedOp::Mul], &[CType::Double]);
+        assert!(f.contains("vector"));
+        assert!(f.contains("[*] double"));
+    }
+}

@@ -1,0 +1,466 @@
+//! Case execution and verification.
+//!
+//! Each case runs on the simulated device under one compiler personality
+//! and is verified against the sequential CPU reference — exactly the
+//! paper's methodology ("the testsuite will check if a given reduction
+//! implementation passed or failed by verifying the OpenACC result with
+//! the CPU result").
+
+use crate::cases::{case_source, combo_legal, extents, gen_value, Position};
+use acc_baselines::{Compiler, CpuExec, ReductionCase};
+use accparse::ast::{CType, RedOp};
+use accrt::{AccError, AccRunner, HostBuffer};
+use gpsim::{Device, Value};
+use uhacc_core::LaunchDims;
+
+/// Suite configuration: reduction loop size and launch geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteConfig {
+    /// Iterations of the reduction loop (the paper used up to 1M on a
+    /// K20c; the simulator default is scaled down).
+    pub red_n: usize,
+    /// Launch geometry (the paper: 192 gangs, 8 workers, vector 128).
+    pub dims: LaunchDims,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            red_n: 16 * 1024,
+            dims: LaunchDims::paper(),
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// A fast configuration for unit tests.
+    pub fn quick() -> Self {
+        SuiteConfig {
+            red_n: 1024,
+            dims: LaunchDims {
+                gangs: 8,
+                workers: 4,
+                vector: 64,
+            },
+        }
+    }
+}
+
+/// Outcome of one case under one compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaseStatus {
+    /// Verified correct; modelled kernel time in milliseconds.
+    Pass { ms: f64 },
+    /// Ran but produced a wrong result (a Table 2 "F").
+    Fail { detail: String },
+    /// Rejected at compile time (a Table 2 "CE").
+    CompileError { msg: String },
+}
+
+impl CaseStatus {
+    /// The milliseconds if the case passed.
+    pub fn ms(&self) -> Option<f64> {
+        match self {
+            CaseStatus::Pass { ms } => Some(*ms),
+            _ => None,
+        }
+    }
+}
+
+/// A fully identified result row.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    pub compiler: Compiler,
+    pub position: Position,
+    pub op: RedOp,
+    pub dtype: CType,
+    pub status: CaseStatus,
+}
+
+/// Reference outputs for a case, computed once by the CPU executor and
+/// shared by all compilers.
+#[derive(Debug, Clone)]
+pub struct Expected {
+    /// Expected value of `sum`, for scalar-verified positions.
+    pub scalar: Option<Value>,
+    /// Expected contents of `out`, for array-verified positions.
+    pub out: Option<Vec<Value>>,
+}
+
+/// Arrays bound for a case: `(input, optional temp, optional out-shape)`.
+struct CaseData {
+    input: HostBuffer,
+    temp_len: Option<usize>,
+    out_len: Option<usize>,
+}
+
+fn case_data(pos: Position, op: RedOp, t: CType, cfg: &SuiteConfig) -> CaseData {
+    let (nk, nj, ni) = extents(pos, cfg.red_n);
+    let n = nk * nj * ni;
+    let mut input = HostBuffer::new(t, n);
+    for i in 0..n {
+        input.set(i, gen_value(op, t, i));
+    }
+    let (temp_len, out_len) = match pos {
+        Position::Gang | Position::GangWorker => (Some(n), None),
+        Position::Worker => (Some(n), Some(nk)),
+        Position::Vector => (None, Some(nk * nj)),
+        Position::WorkerVector => (None, Some(nk)),
+        Position::GangWorkerVector | Position::SameLineGwv => (None, None),
+    };
+    CaseData {
+        input,
+        temp_len,
+        out_len,
+    }
+}
+
+fn bind_dims(
+    pos: Position,
+    cfg: &SuiteConfig,
+    mut bind: impl FnMut(&str, i64) -> Result<(), AccError>,
+) -> Result<(), AccError> {
+    let (nk, nj, ni) = extents(pos, cfg.red_n);
+    if pos == Position::SameLineGwv {
+        bind("N", nk as i64)
+    } else {
+        bind("NK", nk as i64)?;
+        bind("NJ", nj as i64)?;
+        bind("NI", ni as i64)
+    }
+}
+
+/// Compute the CPU reference for a case.
+pub fn reference(pos: Position, op: RedOp, t: CType, cfg: &SuiteConfig) -> Expected {
+    let src = case_source(pos, op, t);
+    let data = case_data(pos, op, t, cfg);
+    let mut cpu = CpuExec::new(&src).expect("testsuite sources always compile");
+    bind_dims(pos, cfg, |n, v| cpu.bind_int(n, v)).unwrap();
+    cpu.bind_array("input", data.input.clone()).unwrap();
+    if let Some(n) = data.temp_len {
+        cpu.bind_array("temp", HostBuffer::new(t, n)).unwrap();
+    }
+    if let Some(n) = data.out_len {
+        cpu.bind_array("out", HostBuffer::new(t, n)).unwrap();
+    }
+    cpu.run().expect("CPU reference execution");
+    let scalar = cpu.scalar("sum").ok();
+    let out = data
+        .out_len
+        .map(|n| (0..n).map(|i| cpu.array("out").unwrap().get(i)).collect());
+    Expected { scalar, out }
+}
+
+/// Tolerant value comparison: exact for integers, relative tolerance for
+/// floats (parallel trees reassociate rounding).
+pub fn values_match(got: Value, want: Value, t: CType) -> bool {
+    match t {
+        CType::Int | CType::Long => got.as_i64() == want.as_i64(),
+        CType::Float => {
+            let (g, w) = (got.as_f64(), want.as_f64());
+            (g - w).abs() <= 1e-2 * w.abs().max(1.0)
+        }
+        CType::Double => {
+            let (g, w) = (got.as_f64(), want.as_f64());
+            (g - w).abs() <= 1e-8 * w.abs().max(1.0)
+        }
+    }
+}
+
+/// Run one case under one compiler personality and verify it.
+pub fn run_case(
+    compiler: Compiler,
+    pos: Position,
+    op: RedOp,
+    t: CType,
+    cfg: &SuiteConfig,
+    expected: &Expected,
+) -> CaseResult {
+    let status = run_case_inner(compiler, pos, op, t, cfg, expected);
+    CaseResult {
+        compiler,
+        position: pos,
+        op,
+        dtype: t,
+        status,
+    }
+}
+
+fn run_case_inner(
+    compiler: Compiler,
+    pos: Position,
+    op: RedOp,
+    t: CType,
+    cfg: &SuiteConfig,
+    expected: &Expected,
+) -> CaseStatus {
+    let case = ReductionCase::new(pos.levels(), pos.same_loop(), op, t);
+    let opts = match compiler.options_for_case(&case) {
+        Ok(o) => o,
+        Err(msg) => return CaseStatus::CompileError { msg },
+    };
+    let src = case_source(pos, op, t);
+    let data = case_data(pos, op, t, cfg);
+    let mut r = match AccRunner::with_options(&src, opts, cfg.dims, Device::default()) {
+        Ok(r) => r,
+        Err(AccError::Compile(d)) => return CaseStatus::CompileError { msg: d.to_string() },
+        Err(e) => {
+            return CaseStatus::Fail {
+                detail: e.to_string(),
+            }
+        }
+    };
+    if let Err(e) = (|| -> Result<(), AccError> {
+        bind_dims(pos, cfg, |n, v| r.bind_int(n, v))?;
+        r.bind_array("input", data.input.clone())?;
+        if let Some(n) = data.out_len {
+            r.bind_array("out", HostBuffer::new(t, n))?;
+        }
+        r.run()
+    })() {
+        return match e {
+            AccError::Compile(d) => CaseStatus::CompileError { msg: d.to_string() },
+            other => CaseStatus::Fail {
+                detail: other.to_string(),
+            },
+        };
+    }
+    // Verify.
+    if let Some(want) = expected.scalar {
+        if let Ok(got) = r.scalar("sum") {
+            if !values_match(got, want, t) {
+                return CaseStatus::Fail {
+                    detail: format!("sum: got {got}, want {want}"),
+                };
+            }
+        }
+    }
+    if let Some(want_out) = &expected.out {
+        let out = r.array("out").expect("out bound above");
+        for (i, want) in want_out.iter().enumerate() {
+            let got = out.get(i);
+            if !values_match(got, *want, t) {
+                return CaseStatus::Fail {
+                    detail: format!("out[{i}]: got {got}, want {want}"),
+                };
+            }
+        }
+    }
+    let st = r.device().stats();
+    let ms = r
+        .device()
+        .cost_model()
+        .cycles_to_ms(st.kernel_cycles, r.device().config().clock_hz);
+    CaseStatus::Pass { ms }
+}
+
+/// Run the full suite: every position for the given operators and types
+/// under every compiler. References are computed once per case.
+pub fn run_suite(
+    compilers: &[Compiler],
+    ops: &[RedOp],
+    dtypes: &[CType],
+    cfg: &SuiteConfig,
+) -> Vec<CaseResult> {
+    let mut results = Vec::new();
+    for pos in Position::all() {
+        for &op in ops {
+            for &t in dtypes {
+                if !combo_legal(op, t) {
+                    continue;
+                }
+                let expected = reference(pos, op, t, cfg);
+                for &c in compilers {
+                    results.push(run_case(c, pos, op, t, cfg, &expected));
+                }
+            }
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn openuh_passes_every_position_quick() {
+        let cfg = SuiteConfig::quick();
+        for pos in Position::all() {
+            let exp = reference(pos, RedOp::Add, CType::Int, &cfg);
+            let r = run_case(Compiler::OpenUH, pos, RedOp::Add, CType::Int, &cfg, &exp);
+            assert!(
+                matches!(r.status, CaseStatus::Pass { .. }),
+                "{}: {:?}",
+                pos.label(),
+                r.status
+            );
+        }
+    }
+
+    #[test]
+    fn pgi_fails_worker_add_but_passes_worker_mul() {
+        let cfg = SuiteConfig::quick();
+        let exp = reference(Position::Worker, RedOp::Add, CType::Int, &cfg);
+        let r = run_case(
+            Compiler::PgiLike,
+            Position::Worker,
+            RedOp::Add,
+            CType::Int,
+            &cfg,
+            &exp,
+        );
+        assert!(
+            matches!(r.status, CaseStatus::Fail { .. }),
+            "{:?}",
+            r.status
+        );
+        let exp = reference(Position::Worker, RedOp::Mul, CType::Int, &cfg);
+        let r = run_case(
+            Compiler::PgiLike,
+            Position::Worker,
+            RedOp::Mul,
+            CType::Int,
+            &cfg,
+            &exp,
+        );
+        assert!(
+            matches!(r.status, CaseStatus::Pass { .. }),
+            "{:?}",
+            r.status
+        );
+    }
+
+    #[test]
+    fn pgi_compile_errors_on_gwv_different_loops() {
+        let cfg = SuiteConfig::quick();
+        let exp = reference(Position::GangWorkerVector, RedOp::Add, CType::Int, &cfg);
+        let r = run_case(
+            Compiler::PgiLike,
+            Position::GangWorkerVector,
+            RedOp::Add,
+            CType::Int,
+            &cfg,
+            &exp,
+        );
+        assert!(
+            matches!(r.status, CaseStatus::CompileError { .. }),
+            "{:?}",
+            r.status
+        );
+        // ... but not on the same-line variant.
+        let exp = reference(Position::SameLineGwv, RedOp::Add, CType::Int, &cfg);
+        let r = run_case(
+            Compiler::PgiLike,
+            Position::SameLineGwv,
+            RedOp::Add,
+            CType::Int,
+            &cfg,
+            &exp,
+        );
+        assert!(
+            matches!(r.status, CaseStatus::Pass { .. }),
+            "{:?}",
+            r.status
+        );
+    }
+
+    #[test]
+    fn caps_fails_wv_add_but_passes_wv_mul() {
+        let cfg = SuiteConfig::quick();
+        let exp = reference(Position::WorkerVector, RedOp::Add, CType::Int, &cfg);
+        let r = run_case(
+            Compiler::CapsLike,
+            Position::WorkerVector,
+            RedOp::Add,
+            CType::Int,
+            &cfg,
+            &exp,
+        );
+        assert!(
+            matches!(r.status, CaseStatus::Fail { .. }),
+            "{:?}",
+            r.status
+        );
+        let exp = reference(Position::WorkerVector, RedOp::Mul, CType::Int, &cfg);
+        let r = run_case(
+            Compiler::CapsLike,
+            Position::WorkerVector,
+            RedOp::Mul,
+            CType::Int,
+            &cfg,
+            &exp,
+        );
+        assert!(
+            matches!(r.status, CaseStatus::Pass { .. }),
+            "{:?}",
+            r.status
+        );
+    }
+
+    #[test]
+    fn values_match_tolerances() {
+        assert!(values_match(Value::I32(5), Value::I32(5), CType::Int));
+        assert!(!values_match(Value::I32(5), Value::I32(6), CType::Int));
+        assert!(values_match(
+            Value::F32(100.001),
+            Value::F32(100.0),
+            CType::Float
+        ));
+        assert!(!values_match(
+            Value::F64(100.1),
+            Value::F64(100.0),
+            CType::Double
+        ));
+    }
+}
+
+#[cfg(test)]
+mod all_ops_tests {
+    use super::*;
+    use crate::cases::combo_legal;
+
+    /// The paper's §1 claim: "our algorithms cover all possible cases of
+    /// reduction operations in three levels of parallelism, all reduction
+    /// operator types and operand data types." Every legal (position, op,
+    /// dtype) combination must pass under OpenUH.
+    #[test]
+    fn openuh_covers_every_operator_and_type() {
+        let cfg = SuiteConfig::quick();
+        let ops = [
+            RedOp::Add,
+            RedOp::Mul,
+            RedOp::Max,
+            RedOp::Min,
+            RedOp::BitAnd,
+            RedOp::BitOr,
+            RedOp::BitXor,
+            RedOp::LogAnd,
+            RedOp::LogOr,
+        ];
+        let dtypes = [CType::Int, CType::Long, CType::Float, CType::Double];
+        let mut ran = 0;
+        for pos in Position::all() {
+            for op in ops {
+                for t in dtypes {
+                    if !combo_legal(op, t) {
+                        continue;
+                    }
+                    let exp = reference(pos, op, t, &cfg);
+                    let r = run_case(Compiler::OpenUH, pos, op, t, &cfg, &exp);
+                    assert!(
+                        matches!(r.status, CaseStatus::Pass { .. }),
+                        "{} {} {:?}: {:?}",
+                        pos.label(),
+                        op,
+                        t,
+                        r.status
+                    );
+                    ran += 1;
+                }
+            }
+        }
+        // 7 positions x (4 ops x 4 types + 5 int-only ops x 2 types).
+        assert_eq!(ran, 7 * (4 * 4 + 5 * 2));
+    }
+}

@@ -1,0 +1,36 @@
+//! The paper's 2D heat equation (Fig. 12a / Fig. 13a): Jacobi relaxation
+//! with a `reduction(max:error)` convergence test every iteration.
+//!
+//! Run with: `cargo run --release --example heat_equation [grid_size]`
+
+use uhacc::apps::heat2d::{run_heat, HeatConfig};
+use uhacc::prelude::*;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
+    let cfg = HeatConfig {
+        n,
+        tol: 1e-3,
+        max_iters: 2000,
+        ..Default::default()
+    };
+    println!("2D heat equation on a {n}x{n} grid (tol {:.0e})", cfg.tol);
+
+    let res = run_heat(&cfg, CompilerOptions::openuh()).expect("heat run");
+    println!("  iterations          : {}", res.iterations);
+    println!("  final max |delta|   : {:.6}", res.final_error);
+    println!(
+        "  max-reduction time  : {:.3} ms (modelled device time)",
+        res.reduction_ms
+    );
+    println!("  total device time   : {:.3} ms", res.total_ms);
+
+    // A few interior temperatures, for a feel of the solution.
+    let mid = n / 2;
+    println!("  centre temperature  : {:.3}", res.grid[mid * n + mid]);
+    println!("  near-top temperature: {:.3}", res.grid[n + mid]);
+    assert!(res.grid[n + mid] > res.grid[mid * n + mid]);
+}

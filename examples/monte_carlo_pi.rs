@@ -1,0 +1,37 @@
+//! The paper's Monte Carlo PI (Fig. 12c / Fig. 13c): a gang+vector `+`
+//! reduction counting points inside the unit circle.
+//!
+//! Run with: `cargo run --release --example monte_carlo_pi [samples]`
+
+use uhacc::apps::pi::{cpu_hits, generate_points, run_pi, PiConfig};
+use uhacc::prelude::*;
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1 << 18);
+    let cfg = PiConfig {
+        samples,
+        ..Default::default()
+    };
+    println!("Monte Carlo PI with {samples} points (host-pregenerated, as in the paper)");
+
+    let res = run_pi(&cfg, CompilerOptions::openuh()).expect("pi run");
+    println!("  hits        : {} / {}", res.hits, res.samples);
+    println!(
+        "  pi estimate : {:.6} (error {:+.6})",
+        res.pi,
+        res.pi - std::f64::consts::PI
+    );
+    println!("  kernel time : {:.3} ms (modelled)", res.kernel_ms);
+    println!(
+        "  total time  : {:.3} ms (incl. PCIe upload of the points)",
+        res.total_ms
+    );
+
+    // The simulated reduction is bit-exact with a sequential count.
+    let (xs, ys) = generate_points(&cfg);
+    assert_eq!(res.hits, cpu_hits(&xs, &ys));
+    println!("  verified against the CPU reference: exact match");
+}

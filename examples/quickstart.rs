@@ -1,0 +1,58 @@
+//! Quickstart: compile and run a directive-annotated reduction on the
+//! simulated GPU, then inspect what the compiler and device did.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use uhacc::prelude::*;
+
+fn main() -> Result<(), AccError> {
+    // An OpenACC program in the supported C dialect: sum a vector with a
+    // single reduction clause spanning all three levels of parallelism.
+    let src = r#"
+        int N;
+        double total;
+        double a[N];
+        total = 0.0;
+        #pragma acc parallel num_gangs(192) num_workers(8) vector_length(128)
+        {
+            #pragma acc loop gang worker vector reduction(+:total)
+            for (int i = 0; i < N; i++) {
+                total += a[i] * a[i];
+            }
+        }
+    "#;
+
+    let n = 1 << 20;
+    let mut runner = AccRunner::new(src)?;
+    runner.bind_int("N", n as i64)?;
+    let data: Vec<f64> = (0..n).map(|i| ((i % 1000) as f64) * 0.001).collect();
+    runner.bind_array("a", HostBuffer::from_f64(&data))?;
+    runner.run()?;
+
+    let got = runner.scalar("total")?.as_f64();
+    let want: f64 = data.iter().map(|x| x * x).sum();
+    println!("sum of squares over {n} elements");
+    println!("  device result : {got:.6}");
+    println!("  host reference: {want:.6}");
+    assert!((got - want).abs() < 1e-6 * want);
+
+    // The simulator keeps the statistics a profiler would show.
+    let stats = runner.device().stats();
+    println!("\ndevice session:");
+    println!("  kernel launches     : {}", stats.launches);
+    println!("  warp instructions   : {}", stats.totals.warp_insts);
+    println!(
+        "  global transactions : {}",
+        stats.totals.global_transactions
+    );
+    println!(
+        "  avg active lanes    : {:.1} / 32",
+        stats.totals.avg_active_lanes()
+    );
+    println!(
+        "  coalescing          : {:.2} transactions/access",
+        stats.totals.transactions_per_access()
+    );
+    println!("  modelled time       : {:.3} ms", runner.elapsed_ms());
+    Ok(())
+}

@@ -1,0 +1,206 @@
+//! `uhacc-cc` — compiler-explorer-style driver: compile an OpenACC source
+//! file and print the generated kernels, launch plan and diagnostics.
+//!
+//! ```console
+//! $ uhacc-cc examples/sum.c --dims 192,8,128 --emit kernel
+//! $ echo '...' | uhacc-cc - --compiler pgi
+//! ```
+
+use std::io::Read;
+use uhacc::baselines::Compiler;
+use uhacc::core::{compile_region, CompilerOptions, LaunchDims};
+use uhacc::parse as accparse;
+
+struct Args {
+    input: String,
+    dims: LaunchDims,
+    compiler: Compiler,
+    emit_hir: bool,
+    emit_kernel: bool,
+    emit_plan: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: uhacc-cc <file.c | -> [options]\n\
+         \n\
+         options:\n\
+           --dims G,W,V        launch geometry (default 192,8,128 — the paper's)\n\
+           --compiler NAME     openuh | pgi | caps (default openuh)\n\
+           --emit WHAT         hir | kernel | plan | all (default kernel,plan)\n\
+           -h, --help          this message"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        input: String::new(),
+        dims: LaunchDims::paper(),
+        compiler: Compiler::OpenUH,
+        emit_hir: false,
+        emit_kernel: true,
+        emit_plan: true,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let mut have_input = false;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "-h" | "--help" => usage(),
+            "--dims" => {
+                i += 1;
+                let parts: Vec<u32> = argv
+                    .get(i)
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .filter_map(|p| p.parse().ok())
+                    .collect();
+                if parts.len() != 3 {
+                    usage();
+                }
+                args.dims = LaunchDims {
+                    gangs: parts[0],
+                    workers: parts[1],
+                    vector: parts[2],
+                };
+            }
+            "--compiler" => {
+                i += 1;
+                args.compiler = match argv.get(i).map(|s| s.as_str()) {
+                    Some("openuh") => Compiler::OpenUH,
+                    Some("pgi") => Compiler::PgiLike,
+                    Some("caps") => Compiler::CapsLike,
+                    _ => usage(),
+                };
+            }
+            "--emit" => {
+                i += 1;
+                args.emit_hir = false;
+                args.emit_kernel = false;
+                args.emit_plan = false;
+                for w in argv.get(i).unwrap_or_else(|| usage()).split(',') {
+                    match w {
+                        "hir" => args.emit_hir = true,
+                        "kernel" => args.emit_kernel = true,
+                        "plan" => args.emit_plan = true,
+                        "all" => {
+                            args.emit_hir = true;
+                            args.emit_kernel = true;
+                            args.emit_plan = true;
+                        }
+                        _ => usage(),
+                    }
+                }
+            }
+            f if !f.starts_with('-') || f == "-" => {
+                if have_input {
+                    usage();
+                }
+                args.input = f.to_string();
+                have_input = true;
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if !have_input {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let src = if args.input == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).expect("read stdin");
+        s
+    } else {
+        match std::fs::read_to_string(&args.input) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read `{}`: {e}", args.input);
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let hir = match accparse::compile(&src) {
+        Ok(h) => h,
+        Err(d) => {
+            eprintln!("{}", d.render(&src));
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "// uhacc-cc: {} region(s), compiler = {}, dims = {}x{}x{}",
+        hir.regions.len(),
+        args.compiler.name(),
+        args.dims.gangs,
+        args.dims.workers,
+        args.dims.vector
+    );
+    if args.emit_hir {
+        println!("\n// ---- HIR ----");
+        println!(
+            "// hosts : {:?}",
+            hir.hosts.iter().map(|h| &h.name).collect::<Vec<_>>()
+        );
+        println!(
+            "// arrays: {:?}",
+            hir.arrays.iter().map(|a| &a.name).collect::<Vec<_>>()
+        );
+        for (i, r) in hir.regions.iter().enumerate() {
+            println!(
+                "// region {i}: {} locals, {} data bindings",
+                r.locals.len(),
+                r.data.len()
+            );
+            accparse::hir::visit_loops(&r.body, &mut |l| {
+                println!(
+                    "//   loop local#{} sched {:?} reductions {:?}",
+                    l.var,
+                    l.sched,
+                    l.reductions
+                        .iter()
+                        .map(|rd| format!("{}:{:?}", rd.op.clause_token(), rd.span_levels))
+                        .collect::<Vec<_>>()
+                );
+            });
+        }
+    }
+
+    let opts: CompilerOptions = args.compiler.base_options();
+    for region in 0..hir.regions.len() {
+        match compile_region(&hir, region, args.dims, &opts) {
+            Ok(c) => {
+                if args.emit_plan {
+                    println!("\n// ---- region {region} plan ----");
+                    println!("// params   : {:?}", c.params);
+                    println!("// buffers  : {:?}", c.buffers);
+                    println!("// finalize : {} pass(es)", c.finalize.len());
+                    println!("// results  : {} host fold(s)", c.results.len());
+                    println!("// mailbox  : {:?}", c.mailbox);
+                    println!(
+                        "// shared   : {} bytes/block, {} registers/thread, {} instructions",
+                        c.main.shared_bytes,
+                        c.main.num_regs,
+                        c.main.insts.len()
+                    );
+                }
+                if args.emit_kernel {
+                    println!("\n{}", c.main.disasm());
+                    for f in &c.finalize {
+                        println!("{}", f.kernel.disasm());
+                    }
+                }
+            }
+            Err(d) => {
+                eprintln!("region {region}: {}", d.render(&src));
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # uhacc — reproduction of "Reduction Operations in Parallel Loops for GPGPUs"
+//!
+//! A full-system reproduction of Xu, Tian, Yan, Chandrasekaran, Chapman
+//! (PMAM/PPoPP 2014): the OpenUH OpenACC reduction implementation, built
+//! as a Rust workspace on top of a deterministic SIMT GPU simulator.
+//!
+//! The pieces (re-exported here):
+//!
+//! - [`gpsim`] — the simulated GPU: warps, divergence, shared-memory bank
+//!   conflicts, global-memory coalescing, block barriers, Kepler-class
+//!   cost model.
+//! - [`accparse`] — the mini-C + `#pragma acc` front end with reduction
+//!   span auto-detection (§3.2.1).
+//! - [`uhacc_core`] — the compiler: loop mapping (Fig. 3) and every
+//!   reduction parallelization strategy of §3.1–§3.3, each alternative a
+//!   selectable [`uhacc_core::CompilerOptions`] knob.
+//! - [`accrt`] — the runtime: data environment, launches, second-pass
+//!   reduction kernels, result folds.
+//! - [`acc_baselines`] — CPU reference oracle + CAPS-like / PGI-like
+//!   compiler personalities.
+//! - [`acc_testsuite`] — the paper's reduction testsuite (Table 2 /
+//!   Fig. 11).
+//! - [`acc_apps`] — 2D heat equation, matrix multiply, Monte Carlo PI
+//!   (Fig. 12).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use uhacc::prelude::*;
+//!
+//! let src = r#"
+//!     int N; double s;
+//!     double a[N];
+//!     s = 0.0;
+//!     #pragma acc parallel loop gang vector reduction(+:s) copyin(a)
+//!     for (int i = 0; i < N; i++) { s += a[i]; }
+//! "#;
+//! let mut runner = AccRunner::new(src).unwrap();
+//! runner.bind_int("N", 1000).unwrap();
+//! runner.bind_array("a", HostBuffer::from_f64(&vec![0.5; 1000])).unwrap();
+//! runner.run().unwrap();
+//! assert_eq!(runner.scalar("s").unwrap().as_f64(), 500.0);
+//! ```
+
+pub use acc_apps as apps;
+pub use acc_baselines as baselines;
+pub use acc_testsuite as testsuite;
+pub use accparse as parse;
+pub use accrt as rt;
+pub use gpsim as sim;
+pub use uhacc_core as core;
+
+/// The most common imports for driving OpenACC programs on the simulator.
+pub mod prelude {
+    pub use accrt::{AccError, AccRunner, HostBuffer};
+    pub use gpsim::{Device, Value};
+    pub use uhacc_core::{CompilerOptions, LaunchDims};
+}

@@ -1,0 +1,291 @@
+//! Randomized program generation: build random (but well-formed) loop
+//! nests with reductions in random positions, interleaved stores and
+//! conditionals, and check the simulated GPU against the sequential CPU
+//! interpreter. Programs the compiler legitimately rejects (diagnosed
+//! unsupported shapes) are discarded; accepted programs must agree.
+
+use proptest::prelude::*;
+use uhacc::baselines::CpuExec;
+use uhacc::prelude::*;
+
+/// Parameters of one generated program.
+#[derive(Debug, Clone)]
+struct GenProgram {
+    depth: usize,              // 2 or 3 loops
+    scheds: Vec<&'static str>, // per loop: "gang", "worker", "vector", "seq", ...
+    red_loop: usize,           // which loop carries the reduction clause
+    update_loop: usize,        // which loop body contains the update
+    op: &'static str,
+    with_if: bool,
+    with_store: bool,
+    sizes: Vec<usize>,
+}
+
+impl GenProgram {
+    /// When the reduction clause is on an inner loop, the target must be a
+    /// region-local (a host scalar's value would be gang-private — the
+    /// compiler diagnoses that); the local's result is stored into `out`.
+    fn inner_target(&self) -> bool {
+        self.red_loop > 0
+    }
+
+    fn source(&self) -> String {
+        let names = ["k", "j", "i"];
+        let bounds = ["NK", "NJ", "NI"];
+        let inner = self.inner_target();
+        let var = if inner { "t" } else { "s" };
+        // The result array is indexed by every loop variable enclosing the
+        // clause loop, so each element has exactly one writer.
+        let mut src = String::from(
+            "int NK; int NJ; int NI;\nlong s;\nint a[NK][NJ][NI];\nlong out[NK][NJ];\ns = 3;\n#pragma acc parallel copyin(a) copyout(out)\n{\n",
+        );
+        for d in 0..self.depth {
+            let sched = self.scheds[d];
+            // Declare the local target just before its clause loop.
+            if inner && d == self.red_loop {
+                src.push_str("long t = 1;\n");
+            }
+            let red = if d == self.red_loop {
+                format!(" reduction({}:{})", self.op, var)
+            } else {
+                String::new()
+            };
+            let sched_clause = if sched.is_empty() {
+                format!("#pragma acc loop seq{red}\n")
+            } else {
+                format!("#pragma acc loop {sched}{red}\n")
+            };
+            src.push_str(&sched_clause);
+            src.push_str(&format!(
+                "for (int {v} = 0; {v} < {b}; {v}++) {{\n",
+                v = names[d],
+                b = bounds[d]
+            ));
+            if d + 1 == self.update_loop && self.with_if {
+                src.push_str(&format!("if ({} % 2 == 0) {{ }}\n", names[d]));
+            }
+        }
+        let idx = match self.depth {
+            2 => "a[k][j][0]",
+            _ => "a[k][j][i]",
+        };
+        let update = match self.op {
+            "+" => format!("{var} += {idx};"),
+            "max" => format!("{var} = max({var}, {idx});"),
+            "^" => format!("{var} ^= {idx};"),
+            _ => unreachable!(),
+        };
+        if self.with_if {
+            src.push_str(&format!(
+                "if ({idx} > 0) {{ {update} }} else {{ {update} }}\n"
+            ));
+        } else {
+            src.push_str(&update);
+            src.push('\n');
+        }
+        // Close loops strictly deeper than the clause loop, store the local
+        // result, then close the rest.
+        for d in (0..self.depth).rev() {
+            src.push_str("}\n");
+            if inner && d == self.red_loop {
+                let slot = if self.red_loop >= 2 {
+                    "out[k][j]"
+                } else {
+                    "out[k][0]"
+                };
+                src.push_str(&format!("{slot} = t + k;\n"));
+            }
+        }
+        if self.with_store {
+            // Redundant uniform store inside no loop is illegal at region
+            // scope for `out[k]`; only emit when the scalar case is used.
+        }
+        src.push_str("}\n");
+        src
+    }
+}
+
+fn gen_program() -> impl Strategy<Value = GenProgram> {
+    (
+        2usize..4,
+        prop::sample::select(vec!["+", "max", "^"]),
+        any::<bool>(),
+        any::<bool>(),
+        (1usize..20, 1usize..20, 1usize..200),
+        0usize..3,
+    )
+        .prop_flat_map(|(depth, op, with_if, with_store, (s1, s2, s3), red_pos)| {
+            // Valid schedule assignments for the nest depth.
+            let scheds: Vec<Vec<&'static str>> = match depth {
+                2 => vec![
+                    vec!["gang", "vector"],
+                    vec!["gang", "worker"],
+                    vec!["gang", ""],
+                    vec!["gang worker", "vector"],
+                    vec!["worker", "vector"],
+                    vec!["gang", "worker vector"],
+                ],
+                _ => vec![
+                    vec!["gang", "worker", "vector"],
+                    vec!["gang", "worker", ""],
+                    vec!["gang", "", "vector"],
+                ],
+            };
+            let red_loop = red_pos.min(depth - 1);
+            (
+                Just(depth),
+                prop::sample::select(scheds),
+                Just(op),
+                Just(with_if),
+                Just(with_store),
+                Just((s1, s2, s3)),
+                Just(red_loop),
+            )
+        })
+        .prop_map(
+            |(depth, scheds, op, with_if, with_store, (s1, s2, s3), red_loop)| GenProgram {
+                depth,
+                update_loop: depth - 1,
+                scheds,
+                red_loop,
+                op,
+                with_if,
+                with_store,
+                sizes: vec![s1, s2, s3],
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, max_shrink_iters: 30, .. ProptestConfig::default() })]
+
+    #[test]
+    fn generated_programs_match_cpu(p in gen_program(), seed in any::<u32>()) {
+        let src = p.source();
+        let (nk, nj, ni) = (p.sizes[0], p.sizes[1], p.sizes[2]);
+        let n = nk * nj * ni;
+        let a: Vec<i32> = (0..n)
+            .map(|x| ((x as u32).wrapping_mul(2654435761).wrapping_add(seed) % 2001) as i32 - 1000)
+            .collect();
+
+        let dims = LaunchDims { gangs: 3, workers: 4, vector: 32 };
+        let gpu = AccRunner::with_options(&src, CompilerOptions::openuh(), dims, Device::default());
+        let mut gpu = match gpu {
+            Ok(g) => g,
+            // A diagnosed rejection is acceptable; a panic is not.
+            Err(AccError::Compile(_)) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("{e}: {src}"))),
+        };
+        let mut cpu = CpuExec::new(&src).unwrap();
+        for (name, v) in [("NK", nk), ("NJ", nj), ("NI", ni)] {
+            gpu.bind_int(name, v as i64).unwrap();
+            cpu.bind_int(name, v as i64).unwrap();
+        }
+        gpu.bind_array("a", HostBuffer::from_i32(&a)).unwrap();
+        cpu.bind_array("a", HostBuffer::from_i32(&a)).unwrap();
+        gpu.bind_array("out", HostBuffer::from_i64(&vec![0; nk * nj])).unwrap();
+        cpu.bind_array("out", HostBuffer::from_i64(&vec![0; nk * nj])).unwrap();
+
+        match gpu.run() {
+            Ok(()) => {}
+            Err(AccError::Compile(_)) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("{e}\n{src}"))),
+        }
+        cpu.run().unwrap();
+        if p.inner_target() {
+            prop_assert_eq!(
+                gpu.array("out").unwrap().to_i64_vec(),
+                cpu.array("out").unwrap().to_i64_vec(),
+                "array mismatch for\n{}",
+                src
+            );
+        } else {
+            prop_assert_eq!(
+                gpu.scalar("s").unwrap().as_i64(),
+                cpu.scalar("s").unwrap().as_i64(),
+                "scalar mismatch for\n{}",
+                src
+            );
+        }
+    }
+}
+
+// ---- expression codegen equivalence --------------------------------------
+
+/// A random arithmetic expression over loop index `i`, scalars and
+/// literals (division-free to avoid divide-by-zero).
+fn gen_expr(depth: u32) -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("i".to_string()),
+        Just("C1".to_string()),
+        Just("C2".to_string()),
+        (0i32..100).prop_map(|v| v.to_string()),
+        (0..400u32).prop_map(|v| format!("{}.{:02}", v / 100, v % 100)),
+    ];
+    leaf.prop_recursive(depth, 64, 3, |inner| {
+        prop_oneof![
+            (
+                inner.clone(),
+                inner.clone(),
+                prop::sample::select(vec!["+", "-", "*"])
+            )
+                .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+            (
+                inner.clone(),
+                inner.clone(),
+                prop::sample::select(vec!["<", ">", "==", "<=", "!="])
+            )
+                .prop_map(|(a, b, op)| format!("(({a}) {op} ({b}) ? 1.0 : 2.0)")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("fmax({a}, {b})")),
+            inner.clone().prop_map(|a| format!("fabs({a})")),
+            inner.clone().prop_map(|a| format!("(-({a}))")),
+            inner.clone().prop_map(|a| format!("(float)({a})")),
+            inner.prop_map(|a| format!("(int)({a})")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, max_shrink_iters: 80, .. ProptestConfig::default() })]
+
+    /// Device expression codegen agrees with the sequential interpreter on
+    /// random expression trees (types, promotions, casts, intrinsics,
+    /// ternaries).
+    #[test]
+    fn expression_codegen_matches_cpu(expr in gen_expr(4), c1 in -50i64..50, c2 in -3.0f64..3.0) {
+        let src = format!(
+            "int N; int C1; double C2;\ndouble out[N];\n#pragma acc parallel copyout(out)\n{{\n#pragma acc loop gang vector\nfor (int i = 0; i < N; i++) {{\nout[i] = {expr};\n}}\n}}"
+        );
+        let n = 16usize;
+        let dims = LaunchDims { gangs: 2, workers: 1, vector: 32 };
+        let mut gpu = match AccRunner::with_options(&src, CompilerOptions::openuh(), dims, Device::default()) {
+            Ok(g) => g,
+            Err(AccError::Compile(_)) => return Ok(()), // e.g. float-typed int-op
+            Err(e) => return Err(TestCaseError::fail(e.to_string())),
+        };
+        let mut cpu = CpuExec::new(&src).unwrap();
+        for r in [&mut gpu] {
+            r.bind_int("N", n as i64).unwrap();
+            r.bind_int("C1", c1).unwrap();
+            r.bind_float("C2", c2).unwrap();
+            r.bind_array("out", HostBuffer::from_f64(&vec![0.0; n])).unwrap();
+        }
+        cpu.bind_int("N", n as i64).unwrap();
+        cpu.bind_scalar("C1", gpsim::Value::I64(c1)).unwrap();
+        cpu.bind_scalar("C2", gpsim::Value::F64(c2)).unwrap();
+        cpu.bind_array("out", HostBuffer::from_f64(&vec![0.0; n])).unwrap();
+        match gpu.run() {
+            Ok(()) => {}
+            Err(AccError::Compile(_)) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("{e}\n{src}"))),
+        }
+        cpu.run().unwrap();
+        let g = gpu.array("out").unwrap().to_f64_vec();
+        let c = cpu.array("out").unwrap().to_f64_vec();
+        for i in 0..n {
+            let (a, b) = (g[i], c[i]);
+            let close = (a - b).abs() <= 1e-6 * b.abs().max(1.0) || (a.is_nan() && b.is_nan());
+            prop_assert!(close, "i={i}: {a} vs {b} for\n{src}");
+        }
+    }
+}
