@@ -8,7 +8,9 @@ use crate::hostbuf::HostBuffer;
 use crate::hosteval::{eval_host_expr, eval_host_extent};
 use accparse::ast::DataDir;
 use accparse::hir::AnalyzedProgram;
-use gpsim::{BufferHandle, Device, LaunchConfig, Value};
+use gpsim::{
+    BufferHandle, Device, HazardReport, LaunchConfig, SanitizerConfig, SanitizerLevel, Value,
+};
 use std::collections::HashMap;
 use uhacc_core::plan::{CompiledRegion, ParamSpec};
 use uhacc_core::types::{apply_host, machine_ty};
@@ -109,6 +111,28 @@ impl AccRunner {
     /// Reset device timing/statistics (keeps data).
     pub fn reset_stats(&mut self) {
         self.device.reset_stats();
+    }
+
+    /// Run every subsequent launch — main kernels *and* gang-reduction
+    /// finalize kernels — under the simulator's hazard sanitizer at
+    /// `level` (see [`gpsim::sanitizer`]). [`SanitizerLevel::Off`] turns
+    /// instrumentation back off.
+    pub fn sanitize(&mut self, level: SanitizerLevel) {
+        self.device.set_sanitizer(SanitizerConfig {
+            level,
+            ..SanitizerConfig::default()
+        });
+    }
+
+    /// Hazard reports the sanitizer has accumulated across this runner's
+    /// launches (empty when the sanitizer is off).
+    pub fn hazards(&self) -> &[HazardReport] {
+        self.device.hazards()
+    }
+
+    /// Drain the accumulated hazard reports.
+    pub fn take_hazards(&mut self) -> Vec<HazardReport> {
+        self.device.take_hazards()
     }
 
     fn host_index(&self, name: &str) -> Result<usize, AccError> {
@@ -564,6 +588,20 @@ impl AccRunner {
         let writebacks = inst.compiled.writebacks.clone();
         let mailbox = inst.compiled.mailbox;
         let temp_buffers = inst.temp_buffers.clone();
+
+        // The mailbox buffer is deliberately multi-writer: lane 0 of every
+        // block writes the same host-scalar slots (blocks run sequentially,
+        // so the final value is well-defined). Exempt it from global
+        // racecheck so the sanitizer only reports unintended sharing.
+        if self.device.sanitizer().level.enabled() {
+            self.device.sanitizer_mut().global_ignore = mailbox
+                .map(|mb| {
+                    let b = temp_buffers[mb];
+                    (b.addr, b.end())
+                })
+                .into_iter()
+                .collect();
+        }
 
         self.device.launch(&main, cfg, &params)?;
         for fp in &finalize {

@@ -787,7 +787,7 @@ fn reject_rules_produce_compile_errors() {
     r.bind_int("NK", 2).unwrap();
     r.bind_int("NJ", 2).unwrap();
     r.bind_int("NI", 8).unwrap();
-    r.bind_array("input", HostBuffer::from_i32(&vec![1; 32]))
+    r.bind_array("input", HostBuffer::from_i32(&[1; 32]))
         .unwrap();
     let err = r.run().unwrap_err();
     assert!(matches!(err, accrt::AccError::Compile(_)), "got {err:?}");

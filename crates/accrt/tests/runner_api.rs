@@ -82,8 +82,7 @@ fn type_mismatched_array_binding_rejected() {
 fn size_mismatched_array_rejected_at_launch() {
     let mut r = runner();
     r.bind_int("N", 100).unwrap();
-    r.bind_array("a", HostBuffer::from_i32(&vec![1; 50]))
-        .unwrap();
+    r.bind_array("a", HostBuffer::from_i32(&[1; 50])).unwrap();
     let err = r.run().unwrap_err();
     assert!(err.to_string().contains("100 element(s)"), "{err}");
 }

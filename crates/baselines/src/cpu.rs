@@ -360,7 +360,7 @@ mod tests {
             .unwrap();
         c.run().unwrap();
         let t = c.array("t").unwrap();
-        assert_eq!(t.get(0).as_i64(), 0 + 1 + 2 + 3);
+        assert_eq!(t.get(0).as_i64(), 1 + 2 + 3);
         assert_eq!(t.get(3).as_i64(), 1 + 4 + 5 + 6);
     }
 

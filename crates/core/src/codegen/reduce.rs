@@ -287,7 +287,10 @@ impl<'a> RegionCodegen<'a> {
             bool,
         ) = if st.span == [Level::Vector] {
             let mode = super::prepass::vector_bar_mode(self.dims);
-            let warp_sync = !looped && mode == super::prepass::VectorBarMode::WarpSyncTail;
+            let warp_sync = !looped
+                && (mode == super::prepass::VectorBarMode::WarpSyncTail
+                    || (self.opts.bugs.warp_tail_everywhere
+                        && mode == super::prepass::VectorBarMode::EveryStep));
             match self.opts.vector_layout {
                 VectorLayout::RowWise => {
                     // Fig. 6c: element (w*vector + v); each row reduces over
@@ -436,7 +439,7 @@ impl<'a> RegionCodegen<'a> {
         );
 
         // Broadcast barrier, then every thread reads the group result.
-        if bars {
+        if bars && !self.opts.bugs.skip_bcast_barrier {
             self.b.bar();
         }
         let res_idx = match layout.base_elem {
@@ -448,7 +451,7 @@ impl<'a> RegionCodegen<'a> {
         // enclosing loop's next iteration, or the next reduction sharing
         // the slab); without this, a fast warp re-stages over the result
         // before slow warps have read it.
-        if bars {
+        if bars && !self.opts.bugs.skip_postread_barrier {
             self.b.bar();
         }
         self.finish_combine(st, res);

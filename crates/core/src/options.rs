@@ -92,6 +92,18 @@ pub struct InjectedBugs {
     pub clause_levels_only: bool,
     /// Skip folding the variable's initial value into the result.
     pub skip_init_fold: bool,
+    /// Omit the barrier between writing the group result and every thread
+    /// reading it back (the broadcast step): threads of other warps read
+    /// the slot before the tree finished folding into it.
+    pub skip_bcast_barrier: bool,
+    /// Pretend every tree step is warp-synchronous even when active lanes
+    /// span warps (drop the `s > 32` barrier guard) — the classic "it
+    /// worked on one warp" miscompilation exposed by non-multiple-of-32
+    /// vector lengths.
+    pub warp_tail_everywhere: bool,
+    /// Omit the barrier after the broadcast read that protects the shared
+    /// slab from being overwritten by the *next* combine's staging stores.
+    pub skip_postread_barrier: bool,
 }
 
 /// Full option set for one compilation.

@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn same_word_broadcasts() {
-        let acc = lanes_f32(std::iter::repeat(16).take(32));
+        let acc = lanes_f32(std::iter::repeat_n(16, 32));
         assert_eq!(bank_conflict_degree(&acc, 32), 1);
     }
 

@@ -4,10 +4,12 @@
 
 use crate::cost::{CostModel, DeviceConfig};
 use crate::error::SimError;
-use crate::exec::{run_kernel, LaunchConfig};
+use crate::exec::{run_kernel_instrumented, LaunchConfig};
 use crate::ir::Kernel;
 use crate::memory::{BufferHandle, GlobalMemory};
+use crate::sanitizer::{HazardReport, LaunchSanitizer, SanitizerConfig};
 use crate::stats::{LaunchStats, SessionStats};
+use crate::trace::Trace;
 use crate::types::{Ty, Value};
 
 /// A simulated GPU device.
@@ -17,6 +19,8 @@ pub struct Device {
     cost: CostModel,
     global: GlobalMemory,
     stats: SessionStats,
+    sanitizer: SanitizerConfig,
+    hazards: Vec<HazardReport>,
 }
 
 impl Default for Device {
@@ -34,7 +38,39 @@ impl Device {
             cost,
             global,
             stats: SessionStats::default(),
+            sanitizer: SanitizerConfig::default(),
+            hazards: Vec::new(),
         }
+    }
+
+    /// Set the sanitizer configuration for subsequent launches (see
+    /// [`crate::sanitizer`]). Pass [`SanitizerConfig::default`] to turn
+    /// instrumentation back off.
+    pub fn set_sanitizer(&mut self, cfg: SanitizerConfig) {
+        self.sanitizer = cfg;
+    }
+
+    /// The sanitizer configuration in effect.
+    pub fn sanitizer(&self) -> &SanitizerConfig {
+        &self.sanitizer
+    }
+
+    /// Mutable sanitizer configuration (the runtime updates
+    /// per-launch ignore ranges through this).
+    pub fn sanitizer_mut(&mut self) -> &mut SanitizerConfig {
+        &mut self.sanitizer
+    }
+
+    /// Hazard reports accumulated across this device's launches, in launch
+    /// order. Reports from a launch that *failed* (synccheck) are included:
+    /// they are harvested before the error propagates.
+    pub fn hazards(&self) -> &[HazardReport] {
+        &self.hazards
+    }
+
+    /// Drain the accumulated hazard reports.
+    pub fn take_hazards(&mut self) -> Vec<HazardReport> {
+        std::mem::take(&mut self.hazards)
     }
 
     /// A small device for fast unit tests.
@@ -120,18 +156,7 @@ impl Device {
         cfg: LaunchConfig,
         params: &[Value],
     ) -> Result<LaunchStats, SimError> {
-        let stats = run_kernel(
-            kernel,
-            cfg,
-            params,
-            &mut self.global,
-            &self.config,
-            &self.cost,
-        )?;
-        self.stats.launches += 1;
-        self.stats.kernel_cycles += stats.cycles;
-        self.stats.totals += stats;
-        Ok(stats)
+        self.launch_inner(kernel, cfg, params, None)
     }
 
     /// [`Device::launch`] with a bounded execution trace: capture up to
@@ -142,21 +167,56 @@ impl Device {
         cfg: LaunchConfig,
         params: &[Value],
         limit: usize,
-    ) -> Result<(LaunchStats, crate::trace::Trace), SimError> {
-        let mut trace = crate::trace::Trace::with_limit(limit);
-        let stats = crate::exec::run_kernel_traced(
+    ) -> Result<(LaunchStats, Trace), SimError> {
+        let mut trace = Trace::with_limit(limit);
+        let stats = self.launch_inner(kernel, cfg, params, Some(&mut trace))?;
+        Ok((stats, trace))
+    }
+
+    /// Shared launch path: runs the kernel under the configured sanitizer
+    /// (if any) and harvests hazard reports on success *and* failure, so
+    /// synccheck reports survive the launch erroring out.
+    fn launch_inner(
+        &mut self,
+        kernel: &Kernel,
+        cfg: LaunchConfig,
+        params: &[Value],
+        trace: Option<&mut Trace>,
+    ) -> Result<LaunchStats, SimError> {
+        let mut san = self
+            .sanitizer
+            .level
+            .enabled()
+            .then(|| LaunchSanitizer::new(self.sanitizer.clone()));
+        let result = run_kernel_instrumented(
             kernel,
             cfg,
             params,
             &mut self.global,
             &self.config,
             &self.cost,
-            Some(&mut trace),
-        )?;
-        self.stats.launches += 1;
-        self.stats.kernel_cycles += stats.cycles;
-        self.stats.totals += stats;
-        Ok((stats, trace))
+            trace,
+            san.as_mut(),
+        );
+        let hazard_count = san.as_ref().map_or(0, |s| s.hazard_count());
+        if let Some(s) = san.as_mut() {
+            self.hazards.append(&mut s.take_reports());
+        }
+        match result {
+            Ok(mut stats) => {
+                stats.hazards = hazard_count;
+                self.stats.launches += 1;
+                self.stats.kernel_cycles += stats.cycles;
+                self.stats.totals += stats;
+                Ok(stats)
+            }
+            Err(e) => {
+                // The launch failed mid-flight; keep the hazard count in
+                // the session totals so it is not silently lost.
+                self.stats.totals.hazards += hazard_count;
+                Err(e)
+            }
+        }
     }
 
     /// Typed host->device copy of a slice of `f64`-convertible values.

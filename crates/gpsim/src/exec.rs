@@ -26,8 +26,9 @@ use crate::cost::{CostModel, DeviceConfig};
 use crate::error::SimError;
 use crate::ir::{AtomOp, BinOp, CmpOp, Inst, Kernel, MemRef, Operand, SpecialReg, UnOp};
 use crate::memory::{GlobalMemory, SharedMemory};
+use crate::sanitizer::{AccessKind, LaunchSanitizer};
 use crate::stats::LaunchStats;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{MemTouch, Trace, TraceEvent, TraceSpace};
 use crate::types::{Ty, Value};
 
 /// Grid/block geometry for one kernel launch.
@@ -121,6 +122,7 @@ struct BlockExec<'a> {
     // scratch buffers reused across warp steps
     scratch_addr: Vec<(u64, usize)>,
     trace: Option<&'a mut Trace>,
+    san: Option<&'a mut LaunchSanitizer>,
 }
 
 /// Result of executing one block.
@@ -160,6 +162,7 @@ impl<'a> BlockExec<'a> {
             cycles_raw: 0,
             scratch_addr: Vec::with_capacity(32),
             trace: None,
+            san: None,
         }
     }
 
@@ -199,6 +202,43 @@ impl<'a> BlockExec<'a> {
             .index
             .map_or(0, |r| self.threads[lane].regs[r.0 as usize].as_i64());
         (base as i64 + idx * m.scale as i64 + m.disp) as u64
+    }
+
+    /// Post-access bookkeeping shared by the memory arms: annotate the
+    /// just-recorded trace event with the warp's touched address range
+    /// (`scratch_addr` holds the per-lane accesses) and feed the sanitizer.
+    fn observe_mem(
+        &mut self,
+        space: TraceSpace,
+        mask: &[usize],
+        warp_id: u32,
+        pc: usize,
+        kind: AccessKind,
+        recorded: bool,
+    ) {
+        if recorded {
+            let lo = self.scratch_addr.iter().map(|&(a, _)| a).min().unwrap_or(0);
+            let hi = self
+                .scratch_addr
+                .iter()
+                .map(|&(a, s)| a + s as u64)
+                .max()
+                .unwrap_or(0);
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.annotate_mem(MemTouch { space, lo, hi });
+            }
+        }
+        if let Some(s) = self.san.as_deref_mut() {
+            for (i, &l) in mask.iter().enumerate() {
+                let (a, sz) = self.scratch_addr[i];
+                match space {
+                    TraceSpace::Shared => {
+                        s.shared_access(l as u32, warp_id, pc, a, sz, kind.writes())
+                    }
+                    TraceSpace::Global => s.global_access(l as u32, warp_id, pc, a, sz, kind),
+                }
+            }
+        }
     }
 
     /// Run the block to completion.
@@ -248,10 +288,26 @@ impl<'a> BlockExec<'a> {
                     match site {
                         None => site = Some(t.pc),
                         Some(p) if p != t.pc => {
+                            let (pc_a, pc_b) = (p - 1, t.pc - 1);
+                            if let Some(s) = self.san.as_deref_mut() {
+                                let mut per_site: Vec<(usize, usize)> = Vec::new();
+                                for th in self.threads.iter().filter(|t| t.at_barrier) {
+                                    match per_site.iter_mut().find(|(pc, _)| *pc == th.pc) {
+                                        Some((_, n)) => *n += 1,
+                                        None => per_site.push((th.pc, 1)),
+                                    }
+                                }
+                                let detail = per_site
+                                    .iter()
+                                    .map(|(pc, n)| format!("{n} thread(s) at pc {}", pc - 1))
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                s.sync_divergence(self.block_idx, pc_a, pc_b, detail);
+                            }
                             return Err(SimError::BarrierDivergence {
                                 block: self.block_idx,
-                                pc_a: p - 1,
-                                pc_b: t.pc - 1,
+                                pc_a,
+                                pc_b,
                             });
                         }
                         _ => {}
@@ -260,7 +316,26 @@ impl<'a> BlockExec<'a> {
                 for t in &mut self.threads {
                     t.at_barrier = false;
                 }
+                if let Some(s) = self.san.as_deref_mut() {
+                    s.barrier_release();
+                }
             } else {
+                if let Some(s) = self.san.as_deref_mut() {
+                    let waiting: Vec<String> = self
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.at_barrier)
+                        .take(8)
+                        .map(|(i, t)| format!("t{i}@pc {}", t.pc - 1))
+                        .collect();
+                    s.sync_deadlock(
+                        self.block_idx,
+                        arrived,
+                        alive,
+                        format!("waiting: {}", waiting.join(", ")),
+                    );
+                }
                 return Err(SimError::BarrierDeadlock {
                     block: self.block_idx,
                     arrived,
@@ -301,15 +376,20 @@ impl<'a> BlockExec<'a> {
             }
         }
         debug_assert!(!mask.is_empty());
-        if let Some(t) = self.trace.as_deref_mut() {
-            t.record(TraceEvent {
+        let warp_id = (lo / self.dev.warp_size as usize) as u32;
+        // True when this step's event made it into the bounded trace buffer
+        // (memory arms annotate it with the touched address range).
+        let recorded = match self.trace.as_deref_mut() {
+            Some(t) => t.record(TraceEvent {
                 block: self.block_idx,
-                warp: (lo / self.dev.warp_size as usize) as u32,
+                warp: warp_id,
                 pc,
                 active: mask.len() as u32,
                 text: crate::ir::format_inst(&inst),
-            });
-        }
+                mem: None,
+            }),
+            None => false,
+        };
         self.stats.warp_insts += 1;
         self.stats.lane_insts += mask.len() as u64;
         let mut cyc = self.cost.issue;
@@ -405,6 +485,14 @@ impl<'a> BlockExec<'a> {
                     let v = global.read(*ty, self.scratch_addr[i].0)?;
                     self.threads[l].regs[dst.0 as usize] = v;
                 }
+                self.observe_mem(
+                    TraceSpace::Global,
+                    &mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Read,
+                    recorded,
+                );
             }
             Inst::StGlobal { ty, src, mref } => {
                 self.scratch_addr.clear();
@@ -420,6 +508,14 @@ impl<'a> BlockExec<'a> {
                     let v = self.operand(l, *src).convert(*ty);
                     global.write(self.scratch_addr[i].0, v)?;
                 }
+                self.observe_mem(
+                    TraceSpace::Global,
+                    &mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Write,
+                    recorded,
+                );
             }
             Inst::LdShared { ty, dst, mref } => {
                 self.scratch_addr.clear();
@@ -431,6 +527,14 @@ impl<'a> BlockExec<'a> {
                 self.stats.shared_accesses += 1;
                 self.stats.shared_ways += ways;
                 cyc += ways * self.cost.shared_way;
+                self.observe_mem(
+                    TraceSpace::Shared,
+                    &mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Read,
+                    recorded,
+                );
                 for (i, &l) in mask.iter().enumerate() {
                     let v = self.shared.read(*ty, self.scratch_addr[i].0)?;
                     self.threads[l].regs[dst.0 as usize] = v;
@@ -450,6 +554,14 @@ impl<'a> BlockExec<'a> {
                     let v = self.operand(l, *src).convert(*ty);
                     self.shared.write(self.scratch_addr[i].0, v)?;
                 }
+                self.observe_mem(
+                    TraceSpace::Shared,
+                    &mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Write,
+                    recorded,
+                );
             }
             Inst::AtomGlobal {
                 op,
@@ -461,9 +573,22 @@ impl<'a> BlockExec<'a> {
                 self.stats.atomics += 1;
                 self.stats.global_accesses += 1;
                 cyc += mask.len() as u64 * self.cost.atomic_lane;
-                // Atomics serialize lane by lane.
+                self.scratch_addr.clear();
                 for &l in &mask {
-                    let addr = self.resolve_mref(l, mref);
+                    self.scratch_addr
+                        .push((self.resolve_mref(l, mref), ty.size()));
+                }
+                self.observe_mem(
+                    TraceSpace::Global,
+                    &mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Atomic,
+                    recorded,
+                );
+                // Atomics serialize lane by lane.
+                for (i, &l) in mask.iter().enumerate() {
+                    let addr = self.scratch_addr[i].0;
                     let old = global.read(*ty, addr)?;
                     let v = self.operand(l, *src).convert(*ty);
                     let new = match op {
@@ -692,7 +817,24 @@ pub fn run_kernel_traced(
     global: &mut GlobalMemory,
     dev: &DeviceConfig,
     cost: &CostModel,
+    trace: Option<&mut Trace>,
+) -> Result<LaunchStats, SimError> {
+    run_kernel_instrumented(kernel, cfg, params, global, dev, cost, trace, None)
+}
+
+/// The full-fat entry point: [`run_kernel`] with an optional bounded trace
+/// and an optional hazard sanitizer observing every memory access and
+/// barrier (see [`crate::sanitizer`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_kernel_instrumented(
+    kernel: &Kernel,
+    cfg: LaunchConfig,
+    params: &[Value],
+    global: &mut GlobalMemory,
+    dev: &DeviceConfig,
+    cost: &CostModel,
     mut trace: Option<&mut Trace>,
+    mut san: Option<&mut LaunchSanitizer>,
 ) -> Result<LaunchStats, SimError> {
     cfg.validate(dev)?;
     if kernel.shared_bytes > dev.shared_mem_per_block {
@@ -715,6 +857,10 @@ pub fn run_kernel_traced(
             let mut exec = BlockExec::new(kernel, params, (bx, by), cfg, dev, cost);
             if let Some(t) = trace.as_deref_mut() {
                 exec.trace = Some(t);
+            }
+            if let Some(s) = san.as_deref_mut() {
+                s.begin_block((bx, by), kernel.shared_bytes);
+                exec.san = Some(s);
             }
             let res = exec.run(global)?;
             let cycles = res.cycles;

@@ -45,6 +45,7 @@ pub mod error;
 pub mod exec;
 pub mod ir;
 pub mod memory;
+pub mod sanitizer;
 pub mod stats;
 pub mod trace;
 pub mod types;
@@ -53,9 +54,15 @@ pub use builder::KernelBuilder;
 pub use cost::{CostModel, DeviceConfig};
 pub use device::Device;
 pub use error::SimError;
-pub use exec::{eval_bin, eval_cmp, eval_un, run_kernel_traced, LaunchConfig};
+pub use exec::{
+    eval_bin, eval_cmp, eval_un, run_kernel_instrumented, run_kernel_traced, LaunchConfig,
+};
 pub use ir::{AtomOp, BinOp, CmpOp, Inst, Kernel, Label, MemRef, Operand, Reg, SpecialReg, UnOp};
 pub use memory::{BufferHandle, GlobalMemory, SharedMemory};
+pub use sanitizer::{
+    AccessInfo, AccessKind, HazardClass, HazardReport, HazardSpace, LaunchSanitizer,
+    SanitizerConfig, SanitizerLevel,
+};
 pub use stats::{LaunchStats, SessionStats};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{MemTouch, Trace, TraceEvent, TraceSpace};
 pub use types::{Ty, Value};

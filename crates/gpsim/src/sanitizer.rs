@@ -1,0 +1,723 @@
+//! simsan — a compute-sanitizer-style hazard detector for the simulator.
+//!
+//! Real reduction miscompilations (a dropped `__syncthreads()`, a
+//! warp-synchronous tail used across warp boundaries, a reused staging
+//! slab) are *races*: whether they corrupt the answer depends on warp
+//! scheduling. This simulator schedules warps run-to-block and blocks
+//! sequentially, so a racy kernel produces one deterministic result — it
+//! may even be the correct one. The sanitizer closes that gap: it tracks
+//! shadow state per memory byte and reports the hazard itself, not its
+//! (schedule-dependent) consequence.
+//!
+//! Three checkers, mirroring `compute-sanitizer`'s tools:
+//!
+//! - **racecheck** — shared-memory conflicts between threads of *different
+//!   warps* with no intervening barrier, and global-memory conflicts
+//!   between *different blocks* within one launch. Same-warp accesses are
+//!   exempt: warps execute in lockstep, so ordering within a warp is
+//!   architectural (this is exactly what makes the paper's §3.3
+//!   warp-synchronous tail legal). Atomic-vs-atomic global accesses are
+//!   exempt. Same-block global conflicts are not checked: our codegen
+//!   orders those through the shared-memory combine, and the hardware tool
+//!   this models restricts racecheck to shared memory too.
+//! - **initcheck** — reads of shared-memory bytes never written since the
+//!   block started. The simulator zero-fills shared memory, which would
+//!   otherwise mask this whole bug class.
+//! - **synccheck** — barrier misuse (divergent `__syncthreads()` sites,
+//!   barriers that can never fill), folded into the same report stream
+//!   with per-thread context; the launch still fails with the
+//!   corresponding [`crate::SimError`].
+//!
+//! The shadow scheme: shared memory keeps one cell per byte with the last
+//! writer, last reader and a *barrier epoch* (incremented each time the
+//! block's barrier releases). Two accesses conflict iff they touch the
+//! same byte, at least one writes, they come from different warps, and
+//! they share an epoch. Global memory keeps a sparse per-byte map with the
+//! last reader/writer block. Reports are deduplicated by the PC pair so a
+//! race inside a loop is reported once, and capped at
+//! [`SanitizerConfig::max_reports`] (the count of distinct hazards keeps
+//! accumulating past the cap).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// How much checking to do during a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SanitizerLevel {
+    /// No instrumentation (the default; zero overhead).
+    #[default]
+    Off,
+    /// Race detection only (shared cross-warp + global cross-block).
+    Race,
+    /// Uninitialized-shared-read detection only.
+    Init,
+    /// Barrier-misuse reporting only.
+    Sync,
+    /// All checkers.
+    Full,
+}
+
+impl SanitizerLevel {
+    /// Is any checker active?
+    pub fn enabled(&self) -> bool {
+        !matches!(self, SanitizerLevel::Off)
+    }
+
+    /// Is racecheck active?
+    pub fn race(&self) -> bool {
+        matches!(self, SanitizerLevel::Race | SanitizerLevel::Full)
+    }
+
+    /// Is initcheck active?
+    pub fn init(&self) -> bool {
+        matches!(self, SanitizerLevel::Init | SanitizerLevel::Full)
+    }
+
+    /// Is synccheck active?
+    pub fn sync(&self) -> bool {
+        matches!(self, SanitizerLevel::Sync | SanitizerLevel::Full)
+    }
+}
+
+/// Sanitizer configuration attached to a [`crate::Device`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SanitizerConfig {
+    /// Which checkers run.
+    pub level: SanitizerLevel,
+    /// Keep at most this many structured reports per device (further
+    /// distinct hazards are still *counted*, just not materialized).
+    pub max_reports: usize,
+    /// Half-open `[start, end)` global address ranges exempt from
+    /// racecheck. The runtime uses this for intentionally multi-writer
+    /// buffers (e.g. the scalar-writeback mailbox, where every block
+    /// stores the same region-uniform value).
+    pub global_ignore: Vec<(u64, u64)>,
+}
+
+impl Default for SanitizerConfig {
+    fn default() -> Self {
+        SanitizerConfig {
+            level: SanitizerLevel::Off,
+            max_reports: 64,
+            global_ignore: Vec::new(),
+        }
+    }
+}
+
+impl SanitizerConfig {
+    /// All checkers on, default caps.
+    pub fn full() -> Self {
+        SanitizerConfig {
+            level: SanitizerLevel::Full,
+            ..Default::default()
+        }
+    }
+}
+
+/// The hazard taxonomy (compute-sanitizer tool names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HazardClass {
+    RaceCheck,
+    InitCheck,
+    SyncCheck,
+}
+
+impl HazardClass {
+    /// Tool-style lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HazardClass::RaceCheck => "racecheck",
+            HazardClass::InitCheck => "initcheck",
+            HazardClass::SyncCheck => "synccheck",
+        }
+    }
+}
+
+impl fmt::Display for HazardClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which address space a hazard is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HazardSpace {
+    Shared,
+    Global,
+}
+
+impl fmt::Display for HazardSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HazardSpace::Shared => "shared",
+            HazardSpace::Global => "global",
+        })
+    }
+}
+
+/// What an access did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+    Atomic,
+}
+
+impl AccessKind {
+    fn verb(&self) -> &'static str {
+        match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Atomic => "atomic",
+        }
+    }
+
+    /// Does this access modify memory?
+    pub fn writes(&self) -> bool {
+        !matches!(self, AccessKind::Read)
+    }
+}
+
+/// One side of a hazard: who touched the byte, where, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessInfo {
+    /// Block index of the accessing thread.
+    pub block: (u32, u32),
+    /// Linear thread id within the block.
+    pub thread: u32,
+    /// Warp index within the block.
+    pub warp: u32,
+    /// Instruction index in the kernel.
+    pub pc: usize,
+    /// Barrier epoch within the block at access time.
+    pub epoch: u32,
+    pub kind: AccessKind,
+}
+
+impl fmt::Display for AccessInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} by thread {} (block ({},{}), warp {}, pc {}, epoch {})",
+            self.kind.verb(),
+            self.thread,
+            self.block.0,
+            self.block.1,
+            self.warp,
+            self.pc,
+            self.epoch
+        )
+    }
+}
+
+/// A structured hazard report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HazardReport {
+    pub class: HazardClass,
+    pub space: HazardSpace,
+    /// Shared: byte offset into the block's slab. Global: device address.
+    pub addr: u64,
+    /// The earlier access (absent for initcheck — there is no writer — and
+    /// for synccheck).
+    pub first: Option<AccessInfo>,
+    /// The access that exposed the hazard (absent for synccheck, whose
+    /// context lives in `detail`).
+    pub second: Option<AccessInfo>,
+    /// Human-readable one-line description.
+    pub detail: String,
+}
+
+impl fmt::Display for HazardReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.class, self.detail)
+    }
+}
+
+#[derive(Clone, Default)]
+struct SharedCell {
+    written: bool,
+    last_write: Option<AccessInfo>,
+    last_read: Option<AccessInfo>,
+    /// Most recent read from a warp *other* than `last_read`'s. One slot
+    /// would let a warp's own read-before-write shadow an earlier reader
+    /// (tree steps load both operands before storing); two slots from
+    /// distinct warps are enough to catch any multi-warp read set, since
+    /// flagging one conflicting reader is all a report needs.
+    other_read: Option<AccessInfo>,
+}
+
+#[derive(Clone, Copy, Default)]
+struct GlobalCell {
+    last_write: Option<AccessInfo>,
+    last_read: Option<AccessInfo>,
+    /// Most recent read from a block other than `last_read`'s (same
+    /// two-slot rationale as [`SharedCell::other_read`]).
+    other_read: Option<AccessInfo>,
+}
+
+/// Per-launch sanitizer state: shadow memory + collected reports.
+///
+/// One instance observes one launch; [`crate::Device::launch`] creates it
+/// when the device's [`SanitizerConfig`] enables a checker and harvests
+/// its reports afterwards (on the error path too, so synccheck reports
+/// survive the launch failing).
+pub struct LaunchSanitizer {
+    cfg: SanitizerConfig,
+    reports: Vec<HazardReport>,
+    /// Distinct hazards observed (reports + those past `max_reports`).
+    count: u64,
+    seen: HashSet<(HazardClass, usize, usize)>,
+    /// Current block and its barrier epoch.
+    block: (u32, u32),
+    epoch: u32,
+    shared: Vec<SharedCell>,
+    global: HashMap<u64, GlobalCell>,
+}
+
+impl LaunchSanitizer {
+    /// Fresh state for one launch.
+    pub fn new(cfg: SanitizerConfig) -> Self {
+        LaunchSanitizer {
+            cfg,
+            reports: Vec::new(),
+            count: 0,
+            seen: HashSet::new(),
+            block: (0, 0),
+            epoch: 0,
+            shared: Vec::new(),
+            global: HashMap::new(),
+        }
+    }
+
+    /// Reset per-block shadow state (shared memory + epoch) as a new block
+    /// starts executing. Global shadow persists across blocks: there is no
+    /// inter-block ordering within a launch.
+    pub fn begin_block(&mut self, block: (u32, u32), shared_bytes: usize) {
+        self.block = block;
+        self.epoch = 0;
+        self.shared.clear();
+        self.shared.resize(shared_bytes, SharedCell::default());
+    }
+
+    /// The block's barrier released: accesses before and after are ordered.
+    pub fn barrier_release(&mut self) {
+        self.epoch += 1;
+    }
+
+    fn push(&mut self, report: HazardReport) {
+        let key = (
+            report.class,
+            report.first.map_or(usize::MAX, |a| a.pc),
+            report.second.map_or(usize::MAX, |a| a.pc),
+        );
+        self.push_keyed(key, report);
+    }
+
+    fn push_keyed(&mut self, key: (HazardClass, usize, usize), report: HazardReport) {
+        if !self.seen.insert(key) {
+            return;
+        }
+        self.count += 1;
+        if self.reports.len() < self.cfg.max_reports {
+            self.reports.push(report);
+        }
+    }
+
+    /// Observe one lane's shared-memory access of `size` bytes at byte
+    /// offset `off`.
+    pub fn shared_access(
+        &mut self,
+        thread: u32,
+        warp: u32,
+        pc: usize,
+        off: u64,
+        size: usize,
+        write: bool,
+    ) {
+        let acc = AccessInfo {
+            block: self.block,
+            thread,
+            warp,
+            pc,
+            epoch: self.epoch,
+            kind: if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+        };
+        for b in off..off + size as u64 {
+            let Some(cell) = self.shared.get(b as usize) else {
+                continue; // out of bounds: the interpreter reports that itself
+            };
+            if !write && self.cfg.level.init() && !cell.written {
+                self.push(HazardReport {
+                    class: HazardClass::InitCheck,
+                    space: HazardSpace::Shared,
+                    addr: b,
+                    first: None,
+                    second: Some(acc),
+                    detail: format!(
+                        "{} of uninitialized shared byte +{b} (never written since block start)",
+                        acc
+                    ),
+                });
+            }
+            if self.cfg.level.race() {
+                let conflicts = |p: &AccessInfo| p.warp != warp && p.epoch == self.epoch;
+                let cell = &self.shared[b as usize];
+                let prior = if write {
+                    cell.last_write
+                        .filter(conflicts)
+                        .or(cell.last_read.filter(conflicts))
+                        .or(cell.other_read.filter(conflicts))
+                } else {
+                    cell.last_write.filter(conflicts)
+                };
+                if let Some(p) = prior {
+                    self.push(HazardReport {
+                        class: HazardClass::RaceCheck,
+                        space: HazardSpace::Shared,
+                        addr: b,
+                        first: Some(p),
+                        second: Some(acc),
+                        detail: format!(
+                            "shared byte +{b}: {acc} conflicts with {p} — \
+                             different warps, no barrier between"
+                        ),
+                    });
+                }
+            }
+            let cell = &mut self.shared[b as usize];
+            if write {
+                cell.written = true;
+                cell.last_write = Some(acc);
+            } else {
+                if let Some(lr) = cell.last_read {
+                    if lr.warp != acc.warp {
+                        cell.other_read = Some(lr);
+                    }
+                }
+                cell.last_read = Some(acc);
+            }
+        }
+    }
+
+    /// Observe one lane's global-memory access of `size` bytes at device
+    /// address `addr`.
+    pub fn global_access(
+        &mut self,
+        thread: u32,
+        warp: u32,
+        pc: usize,
+        addr: u64,
+        size: usize,
+        kind: AccessKind,
+    ) {
+        if !self.cfg.level.race() {
+            return;
+        }
+        if self
+            .cfg
+            .global_ignore
+            .iter()
+            .any(|&(s, e)| addr >= s && addr < e)
+        {
+            return;
+        }
+        let acc = AccessInfo {
+            block: self.block,
+            thread,
+            warp,
+            pc,
+            epoch: self.epoch,
+            kind,
+        };
+        for b in addr..addr + size as u64 {
+            let cell = self.global.entry(b).or_default();
+            let prior = match kind {
+                AccessKind::Read => cell.last_write.filter(|p| p.block != acc.block),
+                AccessKind::Write | AccessKind::Atomic => cell
+                    .last_write
+                    .filter(|p| {
+                        p.block != acc.block
+                            && !(kind == AccessKind::Atomic && p.kind == AccessKind::Atomic)
+                    })
+                    .or(cell.last_read.filter(|p| p.block != acc.block))
+                    .or(cell.other_read.filter(|p| p.block != acc.block)),
+            };
+            if let Some(p) = prior {
+                self.push(HazardReport {
+                    class: HazardClass::RaceCheck,
+                    space: HazardSpace::Global,
+                    addr: b,
+                    first: Some(p),
+                    second: Some(acc),
+                    detail: format!(
+                        "global address {b:#x}: {acc} conflicts with {p} — \
+                         different blocks, no synchronization within a launch"
+                    ),
+                });
+            }
+            let cell = self.global.entry(b).or_default();
+            if kind.writes() {
+                cell.last_write = Some(acc);
+            } else {
+                if let Some(lr) = cell.last_read {
+                    if lr.block != acc.block {
+                        cell.other_read = Some(lr);
+                    }
+                }
+                cell.last_read = Some(acc);
+            }
+        }
+    }
+
+    /// Fold a divergent-barrier error into the report stream.
+    pub fn sync_divergence(&mut self, block: (u32, u32), pc_a: usize, pc_b: usize, detail: String) {
+        if !self.cfg.level.sync() {
+            return;
+        }
+        self.block = block;
+        self.push_keyed(
+            (HazardClass::SyncCheck, pc_a, pc_b),
+            HazardReport {
+                class: HazardClass::SyncCheck,
+                space: HazardSpace::Shared,
+                addr: 0,
+                first: None,
+                second: None,
+                detail: format!(
+                    "block ({},{}): __syncthreads() under divergent control flow \
+                     (barrier sites pc {pc_a} vs pc {pc_b}); {detail}",
+                    block.0, block.1
+                ),
+            },
+        );
+    }
+
+    /// Fold a barrier-deadlock error into the report stream.
+    pub fn sync_deadlock(
+        &mut self,
+        block: (u32, u32),
+        arrived: usize,
+        expected: usize,
+        detail: String,
+    ) {
+        if !self.cfg.level.sync() {
+            return;
+        }
+        self.block = block;
+        self.push_keyed(
+            (HazardClass::SyncCheck, usize::MAX, expected),
+            HazardReport {
+                class: HazardClass::SyncCheck,
+                space: HazardSpace::Shared,
+                addr: 0,
+                first: None,
+                second: None,
+                detail: format!(
+                    "block ({},{}): barrier can never fill ({arrived}/{expected} threads \
+                     arrived); {detail}",
+                    block.0, block.1
+                ),
+            },
+        );
+    }
+
+    /// Reports collected so far (capped at `max_reports`).
+    pub fn reports(&self) -> &[HazardReport] {
+        &self.reports
+    }
+
+    /// Number of *distinct* hazards observed, including those past the
+    /// report cap.
+    pub fn hazard_count(&self) -> u64 {
+        self.count
+    }
+
+    /// Drain the collected reports.
+    pub fn take_reports(&mut self) -> Vec<HazardReport> {
+        std::mem::take(&mut self.reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn san() -> LaunchSanitizer {
+        let mut s = LaunchSanitizer::new(SanitizerConfig::full());
+        s.begin_block((0, 0), 64);
+        s
+    }
+
+    #[test]
+    fn cross_warp_shared_write_read_races() {
+        let mut s = san();
+        s.shared_access(0, 0, 10, 0, 4, true);
+        s.shared_access(32, 1, 20, 0, 4, false);
+        assert_eq!(s.reports().len(), 1);
+        let r = &s.reports()[0];
+        assert_eq!(r.class, HazardClass::RaceCheck);
+        assert_eq!(r.space, HazardSpace::Shared);
+        assert_eq!(r.first.unwrap().pc, 10);
+        assert_eq!(r.second.unwrap().pc, 20);
+    }
+
+    #[test]
+    fn same_warp_and_barrier_separated_accesses_are_clean() {
+        let mut s = san();
+        // Same warp: lockstep, exempt.
+        s.shared_access(0, 0, 10, 0, 4, true);
+        s.shared_access(1, 0, 20, 0, 4, false);
+        // Different warp but a barrier in between: ordered.
+        s.shared_access(0, 0, 30, 8, 4, true);
+        s.barrier_release();
+        s.shared_access(32, 1, 40, 8, 4, false);
+        assert!(s.reports().is_empty(), "{:?}", s.reports());
+    }
+
+    #[test]
+    fn read_read_never_races() {
+        let mut s = san();
+        s.shared_access(0, 0, 10, 0, 4, true);
+        s.barrier_release();
+        s.shared_access(0, 0, 20, 0, 4, false);
+        s.shared_access(32, 1, 21, 0, 4, false);
+        assert!(s.reports().is_empty());
+    }
+
+    #[test]
+    fn write_after_read_races_across_warps() {
+        let mut s = san();
+        s.shared_access(0, 0, 5, 0, 4, true);
+        s.barrier_release();
+        s.shared_access(32, 1, 10, 0, 4, false);
+        s.shared_access(0, 0, 20, 0, 4, true);
+        assert_eq!(s.reports().len(), 1);
+        assert_eq!(s.reports()[0].first.unwrap().kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn uninitialized_shared_read_reported_once_per_pc() {
+        let mut s = san();
+        s.shared_access(0, 0, 7, 16, 4, false);
+        s.shared_access(1, 0, 7, 20, 4, false); // same pc: deduplicated
+        assert_eq!(s.reports().len(), 1);
+        assert_eq!(s.reports()[0].class, HazardClass::InitCheck);
+        // A written byte reads clean.
+        s.shared_access(0, 0, 8, 0, 4, true);
+        s.shared_access(0, 0, 9, 0, 4, false);
+        assert_eq!(s.hazard_count(), 1);
+    }
+
+    #[test]
+    fn global_conflicts_are_cross_block_only() {
+        let mut s = san();
+        s.global_access(0, 0, 10, 0x100, 4, AccessKind::Write);
+        s.global_access(32, 1, 20, 0x100, 4, AccessKind::Write); // same block
+        assert!(s.reports().is_empty());
+        s.begin_block((1, 0), 64);
+        s.global_access(0, 0, 30, 0x100, 4, AccessKind::Write);
+        assert_eq!(s.reports().len(), 1);
+        assert_eq!(s.reports()[0].space, HazardSpace::Global);
+    }
+
+    #[test]
+    fn atomics_only_conflict_with_non_atomics() {
+        let mut s = san();
+        s.global_access(0, 0, 10, 0x40, 8, AccessKind::Atomic);
+        s.begin_block((1, 0), 64);
+        s.global_access(0, 0, 10, 0x40, 8, AccessKind::Atomic);
+        assert!(s.reports().is_empty());
+        s.begin_block((2, 0), 64);
+        s.global_access(0, 0, 11, 0x40, 8, AccessKind::Write);
+        assert_eq!(s.reports().len(), 1);
+    }
+
+    #[test]
+    fn ignore_ranges_suppress_global_reports() {
+        let mut s = LaunchSanitizer::new(SanitizerConfig {
+            level: SanitizerLevel::Full,
+            global_ignore: vec![(0x100, 0x108)],
+            ..Default::default()
+        });
+        s.begin_block((0, 0), 0);
+        s.global_access(0, 0, 10, 0x100, 8, AccessKind::Write);
+        s.begin_block((1, 0), 0);
+        s.global_access(0, 0, 10, 0x100, 8, AccessKind::Write);
+        assert!(s.reports().is_empty());
+        // Outside the range still reports.
+        s.global_access(0, 0, 11, 0x108, 8, AccessKind::Write);
+        s.begin_block((2, 0), 0);
+        s.global_access(0, 0, 12, 0x108, 8, AccessKind::Write);
+        assert_eq!(s.reports().len(), 1);
+    }
+
+    #[test]
+    fn report_cap_keeps_counting() {
+        let mut s = LaunchSanitizer::new(SanitizerConfig {
+            level: SanitizerLevel::Full,
+            max_reports: 2,
+            ..Default::default()
+        });
+        s.begin_block((0, 0), 1024);
+        for pc in 0..5 {
+            s.shared_access(0, 0, pc, pc as u64, 1, false); // 5 distinct initchecks
+        }
+        assert_eq!(s.reports().len(), 2);
+        assert_eq!(s.hazard_count(), 5);
+    }
+
+    #[test]
+    fn sync_reports_and_level_gating() {
+        let mut s = san();
+        s.sync_divergence((2, 0), 5, 9, "4 threads at pc 5, 28 at pc 9".into());
+        s.sync_deadlock((2, 0), 3, 64, "waiting at pc 7".into());
+        assert_eq!(s.reports().len(), 2);
+        assert!(s.reports()[0].to_string().contains("synccheck"));
+        assert!(s.reports()[0].detail.contains("pc 5 vs pc 9"));
+
+        // Race-only level ignores sync and init events.
+        let mut r = LaunchSanitizer::new(SanitizerConfig {
+            level: SanitizerLevel::Race,
+            ..Default::default()
+        });
+        r.begin_block((0, 0), 64);
+        r.sync_deadlock((0, 0), 1, 2, String::new());
+        r.shared_access(0, 0, 1, 0, 4, false); // uninit read
+        assert!(r.reports().is_empty());
+    }
+
+    #[test]
+    fn own_read_does_not_shadow_other_warps_reader() {
+        // Tree-step pattern: warp 0 reads the byte, then warp 1 reads it
+        // (loading its own fold operand) and writes it. The write must
+        // still conflict with warp 0's read even though warp 1's read was
+        // recorded in between.
+        let mut s = san();
+        s.shared_access(0, 0, 1, 0, 4, true); // initialize, then barrier
+        s.barrier_release();
+        s.shared_access(0, 0, 10, 0, 4, false);
+        s.shared_access(32, 1, 11, 0, 4, false);
+        s.shared_access(32, 1, 12, 0, 4, true);
+        assert_eq!(s.reports().len(), 1, "{:?}", s.reports());
+        assert_eq!(s.reports()[0].class, HazardClass::RaceCheck);
+        assert_eq!(s.reports()[0].first.unwrap().warp, 0);
+    }
+
+    #[test]
+    fn epoch_resets_per_block() {
+        let mut s = san();
+        s.shared_access(0, 0, 10, 0, 4, true);
+        s.barrier_release();
+        s.begin_block((1, 0), 64);
+        // Fresh block: no carry-over of shared shadow or epoch.
+        s.shared_access(32, 1, 20, 0, 4, true);
+        assert!(s
+            .reports()
+            .iter()
+            .all(|r| r.class != HazardClass::RaceCheck));
+    }
+}

@@ -25,6 +25,9 @@ pub struct LaunchStats {
     pub blocks: u64,
     /// Modelled execution cycles for the launch (max over SMs).
     pub cycles: u64,
+    /// Distinct hazards the sanitizer observed (0 when it is off; see
+    /// [`crate::sanitizer`]).
+    pub hazards: u64,
 }
 
 impl LaunchStats {
@@ -68,6 +71,7 @@ impl AddAssign for LaunchStats {
         self.atomics += o.atomics;
         self.blocks += o.blocks;
         self.cycles += o.cycles;
+        self.hazards += o.hazards;
     }
 }
 
@@ -135,12 +139,20 @@ mod tests {
             warp_insts: 2,
             cycles: 5,
             blocks: 3,
+            hazards: 2,
             ..Default::default()
         };
         a += b;
         assert_eq!(a.warp_insts, 3);
         assert_eq!(a.cycles, 15);
         assert_eq!(a.blocks, 3);
+        assert_eq!(a.hazards, 2);
+    }
+
+    #[test]
+    fn hazards_default_zero() {
+        assert_eq!(LaunchStats::default().hazards, 0);
+        assert_eq!(SessionStats::default().totals.hazards, 0);
     }
 
     #[test]

@@ -1,6 +1,24 @@
 //! Execution tracing: capture the first N warp-instructions of a launch
 //! with their active masks — the "look at what the machine actually did"
-//! debugging facility.
+//! debugging facility. Memory instructions additionally carry the address
+//! range the warp touched and which space it lives in, which is what the
+//! sanitizer's reports point back into.
+
+/// Which address space a traced memory access touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceSpace {
+    Shared,
+    Global,
+}
+
+/// The warp-aggregate footprint of one memory instruction: the half-open
+/// `[lo, hi)` byte range covering every active lane's access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemTouch {
+    pub space: TraceSpace,
+    pub lo: u64,
+    pub hi: u64,
+}
 
 /// One executed warp-instruction.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,6 +33,8 @@ pub struct TraceEvent {
     pub active: u32,
     /// Disassembled instruction text.
     pub text: String,
+    /// For memory instructions: the space and address range touched.
+    pub mem: Option<MemTouch>,
 }
 
 /// A bounded trace buffer.
@@ -36,12 +56,23 @@ impl Trace {
         }
     }
 
-    /// Record an event (drops once full).
-    pub(crate) fn record(&mut self, ev: TraceEvent) {
+    /// Record an event; returns whether it was kept (false once full).
+    pub(crate) fn record(&mut self, ev: TraceEvent) -> bool {
         if self.events.len() < self.limit {
             self.events.push(ev);
+            true
         } else {
             self.truncated = true;
+            false
+        }
+    }
+
+    /// Attach a memory footprint to the most recently recorded event. Only
+    /// called when that event was actually kept, so a truncated buffer
+    /// never has a stale event annotated.
+    pub(crate) fn annotate_mem(&mut self, mem: MemTouch) {
+        if let Some(e) = self.events.last_mut() {
+            e.mem = Some(mem);
         }
     }
 
@@ -60,11 +91,19 @@ impl Trace {
         use std::fmt::Write;
         let mut out = String::new();
         for e in &self.events {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "b({:>2},{}) w{:<2} pc {:>4} [{:>2} lanes]  {}",
                 e.block.0, e.block.1, e.warp, e.pc, e.active, e.text
             );
+            if let Some(m) = e.mem {
+                let tag = match m.space {
+                    TraceSpace::Shared => "shared",
+                    TraceSpace::Global => "global",
+                };
+                let _ = write!(out, "  <{tag} {:#x}..{:#x}>", m.lo, m.hi);
+            }
+            out.push('\n');
         }
         if self.truncated {
             let _ = writeln!(out, "... (truncated at {} events)", self.limit);
@@ -77,17 +116,22 @@ impl Trace {
 mod tests {
     use super::*;
 
+    fn ev(pc: usize) -> TraceEvent {
+        TraceEvent {
+            block: (0, 0),
+            warp: 0,
+            pc,
+            active: 32,
+            text: format!("inst{pc}"),
+            mem: None,
+        }
+    }
+
     #[test]
     fn bounded_and_renders() {
         let mut t = Trace::with_limit(2);
         for pc in 0..3 {
-            t.record(TraceEvent {
-                block: (0, 0),
-                warp: 0,
-                pc,
-                active: 32,
-                text: format!("inst{pc}"),
-            });
+            t.record(ev(pc));
         }
         assert_eq!(t.events().len(), 2);
         assert!(t.truncated());
@@ -96,5 +140,27 @@ mod tests {
         assert!(r.contains("inst1"));
         assert!(!r.contains("inst2"));
         assert!(r.contains("truncated"));
+    }
+
+    #[test]
+    fn record_reports_kept_and_mem_annotates_last() {
+        let mut t = Trace::with_limit(1);
+        assert!(t.record(ev(0)));
+        t.annotate_mem(MemTouch {
+            space: TraceSpace::Shared,
+            lo: 0x40,
+            hi: 0x80,
+        });
+        assert!(!t.record(ev(1)));
+        assert_eq!(
+            t.events()[0].mem,
+            Some(MemTouch {
+                space: TraceSpace::Shared,
+                lo: 0x40,
+                hi: 0x80
+            })
+        );
+        let r = t.render();
+        assert!(r.contains("<shared 0x40..0x80>"), "{r}");
     }
 }

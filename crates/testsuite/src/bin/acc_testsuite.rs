@@ -1,10 +1,13 @@
 //! Command-line driver for the reduction testsuite (regenerates the
 //! paper's Table 2 and Figure 11 with modelled device times).
 //!
-//! Usage: `acc-testsuite [--red-n N] [--quick] [--all-ops] [--fig11]`
+//! Usage: `acc-testsuite [--red-n N] [--quick] [--all-ops] [--fig11] [--sanitize]`
 
 use acc_baselines::Compiler;
-use acc_testsuite::{format_fig11, format_summary, format_table2, run_suite, SuiteConfig};
+use acc_testsuite::{
+    format_fig11, format_matrix, format_summary, format_table2, run_sanitize_matrix, run_suite,
+    SuiteConfig,
+};
 use accparse::ast::{CType, RedOp};
 
 fn main() {
@@ -12,6 +15,7 @@ fn main() {
     let mut cfg = SuiteConfig::default();
     let mut fig11 = false;
     let mut all_ops = false;
+    let mut sanitize = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -22,13 +26,15 @@ fn main() {
             "--quick" => cfg = SuiteConfig::quick(),
             "--fig11" => fig11 = true,
             "--all-ops" => all_ops = true,
+            "--sanitize" => sanitize = true,
             "--help" | "-h" => {
                 println!(
                     "acc-testsuite: regenerate Table 2 / Fig. 11 of the paper\n\
                      --red-n N    reduction loop size (default 16384; paper used up to 1M)\n\
                      --quick      small sizes for smoke testing\n\
                      --all-ops    run all nine OpenACC reduction operators (not just + and *)\n\
-                     --fig11      also print the Figure 11 per-position series"
+                     --fig11      also print the Figure 11 per-position series\n\
+                     --sanitize   run the hazard-sanitizer detection matrix instead"
                 );
                 return;
             }
@@ -38,6 +44,19 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if sanitize {
+        eprintln!(
+            "running sanitizer detection matrix (red_n = {}) ...",
+            cfg.red_n
+        );
+        let rows = run_sanitize_matrix(&cfg);
+        print!("{}", format_matrix(&rows));
+        if rows.iter().any(|r| !r.ok()) {
+            std::process::exit(1);
+        }
+        return;
     }
 
     let ops: Vec<RedOp> = if all_ops {

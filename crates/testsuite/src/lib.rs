@@ -15,7 +15,9 @@
 pub mod cases;
 pub mod report;
 pub mod run;
+pub mod sanitize;
 
 pub use cases::{case_source, Position};
 pub use report::{format_fig11, format_summary, format_table2};
 pub use run::{run_case, run_suite, CaseResult, CaseStatus, SuiteConfig};
+pub use sanitize::{format_matrix, run_sanitize_matrix, SanitizeRow};

@@ -88,13 +88,13 @@ pub struct Expected {
 }
 
 /// Arrays bound for a case: `(input, optional temp, optional out-shape)`.
-struct CaseData {
-    input: HostBuffer,
-    temp_len: Option<usize>,
-    out_len: Option<usize>,
+pub(crate) struct CaseData {
+    pub(crate) input: HostBuffer,
+    pub(crate) temp_len: Option<usize>,
+    pub(crate) out_len: Option<usize>,
 }
 
-fn case_data(pos: Position, op: RedOp, t: CType, cfg: &SuiteConfig) -> CaseData {
+pub(crate) fn case_data(pos: Position, op: RedOp, t: CType, cfg: &SuiteConfig) -> CaseData {
     let (nk, nj, ni) = extents(pos, cfg.red_n);
     let n = nk * nj * ni;
     let mut input = HostBuffer::new(t, n);
@@ -115,7 +115,7 @@ fn case_data(pos: Position, op: RedOp, t: CType, cfg: &SuiteConfig) -> CaseData 
     }
 }
 
-fn bind_dims(
+pub(crate) fn bind_dims(
     pos: Position,
     cfg: &SuiteConfig,
     mut bind: impl FnMut(&str, i64) -> Result<(), AccError>,

@@ -1,0 +1,329 @@
+//! The sanitizer detection matrix: every OpenUH reduction strategy of the
+//! paper's §6 grid run hazard-free under `gpsim`'s sanitizer, next to
+//! known-miscompiled variants that the sanitizer must flag with the right
+//! hazard class — the simulator's answer to running the testsuite under
+//! `compute-sanitizer`.
+//!
+//! A correctness suite ([`crate::run`]) can only say a result is *wrong*;
+//! the sanitizer says *why*: a missing barrier is a racecheck hazard even
+//! on runs where the deterministic scheduler happens to produce the right
+//! answer. The matrix therefore pairs each injected codegen defect with
+//! the hazard class that reveals it, and asserts the real strategies stay
+//! silent.
+
+use crate::cases::{case_source, Position};
+use crate::run::{bind_dims, case_data, SuiteConfig};
+use accparse::ast::{CType, RedOp};
+use accrt::{AccError, AccRunner, HostBuffer};
+use gpsim::{
+    CmpOp, Device, HazardClass, HazardReport, KernelBuilder, LaunchConfig, MemRef, SanitizerConfig,
+    SanitizerLevel, SpecialReg, Ty, Value,
+};
+use uhacc_core::{CompilerOptions, LaunchDims, VectorLayout};
+
+/// One row of the detection matrix: a (strategy, defect) combination with
+/// per-class hazard counts and the classes the row is expected to raise
+/// (empty = must be clean).
+#[derive(Debug, Clone)]
+pub struct SanitizeRow {
+    pub label: String,
+    /// Hazard classes this row is *expected* to raise; empty means the
+    /// row must be hazard-free.
+    pub expect: Vec<HazardClass>,
+    pub racecheck: u64,
+    pub synccheck: u64,
+    pub initcheck: u64,
+    /// First report (or run error) for context.
+    pub sample: Option<String>,
+}
+
+impl SanitizeRow {
+    /// Hazard count for one class.
+    pub fn count(&self, c: HazardClass) -> u64 {
+        match c {
+            HazardClass::RaceCheck => self.racecheck,
+            HazardClass::SyncCheck => self.synccheck,
+            HazardClass::InitCheck => self.initcheck,
+        }
+    }
+
+    /// Did the sanitizer report anything at all?
+    pub fn any(&self) -> bool {
+        self.racecheck + self.synccheck + self.initcheck > 0
+    }
+
+    /// Row verdict: `clean` / `detected` when the outcome matches the
+    /// expectation, `FALSE POSITIVE` / `MISSED` when it does not.
+    pub fn verdict(&self) -> &'static str {
+        if self.expect.is_empty() {
+            if self.any() {
+                "FALSE POSITIVE"
+            } else {
+                "clean"
+            }
+        } else if self.expect.iter().all(|&c| self.count(c) > 0) {
+            "detected"
+        } else {
+            "MISSED"
+        }
+    }
+
+    /// True when the row behaved as expected.
+    pub fn ok(&self) -> bool {
+        matches!(self.verdict(), "clean" | "detected")
+    }
+}
+
+fn tally(label: String, expect: Vec<HazardClass>, outcome: CaseOutcome) -> SanitizeRow {
+    let (reports, err) = match outcome {
+        Ok(r) => (r, None),
+        Err((r, e)) => (r, Some(e)),
+    };
+    let count = |c| reports.iter().filter(|r| r.class == c).count() as u64;
+    SanitizeRow {
+        label,
+        expect,
+        racecheck: count(HazardClass::RaceCheck),
+        synccheck: count(HazardClass::SyncCheck),
+        initcheck: count(HazardClass::InitCheck),
+        sample: reports.first().map(|r| r.to_string()).or(err),
+    }
+}
+
+/// Reports from a run, with the run error (if any) attached alongside the
+/// reports harvested before the abort.
+type CaseOutcome = Result<Vec<HazardReport>, (Vec<HazardReport>, String)>;
+
+/// Run one testsuite case under the given compiler options with the
+/// sanitizer at `Full`, returning everything it reported.
+fn sanitized_case(
+    opts: CompilerOptions,
+    pos: Position,
+    op: RedOp,
+    t: CType,
+    cfg: &SuiteConfig,
+) -> CaseOutcome {
+    let src = case_source(pos, op, t);
+    let data = case_data(pos, op, t, cfg);
+    let mut r = AccRunner::with_options(&src, opts, cfg.dims, Device::default())
+        .map_err(|e| (Vec::new(), e.to_string()))?;
+    r.sanitize(SanitizerLevel::Full);
+    let bound = (|| -> Result<(), AccError> {
+        bind_dims(pos, cfg, |n, v| r.bind_int(n, v))?;
+        r.bind_array("input", data.input.clone())?;
+        if let Some(n) = data.out_len {
+            r.bind_array("out", HostBuffer::new(t, n))?;
+        }
+        r.run()
+    })();
+    let reports = r.take_hazards();
+    match bound {
+        Ok(()) => Ok(reports),
+        Err(e) => Err((reports, e.to_string())),
+    }
+}
+
+/// A handcrafted kernel whose two warps reach *different* barrier sites:
+/// the canonical synccheck hazard (it is not expressible through the
+/// directive front end, which only emits structured barriers).
+fn divergent_barrier_reports() -> CaseOutcome {
+    let mut b = KernelBuilder::new("divergent_bar");
+    let tid = b.special(SpecialReg::TidX);
+    let c = b.cmp(CmpOp::Lt, Ty::I32, tid, Value::I32(32));
+    let els = b.new_label();
+    let end = b.new_label();
+    b.bra_unless(c, els);
+    b.bar();
+    b.bra(end);
+    b.place(els);
+    b.bar();
+    b.place(end);
+    let k = b.finish();
+    let mut dev = Device::test_small();
+    dev.set_sanitizer(SanitizerConfig::full());
+    let run = dev.launch(&k, LaunchConfig::d1(1, 64), &[]);
+    let reports = dev.take_hazards();
+    match run {
+        Ok(_) => Ok(reports),
+        Err(e) => Err((reports, e.to_string())),
+    }
+}
+
+/// A handcrafted kernel that reads shared memory nothing ever wrote: the
+/// canonical initcheck hazard.
+fn uninit_shared_reports() -> CaseOutcome {
+    let mut b = KernelBuilder::new("uninit_read");
+    let slab = b.alloc_shared(256, 8);
+    let out = b.param(0);
+    let tid = b.special(SpecialReg::TidX);
+    let t64 = b.cvt(Ty::I64, tid);
+    let v = b.ld_shared(Ty::I32, MemRef::indexed(Value::U64(slab as u64), t64, 4));
+    b.st_global(Ty::I32, MemRef::indexed(out, t64, 4), v);
+    let k = b.finish();
+    let mut dev = Device::test_small();
+    dev.set_sanitizer(SanitizerConfig::full());
+    let buf = dev.alloc_elems(Ty::I32, 32).expect("alloc");
+    let run = dev.launch(&k, LaunchConfig::d1(1, 32), &[Value::U64(buf.addr)]);
+    let reports = dev.take_hazards();
+    match run {
+        Ok(_) => Ok(reports),
+        Err(e) => Err((reports, e.to_string())),
+    }
+}
+
+fn bugged(f: impl FnOnce(&mut CompilerOptions)) -> CompilerOptions {
+    let mut o = CompilerOptions::openuh();
+    f(&mut o);
+    o
+}
+
+/// Run the full detection matrix.
+///
+/// The first block of rows is the paper's §6 strategy grid (every
+/// reduction position under the OpenUH option set) — all must come back
+/// hazard-free. The second block injects one codegen defect per row and
+/// expects the named hazard class.
+pub fn run_sanitize_matrix(cfg: &SuiteConfig) -> Vec<SanitizeRow> {
+    use HazardClass::*;
+    let mut rows = Vec::new();
+
+    for pos in Position::all() {
+        let outcome = sanitized_case(CompilerOptions::openuh(), pos, RedOp::Add, CType::Int, cfg);
+        rows.push(tally(
+            format!("openuh {}", pos.label()),
+            Vec::new(),
+            outcome,
+        ));
+    }
+
+    // Defect rows. Each is a real miscompilation (wrong results under some
+    // geometry), pinned to a geometry where the defect is live.
+    rows.push(tally(
+        "bug: missing stage barrier (worker)".into(),
+        vec![RaceCheck, InitCheck],
+        sanitized_case(
+            bugged(|o| o.bugs.skip_stage_barrier = true),
+            Position::Worker,
+            RedOp::Add,
+            CType::Int,
+            cfg,
+        ),
+    ));
+    rows.push(tally(
+        "bug: missing post-broadcast barrier (vector)".into(),
+        vec![RaceCheck],
+        sanitized_case(
+            bugged(|o| o.bugs.skip_bcast_barrier = true),
+            Position::Vector,
+            RedOp::Add,
+            CType::Int,
+            cfg,
+        ),
+    ));
+    rows.push(tally(
+        "bug: warp-sync tail with vector % 32 != 0".into(),
+        vec![RaceCheck],
+        sanitized_case(
+            bugged(|o| o.bugs.warp_tail_everywhere = true),
+            Position::Vector,
+            RedOp::Add,
+            CType::Int,
+            &SuiteConfig {
+                red_n: cfg.red_n,
+                dims: LaunchDims {
+                    gangs: 4,
+                    workers: 2,
+                    vector: 80,
+                },
+            },
+        ),
+    ));
+    rows.push(tally(
+        "bug: transposed slab reuse (no post-read barrier)".into(),
+        vec![RaceCheck],
+        sanitized_case(
+            bugged(|o| {
+                o.vector_layout = VectorLayout::Transposed;
+                o.bugs.skip_postread_barrier = true;
+            }),
+            Position::Vector,
+            RedOp::Add,
+            CType::Int,
+            cfg,
+        ),
+    ));
+    rows.push(tally(
+        "bug: barrier under divergent control flow".into(),
+        vec![SyncCheck],
+        divergent_barrier_reports(),
+    ));
+    rows.push(tally(
+        "bug: read of uninitialized shared memory".into(),
+        vec![InitCheck],
+        uninit_shared_reports(),
+    ));
+    rows
+}
+
+/// Format the matrix as an aligned text table.
+pub fn format_matrix(rows: &[SanitizeRow]) -> String {
+    use std::fmt::Write;
+    let wide = rows.iter().map(|r| r.label.len()).max().unwrap_or(0).max(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<wide$}  {:>9}  {:>9}  {:>9}  verdict",
+        "case", "racecheck", "synccheck", "initcheck"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(wide + 2 + 3 * 11 + 9));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<wide$}  {:>9}  {:>9}  {:>9}  {}",
+            r.label,
+            r.racecheck,
+            r.synccheck,
+            r.initcheck,
+            r.verdict()
+        );
+    }
+    let bad = rows.iter().filter(|r| !r.ok()).count();
+    let _ = writeln!(out, "{} case(s), {} unexpected outcome(s)", rows.len(), bad);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handcrafted_sync_and_init_hazards_fire() {
+        let sync = tally(
+            "s".into(),
+            vec![HazardClass::SyncCheck],
+            divergent_barrier_reports(),
+        );
+        assert_eq!(sync.verdict(), "detected", "{:?}", sync.sample);
+        let init = tally(
+            "i".into(),
+            vec![HazardClass::InitCheck],
+            uninit_shared_reports(),
+        );
+        assert_eq!(init.verdict(), "detected", "{:?}", init.sample);
+        assert_eq!(init.synccheck, 0);
+    }
+
+    #[test]
+    fn openuh_vector_case_is_clean_under_full_sanitizer() {
+        let cfg = SuiteConfig::quick();
+        let outcome = sanitized_case(
+            CompilerOptions::openuh(),
+            Position::Vector,
+            RedOp::Add,
+            CType::Int,
+            &cfg,
+        );
+        let row = tally("v".into(), Vec::new(), outcome);
+        assert_eq!(row.verdict(), "clean", "{:?}", row.sample);
+    }
+}

@@ -18,6 +18,7 @@ struct Args {
     emit_hir: bool,
     emit_kernel: bool,
     emit_plan: bool,
+    sanitize: bool,
 }
 
 fn usage() -> ! {
@@ -28,6 +29,8 @@ fn usage() -> ! {
            --dims G,W,V        launch geometry (default 192,8,128 — the paper's)\n\
            --compiler NAME     openuh | pgi | caps (default openuh)\n\
            --emit WHAT         hir | kernel | plan | all (default kernel,plan)\n\
+           --sanitize          run the hazard-sanitizer detection matrix\n\
+                               (no input file needed) and exit\n\
            -h, --help          this message"
     );
     std::process::exit(2);
@@ -41,6 +44,7 @@ fn parse_args() -> Args {
         emit_hir: false,
         emit_kernel: true,
         emit_plan: true,
+        sanitize: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -93,6 +97,7 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--sanitize" => args.sanitize = true,
             f if !f.starts_with('-') || f == "-" => {
                 if have_input {
                     usage();
@@ -104,7 +109,7 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
-    if !have_input {
+    if !have_input && !args.sanitize {
         usage();
     }
     args
@@ -112,6 +117,12 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if args.sanitize {
+        let cfg = uhacc::testsuite::SuiteConfig::quick();
+        let rows = uhacc::testsuite::run_sanitize_matrix(&cfg);
+        print!("{}", uhacc::testsuite::format_matrix(&rows));
+        std::process::exit(if rows.iter().all(|r| r.ok()) { 0 } else { 1 });
+    }
     let src = if args.input == "-" {
         let mut s = String::new();
         std::io::stdin().read_to_string(&mut s).expect("read stdin");

@@ -4,6 +4,9 @@
 //! interpreter. Programs the compiler legitimately rejects (diagnosed
 //! unsupported shapes) are discarded; accepted programs must agree.
 
+// proptest's config idiom spells out `..default()` for forward compat.
+#![allow(clippy::needless_update)]
+
 use proptest::prelude::*;
 use uhacc::baselines::CpuExec;
 use uhacc::prelude::*;
@@ -264,12 +267,10 @@ proptest! {
             Err(e) => return Err(TestCaseError::fail(e.to_string())),
         };
         let mut cpu = CpuExec::new(&src).unwrap();
-        for r in [&mut gpu] {
-            r.bind_int("N", n as i64).unwrap();
-            r.bind_int("C1", c1).unwrap();
-            r.bind_float("C2", c2).unwrap();
-            r.bind_array("out", HostBuffer::from_f64(&vec![0.0; n])).unwrap();
-        }
+        gpu.bind_int("N", n as i64).unwrap();
+        gpu.bind_int("C1", c1).unwrap();
+        gpu.bind_float("C2", c2).unwrap();
+        gpu.bind_array("out", HostBuffer::from_f64(&vec![0.0; n])).unwrap();
         cpu.bind_int("N", n as i64).unwrap();
         cpu.bind_scalar("C1", gpsim::Value::I64(c1)).unwrap();
         cpu.bind_scalar("C2", gpsim::Value::F64(c2)).unwrap();

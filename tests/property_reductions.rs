@@ -3,6 +3,9 @@
 //! non-power-of-two and ragged shapes) and loop sizes, the simulated GPU
 //! result must match the sequential CPU reference.
 
+// proptest's config idiom spells out `..default()` for forward compat.
+#![allow(clippy::needless_update)]
+
 use accparse::ast::{CType, RedOp};
 use proptest::prelude::*;
 use uhacc::baselines::CpuExec;
@@ -155,6 +158,55 @@ proptest! {
     ) {
         prop_assume!(combo_legal(op, t));
         check_case(pos, op, t, d, red_n);
+    }
+
+    /// Sanitizer soundness on correct codegen: every OpenUH reduction,
+    /// run under the full hazard sanitizer at a random geometry (including
+    /// non-power-of-two and non-multiple-of-warp vector lengths), must
+    /// produce zero reports — the barrier placement proof of §3.3, checked
+    /// dynamically instead of by result comparison.
+    #[test]
+    fn openuh_reductions_are_hazard_free(
+        pos in positions(),
+        op in ops(),
+        t in dtypes(),
+        d in dims(),
+        red_n in 1usize..400,
+    ) {
+        prop_assume!(combo_legal(op, t));
+        let src = case_source(pos, op, t);
+        let (nk, nj, ni) = extents(pos, red_n);
+        let n = nk * nj * ni;
+        let mut input = HostBuffer::new(t, n);
+        for i in 0..n {
+            input.set(i, gen_value(op, t, i));
+        }
+        let mut r = AccRunner::with_options(&src, CompilerOptions::openuh(), d, Device::default())
+            .expect("compile");
+        r.sanitize(uhacc::sim::SanitizerLevel::Full);
+        if pos == Position::SameLineGwv {
+            r.bind_int("N", nk as i64).unwrap();
+        } else {
+            r.bind_int("NK", nk as i64).unwrap();
+            r.bind_int("NJ", nj as i64).unwrap();
+            r.bind_int("NI", ni as i64).unwrap();
+        }
+        r.bind_array("input", input).unwrap();
+        let out_len = match pos {
+            Position::Worker | Position::WorkerVector => Some(nk),
+            Position::Vector => Some(nk * nj),
+            _ => None,
+        };
+        if let Some(len) = out_len {
+            r.bind_array("out", HostBuffer::new(t, len)).unwrap();
+        }
+        r.run().expect("sanitized gpu run");
+        let reports = r.take_hazards();
+        prop_assert!(
+            reports.is_empty(),
+            "{} {} {:?} dims {:?}: {} hazard(s), first: {}",
+            pos.label(), op, t, d, reports.len(), reports[0]
+        );
     }
 
     /// Window-sliding and blocking schedules agree.

@@ -1,0 +1,92 @@
+//! Integration test for the sanitizer detection matrix — the output of
+//! `acc-testsuite --sanitize` / `uhacc-cc --sanitize`.
+//!
+//! The paper's §6 grid (every OpenUH reduction strategy) must run
+//! hazard-free under the full sanitizer, while known miscompilations are
+//! flagged with the hazard class that explains them. This is the
+//! subsystem's acceptance gate: a correctness suite only proves results
+//! right for one geometry; the sanitizer proves the barrier placement
+//! right for the execution that actually happened.
+
+use uhacc::sim::HazardClass;
+use uhacc::testsuite::{format_matrix, run_sanitize_matrix, SanitizeRow, SuiteConfig};
+
+fn matrix() -> Vec<SanitizeRow> {
+    run_sanitize_matrix(&SuiteConfig::quick())
+}
+
+fn row<'a>(rows: &'a [SanitizeRow], needle: &str) -> &'a SanitizeRow {
+    rows.iter()
+        .find(|r| r.label.contains(needle))
+        .unwrap_or_else(|| panic!("no matrix row containing `{needle}`"))
+}
+
+#[test]
+fn openuh_strategy_grid_is_hazard_free() {
+    let rows = matrix();
+    let openuh: Vec<_> = rows
+        .iter()
+        .filter(|r| r.label.starts_with("openuh"))
+        .collect();
+    assert_eq!(openuh.len(), 7, "one row per reduction position");
+    for r in openuh {
+        assert!(
+            !r.any(),
+            "{}: expected hazard-free, got {} racecheck / {} synccheck / {} initcheck ({:?})",
+            r.label,
+            r.racecheck,
+            r.synccheck,
+            r.initcheck,
+            r.sample
+        );
+        assert_eq!(r.verdict(), "clean");
+    }
+}
+
+#[test]
+fn miscompilations_are_flagged_with_the_right_class() {
+    let rows = matrix();
+
+    // The three named wrong-answer cases, all racecheck-class.
+    for needle in [
+        "missing post-broadcast barrier",
+        "warp-sync tail",
+        "transposed slab reuse",
+    ] {
+        let r = row(&rows, needle);
+        assert!(
+            r.racecheck > 0,
+            "{}: expected racecheck hazards, got none ({:?})",
+            r.label,
+            r.sample
+        );
+        assert_eq!(r.verdict(), "detected", "{}", r.label);
+    }
+
+    // A missing stage barrier additionally exposes reads of not-yet-staged
+    // slots: racecheck and initcheck together.
+    let stage = row(&rows, "missing stage barrier");
+    assert!(stage.racecheck > 0 && stage.initcheck > 0, "{:?}", stage);
+
+    // Sync and init classes have dedicated rows.
+    let sync = row(&rows, "divergent control flow");
+    assert!(sync.count(HazardClass::SyncCheck) > 0, "{:?}", sync.sample);
+    assert_eq!(sync.racecheck, 0);
+    let init = row(&rows, "uninitialized shared");
+    assert!(init.count(HazardClass::InitCheck) > 0, "{:?}", init.sample);
+    assert_eq!(init.synccheck, 0);
+}
+
+#[test]
+fn formatted_matrix_reads_like_the_cli_output() {
+    let rows = matrix();
+    let text = format_matrix(&rows);
+    assert!(text.contains("racecheck"), "{text}");
+    assert!(text.contains("synccheck"), "{text}");
+    assert!(text.contains("initcheck"), "{text}");
+    assert!(text.contains("openuh gang"), "{text}");
+    assert!(text.contains("detected"), "{text}");
+    assert!(text.contains("0 unexpected outcome(s)"), "{text}");
+    assert!(!text.contains("MISSED"), "{text}");
+    assert!(!text.contains("FALSE POSITIVE"), "{text}");
+}

@@ -1,0 +1,151 @@
+//! Offline stand-in for the `rand` crate covering the API subset this
+//! workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::gen_range` over integer and `f64` ranges. The generator is
+//! splitmix64 — statistically fine for simulation inputs, deterministic
+//! given a seed, and dependency-free.
+
+use std::ops::Range;
+
+/// Construct a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core random-value interface.
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A value uniformly distributed over `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        SampleRange::sample(range, self)
+    }
+
+    /// A uniformly random value of a sampleable type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_bits(self.next_u64())
+    }
+}
+
+/// Range types `gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample<R: Rng>(self, rng: &mut R) -> f32 {
+        Range {
+            start: self.start as f64,
+            end: self.end as f64,
+        }
+        .sample(rng) as f32
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )+};
+}
+int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Types `Rng::gen` can produce (from 64 random bits).
+pub trait Standard {
+    /// Build a value from uniformly random bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_bits(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn from_bits(bits: u64) -> u32 {
+        bits as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> f64 {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators (mirrors `rand::rngs`).
+
+    use crate::{Rng, SeedableRng};
+
+    /// The standard generator: splitmix64 in this stand-in.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x: f64 = a.gen_range(-1.0..1.0);
+            let y: f64 = b.gen_range(-1.0..1.0);
+            assert_eq!(x, y);
+            assert!((-1.0..1.0).contains(&x));
+            let n = a.gen_range(3usize..17);
+            assert!((3..17).contains(&n));
+            b.gen_range(3usize..17);
+        }
+    }
+}
