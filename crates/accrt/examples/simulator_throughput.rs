@@ -3,13 +3,21 @@
 //! (useful when choosing testsuite sizes).
 //!
 //! Run with: `cargo run --release -p accrt --example simulator_throughput`
+//!
+//! Set `UHACC_HOST_THREADS` to control how many host worker threads execute
+//! independent thread blocks (1 = sequential); results are bit-identical at
+//! any setting, only the host wall-clock changes.
 
 use accrt::{AccRunner, HostBuffer};
-use gpsim::Device;
+use gpsim::{Device, DeviceConfig};
 use std::time::Instant;
 use uhacc_core::{CompilerOptions, LaunchDims};
 
 fn main() {
+    println!(
+        "host worker threads: {} (override with UHACC_HOST_THREADS)",
+        DeviceConfig::default().resolved_host_threads()
+    );
     let src = r#"
         int N; long sum;
         int a[N];

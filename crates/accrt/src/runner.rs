@@ -113,6 +113,16 @@ impl AccRunner {
         self.device.reset_stats();
     }
 
+    /// Set the number of host worker threads used to execute independent
+    /// thread blocks (0 = auto, 1 = sequential; the `UHACC_HOST_THREADS`
+    /// environment variable overrides the auto default). Every observable
+    /// result — array contents, scalars, modelled cycles, hazard reports —
+    /// is bit-identical at any setting; this knob only changes wall-clock
+    /// simulation time.
+    pub fn set_host_threads(&mut self, n: u32) {
+        self.device.set_host_threads(n);
+    }
+
     /// Run every subsequent launch — main kernels *and* gang-reduction
     /// finalize kernels — under the simulator's hazard sanitizer at
     /// `level` (see [`gpsim::sanitizer`]). [`SanitizerLevel::Off`] turns
@@ -590,9 +600,11 @@ impl AccRunner {
         let temp_buffers = inst.temp_buffers.clone();
 
         // The mailbox buffer is deliberately multi-writer: lane 0 of every
-        // block writes the same host-scalar slots (blocks run sequentially,
-        // so the final value is well-defined). Exempt it from global
-        // racecheck so the sanitizer only reports unintended sharing.
+        // block writes the same host-scalar slots. Blocks commit in linear
+        // block-id order on both the sequential and parallel executors, so
+        // the final value is well-defined: the highest block id wins.
+        // Exempt it from global racecheck so the sanitizer only reports
+        // unintended sharing.
         if self.device.sanitizer().level.enabled() {
             self.device.sanitizer_mut().global_ignore = mailbox
                 .map(|mb| {

@@ -1,0 +1,154 @@
+//! Property test for the parallel block executor's headline guarantee:
+//! at any `host_threads` setting, a launch produces results, session
+//! statistics (including modelled cycles), and sanitizer hazard reports
+//! **bit-identical** to the sequential path — across random launch
+//! geometries (non-power-of-two vectors included), random problem sizes,
+//! and with the sanitizer both off and on.
+//!
+//! The comparison deliberately goes through the full pipeline (parse →
+//! analyze → compile → simulate → writeback) so it also covers the
+//! runtime's mailbox writebacks and gang-partials finalize launches.
+
+use accrt::{AccRunner, HostBuffer};
+use gpsim::{Device, HazardReport, SanitizerLevel, SessionStats, Value};
+use proptest::prelude::*;
+use uhacc_core::{CompilerOptions, LaunchDims};
+
+/// Sum + max reduction over a 1-D array, plus a per-gang array write:
+/// exercises scalar mailbox writeback (multi-writer, highest-block-wins),
+/// cross-block gang partials with a finalize kernel, and plain global
+/// stores, all in one region.
+const SRC_INT: &str = r#"
+    int N; long sum; int hi;
+    int a[N];
+    int out[N];
+    #pragma acc parallel copyin(a) copyout(out)
+    {
+        #pragma acc loop gang worker vector reduction(+:sum) reduction(max:hi)
+        for (int i = 0; i < N; i++) {
+            sum += a[i];
+            hi = max(hi, a[i]);
+            out[i] = a[i] * 2 + i;
+        }
+    }
+"#;
+
+/// Float variant: cross-block combination of `f` partials is
+/// rounding-sensitive, so bitwise equality here proves the commit really
+/// replays in sequential block order.
+const SRC_FLOAT: &str = r#"
+    int N; float f;
+    float a[N];
+    #pragma acc parallel copyin(a)
+    {
+        #pragma acc loop gang worker vector reduction(+:f)
+        for (int i = 0; i < N; i++) {
+            f += a[i];
+        }
+    }
+"#;
+
+/// Everything observable from one run.
+#[derive(Debug, Clone, PartialEq)]
+struct Observed {
+    scalars: Vec<(String, Value)>,
+    out: Option<Vec<Value>>,
+    stats: SessionStats,
+    hazards: Vec<HazardReport>,
+}
+
+fn run_int(n: usize, dims: LaunchDims, host_threads: u32, sanitize: bool, seed: i32) -> Observed {
+    let mut r =
+        AccRunner::with_options(SRC_INT, CompilerOptions::openuh(), dims, Device::default())
+            .expect("compile");
+    r.set_host_threads(host_threads);
+    if sanitize {
+        r.sanitize(SanitizerLevel::Full);
+    }
+    let a: Vec<i32> = (0..n as i32).map(|i| (i * 31 + seed) % 97 - 48).collect();
+    r.bind_int("N", n as i64).unwrap();
+    r.bind_int("sum", 0).unwrap();
+    r.bind_int("hi", i32::MIN as i64).unwrap();
+    r.bind_array("a", HostBuffer::from_i32(&a)).unwrap();
+    r.bind_array("out", HostBuffer::from_i32(&vec![0; n]))
+        .unwrap();
+    r.run().unwrap();
+    Observed {
+        scalars: ["sum", "hi"]
+            .iter()
+            .map(|s| (s.to_string(), r.scalar(s).unwrap()))
+            .collect(),
+        out: Some((0..n).map(|i| r.array("out").unwrap().get(i)).collect()),
+        stats: *r.device().stats(),
+        hazards: r.take_hazards(),
+    }
+}
+
+fn run_float(n: usize, dims: LaunchDims, host_threads: u32, sanitize: bool) -> Observed {
+    let mut r = AccRunner::with_options(
+        SRC_FLOAT,
+        CompilerOptions::openuh(),
+        dims,
+        Device::default(),
+    )
+    .expect("compile");
+    r.set_host_threads(host_threads);
+    if sanitize {
+        r.sanitize(SanitizerLevel::Full);
+    }
+    let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37 + 0.1).sin()).collect();
+    r.bind_int("N", n as i64).unwrap();
+    r.bind_float("f", 0.0).unwrap();
+    let mut buf = HostBuffer::new(accparse::ast::CType::Float, n);
+    for (i, &v) in a.iter().enumerate() {
+        buf.set(i, Value::F32(v as f32));
+    }
+    r.bind_array("a", buf).unwrap();
+    r.run().unwrap();
+    Observed {
+        scalars: vec![("f".to_string(), r.scalar("f").unwrap())],
+        out: None,
+        stats: *r.device().stats(),
+        hazards: r.take_hazards(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Integer pipeline: identical scalars, arrays, stats, and hazard
+    /// reports at 2/3/8 host threads vs sequential, sanitizer off and on.
+    #[test]
+    fn parallel_matches_sequential_int(
+        gangs in 1u32..6,
+        workers in 1u32..4,
+        vector in 1u32..48, // non-pow2 vectors included
+        n in 1usize..3000,
+        seed in 0i32..1000,
+        sanitize in any::<bool>(),
+    ) {
+        let dims = LaunchDims { gangs, workers, vector };
+        let want = run_int(n, dims, 1, sanitize, seed);
+        for threads in [2u32, 3, 8] {
+            let got = run_int(n, dims, threads, sanitize, seed);
+            prop_assert_eq!(&want, &got, "divergence at {} host threads", threads);
+        }
+    }
+
+    /// Float pipeline: cross-block rounding order is preserved bit-exactly.
+    #[test]
+    fn parallel_matches_sequential_float(
+        gangs in 1u32..6,
+        workers in 1u32..3,
+        vector in 1u32..48,
+        n in 1usize..2000,
+        sanitize in any::<bool>(),
+    ) {
+        let dims = LaunchDims { gangs, workers, vector };
+        let want = run_float(n, dims, 1, sanitize);
+        for threads in [2u32, 3, 8] {
+            let got = run_float(n, dims, threads, sanitize);
+            prop_assert_eq!(&want, &got, "divergence at {} host threads", threads);
+        }
+    }
+}

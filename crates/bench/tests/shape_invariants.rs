@@ -19,6 +19,7 @@ fn cfg() -> SuiteConfig {
             workers: 8,
             vector: 128,
         },
+        ..SuiteConfig::default()
     }
 }
 

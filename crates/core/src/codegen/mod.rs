@@ -122,7 +122,8 @@ pub fn compile_region(
                 .clamp(32, 1024)
                 .next_power_of_two()
                 .min(1024);
-            let kernel = reduce::build_finalize_kernel(rr.op, spec.ty, threads, cg.opts);
+            let kernel = reduce::build_finalize_kernel(rr.op, spec.ty, threads, cg.opts)
+                .map_err(|e| Diag::new(e.to_string(), region.span))?;
             finalize.push(crate::plan::FinalizePass {
                 kernel,
                 buffer: i,
@@ -132,7 +133,9 @@ pub fn compile_region(
         }
     }
 
-    let main = cg.b.finish();
+    let main =
+        cg.b.try_finish()
+            .map_err(|e| Diag::new(e.to_string(), region.span))?;
     Ok(CompiledRegion {
         main,
         dims,

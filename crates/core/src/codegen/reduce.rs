@@ -25,7 +25,9 @@ use crate::options::{CombineSpace, CompilerOptions, TreeStyle, VectorLayout, Wor
 use crate::types::{combine_binop, identity, machine_ty};
 use accparse::ast::{CType, Level, RedOp};
 use accparse::diag::Diag;
-use gpsim::{BinOp, CmpOp, Kernel, KernelBuilder, MemRef, Operand, Reg, SpecialReg, Ty, Value};
+use gpsim::{
+    BinOp, CmpOp, Kernel, KernelBuilder, MemRef, Operand, Reg, SimError, SpecialReg, Ty, Value,
+};
 
 /// Where a combine stages its partials.
 #[derive(Clone, Copy)]
@@ -547,12 +549,16 @@ impl<'a> RegionCodegen<'a> {
 /// Build the second-pass kernel that reduces a gang-partials buffer of
 /// `op`/`cty` down to its element 0 using one block of `threads` threads
 /// (power of two). Parameters: `[0]` buffer address, `[1]` element count.
+///
+/// A malformed kernel (e.g. a never-placed label from a broken tree
+/// emitter) surfaces as a build error rather than a panic; the caller
+/// attaches the region's source span.
 pub(crate) fn build_finalize_kernel(
     op: RedOp,
     cty: CType,
     threads: u32,
     opts: &CompilerOptions,
-) -> Kernel {
+) -> Result<Kernel, SimError> {
     debug_assert!(threads.is_power_of_two());
     let ty = machine_ty(cty);
     let esize = ty.size() as u64;
@@ -615,5 +621,5 @@ pub(crate) fn build_finalize_kernel(
     let z64 = b.cvt(Ty::I64, zero);
     b.st_global(ty, MemRef::indexed(buf, z64, esize), r);
     b.place(skip);
-    b.finish()
+    b.try_finish()
 }

@@ -314,39 +314,64 @@ impl KernelBuilder {
         self.emit(Inst::Ret);
     }
 
-    /// Finish the kernel, verifying structural invariants.
-    ///
-    /// # Panics
-    /// Panics if a label was created but never placed, or a branch targets an
-    /// unknown label. These are compiler bugs, not user errors.
-    pub fn finish(mut self) -> Kernel {
+    /// Finish the kernel, verifying structural invariants. A violated
+    /// invariant (a label created but never placed, a branch targeting an
+    /// unknown label) is a compiler bug, surfaced as
+    /// [`SimError::KernelBuild`] so a driver can report it as a per-case
+    /// diagnostic instead of aborting the whole process.
+    pub fn try_finish(mut self) -> Result<Kernel, crate::error::SimError> {
+        let build_err = |name: &str, reason: String| crate::error::SimError::KernelBuild {
+            kernel: name.to_string(),
+            reason,
+        };
         // Implicit ret at the end keeps codegen simpler.
         if !matches!(self.insts.last(), Some(Inst::Ret)) {
             self.insts.push(Inst::Ret);
         }
-        let label_targets: Vec<usize> = self
-            .labels
-            .iter()
-            .enumerate()
-            .map(|(i, t)| t.unwrap_or_else(|| panic!("label L{i} never placed in {}", self.name)))
-            .collect();
-        for (i, inst) in self.insts.iter().enumerate() {
-            if let Inst::Bra { target, .. } = inst {
-                let t = label_targets[target.0 as usize];
-                assert!(
-                    t <= self.insts.len(),
-                    "branch at {i} targets out-of-range label {target}"
-                );
+        let mut label_targets: Vec<usize> = Vec::with_capacity(self.labels.len());
+        for (i, t) in self.labels.iter().enumerate() {
+            match t {
+                Some(t) => label_targets.push(*t),
+                None => {
+                    return Err(build_err(
+                        &self.name,
+                        format!("label L{i} never placed in {}", self.name),
+                    ))
+                }
             }
         }
-        Kernel {
+        for (i, inst) in self.insts.iter().enumerate() {
+            if let Inst::Bra { target, .. } = inst {
+                let t = label_targets
+                    .get(target.0 as usize)
+                    .copied()
+                    .unwrap_or(usize::MAX);
+                if t > self.insts.len() {
+                    return Err(build_err(
+                        &self.name,
+                        format!("branch at {i} targets out-of-range label {target}"),
+                    ));
+                }
+            }
+        }
+        Ok(Kernel {
             name: self.name,
             insts: self.insts,
             label_targets,
             num_regs: self.next_reg,
             shared_bytes: self.shared_bytes,
             num_params: self.num_params,
-        }
+        })
+    }
+
+    /// [`KernelBuilder::try_finish`], panicking on structural bugs — the
+    /// convenient form for tests and hand-built kernels.
+    ///
+    /// # Panics
+    /// Panics if a label was created but never placed, or a branch targets an
+    /// unknown label.
+    pub fn finish(self) -> Kernel {
+        self.try_finish().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -400,6 +425,34 @@ mod tests {
         let l = b.new_label();
         b.bra(l);
         let _ = b.finish();
+    }
+
+    /// Regression: `try_finish` turns the structural panic into a
+    /// [`SimError::KernelBuild`] a driver can report per-case.
+    #[test]
+    fn unplaced_label_is_a_build_error() {
+        let mut b = KernelBuilder::new("broken");
+        let l = b.new_label();
+        b.bra(l);
+        let err = b.try_finish().unwrap_err();
+        match &err {
+            crate::error::SimError::KernelBuild { kernel, reason } => {
+                assert_eq!(kernel, "broken");
+                assert!(reason.contains("never placed"), "{reason}");
+            }
+            other => panic!("expected KernelBuild, got {other:?}"),
+        }
+        assert!(err.to_string().contains("broken"));
+    }
+
+    #[test]
+    fn try_finish_ok_matches_finish() {
+        let mut b = KernelBuilder::new("k");
+        let top = b.new_label();
+        b.place(top);
+        b.ret();
+        let k = b.try_finish().unwrap();
+        assert_eq!(k.target(Label(0)), 0);
     }
 
     #[test]

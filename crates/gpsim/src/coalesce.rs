@@ -13,6 +13,9 @@ use std::collections::HashSet;
 ///
 /// `accesses` holds `(byte_address, access_size)` per active lane.
 pub fn global_transactions(accesses: &[(u64, usize)], segment_bytes: u64) -> u64 {
+    // A non-power-of-two segment size is rejected up front by
+    // `DeviceConfig::validate` (at device construction and on every
+    // launch); the assert documents the invariant for direct callers.
     debug_assert!(segment_bytes.is_power_of_two());
     let mut segments: HashSet<u64> = HashSet::with_capacity(accesses.len());
     for &(addr, len) in accesses {

@@ -33,6 +33,13 @@ pub struct DeviceConfig {
     pub global_mem_bytes: u64,
     /// Core clock in Hz (used to convert cycles to seconds). K20c: 706 MHz.
     pub clock_hz: f64,
+    /// Host worker threads executing independent thread blocks in parallel
+    /// (a *simulator* knob, not a modelled-device property — modelled
+    /// cycles are bit-identical at any setting). `0` resolves to the
+    /// `UHACC_HOST_THREADS` environment variable if set, else to
+    /// [`std::thread::available_parallelism`]; `1` forces the sequential
+    /// path.
+    pub host_threads: u32,
 }
 
 impl Default for DeviceConfig {
@@ -47,6 +54,7 @@ impl Default for DeviceConfig {
             segment_bytes: 128,
             global_mem_bytes: 1 << 30,
             clock_hz: 706e6,
+            host_threads: 0,
         }
     }
 }
@@ -59,6 +67,51 @@ impl DeviceConfig {
             global_mem_bytes: 1 << 24,
             ..Default::default()
         }
+    }
+
+    /// Structural validation. In release builds a malformed config (most
+    /// importantly a non-power-of-two coalescing segment) would silently
+    /// skew the cost model — [`crate::coalesce::global_transactions`] only
+    /// `debug_assert!`s it — so this is enforced here, both at
+    /// [`crate::Device::try_new`] and again on every launch.
+    pub fn validate(&self) -> Result<(), crate::error::SimError> {
+        let bad = |reason: String| Err(crate::error::SimError::InvalidConfig { reason });
+        if self.num_sms == 0 {
+            return bad("num_sms must be nonzero".into());
+        }
+        if self.warp_size == 0 {
+            return bad("warp_size must be nonzero".into());
+        }
+        if self.max_threads_per_block == 0 {
+            return bad("max_threads_per_block must be nonzero".into());
+        }
+        if self.shared_banks == 0 {
+            return bad("shared_banks must be nonzero".into());
+        }
+        if self.segment_bytes == 0 || !self.segment_bytes.is_power_of_two() {
+            return bad(format!(
+                "segment_bytes must be a nonzero power of two (got {})",
+                self.segment_bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// The effective host worker thread count: an explicit nonzero
+    /// `host_threads` wins, then a nonzero `UHACC_HOST_THREADS` environment
+    /// variable, then the machine's available parallelism.
+    pub fn resolved_host_threads(&self) -> usize {
+        if self.host_threads != 0 {
+            return self.host_threads as usize;
+        }
+        if let Ok(s) = std::env::var("UHACC_HOST_THREADS") {
+            if let Ok(n) = s.trim().parse::<u32>() {
+                if n != 0 {
+                    return n as usize;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
     }
 }
 
@@ -148,6 +201,44 @@ mod tests {
         assert_eq!(c.max_threads_per_block, 1024);
         assert_eq!(c.shared_mem_per_block, 48 * 1024);
         assert_eq!(c.segment_bytes, 128);
+    }
+
+    /// Regression: a non-power-of-two coalescing segment is a config error,
+    /// not a silent release-mode miscount.
+    #[test]
+    fn validate_rejects_bad_segment_bytes() {
+        assert!(DeviceConfig::default().validate().is_ok());
+        assert!(DeviceConfig::test_small().validate().is_ok());
+        for bad in [0u64, 96, 100, 129] {
+            let c = DeviceConfig {
+                segment_bytes: bad,
+                ..Default::default()
+            };
+            assert!(
+                matches!(
+                    c.validate(),
+                    Err(crate::error::SimError::InvalidConfig { .. })
+                ),
+                "segment_bytes = {bad} accepted"
+            );
+        }
+        let c = DeviceConfig {
+            num_sms: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn host_threads_resolution() {
+        // Explicit nonzero wins over everything.
+        let c = DeviceConfig {
+            host_threads: 3,
+            ..Default::default()
+        };
+        assert_eq!(c.resolved_host_threads(), 3);
+        // Auto resolves to something sane (>= 1).
+        assert!(DeviceConfig::default().resolved_host_threads() >= 1);
     }
 
     #[test]

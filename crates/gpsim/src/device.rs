@@ -31,16 +31,34 @@ impl Default for Device {
 
 impl Device {
     /// Create a device with the given configuration and cost model.
+    ///
+    /// Panics on a malformed configuration; use [`Device::try_new`] to get
+    /// the error instead.
     pub fn new(config: DeviceConfig, cost: CostModel) -> Self {
+        Device::try_new(config, cost).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Create a device, validating the configuration (see
+    /// [`DeviceConfig::validate`]) instead of deferring the failure to the
+    /// first launch.
+    pub fn try_new(config: DeviceConfig, cost: CostModel) -> Result<Self, SimError> {
+        config.validate()?;
         let global = GlobalMemory::new(config.global_mem_bytes);
-        Device {
+        Ok(Device {
             config,
             cost,
             global,
             stats: SessionStats::default(),
             sanitizer: SanitizerConfig::default(),
             hazards: Vec::new(),
-        }
+        })
+    }
+
+    /// Set the number of host worker threads for subsequent launches
+    /// (0 = auto; see [`DeviceConfig::host_threads`]). Results are
+    /// bit-identical at any setting.
+    pub fn set_host_threads(&mut self, n: u32) {
+        self.config.host_threads = n;
     }
 
     /// Set the sanitizer configuration for subsequent launches (see
@@ -299,6 +317,17 @@ mod tests {
             vals,
             vec![Value::F64(1.0), Value::F64(2.0), Value::F64(3.0)]
         );
+    }
+
+    #[test]
+    fn try_new_rejects_bad_config() {
+        let bad = DeviceConfig {
+            segment_bytes: 100,
+            ..DeviceConfig::test_small()
+        };
+        let err = Device::try_new(bad, CostModel::default()).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }), "got {err:?}");
+        assert!(err.to_string().contains("segment_bytes"));
     }
 
     #[test]

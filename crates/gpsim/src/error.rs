@@ -43,6 +43,16 @@ pub enum SimError {
     TypeError { context: String },
     /// Wrong number of launch parameters.
     BadParams { expected: u32, got: u32 },
+    /// The device configuration itself is malformed (e.g. a coalescing
+    /// segment size that is not a power of two). Caught at device
+    /// construction and re-checked at launch, so a bad cost-model config
+    /// cannot silently skew transaction counts in release builds.
+    InvalidConfig { reason: String },
+    /// A kernel failed structural verification when finishing its build
+    /// (label never placed, branch out of range). These are compiler bugs;
+    /// [`crate::KernelBuilder::try_finish`] surfaces them as errors so a
+    /// driver can report a per-case diagnostic instead of aborting.
+    KernelBuild { kernel: String, reason: String },
 }
 
 impl fmt::Display for SimError {
@@ -95,6 +105,12 @@ impl fmt::Display for SimError {
                     f,
                     "kernel expects {expected} parameters, launch passed {got}"
                 )
+            }
+            SimError::InvalidConfig { reason } => {
+                write!(f, "invalid device configuration: {reason}")
+            }
+            SimError::KernelBuild { kernel, reason } => {
+                write!(f, "kernel build error in `{kernel}`: {reason}")
             }
         }
     }

@@ -20,13 +20,49 @@
 //! - A barrier releases when every non-exited thread of the block has
 //!   arrived; if all warps block and the barrier cannot fill, the launch
 //!   fails with [`SimError::BarrierDeadlock`].
+//!
+//! # Parallel block execution
+//!
+//! Blocks may execute on multiple host worker threads
+//! ([`DeviceConfig::host_threads`], `UHACC_HOST_THREADS`), with a hard
+//! guarantee: **every observable output — memory contents, results,
+//! [`LaunchStats`], modelled cycles, traces, hazard reports, and errors —
+//! is bit-identical to the sequential executor at any thread count.**
+//!
+//! The scheme: each block runs against a frozen snapshot of global memory
+//! through a copy-on-write [`BlockOverlay`] that buffers its writes,
+//! defers its atomics into a log, and records which pages it read. When
+//! all blocks finish, a serial committer folds the overlays back **in
+//! linear block-id order** — dirty bytes first, then the atomic log (so
+//! cross-block atomic combination, including floating point where order
+//! changes the bits, happens in exactly the sequential order). Traces and
+//! sanitizer logs are captured per block and merged in the same order.
+//!
+//! Programs whose blocks genuinely communicate can't be replayed this way
+//! bit-identically, so the executor detects them and falls back to the
+//! sequential path before any state is mutated:
+//! - statically, a kernel using value-returning atomics (`dst`) never
+//!   takes the parallel path (the returned "old" value depends on
+//!   inter-block order);
+//! - dynamically, a block mixing plain and atomic accesses to one address
+//!   aborts the parallel attempt;
+//! - at commit, a block that read any page an earlier block wrote aborts
+//!   the commit (conservative, page-granular read/write overlap check).
+//!
+//! The fallback re-runs the whole launch sequentially on the untouched
+//! base memory, so fallbacks cost time but never change results. Errors
+//! are deterministic too: the committed prefix is exactly blocks `0..=k`
+//! where `k` is the lowest block id that failed, and `k`'s error is the
+//! one returned — the same partial state a sequential run leaves behind.
 
 use crate::coalesce::{bank_conflict_degree, global_transactions};
 use crate::cost::{CostModel, DeviceConfig};
 use crate::error::SimError;
 use crate::ir::{AtomOp, BinOp, CmpOp, Inst, Kernel, MemRef, Operand, SpecialReg, UnOp};
-use crate::memory::{GlobalMemory, SharedMemory};
-use crate::sanitizer::{AccessKind, LaunchSanitizer};
+use crate::memory::{
+    AccessAbort, AddrSet, AtomicLogEntry, BlockOverlay, GlobalMemory, OverlayData, SharedMemory,
+};
+use crate::sanitizer::{AccessKind, BlockSanitizer, LaunchSanitizer, SanitizerConfig};
 use crate::stats::LaunchStats;
 use crate::trace::{MemTouch, Trace, TraceEvent, TraceSpace};
 use crate::types::{Ty, Value};
@@ -73,6 +109,12 @@ impl LaunchConfig {
         self.threads_per_block().div_ceil(warp_size)
     }
 
+    /// Block coordinates of linear block id `id` (the sequential executor
+    /// iterates `by` outer, `bx` inner, so linear id is `by * grid.0 + bx`).
+    fn block_coords(&self, id: usize) -> (u32, u32) {
+        ((id as u32) % self.grid.0, (id as u32) / self.grid.0)
+    }
+
     /// Validate against device limits.
     pub fn validate(&self, dev: &DeviceConfig) -> Result<(), SimError> {
         if self.threads_per_block() == 0 || self.num_blocks() == 0 {
@@ -107,8 +149,82 @@ impl Thread {
     }
 }
 
-/// Executes one block; owns the block's threads and shared memory.
-struct BlockExec<'a> {
+/// A block's view of global memory: direct (sequential executor, mutating
+/// the real memory in place) or buffered through a copy-on-write overlay
+/// (parallel executor; committed later in block-id order).
+enum MemView<'g> {
+    Direct(&'g mut GlobalMemory),
+    Overlay(BlockOverlay<'g>),
+}
+
+impl MemView<'_> {
+    fn read(&mut self, ty: Ty, addr: u64) -> Result<Value, AccessAbort> {
+        match self {
+            MemView::Direct(g) => Ok(g.read(ty, addr)?),
+            MemView::Overlay(o) => o.read(ty, addr),
+        }
+    }
+
+    fn write(&mut self, addr: u64, v: Value) -> Result<(), AccessAbort> {
+        match self {
+            MemView::Direct(g) => Ok(g.write(addr, v)?),
+            MemView::Overlay(o) => o.write(addr, v),
+        }
+    }
+
+    /// Perform (direct) or defer (overlay) one lane's atomic; `v` is
+    /// already converted to `ty`. Returns the old value when it is
+    /// immediately known, i.e. on the direct path only.
+    fn atom(
+        &mut self,
+        op: AtomOp,
+        ty: Ty,
+        addr: u64,
+        v: Value,
+    ) -> Result<Option<Value>, AccessAbort> {
+        match self {
+            MemView::Direct(g) => {
+                let old = g.read(ty, addr)?;
+                let new = apply_atom(op, ty, old, v)?;
+                g.write(addr, new)?;
+                Ok(Some(old))
+            }
+            MemView::Overlay(o) => {
+                // Same error precedence as the direct path: bounds first
+                // (the `read`), then operation validity (the `eval_bin`).
+                // AtomOp has no Div/Rem, so validity depends only on
+                // (op, ty) — a dry run against `v` itself surfaces the
+                // identical TypeError the deferred replay would hit.
+                o.check(addr, ty.size())?;
+                apply_atom(op, ty, v, v)?;
+                o.log_atomic(AtomicLogEntry {
+                    op,
+                    ty,
+                    addr,
+                    val: v,
+                })?;
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// Combine one atomic operation; `old` and `v` are already at type `ty`.
+fn apply_atom(op: AtomOp, ty: Ty, old: Value, v: Value) -> Result<Value, SimError> {
+    Ok(match op {
+        AtomOp::Add => eval_bin(BinOp::Add, ty, old, v)?,
+        AtomOp::Min => eval_bin(BinOp::Min, ty, old, v)?,
+        AtomOp::Max => eval_bin(BinOp::Max, ty, old, v)?,
+        AtomOp::And => eval_bin(BinOp::And, ty, old, v)?,
+        AtomOp::Or => eval_bin(BinOp::Or, ty, old, v)?,
+        AtomOp::Xor => eval_bin(BinOp::Xor, ty, old, v)?,
+        AtomOp::Exch => v,
+    })
+}
+
+/// Executes one block; owns the block's threads, shared memory, memory
+/// view, and (when enabled) its trace buffer and sanitizer shadow.
+struct BlockExec<'a, 'g> {
     kernel: &'a Kernel,
     params: &'a [Value],
     threads: Vec<Thread>,
@@ -121,17 +237,12 @@ struct BlockExec<'a> {
     cycles_raw: u64,
     // scratch buffers reused across warp steps
     scratch_addr: Vec<(u64, usize)>,
-    trace: Option<&'a mut Trace>,
-    san: Option<&'a mut LaunchSanitizer>,
+    view: MemView<'g>,
+    trace: Option<Trace>,
+    san: Option<BlockSanitizer>,
 }
 
-/// Result of executing one block.
-struct BlockResult {
-    stats: LaunchStats,
-    cycles: u64,
-}
-
-impl<'a> BlockExec<'a> {
+impl<'a, 'g> BlockExec<'a, 'g> {
     fn new(
         kernel: &'a Kernel,
         params: &'a [Value],
@@ -139,6 +250,7 @@ impl<'a> BlockExec<'a> {
         cfg: LaunchConfig,
         dev: &'a DeviceConfig,
         cost: &'a CostModel,
+        view: MemView<'g>,
     ) -> Self {
         let n = cfg.threads_per_block() as usize;
         let threads = (0..n)
@@ -161,6 +273,7 @@ impl<'a> BlockExec<'a> {
             stats: LaunchStats::default(),
             cycles_raw: 0,
             scratch_addr: Vec::with_capacity(32),
+            view,
             trace: None,
             san: None,
         }
@@ -224,11 +337,11 @@ impl<'a> BlockExec<'a> {
                 .map(|&(a, s)| a + s as u64)
                 .max()
                 .unwrap_or(0);
-            if let Some(t) = self.trace.as_deref_mut() {
+            if let Some(t) = self.trace.as_mut() {
                 t.annotate_mem(MemTouch { space, lo, hi });
             }
         }
-        if let Some(s) = self.san.as_deref_mut() {
+        if let Some(s) = self.san.as_mut() {
             for (i, &l) in mask.iter().enumerate() {
                 let (a, sz) = self.scratch_addr[i];
                 match space {
@@ -241,8 +354,9 @@ impl<'a> BlockExec<'a> {
         }
     }
 
-    /// Run the block to completion.
-    fn run(mut self, global: &mut GlobalMemory) -> Result<BlockResult, SimError> {
+    /// Run the block to completion. On success, `stats.cycles` holds the
+    /// block's modelled cycle count.
+    fn run(&mut self) -> Result<(), AccessAbort> {
         let warp = self.dev.warp_size as usize;
         let n = self.threads.len();
         let num_warps = n.div_ceil(warp);
@@ -263,13 +377,14 @@ impl<'a> BlockExec<'a> {
                     if min_pc == usize::MAX {
                         break; // warp fully blocked or exited
                     }
-                    self.step(global, lo, hi, min_pc)?;
+                    self.step(lo, hi, min_pc)?;
                     if self.cost.watchdog_warp_insts > 0
                         && self.stats.warp_insts > self.cost.watchdog_warp_insts
                     {
                         return Err(SimError::Watchdog {
                             executed_insts: self.stats.warp_insts,
-                        });
+                        }
+                        .into());
                     }
                 }
             }
@@ -289,7 +404,7 @@ impl<'a> BlockExec<'a> {
                         None => site = Some(t.pc),
                         Some(p) if p != t.pc => {
                             let (pc_a, pc_b) = (p - 1, t.pc - 1);
-                            if let Some(s) = self.san.as_deref_mut() {
+                            if let Some(s) = self.san.as_mut() {
                                 let mut per_site: Vec<(usize, usize)> = Vec::new();
                                 for th in self.threads.iter().filter(|t| t.at_barrier) {
                                     match per_site.iter_mut().find(|(pc, _)| *pc == th.pc) {
@@ -302,13 +417,14 @@ impl<'a> BlockExec<'a> {
                                     .map(|(pc, n)| format!("{n} thread(s) at pc {}", pc - 1))
                                     .collect::<Vec<_>>()
                                     .join(", ");
-                                s.sync_divergence(self.block_idx, pc_a, pc_b, detail);
+                                s.sync_divergence(pc_a, pc_b, detail);
                             }
                             return Err(SimError::BarrierDivergence {
                                 block: self.block_idx,
                                 pc_a,
                                 pc_b,
-                            });
+                            }
+                            .into());
                         }
                         _ => {}
                     }
@@ -316,11 +432,11 @@ impl<'a> BlockExec<'a> {
                 for t in &mut self.threads {
                     t.at_barrier = false;
                 }
-                if let Some(s) = self.san.as_deref_mut() {
+                if let Some(s) = self.san.as_mut() {
                     s.barrier_release();
                 }
             } else {
-                if let Some(s) = self.san.as_deref_mut() {
+                if let Some(s) = self.san.as_mut() {
                     let waiting: Vec<String> = self
                         .threads
                         .iter()
@@ -329,39 +445,25 @@ impl<'a> BlockExec<'a> {
                         .take(8)
                         .map(|(i, t)| format!("t{i}@pc {}", t.pc - 1))
                         .collect();
-                    s.sync_deadlock(
-                        self.block_idx,
-                        arrived,
-                        alive,
-                        format!("waiting: {}", waiting.join(", ")),
-                    );
+                    s.sync_deadlock(arrived, alive, format!("waiting: {}", waiting.join(", ")));
                 }
                 return Err(SimError::BarrierDeadlock {
                     block: self.block_idx,
                     arrived,
                     expected: alive,
-                });
+                }
+                .into());
             }
         }
         self.stats.blocks = 1;
         let overlap = self.cost.overlap(num_warps as u32);
-        let cycles = (self.cycles_raw as f64 / overlap).ceil() as u64;
-        self.stats.cycles = cycles;
-        Ok(BlockResult {
-            stats: self.stats,
-            cycles,
-        })
+        self.stats.cycles = (self.cycles_raw as f64 / overlap).ceil() as u64;
+        Ok(())
     }
 
     /// Execute one warp-instruction: the instruction at `pc` for every lane
     /// in `[lo, hi)` whose PC equals `pc`.
-    fn step(
-        &mut self,
-        global: &mut GlobalMemory,
-        lo: usize,
-        hi: usize,
-        pc: usize,
-    ) -> Result<(), SimError> {
+    fn step(&mut self, lo: usize, hi: usize, pc: usize) -> Result<(), AccessAbort> {
         debug_assert!(
             pc < self.kernel.insts.len(),
             "pc fell off the end of the kernel"
@@ -379,7 +481,7 @@ impl<'a> BlockExec<'a> {
         let warp_id = (lo / self.dev.warp_size as usize) as u32;
         // True when this step's event made it into the bounded trace buffer
         // (memory arms annotate it with the touched address range).
-        let recorded = match self.trace.as_deref_mut() {
+        let recorded = match self.trace.as_mut() {
             Some(t) => t.record(TraceEvent {
                 block: self.block_idx,
                 warp: warp_id,
@@ -482,7 +584,7 @@ impl<'a> BlockExec<'a> {
                 self.stats.global_transactions += tx;
                 cyc += tx * self.cost.global_segment;
                 for (i, &l) in mask.iter().enumerate() {
-                    let v = global.read(*ty, self.scratch_addr[i].0)?;
+                    let v = self.view.read(*ty, self.scratch_addr[i].0)?;
                     self.threads[l].regs[dst.0 as usize] = v;
                 }
                 self.observe_mem(
@@ -506,7 +608,7 @@ impl<'a> BlockExec<'a> {
                 cyc += tx * self.cost.global_segment;
                 for (i, &l) in mask.iter().enumerate() {
                     let v = self.operand(l, *src).convert(*ty);
-                    global.write(self.scratch_addr[i].0, v)?;
+                    self.view.write(self.scratch_addr[i].0, v)?;
                 }
                 self.observe_mem(
                     TraceSpace::Global,
@@ -586,23 +688,20 @@ impl<'a> BlockExec<'a> {
                     AccessKind::Atomic,
                     recorded,
                 );
+                if dst.is_some() && matches!(self.view, MemView::Overlay(_)) {
+                    // The launch prescan routes kernels with value-returning
+                    // atomics to the sequential path; this is the dynamic
+                    // backstop (e.g. for unreachable-at-prescan paths).
+                    return Err(AccessAbort::NeedsSequential("atomic with a result operand"));
+                }
                 // Atomics serialize lane by lane.
                 for (i, &l) in mask.iter().enumerate() {
                     let addr = self.scratch_addr[i].0;
-                    let old = global.read(*ty, addr)?;
                     let v = self.operand(l, *src).convert(*ty);
-                    let new = match op {
-                        AtomOp::Add => eval_bin(BinOp::Add, *ty, old, v)?,
-                        AtomOp::Min => eval_bin(BinOp::Min, *ty, old, v)?,
-                        AtomOp::Max => eval_bin(BinOp::Max, *ty, old, v)?,
-                        AtomOp::And => eval_bin(BinOp::And, *ty, old, v)?,
-                        AtomOp::Or => eval_bin(BinOp::Or, *ty, old, v)?,
-                        AtomOp::Xor => eval_bin(BinOp::Xor, *ty, old, v)?,
-                        AtomOp::Exch => v,
-                    };
-                    global.write(addr, new)?;
-                    if let Some(d) = dst {
-                        self.threads[l].regs[d.0 as usize] = old;
+                    if let Some(old) = self.view.atom(*op, *ty, addr, v)? {
+                        if let Some(d) = dst {
+                            self.threads[l].regs[d.0 as usize] = old;
+                        }
                     }
                 }
                 self.stats.global_transactions += mask.len() as u64;
@@ -793,10 +892,12 @@ pub fn eval_un(op: UnOp, ty: Ty, a: Value) -> Result<Value, SimError> {
 
 /// Execute `kernel` over the whole grid, returning aggregate stats.
 ///
-/// Blocks run sequentially (deterministic), but timing models them
-/// distributed round-robin across the device's SMs: the launch's modelled
-/// cycle count is `max over SMs of (sum of that SM's block cycles)` plus
-/// the fixed launch overhead.
+/// Blocks execute on up to [`DeviceConfig::host_threads`] host worker
+/// threads when they are independent, and sequentially otherwise — the
+/// results are bit-identical either way (see the module docs). Timing
+/// models blocks distributed round-robin across the device's SMs: the
+/// launch's modelled cycle count is `max over SMs of (sum of that SM's
+/// block cycles)` plus the fixed launch overhead, at any thread count.
 pub fn run_kernel(
     kernel: &Kernel,
     cfg: LaunchConfig,
@@ -822,6 +923,17 @@ pub fn run_kernel_traced(
     run_kernel_instrumented(kernel, cfg, params, global, dev, cost, trace, None)
 }
 
+/// Does the kernel use value-returning global atomics? Their "old value"
+/// result observes the inter-block commit order mid-block, which the
+/// deferred-replay scheme cannot reproduce — such kernels always run
+/// sequentially.
+fn kernel_returns_atomics(kernel: &Kernel) -> bool {
+    kernel
+        .insts
+        .iter()
+        .any(|i| matches!(i, Inst::AtomGlobal { dst: Some(_), .. }))
+}
+
 /// The full-fat entry point: [`run_kernel`] with an optional bounded trace
 /// and an optional hazard sanitizer observing every memory access and
 /// barrier (see [`crate::sanitizer`]).
@@ -837,6 +949,7 @@ pub fn run_kernel_instrumented(
     mut san: Option<&mut LaunchSanitizer>,
 ) -> Result<LaunchStats, SimError> {
     cfg.validate(dev)?;
+    dev.validate()?;
     if kernel.shared_bytes > dev.shared_mem_per_block {
         return Err(SimError::SharedMemExceeded {
             requested: kernel.shared_bytes,
@@ -849,28 +962,300 @@ pub fn run_kernel_instrumented(
             got: params.len() as u32,
         });
     }
+    let host_threads = dev.resolved_host_threads();
+    if host_threads >= 2 && cfg.num_blocks() >= 2 && !kernel_returns_atomics(kernel) {
+        if let Some(stats) = run_parallel(
+            kernel,
+            cfg,
+            params,
+            global,
+            dev,
+            cost,
+            host_threads,
+            trace.as_deref_mut(),
+            san.as_deref_mut(),
+        )? {
+            return Ok(stats);
+        }
+        // Fallback: the parallel attempt detected inter-block communication
+        // and aborted without mutating anything; replay sequentially.
+    }
+    run_sequential(kernel, cfg, params, global, dev, cost, trace, san)
+}
+
+/// The sequential executor: blocks in linear block-id order, each mutating
+/// global memory directly. Per-block traces and sanitizer shadows are
+/// merged immediately after each block — the same merge the parallel
+/// committer performs, so both paths produce identical streams by
+/// construction.
+#[allow(clippy::too_many_arguments)]
+fn run_sequential(
+    kernel: &Kernel,
+    cfg: LaunchConfig,
+    params: &[Value],
+    global: &mut GlobalMemory,
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    mut trace: Option<&mut Trace>,
+    mut san: Option<&mut LaunchSanitizer>,
+) -> Result<LaunchStats, SimError> {
     let mut totals = LaunchStats::default();
     let mut sm_cycles = vec![0u64; dev.num_sms as usize];
-    let mut block_linear = 0usize;
-    for by in 0..cfg.grid.1 {
-        for bx in 0..cfg.grid.0 {
-            let mut exec = BlockExec::new(kernel, params, (bx, by), cfg, dev, cost);
-            if let Some(t) = trace.as_deref_mut() {
-                exec.trace = Some(t);
+    for id in 0..cfg.num_blocks() as usize {
+        let block_idx = cfg.block_coords(id);
+        let mut exec = BlockExec::new(
+            kernel,
+            params,
+            block_idx,
+            cfg,
+            dev,
+            cost,
+            MemView::Direct(&mut *global),
+        );
+        if let Some(t) = trace.as_deref() {
+            exec.trace = Some(Trace::with_limit(t.limit()));
+        }
+        if let Some(s) = san.as_deref() {
+            exec.san = Some(BlockSanitizer::new(
+                s.config().clone(),
+                block_idx,
+                kernel.shared_bytes,
+            ));
+        }
+        let result = exec.run();
+        // Merge the block's observations before error propagation: a
+        // failing block's trace events and hazard reports survive, exactly
+        // like its direct memory writes.
+        if let (Some(dst), Some(t)) = (trace.as_deref_mut(), exec.trace.take()) {
+            dst.merge_from(t);
+        }
+        if let (Some(dst), Some(b)) = (san.as_deref_mut(), exec.san.take()) {
+            dst.merge_block(b);
+        }
+        match result {
+            Ok(()) => {
+                let cycles = exec.stats.cycles;
+                totals += exec.stats;
+                sm_cycles[id % dev.num_sms as usize] += cycles;
             }
-            if let Some(s) = san.as_deref_mut() {
-                s.begin_block((bx, by), kernel.shared_bytes);
-                exec.san = Some(s);
+            Err(AccessAbort::Sim(e)) => return Err(e),
+            Err(AccessAbort::NeedsSequential(why)) => {
+                unreachable!("direct-view execution cannot request a fallback ({why})")
             }
-            let res = exec.run(global)?;
-            let cycles = res.cycles;
-            totals += res.stats;
-            sm_cycles[block_linear % dev.num_sms as usize] += cycles;
-            block_linear += 1;
         }
     }
     totals.cycles = sm_cycles.iter().copied().max().unwrap_or(0) + cost.launch_overhead;
     Ok(totals)
+}
+
+/// Outcome of one block's isolated (overlay) execution.
+struct BlockOutcome {
+    result: Result<(), SimError>,
+    stats: LaunchStats,
+    overlay: OverlayData,
+    trace: Option<Trace>,
+    san: Option<BlockSanitizer>,
+}
+
+/// Run one block against the frozen base through a copy-on-write overlay.
+/// Returns `None` when the block's access pattern requires the sequential
+/// path.
+#[allow(clippy::too_many_arguments)]
+fn run_block_overlay(
+    kernel: &Kernel,
+    cfg: LaunchConfig,
+    params: &[Value],
+    base: &GlobalMemory,
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    block_idx: (u32, u32),
+    trace_limit: Option<usize>,
+    san_cfg: Option<&SanitizerConfig>,
+) -> Option<BlockOutcome> {
+    let mut exec = BlockExec::new(
+        kernel,
+        params,
+        block_idx,
+        cfg,
+        dev,
+        cost,
+        MemView::Overlay(BlockOverlay::new(base)),
+    );
+    exec.trace = trace_limit.map(Trace::with_limit);
+    exec.san = san_cfg.map(|c| BlockSanitizer::new(c.clone(), block_idx, kernel.shared_bytes));
+    let result = match exec.run() {
+        Ok(()) => Ok(()),
+        Err(AccessAbort::Sim(e)) => Err(e),
+        Err(AccessAbort::NeedsSequential(_)) => return None,
+    };
+    let BlockExec {
+        stats,
+        view,
+        trace,
+        san,
+        ..
+    } = exec;
+    let overlay = match view {
+        MemView::Overlay(o) => o.into_data(),
+        MemView::Direct(_) => unreachable!(),
+    };
+    Some(BlockOutcome {
+        result,
+        stats,
+        overlay,
+        trace,
+        san,
+    })
+}
+
+/// The parallel executor: a worker pool claims blocks by linear id, runs
+/// each against a frozen snapshot of global memory, and a serial commit
+/// folds the outcomes back in linear block-id order (see module docs).
+///
+/// Returns `Ok(None)` when the launch needs the sequential path; in that
+/// case *nothing* has been mutated. Returns `Err` with exactly the
+/// sequential executor's error and partial state otherwise.
+#[allow(clippy::too_many_arguments)]
+fn run_parallel(
+    kernel: &Kernel,
+    cfg: LaunchConfig,
+    params: &[Value],
+    global: &mut GlobalMemory,
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    host_threads: usize,
+    mut trace: Option<&mut Trace>,
+    mut san: Option<&mut LaunchSanitizer>,
+) -> Result<Option<LaunchStats>, SimError> {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    let num_blocks = cfg.num_blocks() as usize;
+    let num_workers = host_threads.min(num_blocks);
+    let trace_limit = trace.as_deref().map(|t| t.limit());
+    let san_cfg = san.as_deref().map(|s| s.config().clone());
+
+    // Work distribution: workers claim linear block ids from a shared
+    // counter. `min_err` tracks the lowest failing block id so far —
+    // blocks above it cannot affect the outcome (the sequential executor
+    // would never have run them), so claims above it are skipped. Since
+    // `min_err` only decreases, every skipped id stays above the final
+    // minimum and the committed prefix `0..=k` is always fully populated.
+    let next = AtomicUsize::new(0);
+    let min_err = AtomicUsize::new(usize::MAX);
+    let needs_seq = AtomicBool::new(false);
+    let base: &GlobalMemory = global;
+
+    let worker_outputs: Vec<Vec<(usize, BlockOutcome)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..num_workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out: Vec<(usize, BlockOutcome)> = Vec::new();
+                    loop {
+                        let id = next.fetch_add(1, Ordering::Relaxed);
+                        if id >= num_blocks || needs_seq.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if id > min_err.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        match run_block_overlay(
+                            kernel,
+                            cfg,
+                            params,
+                            base,
+                            dev,
+                            cost,
+                            cfg.block_coords(id),
+                            trace_limit,
+                            san_cfg.as_ref(),
+                        ) {
+                            None => {
+                                needs_seq.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            Some(outcome) => {
+                                if outcome.result.is_err() {
+                                    min_err.fetch_min(id, Ordering::Relaxed);
+                                }
+                                out.push((id, outcome));
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("block worker panicked"))
+            .collect()
+    });
+
+    if needs_seq.load(Ordering::Relaxed) {
+        return Ok(None);
+    }
+    let mut slots: Vec<Option<BlockOutcome>> = (0..num_blocks).map(|_| None).collect();
+    for (id, outcome) in worker_outputs.into_iter().flatten() {
+        slots[id] = Some(outcome);
+    }
+    // Only blocks up to the first error are observable; later ones are
+    // discarded exactly as the sequential executor never runs them.
+    let first_err = min_err.load(Ordering::Relaxed);
+    let last = first_err.min(num_blocks - 1);
+
+    // Divergence check: if any committed block read a page an earlier
+    // block writes, its overlay run observed pre-launch state where the
+    // sequential run would have observed the earlier block's output.
+    // Conservative (page-granular, read-vs-write only) but cheap.
+    let mut cum_writes = AddrSet::default();
+    for slot in slots.iter().take(last + 1) {
+        let o = slot
+            .as_ref()
+            .expect("every block up to the first error was executed");
+        if o.overlay.reads_overlap(&cum_writes) {
+            return Ok(None);
+        }
+        cum_writes.extend(o.overlay.write_pages());
+    }
+
+    // Serial commit in linear block-id order.
+    let mut totals = LaunchStats::default();
+    let mut sm_cycles = vec![0u64; dev.num_sms as usize];
+    for (id, slot) in slots.iter_mut().enumerate().take(last + 1) {
+        let o = slot.take().expect("checked above");
+        for (&page, p) in &o.overlay.pages {
+            global.apply_overlay_page(page, p);
+        }
+        for e in &o.overlay.atomics {
+            let old = global
+                .read(e.ty, e.addr)
+                .expect("atomic target was bounds-checked at log time");
+            let new =
+                apply_atom(e.op, e.ty, old, e.val).expect("atomic op was validated at log time");
+            global
+                .write(e.addr, new)
+                .expect("atomic target was bounds-checked at log time");
+        }
+        if let (Some(dst), Some(t)) = (trace.as_deref_mut(), o.trace) {
+            dst.merge_from(t);
+        }
+        if let (Some(dst), Some(b)) = (san.as_deref_mut(), o.san) {
+            dst.merge_block(b);
+        }
+        match o.result {
+            Ok(()) => {
+                let cycles = o.stats.cycles;
+                totals += o.stats;
+                sm_cycles[id % dev.num_sms as usize] += cycles;
+            }
+            // The failing block's partial effects are committed (matching
+            // the sequential executor's in-place mutations), then its
+            // error surfaces.
+            Err(e) => return Err(e),
+        }
+    }
+    totals.cycles = sm_cycles.iter().copied().max().unwrap_or(0) + cost.launch_overhead;
+    Ok(Some(totals))
 }
 
 #[cfg(test)]
@@ -878,9 +1263,17 @@ mod tests {
     use super::*;
     use crate::builder::KernelBuilder;
     use crate::ir::MemRef;
+    use crate::memory::GLOBAL_ALLOC_ALIGN;
 
     fn dev() -> DeviceConfig {
         DeviceConfig::test_small()
+    }
+
+    fn dev_threads(n: u32) -> DeviceConfig {
+        DeviceConfig {
+            host_threads: n,
+            ..DeviceConfig::test_small()
+        }
     }
 
     fn run(
@@ -890,6 +1283,23 @@ mod tests {
         mem: &mut GlobalMemory,
     ) -> Result<LaunchStats, SimError> {
         run_kernel(k, cfg, params, mem, &dev(), &CostModel::default())
+    }
+
+    fn run_threads(
+        k: &Kernel,
+        cfg: LaunchConfig,
+        params: &[Value],
+        mem: &mut GlobalMemory,
+        n: u32,
+    ) -> Result<LaunchStats, SimError> {
+        run_kernel(k, cfg, params, mem, &dev_threads(n), &CostModel::default())
+    }
+
+    /// Snapshot the allocated range of a memory for bitwise comparison.
+    fn dump(mem: &GlobalMemory) -> Vec<u8> {
+        let mut buf = vec![0u8; mem.used() as usize];
+        mem.read_bytes(GLOBAL_ALLOC_ALIGN, &mut buf).unwrap();
+        buf
     }
 
     /// Each thread writes its global linear id to out[gid].
@@ -1234,6 +1644,28 @@ mod tests {
         assert!(matches!(err, SimError::InvalidLaunch { .. }));
     }
 
+    /// A malformed device config is rejected at launch, not silently
+    /// mismodelled.
+    #[test]
+    fn bad_device_config_rejected_at_launch() {
+        let k = KernelBuilder::new("t").finish();
+        let mut mem = GlobalMemory::new(1 << 20);
+        let bad = DeviceConfig {
+            segment_bytes: 100,
+            ..DeviceConfig::test_small()
+        };
+        let err = run_kernel(
+            &k,
+            LaunchConfig::d1(1, 32),
+            &[],
+            &mut mem,
+            &bad,
+            &CostModel::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }), "got {err:?}");
+    }
+
     #[test]
     fn missing_params_rejected() {
         let mut b = KernelBuilder::new("p");
@@ -1367,5 +1799,296 @@ mod tests {
         };
         let s8 = run_kernel(&k, LaunchConfig::d1(8, 32), &[], &mut mem2, &d8, &cost).unwrap();
         assert!(s8.cycles < s1.cycles);
+    }
+
+    // ---- parallel block execution ----------------------------------------
+
+    /// An independent-blocks kernel for determinism tests: each thread
+    /// writes a value derived from its global id.
+    fn ids_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("ids");
+        let out = b.param(0);
+        let tid = b.special(SpecialReg::TidX);
+        let ctaid = b.special(SpecialReg::CtaIdX);
+        let ntid = b.special(SpecialReg::NTidX);
+        let base = b.bin(BinOp::Mul, Ty::I32, ctaid, ntid);
+        let gid = b.bin(BinOp::Add, Ty::I32, base, tid);
+        let v = b.bin(BinOp::Mul, Ty::I32, gid, Value::I32(3));
+        let gid64 = b.cvt(Ty::I64, gid);
+        b.st_global(Ty::I32, MemRef::indexed(out, gid64, 4), v);
+        b.finish()
+    }
+
+    /// Parallel execution is bit-identical to sequential: same memory
+    /// contents and the exact same [`LaunchStats`] (cycles included).
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let k = ids_kernel();
+        let cfg = LaunchConfig::d1(7, 96); // odd block count, multi-warp blocks
+        let mut mem_seq = GlobalMemory::new(1 << 20);
+        let buf_seq = mem_seq.alloc(4 * 7 * 96).unwrap();
+        let seq = run_threads(&k, cfg, &[Value::U64(buf_seq.addr)], &mut mem_seq, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let mut mem_par = GlobalMemory::new(1 << 20);
+            let buf = mem_par.alloc(4 * 7 * 96).unwrap();
+            let par = run_threads(&k, cfg, &[Value::U64(buf.addr)], &mut mem_par, threads).unwrap();
+            assert_eq!(seq, par, "stats diverge at {threads} threads");
+            assert_eq!(
+                dump(&mem_seq),
+                dump(&mem_par),
+                "memory diverges at {threads} threads"
+            );
+        }
+    }
+
+    /// Cross-block floating-point atomics commit in block-id order, so the
+    /// (rounding-sensitive) result is bit-identical at any thread count.
+    #[test]
+    fn parallel_float_atomics_are_order_deterministic() {
+        let mut b = KernelBuilder::new("fatom");
+        let out = b.param(0);
+        let tid = b.special(SpecialReg::TidX);
+        let ctaid = b.special(SpecialReg::CtaIdX);
+        let ntid = b.special(SpecialReg::NTidX);
+        let base = b.bin(BinOp::Mul, Ty::I32, ctaid, ntid);
+        let gid = b.bin(BinOp::Add, Ty::I32, base, tid);
+        let gf = b.cvt(Ty::F32, gid);
+        let v = b.bin(BinOp::Div, Ty::F32, gf, Value::F32(3.0));
+        b.atom_global(AtomOp::Add, Ty::F32, MemRef::direct(out), v, false);
+        let k = b.finish();
+        let cfg = LaunchConfig::d1(6, 64);
+
+        let mut mem_seq = GlobalMemory::new(1 << 20);
+        let buf_seq = mem_seq.alloc(4).unwrap();
+        run_threads(&k, cfg, &[Value::U64(buf_seq.addr)], &mut mem_seq, 1).unwrap();
+        let want = mem_seq.read(Ty::F32, buf_seq.addr).unwrap();
+        for threads in [2, 5] {
+            let mut mem_par = GlobalMemory::new(1 << 20);
+            let buf = mem_par.alloc(4).unwrap();
+            run_threads(&k, cfg, &[Value::U64(buf.addr)], &mut mem_par, threads).unwrap();
+            // Bitwise comparison: Value::F32 PartialEq compares the floats,
+            // which is exactly the determinism claim (no NaN involved).
+            assert_eq!(want, mem_par.read(Ty::F32, buf.addr).unwrap());
+        }
+    }
+
+    /// A launch where one block reads what an earlier block wrote triggers
+    /// the commit-time divergence check and silently falls back to the
+    /// sequential path — results match sequential execution exactly.
+    #[test]
+    fn parallel_cross_block_raw_falls_back() {
+        let mut b = KernelBuilder::new("raw");
+        let flag = b.param(0);
+        let out = b.param(1);
+        // v = flag[0]; out[ctaid] = v; if ctaid == 0 { flag[0] = 99 }
+        let v = b.ld_global(Ty::I32, MemRef::direct(flag));
+        let ctaid = b.special(SpecialReg::CtaIdX);
+        let cta64 = b.cvt(Ty::I64, ctaid);
+        b.st_global(Ty::I32, MemRef::indexed(out, cta64, 4), v);
+        let is0 = b.cmp(CmpOp::Eq, Ty::I32, ctaid, Value::I32(0));
+        let skip = b.new_label();
+        b.bra_unless(is0, skip);
+        b.st_global(Ty::I32, MemRef::direct(flag), Value::I32(99));
+        b.place(skip);
+        b.ret();
+        let k = b.finish();
+        let cfg = LaunchConfig::d1(4, 32);
+
+        let mk = || {
+            let mut m = GlobalMemory::new(1 << 20);
+            let f = m.alloc(4).unwrap();
+            let o = m.alloc(4 * 4).unwrap();
+            (m, f, o)
+        };
+        let (mut mem_seq, f1, o1) = mk();
+        run_threads(
+            &k,
+            cfg,
+            &[Value::U64(f1.addr), Value::U64(o1.addr)],
+            &mut mem_seq,
+            1,
+        )
+        .unwrap();
+        // Sequential semantics: block 0 reads 0 then sets the flag; later
+        // blocks observe 99.
+        assert_eq!(mem_seq.read(Ty::I32, o1.addr).unwrap(), Value::I32(0));
+        assert_eq!(mem_seq.read(Ty::I32, o1.addr + 4).unwrap(), Value::I32(99));
+        let (mut mem_par, f2, o2) = mk();
+        run_threads(
+            &k,
+            cfg,
+            &[Value::U64(f2.addr), Value::U64(o2.addr)],
+            &mut mem_par,
+            4,
+        )
+        .unwrap();
+        assert_eq!(dump(&mem_seq), dump(&mem_par));
+    }
+
+    /// Multi-block failure is deterministic: the error is the lowest
+    /// failing block's, and the committed partial state (earlier blocks
+    /// complete, failing block partial, later blocks absent) matches the
+    /// sequential executor byte for byte.
+    #[test]
+    fn parallel_error_matches_sequential_partial_state() {
+        let mut b = KernelBuilder::new("err2");
+        let out = b.param(0);
+        let ctaid = b.special(SpecialReg::CtaIdX);
+        let one_based = b.bin(BinOp::Add, Ty::I32, ctaid, Value::I32(1));
+        let cta64 = b.cvt(Ty::I64, ctaid);
+        b.st_global(Ty::I32, MemRef::indexed(out, cta64, 4), one_based);
+        // Block 2 divides by zero after its store.
+        let is2 = b.cmp(CmpOp::Eq, Ty::I32, ctaid, Value::I32(2));
+        let skip = b.new_label();
+        b.bra_unless(is2, skip);
+        let z = b.mov_imm(Value::I32(0));
+        let _ = b.bin(BinOp::Div, Ty::I32, Value::I32(1), z);
+        b.place(skip);
+        b.ret();
+        let k = b.finish();
+        let cfg = LaunchConfig::d1(5, 32);
+
+        let mut mem_seq = GlobalMemory::new(1 << 20);
+        let b1 = mem_seq.alloc(4 * 5).unwrap();
+        let err_seq = run_threads(&k, cfg, &[Value::U64(b1.addr)], &mut mem_seq, 1).unwrap_err();
+        for threads in [2, 3, 8] {
+            let mut mem_par = GlobalMemory::new(1 << 20);
+            let b2 = mem_par.alloc(4 * 5).unwrap();
+            let err_par =
+                run_threads(&k, cfg, &[Value::U64(b2.addr)], &mut mem_par, threads).unwrap_err();
+            assert_eq!(err_seq, err_par);
+            assert_eq!(dump(&mem_seq), dump(&mem_par));
+            // Blocks 0..=2 stored, blocks 3.. did not run.
+            assert_eq!(mem_par.read(Ty::I32, b2.addr + 8).unwrap(), Value::I32(3));
+            assert_eq!(mem_par.read(Ty::I32, b2.addr + 12).unwrap(), Value::I32(0));
+        }
+    }
+
+    /// Value-returning atomics (`atomicAdd` with a destination register)
+    /// observe commit order mid-block, so such kernels take the sequential
+    /// path — and still produce correct results at any `host_threads`.
+    #[test]
+    fn parallel_returning_atomics_run_sequentially() {
+        let mut b = KernelBuilder::new("ticket");
+        let ctr = b.param(0);
+        let out = b.param(1);
+        let ticket = b
+            .atom_global(
+                AtomOp::Add,
+                Ty::I32,
+                MemRef::direct(ctr),
+                Value::I32(1),
+                true,
+            )
+            .expect("value-returning atomic");
+        let t64 = b.cvt(Ty::I64, ticket);
+        let gid = b.special(SpecialReg::CtaIdX);
+        b.st_global(Ty::I32, MemRef::indexed(out, t64, 4), gid);
+        let k = b.finish();
+        assert!(kernel_returns_atomics(&k));
+        let cfg = LaunchConfig::d1(4, 1);
+        let mut mem = GlobalMemory::new(1 << 20);
+        let c = mem.alloc(4).unwrap();
+        let o = mem.alloc(4 * 4).unwrap();
+        run_threads(
+            &k,
+            cfg,
+            &[Value::U64(c.addr), Value::U64(o.addr)],
+            &mut mem,
+            8,
+        )
+        .unwrap();
+        // Sequential ticket order: block i takes ticket i.
+        for i in 0..4u64 {
+            assert_eq!(
+                mem.read(Ty::I32, o.addr + i * 4).unwrap(),
+                Value::I32(i as i32)
+            );
+        }
+        assert_eq!(mem.read(Ty::I32, c.addr).unwrap(), Value::I32(4));
+    }
+
+    /// Hazard reports are deduplicated per block and merged in block-id
+    /// order, so the sanitizer's report list (order, text, and count) is
+    /// identical at any thread count. The racy kernel here only *writes*
+    /// cross-block, so the parallel path does not fall back — the reports
+    /// come from genuinely parallel shadow tracking.
+    #[test]
+    fn parallel_sanitizer_reports_are_identical() {
+        use crate::sanitizer::SanitizerLevel;
+        // Every thread of every block writes out[tid] — cross-block
+        // same-address conflicts at every slot.
+        let mut b = KernelBuilder::new("racy");
+        let out = b.param(0);
+        let tid = b.special(SpecialReg::TidX);
+        let ctaid = b.special(SpecialReg::CtaIdX);
+        let tid64 = b.cvt(Ty::I64, tid);
+        b.st_global(Ty::I32, MemRef::indexed(out, tid64, 4), ctaid);
+        let k = b.finish();
+        let cfg = LaunchConfig::d1(4, 32);
+
+        let run_san = |threads: u32| {
+            let mut mem = GlobalMemory::new(1 << 20);
+            let buf = mem.alloc(4 * 32).unwrap();
+            let mut s = LaunchSanitizer::new(SanitizerConfig {
+                level: SanitizerLevel::Full,
+                ..Default::default()
+            });
+            run_kernel_instrumented(
+                &k,
+                cfg,
+                &[Value::U64(buf.addr)],
+                &mut mem,
+                &dev_threads(threads),
+                &CostModel::default(),
+                None,
+                Some(&mut s),
+            )
+            .unwrap();
+            (s.hazard_count(), s.take_reports(), dump(&mem))
+        };
+        let (count_seq, reports_seq, mem_seq) = run_san(1);
+        assert!(count_seq > 0, "racy kernel must report hazards");
+        for threads in [2, 4] {
+            let (count, reports, mem) = run_san(threads);
+            assert_eq!(count_seq, count);
+            assert_eq!(reports_seq, reports);
+            // Block-id-ordered dirty-byte commit: the last block's writes
+            // win, exactly like sequential execution.
+            assert_eq!(mem_seq, mem);
+        }
+    }
+
+    /// Traces are captured per block and merged in block-id order, so a
+    /// bounded trace is event-for-event identical at any thread count —
+    /// including the truncation point.
+    #[test]
+    fn parallel_traces_are_identical() {
+        let k = ids_kernel();
+        let cfg = LaunchConfig::d1(4, 32);
+        let run_traced = |threads: u32| {
+            let mut mem = GlobalMemory::new(1 << 20);
+            let buf = mem.alloc(4 * 4 * 32).unwrap();
+            let mut t = Trace::with_limit(11); // truncates mid-block
+            run_kernel_traced(
+                &k,
+                cfg,
+                &[Value::U64(buf.addr)],
+                &mut mem,
+                &dev_threads(threads),
+                &CostModel::default(),
+                Some(&mut t),
+            )
+            .unwrap();
+            t
+        };
+        let seq = run_traced(1);
+        assert!(seq.truncated());
+        for threads in [2, 4] {
+            let par = run_traced(threads);
+            assert_eq!(seq.events(), par.events());
+            assert_eq!(seq.truncated(), par.truncated());
+            assert_eq!(seq.render(), par.render());
+        }
     }
 }

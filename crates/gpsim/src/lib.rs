@@ -60,8 +60,8 @@ pub use exec::{
 pub use ir::{AtomOp, BinOp, CmpOp, Inst, Kernel, Label, MemRef, Operand, Reg, SpecialReg, UnOp};
 pub use memory::{BufferHandle, GlobalMemory, SharedMemory};
 pub use sanitizer::{
-    AccessInfo, AccessKind, HazardClass, HazardReport, HazardSpace, LaunchSanitizer,
-    SanitizerConfig, SanitizerLevel,
+    AccessInfo, AccessKind, BlockSanitizer, HazardClass, HazardReport, HazardSpace,
+    LaunchSanitizer, SanitizerConfig, SanitizerLevel,
 };
 pub use stats::{LaunchStats, SessionStats};
 pub use trace::{MemTouch, Trace, TraceEvent, TraceSpace};

@@ -45,9 +45,10 @@ impl GlobalMemory {
         }
     }
 
-    /// Bytes currently allocated (high-water mark).
+    /// Bytes currently allocated (allocator high-water mark, excluding the
+    /// reserved 256-byte null page — a fresh device reports 0).
     pub fn used(&self) -> u64 {
-        self.next
+        self.next - GLOBAL_ALLOC_ALIGN
     }
 
     /// Total capacity in bytes.
@@ -77,12 +78,16 @@ impl GlobalMemory {
         self.data.clear();
     }
 
-    fn check(&self, addr: u64, len: usize) -> Result<(), SimError> {
-        let end = addr as usize + len;
-        if addr == 0 || end > self.data.len() {
-            return Err(SimError::GlobalOutOfBounds { addr, len });
+    /// Bounds-check a `[addr, addr + len)` access. Kernel index arithmetic
+    /// can produce wild pointers anywhere in the 64-bit space, so the end
+    /// address must be computed overflow-safely: a pointer near `u64::MAX`
+    /// is out of bounds, not a wrapped-around hit.
+    pub(crate) fn check(&self, addr: u64, len: usize) -> Result<(), SimError> {
+        let end = addr.checked_add(len as u64);
+        match end {
+            Some(end) if addr != 0 && end <= self.data.len() as u64 => Ok(()),
+            _ => Err(SimError::GlobalOutOfBounds { addr, len }),
         }
-        Ok(())
     }
 
     /// Read a typed value.
@@ -111,6 +116,279 @@ impl GlobalMemory {
         self.check(addr, src.len())?;
         self.data[addr as usize..addr as usize + src.len()].copy_from_slice(src);
         Ok(())
+    }
+
+    /// Copy the 256-byte page starting at `page * PAGE_BYTES` into `out`,
+    /// zero-filling any tail past the mapped range (the last allocation
+    /// need not end on a page boundary).
+    fn copy_page(&self, page: u64, out: &mut [u8; PAGE_BYTES as usize]) {
+        let start = (page * PAGE_BYTES) as usize;
+        let avail = self.data.len().saturating_sub(start).min(out.len());
+        out[..avail].copy_from_slice(&self.data[start..start + avail]);
+        out[avail..].fill(0);
+    }
+
+    /// Commit one overlay page: copy exactly the dirty bytes into this
+    /// memory. All dirty bytes were bounds-checked when written into the
+    /// overlay and the mapped range cannot shrink during a launch, so this
+    /// cannot fail.
+    pub(crate) fn apply_overlay_page(&mut self, page: u64, p: &OverlayPage) {
+        let base = (page * PAGE_BYTES) as usize;
+        for (w, &word) in p.dirty.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                let i = w * 64 + bit;
+                self.data[base + i] = p.bytes[i];
+                bits &= bits - 1;
+            }
+        }
+    }
+}
+
+/// Overlay page granularity. Equal to [`GLOBAL_ALLOC_ALIGN`], so distinct
+/// allocations never share a page's *allocation*, though neighbouring
+/// blocks may still write disjoint bytes of one page (dirty bitmaps keep
+/// that safe).
+pub(crate) const PAGE_BYTES: u64 = GLOBAL_ALLOC_ALIGN;
+
+/// Deterministic multiplicative hasher for page ids / byte addresses on the
+/// overlay hot path (a fixed-seed FxHash-style mix; `RandomState` would be
+/// needlessly slow here and determinism of iteration is never relied on).
+#[derive(Clone, Copy, Default)]
+pub(crate) struct AddrHasher(u64);
+
+impl std::hash::Hasher for AddrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+/// `BuildHasher` for [`AddrHasher`].
+#[derive(Clone, Copy, Default)]
+pub(crate) struct AddrHashState;
+
+impl std::hash::BuildHasher for AddrHashState {
+    type Hasher = AddrHasher;
+    fn build_hasher(&self) -> AddrHasher {
+        AddrHasher(0)
+    }
+}
+
+pub(crate) type AddrSet = std::collections::HashSet<u64, AddrHashState>;
+type PageMap = std::collections::HashMap<u64, OverlayPage, AddrHashState>;
+
+/// One copy-on-write page of a [`BlockOverlay`]: a private copy of the base
+/// page plus a bitmap of the bytes this block actually wrote (only those
+/// are copied back at commit, so blocks writing disjoint bytes of a shared
+/// page merge losslessly).
+pub(crate) struct OverlayPage {
+    pub(crate) bytes: Box<[u8; PAGE_BYTES as usize]>,
+    pub(crate) dirty: [u64; PAGE_BYTES as usize / 64],
+}
+
+/// One deferred global atomic, replayed in program order at commit time so
+/// cross-block atomic combination (including floating-point, where order
+/// changes the bits) happens in exactly the sequential block order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AtomicLogEntry {
+    pub(crate) op: crate::ir::AtomOp,
+    pub(crate) ty: Ty,
+    pub(crate) addr: u64,
+    pub(crate) val: Value,
+}
+
+/// Why a block aborted: a real simulator error, or a memory-access pattern
+/// the copy-on-write overlay cannot reproduce bit-identically — the launch
+/// is then re-run on the sequential path, which handles everything.
+#[derive(Debug)]
+pub(crate) enum AccessAbort {
+    Sim(SimError),
+    NeedsSequential(&'static str),
+}
+
+impl From<SimError> for AccessAbort {
+    fn from(e: SimError) -> Self {
+        AccessAbort::Sim(e)
+    }
+}
+
+/// A block's private view of global memory during parallel execution: reads
+/// fall through to the frozen launch-entry snapshot (`base`), writes go to
+/// copy-on-write pages, and atomics are logged for ordered replay. Each
+/// block also records which pages it read from, so the committer can prove
+/// no block observed a value an earlier block's writes would have changed —
+/// and fall back to sequential execution when it cannot.
+pub(crate) struct BlockOverlay<'a> {
+    base: &'a GlobalMemory,
+    pages: PageMap,
+    /// Pages any load touched (conservatively including overlay hits: an
+    /// overlay page is a *base* snapshot everywhere the block didn't write).
+    read_pages: AddrSet,
+    atomics: Vec<AtomicLogEntry>,
+    /// Byte addresses targeted by logged atomics; a plain access overlapping
+    /// these cannot see the deferred atomic's effect and forces fallback.
+    atomic_bytes: AddrSet,
+}
+
+impl<'a> BlockOverlay<'a> {
+    pub(crate) fn new(base: &'a GlobalMemory) -> Self {
+        BlockOverlay {
+            base,
+            pages: PageMap::default(),
+            read_pages: AddrSet::default(),
+            atomics: Vec::new(),
+            atomic_bytes: AddrSet::default(),
+        }
+    }
+
+    /// Bounds-check against the base mapping (the mapped range cannot
+    /// change during a launch). Exposed so the atomic path can surface an
+    /// out-of-bounds error *before* validating the operation type, matching
+    /// the sequential executor's error precedence (read first, then eval).
+    pub(crate) fn check(&self, addr: u64, len: usize) -> Result<(), SimError> {
+        self.base.check(addr, len)
+    }
+
+    fn overlaps_atomic(&self, addr: u64, len: usize) -> bool {
+        !self.atomic_bytes.is_empty()
+            && (addr..addr + len as u64).any(|b| self.atomic_bytes.contains(&b))
+    }
+
+    fn gather(&mut self, addr: u64, out: &mut [u8]) {
+        let mut i = 0usize;
+        while i < out.len() {
+            let a = addr + i as u64;
+            let page = a / PAGE_BYTES;
+            let off = (a % PAGE_BYTES) as usize;
+            let n = (out.len() - i).min(PAGE_BYTES as usize - off);
+            self.read_pages.insert(page);
+            match self.pages.get(&page) {
+                Some(p) => out[i..i + n].copy_from_slice(&p.bytes[off..off + n]),
+                None => {
+                    let start = (page * PAGE_BYTES) as usize + off;
+                    out[i..i + n].copy_from_slice(&self.base.data[start..start + n]);
+                }
+            }
+            i += n;
+        }
+    }
+
+    /// Read a typed value (bounds and error semantics identical to
+    /// [`GlobalMemory::read`]).
+    pub(crate) fn read(&mut self, ty: Ty, addr: u64) -> Result<Value, AccessAbort> {
+        self.base.check(addr, ty.size())?;
+        if self.overlaps_atomic(addr, ty.size()) {
+            return Err(AccessAbort::NeedsSequential(
+                "plain read of an address this block updated atomically",
+            ));
+        }
+        let mut buf = [0u8; 8];
+        self.gather(addr, &mut buf[..ty.size()]);
+        Ok(Value::from_bytes(ty, &buf))
+    }
+
+    /// Write a typed value into the copy-on-write overlay.
+    pub(crate) fn write(&mut self, addr: u64, v: Value) -> Result<(), AccessAbort> {
+        let (bytes, n) = v.to_bytes();
+        self.base.check(addr, n)?;
+        if self.overlaps_atomic(addr, n) {
+            return Err(AccessAbort::NeedsSequential(
+                "plain write to an address this block updated atomically",
+            ));
+        }
+        let mut i = 0usize;
+        while i < n {
+            let a = addr + i as u64;
+            let page = a / PAGE_BYTES;
+            let off = (a % PAGE_BYTES) as usize;
+            let seg = (n - i).min(PAGE_BYTES as usize - off);
+            let p = self.pages.entry(page).or_insert_with(|| {
+                let mut bytes = Box::new([0u8; PAGE_BYTES as usize]);
+                self.base.copy_page(page, &mut bytes);
+                OverlayPage {
+                    bytes,
+                    dirty: [0; PAGE_BYTES as usize / 64],
+                }
+            });
+            p.bytes[off..off + seg].copy_from_slice(&bytes[i..i + seg]);
+            for b in off..off + seg {
+                p.dirty[b / 64] |= 1u64 << (b % 64);
+            }
+            i += seg;
+        }
+        Ok(())
+    }
+
+    /// Log a global atomic for ordered replay at commit. The caller has
+    /// already validated the (op, ty) combination, so replay cannot fail.
+    pub(crate) fn log_atomic(&mut self, e: AtomicLogEntry) -> Result<(), AccessAbort> {
+        let n = e.ty.size();
+        self.base.check(e.addr, n)?;
+        // A block that mixes plain writes and atomics on one address has an
+        // intra-block ordering the dirty-bytes-then-replay commit would
+        // reorder; take the sequential path instead.
+        for b in e.addr..e.addr + n as u64 {
+            let page = b / PAGE_BYTES;
+            if let Some(p) = self.pages.get(&page) {
+                let off = (b % PAGE_BYTES) as usize;
+                if p.dirty[off / 64] & (1u64 << (off % 64)) != 0 {
+                    return Err(AccessAbort::NeedsSequential(
+                        "atomic to an address this block wrote plainly",
+                    ));
+                }
+            }
+            self.atomic_bytes.insert(b);
+        }
+        self.atomics.push(e);
+        Ok(())
+    }
+
+    /// Tear the overlay off its base borrow so the committer can take
+    /// `&mut GlobalMemory` again.
+    pub(crate) fn into_data(self) -> OverlayData {
+        OverlayData {
+            pages: self.pages,
+            read_pages: self.read_pages,
+            atomics: self.atomics,
+            atomic_bytes: self.atomic_bytes,
+        }
+    }
+}
+
+/// The owned outcome of one block's overlay (see [`BlockOverlay`]).
+pub(crate) struct OverlayData {
+    pub(crate) pages: PageMap,
+    pub(crate) read_pages: AddrSet,
+    pub(crate) atomics: Vec<AtomicLogEntry>,
+    pub(crate) atomic_bytes: AddrSet,
+}
+
+impl OverlayData {
+    /// Pages this block's commit will modify (written pages plus atomic
+    /// targets).
+    pub(crate) fn write_pages(&self) -> impl Iterator<Item = u64> + '_ {
+        self.pages
+            .keys()
+            .copied()
+            .chain(self.atomic_bytes.iter().map(|b| b / PAGE_BYTES))
+    }
+
+    /// True if any page this block read from base is in `written` — i.e. an
+    /// earlier block's commit would have changed what this block observed.
+    pub(crate) fn reads_overlap(&self, written: &AddrSet) -> bool {
+        if written.is_empty() {
+            return false;
+        }
+        self.read_pages.iter().any(|p| written.contains(p))
     }
 }
 
@@ -232,6 +510,143 @@ mod tests {
         ));
         assert!(!s.is_empty());
         assert!(SharedMemory::new(0).is_empty());
+    }
+
+    /// Regression: a wild pointer near `u64::MAX` must report out-of-bounds,
+    /// not wrap the end-address computation (panic in debug builds, bounds
+    /// bypass in release).
+    #[test]
+    fn near_max_address_is_out_of_bounds() {
+        let mut m = GlobalMemory::new(1 << 16);
+        let _ = m.alloc(64).unwrap();
+        for addr in [u64::MAX, u64::MAX - 1, u64::MAX - 7] {
+            assert!(matches!(
+                m.read(Ty::I64, addr),
+                Err(SimError::GlobalOutOfBounds { .. })
+            ));
+            assert!(matches!(
+                m.write(addr, Value::I64(1)),
+                Err(SimError::GlobalOutOfBounds { .. })
+            ));
+        }
+        let mut out = [0u8; 4];
+        assert!(matches!(
+            m.read_bytes(u64::MAX - 2, &mut out),
+            Err(SimError::GlobalOutOfBounds { .. })
+        ));
+    }
+
+    /// Regression: `used()` excludes the reserved null page — a fresh
+    /// device has allocated nothing.
+    #[test]
+    fn used_excludes_null_page() {
+        let mut m = GlobalMemory::new(1 << 16);
+        assert_eq!(m.used(), 0);
+        m.alloc(8).unwrap();
+        assert_eq!(m.used(), 8);
+        m.alloc(100).unwrap();
+        // Second allocation is 256-aligned: high-water = 256 + 100.
+        assert_eq!(m.used(), GLOBAL_ALLOC_ALIGN + 100);
+        m.reset();
+        assert_eq!(m.used(), 0);
+    }
+
+    #[test]
+    fn overlay_reads_base_and_buffers_writes() {
+        let mut m = GlobalMemory::new(1 << 16);
+        let b = m.alloc(512).unwrap();
+        m.write(b.addr, Value::I32(7)).unwrap();
+        let mut ov = BlockOverlay::new(&m);
+        assert_eq!(ov.read(Ty::I32, b.addr).unwrap(), Value::I32(7));
+        ov.write(b.addr, Value::I32(9)).unwrap();
+        ov.write(b.addr + 300, Value::I32(5)).unwrap(); // second page
+        assert_eq!(ov.read(Ty::I32, b.addr).unwrap(), Value::I32(9));
+        let data = ov.into_data();
+        // Base untouched until commit.
+        assert_eq!(m.read(Ty::I32, b.addr).unwrap(), Value::I32(7));
+        for (&page, p) in &data.pages {
+            m.apply_overlay_page(page, p);
+        }
+        assert_eq!(m.read(Ty::I32, b.addr).unwrap(), Value::I32(9));
+        assert_eq!(m.read(Ty::I32, b.addr + 300).unwrap(), Value::I32(5));
+    }
+
+    #[test]
+    fn overlay_commit_merges_disjoint_bytes_of_one_page() {
+        let mut m = GlobalMemory::new(1 << 16);
+        let b = m.alloc(256).unwrap();
+        let mut o1 = BlockOverlay::new(&m);
+        o1.write(b.addr, Value::I32(1)).unwrap();
+        let d1 = o1.into_data();
+        let mut o2 = BlockOverlay::new(&m);
+        o2.write(b.addr + 4, Value::I32(2)).unwrap();
+        let d2 = o2.into_data();
+        for d in [d1, d2] {
+            for (&page, p) in &d.pages {
+                m.apply_overlay_page(page, p);
+            }
+        }
+        assert_eq!(m.read(Ty::I32, b.addr).unwrap(), Value::I32(1));
+        assert_eq!(m.read(Ty::I32, b.addr + 4).unwrap(), Value::I32(2));
+    }
+
+    #[test]
+    fn overlay_oob_and_atomic_interactions() {
+        let mut m = GlobalMemory::new(1 << 16);
+        let b = m.alloc(64).unwrap();
+        let mut ov = BlockOverlay::new(&m);
+        assert!(matches!(
+            ov.read(Ty::I64, u64::MAX - 3),
+            Err(AccessAbort::Sim(SimError::GlobalOutOfBounds { .. }))
+        ));
+        ov.log_atomic(AtomicLogEntry {
+            op: crate::ir::AtomOp::Add,
+            ty: Ty::I32,
+            addr: b.addr,
+            val: Value::I32(1),
+        })
+        .unwrap();
+        // Plain accesses overlapping a logged atomic force the sequential path.
+        assert!(matches!(
+            ov.read(Ty::I32, b.addr),
+            Err(AccessAbort::NeedsSequential(_))
+        ));
+        assert!(matches!(
+            ov.write(b.addr + 2, Value::I32(3)),
+            Err(AccessAbort::NeedsSequential(_))
+        ));
+        // And a plain write followed by an atomic on the same address too.
+        let mut ov2 = BlockOverlay::new(&m);
+        ov2.write(b.addr, Value::I32(5)).unwrap();
+        assert!(matches!(
+            ov2.log_atomic(AtomicLogEntry {
+                op: crate::ir::AtomOp::Add,
+                ty: Ty::I32,
+                addr: b.addr,
+                val: Value::I32(1),
+            }),
+            Err(AccessAbort::NeedsSequential(_))
+        ));
+    }
+
+    #[test]
+    fn overlay_read_write_page_tracking() {
+        let mut m = GlobalMemory::new(1 << 16);
+        let a = m.alloc(256).unwrap();
+        let b = m.alloc(256).unwrap();
+        let mut o1 = BlockOverlay::new(&m);
+        o1.write(b.addr, Value::I32(1)).unwrap();
+        let d1 = o1.into_data();
+        let mut o2 = BlockOverlay::new(&m);
+        o2.read(Ty::I32, a.addr).unwrap();
+        let d2 = o2.into_data();
+        let mut written = AddrSet::default();
+        written.extend(d1.write_pages());
+        // Block 2 only read buffer `a`; block 1 only wrote buffer `b`.
+        assert!(!d2.reads_overlap(&written));
+        let mut o3 = BlockOverlay::new(&m);
+        o3.read(Ty::I32, b.addr + 8).unwrap();
+        assert!(o3.into_data().reads_overlap(&written));
     }
 
     #[test]

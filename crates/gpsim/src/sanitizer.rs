@@ -3,8 +3,9 @@
 //! Real reduction miscompilations (a dropped `__syncthreads()`, a
 //! warp-synchronous tail used across warp boundaries, a reused staging
 //! slab) are *races*: whether they corrupt the answer depends on warp
-//! scheduling. This simulator schedules warps run-to-block and blocks
-//! sequentially, so a racy kernel produces one deterministic result — it
+//! scheduling. This simulator schedules warps run-to-block and commits
+//! blocks in linear block-id order (even when blocks execute on parallel
+//! host threads), so a racy kernel produces one deterministic result — it
 //! may even be the correct one. The sanitizer closes that gap: it tracks
 //! shadow state per memory byte and reports the hazard itself, not its
 //! (schedule-dependent) consequence.
@@ -28,15 +29,26 @@
 //!   with per-thread context; the launch still fails with the
 //!   corresponding [`crate::SimError`].
 //!
-//! The shadow scheme: shared memory keeps one cell per byte with the last
-//! writer, last reader and a *barrier epoch* (incremented each time the
-//! block's barrier releases). Two accesses conflict iff they touch the
-//! same byte, at least one writes, they come from different warps, and
-//! they share an epoch. Global memory keeps a sparse per-byte map with the
-//! last reader/writer block. Reports are deduplicated by the PC pair so a
-//! race inside a loop is reported once, and capped at
-//! [`SanitizerConfig::max_reports`] (the count of distinct hazards keeps
-//! accumulating past the cap).
+//! The shadow scheme is two-level so blocks can execute concurrently:
+//!
+//! - [`BlockSanitizer`] owns everything one block can judge on its own.
+//!   Shared memory keeps one cell per byte with the last writer, last
+//!   reader and a *barrier epoch* (incremented each time the block's
+//!   barrier releases). Two accesses conflict iff they touch the same
+//!   byte, at least one writes, they come from different warps, and they
+//!   share an epoch. Those reports — plus initcheck and synccheck — go
+//!   into an ordered per-block log. Global-memory accesses cannot be
+//!   judged locally (the conflicting access lives in another block), so
+//!   the log records them raw.
+//! - [`LaunchSanitizer`] merges block logs **in linear block-id order**,
+//!   replaying the raw global accesses through a launch-wide sparse
+//!   per-byte map with the last reader/writer block. Because the merge
+//!   order equals the sequential execution order, the reports (text,
+//!   order, count) are bit-identical at any host thread count.
+//!
+//! Reports are deduplicated by the PC pair so a race inside a loop is
+//! reported once, and capped at [`SanitizerConfig::max_reports`] (the
+//! count of distinct hazards keeps accumulating past the cap).
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -233,6 +245,9 @@ impl fmt::Display for HazardReport {
     }
 }
 
+/// Dedup key: a hazard class plus the PC pair it fired on.
+type HazardKey = (HazardClass, usize, usize);
+
 #[derive(Clone, Default)]
 struct SharedCell {
     written: bool,
@@ -255,48 +270,61 @@ struct GlobalCell {
     other_read: Option<AccessInfo>,
 }
 
-/// Per-launch sanitizer state: shadow memory + collected reports.
+/// One entry of a block's ordered hazard log.
+enum SanEvent {
+    /// A report fully determined inside one block (shared races,
+    /// initcheck, synccheck), already rendered, with its dedup key.
+    Local {
+        key: HazardKey,
+        report: HazardReport,
+    },
+    /// A raw global-memory access, replayed against the launch-wide
+    /// shadow at merge time — the conflicting access may live in another
+    /// block, so it cannot be judged locally.
+    Global {
+        acc: AccessInfo,
+        addr: u64,
+        size: usize,
+    },
+}
+
+/// Per-block sanitizer state: the shared-memory shadow, barrier epoch and
+/// an ordered log of what the block observed.
 ///
-/// One instance observes one launch; [`crate::Device::launch`] creates it
-/// when the device's [`SanitizerConfig`] enables a checker and harvests
-/// its reports afterwards (on the error path too, so synccheck reports
-/// survive the launch failing).
-pub struct LaunchSanitizer {
+/// One instance observes one block; it is safe to drive many of them from
+/// concurrent host threads. [`LaunchSanitizer::merge_block`] folds them
+/// back in linear block-id order, which reproduces the sequential report
+/// stream exactly.
+pub struct BlockSanitizer {
     cfg: SanitizerConfig,
-    reports: Vec<HazardReport>,
-    /// Distinct hazards observed (reports + those past `max_reports`).
-    count: u64,
-    seen: HashSet<(HazardClass, usize, usize)>,
-    /// Current block and its barrier epoch.
     block: (u32, u32),
     epoch: u32,
     shared: Vec<SharedCell>,
-    global: HashMap<u64, GlobalCell>,
+    /// Block-local dedup of `Local` reports. This bounds log growth (a
+    /// race inside a loop logs once per block); the merge dedups again
+    /// launch-wide, and keeping each block's *first* occurrence is exactly
+    /// what the sequential order would have kept.
+    seen: HashSet<HazardKey>,
+    log: Vec<SanEvent>,
 }
 
-impl LaunchSanitizer {
-    /// Fresh state for one launch.
-    pub fn new(cfg: SanitizerConfig) -> Self {
-        LaunchSanitizer {
+impl BlockSanitizer {
+    /// Fresh shadow state for one block with `shared_bytes` of shared
+    /// memory.
+    pub fn new(cfg: SanitizerConfig, block: (u32, u32), shared_bytes: usize) -> Self {
+        let shared_bytes = if cfg.level.init() || cfg.level.race() {
+            shared_bytes
+        } else {
+            0
+        };
+        BlockSanitizer {
             cfg,
-            reports: Vec::new(),
-            count: 0,
-            seen: HashSet::new(),
-            block: (0, 0),
+            block,
             epoch: 0,
-            shared: Vec::new(),
-            global: HashMap::new(),
+            shared: vec![SharedCell::default(); shared_bytes],
+            seen: HashSet::new(),
+            log: Vec::new(),
         }
-    }
-
-    /// Reset per-block shadow state (shared memory + epoch) as a new block
-    /// starts executing. Global shadow persists across blocks: there is no
-    /// inter-block ordering within a launch.
-    pub fn begin_block(&mut self, block: (u32, u32), shared_bytes: usize) {
-        self.block = block;
-        self.epoch = 0;
-        self.shared.clear();
-        self.shared.resize(shared_bytes, SharedCell::default());
     }
 
     /// The block's barrier released: accesses before and after are ordered.
@@ -313,13 +341,9 @@ impl LaunchSanitizer {
         self.push_keyed(key, report);
     }
 
-    fn push_keyed(&mut self, key: (HazardClass, usize, usize), report: HazardReport) {
-        if !self.seen.insert(key) {
-            return;
-        }
-        self.count += 1;
-        if self.reports.len() < self.cfg.max_reports {
-            self.reports.push(report);
+    fn push_keyed(&mut self, key: HazardKey, report: HazardReport) {
+        if self.seen.insert(key) {
+            self.log.push(SanEvent::Local { key, report });
         }
     }
 
@@ -404,7 +428,7 @@ impl LaunchSanitizer {
     }
 
     /// Observe one lane's global-memory access of `size` bytes at device
-    /// address `addr`.
+    /// address `addr`. Logged raw; judged at merge time.
     pub fn global_access(
         &mut self,
         thread: u32,
@@ -433,52 +457,15 @@ impl LaunchSanitizer {
             epoch: self.epoch,
             kind,
         };
-        for b in addr..addr + size as u64 {
-            let cell = self.global.entry(b).or_default();
-            let prior = match kind {
-                AccessKind::Read => cell.last_write.filter(|p| p.block != acc.block),
-                AccessKind::Write | AccessKind::Atomic => cell
-                    .last_write
-                    .filter(|p| {
-                        p.block != acc.block
-                            && !(kind == AccessKind::Atomic && p.kind == AccessKind::Atomic)
-                    })
-                    .or(cell.last_read.filter(|p| p.block != acc.block))
-                    .or(cell.other_read.filter(|p| p.block != acc.block)),
-            };
-            if let Some(p) = prior {
-                self.push(HazardReport {
-                    class: HazardClass::RaceCheck,
-                    space: HazardSpace::Global,
-                    addr: b,
-                    first: Some(p),
-                    second: Some(acc),
-                    detail: format!(
-                        "global address {b:#x}: {acc} conflicts with {p} — \
-                         different blocks, no synchronization within a launch"
-                    ),
-                });
-            }
-            let cell = self.global.entry(b).or_default();
-            if kind.writes() {
-                cell.last_write = Some(acc);
-            } else {
-                if let Some(lr) = cell.last_read {
-                    if lr.block != acc.block {
-                        cell.other_read = Some(lr);
-                    }
-                }
-                cell.last_read = Some(acc);
-            }
-        }
+        self.log.push(SanEvent::Global { acc, addr, size });
     }
 
     /// Fold a divergent-barrier error into the report stream.
-    pub fn sync_divergence(&mut self, block: (u32, u32), pc_a: usize, pc_b: usize, detail: String) {
+    pub fn sync_divergence(&mut self, pc_a: usize, pc_b: usize, detail: String) {
         if !self.cfg.level.sync() {
             return;
         }
-        self.block = block;
+        let block = self.block;
         self.push_keyed(
             (HazardClass::SyncCheck, pc_a, pc_b),
             HazardReport {
@@ -497,17 +484,11 @@ impl LaunchSanitizer {
     }
 
     /// Fold a barrier-deadlock error into the report stream.
-    pub fn sync_deadlock(
-        &mut self,
-        block: (u32, u32),
-        arrived: usize,
-        expected: usize,
-        detail: String,
-    ) {
+    pub fn sync_deadlock(&mut self, arrived: usize, expected: usize, detail: String) {
         if !self.cfg.level.sync() {
             return;
         }
-        self.block = block;
+        let block = self.block;
         self.push_keyed(
             (HazardClass::SyncCheck, usize::MAX, expected),
             HazardReport {
@@ -523,6 +504,111 @@ impl LaunchSanitizer {
                 ),
             },
         );
+    }
+}
+
+/// Per-launch sanitizer state: the global shadow + collected reports.
+///
+/// One instance observes one launch; [`crate::Device::launch`] creates it
+/// when the device's [`SanitizerConfig`] enables a checker and harvests
+/// its reports afterwards (on the error path too, so synccheck reports
+/// survive the launch failing). Blocks record into [`BlockSanitizer`]s —
+/// possibly concurrently — and are folded back with
+/// [`LaunchSanitizer::merge_block`] in linear block-id order.
+pub struct LaunchSanitizer {
+    cfg: SanitizerConfig,
+    reports: Vec<HazardReport>,
+    /// Distinct hazards observed (reports + those past `max_reports`).
+    count: u64,
+    seen: HashSet<HazardKey>,
+    global: HashMap<u64, GlobalCell>,
+}
+
+impl LaunchSanitizer {
+    /// Fresh state for one launch.
+    pub fn new(cfg: SanitizerConfig) -> Self {
+        LaunchSanitizer {
+            cfg,
+            reports: Vec::new(),
+            count: 0,
+            seen: HashSet::new(),
+            global: HashMap::new(),
+        }
+    }
+
+    /// The launch's sanitizer configuration (cloned into each block's
+    /// [`BlockSanitizer`]).
+    pub fn config(&self) -> &SanitizerConfig {
+        &self.cfg
+    }
+
+    /// Fold one finished block's log into the launch state. Call in
+    /// linear block-id order: the merge order defines the report order,
+    /// and block-id order reproduces the sequential executor exactly.
+    pub fn merge_block(&mut self, block: BlockSanitizer) {
+        for ev in block.log {
+            match ev {
+                SanEvent::Local { key, report } => self.push_keyed(key, report),
+                SanEvent::Global { acc, addr, size } => self.replay_global(acc, addr, size),
+            }
+        }
+    }
+
+    fn push_keyed(&mut self, key: HazardKey, report: HazardReport) {
+        if !self.seen.insert(key) {
+            return;
+        }
+        self.count += 1;
+        if self.reports.len() < self.cfg.max_reports {
+            self.reports.push(report);
+        }
+    }
+
+    /// Replay one logged global access against the launch-wide per-byte
+    /// shadow (level/ignore-range filtering already happened at log time).
+    fn replay_global(&mut self, acc: AccessInfo, addr: u64, size: usize) {
+        let kind = acc.kind;
+        for b in addr..addr + size as u64 {
+            let cell = self.global.entry(b).or_default();
+            let prior = match kind {
+                AccessKind::Read => cell.last_write.filter(|p| p.block != acc.block),
+                AccessKind::Write | AccessKind::Atomic => cell
+                    .last_write
+                    .filter(|p| {
+                        p.block != acc.block
+                            && !(kind == AccessKind::Atomic && p.kind == AccessKind::Atomic)
+                    })
+                    .or(cell.last_read.filter(|p| p.block != acc.block))
+                    .or(cell.other_read.filter(|p| p.block != acc.block)),
+            };
+            if let Some(p) = prior {
+                self.push_keyed(
+                    (HazardClass::RaceCheck, p.pc, acc.pc),
+                    HazardReport {
+                        class: HazardClass::RaceCheck,
+                        space: HazardSpace::Global,
+                        addr: b,
+                        first: Some(p),
+                        second: Some(acc),
+                        detail: format!(
+                            "global address {b:#x}: {acc} conflicts with {p} — \
+                             different blocks, no synchronization within a launch"
+                        ),
+                    },
+                );
+            }
+            let cell = self.global.entry(b).or_default();
+            if kind.writes() {
+                cell.last_write = Some(acc);
+            } else {
+                if let Some(lr) = cell.last_read {
+                    if lr.block != acc.block {
+                        cell.other_read = Some(lr);
+                    }
+                }
+                cell.last_read = Some(acc);
+            }
+        }
     }
 
     /// Reports collected so far (capped at `max_reports`).
@@ -546,17 +632,25 @@ impl LaunchSanitizer {
 mod tests {
     use super::*;
 
-    fn san() -> LaunchSanitizer {
-        let mut s = LaunchSanitizer::new(SanitizerConfig::full());
-        s.begin_block((0, 0), 64);
-        s
+    fn full_block(block: (u32, u32)) -> BlockSanitizer {
+        BlockSanitizer::new(SanitizerConfig::full(), block, 64)
+    }
+
+    /// Run `f` against a single full-checking block and merge it.
+    fn one_block(f: impl FnOnce(&mut BlockSanitizer)) -> LaunchSanitizer {
+        let mut launch = LaunchSanitizer::new(SanitizerConfig::full());
+        let mut b = full_block((0, 0));
+        f(&mut b);
+        launch.merge_block(b);
+        launch
     }
 
     #[test]
     fn cross_warp_shared_write_read_races() {
-        let mut s = san();
-        s.shared_access(0, 0, 10, 0, 4, true);
-        s.shared_access(32, 1, 20, 0, 4, false);
+        let s = one_block(|b| {
+            b.shared_access(0, 0, 10, 0, 4, true);
+            b.shared_access(32, 1, 20, 0, 4, false);
+        });
         assert_eq!(s.reports().len(), 1);
         let r = &s.reports()[0];
         assert_eq!(r.class, HazardClass::RaceCheck);
@@ -567,127 +661,146 @@ mod tests {
 
     #[test]
     fn same_warp_and_barrier_separated_accesses_are_clean() {
-        let mut s = san();
-        // Same warp: lockstep, exempt.
-        s.shared_access(0, 0, 10, 0, 4, true);
-        s.shared_access(1, 0, 20, 0, 4, false);
-        // Different warp but a barrier in between: ordered.
-        s.shared_access(0, 0, 30, 8, 4, true);
-        s.barrier_release();
-        s.shared_access(32, 1, 40, 8, 4, false);
+        let s = one_block(|b| {
+            // Same warp: lockstep, exempt.
+            b.shared_access(0, 0, 10, 0, 4, true);
+            b.shared_access(1, 0, 20, 0, 4, false);
+            // Different warp but a barrier in between: ordered.
+            b.shared_access(0, 0, 30, 8, 4, true);
+            b.barrier_release();
+            b.shared_access(32, 1, 40, 8, 4, false);
+        });
         assert!(s.reports().is_empty(), "{:?}", s.reports());
     }
 
     #[test]
     fn read_read_never_races() {
-        let mut s = san();
-        s.shared_access(0, 0, 10, 0, 4, true);
-        s.barrier_release();
-        s.shared_access(0, 0, 20, 0, 4, false);
-        s.shared_access(32, 1, 21, 0, 4, false);
+        let s = one_block(|b| {
+            b.shared_access(0, 0, 10, 0, 4, true);
+            b.barrier_release();
+            b.shared_access(0, 0, 20, 0, 4, false);
+            b.shared_access(32, 1, 21, 0, 4, false);
+        });
         assert!(s.reports().is_empty());
     }
 
     #[test]
     fn write_after_read_races_across_warps() {
-        let mut s = san();
-        s.shared_access(0, 0, 5, 0, 4, true);
-        s.barrier_release();
-        s.shared_access(32, 1, 10, 0, 4, false);
-        s.shared_access(0, 0, 20, 0, 4, true);
+        let s = one_block(|b| {
+            b.shared_access(0, 0, 5, 0, 4, true);
+            b.barrier_release();
+            b.shared_access(32, 1, 10, 0, 4, false);
+            b.shared_access(0, 0, 20, 0, 4, true);
+        });
         assert_eq!(s.reports().len(), 1);
         assert_eq!(s.reports()[0].first.unwrap().kind, AccessKind::Read);
     }
 
     #[test]
     fn uninitialized_shared_read_reported_once_per_pc() {
-        let mut s = san();
-        s.shared_access(0, 0, 7, 16, 4, false);
-        s.shared_access(1, 0, 7, 20, 4, false); // same pc: deduplicated
+        let s = one_block(|b| {
+            b.shared_access(0, 0, 7, 16, 4, false);
+            b.shared_access(1, 0, 7, 20, 4, false); // same pc: deduplicated
+                                                    // A written byte reads clean.
+            b.shared_access(0, 0, 8, 0, 4, true);
+            b.shared_access(0, 0, 9, 0, 4, false);
+        });
         assert_eq!(s.reports().len(), 1);
         assert_eq!(s.reports()[0].class, HazardClass::InitCheck);
-        // A written byte reads clean.
-        s.shared_access(0, 0, 8, 0, 4, true);
-        s.shared_access(0, 0, 9, 0, 4, false);
         assert_eq!(s.hazard_count(), 1);
     }
 
     #[test]
     fn global_conflicts_are_cross_block_only() {
-        let mut s = san();
-        s.global_access(0, 0, 10, 0x100, 4, AccessKind::Write);
-        s.global_access(32, 1, 20, 0x100, 4, AccessKind::Write); // same block
+        let mut s = LaunchSanitizer::new(SanitizerConfig::full());
+        let mut b0 = full_block((0, 0));
+        b0.global_access(0, 0, 10, 0x100, 4, AccessKind::Write);
+        b0.global_access(32, 1, 20, 0x100, 4, AccessKind::Write); // same block
+        s.merge_block(b0);
         assert!(s.reports().is_empty());
-        s.begin_block((1, 0), 64);
-        s.global_access(0, 0, 30, 0x100, 4, AccessKind::Write);
+        let mut b1 = full_block((1, 0));
+        b1.global_access(0, 0, 30, 0x100, 4, AccessKind::Write);
+        s.merge_block(b1);
         assert_eq!(s.reports().len(), 1);
         assert_eq!(s.reports()[0].space, HazardSpace::Global);
     }
 
     #[test]
     fn atomics_only_conflict_with_non_atomics() {
-        let mut s = san();
-        s.global_access(0, 0, 10, 0x40, 8, AccessKind::Atomic);
-        s.begin_block((1, 0), 64);
-        s.global_access(0, 0, 10, 0x40, 8, AccessKind::Atomic);
+        let mut s = LaunchSanitizer::new(SanitizerConfig::full());
+        for bx in 0..2 {
+            let mut b = full_block((bx, 0));
+            b.global_access(0, 0, 10, 0x40, 8, AccessKind::Atomic);
+            s.merge_block(b);
+        }
         assert!(s.reports().is_empty());
-        s.begin_block((2, 0), 64);
-        s.global_access(0, 0, 11, 0x40, 8, AccessKind::Write);
+        let mut b2 = full_block((2, 0));
+        b2.global_access(0, 0, 11, 0x40, 8, AccessKind::Write);
+        s.merge_block(b2);
         assert_eq!(s.reports().len(), 1);
     }
 
     #[test]
     fn ignore_ranges_suppress_global_reports() {
-        let mut s = LaunchSanitizer::new(SanitizerConfig {
+        let cfg = SanitizerConfig {
             level: SanitizerLevel::Full,
             global_ignore: vec![(0x100, 0x108)],
             ..Default::default()
-        });
-        s.begin_block((0, 0), 0);
-        s.global_access(0, 0, 10, 0x100, 8, AccessKind::Write);
-        s.begin_block((1, 0), 0);
-        s.global_access(0, 0, 10, 0x100, 8, AccessKind::Write);
-        assert!(s.reports().is_empty());
+        };
+        let mut s = LaunchSanitizer::new(cfg.clone());
+        let mut b0 = BlockSanitizer::new(cfg.clone(), (0, 0), 0);
+        b0.global_access(0, 0, 10, 0x100, 8, AccessKind::Write);
+        s.merge_block(b0);
+        let mut b1 = BlockSanitizer::new(cfg.clone(), (1, 0), 0);
+        b1.global_access(0, 0, 10, 0x100, 8, AccessKind::Write);
         // Outside the range still reports.
-        s.global_access(0, 0, 11, 0x108, 8, AccessKind::Write);
-        s.begin_block((2, 0), 0);
-        s.global_access(0, 0, 12, 0x108, 8, AccessKind::Write);
+        b1.global_access(0, 0, 11, 0x108, 8, AccessKind::Write);
+        s.merge_block(b1);
+        assert!(s.reports().is_empty());
+        let mut b2 = BlockSanitizer::new(cfg, (2, 0), 0);
+        b2.global_access(0, 0, 12, 0x108, 8, AccessKind::Write);
+        s.merge_block(b2);
         assert_eq!(s.reports().len(), 1);
     }
 
     #[test]
     fn report_cap_keeps_counting() {
-        let mut s = LaunchSanitizer::new(SanitizerConfig {
+        let cfg = SanitizerConfig {
             level: SanitizerLevel::Full,
             max_reports: 2,
             ..Default::default()
-        });
-        s.begin_block((0, 0), 1024);
+        };
+        let mut s = LaunchSanitizer::new(cfg.clone());
+        let mut b = BlockSanitizer::new(cfg, (0, 0), 1024);
         for pc in 0..5 {
-            s.shared_access(0, 0, pc, pc as u64, 1, false); // 5 distinct initchecks
+            b.shared_access(0, 0, pc, pc as u64, 1, false); // 5 distinct initchecks
         }
+        s.merge_block(b);
         assert_eq!(s.reports().len(), 2);
         assert_eq!(s.hazard_count(), 5);
     }
 
     #[test]
     fn sync_reports_and_level_gating() {
-        let mut s = san();
-        s.sync_divergence((2, 0), 5, 9, "4 threads at pc 5, 28 at pc 9".into());
-        s.sync_deadlock((2, 0), 3, 64, "waiting at pc 7".into());
+        let s = one_block(|b| {
+            b.sync_divergence(5, 9, "4 threads at pc 5, 28 at pc 9".into());
+            b.sync_deadlock(3, 64, "waiting at pc 7".into());
+        });
         assert_eq!(s.reports().len(), 2);
         assert!(s.reports()[0].to_string().contains("synccheck"));
         assert!(s.reports()[0].detail.contains("pc 5 vs pc 9"));
 
         // Race-only level ignores sync and init events.
-        let mut r = LaunchSanitizer::new(SanitizerConfig {
+        let cfg = SanitizerConfig {
             level: SanitizerLevel::Race,
             ..Default::default()
-        });
-        r.begin_block((0, 0), 64);
-        r.sync_deadlock((0, 0), 1, 2, String::new());
-        r.shared_access(0, 0, 1, 0, 4, false); // uninit read
-        assert!(r.reports().is_empty());
+        };
+        let mut launch = LaunchSanitizer::new(cfg.clone());
+        let mut b = BlockSanitizer::new(cfg, (0, 0), 64);
+        b.sync_deadlock(1, 2, String::new());
+        b.shared_access(0, 0, 1, 0, 4, false); // uninit read
+        launch.merge_block(b);
+        assert!(launch.reports().is_empty());
     }
 
     #[test]
@@ -696,28 +809,56 @@ mod tests {
         // (loading its own fold operand) and writes it. The write must
         // still conflict with warp 0's read even though warp 1's read was
         // recorded in between.
-        let mut s = san();
-        s.shared_access(0, 0, 1, 0, 4, true); // initialize, then barrier
-        s.barrier_release();
-        s.shared_access(0, 0, 10, 0, 4, false);
-        s.shared_access(32, 1, 11, 0, 4, false);
-        s.shared_access(32, 1, 12, 0, 4, true);
+        let s = one_block(|b| {
+            b.shared_access(0, 0, 1, 0, 4, true); // initialize, then barrier
+            b.barrier_release();
+            b.shared_access(0, 0, 10, 0, 4, false);
+            b.shared_access(32, 1, 11, 0, 4, false);
+            b.shared_access(32, 1, 12, 0, 4, true);
+        });
         assert_eq!(s.reports().len(), 1, "{:?}", s.reports());
         assert_eq!(s.reports()[0].class, HazardClass::RaceCheck);
         assert_eq!(s.reports()[0].first.unwrap().warp, 0);
     }
 
     #[test]
-    fn epoch_resets_per_block() {
-        let mut s = san();
-        s.shared_access(0, 0, 10, 0, 4, true);
-        s.barrier_release();
-        s.begin_block((1, 0), 64);
+    fn epoch_and_shared_shadow_are_per_block() {
+        let mut s = LaunchSanitizer::new(SanitizerConfig::full());
+        let mut b0 = full_block((0, 0));
+        b0.shared_access(0, 0, 10, 0, 4, true);
+        b0.barrier_release();
+        s.merge_block(b0);
         // Fresh block: no carry-over of shared shadow or epoch.
-        s.shared_access(32, 1, 20, 0, 4, true);
+        let mut b1 = full_block((1, 0));
+        b1.shared_access(32, 1, 20, 0, 4, true);
+        s.merge_block(b1);
         assert!(s
             .reports()
             .iter()
             .all(|r| r.class != HazardClass::RaceCheck));
+    }
+
+    /// The launch-wide dedup keeps the *first merged* block's instance of
+    /// a repeated hazard — the same one sequential execution would keep —
+    /// and block-local dedup does not hide the cross-block repeat from
+    /// the count.
+    #[test]
+    fn merge_order_defines_which_duplicate_survives() {
+        let mut s = LaunchSanitizer::new(SanitizerConfig::full());
+        let mut blocks: Vec<BlockSanitizer> = (0..3)
+            .map(|bx| {
+                let mut b = full_block((bx, 0));
+                b.shared_access(0, 0, 10, 0, 4, true);
+                b.shared_access(32, 1, 20, 0, 4, false);
+                b
+            })
+            .collect();
+        // Merge in block-id order regardless of completion order.
+        for b in blocks.drain(..) {
+            s.merge_block(b);
+        }
+        assert_eq!(s.reports().len(), 1);
+        assert_eq!(s.hazard_count(), 1);
+        assert_eq!(s.reports()[0].second.unwrap().block, (0, 0));
     }
 }

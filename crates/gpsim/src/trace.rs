@@ -76,6 +76,26 @@ impl Trace {
         }
     }
 
+    /// The configured event limit.
+    pub(crate) fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Append another trace's events (in order) until this buffer's limit
+    /// is reached. Used by the parallel block executor: each block records
+    /// into its own buffer (with the launch-wide limit) and the buffers are
+    /// merged in block-id order, which reproduces the sequential capture
+    /// byte for byte — a block that overflowed its own buffer would also
+    /// have overflowed the launch buffer at the same event.
+    pub(crate) fn merge_from(&mut self, other: Trace) {
+        for ev in other.events {
+            if !self.record(ev) {
+                break;
+            }
+        }
+        self.truncated |= other.truncated;
+    }
+
     /// The captured events, in execution order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
@@ -140,6 +160,33 @@ mod tests {
         assert!(r.contains("inst1"));
         assert!(!r.contains("inst2"));
         assert!(r.contains("truncated"));
+    }
+
+    #[test]
+    fn merge_respects_limit_and_propagates_truncation() {
+        let mut a = Trace::with_limit(3);
+        a.record(ev(0));
+        let mut b = Trace::with_limit(3);
+        for pc in 10..13 {
+            b.record(ev(pc));
+        }
+        b.record(ev(99)); // overflows b -> truncated
+        a.merge_from(b);
+        assert_eq!(a.events().len(), 3);
+        assert_eq!(a.events()[1].pc, 10);
+        assert_eq!(a.events()[2].pc, 11);
+        assert!(a.truncated());
+
+        // Truncation propagates even when the destination has room left.
+        let mut c = Trace::with_limit(100);
+        let mut d = Trace::with_limit(1);
+        d.record(ev(0));
+        d.record(ev(1));
+        assert!(d.truncated());
+        c.merge_from(d);
+        assert_eq!(c.events().len(), 1);
+        assert!(c.truncated());
+        assert_eq!(c.limit(), 100);
     }
 
     #[test]

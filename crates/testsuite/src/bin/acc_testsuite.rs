@@ -23,6 +23,10 @@ fn main() {
                 i += 1;
                 cfg.red_n = args[i].parse().expect("--red-n takes a number");
             }
+            "--host-threads" => {
+                i += 1;
+                cfg.host_threads = args[i].parse().expect("--host-threads takes a number");
+            }
             "--quick" => cfg = SuiteConfig::quick(),
             "--fig11" => fig11 = true,
             "--all-ops" => all_ops = true,
@@ -32,6 +36,8 @@ fn main() {
                     "acc-testsuite: regenerate Table 2 / Fig. 11 of the paper\n\
                      --red-n N    reduction loop size (default 16384; paper used up to 1M)\n\
                      --quick      small sizes for smoke testing\n\
+                     --host-threads N  simulator host worker threads (0 = auto, 1 = sequential;\n\
+                                       results are bit-identical at any setting)\n\
                      --all-ops    run all nine OpenACC reduction operators (not just + and *)\n\
                      --fig11      also print the Figure 11 per-position series\n\
                      --sanitize   run the hazard-sanitizer detection matrix instead"

@@ -21,6 +21,10 @@ pub struct SuiteConfig {
     pub red_n: usize,
     /// Launch geometry (the paper: 192 gangs, 8 workers, vector 128).
     pub dims: LaunchDims,
+    /// Host worker threads for block execution (0 = auto, 1 = sequential;
+    /// see [`gpsim::DeviceConfig::host_threads`]). Results are bit-identical
+    /// at any setting.
+    pub host_threads: u32,
 }
 
 impl Default for SuiteConfig {
@@ -28,6 +32,7 @@ impl Default for SuiteConfig {
         SuiteConfig {
             red_n: 16 * 1024,
             dims: LaunchDims::paper(),
+            host_threads: 0,
         }
     }
 }
@@ -42,6 +47,7 @@ impl SuiteConfig {
                 workers: 4,
                 vector: 64,
             },
+            host_threads: 0,
         }
     }
 }
@@ -210,6 +216,7 @@ fn run_case_inner(
             }
         }
     };
+    r.set_host_threads(cfg.host_threads);
     if let Err(e) = (|| -> Result<(), AccError> {
         bind_dims(pos, cfg, |n, v| r.bind_int(n, v))?;
         r.bind_array("input", data.input.clone())?;

@@ -107,6 +107,7 @@ fn sanitized_case(
     let data = case_data(pos, op, t, cfg);
     let mut r = AccRunner::with_options(&src, opts, cfg.dims, Device::default())
         .map_err(|e| (Vec::new(), e.to_string()))?;
+    r.set_host_threads(cfg.host_threads);
     r.sanitize(SanitizerLevel::Full);
     let bound = (|| -> Result<(), AccError> {
         bind_dims(pos, cfg, |n, v| r.bind_int(n, v))?;
@@ -235,6 +236,7 @@ pub fn run_sanitize_matrix(cfg: &SuiteConfig) -> Vec<SanitizeRow> {
                     workers: 2,
                     vector: 80,
                 },
+                ..*cfg
             },
         ),
     ));

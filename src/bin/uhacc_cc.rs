@@ -19,6 +19,7 @@ struct Args {
     emit_kernel: bool,
     emit_plan: bool,
     sanitize: bool,
+    host_threads: u32,
 }
 
 fn usage() -> ! {
@@ -31,6 +32,9 @@ fn usage() -> ! {
            --emit WHAT         hir | kernel | plan | all (default kernel,plan)\n\
            --sanitize          run the hazard-sanitizer detection matrix\n\
                                (no input file needed) and exit\n\
+           --host-threads N    simulator host worker threads for --sanitize\n\
+                               (0 = auto, 1 = sequential; results are\n\
+                               bit-identical at any setting)\n\
            -h, --help          this message"
     );
     std::process::exit(2);
@@ -45,6 +49,7 @@ fn parse_args() -> Args {
         emit_kernel: true,
         emit_plan: true,
         sanitize: false,
+        host_threads: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -98,6 +103,13 @@ fn parse_args() -> Args {
                 }
             }
             "--sanitize" => args.sanitize = true,
+            "--host-threads" => {
+                i += 1;
+                args.host_threads = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             f if !f.starts_with('-') || f == "-" => {
                 if have_input {
                     usage();
@@ -118,7 +130,8 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     if args.sanitize {
-        let cfg = uhacc::testsuite::SuiteConfig::quick();
+        let mut cfg = uhacc::testsuite::SuiteConfig::quick();
+        cfg.host_threads = args.host_threads;
         let rows = uhacc::testsuite::run_sanitize_matrix(&cfg);
         print!("{}", uhacc::testsuite::format_matrix(&rows));
         std::process::exit(if rows.iter().all(|r| r.ok()) { 0 } else { 1 });
