@@ -145,6 +145,25 @@ impl AccRunner {
         self.device.take_hazards()
     }
 
+    /// Statically verify every subsequent launch — main kernels *and*
+    /// finalize kernels — with [`gpsim::verify`] as a pre-launch pass at
+    /// the launch's block shape. Advisory: a finding never aborts the
+    /// run; harvest reports with [`AccRunner::take_verify_reports`].
+    pub fn verify(&mut self, on: bool) {
+        self.device
+            .set_verifier(on.then(gpsim::VerifyConfig::default));
+    }
+
+    /// Static verification reports accumulated across launches.
+    pub fn verify_reports(&self) -> &[gpsim::VerifyReport] {
+        self.device.verify_reports()
+    }
+
+    /// Drain the accumulated verification reports.
+    pub fn take_verify_reports(&mut self) -> Vec<gpsim::VerifyReport> {
+        self.device.take_verify_reports()
+    }
+
     fn host_index(&self, name: &str) -> Result<usize, AccError> {
         self.prog
             .host_index(name)

@@ -11,6 +11,7 @@ use crate::sanitizer::{HazardReport, LaunchSanitizer, SanitizerConfig};
 use crate::stats::{LaunchStats, SessionStats};
 use crate::trace::Trace;
 use crate::types::{Ty, Value};
+use crate::verify::{verify_kernel, VerifyConfig, VerifyReport};
 
 /// A simulated GPU device.
 #[derive(Debug)]
@@ -21,6 +22,8 @@ pub struct Device {
     stats: SessionStats,
     sanitizer: SanitizerConfig,
     hazards: Vec<HazardReport>,
+    verifier: Option<VerifyConfig>,
+    verify_reports: Vec<VerifyReport>,
 }
 
 impl Default for Device {
@@ -51,6 +54,8 @@ impl Device {
             stats: SessionStats::default(),
             sanitizer: SanitizerConfig::default(),
             hazards: Vec::new(),
+            verifier: None,
+            verify_reports: Vec::new(),
         })
     }
 
@@ -89,6 +94,25 @@ impl Device {
     /// Drain the accumulated hazard reports.
     pub fn take_hazards(&mut self) -> Vec<HazardReport> {
         std::mem::take(&mut self.hazards)
+    }
+
+    /// Enable (or disable, with `None`) the static verifier as a
+    /// pre-launch pass: every subsequent launch first runs
+    /// [`crate::verify::verify_kernel`] over the kernel at the launch's
+    /// block shape and accumulates the report. Verification never aborts
+    /// the launch — verdicts are advisory, mirroring the sanitizer.
+    pub fn set_verifier(&mut self, cfg: Option<VerifyConfig>) {
+        self.verifier = cfg;
+    }
+
+    /// Static verification reports accumulated across launches.
+    pub fn verify_reports(&self) -> &[VerifyReport] {
+        &self.verify_reports
+    }
+
+    /// Drain the accumulated verification reports.
+    pub fn take_verify_reports(&mut self) -> Vec<VerifyReport> {
+        std::mem::take(&mut self.verify_reports)
     }
 
     /// A small device for fast unit tests.
@@ -201,6 +225,14 @@ impl Device {
         params: &[Value],
         trace: Option<&mut Trace>,
     ) -> Result<LaunchStats, SimError> {
+        if let Some(vc) = &self.verifier {
+            let vc = VerifyConfig {
+                warp_size: self.config.warp_size,
+                shared_banks: self.config.shared_banks,
+                ..*vc
+            };
+            self.verify_reports.push(verify_kernel(kernel, cfg, &vc));
+        }
         let mut san = self
             .sanitizer
             .level

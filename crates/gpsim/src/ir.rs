@@ -252,6 +252,21 @@ pub enum AtomOp {
     Exch,
 }
 
+impl fmt::Display for AtomOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AtomOp::Add => "add",
+            AtomOp::Min => "min",
+            AtomOp::Max => "max",
+            AtomOp::And => "and",
+            AtomOp::Or => "or",
+            AtomOp::Xor => "xor",
+            AtomOp::Exch => "exch",
+        };
+        f.write_str(s)
+    }
+}
+
 /// A branch target label, resolved to an instruction index at finalize time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Label(pub u32);
@@ -370,10 +385,61 @@ impl Inst {
     pub fn is_shared_access(&self) -> bool {
         matches!(self, Inst::LdShared { .. } | Inst::StShared { .. })
     }
+
+    /// Call `f` on every register this instruction *reads* (sources,
+    /// predicates, and memory-reference base/index registers).
+    ///
+    /// The match is deliberately exhaustive — adding an `Inst` variant
+    /// without deciding its uses must not compile.
+    pub fn for_each_use(&self, mut f: impl FnMut(Reg)) {
+        fn op(o: &Operand, f: &mut dyn FnMut(Reg)) {
+            if let Operand::Reg(r) = o {
+                f(*r);
+            }
+        }
+        fn mem(m: &MemRef, f: &mut dyn FnMut(Reg)) {
+            if let Operand::Reg(r) = m.base {
+                f(r);
+            }
+            if let Some(r) = m.index {
+                f(r);
+            }
+        }
+        match self {
+            Inst::MovImm { .. } | Inst::ReadSpecial { .. } | Inst::ReadParam { .. } => {}
+            Inst::Mov { src, .. } => f(*src),
+            Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                op(a, &mut f);
+                op(b, &mut f);
+            }
+            Inst::Un { a, .. } => op(a, &mut f),
+            Inst::Select { cond, a, b, .. } => {
+                f(*cond);
+                op(a, &mut f);
+                op(b, &mut f);
+            }
+            Inst::Cvt { src, .. } => op(src, &mut f),
+            Inst::LdGlobal { mref, .. } | Inst::LdShared { mref, .. } => mem(mref, &mut f),
+            Inst::StGlobal { src, mref, .. } | Inst::StShared { src, mref, .. } => {
+                op(src, &mut f);
+                mem(mref, &mut f);
+            }
+            Inst::AtomGlobal { mref, src, .. } => {
+                op(src, &mut f);
+                mem(mref, &mut f);
+            }
+            Inst::Bar | Inst::Ret => {}
+            Inst::Bra { cond, .. } => {
+                if let Some((r, _)) = cond {
+                    f(*r);
+                }
+            }
+        }
+    }
 }
 
 /// A compiled kernel: a finalized instruction list plus launch metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Kernel {
     /// Human-readable kernel name (shows up in stats and errors).
     pub name: String,
@@ -428,22 +494,70 @@ impl Kernel {
     }
 }
 
+/// Render an immediate with its type made explicit in the spelling, so
+/// the listing parses back to the same [`Value`]: `I32` is a bare
+/// decimal, `I64` carries an `L` suffix, `U64` is hex, `F32` carries an
+/// `f` suffix, `F64` always shows a `.`/exponent, predicates are
+/// `true`/`false`.
+pub fn format_imm(v: Value) -> String {
+    match v {
+        Value::I32(x) => format!("{x}"),
+        Value::I64(x) => format!("{x}L"),
+        Value::U64(x) => format!("{x:#x}"),
+        Value::F32(x) => format!("{x:?}f"),
+        Value::F64(x) => format!("{x:?}"),
+        Value::Pred(x) => format!("{x}"),
+    }
+}
+
+fn format_operand(o: &Operand) -> String {
+    match o {
+        Operand::Reg(r) => r.to_string(),
+        Operand::Imm(v) => format_imm(*v),
+    }
+}
+
+fn format_mref(m: &MemRef) -> String {
+    let mut s = format!("[{}", format_operand(&m.base));
+    if let Some(idx) = m.index {
+        s.push_str(&format!(" + {idx}*{}", m.scale));
+    }
+    if m.disp != 0 {
+        s.push_str(&format!(" + {}", m.disp));
+    }
+    s.push(']');
+    s
+}
+
 /// Render one instruction as text (used by `disasm` and the tracer).
+/// [`crate::disasm::parse_kernel`] is the exact inverse.
 pub fn format_inst(inst: &Inst) -> String {
+    let op_s = format_operand;
+    let mref_s = format_mref;
     match inst {
-        Inst::MovImm { dst, value } => format!("mov {dst}, {value}"),
+        Inst::MovImm { dst, value } => format!("mov {dst}, {}", format_imm(*value)),
         Inst::Mov { dst, src } => format!("mov {dst}, {src}"),
         Inst::ReadSpecial { dst, sr } => format!("mov {dst}, {sr}"),
         Inst::ReadParam { dst, idx } => format!("ld.param {dst}, [{idx}]"),
-        Inst::Bin { op, ty, dst, a, b } => format!("{op}.{ty} {dst}, {a}, {b}"),
-        Inst::Cmp { op, ty, dst, a, b } => format!("setp.{op}.{ty} {dst}, {a}, {b}"),
-        Inst::Un { op, ty, dst, a } => format!("{op}.{ty} {dst}, {a}"),
-        Inst::Select { dst, cond, a, b } => format!("selp {dst}, {cond}, {a}, {b}"),
-        Inst::Cvt { dst, ty, src } => format!("cvt.{ty} {dst}, {src}"),
-        Inst::LdGlobal { ty, dst, mref } => format!("ld.global.{ty} {dst}, {mref}"),
-        Inst::StGlobal { ty, src, mref } => format!("st.global.{ty} {mref}, {src}"),
-        Inst::LdShared { ty, dst, mref } => format!("ld.shared.{ty} {dst}, {mref}"),
-        Inst::StShared { ty, src, mref } => format!("st.shared.{ty} {mref}, {src}"),
+        Inst::Bin { op, ty, dst, a, b } => {
+            format!("{op}.{ty} {dst}, {}, {}", op_s(a), op_s(b))
+        }
+        Inst::Cmp { op, ty, dst, a, b } => {
+            format!("setp.{op}.{ty} {dst}, {}, {}", op_s(a), op_s(b))
+        }
+        Inst::Un { op, ty, dst, a } => format!("{op}.{ty} {dst}, {}", op_s(a)),
+        Inst::Select { dst, cond, a, b } => {
+            format!("selp {dst}, {cond}, {}, {}", op_s(a), op_s(b))
+        }
+        Inst::Cvt { dst, ty, src } => format!("cvt.{ty} {dst}, {}", op_s(src)),
+        Inst::LdGlobal { ty, dst, mref } => format!("ld.global.{ty} {dst}, {}", mref_s(mref)),
+        Inst::StGlobal { ty, src, mref } => {
+            format!("st.global.{ty} {}, {}", mref_s(mref), op_s(src))
+        }
+        Inst::LdShared { ty, dst, mref } => format!("ld.shared.{ty} {dst}, {}", mref_s(mref)),
+        Inst::StShared { ty, src, mref } => {
+            format!("st.shared.{ty} {}, {}", mref_s(mref), op_s(src))
+        }
         Inst::AtomGlobal {
             op,
             ty,
@@ -451,8 +565,8 @@ pub fn format_inst(inst: &Inst) -> String {
             src,
             dst,
         } => match dst {
-            Some(d) => format!("atom.global.{op:?}.{ty} {d}, {mref}, {src}"),
-            None => format!("red.global.{op:?}.{ty} {mref}, {src}"),
+            Some(d) => format!("atom.global.{op}.{ty} {d}, {}, {}", mref_s(mref), op_s(src)),
+            None => format!("red.global.{op}.{ty} {}, {}", mref_s(mref), op_s(src)),
         },
         Inst::Bar => "bar.sync 0".to_string(),
         Inst::Bra { target, cond } => match cond {
@@ -507,6 +621,203 @@ mod tests {
         };
         assert!(ls.is_shared_access());
         assert_eq!(Inst::Bar.def(), None);
+    }
+
+    /// Exhaustive `def()`/`writes()` coverage: one instance of *every*
+    /// `Inst` variant, checked against its expected def with a full match
+    /// (no wildcard) so that adding a variant without deciding what it
+    /// defines fails to compile here first, not silently in a dataflow.
+    #[test]
+    fn def_covers_every_variant() {
+        let m = MemRef::indexed(Reg(9), Reg(10), 4);
+        let all: Vec<(Inst, Option<Reg>)> = vec![
+            (
+                Inst::MovImm {
+                    dst: Reg(0),
+                    value: Value::I32(1),
+                },
+                Some(Reg(0)),
+            ),
+            (
+                Inst::Mov {
+                    dst: Reg(1),
+                    src: Reg(2),
+                },
+                Some(Reg(1)),
+            ),
+            (
+                Inst::ReadSpecial {
+                    dst: Reg(2),
+                    sr: SpecialReg::TidX,
+                },
+                Some(Reg(2)),
+            ),
+            (
+                Inst::ReadParam {
+                    dst: Reg(3),
+                    idx: 0,
+                },
+                Some(Reg(3)),
+            ),
+            (
+                Inst::Bin {
+                    op: BinOp::Add,
+                    ty: Ty::I32,
+                    dst: Reg(4),
+                    a: Reg(1).into(),
+                    b: Reg(2).into(),
+                },
+                Some(Reg(4)),
+            ),
+            (
+                Inst::Cmp {
+                    op: CmpOp::Lt,
+                    ty: Ty::I32,
+                    dst: Reg(5),
+                    a: Reg(1).into(),
+                    b: Reg(2).into(),
+                },
+                Some(Reg(5)),
+            ),
+            (
+                Inst::Un {
+                    op: UnOp::Neg,
+                    ty: Ty::I32,
+                    dst: Reg(6),
+                    a: Reg(1).into(),
+                },
+                Some(Reg(6)),
+            ),
+            (
+                Inst::Select {
+                    dst: Reg(7),
+                    cond: Reg(5),
+                    a: Reg(1).into(),
+                    b: Reg(2).into(),
+                },
+                Some(Reg(7)),
+            ),
+            (
+                Inst::Cvt {
+                    dst: Reg(8),
+                    ty: Ty::I64,
+                    src: Reg(1).into(),
+                },
+                Some(Reg(8)),
+            ),
+            (
+                Inst::LdGlobal {
+                    ty: Ty::I32,
+                    dst: Reg(11),
+                    mref: m,
+                },
+                Some(Reg(11)),
+            ),
+            (
+                Inst::StGlobal {
+                    ty: Ty::I32,
+                    src: Reg(11).into(),
+                    mref: m,
+                },
+                None,
+            ),
+            (
+                Inst::LdShared {
+                    ty: Ty::I32,
+                    dst: Reg(12),
+                    mref: m,
+                },
+                Some(Reg(12)),
+            ),
+            (
+                Inst::StShared {
+                    ty: Ty::I32,
+                    src: Reg(12).into(),
+                    mref: m,
+                },
+                None,
+            ),
+            (
+                Inst::AtomGlobal {
+                    op: AtomOp::Add,
+                    ty: Ty::I32,
+                    mref: m,
+                    src: Reg(1).into(),
+                    dst: Some(Reg(13)),
+                },
+                Some(Reg(13)),
+            ),
+            (
+                Inst::AtomGlobal {
+                    op: AtomOp::Add,
+                    ty: Ty::I32,
+                    mref: m,
+                    src: Reg(1).into(),
+                    dst: None,
+                },
+                None,
+            ),
+            (Inst::Bar, None),
+            (
+                Inst::Bra {
+                    target: Label(0),
+                    cond: Some((Reg(5), true)),
+                },
+                None,
+            ),
+            (Inst::Ret, None),
+        ];
+        // Every variant must appear in the list above. This match has no
+        // wildcard arm: extend both it and the list when adding a variant.
+        for (inst, _) in &all {
+            match inst {
+                Inst::MovImm { .. }
+                | Inst::Mov { .. }
+                | Inst::ReadSpecial { .. }
+                | Inst::ReadParam { .. }
+                | Inst::Bin { .. }
+                | Inst::Cmp { .. }
+                | Inst::Un { .. }
+                | Inst::Select { .. }
+                | Inst::Cvt { .. }
+                | Inst::LdGlobal { .. }
+                | Inst::StGlobal { .. }
+                | Inst::LdShared { .. }
+                | Inst::StShared { .. }
+                | Inst::AtomGlobal { .. }
+                | Inst::Bar
+                | Inst::Bra { .. }
+                | Inst::Ret => {}
+            }
+        }
+        for (inst, want) in &all {
+            assert_eq!(inst.def(), *want, "def() mismatch for {inst:?}");
+            if let Some(r) = want {
+                assert!(inst.writes(*r), "writes() false for def of {inst:?}");
+                let mut used = false;
+                inst.for_each_use(|u| used |= u == *r);
+                assert!(!used, "def reported as use for {inst:?}");
+            }
+        }
+        // Spot-check use sets: stores read their source and both memref regs.
+        let st = Inst::StShared {
+            ty: Ty::I32,
+            src: Reg(12).into(),
+            mref: m,
+        };
+        let mut uses = Vec::new();
+        st.for_each_use(|r| uses.push(r));
+        assert_eq!(uses, vec![Reg(12), Reg(9), Reg(10)]);
+    }
+
+    #[test]
+    fn immediates_render_with_type_suffixes() {
+        assert_eq!(format_imm(Value::I32(-5)), "-5");
+        assert_eq!(format_imm(Value::I64(7)), "7L");
+        assert_eq!(format_imm(Value::U64(64)), "0x40");
+        assert_eq!(format_imm(Value::F32(1.0)), "1.0f");
+        assert_eq!(format_imm(Value::F64(2.5)), "2.5");
+        assert_eq!(format_imm(Value::Pred(true)), "true");
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod builder;
 pub mod coalesce;
 pub mod cost;
 pub mod device;
+pub mod disasm;
 pub mod error;
 pub mod exec;
 pub mod ir;
@@ -49,10 +50,12 @@ pub mod sanitizer;
 pub mod stats;
 pub mod trace;
 pub mod types;
+pub mod verify;
 
 pub use builder::KernelBuilder;
 pub use cost::{CostModel, DeviceConfig};
 pub use device::Device;
+pub use disasm::parse_kernel;
 pub use error::SimError;
 pub use exec::{
     eval_bin, eval_cmp, eval_un, run_kernel_instrumented, run_kernel_traced, LaunchConfig,
@@ -66,3 +69,4 @@ pub use sanitizer::{
 pub use stats::{LaunchStats, SessionStats};
 pub use trace::{MemTouch, Trace, TraceEvent, TraceSpace};
 pub use types::{Ty, Value};
+pub use verify::{verify_kernel, VerifyClass, VerifyConfig, VerifyFinding, VerifyReport};

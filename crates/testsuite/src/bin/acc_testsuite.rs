@@ -1,12 +1,12 @@
 //! Command-line driver for the reduction testsuite (regenerates the
 //! paper's Table 2 and Figure 11 with modelled device times).
 //!
-//! Usage: `acc-testsuite [--red-n N] [--quick] [--all-ops] [--fig11] [--sanitize]`
+//! Usage: `acc-testsuite [--red-n N] [--quick] [--all-ops] [--fig11] [--sanitize] [--verify]`
 
 use acc_baselines::Compiler;
 use acc_testsuite::{
-    format_fig11, format_matrix, format_summary, format_table2, run_sanitize_matrix, run_suite,
-    SuiteConfig,
+    format_fig11, format_matrix, format_summary, format_table2, format_verify_sweep,
+    run_sanitize_matrix, run_suite, run_verify_sweep, SuiteConfig,
 };
 use accparse::ast::{CType, RedOp};
 
@@ -16,6 +16,7 @@ fn main() {
     let mut fig11 = false;
     let mut all_ops = false;
     let mut sanitize = false;
+    let mut verify = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -31,6 +32,7 @@ fn main() {
             "--fig11" => fig11 = true,
             "--all-ops" => all_ops = true,
             "--sanitize" => sanitize = true,
+            "--verify" => verify = true,
             "--help" | "-h" => {
                 println!(
                     "acc-testsuite: regenerate Table 2 / Fig. 11 of the paper\n\
@@ -40,7 +42,9 @@ fn main() {
                                        results are bit-identical at any setting)\n\
                      --all-ops    run all nine OpenACC reduction operators (not just + and *)\n\
                      --fig11      also print the Figure 11 per-position series\n\
-                     --sanitize   run the hazard-sanitizer detection matrix instead"
+                     --sanitize   run the hazard-sanitizer detection matrix instead\n\
+                     --verify     statically verify every generated kernel of the §6\n\
+                                  grid (no simulation) and exit non-zero on errors"
                 );
                 return;
             }
@@ -52,6 +56,15 @@ fn main() {
         i += 1;
     }
 
+    if verify {
+        eprintln!("statically verifying the §6 kernel grid (no simulation) ...");
+        let rows = run_verify_sweep(&cfg);
+        print!("{}", format_verify_sweep(&rows));
+        if rows.iter().any(|r| !r.ok()) {
+            std::process::exit(1);
+        }
+        return;
+    }
     if sanitize {
         eprintln!(
             "running sanitizer detection matrix (red_n = {}) ...",

@@ -20,4 +20,7 @@ pub mod sanitize;
 pub use cases::{case_source, Position};
 pub use report::{format_fig11, format_summary, format_table2};
 pub use run::{run_case, run_suite, CaseResult, CaseStatus, SuiteConfig};
-pub use sanitize::{format_matrix, run_sanitize_matrix, SanitizeRow};
+pub use sanitize::{
+    format_matrix, format_verify_sweep, run_sanitize_matrix, run_verify_sweep, SanitizeRow,
+    VerifySweepRow,
+};

@@ -13,17 +13,21 @@
 
 use crate::cases::{case_source, Position};
 use crate::run::{bind_dims, case_data, SuiteConfig};
+use acc_baselines::Compiler;
 use accparse::ast::{CType, RedOp};
 use accrt::{AccError, AccRunner, HostBuffer};
 use gpsim::{
-    CmpOp, Device, HazardClass, HazardReport, KernelBuilder, LaunchConfig, MemRef, SanitizerConfig,
-    SanitizerLevel, SpecialReg, Ty, Value,
+    verify_kernel, CmpOp, Device, HazardClass, HazardReport, KernelBuilder, LaunchConfig, MemRef,
+    SanitizerConfig, SanitizerLevel, SpecialReg, Ty, Value, VerifyClass, VerifyConfig,
+    VerifyReport,
 };
-use uhacc_core::{CompilerOptions, LaunchDims, VectorLayout};
+use uhacc_core::{compile_region, CompilerOptions, LaunchDims, VectorLayout};
 
 /// One row of the detection matrix: a (strategy, defect) combination with
-/// per-class hazard counts and the classes the row is expected to raise
-/// (empty = must be clean).
+/// per-class hazard counts from the *dynamic* sanitizer, the error counts
+/// from the *static* verifier run as a pre-launch pass over the same
+/// kernels, and the classes the row is expected to raise (empty = must be
+/// clean under both).
 #[derive(Debug, Clone)]
 pub struct SanitizeRow {
     pub label: String,
@@ -33,12 +37,23 @@ pub struct SanitizeRow {
     pub racecheck: u64,
     pub synccheck: u64,
     pub initcheck: u64,
+    /// Static racecheck errors from [`gpsim::verify`].
+    pub static_race: u64,
+    /// Static synccheck errors.
+    pub static_sync: u64,
+    /// Static initcheck errors.
+    pub static_init: u64,
+    /// Static out-of-bounds shared accesses (no dynamic counterpart in
+    /// the matrix; must stay zero everywhere).
+    pub static_bounds: u64,
+    /// Shared accesses the static analysis could not prove (warn-only).
+    pub static_unproven: u64,
     /// First report (or run error) for context.
     pub sample: Option<String>,
 }
 
 impl SanitizeRow {
-    /// Hazard count for one class.
+    /// Dynamic hazard count for one class.
     pub fn count(&self, c: HazardClass) -> u64 {
         match c {
             HazardClass::RaceCheck => self.racecheck,
@@ -47,12 +62,17 @@ impl SanitizeRow {
         }
     }
 
-    /// Did the sanitizer report anything at all?
+    /// Did the dynamic sanitizer report anything at all?
     pub fn any(&self) -> bool {
         self.racecheck + self.synccheck + self.initcheck > 0
     }
 
-    /// Row verdict: `clean` / `detected` when the outcome matches the
+    /// Did the static verifier report any error-severity finding?
+    pub fn static_any(&self) -> bool {
+        self.static_race + self.static_sync + self.static_init + self.static_bounds > 0
+    }
+
+    /// Dynamic verdict: `clean` / `detected` when the outcome matches the
     /// expectation, `FALSE POSITIVE` / `MISSED` when it does not.
     pub fn verdict(&self) -> &'static str {
         if self.expect.is_empty() {
@@ -68,34 +88,88 @@ impl SanitizeRow {
         }
     }
 
-    /// True when the row behaved as expected.
+    /// Static verdict, cross-validated against the same expectation: a
+    /// clean row must produce zero static errors (no false positives); a
+    /// defect row must be flagged. Class-exact agreement is not required
+    /// — e.g. a missing stage barrier shows up dynamically as race+init
+    /// but statically as a race alone — the static column must *subsume*
+    /// the dynamic one at row granularity.
+    pub fn static_verdict(&self) -> &'static str {
+        if self.expect.is_empty() {
+            if self.static_any() {
+                "FALSE POSITIVE"
+            } else {
+                "clean"
+            }
+        } else if self.static_any() {
+            "detected"
+        } else {
+            "MISSED"
+        }
+    }
+
+    /// True when the row behaved as expected under both the dynamic
+    /// sanitizer and the static verifier.
     pub fn ok(&self) -> bool {
         matches!(self.verdict(), "clean" | "detected")
+            && matches!(self.static_verdict(), "clean" | "detected")
     }
 }
 
+/// Everything one matrix case produced: dynamic hazard reports, static
+/// verification reports (one per launched kernel), and the run error (if
+/// any) — reports are harvested before an abort propagates.
+struct CaseOutcome {
+    reports: Vec<HazardReport>,
+    verify: Vec<VerifyReport>,
+    err: Option<String>,
+}
+
 fn tally(label: String, expect: Vec<HazardClass>, outcome: CaseOutcome) -> SanitizeRow {
-    let (reports, err) = match outcome {
-        Ok(r) => (r, None),
-        Err((r, e)) => (r, Some(e)),
+    let count = |c| {
+        outcome
+            .reports
+            .iter()
+            .filter(|r: &&HazardReport| r.class == c)
+            .count() as u64
     };
-    let count = |c| reports.iter().filter(|r| r.class == c).count() as u64;
+    let vcount = |c: VerifyClass| {
+        outcome
+            .verify
+            .iter()
+            .flat_map(|r| &r.findings)
+            .filter(|f| f.class == c && !f.warning)
+            .count() as u64
+    };
+    let static_sample = outcome
+        .verify
+        .iter()
+        .flat_map(|r| r.findings.iter().filter(|f| !f.warning))
+        .next()
+        .map(|f| f.to_string());
     SanitizeRow {
         label,
         expect,
         racecheck: count(HazardClass::RaceCheck),
         synccheck: count(HazardClass::SyncCheck),
         initcheck: count(HazardClass::InitCheck),
-        sample: reports.first().map(|r| r.to_string()).or(err),
+        static_race: vcount(VerifyClass::RaceCheck),
+        static_sync: vcount(VerifyClass::SyncCheck),
+        static_init: vcount(VerifyClass::InitCheck),
+        static_bounds: vcount(VerifyClass::BoundsCheck),
+        static_unproven: outcome.verify.iter().map(|r| r.unproven as u64).sum(),
+        sample: outcome
+            .reports
+            .first()
+            .map(|r| r.to_string())
+            .or(static_sample)
+            .or(outcome.err),
     }
 }
 
-/// Reports from a run, with the run error (if any) attached alongside the
-/// reports harvested before the abort.
-type CaseOutcome = Result<Vec<HazardReport>, (Vec<HazardReport>, String)>;
-
 /// Run one testsuite case under the given compiler options with the
-/// sanitizer at `Full`, returning everything it reported.
+/// sanitizer at `Full` *and* the static verifier enabled, returning
+/// everything both reported.
 fn sanitized_case(
     opts: CompilerOptions,
     pos: Position,
@@ -105,10 +179,19 @@ fn sanitized_case(
 ) -> CaseOutcome {
     let src = case_source(pos, op, t);
     let data = case_data(pos, op, t, cfg);
-    let mut r = AccRunner::with_options(&src, opts, cfg.dims, Device::default())
-        .map_err(|e| (Vec::new(), e.to_string()))?;
+    let mut r = match AccRunner::with_options(&src, opts, cfg.dims, Device::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            return CaseOutcome {
+                reports: Vec::new(),
+                verify: Vec::new(),
+                err: Some(e.to_string()),
+            }
+        }
+    };
     r.set_host_threads(cfg.host_threads);
     r.sanitize(SanitizerLevel::Full);
+    r.verify(true);
     let bound = (|| -> Result<(), AccError> {
         bind_dims(pos, cfg, |n, v| r.bind_int(n, v))?;
         r.bind_array("input", data.input.clone())?;
@@ -117,10 +200,10 @@ fn sanitized_case(
         }
         r.run()
     })();
-    let reports = r.take_hazards();
-    match bound {
-        Ok(()) => Ok(reports),
-        Err(e) => Err((reports, e.to_string())),
+    CaseOutcome {
+        reports: r.take_hazards(),
+        verify: r.take_verify_reports(),
+        err: bound.err().map(|e| e.to_string()),
     }
 }
 
@@ -142,11 +225,12 @@ fn divergent_barrier_reports() -> CaseOutcome {
     let k = b.finish();
     let mut dev = Device::test_small();
     dev.set_sanitizer(SanitizerConfig::full());
+    dev.set_verifier(Some(VerifyConfig::default()));
     let run = dev.launch(&k, LaunchConfig::d1(1, 64), &[]);
-    let reports = dev.take_hazards();
-    match run {
-        Ok(_) => Ok(reports),
-        Err(e) => Err((reports, e.to_string())),
+    CaseOutcome {
+        reports: dev.take_hazards(),
+        verify: dev.take_verify_reports(),
+        err: run.err().map(|e| e.to_string()),
     }
 }
 
@@ -163,12 +247,13 @@ fn uninit_shared_reports() -> CaseOutcome {
     let k = b.finish();
     let mut dev = Device::test_small();
     dev.set_sanitizer(SanitizerConfig::full());
+    dev.set_verifier(Some(VerifyConfig::default()));
     let buf = dev.alloc_elems(Ty::I32, 32).expect("alloc");
     let run = dev.launch(&k, LaunchConfig::d1(1, 32), &[Value::U64(buf.addr)]);
-    let reports = dev.take_hazards();
-    match run {
-        Ok(_) => Ok(reports),
-        Err(e) => Err((reports, e.to_string())),
+    CaseOutcome {
+        reports: dev.take_hazards(),
+        verify: dev.take_verify_reports(),
+        err: run.err().map(|e| e.to_string()),
     }
 }
 
@@ -267,30 +352,183 @@ pub fn run_sanitize_matrix(cfg: &SuiteConfig) -> Vec<SanitizeRow> {
     rows
 }
 
-/// Format the matrix as an aligned text table.
+/// Format the matrix as an aligned text table: the dynamic sanitizer's
+/// per-class counts and verdict next to the static verifier's.
 pub fn format_matrix(rows: &[SanitizeRow]) -> String {
     use std::fmt::Write;
     let wide = rows.iter().map(|r| r.label.len()).max().unwrap_or(0).max(4);
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<wide$}  {:>9}  {:>9}  {:>9}  verdict",
-        "case", "racecheck", "synccheck", "initcheck"
+        "{:<wide$}  {:>9}  {:>9}  {:>9}  {:>8}  {:>6}  {:>6}  {:>6}  {:>8}  {:>14}  verdict",
+        "case",
+        "racecheck",
+        "synccheck",
+        "initcheck",
+        "dynamic",
+        "s.race",
+        "s.sync",
+        "s.init",
+        "static",
+        "(unproven)"
     );
-    let _ = writeln!(out, "{}", "-".repeat(wide + 2 + 3 * 11 + 9));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(wide + 2 + 3 * 11 + 10 + 3 * 8 + 10 + 16 + 9)
+    );
     for r in rows {
         let _ = writeln!(
             out,
-            "{:<wide$}  {:>9}  {:>9}  {:>9}  {}",
+            "{:<wide$}  {:>9}  {:>9}  {:>9}  {:>8}  {:>6}  {:>6}  {:>6}  {:>8}  {:>14}  {}",
             r.label,
             r.racecheck,
             r.synccheck,
             r.initcheck,
-            r.verdict()
+            r.verdict(),
+            r.static_race,
+            r.static_sync,
+            r.static_init,
+            r.static_verdict(),
+            r.static_unproven,
+            if r.ok() { "ok" } else { "FAIL" }
         );
     }
     let bad = rows.iter().filter(|r| !r.ok()).count();
     let _ = writeln!(out, "{} case(s), {} unexpected outcome(s)", rows.len(), bad);
+    out
+}
+
+/// One row of the *static-only* verification sweep: a (compiler,
+/// position, type) combination compiled — never simulated — with the
+/// verifier's totals over the main and finalize kernels.
+#[derive(Debug, Clone)]
+pub struct VerifySweepRow {
+    pub label: String,
+    pub kernels: u64,
+    pub errors: u64,
+    pub warnings: u64,
+    pub unproven: u64,
+    /// First error-level finding, for context.
+    pub sample: Option<String>,
+}
+
+impl VerifySweepRow {
+    /// A sweep row passes when no error-level finding was produced.
+    /// Warnings (unproven accesses, bank conflicts) are informational:
+    /// the PGI-like looped tree carries its stride in a register the
+    /// affine analysis cannot bound, so its accesses stay unproven and
+    /// the dynamic sanitizer remains the backstop there.
+    pub fn ok(&self) -> bool {
+        self.errors == 0
+    }
+}
+
+/// Statically verify every generated kernel of the §6 grid — all seven
+/// reduction positions under each compiler personality, at two element
+/// widths — without running any of them. This is the `--verify` mode of
+/// `acc-testsuite`: a fast pre-launch pass suitable for CI.
+pub fn run_verify_sweep(cfg: &SuiteConfig) -> Vec<VerifySweepRow> {
+    let vc = VerifyConfig::default();
+    let mut rows = Vec::new();
+    for comp in Compiler::all() {
+        for pos in Position::all() {
+            for t in [CType::Int, CType::Double] {
+                let label = format!(
+                    "{} {} {}",
+                    comp.name(),
+                    pos.label(),
+                    crate::cases::ctype_name(t)
+                );
+                let src = case_source(pos, RedOp::Add, t);
+                let hir = match accparse::compile(&src) {
+                    Ok(h) => h,
+                    Err(d) => {
+                        rows.push(VerifySweepRow {
+                            label,
+                            kernels: 0,
+                            errors: 1,
+                            warnings: 0,
+                            unproven: 0,
+                            sample: Some(format!("parse error: {}", d.message)),
+                        });
+                        continue;
+                    }
+                };
+                let c = match compile_region(&hir, 0, cfg.dims, &comp.base_options()) {
+                    Ok(c) => c,
+                    Err(d) => {
+                        rows.push(VerifySweepRow {
+                            label,
+                            kernels: 0,
+                            errors: 1,
+                            warnings: 0,
+                            unproven: 0,
+                            sample: Some(format!("compile error: {}", d.message)),
+                        });
+                        continue;
+                    }
+                };
+                let launch = LaunchConfig::gwv(cfg.dims.gangs, cfg.dims.workers, cfg.dims.vector);
+                let mut reports = vec![verify_kernel(&c.main, launch, &vc)];
+                for f in &c.finalize {
+                    reports.push(verify_kernel(
+                        &f.kernel,
+                        LaunchConfig::d1(1, f.threads),
+                        &vc,
+                    ));
+                }
+                let errors: u64 = reports.iter().map(|r| r.errors()).sum();
+                let warnings: u64 = reports
+                    .iter()
+                    .map(|r| r.findings.len() as u64 - r.errors())
+                    .sum();
+                rows.push(VerifySweepRow {
+                    label,
+                    kernels: reports.len() as u64,
+                    errors,
+                    warnings,
+                    unproven: reports.iter().map(|r| r.unproven as u64).sum(),
+                    sample: reports
+                        .iter()
+                        .flat_map(|r| r.findings.iter().filter(|f| !f.warning))
+                        .next()
+                        .map(|f| f.to_string()),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Format the sweep as an aligned text table.
+pub fn format_verify_sweep(rows: &[VerifySweepRow]) -> String {
+    use std::fmt::Write;
+    let wide = rows.iter().map(|r| r.label.len()).max().unwrap_or(0).max(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<wide$}  {:>7}  {:>6}  {:>8}  {:>8}  verdict",
+        "case", "kernels", "errors", "warnings", "unproven"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(wide + 2 + 9 + 8 + 2 * 10 + 9));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<wide$}  {:>7}  {:>6}  {:>8}  {:>8}  {}",
+            r.label,
+            r.kernels,
+            r.errors,
+            r.warnings,
+            r.unproven,
+            if r.ok() { "ok" } else { "FAIL" }
+        );
+        if let (false, Some(s)) = (r.ok(), &r.sample) {
+            let _ = writeln!(out, "{:<wide$}    {}", "", s);
+        }
+    }
+    let bad = rows.iter().filter(|r| !r.ok()).count();
+    let _ = writeln!(out, "{} case(s), {} with static errors", rows.len(), bad);
     out
 }
 
@@ -306,6 +544,10 @@ mod tests {
             divergent_barrier_reports(),
         );
         assert_eq!(sync.verdict(), "detected", "{:?}", sync.sample);
+        // The static verifier sees the same divergent barrier without
+        // running a cycle.
+        assert!(sync.static_sync > 0, "{:?}", sync.sample);
+        assert_eq!(sync.static_verdict(), "detected");
         let init = tally(
             "i".into(),
             vec![HazardClass::InitCheck],
@@ -313,6 +555,8 @@ mod tests {
         );
         assert_eq!(init.verdict(), "detected", "{:?}", init.sample);
         assert_eq!(init.synccheck, 0);
+        assert!(init.static_init > 0, "{:?}", init.sample);
+        assert!(init.ok());
     }
 
     #[test]
@@ -327,5 +571,63 @@ mod tests {
         );
         let row = tally("v".into(), Vec::new(), outcome);
         assert_eq!(row.verdict(), "clean", "{:?}", row.sample);
+        // Static column: no false positives, and the OpenUH unrolled tree
+        // is fully provable by the affine analysis.
+        assert_eq!(row.static_verdict(), "clean", "{:?}", row.sample);
+        assert_eq!(row.static_unproven, 0, "{:?}", row.sample);
+    }
+
+    /// The three barrier knobs named by the paper's Fig. 7/8 discussion
+    /// must each be caught *statically* as a race, on every geometry the
+    /// matrix pins them to.
+    #[test]
+    fn named_barrier_knobs_are_statically_caught() {
+        let cfg = SuiteConfig::quick();
+        let bcast = tally(
+            "bcast".into(),
+            vec![HazardClass::RaceCheck],
+            sanitized_case(
+                bugged(|o| o.bugs.skip_bcast_barrier = true),
+                Position::Vector,
+                RedOp::Add,
+                CType::Int,
+                &cfg,
+            ),
+        );
+        assert!(bcast.static_race > 0, "{:?}", bcast.sample);
+        let postread = tally(
+            "postread".into(),
+            vec![HazardClass::RaceCheck],
+            sanitized_case(
+                bugged(|o| {
+                    o.vector_layout = VectorLayout::Transposed;
+                    o.bugs.skip_postread_barrier = true;
+                }),
+                Position::Vector,
+                RedOp::Add,
+                CType::Int,
+                &cfg,
+            ),
+        );
+        assert!(postread.static_race > 0, "{:?}", postread.sample);
+        let tail = tally(
+            "tail".into(),
+            vec![HazardClass::RaceCheck],
+            sanitized_case(
+                bugged(|o| o.bugs.warp_tail_everywhere = true),
+                Position::Vector,
+                RedOp::Add,
+                CType::Int,
+                &SuiteConfig {
+                    dims: LaunchDims {
+                        gangs: 4,
+                        workers: 2,
+                        vector: 80,
+                    },
+                    ..cfg
+                },
+            ),
+        );
+        assert!(tail.static_race > 0, "{:?}", tail.sample);
     }
 }

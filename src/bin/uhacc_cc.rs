@@ -10,6 +10,7 @@ use std::io::Read;
 use uhacc::baselines::Compiler;
 use uhacc::core::{compile_region, CompilerOptions, LaunchDims};
 use uhacc::parse as accparse;
+use uhacc::sim::{verify_kernel, LaunchConfig, VerifyConfig};
 
 struct Args {
     input: String,
@@ -19,6 +20,7 @@ struct Args {
     emit_kernel: bool,
     emit_plan: bool,
     sanitize: bool,
+    verify: bool,
     host_threads: u32,
 }
 
@@ -32,6 +34,9 @@ fn usage() -> ! {
            --emit WHAT         hir | kernel | plan | all (default kernel,plan)\n\
            --sanitize          run the hazard-sanitizer detection matrix\n\
                                (no input file needed) and exit\n\
+           --verify            statically verify every generated kernel\n\
+                               (synccheck / racecheck / boundscheck);\n\
+                               exit 1 if any error-level finding\n\
            --host-threads N    simulator host worker threads for --sanitize\n\
                                (0 = auto, 1 = sequential; results are\n\
                                bit-identical at any setting)\n\
@@ -49,6 +54,7 @@ fn parse_args() -> Args {
         emit_kernel: true,
         emit_plan: true,
         sanitize: false,
+        verify: false,
         host_threads: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -103,6 +109,7 @@ fn parse_args() -> Args {
                 }
             }
             "--sanitize" => args.sanitize = true,
+            "--verify" => args.verify = true,
             "--host-threads" => {
                 i += 1;
                 args.host_threads = argv
@@ -197,6 +204,7 @@ fn main() {
     }
 
     let opts: CompilerOptions = args.compiler.base_options();
+    let mut verify_errors = 0u64;
     for region in 0..hir.regions.len() {
         match compile_region(&hir, region, args.dims, &opts) {
             Ok(c) => {
@@ -220,11 +228,33 @@ fn main() {
                         println!("{}", f.kernel.disasm());
                     }
                 }
+                if args.verify {
+                    let vc = VerifyConfig::default();
+                    let main_cfg =
+                        LaunchConfig::gwv(args.dims.gangs, args.dims.workers, args.dims.vector);
+                    println!("\n// ---- region {region} static verification ----");
+                    let mut reports = vec![verify_kernel(&c.main, main_cfg, &vc)];
+                    for f in &c.finalize {
+                        reports.push(verify_kernel(
+                            &f.kernel,
+                            LaunchConfig::d1(1, f.threads),
+                            &vc,
+                        ));
+                    }
+                    for r in &reports {
+                        print!("{r}");
+                        verify_errors += r.errors();
+                    }
+                }
             }
             Err(d) => {
                 eprintln!("region {region}: {}", d.render(&src));
                 std::process::exit(1);
             }
         }
+    }
+    if verify_errors > 0 {
+        eprintln!("uhacc-cc: {verify_errors} static verification error(s)");
+        std::process::exit(1);
     }
 }
