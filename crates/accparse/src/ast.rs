@@ -221,6 +221,8 @@ pub enum StmtKind {
 pub struct ForLoop {
     /// Loop variable name (must be assigned in the init clause).
     pub var: String,
+    /// Source span of the loop-variable name in the init clause.
+    pub var_span: Span,
     /// Set if the init clause declares the variable (`for (int i = ...`).
     pub decl_ty: Option<CType>,
     /// Initial value expression.
@@ -330,7 +332,14 @@ pub struct LoopDirective {
     /// `reduction(op: vars)` clauses.
     pub reductions: Vec<ReductionClause>,
     /// `private(vars)` clauses.
-    pub privates: Vec<String>,
+    pub privates: Vec<NameItem>,
+    pub span: Span,
+}
+
+/// A bare name inside a clause list (`private(x, y)`), with its span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NameItem {
+    pub name: String,
     pub span: Span,
 }
 
@@ -366,7 +375,7 @@ pub struct ParallelConstruct {
     /// Reductions on the `parallel` construct itself (OpenACC allows this;
     /// applied to the outermost gang loop).
     pub reductions: Vec<ReductionClause>,
-    pub privates: Vec<String>,
+    pub privates: Vec<NameItem>,
     pub body: Vec<Stmt>,
     pub span: Span,
 }

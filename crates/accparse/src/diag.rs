@@ -1,4 +1,13 @@
 //! Diagnostics with byte-span source locations.
+//!
+//! Historically this module carried a single fatal [`Diag`]; the lint
+//! layer (`lint.rs`) grew it into a multi-diagnostic system: every
+//! diagnostic now has a [`Severity`], an optional stable code (`L100`,
+//! `L200`, ...), attached [`Note`]s, and an optional [`FixIt`] carrying a
+//! concrete source-level suggestion.  [`render_all`] ranks a batch
+//! (errors first, then by source position) and renders each with a
+//! caret-style snippet; [`diags_to_json`] emits the same batch as a JSON
+//! array for tooling.
 
 use std::fmt;
 
@@ -32,40 +41,287 @@ impl Span {
     }
 }
 
-/// A compiler diagnostic: message plus location.
+/// Diagnostic severity. Ordering is by decreasing gravity: `Error <
+/// Warning < Note`, so sorting ascending ranks errors first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Error,
+    Warning,
+    Note,
+}
+
+impl Severity {
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+/// A secondary message attached to a [`Diag`], optionally pointing at
+/// its own source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Note {
+    pub message: String,
+    pub span: Option<Span>,
+}
+
+/// A machine-applicable suggestion: insert `insert` at `at.start`
+/// (`at` names the construct the suggestion modifies).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixIt {
+    pub message: String,
+    pub insert: String,
+    pub at: Span,
+}
+
+/// A compiler diagnostic: message plus location, severity, stable code,
+/// notes and an optional fix-it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diag {
+    pub severity: Severity,
     pub message: String,
     pub span: Span,
+    /// Extension payload (code, notes, fix-it), boxed so the common error
+    /// path stays small: parser/sema recursion carries `Result<_, Diag>`
+    /// in every frame, and deeply nested inputs (the fuzzer feeds
+    /// 200-level paren towers) sit close to the thread stack limit in
+    /// debug builds.
+    ext: Option<Box<DiagExt>>,
+}
+
+#[derive(Debug, Clone, PartialEq, Default)]
+struct DiagExt {
+    code: Option<&'static str>,
+    notes: Vec<Note>,
+    fixit: Option<FixIt>,
 }
 
 impl Diag {
-    /// Create a diagnostic.
+    /// Create an error diagnostic (the historical constructor: every
+    /// parse/sema failure goes through here).
     pub fn new(message: impl Into<String>, span: Span) -> Self {
         Diag {
+            severity: Severity::Error,
             message: message.into(),
             span,
+            ext: None,
         }
+    }
+
+    /// Create a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diag {
+            severity: Severity::Warning,
+            ..Diag::new(message, span)
+        }
+    }
+
+    fn ext_mut(&mut self) -> &mut DiagExt {
+        self.ext.get_or_insert_with(Default::default)
+    }
+
+    /// Stable diagnostic code (`"L100"`, ...) — `None` for classic
+    /// parse/sema errors that predate the code catalog.
+    pub fn code(&self) -> Option<&'static str> {
+        self.ext.as_ref().and_then(|e| e.code)
+    }
+
+    /// Attached notes, in attachment order.
+    pub fn notes(&self) -> &[Note] {
+        self.ext.as_ref().map(|e| e.notes.as_slice()).unwrap_or(&[])
+    }
+
+    /// The attached fix-it, if any.
+    pub fn fixit(&self) -> Option<&FixIt> {
+        self.ext.as_ref().and_then(|e| e.fixit.as_ref())
+    }
+
+    /// Attach a stable diagnostic code.
+    pub fn with_code(mut self, code: &'static str) -> Self {
+        self.ext_mut().code = Some(code);
+        self
+    }
+
+    /// Attach a note without a location.
+    pub fn with_note(mut self, message: impl Into<String>) -> Self {
+        self.ext_mut().notes.push(Note {
+            message: message.into(),
+            span: None,
+        });
+        self
+    }
+
+    /// Attach a note pointing at `span`.
+    pub fn with_note_at(mut self, message: impl Into<String>, span: Span) -> Self {
+        self.ext_mut().notes.push(Note {
+            message: message.into(),
+            span: Some(span),
+        });
+        self
+    }
+
+    /// Attach a fix-it suggestion.
+    pub fn with_fixit(
+        mut self,
+        message: impl Into<String>,
+        insert: impl Into<String>,
+        at: Span,
+    ) -> Self {
+        self.ext_mut().fixit = Some(FixIt {
+            message: message.into(),
+            insert: insert.into(),
+            at,
+        });
+        self
     }
 
     /// Render the diagnostic against its source, with line/column and a
     /// caret line — the usual compiler error format.
     pub fn render(&self, src: &str) -> String {
-        let (line, col) = line_col(src, self.span.start);
-        let line_text = src.lines().nth(line - 1).unwrap_or("");
-        let caret_pad = " ".repeat(col.saturating_sub(1));
-        let caret_len = (self.span.end.saturating_sub(self.span.start)).max(1);
-        let carets = "^".repeat(caret_len.min(line_text.len().saturating_sub(col - 1).max(1)));
-        format!(
-            "error: {}\n --> line {line}, column {col}\n  | {line_text}\n  | {caret_pad}{carets}",
+        let mut out = String::new();
+        let code = self.code().map(|c| format!("[{c}]")).unwrap_or_default();
+        out.push_str(&format!(
+            "{}{code}: {}\n",
+            self.severity.label(),
             self.message
-        )
+        ));
+        out.push_str(&snippet(src, self.span, " --> "));
+        for n in self.notes() {
+            match n.span {
+                Some(sp) => {
+                    out.push_str(&format!("\n  = note: {}\n", n.message));
+                    out.push_str(&snippet(src, sp, "   --> "));
+                }
+                None => out.push_str(&format!("\n  = note: {}", n.message)),
+            }
+        }
+        if let Some(f) = self.fixit() {
+            out.push_str(&format!("\n  = help: {}: `{}`", f.message, f.insert.trim()));
+        }
+        out
     }
+}
+
+/// Caret snippet for `span`: location line (prefixed with `arrow`), the
+/// source line, and a caret underline.
+fn snippet(src: &str, span: Span, arrow: &str) -> String {
+    let (line, col) = line_col(src, span.start);
+    let line_text = src.lines().nth(line - 1).unwrap_or("");
+    let caret_pad = " ".repeat(col.saturating_sub(1));
+    let caret_len = (span.end.saturating_sub(span.start)).max(1);
+    let carets = "^".repeat(caret_len.min(line_text.len().saturating_sub(col - 1).max(1)));
+    format!("{arrow}line {line}, column {col}\n  | {line_text}\n  | {caret_pad}{carets}")
+}
+
+/// Rank a batch of diagnostics in place: errors before warnings before
+/// notes; within a severity, by source position.
+pub fn rank(diags: &mut [Diag]) {
+    diags.sort_by_key(|d| (d.severity, d.span.start, d.span.end));
+}
+
+/// Render a ranked batch, separated by blank lines, followed by a
+/// `N error(s), M warning(s)` summary line.
+pub fn render_all(diags: &[Diag], src: &str) -> String {
+    let mut ranked: Vec<Diag> = diags.to_vec();
+    rank(&mut ranked);
+    let mut out = String::new();
+    for d in &ranked {
+        out.push_str(&d.render(src));
+        out.push_str("\n\n");
+    }
+    let errors = ranked
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = ranked
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    out.push_str(&format!("{errors} error(s), {warnings} warning(s)\n"));
+    out
+}
+
+/// Escape `s` for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn span_json(src: &str, span: Span) -> String {
+    let (line, col) = line_col(src, span.start);
+    format!(
+        "{{\"start\":{},\"end\":{},\"line\":{line},\"column\":{col}}}",
+        span.start, span.end
+    )
+}
+
+/// Serialize a ranked batch of diagnostics as a JSON array (stable field
+/// order; no external dependencies, so the writer is hand-rolled).
+pub fn diags_to_json(diags: &[Diag], src: &str) -> String {
+    let mut ranked: Vec<Diag> = diags.to_vec();
+    rank(&mut ranked);
+    let mut items = Vec::new();
+    for d in &ranked {
+        let mut fields = Vec::new();
+        fields.push(format!("\"severity\":\"{}\"", d.severity.label()));
+        match d.code() {
+            Some(c) => fields.push(format!("\"code\":\"{c}\"")),
+            None => fields.push("\"code\":null".to_string()),
+        }
+        fields.push(format!("\"message\":\"{}\"", json_escape(&d.message)));
+        fields.push(format!("\"span\":{}", span_json(src, d.span)));
+        let notes: Vec<String> = d
+            .notes()
+            .iter()
+            .map(|n| {
+                let sp = match n.span {
+                    Some(s) => span_json(src, s),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "{{\"message\":\"{}\",\"span\":{sp}}}",
+                    json_escape(&n.message)
+                )
+            })
+            .collect();
+        fields.push(format!("\"notes\":[{}]", notes.join(",")));
+        match d.fixit() {
+            Some(f) => fields.push(format!(
+                "\"fixit\":{{\"message\":\"{}\",\"insert\":\"{}\",\"at\":{}}}",
+                json_escape(&f.message),
+                json_escape(&f.insert),
+                span_json(src, f.at)
+            )),
+            None => fields.push("\"fixit\":null".to_string()),
+        }
+        items.push(format!("{{{}}}", fields.join(",")));
+    }
+    format!("[{}]", items.join(","))
 }
 
 impl fmt::Display for Diag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "error: {} (at byte {})", self.message, self.span.start)
+        write!(
+            f,
+            "{}: {} (at byte {})",
+            self.severity.label(),
+            self.message,
+            self.span.start
+        )
     }
 }
 
@@ -120,5 +376,60 @@ mod tests {
         assert!(r.contains("line 1, column 9"));
         assert!(r.contains("int x = @;"));
         assert!(r.contains('^'));
+    }
+
+    #[test]
+    fn render_includes_code_notes_and_fixit() {
+        let src = "#pragma acc loop gang\nfor (int i = 0; i < n; i++) s += a[i];\n";
+        let d = Diag::new("possible race on `s`", Span::new(50, 51))
+            .with_code("L100")
+            .with_note("updated on every gang iteration")
+            .with_note_at("the parallel loop is here", Span::new(0, 21))
+            .with_fixit(
+                "add a reduction clause",
+                " reduction(+:s)",
+                Span::new(0, 21),
+            );
+        let r = d.render(src);
+        assert!(r.starts_with("error[L100]: possible race on `s`"));
+        assert!(r.contains("= note: updated on every gang iteration"));
+        assert!(r.contains("= note: the parallel loop is here"));
+        assert!(r.contains("= help: add a reduction clause: `reduction(+:s)`"));
+    }
+
+    #[test]
+    fn rank_orders_errors_first_then_position() {
+        let mut ds = vec![
+            Diag::warning("w early", Span::at(1)),
+            Diag::new("e late", Span::at(90)),
+            Diag::new("e early", Span::at(5)),
+        ];
+        rank(&mut ds);
+        assert_eq!(ds[0].message, "e early");
+        assert_eq!(ds[1].message, "e late");
+        assert_eq!(ds[2].message, "w early");
+    }
+
+    #[test]
+    fn render_all_counts_severities() {
+        let src = "x\n";
+        let ds = vec![
+            Diag::new("a", Span::at(0)),
+            Diag::warning("b", Span::at(0)),
+            Diag::warning("c", Span::at(0)),
+        ];
+        let r = render_all(&ds, src);
+        assert!(r.ends_with("1 error(s), 2 warning(s)\n"));
+    }
+
+    #[test]
+    fn json_output_is_stable_and_escaped() {
+        let src = "int \"q\";\n";
+        let ds = vec![Diag::warning("odd name `\"q\"`", Span::new(4, 7)).with_code("L300")];
+        let j = diags_to_json(&ds, src);
+        assert!(j.starts_with("[{\"severity\":\"warning\",\"code\":\"L300\","));
+        assert!(j.contains("\\\"q\\\""));
+        assert!(j.contains("\"span\":{\"start\":4,\"end\":7,\"line\":1,\"column\":5}"));
+        assert!(j.contains("\"fixit\":null"));
     }
 }

@@ -175,6 +175,10 @@ pub struct Reduction {
     /// the nested worker loop). A single per-thread private accumulator
     /// over-counts the shallow site, so codegen rejects this case.
     pub mixed_updates: bool,
+    /// True when at least one update of the variable was found under the
+    /// clause loop. A clause whose variable is never updated is dead (the
+    /// lint layer warns on it); codegen still honors it.
+    pub has_update: bool,
     pub span: Span,
 }
 
@@ -195,12 +199,18 @@ pub struct HLoop {
     pub sched: Vec<Level>,
     /// Reductions whose clause sits on this loop.
     pub reductions: Vec<Reduction>,
+    /// `private(...)` variables named on this loop's directive, with the
+    /// clause-item span. Codegen treats region locals as per-thread
+    /// already; the list is kept for the lint layer (read-before-write,
+    /// duplicate-variable checks).
+    pub privates: Vec<(Sym, Span)>,
     pub body: Vec<HStmt>,
     pub span: Span,
 }
 
 /// A typed, resolved statement.
 #[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // Loop dominates; statements are built once
 pub enum HStmt {
     /// `locals[local] = value` (covers declarations with initializers;
     /// compound assignments are normalized into plain assigns).
@@ -262,6 +272,9 @@ pub struct AnalyzedRegion {
     /// Host scalars written by the region (reduction results and direct
     /// assignments) that must be copied back.
     pub hosts_written: Vec<usize>,
+    /// `private(...)` variables named on the construct itself (per-gang
+    /// privates in OpenACC terms), kept for the lint layer.
+    pub privates: Vec<(Sym, Span)>,
     pub body: Vec<HStmt>,
     pub span: Span,
 }

@@ -27,15 +27,18 @@
 //! ```
 
 pub mod ast;
+pub mod dataflow;
 pub mod diag;
 pub mod hir;
+pub mod lint;
 pub mod parser;
 pub mod sema;
 pub mod token;
 
 pub use ast::{CType, DataDir, Level, RedOp};
-pub use diag::{Diag, Span};
+pub use diag::{Diag, Severity, Span};
 pub use hir::AnalyzedProgram;
+pub use lint::{lint_program, lint_source, Finding, FindingKind};
 
 /// Parse and analyze `src` in one step.
 pub fn compile(src: &str) -> Result<hir::AnalyzedProgram, diag::Diag> {

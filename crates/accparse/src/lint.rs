@@ -1,0 +1,1124 @@
+//! `acclint` — source-level reduction and data-clause dataflow lints.
+//!
+//! Runs the [`crate::dataflow`] analyses over an [`AnalyzedProgram`] and
+//! reports ranked diagnostics. The rule catalog (see DESIGN.md §13):
+//!
+//! | code | severity | check |
+//! |------|----------|-------|
+//! | L100 | error    | reduction-shaped accumulation in a parallel loop with no `reduction` clause (fix-it suggests the exact clause and placement, §3.2.1) |
+//! | L101 | error    | `reduction` clause placed below the loop whose iterations consume the value (span not fully covered) |
+//! | L102 | warning  | reduction variable read (non-update) inside the reduction loop — observes an unspecified partial value |
+//! | L103 | warning  | `reduction` clause whose variable is never updated under the loop |
+//! | L104 | error    | reduction updates at different parallelism depths (rejected by codegen) |
+//! | L200 | error    | loop-carried dependence on affine array subscripts in a parallel loop |
+//! | L201 | warning  | unanalyzable subscripts — a carried dependence cannot be excluded |
+//! | L300 | warning  | `copyin` array never read by the region |
+//! | L301 | warning  | `copyout` array never written by the region |
+//! | L304 | warning  | `private` variable read before it is assigned |
+//! | L400 | warning  | duplicate variable in a clause |
+//! | L401 | warning  | data clause shadowed by an enclosing `acc data` binding |
+//! | L402 | warning  | data clause names an array the region never references |
+
+use crate::ast::{DataDir, Level, RedOp};
+use crate::dataflow::{
+    collect_array_accesses, consume_liveness, loop_dependence, loop_key, read_before_write,
+    scalar_events, varying_syms, DepResult, Liveness, LoopKey, ScalarEvent, ScalarEventKind,
+};
+use crate::diag::{Diag, Span};
+use crate::hir::{AnalyzedProgram, AnalyzedRegion, HLoop, HStmt, Sym};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+/// Machine-readable payload of a lint finding (the diagnostic carries the
+/// human-readable rendering; tests and the sweep assert on this).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FindingKind {
+    MissingReduction {
+        var: String,
+        op: RedOp,
+        /// Schedule of the loop the clause should be written on.
+        clause_loop_levels: Vec<Level>,
+        /// Full detected span (paper §3.2.1), outermost level first.
+        span_levels: Vec<Level>,
+    },
+    SpanMismatch {
+        var: String,
+        /// Parallelism levels between the consume point and the clause
+        /// loop that the clause does not cover.
+        uncovered: Vec<Level>,
+    },
+    ReductionReadInside {
+        var: String,
+    },
+    DeadReduction {
+        var: String,
+    },
+    MixedDepthUpdates {
+        var: String,
+    },
+    LoopCarried {
+        array: String,
+        /// Iteration distance; `None` = every iteration hits the same
+        /// element.
+        distance: Option<i64>,
+    },
+    Unanalyzable {
+        array: String,
+    },
+    CopyinNeverRead {
+        array: String,
+    },
+    CopyoutNeverWritten {
+        array: String,
+    },
+    PrivateReadBeforeWrite {
+        var: String,
+    },
+    DuplicateClauseVar {
+        var: String,
+    },
+    ShadowedDataClause {
+        array: String,
+    },
+    DeadDataClause {
+        array: String,
+    },
+}
+
+impl FindingKind {
+    /// The stable diagnostic code of this finding.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FindingKind::MissingReduction { .. } => "L100",
+            FindingKind::SpanMismatch { .. } => "L101",
+            FindingKind::ReductionReadInside { .. } => "L102",
+            FindingKind::DeadReduction { .. } => "L103",
+            FindingKind::MixedDepthUpdates { .. } => "L104",
+            FindingKind::LoopCarried { .. } => "L200",
+            FindingKind::Unanalyzable { .. } => "L201",
+            FindingKind::CopyinNeverRead { .. } => "L300",
+            FindingKind::CopyoutNeverWritten { .. } => "L301",
+            FindingKind::PrivateReadBeforeWrite { .. } => "L304",
+            FindingKind::DuplicateClauseVar { .. } => "L400",
+            FindingKind::ShadowedDataClause { .. } => "L401",
+            FindingKind::DeadDataClause { .. } => "L402",
+        }
+    }
+}
+
+/// One lint finding: a structured payload plus its rendered diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub kind: FindingKind,
+    pub diag: Diag,
+}
+
+impl Finding {
+    /// The stable diagnostic code of this finding.
+    pub fn code(&self) -> &'static str {
+        self.kind.code()
+    }
+}
+
+/// Parse, analyze and lint `src`. A parse/sema error aborts linting.
+pub fn lint_source(src: &str) -> Result<(AnalyzedProgram, Vec<Finding>), Diag> {
+    let p = crate::compile(src)?;
+    let findings = lint_program(&p);
+    Ok((p, findings))
+}
+
+/// Run every lint over an analyzed program. Findings are ranked errors
+/// first, then by source position.
+pub fn lint_program(p: &AnalyzedProgram) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (ri, r) in p.regions.iter().enumerate() {
+        let cx = RegionCx::new(p, r);
+        cx.missing_reduction(&mut out);
+        cx.reduction_clause_lints(&mut out);
+        cx.loop_carried(&mut out);
+        cx.data_clause_lints(ri, &mut out);
+        cx.private_lints(&mut out);
+        cx.duplicate_lints(&mut out);
+    }
+    out.sort_by_key(|f| (f.diag.severity, f.diag.span.start, f.diag.span.end));
+    out
+}
+
+/// A loop together with its enclosing-loop chain (outermost first,
+/// excluding the loop itself).
+struct LoopInfo<'a> {
+    l: &'a HLoop,
+    chain: Vec<&'a HLoop>,
+}
+
+fn collect_loops<'a>(stmts: &'a [HStmt], chain: &mut Vec<&'a HLoop>, out: &mut Vec<LoopInfo<'a>>) {
+    for s in stmts {
+        match s {
+            HStmt::Loop(l) => {
+                out.push(LoopInfo {
+                    l,
+                    chain: chain.clone(),
+                });
+                chain.push(l);
+                collect_loops(&l.body, chain, out);
+                chain.pop();
+            }
+            HStmt::If { then, els, .. } => {
+                collect_loops(then, chain, out);
+                collect_loops(els, chain, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn common_prefix_len(a: &[&HLoop], b: &[&HLoop]) -> usize {
+    a.iter()
+        .zip(b.iter())
+        .take_while(|(x, y)| loop_key(x) == loop_key(y))
+        .count()
+}
+
+fn levels_of(chain: &[&HLoop]) -> Vec<Level> {
+    let set: BTreeSet<Level> = chain.iter().flat_map(|l| l.sched.iter().copied()).collect();
+    set.into_iter().collect()
+}
+
+fn fmt_levels(levels: &[Level]) -> String {
+    levels
+        .iter()
+        .map(|l| l.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Where a scalar's accumulated value is next consumed.
+enum ConsumePoint {
+    /// Read at the given span, under the given loop depth.
+    Read(Span),
+    /// Copied back to the host after the region.
+    RegionExit,
+}
+
+struct RegionCx<'a> {
+    p: &'a AnalyzedProgram,
+    r: &'a AnalyzedRegion,
+    events: Vec<ScalarEvent<'a>>,
+    loops: Vec<LoopInfo<'a>>,
+    liveness: Liveness,
+    hosts_written: HashSet<Sym>,
+}
+
+impl<'a> RegionCx<'a> {
+    fn new(p: &'a AnalyzedProgram, r: &'a AnalyzedRegion) -> Self {
+        let events = scalar_events(&r.body);
+        let mut loops = Vec::new();
+        collect_loops(&r.body, &mut Vec::new(), &mut loops);
+        let hosts_written: HashSet<Sym> = r.hosts_written.iter().map(|h| Sym::Host(*h)).collect();
+        let liveness = consume_liveness(&r.body, &hosts_written);
+        RegionCx {
+            p,
+            r,
+            events,
+            loops,
+            liveness,
+            hosts_written,
+        }
+    }
+
+    fn sym_name(&self, sym: Sym) -> &str {
+        match sym {
+            Sym::Host(h) => &self.p.hosts[h].name,
+            Sym::Local(l) => &self.r.locals[l].name,
+        }
+    }
+
+    fn array_name(&self, a: usize) -> &str {
+        &self.p.arrays[a].name
+    }
+
+    /// Find the shallowest consume point of `sym`'s updates: the place its
+    /// accumulated value is next used (paper §3.2.1's placement question).
+    /// Returns the consume-chain depth plus the witnessing point, or
+    /// `None` when the value is never consumed. Sets `*intra_loop` when a
+    /// read observes the running value inside the updates' innermost loop
+    /// (a scan, not a reduction).
+    fn consume_point(
+        &self,
+        updates: &[&ScalarEvent<'a>],
+        reads: &[&ScalarEvent<'a>],
+        sym: Sym,
+        intra_loop: &mut bool,
+    ) -> Option<(usize, ConsumePoint)> {
+        let mut best: Option<(usize, ConsumePoint)> = None;
+        for u in updates {
+            for rd in reads {
+                let eff = common_prefix_len(&rd.chain, &u.chain);
+                if eff == u.chain.len() {
+                    *intra_loop = true;
+                } else if (rd.order > u.order || eff > 0)
+                    && best.as_ref().is_none_or(|(d, _)| eff < *d)
+                {
+                    best = Some((eff, ConsumePoint::Read(rd.span)));
+                }
+            }
+        }
+        if self.hosts_written.contains(&sym) {
+            best = Some((0, ConsumePoint::RegionExit));
+        }
+        best
+    }
+
+    // ---- L100 -----------------------------------------------------------
+
+    fn missing_reduction(&self, out: &mut Vec<Finding>) {
+        let mut syms: Vec<Sym> = Vec::new();
+        for ev in &self.events {
+            if matches!(ev.kind, ScalarEventKind::Update(_)) && !syms.contains(&ev.sym) {
+                syms.push(ev.sym);
+            }
+        }
+        for sym in syms {
+            // A clause already covers this symbol somewhere: partial
+            // coverage is L101's job.
+            if self
+                .events
+                .iter()
+                .any(|e| e.sym == sym && matches!(e.kind, ScalarEventKind::ClauseUpdate(_)))
+            {
+                continue;
+            }
+            let updates: Vec<&ScalarEvent<'a>> = self
+                .events
+                .iter()
+                .filter(|e| e.sym == sym && matches!(e.kind, ScalarEventKind::Update(_)))
+                .collect();
+            let reads: Vec<&ScalarEvent<'a>> = self
+                .events
+                .iter()
+                .filter(|e| e.sym == sym && e.kind == ScalarEventKind::Read)
+                .collect();
+            let writes: Vec<&ScalarEvent<'a>> = self
+                .events
+                .iter()
+                .filter(|e| e.sym == sym && e.kind == ScalarEventKind::Write)
+                .collect();
+            let mut intra_loop = false;
+            let Some((depth, point)) = self.consume_point(&updates, &reads, sym, &mut intra_loop)
+            else {
+                continue; // value never consumed: dead accumulation
+            };
+            if intra_loop {
+                continue; // running value observed per iteration: a scan
+            }
+            // Group updates by the loop the clause belongs on: the loop
+            // just inside the consume point, along each update's chain.
+            let mut groups: BTreeMap<LoopKey, Vec<&ScalarEvent<'a>>> = BTreeMap::new();
+            for u in &updates {
+                if u.chain.len() > depth {
+                    groups.entry(loop_key(u.chain[depth])).or_default().push(u);
+                }
+            }
+            for us in groups.values() {
+                self.report_missing_reduction(sym, depth, &point, us, &writes, out);
+            }
+        }
+    }
+
+    fn report_missing_reduction(
+        &self,
+        sym: Sym,
+        depth: usize,
+        point: &ConsumePoint,
+        updates: &[&ScalarEvent<'a>],
+        writes: &[&ScalarEvent<'a>],
+        out: &mut Vec<Finding>,
+    ) {
+        let candidate = updates[0].chain[depth];
+        let ScalarEventKind::Update(op) = updates[0].kind else {
+            return;
+        };
+        // All updates must agree on the operator to suggest one clause.
+        if updates
+            .iter()
+            .any(|u| u.kind != ScalarEventKind::Update(op))
+        {
+            return;
+        }
+        // A plain write inside the candidate loop re-initializes the
+        // accumulator every iteration: no cross-iteration accumulation.
+        let cand_chain = &updates[0].chain[..depth + 1];
+        if writes.iter().any(|w| {
+            w.chain.len() >= cand_chain.len()
+                && common_prefix_len(&w.chain, cand_chain) == cand_chain.len()
+        }) {
+            return;
+        }
+        // Detected span (§3.2.1): every parallelism level from the
+        // candidate loop down to each update site.
+        let mut span_levels: BTreeSet<Level> = BTreeSet::new();
+        for u in updates {
+            span_levels.extend(levels_of(&u.chain[depth..]));
+        }
+        let span_levels: Vec<Level> = span_levels.into_iter().collect();
+        if span_levels.is_empty() {
+            return; // purely sequential accumulation is fine
+        }
+        // The accumulated value must actually survive the candidate loop.
+        if !self.hosts_written.contains(&sym)
+            && !self
+                .liveness
+                .live_after_loop
+                .get(&loop_key(candidate))
+                .is_some_and(|s| s.contains(&sym))
+        {
+            return;
+        }
+        let var = self.sym_name(sym).to_string();
+        let clause = format!("reduction({}:{})", op.clause_token(), var);
+        let cand_sched = candidate.sched.clone();
+        let loop_desc = if cand_sched.is_empty() {
+            "loop".to_string()
+        } else {
+            format!("`{}` loop", fmt_levels(&cand_sched))
+        };
+        let mut diag = Diag::new(
+            format!(
+                "`{var}` is accumulated across iterations of a parallel loop \
+                 without a `reduction` clause"
+            ),
+            updates[0].span,
+        )
+        .with_code("L100")
+        .with_note(format!(
+            "concurrent iterations race on the read-modify-write of `{var}`"
+        ));
+        diag = match point {
+            ConsumePoint::Read(span) => diag.with_note_at(
+                format!("the accumulated value of `{var}` is next used here"),
+                *span,
+            ),
+            ConsumePoint::RegionExit => diag.with_note(format!(
+                "the accumulated value of `{var}` is copied back to the host after the region"
+            )),
+        };
+        diag = diag
+            .with_note(format!(
+                "detected reduction span: {} (every parallelism level between \
+                 the next use and the update)",
+                fmt_levels(&span_levels)
+            ))
+            .with_fixit(
+                format!("add this clause to the {loop_desc}"),
+                clause,
+                candidate.span,
+            );
+        out.push(Finding {
+            kind: FindingKind::MissingReduction {
+                var,
+                op,
+                clause_loop_levels: cand_sched,
+                span_levels,
+            },
+            diag,
+        });
+    }
+
+    // ---- L101 / L102 / L103 / L104 --------------------------------------
+
+    fn reduction_clause_lints(&self, out: &mut Vec<Finding>) {
+        for info in &self.loops {
+            for red in &info.l.reductions {
+                let var = self.sym_name(red.sym).to_string();
+                if !red.has_update {
+                    out.push(Finding {
+                        kind: FindingKind::DeadReduction { var: var.clone() },
+                        diag: Diag::warning(
+                            format!(
+                                "`reduction` clause on `{var}`, but `{var}` is never \
+                                 updated under this loop"
+                            ),
+                            red.span,
+                        )
+                        .with_code("L103")
+                        .with_note("the clause has no effect; remove it or add the update"),
+                    });
+                    continue;
+                }
+                if red.mixed_updates {
+                    out.push(Finding {
+                        kind: FindingKind::MixedDepthUpdates { var: var.clone() },
+                        diag: Diag::new(
+                            format!(
+                                "reduction variable `{var}` is updated at different \
+                                 parallelism depths"
+                            ),
+                            red.span,
+                        )
+                        .with_code("L104")
+                        .with_note(
+                            "a single per-thread accumulator over-counts the shallower \
+                             update site; hoist the updates to one depth",
+                        ),
+                    });
+                }
+                self.span_mismatch(info, red, &var, out);
+                self.read_inside_clause_loop(info, red, &var, out);
+            }
+        }
+    }
+
+    fn span_mismatch(
+        &self,
+        info: &LoopInfo<'a>,
+        red: &crate::hir::Reduction,
+        var: &str,
+        out: &mut Vec<Finding>,
+    ) {
+        let sym = red.sym;
+        let updates: Vec<&ScalarEvent<'a>> = self
+            .events
+            .iter()
+            .filter(|e| {
+                e.sym == sym
+                    && matches!(e.kind, ScalarEventKind::ClauseUpdate(_))
+                    && e.chain.iter().any(|l| loop_key(l) == loop_key(info.l))
+            })
+            .collect();
+        if updates.is_empty() {
+            return;
+        }
+        let reads: Vec<&ScalarEvent<'a>> = self
+            .events
+            .iter()
+            .filter(|e| e.sym == sym && e.kind == ScalarEventKind::Read)
+            .collect();
+        let mut intra_loop = false;
+        let Some((depth, _)) = self.consume_point(&updates, &reads, sym, &mut intra_loop) else {
+            return;
+        };
+        let clause_depth = info.chain.len();
+        if depth >= clause_depth {
+            return; // clause sits at (or above) the consume point
+        }
+        // Parallelism levels between the consume point and the clause
+        // loop: combined outside the clause's coverage.
+        let uncovered = levels_of(&info.chain[depth..]);
+        if uncovered.is_empty() {
+            return; // only sequential loops in between: no race
+        }
+        let required = info.chain[depth];
+        let clause = format!("reduction({}:{})", red.op.clause_token(), var);
+        out.push(Finding {
+            kind: FindingKind::SpanMismatch {
+                var: var.to_string(),
+                uncovered: uncovered.clone(),
+            },
+            diag: Diag::new(
+                format!(
+                    "`reduction` clause on `{var}` does not cover every parallelism \
+                     level that combines it"
+                ),
+                red.span,
+            )
+            .with_code("L101")
+            .with_note(format!(
+                "the value of `{var}` is also combined across the `{}` level(s), \
+                 outside this clause's loop",
+                fmt_levels(&uncovered)
+            ))
+            .with_fixit(
+                format!(
+                    "move the clause to the outer `{}` loop (the compiler widens the \
+                     span down to the updates, \u{00a7}3.2.1)",
+                    fmt_levels(&required.sched)
+                ),
+                clause,
+                required.span,
+            ),
+        });
+    }
+
+    fn read_inside_clause_loop(
+        &self,
+        info: &LoopInfo<'a>,
+        red: &crate::hir::Reduction,
+        var: &str,
+        out: &mut Vec<Finding>,
+    ) {
+        let key = loop_key(info.l);
+        for rd in self.events.iter().filter(|e| {
+            e.sym == red.sym
+                && e.kind == ScalarEventKind::Read
+                && e.chain.iter().any(|l| loop_key(l) == key)
+        }) {
+            out.push(Finding {
+                kind: FindingKind::ReductionReadInside {
+                    var: var.to_string(),
+                },
+                diag: Diag::warning(
+                    format!("reduction variable `{var}` is read inside the reduction loop"),
+                    rd.span,
+                )
+                .with_code("L102")
+                .with_note(
+                    "the value observed here is an unspecified partial accumulation; \
+                     only the value after the loop is defined",
+                )
+                .with_note_at("the `reduction` clause is here", red.span),
+            });
+        }
+    }
+
+    // ---- L200 / L201 ----------------------------------------------------
+
+    fn loop_carried(&self, out: &mut Vec<Finding>) {
+        let mut seen: HashSet<(LoopKey, usize, &'static str)> = HashSet::new();
+        for info in &self.loops {
+            if info.l.sched.is_empty() {
+                continue;
+            }
+            let mut accs = Vec::new();
+            collect_array_accesses(&info.l.body, &mut accs);
+            let varying = varying_syms(&info.l.body);
+            for w in accs.iter().filter(|a| a.is_write) {
+                for o in accs.iter().filter(|a| a.array == w.array) {
+                    let dep = loop_dependence(w, o, info.l.var, &varying);
+                    let (code, kind, diag) = match dep {
+                        DepResult::Independent | DepResult::SameIteration => continue,
+                        DepResult::Carried(k) => {
+                            let array = self.array_name(w.array).to_string();
+                            (
+                                "L200",
+                                FindingKind::LoopCarried {
+                                    array: array.clone(),
+                                    distance: Some(k),
+                                },
+                                Diag::new(
+                                    format!(
+                                        "loop-carried dependence on `{array}` in a \
+                                         parallel loop (iteration distance {k})"
+                                    ),
+                                    w.span,
+                                )
+                                .with_code("L200")
+                                .with_note_at(
+                                    format!(
+                                        "this access touches the element written {k} \
+                                         iteration(s) away",
+                                    ),
+                                    o.span,
+                                )
+                                .with_note(
+                                    "parallel iterations execute in arbitrary order; \
+                                     mark the loop `seq` or restructure the recurrence",
+                                ),
+                            )
+                        }
+                        DepResult::SameElement => {
+                            let array = self.array_name(w.array).to_string();
+                            (
+                                "L200",
+                                FindingKind::LoopCarried {
+                                    array: array.clone(),
+                                    distance: None,
+                                },
+                                Diag::new(
+                                    format!(
+                                        "every iteration of this parallel loop accesses \
+                                         the same element of `{array}`"
+                                    ),
+                                    w.span,
+                                )
+                                .with_code("L200")
+                                .with_note(
+                                    "concurrent iterations race on one element; if this \
+                                     is a reduction, accumulate into a scalar",
+                                ),
+                            )
+                        }
+                        DepResult::Unanalyzable => {
+                            let array = self.array_name(w.array).to_string();
+                            (
+                                "L201",
+                                FindingKind::Unanalyzable {
+                                    array: array.clone(),
+                                },
+                                Diag::warning(
+                                    format!(
+                                        "cannot analyze the subscripts of `{array}`; a \
+                                         loop-carried dependence cannot be excluded"
+                                    ),
+                                    w.span,
+                                )
+                                .with_code("L201")
+                                .with_note(
+                                    "subscripts must be affine in the loop variable for \
+                                     the dependence test; verify iterations are independent",
+                                ),
+                            )
+                        }
+                    };
+                    if seen.insert((loop_key(info.l), w.array, code)) {
+                        out.push(Finding { kind, diag });
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- L300 / L301 / L401 / L402 --------------------------------------
+
+    fn data_clause_lints(&self, ri: usize, out: &mut Vec<Finding>) {
+        let mut accs = Vec::new();
+        collect_array_accesses(&self.r.body, &mut accs);
+        let read: HashSet<usize> = accs
+            .iter()
+            .filter(|a| !a.is_write)
+            .map(|a| a.array)
+            .collect();
+        let written: HashSet<usize> = accs
+            .iter()
+            .filter(|a| a.is_write)
+            .map(|a| a.array)
+            .collect();
+        for b in self.r.data.iter().filter(|b| !b.implied) {
+            let array = self.array_name(b.array).to_string();
+            let is_read = read.contains(&b.array);
+            let is_written = written.contains(&b.array);
+            if !is_read && !is_written {
+                out.push(Finding {
+                    kind: FindingKind::DeadDataClause {
+                        array: array.clone(),
+                    },
+                    diag: Diag::warning(
+                        format!(
+                            "data clause names `{array}`, but the region never \
+                             references it"
+                        ),
+                        self.r.span,
+                    )
+                    .with_code("L402")
+                    .with_note("remove the clause to avoid a useless transfer"),
+                });
+                continue;
+            }
+            match b.dir {
+                DataDir::CopyIn if !is_read => {
+                    let mut d = Diag::warning(
+                        format!("`copyin({array})` but the region never reads `{array}`"),
+                        self.r.span,
+                    )
+                    .with_code("L300");
+                    d = if is_written {
+                        d.with_note(format!(
+                            "the region only writes `{array}`; use `copyout({array})` \
+                             (or `create({array})` if the host never reads it back)"
+                        ))
+                    } else {
+                        d.with_note("the host-to-device transfer is wasted")
+                    };
+                    out.push(Finding {
+                        kind: FindingKind::CopyinNeverRead { array },
+                        diag: d,
+                    });
+                }
+                DataDir::CopyOut if !is_written => {
+                    let mut d = Diag::warning(
+                        format!("`copyout({array})` but the region never writes `{array}`"),
+                        self.r.span,
+                    )
+                    .with_code("L301")
+                    .with_note(
+                        "the device-to-host transfer copies back unmodified (or \
+                         uninitialized) data",
+                    );
+                    if is_read {
+                        d = d.with_note(format!(
+                            "the region only reads `{array}`; use `copyin({array})`"
+                        ));
+                    }
+                    out.push(Finding {
+                        kind: FindingKind::CopyoutNeverWritten { array },
+                        diag: d,
+                    });
+                }
+                _ => {}
+            }
+        }
+        // L401: explicit movement clause on an array already resident via
+        // an enclosing structured `acc data` scope.
+        for ds in &self.p.data_scopes {
+            if !(ds.first_region <= ri && ri < ds.end_region) {
+                continue;
+            }
+            for b in self.r.data.iter().filter(|b| !b.implied) {
+                if b.dir == DataDir::Present {
+                    continue;
+                }
+                if ds.bindings.iter().any(|(a, _)| *a == b.array) {
+                    let array = self.array_name(b.array).to_string();
+                    out.push(Finding {
+                        kind: FindingKind::ShadowedDataClause {
+                            array: array.clone(),
+                        },
+                        diag: Diag::warning(
+                            format!(
+                                "data clause on `{array}` is shadowed by an enclosing \
+                                 `acc data` region"
+                            ),
+                            self.r.span,
+                        )
+                        .with_code("L401")
+                        .with_note(format!(
+                            "`{array}` is already resident; the clause moves no data \
+                             (present-or-copy semantics) — write `present({array})` to \
+                             state the intent"
+                        )),
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- L304 -----------------------------------------------------------
+
+    fn private_lints(&self, out: &mut Vec<Finding>) {
+        #[allow(clippy::type_complexity)]
+        let scopes: Vec<(&[(Sym, Span)], &[HStmt])> =
+            std::iter::once((self.r.privates.as_slice(), self.r.body.as_slice()))
+                .chain(
+                    self.loops
+                        .iter()
+                        .map(|i| (i.l.privates.as_slice(), i.l.body.as_slice())),
+                )
+                .collect();
+        for (privates, body) in scopes {
+            if privates.is_empty() {
+                continue;
+            }
+            let tracked: HashSet<Sym> = privates
+                .iter()
+                .map(|(s, _)| *s)
+                .filter(|s| match s {
+                    Sym::Local(l) => !self.r.locals[*l].is_loop_var,
+                    Sym::Host(_) => true,
+                })
+                .collect();
+            if tracked.is_empty() {
+                continue;
+            }
+            for (sym, span) in read_before_write(body, &tracked, &HashSet::new()) {
+                let var = self.sym_name(sym).to_string();
+                out.push(Finding {
+                    kind: FindingKind::PrivateReadBeforeWrite { var: var.clone() },
+                    diag: Diag::warning(
+                        format!("private variable `{var}` may be read before it is assigned"),
+                        span,
+                    )
+                    .with_code("L304")
+                    .with_note(
+                        "each thread's private copy starts uninitialized; assignments \
+                         outside the construct do not initialize it",
+                    ),
+                });
+            }
+        }
+    }
+
+    // ---- L400 -----------------------------------------------------------
+
+    fn duplicate_lints(&self, out: &mut Vec<Finding>) {
+        // Duplicate `private` items (region construct and each loop).
+        let lists = std::iter::once(self.r.privates.as_slice())
+            .chain(self.loops.iter().map(|i| i.l.privates.as_slice()));
+        for privates in lists {
+            let mut seen: HashSet<Sym> = HashSet::new();
+            for (sym, span) in privates {
+                if !seen.insert(*sym) {
+                    let var = self.sym_name(*sym).to_string();
+                    out.push(Finding {
+                        kind: FindingKind::DuplicateClauseVar { var: var.clone() },
+                        diag: Diag::warning(
+                            format!("`{var}` appears more than once in `private` clauses"),
+                            *span,
+                        )
+                        .with_code("L400")
+                        .with_note("the duplicate entry has no effect"),
+                    });
+                }
+            }
+        }
+        // Duplicate reduction variables on one loop directive.
+        for info in &self.loops {
+            let mut seen: HashSet<Sym> = HashSet::new();
+            for red in &info.l.reductions {
+                if !seen.insert(red.sym) {
+                    let var = self.sym_name(red.sym).to_string();
+                    out.push(Finding {
+                        kind: FindingKind::DuplicateClauseVar { var: var.clone() },
+                        diag: Diag::warning(
+                            format!(
+                                "`{var}` appears in more than one `reduction` clause on \
+                                 this loop"
+                            ),
+                            red.span,
+                        )
+                        .with_code("L400")
+                        .with_note("only one reduction operator can apply per variable"),
+                    });
+                }
+            }
+        }
+        // Duplicate arrays in the region's explicit data clauses.
+        let mut seen: HashSet<usize> = HashSet::new();
+        for b in self.r.data.iter().filter(|b| !b.implied) {
+            if !seen.insert(b.array) {
+                let array = self.array_name(b.array).to_string();
+                out.push(Finding {
+                    kind: FindingKind::DuplicateClauseVar { var: array.clone() },
+                    diag: Diag::warning(
+                        format!("`{array}` appears in more than one data clause"),
+                        self.r.span,
+                    )
+                    .with_code("L400")
+                    .with_note("the first clause wins; remove the duplicate"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let (_, f) = lint_source(src).expect("compile");
+        f
+    }
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        findings(src).iter().map(|f| f.code()).collect()
+    }
+
+    #[test]
+    fn missing_reduction_simple() {
+        let src = "int N; double s;\ndouble a[N];\ns = 0;\n\
+             #pragma acc parallel copyin(a)\n{\n\
+             #pragma acc loop gang vector\nfor (int i = 0; i < N; i++) { s = s + a[i]; }\n}";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        match &f[0].kind {
+            FindingKind::MissingReduction {
+                var,
+                op,
+                span_levels,
+                ..
+            } => {
+                assert_eq!(var, "s");
+                assert_eq!(*op, RedOp::Add);
+                assert_eq!(span_levels, &[Level::Gang, Level::Vector]);
+            }
+            k => panic!("wrong kind {k:?}"),
+        }
+        let fix = f[0].diag.fixit().expect("fixit");
+        assert_eq!(fix.insert, "reduction(+:s)");
+    }
+
+    #[test]
+    fn missing_reduction_nested_span() {
+        // Update in the vector loop, consumed at region exit: the span
+        // covers both levels; the clause belongs on the gang loop.
+        let src = "int N; int M; double s;\ndouble a[N];\ns = 0;\n\
+             #pragma acc parallel copyin(a)\n{\n\
+             #pragma acc loop gang\nfor (int i = 0; i < N; i++) {\n\
+             #pragma acc loop vector\nfor (int j = 0; j < M; j++) { s += a[i * M + j]; }\n}\n}";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        match &f[0].kind {
+            FindingKind::MissingReduction {
+                clause_loop_levels,
+                span_levels,
+                ..
+            } => {
+                assert_eq!(clause_loop_levels, &[Level::Gang]);
+                assert_eq!(span_levels, &[Level::Gang, Level::Vector]);
+            }
+            k => panic!("wrong kind {k:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_reduction_consumed_per_gang_iteration() {
+        // Accumulator re-initialized and consumed inside the gang loop:
+        // only the vector level reduces.
+        let src = "int N; int M;\ndouble a[N]; double out[N];\n\
+             #pragma acc parallel copyin(a) copyout(out)\n{\n\
+             #pragma acc loop gang\nfor (int i = 0; i < N; i++) {\n\
+             double t = 0.0;\n\
+             #pragma acc loop vector\nfor (int j = 0; j < M; j++) { t += a[i * M + j]; }\n\
+             out[i] = t;\n}\n}";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        match &f[0].kind {
+            FindingKind::MissingReduction {
+                var,
+                clause_loop_levels,
+                span_levels,
+                ..
+            } => {
+                assert_eq!(var, "t");
+                assert_eq!(clause_loop_levels, &[Level::Vector]);
+                assert_eq!(span_levels, &[Level::Vector]);
+            }
+            k => panic!("wrong kind {k:?}"),
+        }
+    }
+
+    #[test]
+    fn sequential_accumulation_is_clean() {
+        let src = "int N; double s;\ndouble a[N];\ns = 0;\n\
+             #pragma acc parallel copyin(a)\n{\n\
+             #pragma acc loop seq\nfor (int i = 0; i < N; i++) { s += a[i]; }\n}";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn scan_pattern_is_not_reported() {
+        // Running value consumed every iteration: a scan, not a reduction.
+        let src = "int N; double s;\ndouble a[N]; double b[N];\ns = 0;\n\
+             #pragma acc parallel copyin(a) copyout(b)\n{\n\
+             #pragma acc loop gang\nfor (int i = 0; i < N; i++) { s += a[i]; b[i] = s; }\n}";
+        let c = codes(src);
+        assert!(!c.contains(&"L100"), "{c:?}");
+    }
+
+    #[test]
+    fn clean_reduction_has_no_findings() {
+        let src = "int N; double s;\ndouble a[N];\ns = 0;\n\
+             #pragma acc parallel copyin(a)\n{\n\
+             #pragma acc loop gang vector reduction(+:s)\n\
+             for (int i = 0; i < N; i++) { s += a[i]; }\n}";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn span_mismatch_reported() {
+        // Clause on the vector loop, but the value is combined across the
+        // gang level too (consumed after the gang loop). Sema rejects this
+        // shape for host scalars outright, so the lint covers the
+        // region-local case.
+        let src = "int N; int M;\ndouble a[N]; double out[N];\n\
+             #pragma acc parallel copyin(a) copyout(out)\n{\n\
+             double s = 0.0;\n\
+             #pragma acc loop gang\nfor (int i = 0; i < N; i++) {\n\
+             #pragma acc loop vector reduction(+:s)\n\
+             for (int j = 0; j < M; j++) { s += a[i * M + j]; }\n}\n\
+             out[0] = s;\n}";
+        let f = findings(src);
+        let sm: Vec<_> = f.iter().filter(|f| f.code() == "L101").collect();
+        assert_eq!(sm.len(), 1, "{f:?}");
+        match &sm[0].kind {
+            FindingKind::SpanMismatch { var, uncovered } => {
+                assert_eq!(var, "s");
+                assert_eq!(uncovered, &[Level::Gang]);
+            }
+            k => panic!("wrong kind {k:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_reduction_clause() {
+        let src = "int N; double s;\ndouble a[N]; double b[N];\ns = 0;\n\
+             #pragma acc parallel copyin(a) copyout(b)\n{\n\
+             #pragma acc loop gang reduction(+:s)\n\
+             for (int i = 0; i < N; i++) { b[i] = a[i]; }\n}";
+        assert_eq!(codes(src), vec!["L103"]);
+    }
+
+    #[test]
+    fn loop_carried_dependence() {
+        let src = "int N;\ndouble a[N];\n\
+             #pragma acc parallel copy(a)\n{\n\
+             #pragma acc loop gang\n\
+             for (int i = 1; i < N; i++) { a[i] = a[i - 1] + 1.0; }\n}";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(
+            f[0].kind,
+            FindingKind::LoopCarried {
+                array: "a".into(),
+                distance: Some(1)
+            }
+        );
+    }
+
+    #[test]
+    fn distance_zero_is_clean() {
+        let src = "int N;\ndouble a[N];\n\
+             #pragma acc parallel copy(a)\n{\n\
+             #pragma acc loop gang\n\
+             for (int i = 0; i < N; i++) { a[i] = a[i] * 2.0; }\n}";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn data_clause_lints_fire() {
+        let src = "int N;\ndouble a[N]; double b[N]; double c[N];\n\
+             #pragma acc parallel copyin(a) copyin(b) copyout(c)\n{\n\
+             #pragma acc loop gang\n\
+             for (int i = 0; i < N; i++) { b[i] = a[i] + c[i]; }\n}";
+        let c = codes(src);
+        // b: copyin but only written; c: copyout but only read.
+        assert!(c.contains(&"L300"), "{c:?}");
+        assert!(c.contains(&"L301"), "{c:?}");
+    }
+
+    #[test]
+    fn dead_data_clause() {
+        let src = "int N;\ndouble a[N]; double b[N]; double c[N];\n\
+             #pragma acc parallel copyin(a) copyin(c) copyout(b)\n{\n\
+             #pragma acc loop gang\n\
+             for (int i = 0; i < N; i++) { b[i] = a[i]; }\n}";
+        assert_eq!(codes(src), vec!["L402"]);
+    }
+
+    #[test]
+    fn private_read_before_write() {
+        let src = "int N;\ndouble a[N]; double b[N];\n\
+             #pragma acc parallel copyin(a) copyout(b)\n{\n\
+             double t = 1.0;\n\
+             #pragma acc loop gang private(t)\n\
+             for (int i = 0; i < N; i++) { b[i] = t * a[i]; t = a[i]; }\n}";
+        let c = codes(src);
+        assert!(c.contains(&"L304"), "{c:?}");
+    }
+
+    #[test]
+    fn shadowed_data_clause() {
+        let src = "int N;\ndouble a[N];\n\
+             #pragma acc data copy(a)\n{\n\
+             #pragma acc parallel copyin(a)\n{\n\
+             #pragma acc loop gang\n\
+             for (int i = 0; i < N; i++) { a[i] = a[i] + 1.0; }\n}\n}";
+        let c = codes(src);
+        assert!(c.contains(&"L401"), "{c:?}");
+    }
+
+    #[test]
+    fn findings_rank_errors_first() {
+        let src = "int N; double s;\ndouble a[N]; double b[N]; double dead[N];\ns = 0;\n\
+             #pragma acc parallel copyin(a) copyin(dead) copy(b)\n{\n\
+             #pragma acc loop gang\n\
+             for (int i = 1; i < N; i++) { s += a[i]; b[i] = b[i - 1]; }\n}";
+        let f = findings(src);
+        let codes: Vec<_> = f.iter().map(|x| x.code()).collect();
+        assert!(codes.contains(&"L100"), "{codes:?}");
+        assert!(codes.contains(&"L200"), "{codes:?}");
+        assert!(codes.contains(&"L402"), "{codes:?}");
+        // Errors (L100/L200) must come before the warning (L402).
+        let pos_err = codes.iter().position(|c| *c == "L200").unwrap();
+        let pos_warn = codes.iter().position(|c| *c == "L402").unwrap();
+        assert!(pos_err < pos_warn);
+    }
+}

@@ -11,6 +11,7 @@ pub fn parse_program(src: &str) -> Result<Program, Diag> {
         toks,
         pos: 0,
         data_blocks: Vec::new(),
+        expr_depth: 0,
     };
     p.program()
 }
@@ -23,16 +24,23 @@ pub fn parse_expr(src: &str) -> Result<Expr, Diag> {
         toks,
         pos: 0,
         data_blocks: Vec::new(),
+        expr_depth: 0,
     };
     let e = p.expr()?;
     p.expect_eof()?;
     Ok(e)
 }
 
+/// Maximum expression nesting depth. Real programs stay far below this;
+/// the guard turns pathological inputs (fuzzer-grade paren towers) into a
+/// clean diagnostic instead of betting on stack headroom.
+const MAX_EXPR_DEPTH: u32 = 128;
+
 struct Parser {
     toks: Vec<SpannedTok>,
     pos: usize,
     data_blocks: Vec<DataBlock>,
+    expr_depth: u32,
 }
 
 impl Parser {
@@ -622,12 +630,12 @@ impl Parser {
         Ok(e)
     }
 
-    fn name_list(&mut self) -> Result<Vec<String>, Diag> {
+    fn name_list(&mut self) -> Result<Vec<NameItem>, Diag> {
         self.expect_punct("(")?;
         let mut names = Vec::new();
         loop {
-            let (n, _) = self.expect_ident()?;
-            names.push(n);
+            let (name, span) = self.expect_ident()?;
+            names.push(NameItem { name, span });
             if !self.eat_punct(",") {
                 break;
             }
@@ -661,12 +669,16 @@ impl Parser {
     fn reduction_clause(&mut self, span: Span) -> Result<Vec<ReductionClause>, Diag> {
         self.expect_punct("(")?;
         // operator token: punct or ident (max/min)
+        let op_span = self.span();
         let op = match self.bump().tok {
             Tok::Punct(p) => RedOp::from_clause_token(p),
             Tok::Ident(s) => RedOp::from_clause_token(&s),
             _ => None,
         }
-        .ok_or_else(|| Diag::new("invalid reduction operator", span))?;
+        .ok_or_else(|| {
+            Diag::new("invalid reduction operator", op_span)
+                .with_note_at("in this `reduction` clause", span)
+        })?;
         self.expect_punct(":")?;
         let mut rs = Vec::new();
         loop {
@@ -792,7 +804,7 @@ impl Parser {
         if decl_ty.is_some() {
             self.bump();
         }
-        let (var, _) = self.expect_ident()?;
+        let (var, var_span) = self.expect_ident()?;
         self.expect_punct("=")?;
         let init = self.expr()?;
         self.expect_punct(";")?;
@@ -825,6 +837,7 @@ impl Parser {
         Ok(Stmt {
             kind: StmtKind::For(ForLoop {
                 var,
+                var_span,
                 decl_ty,
                 init,
                 cmp,
@@ -986,7 +999,13 @@ impl Parser {
     // ---- expressions (precedence climbing) --------------------------------
 
     fn expr(&mut self) -> Result<Expr, Diag> {
-        self.ternary()
+        if self.expr_depth >= MAX_EXPR_DEPTH {
+            return Err(Diag::new("expression nesting too deep", self.span()));
+        }
+        self.expr_depth += 1;
+        let r = self.ternary();
+        self.expr_depth -= 1;
+        r
     }
 
     fn ternary(&mut self) -> Result<Expr, Diag> {

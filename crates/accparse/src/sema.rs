@@ -323,6 +323,7 @@ impl<'a, F: Fn(&str) -> Option<Sym0>> RegionSema<'a, F> {
             });
         }
         let n_construct_reds = r.reductions.len();
+        let privates = self.resolve_privates(&r.privates)?;
 
         let body = self.stmts(&r.body)?;
 
@@ -338,6 +339,7 @@ impl<'a, F: Fn(&str) -> Option<Sym0>> RegionSema<'a, F> {
                 clause_levels: Vec::new(),
                 span_levels: sorted_levels(&ar.span_levels),
                 mixed_updates: ar.update_sites.len() > 1,
+                has_update: ar.found_update,
                 span: rc.span,
             })
             .collect();
@@ -401,6 +403,7 @@ impl<'a, F: Fn(&str) -> Option<Sym0>> RegionSema<'a, F> {
             locals: std::mem::take(&mut self.locals),
             hosts_used: std::mem::take(&mut self.hosts_used),
             hosts_written: std::mem::take(&mut self.hosts_written),
+            privates,
             body,
             span: r.span,
         })
@@ -822,18 +825,26 @@ impl<'a, F: Fn(&str) -> Option<Sym0>> RegionSema<'a, F> {
         let lower = self.expr(&f.init)?;
         let bound = self.expr(&f.bound)?;
         let step = self.expr(&f.step)?;
-        if lower.ty.is_float() || bound.ty.is_float() || step.ty.is_float() {
-            return Err(Diag::new("loop bounds and step must be integers", span));
+        for part in [&lower, &bound, &step] {
+            if part.ty.is_float() {
+                return Err(Diag::new(
+                    "loop bounds and step must be integers",
+                    part.span,
+                ));
+            }
         }
         if !sched.is_empty() && step.const_int().is_none() {
-            return Err(Diag::new("a parallel loop requires a constant step", span));
+            return Err(Diag::new(
+                "a parallel loop requires a constant step",
+                step.span,
+            ));
         }
         if let Some(s) = step.const_int() {
             let upward = matches!(f.cmp, BinOpKind::Lt | BinOpKind::Le);
             if s == 0 || (upward && s < 0) || (!upward && s > 0) {
                 return Err(Diag::new(
                     "loop step direction contradicts its condition",
-                    span,
+                    step.span,
                 ));
             }
         }
@@ -841,7 +852,10 @@ impl<'a, F: Fn(&str) -> Option<Sym0>> RegionSema<'a, F> {
         self.scopes.push(HashMap::new());
         let var_ty = f.decl_ty.unwrap_or(CType::Int);
         if var_ty.is_float() {
-            return Err(Diag::new("loop variable must have integer type", span));
+            return Err(Diag::new(
+                "loop variable must have integer type",
+                f.var_span,
+            ));
         }
         let var = self.new_local(&f.var, var_ty, true);
 
@@ -888,6 +902,7 @@ impl<'a, F: Fn(&str) -> Option<Sym0>> RegionSema<'a, F> {
                 found_update: false,
             });
         }
+        let privates = self.resolve_privates(&dir.privates)?;
 
         let body = self.stmts(&f.body)?;
 
@@ -902,6 +917,7 @@ impl<'a, F: Fn(&str) -> Option<Sym0>> RegionSema<'a, F> {
                 clause_levels: sched.clone(),
                 span_levels: sorted_levels(&ar.span_levels),
                 mixed_updates: ar.update_sites.len() > 1,
+                has_update: ar.found_update,
                 span: rc.span,
             });
         }
@@ -916,9 +932,22 @@ impl<'a, F: Fn(&str) -> Option<Sym0>> RegionSema<'a, F> {
             step,
             sched,
             reductions,
+            privates,
             body,
             span,
         })
+    }
+
+    /// Resolve the names of `private(...)` clause items. The variables must
+    /// be visible at the directive; items are kept with their clause span
+    /// for the lint layer.
+    fn resolve_privates(&mut self, items: &[ast::NameItem]) -> Result<Vec<(Sym, Span)>, Diag> {
+        let mut out = Vec::new();
+        for item in items {
+            let sym = self.resolve_scalar(&item.name, item.span)?;
+            out.push((sym, item.span));
+        }
+        Ok(out)
     }
 
     /// Handle `collapse(n)` with `n > 1`: fuse a perfectly nested,
@@ -1178,6 +1207,7 @@ impl<'a, F: Fn(&str) -> Option<Sym0>> RegionSema<'a, F> {
                 found_update: false,
             });
         }
+        let privates = self.resolve_privates(&dir.privates)?;
 
         let mut body = recover;
         body.extend(self.stmts(&specs[n as usize - 1].body)?);
@@ -1192,6 +1222,7 @@ impl<'a, F: Fn(&str) -> Option<Sym0>> RegionSema<'a, F> {
                 clause_levels: sched.clone(),
                 span_levels: sorted_levels(&ar.span_levels),
                 mixed_updates: ar.update_sites.len() > 1,
+                has_update: ar.found_update,
                 span: rc.span,
             });
         }
@@ -1206,6 +1237,7 @@ impl<'a, F: Fn(&str) -> Option<Sym0>> RegionSema<'a, F> {
             step: int_lit(1),
             sched,
             reductions,
+            privates,
             body,
             span,
         })
@@ -1584,6 +1616,99 @@ mod tests {
         assert_eq!(spans, vec![vec![Level::Gang, Level::Worker, Level::Vector]]);
         // s is a host scalar written back
         assert_eq!(p.regions[0].hosts_written, vec![p.host_index("s").unwrap()]);
+    }
+
+    /// §3.2.1 span auto-detection, pinned for all six placements of the
+    /// Fig. 4/5/9 shapes in a gang/worker/vector loop nest: the clause
+    /// sits on one loop and the update at the same or a deeper level; the
+    /// detected span must cover exactly the levels in between.
+    #[test]
+    fn span_autodetection_all_six_placements() {
+        // (clause loop, update site, expected span). Sites: "gang" =
+        // directly in the gang body, "worker" = in the worker body after
+        // the vector loop, "vector" = in the vector body.
+        let cases: [(&str, &str, Vec<Level>); 6] = [
+            ("gang", "gang", vec![Level::Gang]),
+            ("worker", "worker", vec![Level::Worker]),
+            ("vector", "vector", vec![Level::Vector]),
+            ("gang", "worker", vec![Level::Gang, Level::Worker]),
+            ("worker", "vector", vec![Level::Worker, Level::Vector]),
+            (
+                "gang",
+                "vector",
+                vec![Level::Gang, Level::Worker, Level::Vector],
+            ),
+        ];
+        for (clause_loop, update_site, expected) in cases {
+            // Host scalars must carry the clause on the outermost parallel
+            // loop; deeper clauses use a per-gang local consumed into an
+            // output array so sema accepts the placement.
+            let host_sum = clause_loop == "gang";
+            let decl = if host_sum { "float sum;\nsum = 0;" } else { "" };
+            let local_decl = if host_sum { "" } else { "float sum = 0;" };
+            let consume = if host_sum { "" } else { "out[k] = sum;" };
+            let red = |l: &str| {
+                if l == clause_loop {
+                    " reduction(+:sum)"
+                } else {
+                    ""
+                }
+            };
+            let upd = |site: &str| {
+                if site == update_site {
+                    "sum += input[k][j][i];"
+                } else {
+                    ""
+                }
+            };
+            let src = format!(
+                r#"
+                int NK; int NJ; int NI;
+                {decl}
+                float input[NK][NJ][NI];
+                float out[NK];
+                #pragma acc parallel copyin(input) copyout(out)
+                {{
+                    #pragma acc loop gang{g}
+                    for (int k = 0; k < NK; k++) {{
+                        {local_decl}
+                        #pragma acc loop worker{w}
+                        for (int j = 0; j < NJ; j++) {{
+                            #pragma acc loop vector{v}
+                            for (int i = 0; i < NI; i++) {{
+                                {uv}
+                                out[k] = input[k][j][i];
+                            }}
+                            int j2 = j; int i2 = 0;
+                            {uw}
+                        }}
+                        int j3 = 0; int i3 = 0;
+                        {ug}
+                        {consume}
+                    }}
+                }}
+                "#,
+                g = red("gang"),
+                w = red("worker"),
+                v = red("vector"),
+                uv = upd("vector"),
+                uw = upd("worker").replace("[j][i]", "[j2][i2]"),
+                ug = upd("gang").replace("[j][i]", "[j3][i3]"),
+            );
+            let p = analyze_src(&src)
+                .unwrap_or_else(|d| panic!("{clause_loop}/{update_site}: {}", d.render(&src)));
+            let mut spans = Vec::new();
+            visit_loops(&p.regions[0].body, &mut |l| {
+                for r in &l.reductions {
+                    spans.push(r.span_levels.clone());
+                }
+            });
+            assert_eq!(
+                spans,
+                vec![expected.clone()],
+                "clause on {clause_loop}, update in {update_site}"
+            );
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use uhacc_core::{CompilerOptions, LaunchDims};
 
 /// The update + convergence program: region 0 relaxes `temp2` from
 /// `temp1`, region 1 computes the max difference.
-const HEAT_SRC: &str = r#"
+pub(crate) const HEAT_SRC: &str = r#"
 int ni; int nj;
 double error;
 double temp1[nj][ni];

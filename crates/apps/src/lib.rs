@@ -19,3 +19,14 @@ pub mod pi;
 pub use heat2d::{run_heat, HeatConfig, HeatResult};
 pub use matmul::{run_matmul, MatmulConfig, MatmulResult};
 pub use pi::{run_pi, PiConfig, PiResult};
+
+/// Every application's directive source, for tooling that sweeps over
+/// real codes (the lint testsuite asserts all of them are finding-free).
+pub fn all_sources() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("heat2d", heat2d::HEAT_SRC),
+        ("matmul", matmul::MATMUL_SRC),
+        ("matmul-seq-k", matmul::MATMUL_SEQ_K_SRC),
+        ("pi", pi::PI_SRC),
+    ]
+}

@@ -13,7 +13,7 @@ use gpsim::Device;
 use uhacc_core::{CompilerOptions, LaunchDims};
 
 /// Fig. 13b, verbatim shape.
-const MATMUL_SRC: &str = r#"
+pub(crate) const MATMUL_SRC: &str = r#"
 int n;
 double A[n][n];
 double B[n][n];
@@ -37,7 +37,7 @@ double C[n][n];
 
 /// The naive variant the paper contrasts against: the k loop stays
 /// sequential (`loop seq`), only i/j are parallel.
-const MATMUL_SEQ_K_SRC: &str = r#"
+pub(crate) const MATMUL_SEQ_K_SRC: &str = r#"
 int n;
 double A[n][n];
 double B[n][n];

@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 use uhacc_core::{CompilerOptions, LaunchDims};
 
 /// Fig. 13c shape: one loop, gang+vector, `+` reduction on the hit count.
-const PI_SRC: &str = r#"
+pub(crate) const PI_SRC: &str = r#"
 int n;
 int m;
 double x[n]; double y[n];

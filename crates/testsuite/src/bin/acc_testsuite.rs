@@ -5,8 +5,9 @@
 
 use acc_baselines::Compiler;
 use acc_testsuite::{
-    format_fig11, format_matrix, format_summary, format_table2, format_verify_sweep,
-    run_sanitize_matrix, run_suite, run_verify_sweep, SuiteConfig,
+    format_fig11, format_lint_sweep, format_matrix, format_summary, format_table2,
+    format_verify_sweep, run_lint_sweep, run_sanitize_matrix, run_suite, run_verify_sweep,
+    SuiteConfig,
 };
 use accparse::ast::{CType, RedOp};
 
@@ -17,6 +18,7 @@ fn main() {
     let mut all_ops = false;
     let mut sanitize = false;
     let mut verify = false;
+    let mut lint = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -33,6 +35,7 @@ fn main() {
             "--all-ops" => all_ops = true,
             "--sanitize" => sanitize = true,
             "--verify" => verify = true,
+            "--lint" => lint = true,
             "--help" | "-h" => {
                 println!(
                     "acc-testsuite: regenerate Table 2 / Fig. 11 of the paper\n\
@@ -44,7 +47,10 @@ fn main() {
                      --fig11      also print the Figure 11 per-position series\n\
                      --sanitize   run the hazard-sanitizer detection matrix instead\n\
                      --verify     statically verify every generated kernel of the §6\n\
-                                  grid (no simulation) and exit non-zero on errors"
+                                  grid (no simulation) and exit non-zero on errors\n\
+                     --lint       run the stripped-clause lint sweep over the §6 grid:\n\
+                                  intact sources must lint clean and every stripped\n\
+                                  reduction clause must be re-suggested exactly"
                 );
                 return;
             }
@@ -56,6 +62,15 @@ fn main() {
         i += 1;
     }
 
+    if lint {
+        eprintln!("running stripped-clause lint sweep over the \u{00a7}6 grid (no simulation) ...");
+        let rows = run_lint_sweep();
+        print!("{}", format_lint_sweep(&rows));
+        if rows.iter().any(|r| !r.ok()) {
+            std::process::exit(1);
+        }
+        return;
+    }
     if verify {
         eprintln!("statically verifying the §6 kernel grid (no simulation) ...");
         let rows = run_verify_sweep(&cfg);

@@ -13,11 +13,13 @@
 //! as the paper's Table 2 and Figure 11.
 
 pub mod cases;
+pub mod lintsweep;
 pub mod report;
 pub mod run;
 pub mod sanitize;
 
 pub use cases::{case_source, Position};
+pub use lintsweep::{format_lint_sweep, run_lint_sweep, strip_reduction_clauses, LintSweepRow};
 pub use report::{format_fig11, format_summary, format_table2};
 pub use run::{run_case, run_suite, CaseResult, CaseStatus, SuiteConfig};
 pub use sanitize::{

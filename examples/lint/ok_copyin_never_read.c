@@ -1,0 +1,12 @@
+// Near miss: `b` is copied in *and* read (then overwritten) — the
+// transfer carries live data.
+int N;
+double a[N];
+double b[N];
+#pragma acc parallel copyin(a) copy(b)
+{
+    #pragma acc loop gang vector
+    for (int i = 0; i < N; i++) {
+        b[i] = b[i] + a[i];
+    }
+}

@@ -1,0 +1,12 @@
+// Near miss: `c` is written by every iteration — copyout is exactly
+// right.
+int N;
+double a[N];
+double c[N];
+#pragma acc parallel copyin(a) copyout(c)
+{
+    #pragma acc loop gang vector
+    for (int i = 0; i < N; i++) {
+        c[i] = a[i] * 2.0;
+    }
+}

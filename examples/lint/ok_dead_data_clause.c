@@ -1,0 +1,12 @@
+// Near miss: every named array is referenced by the region.
+int N;
+double a[N];
+double b[N];
+double c[N];
+#pragma acc parallel copyin(a) copyin(c) copyout(b)
+{
+    #pragma acc loop gang vector
+    for (int i = 0; i < N; i++) {
+        b[i] = a[i] + c[i];
+    }
+}

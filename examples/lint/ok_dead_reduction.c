@@ -1,0 +1,13 @@
+// Near miss: the clause variable is updated in the loop — a live,
+// correct reduction.
+int N;
+double sum;
+double a[N];
+sum = 0.0;
+#pragma acc parallel copyin(a)
+{
+    #pragma acc loop gang vector reduction(+:sum)
+    for (int i = 0; i < N; i++) {
+        sum += a[i];
+    }
+}

@@ -1,0 +1,15 @@
+// Near miss: each variable appears once.
+int N;
+double a[N];
+double b[N];
+#pragma acc parallel copyin(a) copyout(b)
+{
+    double t = 0.0;
+    double u = 0.0;
+    #pragma acc loop gang private(t, u)
+    for (int i = 0; i < N; i++) {
+        t = a[i];
+        u = t + 1.0;
+        b[i] = t * u;
+    }
+}

@@ -1,0 +1,11 @@
+// Near miss: iteration i reads and writes only its own element a[i]
+// (dependence distance 0), so every iteration is independent.
+int N;
+double a[N];
+#pragma acc parallel copy(a)
+{
+    #pragma acc loop gang vector
+    for (int i = 1; i < N; i++) {
+        a[i] = a[i] * 2.0 + 1.0;
+    }
+}

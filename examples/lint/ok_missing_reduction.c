@@ -1,0 +1,13 @@
+// Near miss: the accumulation loop is sequential (`seq`), so iterations
+// run in order on one thread — no clause needed, no race.
+int N;
+double sum;
+double a[N];
+sum = 0.0;
+#pragma acc parallel copyin(a)
+{
+    #pragma acc loop seq
+    for (int i = 0; i < N; i++) {
+        sum += a[i];
+    }
+}

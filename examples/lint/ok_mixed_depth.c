@@ -1,0 +1,18 @@
+// Near miss: both updates sit at the same depth (inside the vector
+// loop), so one per-thread accumulator is exact.
+int N; int M;
+double sum;
+double a[N];
+double b[N];
+sum = 0.0;
+#pragma acc parallel copyin(a) copyin(b)
+{
+    #pragma acc loop gang reduction(+:sum)
+    for (int i = 0; i < N; i++) {
+        #pragma acc loop vector
+        for (int j = 0; j < M; j++) {
+            sum += a[i * M + j];
+            sum += b[i];
+        }
+    }
+}

@@ -1,0 +1,14 @@
+// Near miss: the private copy is assigned at the top of every iteration
+// before any read — well-defined for every thread.
+int N;
+double a[N];
+double b[N];
+#pragma acc parallel copyin(a) copyout(b)
+{
+    double t = 1.0;
+    #pragma acc loop gang private(t)
+    for (int i = 0; i < N; i++) {
+        t = a[i] + 1.0;
+        b[i] = t * a[i];
+    }
+}

@@ -1,0 +1,15 @@
+// Near miss: the inner construct declares `present(a)` — it names the
+// array without claiming to move it, which is exactly what the enclosing
+// data region provides.
+int N;
+double a[N];
+#pragma acc data copy(a)
+{
+    #pragma acc parallel present(a)
+    {
+        #pragma acc loop gang vector
+        for (int i = 0; i < N; i++) {
+            a[i] = a[i] + 1.0;
+        }
+    }
+}

@@ -1,0 +1,23 @@
+// Near miss: matrix multiply. The clause also sits on an inner loop, but
+// here `c` is consumed inside the worker-vector loop (one dot product per
+// (i, j) iteration), so the sequential k loop is exactly where the clause
+// belongs — the value never crosses a parallelism level.
+int n;
+double A[n][n];
+double B[n][n];
+double C[n][n];
+#pragma acc parallel copyin(A) copyin(B) copyout(C)
+{
+    #pragma acc loop gang
+    for (int i = 0; i < n; i++) {
+        #pragma acc loop worker vector
+        for (int j = 0; j < n; j++) {
+            double c = 0.0;
+            #pragma acc loop seq reduction(+:c)
+            for (int k = 0; k < n; k++) {
+                c += A[i][k] * B[k][j];
+            }
+            C[i][j] = c;
+        }
+    }
+}

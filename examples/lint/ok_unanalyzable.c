@@ -1,0 +1,13 @@
+// Near miss: an affine gather. The *read* side b[idx-like expression]
+// would be fine anyway; here both subscripts are affine in i, so the
+// dependence test proves independence.
+int N;
+double a[N];
+double b[N];
+#pragma acc parallel copyout(a) copyin(b)
+{
+    #pragma acc loop gang vector
+    for (int i = 0; i < N; i++) {
+        a[i] = b[N - 1 - i];
+    }
+}

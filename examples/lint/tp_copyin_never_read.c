@@ -1,0 +1,14 @@
+// expect: L300
+// `b` is declared copyin but the region only writes it: the
+// host-to-device transfer is wasted, and the result must come back some
+// other way. The lint suggests copyout(b) (or create(b)).
+int N;
+double a[N];
+double b[N];
+#pragma acc parallel copyin(a) copyin(b)
+{
+    #pragma acc loop gang vector
+    for (int i = 0; i < N; i++) {
+        b[i] = a[i] + 1.0;
+    }
+}

@@ -1,0 +1,14 @@
+// expect: L301
+// `c` is declared copyout but the region only reads it: the
+// device-to-host transfer copies back unmodified data. copyin(c) is what
+// was meant.
+int N;
+double a[N];
+double c[N];
+#pragma acc parallel copyout(a) copyout(c)
+{
+    #pragma acc loop gang vector
+    for (int i = 0; i < N; i++) {
+        a[i] = c[i] * 2.0;
+    }
+}

@@ -1,0 +1,14 @@
+// expect: L402
+// `c` is named in a data clause but the region never touches it — the
+// transfer is pure overhead.
+int N;
+double a[N];
+double b[N];
+double c[N];
+#pragma acc parallel copyin(a) copyin(c) copyout(b)
+{
+    #pragma acc loop gang vector
+    for (int i = 0; i < N; i++) {
+        b[i] = a[i] + 1.0;
+    }
+}

@@ -1,0 +1,15 @@
+// expect: L103
+// The clause names `sum`, but nothing under the loop updates it — the
+// clause is dead (likely a leftover from an edit).
+int N;
+double sum;
+double a[N];
+double b[N];
+sum = 0.0;
+#pragma acc parallel copyin(a) copyout(b)
+{
+    #pragma acc loop gang vector reduction(+:sum)
+    for (int i = 0; i < N; i++) {
+        b[i] = a[i] * 2.0;
+    }
+}

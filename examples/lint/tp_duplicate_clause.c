@@ -1,0 +1,15 @@
+// expect: L400
+// `t` is listed twice in the private clause — the duplicate has no
+// effect and usually signals a typo for another variable.
+int N;
+double a[N];
+double b[N];
+#pragma acc parallel copyin(a) copyout(b)
+{
+    double t = 0.0;
+    #pragma acc loop gang private(t, t)
+    for (int i = 0; i < N; i++) {
+        t = a[i];
+        b[i] = t * t;
+    }
+}

@@ -1,0 +1,13 @@
+// expect: L200
+// A first-order recurrence: iteration i reads the element iteration i-1
+// writes. Parallel iterations execute in arbitrary order, so the loop
+// cannot be a parallel loop as written.
+int N;
+double a[N];
+#pragma acc parallel copy(a)
+{
+    #pragma acc loop gang vector
+    for (int i = 1; i < N; i++) {
+        a[i] = a[i - 1] + 1.0;
+    }
+}

@@ -1,0 +1,15 @@
+// expect: L100
+// Fig. 4 shape with the clause forgotten: every gang*vector iteration
+// races on the read-modify-write of `sum`. The fix-it suggests the exact
+// clause: reduction(+:sum) on this loop.
+int N;
+double sum;
+double a[N];
+sum = 0.0;
+#pragma acc parallel copyin(a)
+{
+    #pragma acc loop gang vector
+    for (int i = 0; i < N; i++) {
+        sum += a[i];
+    }
+}

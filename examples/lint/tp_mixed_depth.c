@@ -1,0 +1,19 @@
+// expect: L104
+// `sum` is updated directly in the gang loop body *and* inside the
+// nested vector loop: a single per-thread accumulator over-counts the
+// shallower site, so codegen rejects this shape.
+int N; int M;
+double sum;
+double a[N];
+sum = 0.0;
+#pragma acc parallel copyin(a)
+{
+    #pragma acc loop gang reduction(+:sum)
+    for (int i = 0; i < N; i++) {
+        sum += 1.0;
+        #pragma acc loop vector
+        for (int j = 0; j < M; j++) {
+            sum += a[i * M + j];
+        }
+    }
+}

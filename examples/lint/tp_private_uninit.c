@@ -1,0 +1,15 @@
+// expect: L304
+// `t` is private to each thread, so the host-side `t = 1.0` does not
+// initialize the per-thread copies: the first iteration reads garbage.
+int N;
+double a[N];
+double b[N];
+#pragma acc parallel copyin(a) copyout(b)
+{
+    double t = 1.0;
+    #pragma acc loop gang private(t)
+    for (int i = 0; i < N; i++) {
+        b[i] = t * a[i];
+        t = a[i];
+    }
+}

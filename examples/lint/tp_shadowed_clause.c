@@ -1,0 +1,16 @@
+// expect: L401
+// The enclosing `acc data` region already made `a` resident; the inner
+// copyin moves no data (present-or-copy semantics) and reads as if it
+// did. `present(a)` states the actual intent.
+int N;
+double a[N];
+#pragma acc data copy(a)
+{
+    #pragma acc parallel copyin(a)
+    {
+        #pragma acc loop gang vector
+        for (int i = 0; i < N; i++) {
+            a[i] = a[i] + 1.0;
+        }
+    }
+}

@@ -1,0 +1,20 @@
+// expect: L101
+// The clause sits on the vector loop, but `s` is only consumed after the
+// gang loop — its value is combined across gangs too, outside the
+// clause's coverage. The clause belongs on the gang loop (the compiler
+// widens the span down to the update, paper §3.2.1).
+int N; int M;
+double a[N];
+double out[N];
+#pragma acc parallel copyin(a) copyout(out)
+{
+    double s = 0.0;
+    #pragma acc loop gang
+    for (int i = 0; i < N; i++) {
+        #pragma acc loop vector reduction(+:s)
+        for (int j = 0; j < M; j++) {
+            s += a[i * M + j];
+        }
+    }
+    out[0] = s;
+}

@@ -1,0 +1,15 @@
+// expect: L201
+// Indirect subscript: the store target depends on idx[i], which the
+// dependence test cannot analyze — two iterations may hit the same
+// element, so the lint warns (it cannot prove a race either way).
+int N;
+double a[N];
+double b[N];
+int idx[N];
+#pragma acc parallel copy(a) copyin(b) copyin(idx)
+{
+    #pragma acc loop gang vector
+    for (int i = 0; i < N; i++) {
+        a[idx[i]] = b[i];
+    }
+}

@@ -21,6 +21,9 @@ struct Args {
     emit_plan: bool,
     sanitize: bool,
     verify: bool,
+    lint: bool,
+    werror: bool,
+    json: bool,
     host_threads: u32,
 }
 
@@ -37,6 +40,12 @@ fn usage() -> ! {
            --verify            statically verify every generated kernel\n\
                                (synccheck / racecheck / boundscheck);\n\
                                exit 1 if any error-level finding\n\
+           --lint              run the source-level dataflow lints (missing\n\
+                               reductions, clause placement, loop-carried\n\
+                               dependences, data-clause checks) instead of\n\
+                               compiling; exit 1 if any error-level finding\n\
+           --werror            with --lint: treat warnings as errors\n\
+           --json              with --lint: print diagnostics as JSON\n\
            --host-threads N    simulator host worker threads for --sanitize\n\
                                (0 = auto, 1 = sequential; results are\n\
                                bit-identical at any setting)\n\
@@ -55,6 +64,9 @@ fn parse_args() -> Args {
         emit_plan: true,
         sanitize: false,
         verify: false,
+        lint: false,
+        werror: false,
+        json: false,
         host_threads: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -110,6 +122,9 @@ fn parse_args() -> Args {
             }
             "--sanitize" => args.sanitize = true,
             "--verify" => args.verify = true,
+            "--lint" => args.lint = true,
+            "--werror" => args.werror = true,
+            "--json" => args.json = true,
             "--host-threads" => {
                 i += 1;
                 args.host_threads = argv
@@ -131,7 +146,44 @@ fn parse_args() -> Args {
     if !have_input && !args.sanitize {
         usage();
     }
+    if (args.werror || args.json) && !args.lint {
+        usage();
+    }
     args
+}
+
+/// Run the source-level lints and exit. Exit codes: 0 = clean (or
+/// warnings without `--werror`), 1 = error-level findings (or a
+/// parse/sema failure).
+fn run_lint(src: &str, werror: bool, json: bool) -> ! {
+    use accparse::diag::{diags_to_json, render_all, Severity};
+    let mut diags: Vec<accparse::Diag> = match accparse::lint_source(src) {
+        Ok((_, findings)) => findings.into_iter().map(|f| f.diag).collect(),
+        Err(d) => {
+            if json {
+                println!("{}", diags_to_json(&[d], src));
+            } else {
+                eprintln!("{}", d.render(src));
+            }
+            std::process::exit(1);
+        }
+    };
+    if werror {
+        for d in &mut diags {
+            if d.severity == Severity::Warning {
+                d.severity = Severity::Error;
+            }
+        }
+    }
+    if json {
+        println!("{}", diags_to_json(&diags, src));
+    } else if diags.is_empty() {
+        println!("uhacc-cc: lint clean");
+    } else {
+        eprint!("{}", render_all(&diags, src));
+    }
+    let failed = diags.iter().any(|d| d.severity == Severity::Error);
+    std::process::exit(if failed { 1 } else { 0 });
 }
 
 fn main() {
@@ -145,7 +197,10 @@ fn main() {
     }
     let src = if args.input == "-" {
         let mut s = String::new();
-        std::io::stdin().read_to_string(&mut s).expect("read stdin");
+        if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+            eprintln!("error: cannot read stdin: {e}");
+            std::process::exit(1);
+        }
         s
     } else {
         match std::fs::read_to_string(&args.input) {
@@ -156,6 +211,10 @@ fn main() {
             }
         }
     };
+
+    if args.lint {
+        run_lint(&src, args.werror, args.json);
+    }
 
     let hir = match accparse::compile(&src) {
         Ok(h) => h,

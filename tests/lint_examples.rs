@@ -1,0 +1,104 @@
+//! Drive the lint rule catalog over the `examples/lint/` corpus: every
+//! `tp_*.c` file must report exactly the codes named in its `// expect:`
+//! header, and every `ok_*.c` near-miss must lint completely clean.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use uhacc::parse::lint::lint_source;
+
+fn corpus() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/lint");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("examples/lint exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "c"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no example files in {}", dir.display());
+    files
+}
+
+/// Codes named in the `// expect: L100 L200` header, if any.
+fn expected_codes(src: &str) -> BTreeSet<String> {
+    src.lines()
+        .take(1)
+        .filter_map(|l| l.strip_prefix("// expect:"))
+        .flat_map(|rest| rest.split_whitespace().map(|c| c.to_string()))
+        .collect()
+}
+
+#[test]
+fn corpus_covers_every_rule_with_a_pair() {
+    let files = corpus();
+    let names: Vec<String> = files
+        .iter()
+        .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
+        .collect();
+    for tp in names.iter().filter(|n| n.starts_with("tp_")) {
+        let ok = tp.replacen("tp_", "ok_", 1);
+        assert!(
+            names.contains(&ok),
+            "true positive `{tp}` has no clean near-miss `{ok}`"
+        );
+    }
+    assert!(names.iter().filter(|n| n.starts_with("tp_")).count() >= 8);
+}
+
+#[test]
+fn true_positives_report_exactly_their_expected_codes() {
+    for path in corpus() {
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        if !name.starts_with("tp_") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("read example");
+        let expect = expected_codes(&src);
+        assert!(
+            !expect.is_empty(),
+            "{name}: tp_ example must declare `// expect:` codes"
+        );
+        let (_, findings) = lint_source(&src)
+            .unwrap_or_else(|d| panic!("{name}: failed to compile: {}", d.render(&src)));
+        let got: BTreeSet<String> = findings.iter().map(|f| f.code().to_string()).collect();
+        assert_eq!(
+            got, expect,
+            "{name}: reported codes do not match the `// expect:` header"
+        );
+    }
+}
+
+#[test]
+fn near_misses_lint_clean() {
+    for path in corpus() {
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        if !name.starts_with("ok_") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("read example");
+        let (_, findings) = lint_source(&src)
+            .unwrap_or_else(|d| panic!("{name}: failed to compile: {}", d.render(&src)));
+        assert!(
+            findings.is_empty(),
+            "{name}: expected no findings, got {:?}",
+            findings
+                .iter()
+                .map(|f| (f.code(), &f.diag.message))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn paper_applications_lint_clean() {
+    // The repo's own application sources (heat, matmul, pi) must produce
+    // zero findings: the checks add no false positives on real codes.
+    for (name, src) in uhacc::apps::all_sources() {
+        let (_, findings) =
+            lint_source(src).unwrap_or_else(|d| panic!("{name}: {}", d.render(src)));
+        assert!(
+            findings.is_empty(),
+            "{name}: expected no findings, got {:?}",
+            findings.iter().map(|f| f.code()).collect::<Vec<_>>()
+        );
+    }
+}

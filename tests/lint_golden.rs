@@ -1,0 +1,101 @@
+//! Golden-diff tests for the machine-readable lint output: the JSON
+//! rendering is a stable interface (editor integrations parse it), so
+//! any change to field order, span layout or message text must show up
+//! as an explicit diff here.
+
+use uhacc::parse::diag::diags_to_json;
+use uhacc::parse::lint::lint_source;
+
+fn lint_json(src: &str) -> String {
+    let (_, findings) = lint_source(src).expect("compile");
+    let diags: Vec<_> = findings.into_iter().map(|f| f.diag).collect();
+    diags_to_json(&diags, src)
+}
+
+#[test]
+fn clean_program_is_empty_array() {
+    let src = "int N; double s;\n\
+               double a[N];\n\
+               s = 0;\n\
+               #pragma acc parallel copyin(a)\n\
+               {\n\
+               #pragma acc loop gang vector reduction(+:s)\n\
+               for (int i = 0; i < N; i++) { s += a[i]; }\n\
+               }\n";
+    assert_eq!(lint_json(src), "[]");
+}
+
+#[test]
+fn missing_reduction_json_golden() {
+    let src = "int N; double s;\n\
+               double a[N];\n\
+               s = 0;\n\
+               #pragma acc parallel copyin(a)\n\
+               {\n\
+               #pragma acc loop gang vector\n\
+               for (int i = 0; i < N; i++) { s += a[i]; }\n\
+               }\n";
+    let expected = concat!(
+        "[{\"severity\":\"error\",\"code\":\"L100\",",
+        "\"message\":\"`s` is accumulated across iterations of a parallel loop ",
+        "without a `reduction` clause\",",
+        "\"span\":{\"start\":129,\"end\":130,\"line\":7,\"column\":31},",
+        "\"notes\":[",
+        "{\"message\":\"concurrent iterations race on the read-modify-write of `s`\",",
+        "\"span\":null},",
+        "{\"message\":\"the accumulated value of `s` is copied back to the host ",
+        "after the region\",\"span\":null},",
+        "{\"message\":\"detected reduction span: gang vector (every parallelism ",
+        "level between the next use and the update)\",\"span\":null}],",
+        "\"fixit\":{\"message\":\"add this clause to the `gang vector` loop\",",
+        "\"insert\":\"reduction(+:s)\",",
+        "\"at\":{\"start\":70,\"end\":77,\"line\":6,\"column\":1}}}]",
+    );
+    assert_eq!(lint_json(src), expected);
+}
+
+#[test]
+fn warning_json_golden() {
+    let src = "int N;\n\
+               double a[N];\n\
+               double b[N];\n\
+               double c[N];\n\
+               #pragma acc parallel copyin(a) copyin(c) copyout(b)\n\
+               {\n\
+               #pragma acc loop gang vector\n\
+               for (int i = 0; i < N; i++) { b[i] = a[i] + 1.0; }\n\
+               }\n";
+    let expected = concat!(
+        "[{\"severity\":\"warning\",\"code\":\"L402\",",
+        "\"message\":\"data clause names `c`, but the region never references it\",",
+        "\"span\":{\"start\":46,\"end\":53,\"line\":5,\"column\":1},",
+        "\"notes\":[{\"message\":\"remove the clause to avoid a useless transfer\",",
+        "\"span\":null}],",
+        "\"fixit\":null}]",
+    );
+    assert_eq!(lint_json(src), expected);
+}
+
+#[test]
+fn json_is_parseable_shape() {
+    // Structural sanity for a multi-finding program: valid JSON array
+    // framing, one object per finding, errors ranked before warnings.
+    let src = "int N; double s;\n\
+               double a[N];\n\
+               double dead[N];\n\
+               s = 0;\n\
+               #pragma acc parallel copyin(a) copyin(dead)\n\
+               {\n\
+               #pragma acc loop gang\n\
+               for (int i = 0; i < N; i++) { s += a[i]; }\n\
+               }\n";
+    let json = lint_json(src);
+    assert!(json.starts_with("[{") && json.ends_with("}]"));
+    let err = json.find("\"severity\":\"error\"").expect("has an error");
+    let warn = json
+        .find("\"severity\":\"warning\"")
+        .expect("has a warning");
+    assert!(err < warn, "errors must rank before warnings");
+    assert!(json.contains("\"code\":\"L100\""));
+    assert!(json.contains("\"code\":\"L402\""));
+}
