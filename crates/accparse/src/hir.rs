@@ -306,12 +306,27 @@ pub struct AnalyzedProgram {
     pub regions: Vec<AnalyzedRegion>,
     /// Structured `acc data` scopes, in source order.
     pub data_scopes: Vec<DataScope>,
+    /// Byte offset of the start of each source line (line `k` is
+    /// 1-based at `line_starts[k-1]`). Filled by [`crate::compile`];
+    /// empty when the program was analyzed without its source text, in
+    /// which case [`Self::line_of`] reports every span as unknown.
+    pub line_starts: Vec<usize>,
 }
 
 impl AnalyzedProgram {
     /// Look up a host scalar by name.
     pub fn host_index(&self, name: &str) -> Option<usize> {
         self.hosts.iter().position(|h| h.name == name)
+    }
+
+    /// The 1-based source line containing byte offset `pos`, or 0 when
+    /// no line table is available (the convention kernels' line tables
+    /// use for "unknown").
+    pub fn line_of(&self, pos: usize) -> u32 {
+        if self.line_starts.is_empty() {
+            return 0;
+        }
+        self.line_starts.partition_point(|&s| s <= pos) as u32
     }
 
     /// Look up an array by name.

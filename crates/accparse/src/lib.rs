@@ -40,8 +40,24 @@ pub use diag::{Diag, Severity, Span};
 pub use hir::AnalyzedProgram;
 pub use lint::{lint_program, lint_source, Finding, FindingKind};
 
-/// Parse and analyze `src` in one step.
+/// Parse and analyze `src` in one step. The result carries a line table
+/// ([`hir::AnalyzedProgram::line_starts`]) so downstream codegen can map
+/// HIR spans back to 1-based source lines.
 pub fn compile(src: &str) -> Result<hir::AnalyzedProgram, diag::Diag> {
     let ast = parser::parse_program(src)?;
-    sema::analyze(&ast)
+    let mut prog = sema::analyze(&ast)?;
+    prog.line_starts = line_starts(src);
+    Ok(prog)
+}
+
+/// Byte offsets of line starts in `src` (always non-empty: line 1 starts
+/// at offset 0).
+pub fn line_starts(src: &str) -> Vec<usize> {
+    std::iter::once(0)
+        .chain(
+            src.bytes()
+                .enumerate()
+                .filter_map(|(i, b)| (b == b'\n').then_some(i + 1)),
+        )
+        .collect()
 }

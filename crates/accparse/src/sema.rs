@@ -160,6 +160,7 @@ pub fn analyze(p: &Program) -> Result<AnalyzedProgram, Diag> {
         host_assigns,
         regions,
         data_scopes,
+        line_starts: Vec::new(),
     })
 }
 

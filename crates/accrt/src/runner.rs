@@ -9,7 +9,8 @@ use crate::hosteval::{eval_host_expr, eval_host_extent};
 use accparse::ast::DataDir;
 use accparse::hir::AnalyzedProgram;
 use gpsim::{
-    BufferHandle, Device, HazardReport, LaunchConfig, SanitizerConfig, SanitizerLevel, Value,
+    BufferHandle, Device, HazardReport, LaunchConfig, ProfileConfig, SanitizerConfig,
+    SanitizerLevel, SessionProfile, Value,
 };
 use std::collections::HashMap;
 use uhacc_core::plan::{CompiledRegion, ParamSpec};
@@ -25,6 +26,9 @@ struct RegionInstance {
 /// The runner: program + device + data environment.
 pub struct AccRunner {
     prog: AnalyzedProgram,
+    /// The OpenACC source text, when the runner was built from source
+    /// (used to quote lines in profile reports).
+    src: Option<String>,
     device: Device,
     opts: CompilerOptions,
     default_dims: LaunchDims,
@@ -61,7 +65,9 @@ impl AccRunner {
         device: Device,
     ) -> Result<Self, AccError> {
         let prog = accparse::compile(src)?;
-        Ok(Self::from_hir(prog, opts, default_dims, device))
+        let mut runner = Self::from_hir(prog, opts, default_dims, device);
+        runner.src = Some(src.to_string());
+        Ok(runner)
     }
 
     /// Build from an already-analyzed program.
@@ -75,6 +81,7 @@ impl AccRunner {
         let n_arrays = prog.arrays.len();
         AccRunner {
             prog,
+            src: None,
             device,
             opts,
             default_dims,
@@ -152,6 +159,39 @@ impl AccRunner {
     pub fn verify(&mut self, on: bool) {
         self.device
             .set_verifier(on.then(gpsim::VerifyConfig::default));
+    }
+
+    /// Profile every subsequent transfer and launch — main kernels *and*
+    /// gang-reduction finalize kernels — with [`gpsim::profile`]:
+    /// per-source-line stall attribution plus a modelled timeline of
+    /// transfers, kernels and per-SM block execution. Observational only:
+    /// results and modelled cycles are unchanged, and every exported byte
+    /// is identical at any host thread count.
+    pub fn profile(&mut self, on: bool) {
+        self.device.set_profiler(on.then(ProfileConfig::default));
+    }
+
+    /// Human-readable profile report, with per-line rows quoting the
+    /// OpenACC source when the runner was built from source text.
+    pub fn profile_report(&self) -> String {
+        self.device.profile().report(self.src.as_deref())
+    }
+
+    /// Stable machine-readable profile JSON (byte-identical across runs
+    /// and host thread counts).
+    pub fn profile_json(&self) -> String {
+        self.device.profile().to_json()
+    }
+
+    /// Chrome-trace (Perfetto / `chrome://tracing`) timeline of
+    /// transfers, kernel launches and per-SM block spans.
+    pub fn profile_chrome_trace(&self) -> String {
+        self.device.profile().to_chrome_trace()
+    }
+
+    /// Drain the accumulated session profile.
+    pub fn take_profile(&mut self) -> SessionProfile {
+        self.device.take_profile()
     }
 
     /// Static verification reports accumulated across launches.

@@ -1,0 +1,209 @@
+//! Profile export tests: a golden text + JSON profile for the paper's §6
+//! grid reduction case, and a property test pinning the profiler's
+//! headline guarantee — every exported byte (report, JSON, Chrome trace)
+//! is identical at any `host_threads` setting, with the sanitizer off or
+//! on, and enabling the profiler never changes results or modelled time.
+//!
+//! Regenerate the goldens after an intentional attribution change with:
+//!
+//! ```console
+//! UPDATE_GOLDEN=1 cargo test -p accrt --test profile_export
+//! ```
+
+use accrt::{AccRunner, HostBuffer};
+use gpsim::{Device, SanitizerLevel, SessionStats};
+use proptest::prelude::*;
+use uhacc_core::{CompilerOptions, LaunchDims};
+
+/// The paper's §6 grid setting: vector-position sum reduction over the
+/// innermost dimension of a 3-D grid (the Fig. 6 kernel the row-wise vs
+/// transposed shared-store comparison is about).
+const GRID_SRC: &str = r#"
+    int NK; int NJ; int NI;
+    int input[NK][NJ][NI];
+    int out[NK][NJ];
+    #pragma acc parallel copyin(input) copyout(out)
+    {
+        #pragma acc loop gang
+        for (int k = 0; k < NK; k++) {
+            #pragma acc loop worker
+            for (int j = 0; j < NJ; j++) {
+                int s = 0;
+                #pragma acc loop vector reduction(+:s)
+                for (int i = 0; i < NI; i++) {
+                    s += input[k][j][i];
+                }
+                out[k][j] = s;
+            }
+        }
+    }
+"#;
+
+fn run_grid(
+    dims: LaunchDims,
+    host_threads: u32,
+    sanitize: bool,
+    profile: bool,
+    nk: usize,
+    nj: usize,
+    ni: usize,
+) -> (AccRunner, SessionStats) {
+    let mut r =
+        AccRunner::with_options(GRID_SRC, CompilerOptions::openuh(), dims, Device::default())
+            .expect("compile");
+    r.set_host_threads(host_threads);
+    if sanitize {
+        r.sanitize(SanitizerLevel::Full);
+    }
+    r.profile(profile);
+    let n = nk * nj * ni;
+    let input: Vec<i32> = (0..n as i32).map(|i| (i * 7 + 3) % 101 - 50).collect();
+    r.bind_int("NK", nk as i64).unwrap();
+    r.bind_int("NJ", nj as i64).unwrap();
+    r.bind_int("NI", ni as i64).unwrap();
+    r.bind_array("input", HostBuffer::from_i32(&input)).unwrap();
+    r.bind_array("out", HostBuffer::from_i32(&vec![0; nk * nj]))
+        .unwrap();
+    r.run().unwrap();
+    let stats = *r.device().stats();
+    (r, stats)
+}
+
+const GOLDEN_DIMS: LaunchDims = LaunchDims {
+    gangs: 4,
+    workers: 4,
+    vector: 32,
+};
+
+fn golden_check(name: &str, got: &str, golden: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, got).expect("write golden");
+        return;
+    }
+    assert_eq!(
+        got, golden,
+        "{name}: profile drifted from tests/golden/{name} \
+         (UPDATE_GOLDEN=1 to regenerate after an intentional change)"
+    );
+}
+
+/// The §6 grid case's profile, pinned as text and JSON. A cost-model or
+/// attribution change shows up as a reviewable golden diff.
+#[test]
+fn grid_profile_golden() {
+    let (r, _) = run_grid(GOLDEN_DIMS, 1, false, true, 8, 8, 64);
+    golden_check(
+        "grid_profile.txt",
+        &r.profile_report(),
+        include_str!("golden/grid_profile.txt"),
+    );
+    golden_check(
+        "grid_profile.json",
+        &r.profile_json(),
+        include_str!("golden/grid_profile.json"),
+    );
+    // The Chrome trace is structurally checked rather than pinned (it is
+    // large); determinism is covered by the property test below.
+    let ct = r.profile_chrome_trace();
+    assert!(ct.starts_with("{\"traceEvents\":["));
+    assert!(ct.contains("\"ph\":\"X\""));
+    assert!(ct.contains("acc_region_0"));
+}
+
+/// The report attributes cycles to the OpenACC source lines: the vector
+/// reduction loop (line 13 of `GRID_SRC`) must dominate, and the quoted
+/// source must appear in the per-line table.
+#[test]
+fn grid_profile_attributes_to_source_lines() {
+    let (r, stats) = run_grid(GOLDEN_DIMS, 1, false, true, 8, 8, 64);
+    let report = r.profile_report();
+    assert!(
+        report.contains("#pragma acc loop vector reduction(+:s)"),
+        "per-line rows must quote the source:\n{report}"
+    );
+    assert!(report.contains("s += input[k][j][i];"), "{report}");
+    let prof = r.device().profile();
+    let lp = &prof.launches[0];
+    let rollup = lp.line_rollup();
+    assert!(
+        !rollup.is_empty(),
+        "compiled kernel must carry a line table"
+    );
+    // The innermost vector loop does almost all the work (line 12 is its
+    // `#pragma acc loop vector` directive; the loop and its reduction
+    // combine are attributed there).
+    let (hot_line, hot) = rollup
+        .iter()
+        .max_by_key(|(_, c)| c.cycles())
+        .expect("nonempty");
+    assert_eq!(*hot_line, 12, "hottest line is the vector loop directive");
+    assert!(hot.cycles() * 2 > lp.totals().cycles(), "dominates");
+    // Timeline cycles agree with the session stats.
+    assert_eq!(prof.cursor, stats.total_cycles());
+    assert_eq!(
+        prof.timeline.iter().map(|s| s.cycles).sum::<u64>(),
+        stats.total_cycles()
+    );
+}
+
+/// Everything observable from one profiled run.
+#[derive(Debug, Clone, PartialEq)]
+struct Observed {
+    out: Vec<gpsim::Value>,
+    stats: SessionStats,
+    report: String,
+    json: String,
+    trace: String,
+}
+
+fn observe(
+    dims: LaunchDims,
+    threads: u32,
+    sanitize: bool,
+    nk: usize,
+    nj: usize,
+    ni: usize,
+) -> Observed {
+    let (r, stats) = run_grid(dims, threads, sanitize, true, nk, nj, ni);
+    Observed {
+        out: (0..nk * nj)
+            .map(|i| r.array("out").unwrap().get(i))
+            .collect(),
+        stats,
+        report: r.profile_report(),
+        json: r.profile_json(),
+        trace: r.profile_chrome_trace(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Byte-identical profile exports across host thread counts, with the
+    /// sanitizer off and on, across random geometries and problem sizes.
+    #[test]
+    fn profile_bytes_identical_across_host_threads(
+        gangs in 1u32..5,
+        workers in 1u32..4,
+        vector in 1u32..40,
+        nk in 1usize..6,
+        nj in 1usize..6,
+        ni in 1usize..80,
+        sanitize in any::<bool>(),
+    ) {
+        let dims = LaunchDims { gangs, workers, vector };
+        let want = observe(dims, 1, sanitize, nk, nj, ni);
+        for threads in [4u32, 8] {
+            let got = observe(dims, threads, sanitize, nk, nj, ni);
+            prop_assert_eq!(&want, &got, "divergence at {} host threads", threads);
+        }
+        // Profiling is purely observational: the same run with the
+        // profiler off produces identical results and modelled cycles.
+        let (bare, bare_stats) = run_grid(dims, 1, sanitize, false, nk, nj, ni);
+        let bare_out: Vec<gpsim::Value> =
+            (0..nk * nj).map(|i| bare.array("out").unwrap().get(i)).collect();
+        prop_assert_eq!(&want.out, &bare_out);
+        prop_assert_eq!(want.stats, bare_stats);
+    }
+}

@@ -1,10 +1,13 @@
 //! Regenerate the paper's tables and figures as text, with the paper's
 //! reported values alongside for comparison.
 //!
-//! Usage: `make-figures [table2|fig11|fig12a|fig12b|fig12c|ablations|all]`
+//! Usage: `make-figures [table2|fig11|fig12a|fig12b|fig12c|ablations|profile|all]`
 
 use acc_baselines::Compiler;
-use acc_testsuite::{format_fig11, format_summary, format_table2, run_suite, SuiteConfig};
+use acc_testsuite::Position;
+use acc_testsuite::{
+    format_fig11, format_summary, format_table2, profile_case, run_suite, SuiteConfig,
+};
 use accparse::ast::{CType, RedOp};
 use uhacc_bench::*;
 use uhacc_core::{
@@ -134,8 +137,8 @@ fn ablations() {
         let (ms, st) = ablation_vector_case(opts, dims, ni);
         println!(
             "  {label:<50} {ms:>8.3} ms   tx/access {:>6.2}   bank-ways {:>5.2}",
-            st.totals.transactions_per_access(),
-            st.totals.conflict_ways_per_access()
+            st.totals.transactions_per_access().unwrap_or(f64::NAN),
+            st.totals.conflict_ways_per_access().unwrap_or(f64::NAN)
         );
     }
     println!("\nCombine-heavy layout ablation (Fig. 6b vs 6c, small rows x many combines):\n");
@@ -150,7 +153,7 @@ fn ablations() {
         let (ms, st) = ablation_vector_combine_heavy(opts, dims);
         println!(
             "  {label:<50} {ms:>8.3} ms   bank-ways {:>5.2}",
-            st.totals.conflict_ways_per_access()
+            st.totals.conflict_ways_per_access().unwrap_or(f64::NAN)
         );
     }
     println!("\nWorker-strategy ablation (Fig. 8b vs 8c), worker `+` reduction, 2048 combines:\n");
@@ -189,6 +192,28 @@ fn ablations() {
     println!();
 }
 
+/// Profile the canonical gang-worker-vector int `+` case and write the
+/// stable JSON export to `BENCH_profile.json`, so CI accumulates a
+/// machine-readable perf/attribution trajectory next to the figures.
+fn profile(red_n: usize) {
+    let cfg = SuiteConfig {
+        red_n,
+        ..Default::default()
+    };
+    eprintln!("[profile] profiling the gang-worker-vector int `+` case (red_n = {red_n}) ...");
+    let pc = profile_case(
+        Compiler::OpenUH,
+        Position::GangWorkerVector,
+        RedOp::Add,
+        CType::Int,
+        &cfg,
+    )
+    .expect("canonical case profiles cleanly");
+    std::fs::write("BENCH_profile.json", &pc.json).expect("write BENCH_profile.json");
+    print!("{}", pc.report);
+    println!("wrote BENCH_profile.json ({} bytes)", pc.json.len());
+}
+
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     let red_n = std::env::args()
@@ -202,6 +227,7 @@ fn main() {
         "fig12b" => fig12b(),
         "fig12c" => fig12c(),
         "ablations" => ablations(),
+        "profile" => profile(red_n),
         "all" => {
             table2(red_n);
             fig11(red_n);
@@ -209,10 +235,12 @@ fn main() {
             fig12b();
             fig12c();
             ablations();
+            profile(red_n);
         }
         other => {
             eprintln!(
-                "unknown figure `{other}`; expected table2|fig11|fig12a|fig12b|fig12c|ablations|all"
+                "unknown figure `{other}`; expected \
+                 table2|fig11|fig12a|fig12b|fig12c|ablations|profile|all"
             );
             std::process::exit(2);
         }

@@ -107,8 +107,8 @@ fn window_sliding_beats_blocking() {
         blk_ms > win_ms * 2.0,
         "blocking {blk_ms} vs window {win_ms}"
     );
-    assert!(win_st.totals.transactions_per_access() < 1.5);
-    assert!(blk_st.totals.transactions_per_access() > 8.0);
+    assert!(win_st.totals.transactions_per_access().unwrap() < 1.5);
+    assert!(blk_st.totals.transactions_per_access().unwrap() > 8.0);
 }
 
 /// Fig. 6: the transposed layout must show bank conflicts and cost more on
@@ -130,11 +130,11 @@ fn layout_and_worker_strategy_shapes() {
         dims,
     );
     assert!(
-        tr_st.totals.conflict_ways_per_access() > 2.0,
+        tr_st.totals.conflict_ways_per_access().unwrap() > 2.0,
         "transposed must conflict"
     );
     assert!(
-        row_st.totals.conflict_ways_per_access() < 1.5,
+        row_st.totals.conflict_ways_per_access().unwrap() < 1.5,
         "row-wise must not"
     );
     assert!(tr_ms > row_ms, "transposed {tr_ms} vs row {row_ms}");

@@ -19,6 +19,13 @@ impl<'a> RegionCodegen<'a> {
         self.next_loop_id += 1;
         let padded = self.plan.padded[loop_id];
 
+        // Source correlation: everything this loop emits (control flow,
+        // body statements without spans of their own, and the trailing
+        // reduction combines) is attributed to the loop's directive line;
+        // the enclosing line is restored on exit.
+        let saved_line = self.b.current_line();
+        self.b.set_line(self.prog.line_of(l.span.start));
+
         // Activate this loop's reductions.
         let red_base = self.red_stack.len();
         for r in &l.reductions {
@@ -54,6 +61,7 @@ impl<'a> RegionCodegen<'a> {
         for st in &states {
             self.emit_combine(st)?;
         }
+        self.b.set_line(saved_line);
         Ok(())
     }
 

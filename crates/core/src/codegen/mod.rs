@@ -101,6 +101,9 @@ pub fn compile_region(
         finalize: Vec::new(),
         plan,
     };
+    // Source correlation: instructions are tagged with the region's
+    // directive line until a loop or reduction update narrows it.
+    cg.b.set_line(prog.line_of(region.span.start));
     cg.emit_entry();
     let body = region.body.clone();
     cg.stmts(&body)?;
@@ -359,11 +362,15 @@ impl<'a> RegionCodegen<'a> {
         let (priv_reg, cty) = (self.red_stack[idx].priv_reg, self.red_stack[idx].cty);
         let _ = op;
         let red_op = self.red_stack[idx].op;
-        self.guarded(|cg| {
+        let saved_line = self.b.current_line();
+        self.b.set_line(self.prog.line_of(span.start));
+        let r = self.guarded(|cg| {
             let v = cg.expr(value)?;
             cg.accumulate(priv_reg, red_op, cty, v);
             Ok(())
-        })
+        });
+        self.b.set_line(saved_line);
+        r
     }
 
     /// `acc = acc <op> v` at the reduction's machine type. Logical ops

@@ -15,6 +15,8 @@ use crate::types::{Ty, Value};
 pub struct KernelBuilder {
     name: String,
     insts: Vec<Inst>,
+    lines: Vec<u32>,
+    cur_line: u32,
     labels: Vec<Option<usize>>,
     next_reg: u32,
     shared_bytes: usize,
@@ -27,11 +29,26 @@ impl KernelBuilder {
         KernelBuilder {
             name: name.into(),
             insts: Vec::new(),
+            lines: Vec::new(),
+            cur_line: 0,
             labels: Vec::new(),
             next_reg: 0,
             shared_bytes: 0,
             num_params: 0,
         }
+    }
+
+    /// Set the current 1-based source line; every instruction emitted from
+    /// now on is attributed to it (0 = unknown). The setting persists until
+    /// the next call, so statements without their own span inherit the
+    /// enclosing construct's line.
+    pub fn set_line(&mut self, line: u32) {
+        self.cur_line = line;
+    }
+
+    /// The source line instructions are currently attributed to.
+    pub fn current_line(&self) -> u32 {
+        self.cur_line
     }
 
     /// Allocate a fresh virtual register.
@@ -77,9 +94,10 @@ impl KernelBuilder {
         *slot = Some(self.insts.len());
     }
 
-    /// Append a raw instruction.
+    /// Append a raw instruction, attributed to the current source line.
     pub fn emit(&mut self, inst: Inst) {
         self.insts.push(inst);
+        self.lines.push(self.cur_line);
     }
 
     /// Number of instructions emitted so far.
@@ -327,6 +345,13 @@ impl KernelBuilder {
         // Implicit ret at the end keeps codegen simpler.
         if !matches!(self.insts.last(), Some(Inst::Ret)) {
             self.insts.push(Inst::Ret);
+            self.lines.push(self.cur_line);
+        }
+        // Normalize: an all-unknown line table carries no information and
+        // is stored empty, so kernels built without `set_line` compare
+        // equal to hand-constructed ones (and disasm round-trips).
+        if self.lines.iter().all(|&l| l == 0) {
+            self.lines.clear();
         }
         let mut label_targets: Vec<usize> = Vec::with_capacity(self.labels.len());
         for (i, t) in self.labels.iter().enumerate() {
@@ -361,6 +386,7 @@ impl KernelBuilder {
             num_regs: self.next_reg,
             shared_bytes: self.shared_bytes,
             num_params: self.num_params,
+            lines: self.lines,
         })
     }
 
@@ -391,6 +417,31 @@ mod tests {
         assert_eq!(k.num_regs, 3);
         // Implicit ret appended.
         assert!(matches!(k.insts.last(), Some(Inst::Ret)));
+    }
+
+    #[test]
+    fn line_table_tracks_set_line() {
+        let mut b = KernelBuilder::new("k");
+        assert_eq!(b.current_line(), 0);
+        let x = b.mov_imm(Value::I32(1)); // line 0 (unknown)
+        b.set_line(5);
+        let y = b.bin(BinOp::Add, Ty::I32, x, Value::I32(1)); // line 5
+        b.set_line(9);
+        let p = b.param(0); // line 9
+        b.st_global(Ty::I32, MemRef::direct(p), y); // line 9
+        let k = b.finish();
+        // Implicit ret inherits the last line.
+        assert_eq!(k.lines, vec![0, 5, 9, 9, 9]);
+        assert_eq!(k.line_of(0), None);
+        assert_eq!(k.line_of(1), Some(5));
+    }
+
+    #[test]
+    fn all_unknown_line_table_is_normalized_empty() {
+        let mut b = KernelBuilder::new("k");
+        b.mov_imm(Value::I32(1));
+        let k = b.finish();
+        assert!(k.lines.is_empty());
     }
 
     #[test]

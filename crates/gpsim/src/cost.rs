@@ -40,6 +40,10 @@ pub struct DeviceConfig {
     /// [`std::thread::available_parallelism`]; `1` forces the sequential
     /// path.
     pub host_threads: u32,
+    /// Profiler configuration; `None` disables profiling (no per-step
+    /// attribution cost). Like `host_threads`, a *simulator* knob:
+    /// enabling it never changes modelled cycles.
+    pub profile: Option<crate::profile::ProfileConfig>,
 }
 
 impl Default for DeviceConfig {
@@ -55,6 +59,7 @@ impl Default for DeviceConfig {
             global_mem_bytes: 1 << 30,
             clock_hz: 706e6,
             host_threads: 0,
+            profile: None,
         }
     }
 }

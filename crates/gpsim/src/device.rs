@@ -7,6 +7,7 @@ use crate::error::SimError;
 use crate::exec::{run_kernel_instrumented, LaunchConfig};
 use crate::ir::Kernel;
 use crate::memory::{BufferHandle, GlobalMemory};
+use crate::profile::{LaunchProfile, ProfileConfig, SessionProfile, SpanKind};
 use crate::sanitizer::{HazardReport, LaunchSanitizer, SanitizerConfig};
 use crate::stats::{LaunchStats, SessionStats};
 use crate::trace::Trace;
@@ -24,6 +25,7 @@ pub struct Device {
     hazards: Vec<HazardReport>,
     verifier: Option<VerifyConfig>,
     verify_reports: Vec<VerifyReport>,
+    session_profile: SessionProfile,
 }
 
 impl Default for Device {
@@ -56,6 +58,7 @@ impl Device {
             hazards: Vec::new(),
             verifier: None,
             verify_reports: Vec::new(),
+            session_profile: SessionProfile::default(),
         })
     }
 
@@ -115,6 +118,24 @@ impl Device {
         std::mem::take(&mut self.verify_reports)
     }
 
+    /// Enable (or disable, with `None`) the profiler for subsequent
+    /// launches and transfers (see [`crate::profile`]). Profiling never
+    /// changes modelled cycles or results; it only observes them.
+    pub fn set_profiler(&mut self, cfg: Option<ProfileConfig>) {
+        self.config.profile = cfg;
+    }
+
+    /// The session profile accumulated so far (empty when the profiler
+    /// was never enabled).
+    pub fn profile(&self) -> &SessionProfile {
+        &self.session_profile
+    }
+
+    /// Drain the accumulated session profile.
+    pub fn take_profile(&mut self) -> SessionProfile {
+        std::mem::take(&mut self.session_profile)
+    }
+
     /// A small device for fast unit tests.
     pub fn test_small() -> Self {
         Device::new(DeviceConfig::test_small(), CostModel::default())
@@ -164,16 +185,26 @@ impl Device {
     /// Copy host bytes to the device (modelled PCIe transfer).
     pub fn memcpy_h2d(&mut self, dst: BufferHandle, src: &[u8]) -> Result<(), SimError> {
         self.global.write_bytes(dst.addr, src)?;
+        let cycles = self.cost.transfer_cycles(src.len() as u64);
         self.stats.bytes_h2d += src.len() as u64;
-        self.stats.transfer_cycles += self.cost.transfer_cycles(src.len() as u64);
+        self.stats.transfer_cycles += cycles;
+        if self.config.profile.is_some() {
+            self.session_profile
+                .add_transfer(SpanKind::H2d, src.len() as u64, cycles);
+        }
         Ok(())
     }
 
     /// Copy device bytes to the host (modelled PCIe transfer).
     pub fn memcpy_d2h(&mut self, src: BufferHandle, dst: &mut [u8]) -> Result<(), SimError> {
         self.global.read_bytes(src.addr, dst)?;
+        let cycles = self.cost.transfer_cycles(dst.len() as u64);
         self.stats.bytes_d2h += dst.len() as u64;
-        self.stats.transfer_cycles += self.cost.transfer_cycles(dst.len() as u64);
+        self.stats.transfer_cycles += cycles;
+        if self.config.profile.is_some() {
+            self.session_profile
+                .add_transfer(SpanKind::D2h, dst.len() as u64, cycles);
+        }
         Ok(())
     }
 
@@ -238,6 +269,11 @@ impl Device {
             .level
             .enabled()
             .then(|| LaunchSanitizer::new(self.sanitizer.clone()));
+        let mut prof = self
+            .config
+            .profile
+            .as_ref()
+            .map(|pc| LaunchProfile::new(kernel, cfg, self.config.num_sms, pc));
         let result = run_kernel_instrumented(
             kernel,
             cfg,
@@ -247,10 +283,17 @@ impl Device {
             &self.cost,
             trace,
             san.as_mut(),
+            prof.as_mut(),
         );
         let hazard_count = san.as_ref().map_or(0, |s| s.hazard_count());
         if let Some(s) = san.as_mut() {
             self.hazards.append(&mut s.take_reports());
+        }
+        if let Some(mut lp) = prof {
+            // Keep the (possibly partial) attribution of a failed launch,
+            // like hazard reports above.
+            lp.finish(self.cost.launch_overhead, result.is_ok());
+            self.session_profile.add_launch(lp);
         }
         match result {
             Ok(mut stats) => {
@@ -370,6 +413,116 @@ mod tests {
         assert!(d.stats().transfer_cycles > 0);
         d.reset_stats();
         assert_eq!(d.stats().total_cycles(), 0);
+    }
+}
+
+#[cfg(test)]
+mod profile_tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::ir::{BinOp, MemRef, SpecialReg};
+
+    /// A kernel exercising every stall bucket: global load/store, a
+    /// conflicted shared store, a barrier, and ALU work — with a line
+    /// table so the rollup has something to attribute to.
+    fn profiled_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("prof_k");
+        b.set_line(3);
+        let inp = b.param(0);
+        let out = b.param(1);
+        let tid = b.special(SpecialReg::TidX);
+        let t64 = b.cvt(Ty::I64, tid);
+        let v = b.ld_global(Ty::F32, MemRef::indexed(inp, t64, 4));
+        b.set_line(5);
+        let slab = b.alloc_shared(32 * 128, 4) as u64;
+        // scale 128: all lanes hit bank 0 -> 32-way conflict.
+        let m = MemRef {
+            base: Value::U64(slab).into(),
+            index: Some(tid),
+            scale: 128,
+            disp: 0,
+        };
+        b.st_shared(Ty::F32, m, v);
+        b.bar();
+        b.set_line(7);
+        let w = b.bin(BinOp::Add, Ty::F32, v, v);
+        b.st_global(Ty::F32, MemRef::indexed(out, t64, 4), w);
+        b.finish()
+    }
+
+    fn run_profiled(host_threads: u32) -> (LaunchStats, SessionProfile) {
+        let cfg = DeviceConfig {
+            host_threads,
+            profile: Some(ProfileConfig::default()),
+            ..DeviceConfig::test_small()
+        };
+        let mut d = Device::new(cfg, CostModel::default());
+        let inp = d.alloc_elems(Ty::F32, 128).unwrap();
+        let out = d.alloc_elems(Ty::F32, 128).unwrap();
+        d.memcpy_h2d(inp, &[0u8; 128 * 4]).unwrap();
+        let stats = d
+            .launch(
+                &profiled_kernel(),
+                LaunchConfig::d1(4, 32),
+                &[Value::U64(inp.addr), Value::U64(out.addr)],
+            )
+            .unwrap();
+        let mut buf = [0u8; 128 * 4];
+        d.memcpy_d2h(out, &mut buf).unwrap();
+        (stats, d.take_profile())
+    }
+
+    /// The stall decomposition partitions the charged cycles, the profile
+    /// counters agree with [`LaunchStats`], and both buckets (per-PC and
+    /// per-interval) sum to the same totals.
+    #[test]
+    fn profile_counters_agree_with_stats() {
+        let (stats, prof) = run_profiled(1);
+        assert_eq!(prof.launches.len(), 1);
+        let lp = &prof.launches[0];
+        let t = lp.totals();
+        assert_eq!(t.warp_insts, stats.warp_insts);
+        assert_eq!(t.lane_insts, stats.lane_insts);
+        assert_eq!(t.global_accesses, stats.global_accesses);
+        assert_eq!(t.global_transactions, stats.global_transactions);
+        assert_eq!(t.shared_accesses, stats.shared_accesses);
+        assert_eq!(t.shared_ways, stats.shared_ways);
+        assert_eq!(t.atomics, stats.atomics);
+        assert_eq!(t.barriers, stats.barriers);
+        // Every stall bucket this kernel exercises is populated.
+        assert!(t.issue_cycles > 0);
+        assert!(t.alu_cycles > 0);
+        assert!(t.mem_cycles > 0);
+        assert!(t.shared_cycles > 0);
+        assert!(t.conflict_cycles > 0, "128-stride store must conflict");
+        assert!(t.barrier_cycles > 0);
+        // Interval buckets partition the same cycles as PC buckets.
+        let iv: u64 = lp.intervals.iter().map(|c| c.cycles()).sum();
+        assert_eq!(iv, t.cycles());
+        // The barrier split produced two intervals.
+        assert_eq!(lp.intervals.len(), 2);
+        assert_eq!(lp.blocks, 4);
+        // Line rollup covers lines 3, 5, 7.
+        let lines: Vec<u32> = lp.line_rollup().iter().map(|(l, _)| *l).collect();
+        assert_eq!(lines, vec![3, 5, 7]);
+        // Timeline: h2d, kernel, d2h in program order.
+        let kinds: Vec<SpanKind> = prof.timeline.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec![SpanKind::H2d, SpanKind::Kernel, SpanKind::D2h]);
+        assert_eq!(prof.timeline[1].cycles, stats.cycles);
+    }
+
+    /// Profiling is deterministic: every exported byte is identical at any
+    /// host thread count, and enabling it never changes modelled cycles.
+    #[test]
+    fn profile_is_bit_identical_across_host_threads() {
+        let (stats1, prof1) = run_profiled(1);
+        for threads in [2, 4] {
+            let (stats, prof) = run_profiled(threads);
+            assert_eq!(stats1, stats);
+            assert_eq!(prof1.to_json(), prof.to_json());
+            assert_eq!(prof1.to_chrome_trace(), prof.to_chrome_trace());
+            assert_eq!(prof1.report(None), prof.report(None));
+        }
     }
 }
 

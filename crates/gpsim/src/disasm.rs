@@ -24,6 +24,9 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, String> {
     let (name, num_regs, shared_bytes, num_params) = parse_header(header.trim())?;
 
     let mut insts: Vec<Inst> = Vec::new();
+    let mut inst_lines: Vec<u32> = Vec::new();
+    let mut cur_line = 0u32;
+    let mut saw_loc = false;
     let mut labels: Vec<(u32, usize)> = Vec::new();
     for (ln, raw) in lines {
         let line = raw.trim();
@@ -36,6 +39,11 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, String> {
             labels.push((id, insts.len()));
             continue;
         }
+        if let Some(n) = line.strip_prefix(".loc ") {
+            cur_line = n.trim().parse().map_err(|_| err("bad .loc line".into()))?;
+            saw_loc = true;
+            continue;
+        }
         let (idx, body) = line
             .split_once(char::is_whitespace)
             .ok_or_else(|| err("expected `<idx> <inst>`".into()))?;
@@ -46,6 +54,7 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, String> {
             return Err(err(format!("index {idx}, expected {}", insts.len())));
         }
         insts.push(parse_inst(body.trim()).map_err(err)?);
+        inst_lines.push(cur_line);
     }
 
     let max_label = labels.iter().map(|&(id, _)| id).max();
@@ -63,6 +72,10 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, String> {
         num_regs,
         shared_bytes,
         num_params,
+        // A listing without `.loc` directives has no line table; with
+        // them, lines carry forward from each directive (matching the
+        // on-change emission in `Kernel::disasm`).
+        lines: if saw_loc { inst_lines } else { Vec::new() },
     })
 }
 
@@ -480,6 +493,28 @@ mod tests {
         let k = b.finish();
 
         let text = k.disasm();
+        let parsed = parse_kernel(&text).expect("parse");
+        assert_eq!(parsed, k);
+        assert_eq!(parsed.disasm(), text);
+    }
+
+    /// Kernels with a line table round-trip through the `.loc` directives.
+    #[test]
+    fn round_trip_with_line_table() {
+        let mut b = KernelBuilder::new("lines");
+        b.set_line(4);
+        let p = b.param(0);
+        let tid = b.special(SpecialReg::TidX);
+        b.set_line(6);
+        let t64 = b.cvt(Ty::I64, tid);
+        let v = b.ld_global(Ty::I32, MemRef::indexed(p, t64, 4));
+        b.set_line(7);
+        b.st_global(Ty::I32, MemRef::indexed(p, t64, 4), v);
+        let k = b.finish();
+        assert_eq!(k.lines, vec![4, 4, 6, 6, 7, 7]);
+
+        let text = k.disasm();
+        assert!(text.contains(".loc 4"));
         let parsed = parse_kernel(&text).expect("parse");
         assert_eq!(parsed, k);
         assert_eq!(parsed.disasm(), text);

@@ -62,6 +62,7 @@ use crate::ir::{AtomOp, BinOp, CmpOp, Inst, Kernel, MemRef, Operand, SpecialReg,
 use crate::memory::{
     AccessAbort, AddrSet, AtomicLogEntry, BlockOverlay, GlobalMemory, OverlayData, SharedMemory,
 };
+use crate::profile::{BlockProfile, LaunchProfile, PcCounters};
 use crate::sanitizer::{AccessKind, BlockSanitizer, LaunchSanitizer, SanitizerConfig};
 use crate::stats::LaunchStats;
 use crate::trace::{MemTouch, Trace, TraceEvent, TraceSpace};
@@ -240,6 +241,7 @@ struct BlockExec<'a, 'g> {
     view: MemView<'g>,
     trace: Option<Trace>,
     san: Option<BlockSanitizer>,
+    prof: Option<BlockProfile>,
 }
 
 impl<'a, 'g> BlockExec<'a, 'g> {
@@ -276,6 +278,7 @@ impl<'a, 'g> BlockExec<'a, 'g> {
             view,
             trace: None,
             san: None,
+            prof: None,
         }
     }
 
@@ -435,6 +438,9 @@ impl<'a, 'g> BlockExec<'a, 'g> {
                 if let Some(s) = self.san.as_mut() {
                     s.barrier_release();
                 }
+                if let Some(p) = self.prof.as_mut() {
+                    p.barrier_release();
+                }
             } else {
                 if let Some(s) = self.san.as_mut() {
                     let waiting: Vec<String> = self
@@ -458,6 +464,9 @@ impl<'a, 'g> BlockExec<'a, 'g> {
         self.stats.blocks = 1;
         let overlap = self.cost.overlap(num_warps as u32);
         self.stats.cycles = (self.cycles_raw as f64 / overlap).ceil() as u64;
+        if let Some(p) = self.prof.as_mut() {
+            p.cycles = self.stats.cycles;
+        }
         Ok(())
     }
 
@@ -494,7 +503,16 @@ impl<'a, 'g> BlockExec<'a, 'g> {
         };
         self.stats.warp_insts += 1;
         self.stats.lane_insts += mask.len() as u64;
-        let mut cyc = self.cost.issue;
+        // Per-step stall-reason delta. The bucket fields partition the
+        // step's cycle charge exactly — `d.cycles()` replaces the old
+        // scalar accumulator, so modelled time is unchanged whether or
+        // not a profiler consumes the delta.
+        let mut d = PcCounters {
+            warp_insts: 1,
+            lane_insts: mask.len() as u64,
+            issue_cycles: self.cost.issue,
+            ..PcCounters::default()
+        };
 
         let mut advance = true; // advance pc by 1 for the mask afterwards
         match &inst {
@@ -502,21 +520,21 @@ impl<'a, 'g> BlockExec<'a, 'g> {
                 for &l in &mask {
                     self.threads[l].regs[dst.0 as usize] = *value;
                 }
-                cyc += self.cost.alu;
+                d.alu_cycles = self.cost.alu;
             }
             Inst::Mov { dst, src } => {
                 for &l in &mask {
                     let v = self.threads[l].regs[src.0 as usize];
                     self.threads[l].regs[dst.0 as usize] = v;
                 }
-                cyc += self.cost.alu;
+                d.alu_cycles = self.cost.alu;
             }
             Inst::ReadSpecial { dst, sr } => {
                 for &l in &mask {
                     let v = self.special(l, *sr);
                     self.threads[l].regs[dst.0 as usize] = v;
                 }
-                cyc += self.cost.alu;
+                d.alu_cycles = self.cost.alu;
             }
             Inst::ReadParam { dst, idx } => {
                 let v = *self.params.get(*idx as usize).ok_or(SimError::BadParams {
@@ -526,7 +544,7 @@ impl<'a, 'g> BlockExec<'a, 'g> {
                 for &l in &mask {
                     self.threads[l].regs[dst.0 as usize] = v;
                 }
-                cyc += self.cost.alu;
+                d.alu_cycles = self.cost.alu;
             }
             Inst::Bin { op, ty, dst, a, b } => {
                 for &l in &mask {
@@ -535,7 +553,7 @@ impl<'a, 'g> BlockExec<'a, 'g> {
                     let r = eval_bin(*op, *ty, av, bv)?;
                     self.threads[l].regs[dst.0 as usize] = r;
                 }
-                cyc += alu_cost(self.cost, *ty, matches!(op, BinOp::Div | BinOp::Rem));
+                d.alu_cycles = alu_cost(self.cost, *ty, matches!(op, BinOp::Div | BinOp::Rem));
             }
             Inst::Cmp { op, ty, dst, a, b } => {
                 for &l in &mask {
@@ -544,7 +562,7 @@ impl<'a, 'g> BlockExec<'a, 'g> {
                     let r = eval_cmp(*op, *ty, av, bv);
                     self.threads[l].regs[dst.0 as usize] = Value::Pred(r);
                 }
-                cyc += alu_cost(self.cost, *ty, false);
+                d.alu_cycles = alu_cost(self.cost, *ty, false);
             }
             Inst::Un { op, ty, dst, a } => {
                 for &l in &mask {
@@ -552,7 +570,7 @@ impl<'a, 'g> BlockExec<'a, 'g> {
                     let r = eval_un(*op, *ty, av)?;
                     self.threads[l].regs[dst.0 as usize] = r;
                 }
-                cyc += alu_cost(self.cost, *ty, matches!(op, UnOp::Sqrt));
+                d.alu_cycles = alu_cost(self.cost, *ty, matches!(op, UnOp::Sqrt));
             }
             Inst::Select { dst, cond, a, b } => {
                 for &l in &mask {
@@ -564,14 +582,14 @@ impl<'a, 'g> BlockExec<'a, 'g> {
                     };
                     self.threads[l].regs[dst.0 as usize] = v;
                 }
-                cyc += self.cost.alu;
+                d.alu_cycles = self.cost.alu;
             }
             Inst::Cvt { dst, ty, src } => {
                 for &l in &mask {
                     let v = self.operand(l, *src).convert(*ty);
                     self.threads[l].regs[dst.0 as usize] = v;
                 }
-                cyc += self.cost.alu;
+                d.alu_cycles = self.cost.alu;
             }
             Inst::LdGlobal { ty, dst, mref } => {
                 self.scratch_addr.clear();
@@ -582,7 +600,12 @@ impl<'a, 'g> BlockExec<'a, 'g> {
                 let tx = global_transactions(&self.scratch_addr, self.dev.segment_bytes);
                 self.stats.global_accesses += 1;
                 self.stats.global_transactions += tx;
-                cyc += tx * self.cost.global_segment;
+                d.global_accesses = 1;
+                d.global_transactions = tx;
+                // First transaction is unavoidable; the rest are the
+                // serialization penalty of an uncoalesced access.
+                d.mem_cycles = self.cost.global_segment;
+                d.mem_serial_cycles = (tx - 1) * self.cost.global_segment;
                 for (i, &l) in mask.iter().enumerate() {
                     let v = self.view.read(*ty, self.scratch_addr[i].0)?;
                     self.threads[l].regs[dst.0 as usize] = v;
@@ -605,7 +628,12 @@ impl<'a, 'g> BlockExec<'a, 'g> {
                 let tx = global_transactions(&self.scratch_addr, self.dev.segment_bytes);
                 self.stats.global_accesses += 1;
                 self.stats.global_transactions += tx;
-                cyc += tx * self.cost.global_segment;
+                d.global_accesses = 1;
+                d.global_transactions = tx;
+                // First transaction is unavoidable; the rest are the
+                // serialization penalty of an uncoalesced access.
+                d.mem_cycles = self.cost.global_segment;
+                d.mem_serial_cycles = (tx - 1) * self.cost.global_segment;
                 for (i, &l) in mask.iter().enumerate() {
                     let v = self.operand(l, *src).convert(*ty);
                     self.view.write(self.scratch_addr[i].0, v)?;
@@ -628,7 +656,12 @@ impl<'a, 'g> BlockExec<'a, 'g> {
                 let ways = bank_conflict_degree(&self.scratch_addr, self.dev.shared_banks);
                 self.stats.shared_accesses += 1;
                 self.stats.shared_ways += ways;
-                cyc += ways * self.cost.shared_way;
+                d.shared_accesses = 1;
+                d.shared_ways = ways;
+                // First way is conflict-free; extra ways are the
+                // bank-conflict serialization penalty.
+                d.shared_cycles = self.cost.shared_way;
+                d.conflict_cycles = (ways - 1) * self.cost.shared_way;
                 self.observe_mem(
                     TraceSpace::Shared,
                     &mask,
@@ -651,7 +684,12 @@ impl<'a, 'g> BlockExec<'a, 'g> {
                 let ways = bank_conflict_degree(&self.scratch_addr, self.dev.shared_banks);
                 self.stats.shared_accesses += 1;
                 self.stats.shared_ways += ways;
-                cyc += ways * self.cost.shared_way;
+                d.shared_accesses = 1;
+                d.shared_ways = ways;
+                // First way is conflict-free; extra ways are the
+                // bank-conflict serialization penalty.
+                d.shared_cycles = self.cost.shared_way;
+                d.conflict_cycles = (ways - 1) * self.cost.shared_way;
                 for (i, &l) in mask.iter().enumerate() {
                     let v = self.operand(l, *src).convert(*ty);
                     self.shared.write(self.scratch_addr[i].0, v)?;
@@ -674,7 +712,10 @@ impl<'a, 'g> BlockExec<'a, 'g> {
             } => {
                 self.stats.atomics += 1;
                 self.stats.global_accesses += 1;
-                cyc += mask.len() as u64 * self.cost.atomic_lane;
+                d.atomics = 1;
+                d.global_accesses = 1;
+                d.global_transactions = mask.len() as u64;
+                d.atomic_cycles = mask.len() as u64 * self.cost.atomic_lane;
                 self.scratch_addr.clear();
                 for &l in &mask {
                     self.scratch_addr
@@ -708,7 +749,8 @@ impl<'a, 'g> BlockExec<'a, 'g> {
             }
             Inst::Bar => {
                 self.stats.barriers += 1;
-                cyc += self.cost.barrier;
+                d.barriers = 1;
+                d.barrier_cycles = self.cost.barrier;
                 for &l in &mask {
                     self.threads[l].at_barrier = true;
                     self.threads[l].pc = pc + 1;
@@ -726,7 +768,7 @@ impl<'a, 'g> BlockExec<'a, 'g> {
                     };
                     self.threads[l].pc = if take { tpc } else { pc + 1 };
                 }
-                cyc += self.cost.alu;
+                d.alu_cycles = self.cost.alu;
                 advance = false;
             }
             Inst::Ret => {
@@ -741,7 +783,10 @@ impl<'a, 'g> BlockExec<'a, 'g> {
                 self.threads[l].pc = pc + 1;
             }
         }
-        self.cycles_raw += cyc;
+        self.cycles_raw += d.cycles();
+        if let Some(p) = self.prof.as_mut() {
+            p.record(pc, warp_id, &d);
+        }
         Ok(())
     }
 }
@@ -920,7 +965,7 @@ pub fn run_kernel_traced(
     cost: &CostModel,
     trace: Option<&mut Trace>,
 ) -> Result<LaunchStats, SimError> {
-    run_kernel_instrumented(kernel, cfg, params, global, dev, cost, trace, None)
+    run_kernel_instrumented(kernel, cfg, params, global, dev, cost, trace, None, None)
 }
 
 /// Does the kernel use value-returning global atomics? Their "old value"
@@ -934,9 +979,10 @@ fn kernel_returns_atomics(kernel: &Kernel) -> bool {
         .any(|i| matches!(i, Inst::AtomGlobal { dst: Some(_), .. }))
 }
 
-/// The full-fat entry point: [`run_kernel`] with an optional bounded trace
-/// and an optional hazard sanitizer observing every memory access and
-/// barrier (see [`crate::sanitizer`]).
+/// The full-fat entry point: [`run_kernel`] with an optional bounded trace,
+/// an optional hazard sanitizer observing every memory access and barrier
+/// (see [`crate::sanitizer`]), and an optional launch profiler collecting
+/// per-PC / per-barrier-interval stall attribution (see [`crate::profile`]).
 #[allow(clippy::too_many_arguments)]
 pub fn run_kernel_instrumented(
     kernel: &Kernel,
@@ -947,6 +993,7 @@ pub fn run_kernel_instrumented(
     cost: &CostModel,
     mut trace: Option<&mut Trace>,
     mut san: Option<&mut LaunchSanitizer>,
+    mut profile: Option<&mut LaunchProfile>,
 ) -> Result<LaunchStats, SimError> {
     cfg.validate(dev)?;
     dev.validate()?;
@@ -974,13 +1021,14 @@ pub fn run_kernel_instrumented(
             host_threads,
             trace.as_deref_mut(),
             san.as_deref_mut(),
+            profile.as_deref_mut(),
         )? {
             return Ok(stats);
         }
         // Fallback: the parallel attempt detected inter-block communication
         // and aborted without mutating anything; replay sequentially.
     }
-    run_sequential(kernel, cfg, params, global, dev, cost, trace, san)
+    run_sequential(kernel, cfg, params, global, dev, cost, trace, san, profile)
 }
 
 /// The sequential executor: blocks in linear block-id order, each mutating
@@ -998,6 +1046,7 @@ fn run_sequential(
     cost: &CostModel,
     mut trace: Option<&mut Trace>,
     mut san: Option<&mut LaunchSanitizer>,
+    mut profile: Option<&mut LaunchProfile>,
 ) -> Result<LaunchStats, SimError> {
     let mut totals = LaunchStats::default();
     let mut sm_cycles = vec![0u64; dev.num_sms as usize];
@@ -1022,15 +1071,25 @@ fn run_sequential(
                 kernel.shared_bytes,
             ));
         }
+        if profile.is_some() {
+            exec.prof = Some(BlockProfile::new(
+                id as u32,
+                kernel.insts.len(),
+                cfg.warps_per_block(dev.warp_size) as usize,
+            ));
+        }
         let result = exec.run();
         // Merge the block's observations before error propagation: a
-        // failing block's trace events and hazard reports survive, exactly
-        // like its direct memory writes.
+        // failing block's trace events, hazard reports, and profile
+        // buckets survive, exactly like its direct memory writes.
         if let (Some(dst), Some(t)) = (trace.as_deref_mut(), exec.trace.take()) {
             dst.merge_from(t);
         }
         if let (Some(dst), Some(b)) = (san.as_deref_mut(), exec.san.take()) {
             dst.merge_block(b);
+        }
+        if let (Some(dst), Some(p)) = (profile.as_deref_mut(), exec.prof.take()) {
+            dst.merge_block(p);
         }
         match result {
             Ok(()) => {
@@ -1055,6 +1114,7 @@ struct BlockOutcome {
     overlay: OverlayData,
     trace: Option<Trace>,
     san: Option<BlockSanitizer>,
+    prof: Option<BlockProfile>,
 }
 
 /// Run one block against the frozen base through a copy-on-write overlay.
@@ -1071,6 +1131,7 @@ fn run_block_overlay(
     block_idx: (u32, u32),
     trace_limit: Option<usize>,
     san_cfg: Option<&SanitizerConfig>,
+    profiled: bool,
 ) -> Option<BlockOutcome> {
     let mut exec = BlockExec::new(
         kernel,
@@ -1083,6 +1144,13 @@ fn run_block_overlay(
     );
     exec.trace = trace_limit.map(Trace::with_limit);
     exec.san = san_cfg.map(|c| BlockSanitizer::new(c.clone(), block_idx, kernel.shared_bytes));
+    if profiled {
+        exec.prof = Some(BlockProfile::new(
+            block_idx.1 * cfg.grid.0 + block_idx.0,
+            kernel.insts.len(),
+            cfg.warps_per_block(dev.warp_size) as usize,
+        ));
+    }
     let result = match exec.run() {
         Ok(()) => Ok(()),
         Err(AccessAbort::Sim(e)) => Err(e),
@@ -1093,6 +1161,7 @@ fn run_block_overlay(
         view,
         trace,
         san,
+        prof,
         ..
     } = exec;
     let overlay = match view {
@@ -1105,6 +1174,7 @@ fn run_block_overlay(
         overlay,
         trace,
         san,
+        prof,
     })
 }
 
@@ -1126,6 +1196,7 @@ fn run_parallel(
     host_threads: usize,
     mut trace: Option<&mut Trace>,
     mut san: Option<&mut LaunchSanitizer>,
+    mut profile: Option<&mut LaunchProfile>,
 ) -> Result<Option<LaunchStats>, SimError> {
     use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -1133,6 +1204,7 @@ fn run_parallel(
     let num_workers = host_threads.min(num_blocks);
     let trace_limit = trace.as_deref().map(|t| t.limit());
     let san_cfg = san.as_deref().map(|s| s.config().clone());
+    let profiled = profile.is_some();
 
     // Work distribution: workers claim linear block ids from a shared
     // counter. `min_err` tracks the lowest failing block id so far —
@@ -1168,6 +1240,7 @@ fn run_parallel(
                             cfg.block_coords(id),
                             trace_limit,
                             san_cfg.as_ref(),
+                            profiled,
                         ) {
                             None => {
                                 needs_seq.store(true, Ordering::Relaxed);
@@ -1241,6 +1314,9 @@ fn run_parallel(
         }
         if let (Some(dst), Some(b)) = (san.as_deref_mut(), o.san) {
             dst.merge_block(b);
+        }
+        if let (Some(dst), Some(p)) = (profile.as_deref_mut(), o.prof) {
+            dst.merge_block(p);
         }
         match o.result {
             Ok(()) => {
@@ -1432,7 +1508,7 @@ mod tests {
             );
         }
         // Divergence visible in stats: average active lanes < 8.
-        assert!(stats.avg_active_lanes() < 8.0);
+        assert!(stats.avg_active_lanes().unwrap() < 8.0);
     }
 
     /// Shared memory + barrier: lane 0 writes, all lanes read after sync.
@@ -2043,6 +2119,7 @@ mod tests {
                 &CostModel::default(),
                 None,
                 Some(&mut s),
+                None,
             )
             .unwrap();
             (s.hazard_count(), s.take_reports(), dump(&mem))

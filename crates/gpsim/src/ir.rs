@@ -453,6 +453,11 @@ pub struct Kernel {
     pub shared_bytes: usize,
     /// Number of launch parameters expected.
     pub num_params: u32,
+    /// Source line table: `lines[i]` is the 1-based source line that
+    /// instruction `i` was generated from, `0` = unknown. Either empty
+    /// (no line info at all) or exactly `insts.len()` long. The profiler
+    /// uses it to roll per-PC costs up to OpenACC directive lines.
+    pub lines: Vec<u32>,
 }
 
 impl Kernel {
@@ -462,6 +467,15 @@ impl Kernel {
     /// Panics if the label was never placed (builder bug).
     pub fn target(&self, l: Label) -> usize {
         self.label_targets[l.0 as usize]
+    }
+
+    /// The 1-based source line instruction `pc` was generated from, or
+    /// `None` when unknown (no line table, or line recorded as 0).
+    pub fn line_of(&self, pc: usize) -> Option<u32> {
+        match self.lines.get(pc) {
+            Some(0) | None => None,
+            Some(&l) => Some(l),
+        }
     }
 
     /// Disassemble the kernel to a readable listing (for golden tests and
@@ -481,9 +495,17 @@ impl Kernel {
                 labels_at[ti].push(li);
             }
         }
+        // Current source line; `.loc N` directives are emitted on change
+        // only, so a kernel without line info lists exactly as before.
+        let mut cur_line = 0u32;
         for (i, inst) in self.insts.iter().enumerate() {
             for &l in &labels_at[i] {
                 let _ = writeln!(out, "L{l}:");
+            }
+            let line = self.lines.get(i).copied().unwrap_or(0);
+            if line != cur_line {
+                let _ = writeln!(out, "  .loc {line}");
+                cur_line = line;
             }
             let _ = writeln!(out, "  {:4}  {}", i, format_inst(inst));
         }
@@ -835,11 +857,45 @@ mod tests {
             num_regs: 1,
             shared_bytes: 0,
             num_params: 0,
+            lines: Vec::new(),
         };
         let d = k.disasm();
         assert!(d.contains(".kernel demo"));
         assert!(d.contains("mov %r0, 1"));
         assert!(d.contains("L0:"));
         assert!(d.contains("ret"));
+        // No line table: no `.loc` directives in the listing.
+        assert!(!d.contains(".loc"));
+    }
+
+    #[test]
+    fn disasm_emits_loc_on_line_change() {
+        let k = Kernel {
+            name: "demo".into(),
+            insts: vec![
+                Inst::MovImm {
+                    dst: Reg(0),
+                    value: Value::I32(1),
+                },
+                Inst::Mov {
+                    dst: Reg(0),
+                    src: Reg(0),
+                },
+                Inst::Ret,
+            ],
+            label_targets: vec![],
+            num_regs: 1,
+            shared_bytes: 0,
+            num_params: 0,
+            lines: vec![3, 3, 7],
+        };
+        assert_eq!(k.line_of(0), Some(3));
+        assert_eq!(k.line_of(2), Some(7));
+        assert_eq!(k.line_of(9), None);
+        let d = k.disasm();
+        // One `.loc` per change, not per instruction.
+        assert_eq!(d.matches(".loc").count(), 2);
+        assert!(d.contains(".loc 3"));
+        assert!(d.contains(".loc 7"));
     }
 }

@@ -46,6 +46,7 @@ pub mod error;
 pub mod exec;
 pub mod ir;
 pub mod memory;
+pub mod profile;
 pub mod sanitizer;
 pub mod stats;
 pub mod trace;
@@ -62,6 +63,10 @@ pub use exec::{
 };
 pub use ir::{AtomOp, BinOp, CmpOp, Inst, Kernel, Label, MemRef, Operand, Reg, SpecialReg, UnOp};
 pub use memory::{BufferHandle, GlobalMemory, SharedMemory};
+pub use profile::{
+    BlockProfile, BlockSpan, LaunchProfile, PcCounters, ProfileConfig, SessionProfile, SpanKind,
+    TimelineSpan,
+};
 pub use sanitizer::{
     AccessInfo, AccessKind, BlockSanitizer, HazardClass, HazardReport, HazardSpace,
     LaunchSanitizer, SanitizerConfig, SanitizerLevel,

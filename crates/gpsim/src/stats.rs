@@ -32,29 +32,33 @@ pub struct LaunchStats {
 
 impl LaunchStats {
     /// Average active lanes per warp-instruction — 32.0 means no divergence.
-    pub fn avg_active_lanes(&self) -> f64 {
+    /// `None` when no warp-instruction executed (the ratio is undefined, not
+    /// a perfectly divergent 0.0).
+    pub fn avg_active_lanes(&self) -> Option<f64> {
         if self.warp_insts == 0 {
-            0.0
+            None
         } else {
-            self.lane_insts as f64 / self.warp_insts as f64
+            Some(self.lane_insts as f64 / self.warp_insts as f64)
         }
     }
 
     /// Average transactions per global access — 1.0 means perfectly coalesced.
-    pub fn transactions_per_access(&self) -> f64 {
+    /// `None` when the launch performed no global accesses.
+    pub fn transactions_per_access(&self) -> Option<f64> {
         if self.global_accesses == 0 {
-            0.0
+            None
         } else {
-            self.global_transactions as f64 / self.global_accesses as f64
+            Some(self.global_transactions as f64 / self.global_accesses as f64)
         }
     }
 
     /// Average bank-conflict ways per shared access — 1.0 means conflict-free.
-    pub fn conflict_ways_per_access(&self) -> f64 {
+    /// `None` when the launch performed no shared accesses.
+    pub fn conflict_ways_per_access(&self) -> Option<f64> {
         if self.shared_accesses == 0 {
-            0.0
+            None
         } else {
-            self.shared_ways as f64 / self.shared_accesses as f64
+            Some(self.shared_ways as f64 / self.shared_accesses as f64)
         }
     }
 }
@@ -100,6 +104,17 @@ impl SessionStats {
     }
 }
 
+impl AddAssign for SessionStats {
+    fn add_assign(&mut self, o: Self) {
+        self.launches += o.launches;
+        self.totals += o.totals;
+        self.kernel_cycles += o.kernel_cycles;
+        self.transfer_cycles += o.transfer_cycles;
+        self.bytes_h2d += o.bytes_h2d;
+        self.bytes_d2h += o.bytes_d2h;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,17 +130,17 @@ mod tests {
             shared_ways: 10,
             ..Default::default()
         };
-        assert_eq!(s.avg_active_lanes(), 16.0);
-        assert_eq!(s.transactions_per_access(), 3.0);
-        assert_eq!(s.conflict_ways_per_access(), 2.0);
+        assert_eq!(s.avg_active_lanes(), Some(16.0));
+        assert_eq!(s.transactions_per_access(), Some(3.0));
+        assert_eq!(s.conflict_ways_per_access(), Some(2.0));
     }
 
     #[test]
-    fn zero_division_guarded() {
+    fn empty_denominators_are_none() {
         let s = LaunchStats::default();
-        assert_eq!(s.avg_active_lanes(), 0.0);
-        assert_eq!(s.transactions_per_access(), 0.0);
-        assert_eq!(s.conflict_ways_per_access(), 0.0);
+        assert_eq!(s.avg_active_lanes(), None);
+        assert_eq!(s.transactions_per_access(), None);
+        assert_eq!(s.conflict_ways_per_access(), None);
     }
 
     #[test]
@@ -147,6 +162,86 @@ mod tests {
         assert_eq!(a.cycles, 15);
         assert_eq!(a.blocks, 3);
         assert_eq!(a.hazards, 2);
+    }
+
+    /// Exhaustive-field aggregation coverage (same pattern as the
+    /// `Inst::def` variant-coverage test in `ir`): both struct literals
+    /// below list every field with no `..Default::default()`, so adding a
+    /// counter field fails to compile until it is listed here — and the
+    /// per-field assertions fail until the field is also summed in
+    /// `AddAssign`.
+    #[test]
+    fn launch_add_assign_covers_every_field() {
+        let b = LaunchStats {
+            warp_insts: 1,
+            lane_insts: 2,
+            global_transactions: 3,
+            global_accesses: 4,
+            shared_accesses: 5,
+            shared_ways: 6,
+            barriers: 7,
+            atomics: 8,
+            blocks: 9,
+            cycles: 10,
+            hazards: 11,
+        };
+        let mut a = b;
+        a += b;
+        let LaunchStats {
+            warp_insts,
+            lane_insts,
+            global_transactions,
+            global_accesses,
+            shared_accesses,
+            shared_ways,
+            barriers,
+            atomics,
+            blocks,
+            cycles,
+            hazards,
+        } = a;
+        assert_eq!(warp_insts, 2 * b.warp_insts);
+        assert_eq!(lane_insts, 2 * b.lane_insts);
+        assert_eq!(global_transactions, 2 * b.global_transactions);
+        assert_eq!(global_accesses, 2 * b.global_accesses);
+        assert_eq!(shared_accesses, 2 * b.shared_accesses);
+        assert_eq!(shared_ways, 2 * b.shared_ways);
+        assert_eq!(barriers, 2 * b.barriers);
+        assert_eq!(atomics, 2 * b.atomics);
+        assert_eq!(blocks, 2 * b.blocks);
+        assert_eq!(cycles, 2 * b.cycles);
+        assert_eq!(hazards, 2 * b.hazards);
+    }
+
+    #[test]
+    fn session_add_assign_covers_every_field() {
+        let b = SessionStats {
+            launches: 1,
+            totals: LaunchStats {
+                warp_insts: 2,
+                ..Default::default()
+            },
+            kernel_cycles: 3,
+            transfer_cycles: 4,
+            bytes_h2d: 5,
+            bytes_d2h: 6,
+        };
+        let mut a = b;
+        a += b;
+        let SessionStats {
+            launches,
+            totals,
+            kernel_cycles,
+            transfer_cycles,
+            bytes_h2d,
+            bytes_d2h,
+        } = a;
+        assert_eq!(launches, 2 * b.launches);
+        assert_eq!(totals.warp_insts, 2 * b.totals.warp_insts);
+        assert_eq!(kernel_cycles, 2 * b.kernel_cycles);
+        assert_eq!(transfer_cycles, 2 * b.transfer_cycles);
+        assert_eq!(bytes_h2d, 2 * b.bytes_h2d);
+        assert_eq!(bytes_d2h, 2 * b.bytes_d2h);
     }
 
     #[test]

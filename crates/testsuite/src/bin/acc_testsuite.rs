@@ -1,13 +1,14 @@
 //! Command-line driver for the reduction testsuite (regenerates the
 //! paper's Table 2 and Figure 11 with modelled device times).
 //!
-//! Usage: `acc-testsuite [--red-n N] [--quick] [--all-ops] [--fig11] [--sanitize] [--verify]`
+//! Usage: `acc-testsuite [--red-n N] [--quick] [--all-ops] [--fig11] [--sanitize] [--verify]
+//! [--lint] [--profile[=json|trace]]`
 
 use acc_baselines::Compiler;
 use acc_testsuite::{
     format_fig11, format_lint_sweep, format_matrix, format_summary, format_table2,
-    format_verify_sweep, run_lint_sweep, run_sanitize_matrix, run_suite, run_verify_sweep,
-    SuiteConfig,
+    format_verify_sweep, profile_case, run_lint_sweep, run_sanitize_matrix, run_suite,
+    run_verify_sweep, Position, SuiteConfig,
 };
 use accparse::ast::{CType, RedOp};
 
@@ -19,6 +20,7 @@ fn main() {
     let mut sanitize = false;
     let mut verify = false;
     let mut lint = false;
+    let mut profile: Option<&str> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -36,6 +38,9 @@ fn main() {
             "--sanitize" => sanitize = true,
             "--verify" => verify = true,
             "--lint" => lint = true,
+            "--profile" => profile = Some("text"),
+            "--profile=json" => profile = Some("json"),
+            "--profile=trace" => profile = Some("trace"),
             "--help" | "-h" => {
                 println!(
                     "acc-testsuite: regenerate Table 2 / Fig. 11 of the paper\n\
@@ -50,7 +55,11 @@ fn main() {
                                   grid (no simulation) and exit non-zero on errors\n\
                      --lint       run the stripped-clause lint sweep over the §6 grid:\n\
                                   intact sources must lint clean and every stripped\n\
-                                  reduction clause must be re-suggested exactly"
+                                  reduction clause must be re-suggested exactly\n\
+                     --profile[=json|trace]  profile the canonical gang-worker-vector\n\
+                                  int `+` case under OpenUH and print per-line /\n\
+                                  per-pc cycle attribution (text by default, stable\n\
+                                  JSON, or a Chrome/Perfetto trace)"
                 );
                 return;
             }
@@ -62,6 +71,31 @@ fn main() {
         i += 1;
     }
 
+    if let Some(fmt) = profile {
+        eprintln!(
+            "profiling the gang-worker-vector int `+` case under openuh (red_n = {}) ...",
+            cfg.red_n
+        );
+        let pc = match profile_case(
+            Compiler::OpenUH,
+            Position::GangWorkerVector,
+            RedOp::Add,
+            CType::Int,
+            &cfg,
+        ) {
+            Ok(pc) => pc,
+            Err(e) => {
+                eprintln!("profile failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        match fmt {
+            "json" => println!("{}", pc.json),
+            "trace" => println!("{}", pc.trace),
+            _ => print!("{}", pc.report),
+        }
+        return;
+    }
     if lint {
         eprintln!("running stripped-clause lint sweep over the \u{00a7}6 grid (no simulation) ...");
         let rows = run_lint_sweep();

@@ -286,6 +286,51 @@ pub fn run_suite(
     results
 }
 
+/// Rendered profile exports for one testsuite case.
+#[derive(Debug, Clone)]
+pub struct ProfiledCase {
+    /// Human-readable report (per-line / per-pc stall attribution).
+    pub report: String,
+    /// Stable machine-readable JSON.
+    pub json: String,
+    /// Chrome/Perfetto trace of the modelled timeline.
+    pub trace: String,
+}
+
+/// Run one case under one compiler personality with the profiler on and
+/// return the rendered session profile. The result is not verified — use
+/// [`run_case`] for that; this exists so `acc-testsuite --profile` can
+/// show where the modelled cycles of a Table 2 case go.
+pub fn profile_case(
+    compiler: Compiler,
+    pos: Position,
+    op: RedOp,
+    t: CType,
+    cfg: &SuiteConfig,
+) -> Result<ProfiledCase, String> {
+    let case = ReductionCase::new(pos.levels(), pos.same_loop(), op, t);
+    let opts = compiler.options_for_case(&case)?;
+    let src = case_source(pos, op, t);
+    let data = case_data(pos, op, t, cfg);
+    let mut r = AccRunner::with_options(&src, opts, cfg.dims, Device::default())
+        .map_err(|e| e.to_string())?;
+    r.set_host_threads(cfg.host_threads);
+    r.profile(true);
+    bind_dims(pos, cfg, |n, v| r.bind_int(n, v)).map_err(|e| e.to_string())?;
+    r.bind_array("input", data.input.clone())
+        .map_err(|e| e.to_string())?;
+    if let Some(n) = data.out_len {
+        r.bind_array("out", HostBuffer::new(t, n))
+            .map_err(|e| e.to_string())?;
+    }
+    r.run().map_err(|e| e.to_string())?;
+    Ok(ProfiledCase {
+        report: r.profile_report(),
+        json: r.profile_json(),
+        trace: r.profile_chrome_trace(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,26 @@
+/* The §6 testsuite grid shape: vector-position `+` reduction over the
+ * innermost dimension of a 3-D grid (the Fig. 6 kernel).
+ *
+ * Profile the two shared-store layouts of §2.2 against each other:
+ *
+ *   uhacc-cc examples/grid.c --profile --n 32                  # Fig. 6c row-wise
+ *   uhacc-cc examples/grid.c --profile --n 32 --compiler caps  # Fig. 6b transposed
+ */
+int NK; int NJ; int NI;
+int input[NK][NJ][NI];
+int out[NK][NJ];
+#pragma acc parallel copyin(input) copyout(out)
+{
+    #pragma acc loop gang
+    for (int k = 0; k < NK; k++) {
+        #pragma acc loop worker
+        for (int j = 0; j < NJ; j++) {
+            int s = 0;
+            #pragma acc loop vector reduction(+:s)
+            for (int i = 0; i < NI; i++) {
+                s += input[k][j][i];
+            }
+            out[k][j] = s;
+        }
+    }
+}

@@ -1,0 +1,18 @@
+/* Monte Carlo PI (paper §4, Fig. 13c): gang+vector `+` reduction counting
+ * points inside the unit circle. Point coordinates are host-provided
+ * arrays, as in the paper.
+ *
+ * Profile it with:
+ *
+ *   uhacc-cc examples/pi.c --profile --n 65536
+ */
+int n;
+int m;
+double x[n]; double y[n];
+m = 0;
+#pragma acc parallel loop gang vector reduction(+:m) copyin(x, y)
+for (int i = 0; i < n; i++) {
+    if (x[i]*x[i] + y[i]*y[i] < 1.0) {
+        m += 1;
+    }
+}

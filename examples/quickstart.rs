@@ -47,11 +47,11 @@ fn main() -> Result<(), AccError> {
     );
     println!(
         "  avg active lanes    : {:.1} / 32",
-        stats.totals.avg_active_lanes()
+        stats.totals.avg_active_lanes().unwrap_or(f64::NAN)
     );
     println!(
         "  coalescing          : {:.2} transactions/access",
-        stats.totals.transactions_per_access()
+        stats.totals.transactions_per_access().unwrap_or(f64::NAN)
     );
     println!("  modelled time       : {:.3} ms", runner.elapsed_ms());
     Ok(())

@@ -161,7 +161,7 @@ fn main() {
     println!("  shared accesses      : {}", stats.shared_accesses);
     println!(
         "  bank conflict ways   : {:.2} per access (1.0 = conflict-free)",
-        stats.conflict_ways_per_access()
+        stats.conflict_ways_per_access().unwrap_or(f64::NAN)
     );
     println!("  barrier arrivals     : {}", stats.barriers);
     println!(

@@ -51,8 +51,8 @@ fn run_with(label: &str, opts: CompilerOptions, want: &[i64]) {
     println!(
         "  {label:<34} {:>9.3} ms   bank-ways/access {:>5.2}   tx/access {:>5.2}   {}",
         r.elapsed_ms(),
-        st.totals.conflict_ways_per_access(),
-        st.totals.transactions_per_access(),
+        st.totals.conflict_ways_per_access().unwrap_or(f64::NAN),
+        st.totals.transactions_per_access().unwrap_or(f64::NAN),
         if ok { "OK" } else { "WRONG" }
     );
     assert!(ok, "{label} produced a wrong result");

@@ -12,6 +12,14 @@ use uhacc::core::{compile_region, CompilerOptions, LaunchDims};
 use uhacc::parse as accparse;
 use uhacc::sim::{verify_kernel, LaunchConfig, VerifyConfig};
 
+/// Output format for `--profile`.
+#[derive(Clone, Copy, PartialEq)]
+enum ProfileMode {
+    Text,
+    Json,
+    Trace,
+}
+
 struct Args {
     input: String,
     dims: LaunchDims,
@@ -24,6 +32,8 @@ struct Args {
     lint: bool,
     werror: bool,
     json: bool,
+    profile: Option<ProfileMode>,
+    n: u64,
     host_threads: u32,
 }
 
@@ -46,9 +56,17 @@ fn usage() -> ! {
                                compiling; exit 1 if any error-level finding\n\
            --werror            with --lint: treat warnings as errors\n\
            --json              with --lint: print diagnostics as JSON\n\
+           --profile[=FMT]     compile, auto-bind deterministic inputs, run\n\
+                               on the simulator, and print a profile with\n\
+                               per-source-line and per-pc cycle/stall\n\
+                               attribution; FMT is text (default), json\n\
+                               (stable machine-readable), or trace (a\n\
+                               Chrome/Perfetto timeline)\n\
+           --n N               with --profile: problem size bound to every\n\
+                               integer host scalar (default 65536)\n\
            --host-threads N    simulator host worker threads for --sanitize\n\
-                               (0 = auto, 1 = sequential; results are\n\
-                               bit-identical at any setting)\n\
+                               and --profile (0 = auto, 1 = sequential;\n\
+                               results are bit-identical at any setting)\n\
            -h, --help          this message"
     );
     std::process::exit(2);
@@ -67,6 +85,8 @@ fn parse_args() -> Args {
         lint: false,
         werror: false,
         json: false,
+        profile: None,
+        n: 65536,
         host_threads: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -122,6 +142,22 @@ fn parse_args() -> Args {
             }
             "--sanitize" => args.sanitize = true,
             "--verify" => args.verify = true,
+            "--profile" => args.profile = Some(ProfileMode::Text),
+            s if s.starts_with("--profile=") => {
+                args.profile = Some(match &s["--profile=".len()..] {
+                    "text" => ProfileMode::Text,
+                    "json" => ProfileMode::Json,
+                    "trace" => ProfileMode::Trace,
+                    _ => usage(),
+                });
+            }
+            "--n" => {
+                i += 1;
+                args.n = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--lint" => args.lint = true,
             "--werror" => args.werror = true,
             "--json" => args.json = true,
@@ -186,6 +222,78 @@ fn run_lint(src: &str, werror: bool, json: bool) -> ! {
     std::process::exit(if failed { 1 } else { 0 });
 }
 
+/// Compile, auto-bind deterministic inputs, run every region on the
+/// simulator, and print the requested profile export. Every integer host
+/// scalar is bound to `--n`, floats to 0, and arrays to a fixed pattern,
+/// so the profile is reproducible run to run.
+fn run_profile(src: &str, args: &Args, mode: ProfileMode) -> ! {
+    use uhacc::parse::ast::CType;
+    use uhacc::rt::{eval_host_extent, AccRunner, HostBuffer};
+    use uhacc::sim::{Device, Value};
+
+    let fail = |e: &dyn std::fmt::Display| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    };
+    let opts: CompilerOptions = args.compiler.base_options();
+    let mut r = match AccRunner::with_options(src, opts, args.dims, Device::default()) {
+        Ok(r) => r,
+        Err(e) => fail(&e),
+    };
+    r.set_host_threads(args.host_threads);
+    r.profile(true);
+    let hosts: Vec<(String, CType)> = r
+        .program()
+        .hosts
+        .iter()
+        .map(|h| (h.name.clone(), h.ty))
+        .collect();
+    for (name, ty) in &hosts {
+        let res = match ty {
+            CType::Int | CType::Long => r.bind_int(name, args.n as i64),
+            CType::Float | CType::Double => r.bind_float(name, 0.0),
+        };
+        if let Err(e) = res {
+            fail(&e);
+        }
+    }
+    if let Err(e) = r.run_host_assigns() {
+        fail(&e);
+    }
+    let scalars: Vec<Value> = hosts.iter().map(|(n, _)| r.scalar(n).unwrap()).collect();
+    let arrays = r.program().arrays.clone();
+    for a in &arrays {
+        let mut elems = 1u64;
+        for d in &a.dims {
+            match eval_host_extent(d, &scalars, &format!("dimension of `{}`", a.name)) {
+                Ok(v) => elems *= v,
+                Err(e) => fail(&e),
+            }
+        }
+        let mut buf = HostBuffer::new(a.ty, elems as usize);
+        for i in 0..elems as usize {
+            let k = (i as i64 * 7 + 3) % 101 - 50;
+            let v = match a.ty {
+                CType::Int | CType::Long => Value::I64(k),
+                CType::Float | CType::Double => Value::F64(k as f64 / 101.0),
+            };
+            buf.set(i, v);
+        }
+        if let Err(e) = r.bind_array(&a.name, buf) {
+            fail(&e);
+        }
+    }
+    if let Err(e) = r.run() {
+        fail(&e);
+    }
+    match mode {
+        ProfileMode::Text => print!("{}", r.profile_report()),
+        ProfileMode::Json => println!("{}", r.profile_json()),
+        ProfileMode::Trace => println!("{}", r.profile_chrome_trace()),
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
     if args.sanitize {
@@ -214,6 +322,10 @@ fn main() {
 
     if args.lint {
         run_lint(&src, args.werror, args.json);
+    }
+
+    if let Some(mode) = args.profile {
+        run_profile(&src, &args, mode);
     }
 
     let hir = match accparse::compile(&src) {
