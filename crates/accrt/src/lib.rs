@@ -26,11 +26,13 @@
 //! assert_eq!(r.scalar("s").unwrap(), Value::I32(100));
 //! ```
 
+pub mod cache;
 pub mod error;
 pub mod hostbuf;
 pub mod hosteval;
 pub mod runner;
 
+pub use cache::{CacheCounters, RegionCache, RegionKey};
 pub use error::AccError;
 pub use hostbuf::HostBuffer;
 pub use hosteval::{eval_host_expr, eval_host_extent};

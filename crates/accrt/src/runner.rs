@@ -3,29 +3,40 @@
 //! (transfers, main kernel, finalize kernels, result folds) the way the
 //! OpenUH runtime drives CUDA.
 
+use crate::cache::{RegionCache, RegionKey};
 use crate::error::AccError;
 use crate::hostbuf::HostBuffer;
 use crate::hosteval::{eval_host_expr, eval_host_extent};
-use accparse::ast::DataDir;
+use accparse::ast::{CType, DataDir};
 use accparse::hir::AnalyzedProgram;
 use gpsim::{
     BufferHandle, Device, HazardReport, LaunchConfig, ProfileConfig, SanitizerConfig,
     SanitizerLevel, SessionProfile, Value,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 use uhacc_core::plan::{CompiledRegion, ParamSpec};
 use uhacc_core::types::{apply_host, machine_ty};
 use uhacc_core::{CompilerOptions, LaunchDims};
 
-/// Cached device-side state for one compiled region.
+/// Cached device-side state for one compiled region: the shared immutable
+/// artifact plus this session's own temp buffers.
 struct RegionInstance {
-    compiled: CompiledRegion,
+    compiled: Arc<CompiledRegion>,
     temp_buffers: Vec<BufferHandle>,
 }
 
 /// The runner: program + device + data environment.
+///
+/// A runner is one *session*: it owns every piece of mutable state (host
+/// bindings, device memory, statistics, profiles) and is `Send`, so a
+/// service can move sessions onto worker threads. Everything immutable —
+/// the analyzed program and compiled kernel artifacts — is shared via
+/// `Arc`, so N concurrent sessions of the same program cost one parse and
+/// one codegen (see [`AccRunner::from_shared`] and
+/// [`AccRunner::set_region_cache`]).
 pub struct AccRunner {
-    prog: AnalyzedProgram,
+    prog: Arc<AnalyzedProgram>,
     /// The OpenACC source text, when the runner was built from source
     /// (used to quote lines in profile reports).
     src: Option<String>,
@@ -41,8 +52,27 @@ pub struct AccRunner {
     /// `copyin`/`copyout` clauses become `present` (no transfers).
     resident: Vec<u32>,
     instances: HashMap<(usize, u32, u32, u32), RegionInstance>,
+    /// Shared compiled-artifact cache and this program's content key in
+    /// it. When set, region compilation is looked up there first.
+    region_cache: Option<(Arc<RegionCache>, u64)>,
+    /// Region compilations this session actually performed (cache misses
+    /// and uncached compiles both count; warm cache hits do not).
+    compiles: u64,
     host_assigns_done: bool,
 }
+
+// The whole session must stay movable across threads: the uhaccd worker
+// pool depends on it. A non-Send field (Rc, RefCell, raw pointer) breaks
+// this at compile time, here, rather than deep inside the service.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<AccRunner>();
+    assert_send::<Device>();
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Arc<AnalyzedProgram>>();
+    assert_send_sync::<Arc<CompiledRegion>>();
+    assert_send_sync::<RegionCache>();
+};
 
 impl AccRunner {
     /// Parse, analyze and prepare `src` with default options (OpenUH
@@ -77,6 +107,18 @@ impl AccRunner {
         default_dims: LaunchDims,
         device: Device,
     ) -> Self {
+        Self::from_shared(Arc::new(prog), opts, default_dims, device)
+    }
+
+    /// Build a session over a *shared* analyzed program: N concurrent
+    /// sessions of the same source cost one parse. This is the
+    /// constructor the `uhaccd` service uses after a program-cache hit.
+    pub fn from_shared(
+        prog: Arc<AnalyzedProgram>,
+        opts: CompilerOptions,
+        default_dims: LaunchDims,
+        device: Device,
+    ) -> Self {
         let n_scalars = prog.hosts.len();
         let n_arrays = prog.arrays.len();
         AccRunner {
@@ -91,13 +133,41 @@ impl AccRunner {
             dev_arrays: vec![None; n_arrays],
             resident: vec![0; n_arrays],
             instances: HashMap::new(),
+            region_cache: None,
+            compiles: 0,
             host_assigns_done: false,
         }
+    }
+
+    /// Attach the session's source text (enables source quoting in
+    /// profile reports for sessions built via [`AccRunner::from_shared`]).
+    pub fn set_source(&mut self, src: &str) {
+        self.src = Some(src.to_string());
+    }
+
+    /// Route region compilation through a shared artifact cache.
+    /// `program_key` must content-address this session's `(source,
+    /// options)` pair — use [`uhacc_core::program_key`] — so sessions of
+    /// different programs or strategies never alias.
+    pub fn set_region_cache(&mut self, cache: Arc<RegionCache>, program_key: u64) {
+        self.region_cache = Some((cache, program_key));
+    }
+
+    /// Region compilations this session performed itself (warm cache
+    /// hits are *not* counted — that is the point of the counter).
+    pub fn compiles(&self) -> u64 {
+        self.compiles
     }
 
     /// The analyzed program.
     pub fn program(&self) -> &AnalyzedProgram {
         &self.prog
+    }
+
+    /// The analyzed program as a shareable handle (cheap clone; build
+    /// more sessions of the same program with [`AccRunner::from_shared`]).
+    pub fn program_shared(&self) -> Arc<AnalyzedProgram> {
+        self.prog.clone()
     }
 
     /// The simulated device (stats, cost model, ...).
@@ -527,10 +597,33 @@ impl AccRunner {
         self.run_host_assigns()?;
         let dims = self.resolve_dims(region)?;
 
-        // Compile (cached per region+dims).
+        // Compile: per-session instance cache first, then the shared
+        // artifact cache (when attached), then actual codegen.
         let key = (region, dims.gangs, dims.workers, dims.vector);
         if !self.instances.contains_key(&key) {
-            let compiled = uhacc_core::compile_region(&self.prog, region, dims, &self.opts)?;
+            let compiled: Arc<CompiledRegion> = match &self.region_cache {
+                Some((cache, program_key)) => {
+                    let ck = RegionKey {
+                        program: *program_key,
+                        region,
+                        dims,
+                    };
+                    let (prog, opts) = (self.prog.clone(), self.opts.clone());
+                    let mut compiled_here = false;
+                    let artifact = cache.get_or_compile(ck, || {
+                        compiled_here = true;
+                        uhacc_core::compile_region(&prog, region, dims, &opts)
+                    })?;
+                    self.compiles += compiled_here as u64;
+                    artifact
+                }
+                None => {
+                    self.compiles += 1;
+                    Arc::new(uhacc_core::compile_region(
+                        &self.prog, region, dims, &self.opts,
+                    )?)
+                }
+            };
             let mut temp_buffers = Vec::new();
             for spec in &compiled.buffers {
                 let h = self
@@ -724,6 +817,60 @@ impl AccRunner {
                 self.device.memcpy_d2h(handle, &mut bytes)?;
                 host.bytes_mut().copy_from_slice(&bytes);
             }
+        }
+        Ok(())
+    }
+
+    /// Bind every host scalar and array to a deterministic input set:
+    /// integer scalars to `n`, float scalars to 0, arrays (after host
+    /// assignments resolve their extents) to the fixed pattern
+    /// `(7i + 3) mod 101 - 50` — the same inputs `uhacc-cc --profile`
+    /// and the `uhaccd` `/run` and `/profile` endpoints use, so the same
+    /// source yields byte-identical results on every surface.
+    pub fn bind_deterministic_inputs(&mut self, n: u64) -> Result<(), AccError> {
+        let hosts: Vec<(String, CType)> = self
+            .prog
+            .hosts
+            .iter()
+            .map(|h| (h.name.clone(), h.ty))
+            .collect();
+        for (name, ty) in &hosts {
+            match ty {
+                CType::Int | CType::Long => self.bind_int(name, n as i64)?,
+                CType::Float | CType::Double => self.bind_float(name, 0.0)?,
+            }
+        }
+        self.run_host_assigns()?;
+        let arrays = self.prog.arrays.clone();
+        // Multi-dimensional arrays scale super-linearly in `n`; refuse
+        // absurd allocations with a diagnostic instead of aborting OOM.
+        const MAX_ELEMS: u64 = 1 << 28;
+        for a in &arrays {
+            let mut elems = 1u64;
+            for d in &a.dims {
+                elems = elems.saturating_mul(eval_host_extent(
+                    d,
+                    &self.scalars,
+                    &format!("dimension of `{}`", a.name),
+                )?);
+            }
+            if elems > MAX_ELEMS {
+                return Err(AccError::Binding(format!(
+                    "array `{}` needs {elems} elements at n={n}; the deterministic input \
+                     binder caps arrays at {MAX_ELEMS} elements — pass a smaller n",
+                    a.name
+                )));
+            }
+            let mut buf = HostBuffer::new(a.ty, elems as usize);
+            for i in 0..elems as usize {
+                let k = (i as i64 * 7 + 3) % 101 - 50;
+                let v = match a.ty {
+                    CType::Int | CType::Long => Value::I64(k),
+                    CType::Float | CType::Double => Value::F64(k as f64 / 101.0),
+                };
+                buf.set(i, v);
+            }
+            self.bind_array(&a.name, buf)?;
         }
         Ok(())
     }

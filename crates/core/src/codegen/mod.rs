@@ -128,7 +128,7 @@ pub fn compile_region(
             let kernel = reduce::build_finalize_kernel(rr.op, spec.ty, threads, cg.opts)
                 .map_err(|e| Diag::new(e.to_string(), region.span))?;
             finalize.push(crate::plan::FinalizePass {
-                kernel,
+                kernel: std::sync::Arc::new(kernel),
                 buffer: i,
                 elems: spec.elems,
                 threads,
@@ -140,7 +140,7 @@ pub fn compile_region(
         cg.b.try_finish()
             .map_err(|e| Diag::new(e.to_string(), region.span))?;
     Ok(CompiledRegion {
-        main,
+        main: std::sync::Arc::new(main),
         dims,
         params: cg.params,
         buffers: cg.plan.buffers.clone(),

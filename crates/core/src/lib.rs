@@ -23,8 +23,10 @@
 //! | §3.2.1 automatic reduction-span detection | `auto_span` |
 
 pub mod codegen;
+pub mod flags;
 pub mod options;
 pub mod plan;
+pub mod stablehash;
 pub mod types;
 
 pub use codegen::compile_region;
@@ -33,3 +35,4 @@ pub use options::{
     VectorLayout, WorkerStrategy,
 };
 pub use plan::{CompiledRegion, LaunchDims};
+pub use stablehash::program_key;

@@ -5,10 +5,12 @@
 //! commercial-compiler personalities, and the ablation benches all drive
 //! the *same* codegen with different options.
 
+use crate::stablehash::{fnv1a64, FNV_OFFSET};
 use accparse::ast::{Level, RedOp};
+use std::fmt::Write as _;
 
 /// How a parallel loop's iterations are distributed over its threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Schedule {
     /// The paper's window-sliding (grid-stride / round-robin) schedule
     /// (Fig. 3). Consecutive threads touch consecutive iterations, so
@@ -20,7 +22,7 @@ pub enum Schedule {
 }
 
 /// Shared-memory layout for the vector reduction (paper Fig. 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VectorLayout {
     /// Fig. 6(c), OpenUH: threads and data keep the global-memory layout;
     /// each worker's row is contiguous in shared memory (conflict-prone
@@ -33,7 +35,7 @@ pub enum VectorLayout {
 }
 
 /// Strategy for the worker reduction (paper Fig. 8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkerStrategy {
     /// Fig. 8(c), OpenUH: lane 0 of each worker stores the partial into the
     /// first row; the first row's vector threads tree-reduce it. Uses
@@ -47,7 +49,7 @@ pub enum WorkerStrategy {
 }
 
 /// How the in-kernel tree reduction is emitted (paper Fig. 7 and §3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TreeStyle {
     /// Fully unrolled interleaved log-step reduction with warp-synchronous
     /// tail (no `__syncthreads()` once the active lanes fit in one warp) —
@@ -60,14 +62,14 @@ pub enum TreeStyle {
 /// Where in-kernel reduction partials are staged (§3.3: the global-memory
 /// fallback exists for kernels whose shared memory is reserved for other
 /// blocking optimizations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CombineSpace {
     Shared,
     Global,
 }
 
 /// How gang-spanning reductions are consolidated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GangStrategy {
     /// The paper's strategy: per-participant partials in a global buffer,
     /// reduced by a second kernel (§3.1.3 — blocks cannot synchronize).
@@ -81,7 +83,7 @@ pub enum GangStrategy {
 /// Injectable codegen defects used by the baseline personalities to
 /// reproduce the failure matrix of the paper's Table 2. `None` for the
 /// real compiler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct InjectedBugs {
     /// Omit the barrier between staging partials and tree-reducing them:
     /// warps read stale partials, producing deterministic wrong results.
@@ -107,7 +109,12 @@ pub struct InjectedBugs {
 }
 
 /// Full option set for one compilation.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Eq`/`Hash` make the option set usable as (part of) a cache key; for
+/// keys that must stay stable *across* process runs and rustc releases use
+/// [`CompilerOptions::stable_key`] / [`CompilerOptions::fingerprint`]
+/// instead of `std::hash` (whose hasher is not specified to be stable).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CompilerOptions {
     pub schedule: Schedule,
     pub vector_layout: VectorLayout,
@@ -132,7 +139,7 @@ pub struct CompilerOptions {
 
 /// A rejection rule: a reduction whose detected span equals `span` (order-
 /// insensitive) and whose operator matches (None = any) fails to compile.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RejectRule {
     pub span: Vec<Level>,
     pub op: Option<RedOp>,
@@ -161,6 +168,88 @@ impl CompilerOptions {
             finalize_threads: 256,
             gang_strategy: GangStrategy::TwoKernel,
         }
+    }
+
+    /// Canonical, human-readable serialization of every knob, suitable as
+    /// a content-addressed cache key component. Two option sets render the
+    /// same string iff they compile identically; the format is versioned
+    /// (`v1;` prefix) so a future knob addition invalidates old keys
+    /// rather than silently aliasing them.
+    pub fn stable_key(&self) -> String {
+        let mut s = String::with_capacity(160);
+        s.push_str("v1;");
+        let sched = match self.schedule {
+            Schedule::WindowSliding => "window",
+            Schedule::Blocking => "blocking",
+        };
+        let layout = match self.vector_layout {
+            VectorLayout::RowWise => "rowwise",
+            VectorLayout::Transposed => "transposed",
+        };
+        let worker = match self.worker_strategy {
+            WorkerStrategy::FirstRow => "firstrow",
+            WorkerStrategy::DuplicateRows => "duprows",
+        };
+        let tree = match self.tree {
+            TreeStyle::Unrolled => "unrolled",
+            TreeStyle::Looped => "looped",
+        };
+        let combine = match self.combine_space {
+            CombineSpace::Shared => "shared",
+            CombineSpace::Global => "global",
+        };
+        let gang = match self.gang_strategy {
+            GangStrategy::TwoKernel => "twokernel",
+            GangStrategy::Atomic => "atomic",
+        };
+        let b = &self.bugs;
+        let bugs: String = [
+            b.skip_stage_barrier,
+            b.clause_levels_only,
+            b.skip_init_fold,
+            b.skip_bcast_barrier,
+            b.warp_tail_everywhere,
+            b.skip_postread_barrier,
+        ]
+        .iter()
+        .map(|&f| if f { '1' } else { '0' })
+        .collect();
+        let _ = write!(
+            s,
+            "sched={sched};layout={layout};worker={worker};tree={tree};\
+             combine={combine};auto_span={};bugs={bugs};fin={};gang={gang};rejects=[",
+            self.auto_span as u8, self.finalize_threads
+        );
+        for (i, r) in self.rejects.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            // Span order never affects matching (see `rejected`), so
+            // canonicalize it out of the key.
+            let mut span = r.span.clone();
+            span.sort();
+            for lv in &span {
+                s.push(match lv {
+                    Level::Gang => 'g',
+                    Level::Worker => 'w',
+                    Level::Vector => 'v',
+                });
+            }
+            s.push(':');
+            match r.op {
+                Some(op) => s.push_str(op.clause_token()),
+                None => s.push('*'),
+            }
+        }
+        s.push(']');
+        s
+    }
+
+    /// Stable 64-bit fingerprint of the option set (FNV-1a over
+    /// [`CompilerOptions::stable_key`]): deterministic across runs,
+    /// processes and toolchains, unlike `std::hash`.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a64(FNV_OFFSET, self.stable_key().as_bytes())
     }
 
     /// Does any rule reject this reduction?
@@ -208,5 +297,63 @@ mod tests {
         assert!(o
             .rejected(&[Level::Gang, Level::Worker, Level::Vector], RedOp::Mul)
             .is_none());
+    }
+
+    /// The key `stable_key_is_pinned` expects for its fixed
+    /// (source, options) pair; recomputed there from first principles too.
+    const PINNED_KEY: u64 = 0xf191_0dbf_e8b6_1890;
+
+    /// The cache key for a fixed (source, options) pair is pinned: any
+    /// change to the canonical serialization or the FNV constants is a
+    /// deliberate cache-format break, caught here.
+    #[test]
+    fn stable_key_is_pinned() {
+        let o = CompilerOptions::openuh();
+        assert_eq!(
+            o.stable_key(),
+            "v1;sched=window;layout=rowwise;worker=firstrow;tree=unrolled;\
+             combine=shared;auto_span=1;bugs=000000;fin=256;gang=twokernel;rejects=[]"
+        );
+        let src = "int N; int s;\ns = 0;\n#pragma acc parallel loop gang \
+                   reduction(+:s)\nfor (int i = 0; i < N; i++) { s += 1; }\n";
+        let key = crate::stablehash::program_key(src, &o);
+        // Recompute from first principles so the pin is the *algorithm*,
+        // not a copied constant.
+        let expect = crate::stablehash::fnv1a64(
+            crate::stablehash::fnv1a64(crate::stablehash::FNV_OFFSET, src.as_bytes()),
+            o.stable_key().as_bytes(),
+        );
+        assert_eq!(key, expect);
+        // And the concrete value is pinned across runs/processes.
+        assert_eq!(key, PINNED_KEY);
+        // Different options -> different key.
+        let mut o2 = o.clone();
+        o2.tree = TreeStyle::Looped;
+        assert_ne!(crate::stablehash::program_key(src, &o2), key);
+        // Reject-rule span order is canonicalized out.
+        let mut a = o.clone();
+        a.rejects.push(RejectRule {
+            span: vec![Level::Vector, Level::Gang],
+            op: None,
+            reason: "x",
+        });
+        let mut b = o.clone();
+        b.rejects.push(RejectRule {
+            span: vec![Level::Gang, Level::Vector],
+            op: None,
+            reason: "x",
+        });
+        assert_eq!(a.stable_key(), b.stable_key());
+    }
+
+    #[test]
+    fn options_are_hashable_and_eq() {
+        use std::collections::HashMap;
+        let mut m: HashMap<CompilerOptions, u32> = HashMap::new();
+        m.insert(CompilerOptions::openuh(), 1);
+        assert_eq!(m.get(&CompilerOptions::openuh()), Some(&1));
+        let mut o = CompilerOptions::openuh();
+        o.finalize_threads = 128;
+        assert!(!m.contains_key(&o));
     }
 }

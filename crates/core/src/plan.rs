@@ -3,11 +3,12 @@
 
 use accparse::ast::{CType, RedOp};
 use gpsim::Kernel;
+use std::sync::Arc;
 
 /// Resolved launch geometry: the OpenACC `num_gangs`/`num_workers`/
 /// `vector_length` mapped to CUDA grid/block dims (gang -> block,
 /// worker -> `threadIdx.y`, vector -> `threadIdx.x`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LaunchDims {
     pub gangs: u32,
     pub workers: u32,
@@ -82,7 +83,7 @@ pub enum BufferPurpose {
 /// "another kernel is launched to do the reduction within only one block").
 #[derive(Debug, Clone)]
 pub struct FinalizePass {
-    pub kernel: Kernel,
+    pub kernel: Arc<Kernel>,
     /// Buffer index holding the partials; the result lands in element 0.
     pub buffer: usize,
     /// Number of partial elements to reduce.
@@ -114,9 +115,15 @@ pub struct HostWriteback {
 }
 
 /// A fully compiled parallel region.
+///
+/// Kernels are held behind `Arc`: a `CompiledRegion` is an immutable
+/// *artifact* that many concurrent sessions (and the `uhaccd` cache)
+/// share, while all mutable per-run state — temp buffers, bound data,
+/// device statistics — lives in the session that launches it. Cloning a
+/// region (or the whole struct) never copies instruction streams.
 #[derive(Debug, Clone)]
 pub struct CompiledRegion {
-    pub main: Kernel,
+    pub main: Arc<Kernel>,
     pub dims: LaunchDims,
     pub params: Vec<ParamSpec>,
     pub buffers: Vec<BufferSpec>,

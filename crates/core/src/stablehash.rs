@@ -1,0 +1,65 @@
+//! Stable content hashing for cache keys.
+//!
+//! `std::hash` deliberately does not promise a stable hasher across
+//! releases, so anything that must be deterministic *across process runs*
+//! — the `uhaccd` content-addressed cache, pinned-key tests, on-disk
+//! artifacts — hashes through this module instead: FNV-1a, 64-bit, fully
+//! specified here and never changed without bumping the
+//! [`crate::CompilerOptions::stable_key`] format version.
+
+use crate::options::CompilerOptions;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold `bytes` into an FNV-1a running state (pass [`FNV_OFFSET`] to
+/// start a fresh hash; pass a previous result to chain fields — the
+/// chaining is order-sensitive, as a cache key needs).
+pub fn fnv1a64(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// The content-addressed cache key for one compilation unit:
+/// `hash(source, options)`. Every byte of the source and every knob of
+/// the option set participates, so equal keys mean "same analyzed
+/// program, same generated kernels".
+pub fn program_key(source: &str, opts: &CompilerOptions) -> u64 {
+    fnv1a64(
+        fnv1a64(FNV_OFFSET, source.as_bytes()),
+        opts.stable_key().as_bytes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(FNV_OFFSET, b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(FNV_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(FNV_OFFSET, b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn program_key_sensitivity() {
+        let o = CompilerOptions::openuh();
+        let k1 = program_key("int N;", &o);
+        assert_ne!(k1, program_key("int M;", &o));
+        let mut o2 = o.clone();
+        o2.auto_span = false;
+        assert_ne!(k1, program_key("int N;", &o2));
+        // Chaining is order-sensitive: (a, b) != (b, a).
+        assert_ne!(
+            fnv1a64(fnv1a64(FNV_OFFSET, b"a"), b"b"),
+            fnv1a64(fnv1a64(FNV_OFFSET, b"b"), b"a")
+        );
+    }
+}

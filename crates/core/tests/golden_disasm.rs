@@ -72,7 +72,7 @@ fn check(name: &str, src: &str, opts: &CompilerOptions, golden: &str) {
 
     // The printed form must be a loss-free encoding of the kernel.
     let parsed = gpsim::parse_kernel(&text).expect("golden disasm parses back");
-    assert_eq!(parsed, c.main, "{name}: disasm round-trip drift");
+    assert_eq!(parsed, *c.main, "{name}: disasm round-trip drift");
 
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         let path = format!("{}/tests/golden/{name}.disasm", env!("CARGO_MANIFEST_DIR"));

@@ -11,8 +11,18 @@ use acc_testsuite::{
     run_verify_sweep, Position, SuiteConfig,
 };
 use accparse::ast::{CType, RedOp};
+use uhacc_core::flags::{host_threads_from_env, parse_count, parse_count_u32};
+
+/// Reject a malformed option value: rendered diagnostic, exit code 2.
+fn flag_err(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
 
 fn main() {
+    if let Err(e) = host_threads_from_env() {
+        flag_err(e);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = SuiteConfig::default();
     let mut fig11 = false;
@@ -22,15 +32,23 @@ fn main() {
     let mut lint = false;
     let mut profile: Option<&str> = None;
     let mut i = 0;
+    let need_val = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i)
+            .cloned()
+            .unwrap_or_else(|| flag_err(format!("{flag} requires a value")))
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--red-n" => {
                 i += 1;
-                cfg.red_n = args[i].parse().expect("--red-n takes a number");
+                let v = need_val(&args, i, "--red-n");
+                cfg.red_n = parse_count("--red-n", &v).unwrap_or_else(|e| flag_err(e)) as usize;
             }
             "--host-threads" => {
                 i += 1;
-                cfg.host_threads = args[i].parse().expect("--host-threads takes a number");
+                let v = need_val(&args, i, "--host-threads");
+                cfg.host_threads =
+                    parse_count_u32("--host-threads", &v).unwrap_or_else(|e| flag_err(e));
             }
             "--quick" => cfg = SuiteConfig::quick(),
             "--fig11" => fig11 = true,

@@ -1,0 +1,222 @@
+//! `uhaccd` — serve the compile-and-run API, or drive it as a client.
+//!
+//! ```console
+//! $ uhaccd --port 8090 --workers 4          # serve (foreground)
+//! $ uhaccd --loadgen --addr 127.0.0.1:8090  # benchmark a running daemon
+//! $ uhaccd --loadgen --spawn                # spawn one and benchmark it
+//! ```
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use uhacc_core::flags::{host_threads_from_env, parse_count};
+use uhaccd::{loadgen, service, DaemonConfig, LoadgenConfig, WorkerPool};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: uhaccd [--port P] [options]           serve the API (foreground)\n\
+         \n\
+         serve options:\n\
+           --port P            TCP port (0 = ephemeral; default 8090)\n\
+           --host H            bind address (default 127.0.0.1)\n\
+           --workers N         device-worker threads = max concurrent\n\
+                               sessions (default 4)\n\
+           --cache-cap N       program-cache capacity (default 64);\n\
+                               region-artifact cache gets 4x this\n\
+         \n\
+         client modes:\n\
+           --loadgen           run the deterministic benchmark matrix\n\
+             --addr HOST:PORT  target daemon (omit with --spawn)\n\
+             --spawn           spawn an in-process daemon on an ephemeral\n\
+                               port and benchmark that\n\
+             --rounds N        matrix replays; round 0 is cold (default 3)\n\
+             --concurrency N   client threads (default 4)\n\
+             --out FILE        write BENCH_uhaccd.json here (default\n\
+                               stdout only)\n\
+           -h, --help          this message"
+    );
+    std::process::exit(2);
+}
+
+fn flag_err(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+struct Args {
+    host: String,
+    port: u16,
+    workers: usize,
+    cache_cap: usize,
+    loadgen: bool,
+    spawn: bool,
+    addr: Option<String>,
+    rounds: usize,
+    concurrency: usize,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    if let Err(e) = host_threads_from_env() {
+        flag_err(e);
+    }
+    let mut args = Args {
+        host: "127.0.0.1".into(),
+        port: 8090,
+        workers: 4,
+        cache_cap: 64,
+        loadgen: false,
+        spawn: false,
+        addr: None,
+        rounds: 3,
+        concurrency: 4,
+        out: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let need_val = |argv: &[String], i: usize, flag: &str| -> String {
+        argv.get(i)
+            .cloned()
+            .unwrap_or_else(|| flag_err(format!("{flag} requires a value")))
+    };
+    let count =
+        |flag: &str, v: &str| -> u64 { parse_count(flag, v).unwrap_or_else(|e| flag_err(e)) };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "-h" | "--help" => usage(),
+            "--port" => {
+                i += 1;
+                let v = need_val(&argv, i, "--port");
+                let p = count("--port", &v);
+                if p > u16::MAX as u64 {
+                    flag_err(format!("invalid value for --port: {p} exceeds 65535"));
+                }
+                args.port = p as u16;
+            }
+            "--host" => {
+                i += 1;
+                args.host = need_val(&argv, i, "--host");
+            }
+            "--workers" => {
+                i += 1;
+                let v = need_val(&argv, i, "--workers");
+                args.workers = count("--workers", &v).max(1) as usize;
+            }
+            "--cache-cap" => {
+                i += 1;
+                let v = need_val(&argv, i, "--cache-cap");
+                args.cache_cap = count("--cache-cap", &v).max(1) as usize;
+            }
+            "--loadgen" => args.loadgen = true,
+            "--spawn" => args.spawn = true,
+            "--addr" => {
+                i += 1;
+                args.addr = Some(need_val(&argv, i, "--addr"));
+            }
+            "--rounds" => {
+                i += 1;
+                let v = need_val(&argv, i, "--rounds");
+                args.rounds = count("--rounds", &v).max(1) as usize;
+            }
+            "--concurrency" => {
+                i += 1;
+                let v = need_val(&argv, i, "--concurrency");
+                args.concurrency = count("--concurrency", &v).max(1) as usize;
+            }
+            "--out" => {
+                i += 1;
+                args.out = Some(need_val(&argv, i, "--out"));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if args.spawn && !args.loadgen {
+        flag_err("--spawn only makes sense with --loadgen".into());
+    }
+    if args.loadgen && !args.spawn && args.addr.is_none() {
+        flag_err("--loadgen needs --addr HOST:PORT (or --spawn)".into());
+    }
+    args
+}
+
+fn daemon_config(args: &Args) -> DaemonConfig {
+    DaemonConfig {
+        workers: args.workers,
+        program_cache_cap: args.cache_cap,
+        region_cache_cap: args.cache_cap * 4,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    if args.loadgen {
+        let addr: SocketAddr = if args.spawn {
+            let (addr, _daemon) = service::spawn(daemon_config(&args), "127.0.0.1:0")
+                .unwrap_or_else(|e| {
+                    eprintln!("error: cannot spawn daemon: {e}");
+                    std::process::exit(1);
+                });
+            eprintln!("uhaccd: spawned in-process daemon on {addr}");
+            addr
+        } else {
+            let spec = args.addr.as_deref().unwrap();
+            spec.parse().unwrap_or_else(|_| {
+                flag_err(format!(
+                    "invalid value for --addr: expected HOST:PORT, got `{spec}`"
+                ))
+            })
+        };
+        let mut cfg = LoadgenConfig::new(addr);
+        cfg.rounds = args.rounds;
+        cfg.concurrency = args.concurrency;
+        eprintln!(
+            "uhaccd: loadgen against {addr} ({} rounds, {} client threads) ...",
+            cfg.rounds, cfg.concurrency
+        );
+        let report = loadgen::run(&cfg).unwrap_or_else(|e| {
+            eprintln!("error: loadgen failed: {e}");
+            std::process::exit(1);
+        });
+        println!("{}", report.json);
+        if let Some(path) = &args.out {
+            if let Err(e) = std::fs::write(path, format!("{}\n", report.json)) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("uhaccd: wrote {path}");
+        }
+        eprintln!(
+            "uhaccd: {} requests, {} failures, determinism {}, {:.1} req/s, p50 {:.2} ms, \
+             p99 {:.2} ms, warm speedup {:.2}x",
+            report.requests,
+            report.failures,
+            if report.determinism_mismatches == 0 {
+                "ok".to_string()
+            } else {
+                format!("{} MISMATCHES", report.determinism_mismatches)
+            },
+            report.throughput_rps,
+            report.p50_ms,
+            report.p99_ms,
+            report.warm_speedup
+        );
+        std::process::exit(if report.ok() { 0 } else { 1 });
+    }
+
+    // Serve mode (foreground).
+    let bind = format!("{}:{}", args.host, args.port);
+    let listener = TcpListener::bind(&bind).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {bind}: {e}");
+        std::process::exit(1);
+    });
+    let local = listener.local_addr().expect("local addr");
+    let cfg = daemon_config(&args);
+    eprintln!(
+        "uhaccd: serving on {local} ({} workers, program cache {}, region cache {})",
+        cfg.workers, cfg.program_cache_cap, cfg.region_cache_cap
+    );
+    let daemon = uhaccd::Daemon::new(cfg.clone());
+    let pool = Arc::new(WorkerPool::new(cfg.workers));
+    service::serve(daemon, listener, pool);
+}

@@ -1,0 +1,449 @@
+//! Deterministic load generator for the daemon.
+//!
+//! Replays a fixed matrix of requests (sources x endpoints x problem
+//! sizes) for a configurable number of rounds at a configurable client
+//! concurrency, then reports throughput, latency percentiles, the
+//! cold-vs-warm split, and cache hit rates as `BENCH_uhaccd.json`.
+//!
+//! Round 0 touches every unique `(source, options)` pair for the first
+//! time — the **cold** phase (parse + codegen). Rounds 1.. replay the
+//! identical requests — the **warm** phase (cache hits only). Every
+//! response for the same request spec must be byte-identical across all
+//! rounds and interleavings; any divergence is a determinism failure and
+//! the run reports it (CI fails on it).
+
+use crate::http;
+use crate::json::{obj, parse, Json};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    pub addr: SocketAddr,
+    /// Client-side concurrency (threads issuing requests).
+    pub concurrency: usize,
+    /// Full replays of the request matrix. Round 0 is cold.
+    pub rounds: usize,
+}
+
+impl LoadgenConfig {
+    pub fn new(addr: SocketAddr) -> Self {
+        LoadgenConfig {
+            addr,
+            concurrency: 4,
+            rounds: 3,
+        }
+    }
+}
+
+/// One request spec in the matrix.
+#[derive(Debug, Clone)]
+struct Spec {
+    label: &'static str,
+    path: &'static str,
+    body: String,
+}
+
+const SUM_INT: &str = "int N; int s;\nint a[N];\ns = 0;\n#pragma acc parallel loop gang \
+                       vector reduction(+:s) copyin(a)\nfor (int i = 0; i < N; i++) { s += \
+                       a[i]; }\n";
+const SUM_DOUBLE: &str = "int N; double s;\ndouble a[N];\ns = 0.0;\n#pragma acc parallel \
+                          loop gang worker vector reduction(+:s) copyin(a)\nfor (int i = 0; \
+                          i < N; i++) { s += a[i]; }\n";
+const MINMAX: &str = "int N; int lo; int hi;\nint a[N];\nlo = 2147483647;\nhi = \
+                      -2147483648;\n#pragma acc parallel loop gang vector reduction(min:lo) \
+                      reduction(max:hi) copyin(a)\nfor (int i = 0; i < N; i++) { lo = \
+                      min(lo, a[i]); hi = max(hi, a[i]); }\n";
+
+/// The fixed request matrix: three reduction programs, three compilers
+/// spread across endpoints, two problem sizes.
+fn build_matrix() -> Vec<Spec> {
+    let mut specs = Vec::new();
+    let esc = |s: &str| Json::Str(s.into()).to_string();
+    for (name, src) in [
+        ("sum_int", SUM_INT),
+        ("sum_double", SUM_DOUBLE),
+        ("minmax", MINMAX),
+    ] {
+        for compiler in ["openuh", "pgi", "caps"] {
+            specs.push(Spec {
+                label: name,
+                path: "/compile",
+                body: format!(
+                    "{{\"source\":{},\"compiler\":\"{compiler}\",\"verify\":true}}",
+                    esc(src)
+                ),
+            });
+        }
+        for n in [4096u64, 65536] {
+            specs.push(Spec {
+                label: name,
+                path: "/run",
+                body: format!("{{\"source\":{},\"n\":{n}}}", esc(src)),
+            });
+        }
+        specs.push(Spec {
+            label: name,
+            path: "/profile",
+            body: format!("{{\"source\":{},\"n\":4096}}", esc(src)),
+        });
+        specs.push(Spec {
+            label: name,
+            path: "/lint",
+            body: format!("{{\"source\":{}}}", esc(src)),
+        });
+        specs.push(Spec {
+            label: name,
+            path: "/verify",
+            body: format!("{{\"source\":{}}}", esc(src)),
+        });
+    }
+    specs
+}
+
+struct Sample {
+    spec: usize,
+    round: usize,
+    status: u16,
+    millis: f64,
+    body: String,
+}
+
+/// The benchmark report (also serialized as `BENCH_uhaccd.json`).
+#[derive(Debug)]
+pub struct BenchReport {
+    pub requests: usize,
+    pub failures: usize,
+    pub determinism_mismatches: usize,
+    pub throughput_rps: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub cold_mean_ms: f64,
+    pub warm_mean_ms: f64,
+    pub warm_speedup: f64,
+    pub json: String,
+}
+
+impl BenchReport {
+    pub fn ok(&self) -> bool {
+        self.failures == 0 && self.determinism_mismatches == 0
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn ms3(v: f64) -> Json {
+    Json::Num((v * 1000.0).round() / 1000.0)
+}
+
+/// Drive the full matrix against a running daemon and build the report.
+pub fn run(cfg: &LoadgenConfig) -> Result<BenchReport, String> {
+    let specs = build_matrix();
+    let health_before = fetch_health(cfg.addr)?;
+
+    // Work queue: (spec, round), strictly round-by-round so round 0 is
+    // genuinely cold, but concurrent *within* each round.
+    let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+    for round in 0..cfg.rounds.max(1) {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..cfg.concurrency.max(1) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= specs.len() {
+                        return;
+                    }
+                    let spec = &specs[i];
+                    let t0 = Instant::now();
+                    let (status, body) = match http::post(cfg.addr, spec.path, &spec.body) {
+                        Ok(r) => r,
+                        Err(e) => (0, format!("transport error: {e}")),
+                    };
+                    let millis = t0.elapsed().as_secs_f64() * 1000.0;
+                    samples.lock().unwrap().push(Sample {
+                        spec: i,
+                        round,
+                        status,
+                        millis,
+                        body,
+                    });
+                });
+            }
+        });
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let samples = samples.into_inner().unwrap();
+    let health_after = fetch_health(cfg.addr)?;
+
+    // Determinism: all responses for a spec must be byte-identical.
+    // Cache-visibility fields legitimately differ between cold and warm
+    // (`"program_hit":false` vs `true`), so compare with those masked.
+    let mut canonical: Vec<Option<String>> = vec![None; specs.len()];
+    let mut determinism_mismatches = 0;
+    let mut failures = 0;
+    for s in &samples {
+        let spec = &specs[s.spec];
+        if !(200..300).contains(&s.status) {
+            failures += 1;
+            eprintln!(
+                "loadgen: {} {} ({}) round {} -> status {}: {}",
+                spec.path,
+                spec.label,
+                s.spec,
+                s.round,
+                s.status,
+                s.body.lines().next().unwrap_or("")
+            );
+            continue;
+        }
+        let masked = mask_cache_fields(&s.body);
+        match &canonical[s.spec] {
+            None => canonical[s.spec] = Some(masked),
+            Some(c) if *c == masked => {}
+            Some(_) => {
+                determinism_mismatches += 1;
+                eprintln!(
+                    "loadgen: DETERMINISM MISMATCH at {} {} round {}",
+                    spec.path, spec.label, s.round
+                );
+            }
+        }
+    }
+
+    let mut all: Vec<f64> = samples.iter().map(|s| s.millis).collect();
+    all.sort_by(f64::total_cmp);
+    let cold: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.round == 0)
+        .map(|s| s.millis)
+        .collect();
+    let warm: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.round > 0)
+        .map(|s| s.millis)
+        .collect();
+    let mut cold_sorted = cold.clone();
+    cold_sorted.sort_by(f64::total_cmp);
+    let mut warm_sorted = warm.clone();
+    warm_sorted.sort_by(f64::total_cmp);
+
+    let cold_mean = mean(&cold);
+    let warm_mean = mean(&warm);
+    let warm_speedup = if warm_mean > 0.0 {
+        cold_mean / warm_mean
+    } else {
+        0.0
+    };
+    let throughput = if wall > 0.0 {
+        samples.len() as f64 / wall
+    } else {
+        0.0
+    };
+    let p50 = percentile(&all, 0.50);
+    let p99 = percentile(&all, 0.99);
+
+    // Per-endpoint cold/warm split. Overall warm speedup is diluted by
+    // the simulation-dominated endpoints (execution is never cached —
+    // only parse and codegen are), so the per-endpoint numbers are the
+    // ones that show the cache: /compile warm skips everything.
+    let mut per_endpoint = Vec::new();
+    for ep in ["/compile", "/lint", "/verify", "/run", "/profile"] {
+        let of = |warm: bool| -> Vec<f64> {
+            samples
+                .iter()
+                .filter(|s| specs[s.spec].path == ep && (s.round > 0) == warm)
+                .map(|s| s.millis)
+                .collect()
+        };
+        let (c, w) = (of(false), of(true));
+        let (cm, wm) = (mean(&c), mean(&w));
+        per_endpoint.push((
+            ep,
+            obj(vec![
+                ("cold_mean_ms", ms3(cm)),
+                ("warm_mean_ms", ms3(wm)),
+                ("warm_speedup", ms3(if wm > 0.0 { cm / wm } else { 0.0 })),
+            ]),
+        ));
+    }
+
+    let cache_delta = |section: &str, field: &str| -> f64 {
+        let read = |h: &Json| {
+            h.get(section)
+                .and_then(|s| s.get(field))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+        };
+        read(&health_after) - read(&health_before)
+    };
+    let prog_hits = cache_delta("programs", "hits");
+    let prog_misses = cache_delta("programs", "misses");
+    let region_hits = cache_delta("regions", "hits");
+    let region_compiles = cache_delta("regions", "compiles");
+    let hit_rate = |h: f64, m: f64| if h + m > 0.0 { h / (h + m) } else { 0.0 };
+
+    let json = obj(vec![
+        (
+            "config",
+            obj(vec![
+                ("unique_specs", Json::Num(specs.len() as f64)),
+                ("rounds", Json::Num(cfg.rounds.max(1) as f64)),
+                ("concurrency", Json::Num(cfg.concurrency.max(1) as f64)),
+                (
+                    "daemon_workers",
+                    health_after.get("workers").cloned().unwrap_or(Json::Null),
+                ),
+            ]),
+        ),
+        ("requests", Json::Num(samples.len() as f64)),
+        ("failures", Json::Num(failures as f64)),
+        (
+            "determinism",
+            if determinism_mismatches == 0 {
+                Json::Str("ok".into())
+            } else {
+                Json::Str(format!("{determinism_mismatches} mismatches"))
+            },
+        ),
+        ("throughput_rps", ms3(throughput)),
+        (
+            "latency_ms",
+            obj(vec![
+                ("p50", ms3(p50)),
+                ("p99", ms3(p99)),
+                ("mean", ms3(mean(&all))),
+            ]),
+        ),
+        (
+            "cold",
+            obj(vec![
+                ("count", Json::Num(cold.len() as f64)),
+                ("mean_ms", ms3(cold_mean)),
+                ("p50_ms", ms3(percentile(&cold_sorted, 0.5))),
+            ]),
+        ),
+        (
+            "warm",
+            obj(vec![
+                ("count", Json::Num(warm.len() as f64)),
+                ("mean_ms", ms3(warm_mean)),
+                ("p50_ms", ms3(percentile(&warm_sorted, 0.5))),
+            ]),
+        ),
+        ("warm_speedup", ms3(warm_speedup)),
+        (
+            "endpoints",
+            Json::Obj(
+                per_endpoint
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            ),
+        ),
+        (
+            "cache",
+            obj(vec![
+                ("program_hits", Json::Num(prog_hits)),
+                ("program_misses", Json::Num(prog_misses)),
+                ("program_hit_rate", ms3(hit_rate(prog_hits, prog_misses))),
+                ("region_hits", Json::Num(region_hits)),
+                ("region_compiles", Json::Num(region_compiles)),
+                (
+                    "region_hit_rate",
+                    ms3(hit_rate(region_hits, region_compiles)),
+                ),
+            ]),
+        ),
+    ])
+    .to_string();
+
+    Ok(BenchReport {
+        requests: samples.len(),
+        failures,
+        determinism_mismatches,
+        throughput_rps: throughput,
+        p50_ms: p50,
+        p99_ms: p99,
+        cold_mean_ms: cold_mean,
+        warm_mean_ms: warm_mean,
+        warm_speedup,
+        json,
+    })
+}
+
+fn fetch_health(addr: SocketAddr) -> Result<Json, String> {
+    let (status, body) =
+        http::get(addr, "/health").map_err(|e| format!("health probe failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("health probe returned {status}"));
+    }
+    parse(&body).map_err(|e| format!("health body unparsable: {e}"))
+}
+
+/// Mask the cache-visibility fields that legitimately differ between a
+/// cold and a warm response to the same request.
+fn mask_cache_fields(body: &str) -> String {
+    match parse(body) {
+        Ok(Json::Obj(fields)) => Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| {
+                    if k == "cache" {
+                        (k, Json::Null)
+                    } else {
+                        (k, v)
+                    }
+                })
+                .collect(),
+        )
+        .to_string(),
+        _ => body.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_nonempty_and_deterministic() {
+        let a = build_matrix();
+        let b = build_matrix();
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.body, y.body);
+        }
+        // Every endpoint is exercised.
+        for ep in ["/compile", "/lint", "/verify", "/run", "/profile"] {
+            assert!(a.iter().any(|s| s.path == ep), "missing {ep}");
+        }
+    }
+
+    #[test]
+    fn percentile_and_mask() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        let masked = mask_cache_fields("{\"results\":{\"a\":1},\"cache\":{\"hit\":true}}");
+        assert_eq!(masked, "{\"results\":{\"a\":1},\"cache\":null}");
+    }
+}

@@ -1,0 +1,578 @@
+//! The daemon: request decoding, the content-addressed program cache,
+//! and the endpoint handlers.
+//!
+//! Every response body that has a single-shot CLI equivalent is built by
+//! the same `uhacc::driver` function the CLI calls, so the two surfaces
+//! agree byte for byte by construction:
+//!
+//! | endpoint   | CLI equivalent                         |
+//! |------------|----------------------------------------|
+//! | `/compile` | `uhacc-cc <src> [--emit ...]` (text)   |
+//! | `/lint`    | `uhacc-cc <src> --lint --json`         |
+//! | `/verify`  | `uhacc-cc <src> --verify` (section)    |
+//! | `/run`     | `uhacc-cc <src> --run`                 |
+//! | `/profile` | `uhacc-cc <src> --profile=json`        |
+//!
+//! Caching is two-layer and content-addressed on
+//! `program_key(source, options)` (stable FNV-1a, see
+//! `uhacc_core::stablehash`): analyzed programs (`Arc<AnalyzedProgram>`,
+//! daemon-side LRU) and compiled region artifacts
+//! (`accrt::RegionCache`, shared by every session via
+//! `AccRunner::set_region_cache`). A warm request re-parses nothing and
+//! re-compiles nothing — the end-to-end tests pin that with the compile
+//! counters.
+
+use crate::http::{read_request, write_response, Request};
+use crate::json::{obj, parse, Json};
+use crate::pool::WorkerPool;
+use acc_baselines::Compiler;
+use accparse::hir::AnalyzedProgram;
+use accrt::{AccRunner, RegionCache};
+use gpsim::Device;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use uhacc::driver::{self, EmitFlags, RunRequest};
+use uhacc_core::flags::parse_count_u32;
+use uhacc_core::{program_key, LaunchDims};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Device-worker threads (bounded parallelism of sessions).
+    pub workers: usize,
+    /// Program-cache capacity (analyzed programs).
+    pub program_cache_cap: usize,
+    /// Region-artifact cache capacity (compiled kernels).
+    pub region_cache_cap: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            workers: 4,
+            program_cache_cap: 64,
+            region_cache_cap: 256,
+        }
+    }
+}
+
+/// A POST handler: decoded request JSON in, response JSON out, or a
+/// `(status, message)` error.
+type Endpoint = fn(&Daemon, &Json) -> Result<Json, (u16, String)>;
+
+/// Daemon-side LRU of analyzed programs, keyed by
+/// `program_key(source, options)`.
+struct ProgramCache {
+    cap: usize,
+    map: HashMap<u64, Arc<AnalyzedProgram>>,
+    lru: Vec<u64>,
+}
+
+impl ProgramCache {
+    fn touch(&mut self, key: u64) {
+        self.lru.retain(|&k| k != key);
+        self.lru.push(key);
+    }
+}
+
+/// Shared daemon state. Cheap to clone via `Arc`; every worker thread
+/// handles requests against the same caches.
+pub struct Daemon {
+    cfg: DaemonConfig,
+    programs: Mutex<ProgramCache>,
+    prog_hits: AtomicU64,
+    prog_misses: AtomicU64,
+    prog_evictions: AtomicU64,
+    /// Full front-end parses actually performed (miss path).
+    parses: AtomicU64,
+    /// Shared compiled-artifact cache, injected into every session.
+    pub regions: Arc<RegionCache>,
+    /// Requests served, by status class.
+    served_2xx: AtomicU64,
+    served_4xx: AtomicU64,
+    served_5xx: AtomicU64,
+}
+
+impl Daemon {
+    pub fn new(cfg: DaemonConfig) -> Arc<Self> {
+        let region_cap = cfg.region_cache_cap;
+        Arc::new(Daemon {
+            programs: Mutex::new(ProgramCache {
+                cap: cfg.program_cache_cap.max(1),
+                map: HashMap::new(),
+                lru: Vec::new(),
+            }),
+            cfg,
+            prog_hits: AtomicU64::new(0),
+            prog_misses: AtomicU64::new(0),
+            prog_evictions: AtomicU64::new(0),
+            parses: AtomicU64::new(0),
+            regions: Arc::new(RegionCache::new(region_cap)),
+            served_2xx: AtomicU64::new(0),
+            served_4xx: AtomicU64::new(0),
+            served_5xx: AtomicU64::new(0),
+        })
+    }
+
+    /// Content-addressed program lookup: parse on miss, share on hit.
+    /// Returns `(program, key, was_hit)`.
+    fn get_or_parse(
+        &self,
+        source: &str,
+        opts: &uhacc_core::CompilerOptions,
+    ) -> Result<(Arc<AnalyzedProgram>, u64, bool), accparse::Diag> {
+        let key = program_key(source, opts);
+        {
+            let mut cache = self.programs.lock().unwrap();
+            if let Some(p) = cache.map.get(&key).cloned() {
+                cache.touch(key);
+                self.prog_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((p, key, true));
+            }
+        }
+        // Parse outside the lock; concurrent first requests may both
+        // parse, first insert wins (same content → identical result).
+        self.prog_misses.fetch_add(1, Ordering::Relaxed);
+        self.parses.fetch_add(1, Ordering::Relaxed);
+        let prog = Arc::new(accparse::compile(source)?);
+        let mut cache = self.programs.lock().unwrap();
+        let p = cache.map.entry(key).or_insert_with(|| prog).clone();
+        cache.touch(key);
+        if cache.map.len() > cache.cap {
+            let victim = cache.lru.remove(0);
+            cache.map.remove(&victim);
+            self.prog_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((p, key, false))
+    }
+
+    /// Dispatch one request to its handler; returns `(status, body)`.
+    pub fn handle(&self, req: &Request) -> (u16, String) {
+        let (status, body) = self.route(req);
+        let class = match status {
+            200..=299 => &self.served_2xx,
+            400..=499 => &self.served_4xx,
+            _ => &self.served_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        (status, body)
+    }
+
+    fn route(&self, req: &Request) -> (u16, String) {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/health") => (200, self.health()),
+            ("POST", "/compile") => self.json_endpoint(req, Self::ep_compile),
+            ("POST", "/lint") => self.json_endpoint(req, Self::ep_lint),
+            ("POST", "/verify") => self.json_endpoint(req, Self::ep_verify),
+            ("POST", "/run") => self.json_endpoint(req, Self::ep_run),
+            ("POST", "/profile") => self.json_endpoint(req, Self::ep_profile),
+            ("POST", _) | ("GET", _) => (404, err_body(&format!("no such endpoint: {}", req.path))),
+            _ => (405, err_body(&format!("method {} not allowed", req.method))),
+        }
+    }
+
+    fn json_endpoint(&self, req: &Request, ep: Endpoint) -> (u16, String) {
+        let text = match std::str::from_utf8(&req.body) {
+            Ok(t) => t,
+            Err(_) => return (400, err_body("request body is not UTF-8")),
+        };
+        let v = match parse(text) {
+            Ok(v) => v,
+            Err(e) => return (400, err_body(&format!("invalid JSON: {e}"))),
+        };
+        match ep(self, &v) {
+            Ok(body) => (200, body.to_string()),
+            Err((status, msg)) => (status, err_body(&msg)),
+        }
+    }
+
+    fn health(&self) -> String {
+        let rc = self.regions.counters();
+        obj(vec![
+            ("status", Json::Str("ok".into())),
+            ("workers", Json::Num(self.cfg.workers as f64)),
+            (
+                "programs",
+                obj(vec![
+                    (
+                        "hits",
+                        Json::Num(self.prog_hits.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "misses",
+                        Json::Num(self.prog_misses.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "evictions",
+                        Json::Num(self.prog_evictions.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "parses",
+                        Json::Num(self.parses.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "entries",
+                        Json::Num(self.programs.lock().unwrap().map.len() as f64),
+                    ),
+                ]),
+            ),
+            (
+                "regions",
+                obj(vec![
+                    ("hits", Json::Num(rc.hits as f64)),
+                    ("misses", Json::Num(rc.misses as f64)),
+                    ("evictions", Json::Num(rc.evictions as f64)),
+                    ("compiles", Json::Num(rc.compiles as f64)),
+                    ("entries", Json::Num(rc.entries as f64)),
+                ]),
+            ),
+            (
+                "served",
+                obj(vec![
+                    (
+                        "ok",
+                        Json::Num(self.served_2xx.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "client_error",
+                        Json::Num(self.served_4xx.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "server_error",
+                        Json::Num(self.served_5xx.load(Ordering::Relaxed) as f64),
+                    ),
+                ]),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// `/compile` — body of `uhacc-cc <src> [--emit ...] [--verify]`.
+    fn ep_compile(&self, v: &Json) -> Result<Json, (u16, String)> {
+        let source = req_source(v)?;
+        let compiler = req_compiler(v)?;
+        let dims = req_dims(v)?;
+        let emit = req_emit(v)?;
+        let opts = compiler.base_options();
+        let (prog, key, program_hit) = self
+            .get_or_parse(source, &opts)
+            .map_err(|d| (422, d.render(source)))?;
+
+        // Per-request artifact accounting (the global counters are
+        // shared across concurrent requests and can't be diffed safely).
+        let region_hits = Cell::new(0u64);
+        let region_compiles = Cell::new(0u64);
+        let regions = &self.regions;
+        let compile = |region: usize, dims: LaunchDims| {
+            let compiled = Cell::new(false);
+            let r = regions.get_or_compile(
+                accrt::RegionKey {
+                    program: key,
+                    region,
+                    dims,
+                },
+                || {
+                    compiled.set(true);
+                    uhacc_core::compile_region(&prog, region, dims, &opts)
+                },
+            )?;
+            if compiled.get() {
+                region_compiles.set(region_compiles.get() + 1);
+            } else {
+                region_hits.set(region_hits.get() + 1);
+            }
+            Ok(r)
+        };
+        let out = driver::compile_text(&prog, dims, compiler.name(), emit, &compile)
+            .map_err(|(region, d)| (422, format!("region {region}: {}", d.render(source))))?;
+        Ok(obj(vec![
+            ("text", Json::Str(out.text)),
+            ("verify_errors", Json::Num(out.verify_errors as f64)),
+            ("regions", Json::Num(out.regions.len() as f64)),
+            (
+                "cache",
+                obj(vec![
+                    ("program_hit", Json::Bool(program_hit)),
+                    ("region_hits", Json::Num(region_hits.get() as f64)),
+                    ("region_compiles", Json::Num(region_compiles.get() as f64)),
+                ]),
+            ),
+        ]))
+    }
+
+    /// `/lint` — `diagnostics` is byte-identical to
+    /// `uhacc-cc <src> --lint --json` stdout.
+    fn ep_lint(&self, v: &Json) -> Result<Json, (u16, String)> {
+        use accparse::diag::{diags_to_json, Severity};
+        let source = req_source(v)?;
+        let werror = req_bool(v, "werror")?.unwrap_or(false);
+        let (diags, parse_failed) = match accparse::lint_source(source) {
+            Ok((_, findings)) => {
+                let mut diags: Vec<accparse::Diag> = findings.into_iter().map(|f| f.diag).collect();
+                if werror {
+                    for d in &mut diags {
+                        if d.severity == Severity::Warning {
+                            d.severity = Severity::Error;
+                        }
+                    }
+                }
+                (diags, false)
+            }
+            Err(d) => (vec![d], true),
+        };
+        let failed = parse_failed || diags.iter().any(|d| d.severity == Severity::Error);
+        Ok(obj(vec![
+            ("ok", Json::Bool(!failed)),
+            ("diagnostics", Json::Raw(diags_to_json(&diags, source))),
+        ]))
+    }
+
+    /// `/verify` — the static-verification section of
+    /// `uhacc-cc <src> --verify`, without the plan/kernel listings.
+    fn ep_verify(&self, v: &Json) -> Result<Json, (u16, String)> {
+        let source = req_source(v)?;
+        let compiler = req_compiler(v)?;
+        let dims = req_dims(v)?;
+        let opts = compiler.base_options();
+        let (prog, key, _) = self
+            .get_or_parse(source, &opts)
+            .map_err(|d| (422, d.render(source)))?;
+        let regions = &self.regions;
+        let compile = |region: usize, dims: LaunchDims| {
+            regions.get_or_compile(
+                accrt::RegionKey {
+                    program: key,
+                    region,
+                    dims,
+                },
+                || uhacc_core::compile_region(&prog, region, dims, &opts),
+            )
+        };
+        let emit = EmitFlags {
+            hir: false,
+            kernel: false,
+            plan: false,
+            verify: true,
+        };
+        let out = driver::compile_text(&prog, dims, compiler.name(), emit, &compile)
+            .map_err(|(region, d)| (422, format!("region {region}: {}", d.render(source))))?;
+        Ok(obj(vec![
+            ("ok", Json::Bool(out.verify_errors == 0)),
+            ("verify_errors", Json::Num(out.verify_errors as f64)),
+            ("text", Json::Str(out.text)),
+        ]))
+    }
+
+    /// `/run` — `results` is byte-identical to `uhacc-cc <src> --run`.
+    fn ep_run(&self, v: &Json) -> Result<Json, (u16, String)> {
+        let (body, cache) = self.execute(v, false)?;
+        Ok(obj(vec![("results", Json::Raw(body)), ("cache", cache)]))
+    }
+
+    /// `/profile` — `profile` is byte-identical to
+    /// `uhacc-cc <src> --profile=json`.
+    fn ep_profile(&self, v: &Json) -> Result<Json, (u16, String)> {
+        let (body, cache) = self.execute(v, true)?;
+        Ok(obj(vec![("profile", Json::Raw(body)), ("cache", cache)]))
+    }
+
+    /// Shared `/run`-`/profile` path: cached parse, session over shared
+    /// artifacts, deterministic inputs, full device run on this worker.
+    fn execute(&self, v: &Json, profile: bool) -> Result<(String, Json), (u16, String)> {
+        let source = req_source(v)?;
+        let compiler = req_compiler(v)?;
+        let req = RunRequest {
+            opts: compiler.base_options(),
+            dims: req_dims(v)?,
+            n: req_count(v, "n")?.unwrap_or(RunRequest::default().n),
+            host_threads: req_count_u32(v, "host_threads")?.unwrap_or(0),
+        };
+        let (prog, key, program_hit) = self
+            .get_or_parse(source, &req.opts)
+            .map_err(|d| (422, d.render(source)))?;
+        let mut r = AccRunner::from_shared(prog, req.opts.clone(), req.dims, Device::default());
+        r.set_source(source);
+        r.set_region_cache(Arc::clone(&self.regions), key);
+        driver::execute(&mut r, &req, profile).map_err(|e| (422, e.to_string()))?;
+        let body = if profile {
+            r.profile_json()
+        } else {
+            driver::results_json(&r)
+        };
+        let cache = obj(vec![
+            ("program_hit", Json::Bool(program_hit)),
+            ("session_compiles", Json::Num(r.compiles() as f64)),
+        ]);
+        Ok((body, cache))
+    }
+}
+
+fn err_body(msg: &str) -> String {
+    obj(vec![("error", Json::Str(msg.into()))]).to_string()
+}
+
+fn req_source(v: &Json) -> Result<&str, (u16, String)> {
+    v.get("source")
+        .and_then(Json::as_str)
+        .ok_or_else(|| (400, "missing required string field `source`".into()))
+}
+
+fn req_bool(v: &Json, field: &str) -> Result<Option<bool>, (u16, String)> {
+    match v.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(b) => b
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| (400, format!("field `{field}` must be a boolean"))),
+    }
+}
+
+/// Numeric request fields go through the *same* validation as the CLI
+/// flags (`uhacc_core::flags::parse_count`): a string or a number is
+/// accepted, anything malformed gets the identical rendered diagnostic.
+fn req_count(v: &Json, field: &str) -> Result<Option<u64>, (u16, String)> {
+    match v.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => uhacc_core::flags::parse_count(field, &x.literal())
+            .map(Some)
+            .map_err(|e| (400, e)),
+    }
+}
+
+fn req_count_u32(v: &Json, field: &str) -> Result<Option<u32>, (u16, String)> {
+    match v.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => parse_count_u32(field, &x.literal())
+            .map(Some)
+            .map_err(|e| (400, e)),
+    }
+}
+
+fn req_compiler(v: &Json) -> Result<Compiler, (u16, String)> {
+    match v.get("compiler") {
+        None | Some(Json::Null) => Ok(Compiler::OpenUH),
+        Some(c) => match c.as_str() {
+            Some("openuh") => Ok(Compiler::OpenUH),
+            Some("pgi") => Ok(Compiler::PgiLike),
+            Some("caps") => Ok(Compiler::CapsLike),
+            _ => Err((
+                400,
+                format!("field `compiler` must be one of openuh | pgi | caps, got {c}"),
+            )),
+        },
+    }
+}
+
+fn req_dims(v: &Json) -> Result<LaunchDims, (u16, String)> {
+    match v.get("dims") {
+        None | Some(Json::Null) => Ok(LaunchDims::paper()),
+        Some(d) => {
+            let items = d.as_arr().filter(|a| a.len() == 3).ok_or_else(|| {
+                (
+                    400,
+                    "field `dims` must be a 3-element array [gangs, workers, vector]".to_string(),
+                )
+            })?;
+            let mut nums = [0u32; 3];
+            for (i, item) in items.iter().enumerate() {
+                nums[i] = parse_count_u32("dims", &item.literal()).map_err(|e| (400, e))?;
+            }
+            Ok(LaunchDims {
+                gangs: nums[0],
+                workers: nums[1],
+                vector: nums[2],
+            })
+        }
+    }
+}
+
+fn req_emit(v: &Json) -> Result<EmitFlags, (u16, String)> {
+    let mut emit = EmitFlags::default();
+    if let Some(e) = v.get("emit") {
+        if matches!(e, Json::Null) {
+            // keep defaults
+        } else {
+            let items = e.as_arr().ok_or_else(|| {
+                (
+                    400,
+                    "field `emit` must be an array of hir | kernel | plan | all".to_string(),
+                )
+            })?;
+            emit.hir = false;
+            emit.kernel = false;
+            emit.plan = false;
+            for item in items {
+                match item.as_str() {
+                    Some("hir") => emit.hir = true,
+                    Some("kernel") => emit.kernel = true,
+                    Some("plan") => emit.plan = true,
+                    Some("all") => {
+                        emit.hir = true;
+                        emit.kernel = true;
+                        emit.plan = true;
+                    }
+                    _ => {
+                        return Err((
+                            400,
+                            format!(
+                                "invalid emit entry {item}: expected hir | kernel | plan | all"
+                            ),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    if let Some(b) = req_bool(v, "verify")? {
+        emit.verify = b;
+    }
+    Ok(emit)
+}
+
+/// Accept loop: every connection becomes one FIFO job on the shared
+/// worker pool. Blocks forever (until the listener errors).
+pub fn serve(daemon: Arc<Daemon>, listener: TcpListener, pool: Arc<WorkerPool>) {
+    for stream in listener.incoming() {
+        let mut stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let daemon = Arc::clone(&daemon);
+        pool.submit(move || {
+            let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(120)));
+            match read_request(&mut stream) {
+                Ok(Some(req)) => {
+                    let (status, body) = daemon.handle(&req);
+                    let _ = write_response(&mut stream, status, body.as_bytes());
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    let _ = write_response(
+                        &mut stream,
+                        400,
+                        err_body(&format!("bad request: {e}")).as_bytes(),
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// Bind `addr`, spawn the accept loop on a background thread, and return
+/// the bound address (useful with port 0) plus the daemon handle.
+/// Used by `--loadgen --spawn`, the end-to-end tests, and CI.
+pub fn spawn(cfg: DaemonConfig, addr: &str) -> std::io::Result<(SocketAddr, Arc<Daemon>)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let daemon = Daemon::new(cfg.clone());
+    let pool = Arc::new(WorkerPool::new(cfg.workers));
+    let d = Arc::clone(&daemon);
+    std::thread::Builder::new()
+        .name("uhaccd-accept".into())
+        .spawn(move || serve(d, listener, pool))
+        .expect("spawn accept thread");
+    Ok((local, daemon))
+}

@@ -1,0 +1,119 @@
+//! Concurrency property: N sessions through the shared worker pool
+//! produce results, stats, and profile JSON **byte-identical** to the
+//! same requests issued sequentially — across random request mixes,
+//! problem sizes, and worker counts.
+//!
+//! This is the service-level extension of the runtime's determinism
+//! guarantee (see `accrt/tests/parallel_determinism.rs`): sharing
+//! `Arc<AnalyzedProgram>` and `Arc<CompiledRegion>` across concurrent
+//! sessions must not introduce any observable coupling between them.
+
+use proptest::prelude::*;
+use uhaccd::http;
+use uhaccd::json::Json;
+use uhaccd::{service, DaemonConfig};
+
+const SOURCES: [&str; 3] = [
+    // gang+vector int sum
+    "int N; int s;\nint a[N];\ns = 0;\n#pragma acc parallel loop gang vector \
+     reduction(+:s) copyin(a)\nfor (int i = 0; i < N; i++) { s += a[i]; }\n",
+    // gang+worker+vector double sum (rounding-order sensitive)
+    "int N; double s;\ndouble a[N];\ns = 0.0;\n#pragma acc parallel loop gang worker \
+     vector reduction(+:s) copyin(a)\nfor (int i = 0; i < N; i++) { s += a[i]; }\n",
+    // min+max pair
+    "int N; int lo; int hi;\nint a[N];\nlo = 2147483647;\nhi = -2147483648;\n#pragma acc \
+     parallel loop gang vector reduction(min:lo) reduction(max:hi) copyin(a)\nfor (int i = \
+     0; i < N; i++) { lo = min(lo, a[i]); hi = max(hi, a[i]); }\n",
+];
+
+#[derive(Debug, Clone)]
+struct Req {
+    path: &'static str,
+    body: String,
+}
+
+fn make_req(source_idx: usize, profile: bool, n: u64) -> Req {
+    let src = Json::Str(SOURCES[source_idx % SOURCES.len()].into());
+    Req {
+        path: if profile { "/profile" } else { "/run" },
+        body: format!("{{\"source\":{src},\"n\":{n}}}"),
+    }
+}
+
+fn post_ok(addr: std::net::SocketAddr, req: &Req) -> String {
+    let (status, body) = http::post(addr, req.path, &req.body).expect("transport");
+    assert_eq!(status, 200, "{} -> {body}", req.path);
+    body
+}
+
+/// Issue `reqs` strictly one at a time, then again from `reqs.len()`
+/// threads at once against a multi-worker daemon, and require every
+/// response pair to be byte-identical.
+fn concurrent_equals_sequential(reqs: &[Req], workers: usize) {
+    let (addr, _daemon) = service::spawn(
+        DaemonConfig {
+            workers,
+            ..DaemonConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("spawn daemon");
+
+    let sequential: Vec<String> = reqs.iter().map(|r| post_ok(addr, r)).collect();
+
+    let concurrent: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = reqs
+            .iter()
+            .map(|r| scope.spawn(move || post_ok(addr, r)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (i, (seq, conc)) in sequential.iter().zip(&concurrent).enumerate() {
+        // The cache annotation legitimately differs (the sequential pass
+        // warmed the caches); the payload must not.
+        let strip = |s: &str| {
+            let v = uhaccd::json::parse(s).expect("response JSON");
+            match v {
+                Json::Obj(fields) => {
+                    Json::Obj(fields.into_iter().filter(|(k, _)| k != "cache").collect())
+                        .to_string()
+                }
+                other => other.to_string(),
+            }
+        };
+        assert_eq!(
+            strip(seq),
+            strip(conc),
+            "request {i} ({}) diverged between sequential and concurrent service",
+            reqs[i].path
+        );
+    }
+}
+
+#[test]
+fn mixed_burst_is_deterministic() {
+    // A fixed 12-request burst mixing all sources, both endpoints, and
+    // several sizes, against 4 workers.
+    let mut reqs = Vec::new();
+    for i in 0..12usize {
+        reqs.push(make_req(i, i % 3 == 0, 500 + 700 * (i as u64 % 4)));
+    }
+    concurrent_equals_sequential(&reqs, 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+
+    #[test]
+    fn random_burst_is_deterministic(
+        picks in proptest::collection::vec((0usize..3, any::<bool>(), 64u64..4096), 3..9),
+        workers in 2usize..5,
+    ) {
+        let reqs: Vec<Req> = picks
+            .into_iter()
+            .map(|(s, p, n)| make_req(s, p, n))
+            .collect();
+        concurrent_equals_sequential(&reqs, workers);
+    }
+}

@@ -1,0 +1,283 @@
+//! End-to-end tests over real TCP: spawn the daemon on an ephemeral
+//! port, drive every endpoint, and pin the two headline guarantees —
+//!
+//! 1. **Byte-identity**: `/compile`, `/run`, `/profile`, and `/lint`
+//!    bodies match the single-shot `uhacc::driver` outputs (what
+//!    `uhacc-cc` prints) exactly.
+//! 2. **Counter-verified caching**: a repeated identical request is a
+//!    program-cache *and* artifact-cache hit — the response says so, the
+//!    `/health` counters say so, and the warm session performed zero
+//!    region compilations.
+
+use uhacc::driver::{self, EmitFlags, RunRequest};
+use uhacc_core::{CompilerOptions, LaunchDims};
+use uhaccd::http;
+use uhaccd::json::{parse, Json};
+use uhaccd::{service, DaemonConfig};
+
+const SRC: &str = "int N; double s;\ndouble a[N];\ns = 0.0;\n#pragma acc parallel loop \
+                   gang vector reduction(+:s) copyin(a)\nfor (int i = 0; i < N; i++) { s \
+                   += a[i]; }\n";
+
+fn spawn_daemon(workers: usize) -> std::net::SocketAddr {
+    let (addr, _daemon) = service::spawn(
+        DaemonConfig {
+            workers,
+            ..DaemonConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("spawn daemon");
+    addr
+}
+
+fn src_json() -> String {
+    Json::Str(SRC.into()).to_string()
+}
+
+#[test]
+fn health_reports_workers_and_counters() {
+    let addr = spawn_daemon(3);
+    let (status, body) = http::get(addr, "/health").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = parse(&body).unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(v.get("workers").and_then(Json::as_f64), Some(3.0));
+    assert!(v.get("programs").is_some());
+    assert!(v.get("regions").is_some());
+}
+
+#[test]
+fn run_body_matches_cli_driver_byte_for_byte() {
+    let addr = spawn_daemon(2);
+    let body = format!("{{\"source\":{},\"n\":1000}}", src_json());
+    let (status, resp) = http::post(addr, "/run", &body).unwrap();
+    assert_eq!(status, 200, "{resp}");
+    let v = parse(&resp).unwrap();
+    // `results` was spliced raw; re-extract it as a substring to avoid
+    // any reserialization: find the exact driver output inside the body.
+    let want = driver::run_json(
+        SRC,
+        &RunRequest {
+            n: 1000,
+            ..RunRequest::default()
+        },
+        |_| {},
+    )
+    .unwrap();
+    assert!(
+        resp.contains(&format!("\"results\":{want}")),
+        "daemon /run body does not embed the CLI --run output verbatim:\n{resp}\nwant: {want}"
+    );
+    // And semantic sanity: the reduction result is present.
+    assert!(v.get("results").is_some());
+}
+
+#[test]
+fn profile_body_matches_cli_driver_byte_for_byte() {
+    let addr = spawn_daemon(2);
+    let body = format!("{{\"source\":{},\"n\":512}}", src_json());
+    let (status, resp) = http::post(addr, "/profile", &body).unwrap();
+    assert_eq!(status, 200, "{resp}");
+    let want = driver::profile_json(
+        SRC,
+        &RunRequest {
+            n: 512,
+            ..RunRequest::default()
+        },
+        |_| {},
+    )
+    .unwrap();
+    assert!(
+        resp.contains(&format!("\"profile\":{want}")),
+        "daemon /profile body does not embed the CLI --profile=json output verbatim"
+    );
+}
+
+#[test]
+fn compile_text_matches_cli_driver() {
+    let addr = spawn_daemon(2);
+    let body = format!("{{\"source\":{},\"verify\":true}}", src_json());
+    let (status, resp) = http::post(addr, "/compile", &body).unwrap();
+    assert_eq!(status, 200, "{resp}");
+    let v = parse(&resp).unwrap();
+    let got_text = v.get("text").and_then(Json::as_str).unwrap();
+
+    let hir = accparse::compile(SRC).unwrap();
+    let opts = CompilerOptions::openuh();
+    let emit = EmitFlags {
+        verify: true,
+        ..EmitFlags::default()
+    };
+    let want = driver::compile_text(
+        &hir,
+        LaunchDims::paper(),
+        "OpenUH",
+        emit,
+        &driver::direct_compiler(&hir, &opts),
+    )
+    .unwrap();
+    assert_eq!(got_text, want.text, "daemon /compile text differs from CLI");
+    assert_eq!(
+        v.get("verify_errors").and_then(Json::as_f64),
+        Some(want.verify_errors as f64)
+    );
+}
+
+#[test]
+fn lint_diagnostics_match_cli_json() {
+    use accparse::diag::diags_to_json;
+    // A source that lints dirty: reduction clause stripped.
+    let dirty = "int N; double s;\ndouble a[N];\ns = 0.0;\n#pragma acc parallel loop gang \
+                 vector copyin(a)\nfor (int i = 0; i < N; i++) { s += a[i]; }\n";
+    let addr = spawn_daemon(1);
+    let body = format!("{{\"source\":{}}}", Json::Str(dirty.into()));
+    let (status, resp) = http::post(addr, "/lint", &body).unwrap();
+    assert_eq!(status, 200, "{resp}");
+    let (_, findings) = accparse::lint_source(dirty).unwrap();
+    let diags: Vec<accparse::Diag> = findings.into_iter().map(|f| f.diag).collect();
+    let want = diags_to_json(&diags, dirty);
+    assert!(
+        !diags.is_empty(),
+        "expected lint findings for stripped clause"
+    );
+    assert!(
+        resp.contains(&format!("\"diagnostics\":{want}")),
+        "daemon /lint diagnostics differ from `uhacc-cc --lint --json`:\n{resp}\nwant: {want}"
+    );
+}
+
+#[test]
+fn verify_endpoint_reports_clean_kernel() {
+    let addr = spawn_daemon(1);
+    let body = format!("{{\"source\":{}}}", src_json());
+    let (status, resp) = http::post(addr, "/verify", &body).unwrap();
+    assert_eq!(status, 200, "{resp}");
+    let v = parse(&resp).unwrap();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(v.get("verify_errors").and_then(Json::as_f64), Some(0.0));
+    assert!(v
+        .get("text")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("static verification"));
+}
+
+#[test]
+fn repeated_request_is_counter_verified_cache_hit() {
+    let addr = spawn_daemon(2);
+    let body = format!("{{\"source\":{},\"verify\":true}}", src_json());
+
+    // Cold: program miss, real region compiles.
+    let (_, cold) = http::post(addr, "/compile", &body).unwrap();
+    let cold = parse(&cold).unwrap();
+    let cc = cold.get("cache").unwrap();
+    assert_eq!(cc.get("program_hit").and_then(Json::as_bool), Some(false));
+    assert!(cc.get("region_compiles").and_then(Json::as_f64).unwrap() >= 1.0);
+    assert_eq!(cc.get("region_hits").and_then(Json::as_f64), Some(0.0));
+
+    // Warm: program hit, zero compiles, all artifact hits.
+    let (_, warm) = http::post(addr, "/compile", &body).unwrap();
+    let warm = parse(&warm).unwrap();
+    let wc = warm.get("cache").unwrap();
+    assert_eq!(wc.get("program_hit").and_then(Json::as_bool), Some(true));
+    assert_eq!(wc.get("region_compiles").and_then(Json::as_f64), Some(0.0));
+    assert!(wc.get("region_hits").and_then(Json::as_f64).unwrap() >= 1.0);
+
+    // Identical rendered text either way.
+    assert_eq!(
+        cold.get("text").and_then(Json::as_str),
+        warm.get("text").and_then(Json::as_str)
+    );
+
+    // /run on the same (source, options): the parse is skipped (program
+    // cache hit from /compile). The first /run still compiles once — the
+    // runtime resolves this region's dims to (192,1,128), a different
+    // artifact than /compile's requested (192,8,128) — but the second
+    // /run is a full warm hit: zero parses, zero compiles in-session.
+    let run_body = format!("{{\"source\":{},\"n\":256}}", src_json());
+    let (_, r1) = http::post(addr, "/run", &run_body).unwrap();
+    let r1 = parse(&r1).unwrap();
+    let r1c = r1.get("cache").unwrap();
+    assert_eq!(r1c.get("program_hit").and_then(Json::as_bool), Some(true));
+    assert!(r1c.get("session_compiles").and_then(Json::as_f64).unwrap() >= 1.0);
+
+    let (_, r2) = http::post(addr, "/run", &run_body).unwrap();
+    let r2 = parse(&r2).unwrap();
+    let r2c = r2.get("cache").unwrap();
+    assert_eq!(r2c.get("program_hit").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        r2c.get("session_compiles").and_then(Json::as_f64),
+        Some(0.0),
+        "warm /run must not compile: artifacts were cached by the first /run"
+    );
+    // And the two runs' payloads are byte-identical.
+    assert_eq!(
+        r1.get("results").map(Json::to_string),
+        r2.get("results").map(Json::to_string)
+    );
+
+    // /health shows the hits.
+    let (_, health) = http::get(addr, "/health").unwrap();
+    let h = parse(&health).unwrap();
+    let prog_hits = h
+        .get("programs")
+        .and_then(|p| p.get("hits"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    let region_hits = h
+        .get("regions")
+        .and_then(|p| p.get("hits"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(prog_hits >= 2.0, "health: {health}");
+    assert!(region_hits >= 1.0, "health: {health}");
+}
+
+#[test]
+fn validation_errors_are_strict_and_rendered() {
+    let addr = spawn_daemon(1);
+
+    // Garbage JSON.
+    let (status, resp) = http::post(addr, "/run", "{not json").unwrap();
+    assert_eq!(status, 400);
+    assert!(resp.contains("invalid JSON"));
+
+    // Missing source.
+    let (status, resp) = http::post(addr, "/run", "{}").unwrap();
+    assert_eq!(status, 400);
+    assert!(resp.contains("source"));
+
+    // Garbage numeric field: same diagnostic the CLI renders for flags.
+    let body = format!("{{\"source\":{},\"n\":\"bogus\"}}", src_json());
+    let (status, resp) = http::post(addr, "/run", &body).unwrap();
+    assert_eq!(status, 400, "{resp}");
+    assert!(
+        resp.contains("invalid value for n: expected a non-negative integer, got `bogus`"),
+        "{resp}"
+    );
+
+    // Negative and fractional numbers are rejected the same way.
+    let body = format!("{{\"source\":{},\"host_threads\":-2}}", src_json());
+    let (status, resp) = http::post(addr, "/run", &body).unwrap();
+    assert_eq!(status, 400);
+    assert!(resp.contains("invalid value for host_threads"), "{resp}");
+
+    let body = format!("{{\"source\":{},\"dims\":[192,8]}}", src_json());
+    let (status, resp) = http::post(addr, "/run", &body).unwrap();
+    assert_eq!(status, 400);
+    assert!(resp.contains("dims"), "{resp}");
+
+    // Unknown endpoint / bad method.
+    let (status, _) = http::post(addr, "/nope", "{}").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = http::request(addr, "DELETE", "/run", "").unwrap();
+    assert_eq!(status, 405);
+
+    // A program error is 422, with the rendered front-end diagnostic.
+    let bad_src = "int N;\n#pragma acc parallel loop\nfor (int i = 0; i < N; i++) { x += 1; }\n";
+    let body = format!("{{\"source\":{}}}", Json::Str(bad_src.into()));
+    let (status, resp) = http::post(addr, "/run", &body).unwrap();
+    assert_eq!(status, 422, "{resp}");
+    assert!(resp.contains("error"), "{resp}");
+}

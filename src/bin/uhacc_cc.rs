@@ -8,9 +8,10 @@
 
 use std::io::Read;
 use uhacc::baselines::Compiler;
-use uhacc::core::{compile_region, CompilerOptions, LaunchDims};
+use uhacc::core::flags::{host_threads_from_env, parse_count, parse_count_u32};
+use uhacc::core::{CompilerOptions, LaunchDims};
+use uhacc::driver::{self, EmitFlags, RunRequest};
 use uhacc::parse as accparse;
-use uhacc::sim::{verify_kernel, LaunchConfig, VerifyConfig};
 
 /// Output format for `--profile`.
 #[derive(Clone, Copy, PartialEq)]
@@ -24,15 +25,13 @@ struct Args {
     input: String,
     dims: LaunchDims,
     compiler: Compiler,
-    emit_hir: bool,
-    emit_kernel: bool,
-    emit_plan: bool,
+    emit: EmitFlags,
     sanitize: bool,
-    verify: bool,
     lint: bool,
     werror: bool,
     json: bool,
     profile: Option<ProfileMode>,
+    run: bool,
     n: u64,
     host_threads: u32,
 }
@@ -56,60 +55,82 @@ fn usage() -> ! {
                                compiling; exit 1 if any error-level finding\n\
            --werror            with --lint: treat warnings as errors\n\
            --json              with --lint: print diagnostics as JSON\n\
+           --run               compile, auto-bind deterministic inputs, run\n\
+                               on the simulator, and print scalar results +\n\
+                               device statistics as stable JSON (the same\n\
+                               body the uhaccd /run endpoint returns)\n\
            --profile[=FMT]     compile, auto-bind deterministic inputs, run\n\
                                on the simulator, and print a profile with\n\
                                per-source-line and per-pc cycle/stall\n\
                                attribution; FMT is text (default), json\n\
                                (stable machine-readable), or trace (a\n\
                                Chrome/Perfetto timeline)\n\
-           --n N               with --profile: problem size bound to every\n\
-                               integer host scalar (default 65536)\n\
-           --host-threads N    simulator host worker threads for --sanitize\n\
-                               and --profile (0 = auto, 1 = sequential;\n\
+           --n N               with --run/--profile: problem size bound to\n\
+                               every integer host scalar (default 65536)\n\
+           --host-threads N    simulator host worker threads for --sanitize,\n\
+                               --run and --profile (0 = auto, 1 = sequential;\n\
                                results are bit-identical at any setting)\n\
            -h, --help          this message"
     );
     std::process::exit(2);
 }
 
+/// Reject a malformed option value: rendered diagnostic, exit code 2
+/// (distinct from exit 1 = the input program failed).
+fn flag_err(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
 fn parse_args() -> Args {
+    // A garbage UHACC_HOST_THREADS would otherwise be silently treated
+    // as "auto" deep in the simulator; surface it here instead.
+    if let Err(e) = host_threads_from_env() {
+        flag_err(e);
+    }
     let mut args = Args {
         input: String::new(),
         dims: LaunchDims::paper(),
         compiler: Compiler::OpenUH,
-        emit_hir: false,
-        emit_kernel: true,
-        emit_plan: true,
+        emit: EmitFlags::default(),
         sanitize: false,
-        verify: false,
         lint: false,
         werror: false,
         json: false,
         profile: None,
+        run: false,
         n: 65536,
         host_threads: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let mut have_input = false;
+    let need_val = |argv: &[String], i: usize, flag: &str| -> String {
+        argv.get(i)
+            .cloned()
+            .unwrap_or_else(|| flag_err(format!("{flag} requires a value")))
+    };
     while i < argv.len() {
         match argv[i].as_str() {
             "-h" | "--help" => usage(),
             "--dims" => {
                 i += 1;
-                let parts: Vec<u32> = argv
-                    .get(i)
-                    .unwrap_or_else(|| usage())
-                    .split(',')
-                    .filter_map(|p| p.parse().ok())
-                    .collect();
+                let v = need_val(&argv, i, "--dims");
+                let parts: Vec<&str> = v.split(',').collect();
                 if parts.len() != 3 {
-                    usage();
+                    flag_err(format!(
+                        "invalid value for --dims: expected G,W,V (three comma-separated \
+                         non-negative integers), got `{v}`"
+                    ));
+                }
+                let mut nums = [0u32; 3];
+                for (k, p) in parts.iter().enumerate() {
+                    nums[k] = parse_count_u32("--dims", p).unwrap_or_else(|e| flag_err(e));
                 }
                 args.dims = LaunchDims {
-                    gangs: parts[0],
-                    workers: parts[1],
-                    vector: parts[2],
+                    gangs: nums[0],
+                    workers: nums[1],
+                    vector: nums[2],
                 };
             }
             "--compiler" => {
@@ -123,25 +144,29 @@ fn parse_args() -> Args {
             }
             "--emit" => {
                 i += 1;
-                args.emit_hir = false;
-                args.emit_kernel = false;
-                args.emit_plan = false;
+                args.emit = EmitFlags {
+                    hir: false,
+                    kernel: false,
+                    plan: false,
+                    verify: args.emit.verify,
+                };
                 for w in argv.get(i).unwrap_or_else(|| usage()).split(',') {
                     match w {
-                        "hir" => args.emit_hir = true,
-                        "kernel" => args.emit_kernel = true,
-                        "plan" => args.emit_plan = true,
+                        "hir" => args.emit.hir = true,
+                        "kernel" => args.emit.kernel = true,
+                        "plan" => args.emit.plan = true,
                         "all" => {
-                            args.emit_hir = true;
-                            args.emit_kernel = true;
-                            args.emit_plan = true;
+                            args.emit.hir = true;
+                            args.emit.kernel = true;
+                            args.emit.plan = true;
                         }
                         _ => usage(),
                     }
                 }
             }
             "--sanitize" => args.sanitize = true,
-            "--verify" => args.verify = true,
+            "--verify" => args.emit.verify = true,
+            "--run" => args.run = true,
             "--profile" => args.profile = Some(ProfileMode::Text),
             s if s.starts_with("--profile=") => {
                 args.profile = Some(match &s["--profile=".len()..] {
@@ -153,20 +178,17 @@ fn parse_args() -> Args {
             }
             "--n" => {
                 i += 1;
-                args.n = argv
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+                let v = need_val(&argv, i, "--n");
+                args.n = parse_count("--n", &v).unwrap_or_else(|e| flag_err(e));
             }
             "--lint" => args.lint = true,
             "--werror" => args.werror = true,
             "--json" => args.json = true,
             "--host-threads" => {
                 i += 1;
-                args.host_threads = argv
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+                let v = need_val(&argv, i, "--host-threads");
+                args.host_threads =
+                    parse_count_u32("--host-threads", &v).unwrap_or_else(|e| flag_err(e));
             }
             f if !f.starts_with('-') || f == "-" => {
                 if have_input {
@@ -222,66 +244,36 @@ fn run_lint(src: &str, werror: bool, json: bool) -> ! {
     std::process::exit(if failed { 1 } else { 0 });
 }
 
-/// Compile, auto-bind deterministic inputs, run every region on the
-/// simulator, and print the requested profile export. Every integer host
-/// scalar is bound to `--n`, floats to 0, and arrays to a fixed pattern,
-/// so the profile is reproducible run to run.
-fn run_profile(src: &str, args: &Args, mode: ProfileMode) -> ! {
-    use uhacc::parse::ast::CType;
-    use uhacc::rt::{eval_host_extent, AccRunner, HostBuffer};
-    use uhacc::sim::{Device, Value};
+fn run_request(args: &Args) -> RunRequest {
+    RunRequest {
+        opts: args.compiler.base_options(),
+        dims: args.dims,
+        n: args.n,
+        host_threads: args.host_threads,
+    }
+}
 
+/// Compile, auto-bind deterministic inputs, run every region on the
+/// simulator, and print the requested profile export (see
+/// [`uhacc::driver`] — the daemon's `/profile` endpoint shares this
+/// path, so outputs agree byte for byte).
+fn run_profile(src: &str, args: &Args, mode: ProfileMode) -> ! {
+    use uhacc::rt::AccRunner;
+    use uhacc::sim::Device;
+
+    let req = run_request(args);
     let fail = |e: &dyn std::fmt::Display| -> ! {
         eprintln!("error: {e}");
         std::process::exit(1);
     };
-    let opts: CompilerOptions = args.compiler.base_options();
-    let mut r = match AccRunner::with_options(src, opts, args.dims, Device::default()) {
+    let mut r = match AccRunner::with_options(src, req.opts.clone(), req.dims, Device::default()) {
         Ok(r) => r,
         Err(e) => fail(&e),
     };
-    r.set_host_threads(args.host_threads);
+    r.set_host_threads(req.host_threads);
     r.profile(true);
-    let hosts: Vec<(String, CType)> = r
-        .program()
-        .hosts
-        .iter()
-        .map(|h| (h.name.clone(), h.ty))
-        .collect();
-    for (name, ty) in &hosts {
-        let res = match ty {
-            CType::Int | CType::Long => r.bind_int(name, args.n as i64),
-            CType::Float | CType::Double => r.bind_float(name, 0.0),
-        };
-        if let Err(e) = res {
-            fail(&e);
-        }
-    }
-    if let Err(e) = r.run_host_assigns() {
+    if let Err(e) = r.bind_deterministic_inputs(req.n) {
         fail(&e);
-    }
-    let scalars: Vec<Value> = hosts.iter().map(|(n, _)| r.scalar(n).unwrap()).collect();
-    let arrays = r.program().arrays.clone();
-    for a in &arrays {
-        let mut elems = 1u64;
-        for d in &a.dims {
-            match eval_host_extent(d, &scalars, &format!("dimension of `{}`", a.name)) {
-                Ok(v) => elems *= v,
-                Err(e) => fail(&e),
-            }
-        }
-        let mut buf = HostBuffer::new(a.ty, elems as usize);
-        for i in 0..elems as usize {
-            let k = (i as i64 * 7 + 3) % 101 - 50;
-            let v = match a.ty {
-                CType::Int | CType::Long => Value::I64(k),
-                CType::Float | CType::Double => Value::F64(k as f64 / 101.0),
-            };
-            buf.set(i, v);
-        }
-        if let Err(e) = r.bind_array(&a.name, buf) {
-            fail(&e);
-        }
     }
     if let Err(e) = r.run() {
         fail(&e);
@@ -324,6 +316,21 @@ fn main() {
         run_lint(&src, args.werror, args.json);
     }
 
+    if args.run {
+        match driver::run_json(&src, &run_request(&args), |r| {
+            r.set_source(&src);
+        }) {
+            Ok(body) => {
+                println!("{body}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if let Some(mode) = args.profile {
         run_profile(&src, &args, mode);
     }
@@ -336,96 +343,22 @@ fn main() {
         }
     };
 
-    println!(
-        "// uhacc-cc: {} region(s), compiler = {}, dims = {}x{}x{}",
-        hir.regions.len(),
-        args.compiler.name(),
-        args.dims.gangs,
-        args.dims.workers,
-        args.dims.vector
-    );
-    if args.emit_hir {
-        println!("\n// ---- HIR ----");
-        println!(
-            "// hosts : {:?}",
-            hir.hosts.iter().map(|h| &h.name).collect::<Vec<_>>()
-        );
-        println!(
-            "// arrays: {:?}",
-            hir.arrays.iter().map(|a| &a.name).collect::<Vec<_>>()
-        );
-        for (i, r) in hir.regions.iter().enumerate() {
-            println!(
-                "// region {i}: {} locals, {} data bindings",
-                r.locals.len(),
-                r.data.len()
-            );
-            accparse::hir::visit_loops(&r.body, &mut |l| {
-                println!(
-                    "//   loop local#{} sched {:?} reductions {:?}",
-                    l.var,
-                    l.sched,
-                    l.reductions
-                        .iter()
-                        .map(|rd| format!("{}:{:?}", rd.op.clause_token(), rd.span_levels))
-                        .collect::<Vec<_>>()
-                );
-            });
-        }
-    }
-
     let opts: CompilerOptions = args.compiler.base_options();
-    let mut verify_errors = 0u64;
-    for region in 0..hir.regions.len() {
-        match compile_region(&hir, region, args.dims, &opts) {
-            Ok(c) => {
-                if args.emit_plan {
-                    println!("\n// ---- region {region} plan ----");
-                    println!("// params   : {:?}", c.params);
-                    println!("// buffers  : {:?}", c.buffers);
-                    println!("// finalize : {} pass(es)", c.finalize.len());
-                    println!("// results  : {} host fold(s)", c.results.len());
-                    println!("// mailbox  : {:?}", c.mailbox);
-                    println!(
-                        "// shared   : {} bytes/block, {} registers/thread, {} instructions",
-                        c.main.shared_bytes,
-                        c.main.num_regs,
-                        c.main.insts.len()
-                    );
-                }
-                if args.emit_kernel {
-                    println!("\n{}", c.main.disasm());
-                    for f in &c.finalize {
-                        println!("{}", f.kernel.disasm());
-                    }
-                }
-                if args.verify {
-                    let vc = VerifyConfig::default();
-                    let main_cfg =
-                        LaunchConfig::gwv(args.dims.gangs, args.dims.workers, args.dims.vector);
-                    println!("\n// ---- region {region} static verification ----");
-                    let mut reports = vec![verify_kernel(&c.main, main_cfg, &vc)];
-                    for f in &c.finalize {
-                        reports.push(verify_kernel(
-                            &f.kernel,
-                            LaunchConfig::d1(1, f.threads),
-                            &vc,
-                        ));
-                    }
-                    for r in &reports {
-                        print!("{r}");
-                        verify_errors += r.errors();
-                    }
-                }
-            }
-            Err(d) => {
-                eprintln!("region {region}: {}", d.render(&src));
+    let compile = driver::direct_compiler(&hir, &opts);
+    match driver::compile_text(&hir, args.dims, args.compiler.name(), args.emit, &compile) {
+        Ok(out) => {
+            print!("{}", out.text);
+            if out.verify_errors > 0 {
+                eprintln!(
+                    "uhacc-cc: {} static verification error(s)",
+                    out.verify_errors
+                );
                 std::process::exit(1);
             }
         }
-    }
-    if verify_errors > 0 {
-        eprintln!("uhacc-cc: {verify_errors} static verification error(s)");
-        std::process::exit(1);
+        Err((region, d)) => {
+            eprintln!("region {region}: {}", d.render(&src));
+            std::process::exit(1);
+        }
     }
 }

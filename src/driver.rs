@@ -1,0 +1,348 @@
+//! Shared single-shot drivers: the *one* definition of what compiling,
+//! running, verifying, and profiling a source produces as text.
+//!
+//! Both surfaces — the `uhacc-cc` CLI and the `uhaccd` service endpoints
+//! — call these functions, so a daemon response is byte-identical to the
+//! corresponding single-shot CLI invocation by construction, not by
+//! parallel reimplementation. Keep every `format!` here; if an endpoint
+//! ever needs a different shape, add a new function rather than forking
+//! the string-building inline.
+
+use accparse::diag::Diag;
+use accparse::hir::AnalyzedProgram;
+use accrt::{AccError, AccRunner};
+use gpsim::{verify_kernel, Device, LaunchConfig, VerifyConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use uhacc_core::{CompiledRegion, CompilerOptions, LaunchDims};
+
+/// Which sections [`compile_text`] renders.
+#[derive(Debug, Clone, Copy)]
+pub struct EmitFlags {
+    pub hir: bool,
+    pub kernel: bool,
+    pub plan: bool,
+    pub verify: bool,
+}
+
+impl Default for EmitFlags {
+    fn default() -> Self {
+        EmitFlags {
+            hir: false,
+            kernel: true,
+            plan: true,
+            verify: false,
+        }
+    }
+}
+
+/// Result of [`compile_text`]: the rendered text plus the error-level
+/// static-verification finding count (nonzero => CLI exits 1).
+pub struct CompileOutput {
+    pub text: String,
+    pub verify_errors: u64,
+    /// The compiled artifacts, for callers (the daemon) that want to
+    /// share them onward.
+    pub regions: Vec<Arc<CompiledRegion>>,
+}
+
+/// Pluggable region compiler for [`compile_text`]: given a region index
+/// and dims, produce the artifact. The CLI compiles directly; the daemon
+/// passes a closure that consults its content-addressed cache first.
+pub type RegionCompiler<'c> = dyn Fn(usize, LaunchDims) -> Result<Arc<CompiledRegion>, Diag> + 'c;
+
+/// Render the compile products of every region — the exact text
+/// `uhacc-cc` prints for `--emit`/`--verify`. Errors carry the region
+/// index so the CLI can reproduce its `region N: <diag>` prefix.
+pub fn compile_text(
+    hir: &AnalyzedProgram,
+    dims: LaunchDims,
+    compiler_name: &str,
+    emit: EmitFlags,
+    compile: &RegionCompiler<'_>,
+) -> Result<CompileOutput, (usize, Diag)> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// uhacc-cc: {} region(s), compiler = {}, dims = {}x{}x{}",
+        hir.regions.len(),
+        compiler_name,
+        dims.gangs,
+        dims.workers,
+        dims.vector
+    );
+    if emit.hir {
+        let _ = writeln!(out, "\n// ---- HIR ----");
+        let _ = writeln!(
+            out,
+            "// hosts : {:?}",
+            hir.hosts.iter().map(|h| &h.name).collect::<Vec<_>>()
+        );
+        let _ = writeln!(
+            out,
+            "// arrays: {:?}",
+            hir.arrays.iter().map(|a| &a.name).collect::<Vec<_>>()
+        );
+        for (i, r) in hir.regions.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "// region {i}: {} locals, {} data bindings",
+                r.locals.len(),
+                r.data.len()
+            );
+            accparse::hir::visit_loops(&r.body, &mut |l| {
+                let _ = writeln!(
+                    out,
+                    "//   loop local#{} sched {:?} reductions {:?}",
+                    l.var,
+                    l.sched,
+                    l.reductions
+                        .iter()
+                        .map(|rd| format!("{}:{:?}", rd.op.clause_token(), rd.span_levels))
+                        .collect::<Vec<_>>()
+                );
+            });
+        }
+    }
+
+    let mut verify_errors = 0u64;
+    let mut regions = Vec::new();
+    for region in 0..hir.regions.len() {
+        let c = compile(region, dims).map_err(|d| (region, d))?;
+        if emit.plan {
+            let _ = writeln!(out, "\n// ---- region {region} plan ----");
+            let _ = writeln!(out, "// params   : {:?}", c.params);
+            let _ = writeln!(out, "// buffers  : {:?}", c.buffers);
+            let _ = writeln!(out, "// finalize : {} pass(es)", c.finalize.len());
+            let _ = writeln!(out, "// results  : {} host fold(s)", c.results.len());
+            let _ = writeln!(out, "// mailbox  : {:?}", c.mailbox);
+            let _ = writeln!(
+                out,
+                "// shared   : {} bytes/block, {} registers/thread, {} instructions",
+                c.main.shared_bytes,
+                c.main.num_regs,
+                c.main.insts.len()
+            );
+        }
+        if emit.kernel {
+            let _ = writeln!(out, "\n{}", c.main.disasm());
+            for f in &c.finalize {
+                let _ = writeln!(out, "{}", f.kernel.disasm());
+            }
+        }
+        if emit.verify {
+            let vc = VerifyConfig::default();
+            let main_cfg = LaunchConfig::gwv(dims.gangs, dims.workers, dims.vector);
+            let _ = writeln!(out, "\n// ---- region {region} static verification ----");
+            let mut reports = vec![verify_kernel(&c.main, main_cfg, &vc)];
+            for f in &c.finalize {
+                reports.push(verify_kernel(
+                    &f.kernel,
+                    LaunchConfig::d1(1, f.threads),
+                    &vc,
+                ));
+            }
+            for r in &reports {
+                let _ = write!(out, "{r}");
+                verify_errors += r.errors();
+            }
+        }
+        regions.push(c);
+    }
+    Ok(CompileOutput {
+        text: out,
+        verify_errors,
+        regions,
+    })
+}
+
+/// A [`RegionCompiler`] that compiles directly (no shared cache) — what
+/// the CLI uses.
+pub fn direct_compiler<'c>(
+    hir: &'c AnalyzedProgram,
+    opts: &'c CompilerOptions,
+) -> impl Fn(usize, LaunchDims) -> Result<Arc<CompiledRegion>, Diag> + 'c {
+    move |region, dims| uhacc_core::compile_region(hir, region, dims, opts).map(Arc::new)
+}
+
+/// Everything a deterministic single-shot execution needs.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    pub opts: CompilerOptions,
+    pub dims: LaunchDims,
+    /// Problem size bound to every integer host scalar.
+    pub n: u64,
+    /// Simulator host worker threads (0 = auto; results identical at any
+    /// setting).
+    pub host_threads: u32,
+}
+
+impl Default for RunRequest {
+    fn default() -> Self {
+        RunRequest {
+            opts: CompilerOptions::openuh(),
+            dims: LaunchDims::paper(),
+            n: 65536,
+            host_threads: 0,
+        }
+    }
+}
+
+/// Execute a prepared session under `req`: thread setting, optional
+/// profiler, deterministic input binding, full run. Both the CLI (fresh
+/// session) and the daemon (session built over cached artifacts via
+/// [`AccRunner::from_shared`]) funnel through this, so execution is
+/// identical regardless of how the session was constructed.
+pub fn execute(r: &mut AccRunner, req: &RunRequest, profile: bool) -> Result<(), AccError> {
+    r.set_host_threads(req.host_threads);
+    if profile {
+        r.profile(true);
+    }
+    r.bind_deterministic_inputs(req.n)?;
+    r.run()
+}
+
+/// Build a session for `req`, bind the deterministic inputs, and run the
+/// whole program. The `session` hook lets callers (the daemon) attach a
+/// shared program/artifact cache before anything executes.
+fn run_session(
+    src: &str,
+    req: &RunRequest,
+    session: impl FnOnce(&mut AccRunner),
+    profile: bool,
+) -> Result<AccRunner, AccError> {
+    let mut r = AccRunner::with_options(src, req.opts.clone(), req.dims, Device::default())?;
+    session(&mut r);
+    execute(&mut r, req, profile)?;
+    Ok(r)
+}
+
+/// Render a finished session's scalar results and device statistics as
+/// stable JSON — the `uhacc-cc --run` output and the `/run` endpoint
+/// body. Integer-only except scalar values, which use Rust's shortest
+/// round-trip float rendering (deterministic across platforms).
+pub fn results_json(r: &AccRunner) -> String {
+    let mut out = String::from("{\"scalars\":{");
+    let mut first = true;
+    for h in &r.program().hosts {
+        let v = r.scalar(&h.name).expect("declared scalar");
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = match v {
+            gpsim::Value::F32(_) | gpsim::Value::F64(_) => {
+                write!(out, "\"{}\":{}", h.name, fmt_f64(v.as_f64()))
+            }
+            _ => write!(out, "\"{}\":{}", h.name, v.as_i64()),
+        };
+    }
+    let s = r.device().stats();
+    let _ = write!(
+        out,
+        "}},\"stats\":{{\"launches\":{},\"kernel_cycles\":{},\"transfer_cycles\":{},\
+         \"total_cycles\":{},\"bytes_h2d\":{},\"bytes_d2h\":{},\"hazards\":{}}}}}",
+        s.launches,
+        s.kernel_cycles,
+        s.transfer_cycles,
+        s.total_cycles(),
+        s.bytes_h2d,
+        s.bytes_d2h,
+        s.totals.hazards
+    );
+    out
+}
+
+/// Shortest-round-trip float rendering that is always a valid JSON
+/// number (`1.0` stays `1.0`, never `1`; non-finite values have no JSON
+/// form and render as null).
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".into();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Deterministically execute `src` and return [`results_json`]. The
+/// `session` hook runs before execution (cache attachment, etc.).
+pub fn run_json(
+    src: &str,
+    req: &RunRequest,
+    session: impl FnOnce(&mut AccRunner),
+) -> Result<String, AccError> {
+    Ok(results_json(&run_session(src, req, session, false)?))
+}
+
+/// Deterministically execute `src` under the profiler and return the
+/// stable profile JSON — byte-identical to
+/// `uhacc-cc --profile=json --n <n>` for the same request.
+pub fn profile_json(
+    src: &str,
+    req: &RunRequest,
+    session: impl FnOnce(&mut AccRunner),
+) -> Result<String, AccError> {
+    Ok(run_session(src, req, session, true)?.profile_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "int N; double s;\ndouble a[N];\ns = 0.0;\n#pragma acc parallel \
+                       loop gang vector reduction(+:s) copyin(a)\nfor (int i = 0; i < N; \
+                       i++) { s += a[i]; }\n";
+
+    #[test]
+    fn compile_text_renders_plan_and_kernel() {
+        let hir = accparse::compile(SRC).unwrap();
+        let opts = CompilerOptions::openuh();
+        let out = compile_text(
+            &hir,
+            LaunchDims::paper(),
+            "openuh",
+            EmitFlags::default(),
+            &direct_compiler(&hir, &opts),
+        )
+        .unwrap();
+        assert!(out
+            .text
+            .starts_with("// uhacc-cc: 1 region(s), compiler = openuh"));
+        assert!(out.text.contains("// ---- region 0 plan ----"));
+        assert!(out.text.contains(".kernel"), "kernel disasm present");
+        assert_eq!(out.verify_errors, 0);
+        assert_eq!(out.regions.len(), 1);
+    }
+
+    #[test]
+    fn run_json_is_deterministic_and_sane() {
+        let req = RunRequest {
+            n: 1000,
+            ..Default::default()
+        };
+        let a = run_json(SRC, &req, |_| {}).unwrap();
+        let b = run_json(SRC, &req, |_| {}).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"scalars\""), "{a}");
+        assert!(a.contains("\"launches\""), "{a}");
+        // Floats render as JSON numbers with a decimal point.
+        assert!(a.contains("\"s\":"), "{a}");
+    }
+
+    #[test]
+    fn fmt_f64_is_json() {
+        assert_eq!(fmt_f64(1.0), "1.0");
+        assert_eq!(fmt_f64(0.5), "0.5");
+        assert_eq!(fmt_f64(-3.25), "-3.25");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        // Whatever Rust's shortest rendering is, the result must parse
+        // back as the same f64 and contain a decimal point or exponent.
+        let big = fmt_f64(1e300);
+        assert_eq!(big.parse::<f64>().unwrap(), 1e300);
+        assert!(big.contains('.') || big.contains('e'));
+    }
+}

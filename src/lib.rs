@@ -42,6 +42,8 @@
 //! assert_eq!(runner.scalar("s").unwrap().as_f64(), 500.0);
 //! ```
 
+pub mod driver;
+
 pub use acc_apps as apps;
 pub use acc_baselines as baselines;
 pub use acc_testsuite as testsuite;
