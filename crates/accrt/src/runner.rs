@@ -200,6 +200,15 @@ impl AccRunner {
         self.device.set_host_threads(n);
     }
 
+    /// Select the simulator execution tier for every subsequent launch
+    /// (see [`gpsim::ExecTier`]): the reference interpreter, the compiled
+    /// tier, or `Auto` (compiled with interpreter fallback). Observable
+    /// results are bit-identical across tiers; this knob only changes
+    /// wall-clock simulation time.
+    pub fn set_exec_tier(&mut self, tier: gpsim::ExecTier) {
+        self.device.set_exec_tier(tier);
+    }
+
     /// Run every subsequent launch — main kernels *and* gang-reduction
     /// finalize kernels — under the simulator's hazard sanitizer at
     /// `level` (see [`gpsim::sanitizer`]). [`SanitizerLevel::Off`] turns

@@ -1,12 +1,12 @@
 //! Regenerate the paper's tables and figures as text, with the paper's
 //! reported values alongside for comparison.
 //!
-//! Usage: `make-figures [table2|fig11|fig12a|fig12b|fig12c|ablations|profile|all]`
+//! Usage: `make-figures [table2|fig11|fig12a|fig12b|fig12c|ablations|profile|sim-throughput|all]`
 
 use acc_baselines::Compiler;
 use acc_testsuite::Position;
 use acc_testsuite::{
-    format_fig11, format_summary, format_table2, profile_case, run_suite, SuiteConfig,
+    format_fig11, format_summary, format_table2, profile_case, run_suite, time_case, SuiteConfig,
 };
 use accparse::ast::{CType, RedOp};
 use uhacc_bench::*;
@@ -214,6 +214,84 @@ fn profile(red_n: usize) {
     println!("wrote BENCH_profile.json ({} bytes)", pc.json.len());
 }
 
+/// Race the simulator execution tiers (reference interpreter vs the
+/// compiled tier) on Table 2 workloads and write the measurements to
+/// `BENCH_sim_throughput.json`. The committed copy is the regression
+/// baseline: CI re-measures and fails if the compiled tier's speedup
+/// ratio (which, unlike raw wall-clock, is roughly machine-independent)
+/// regresses by more than 20%.
+fn sim_throughput(red_n: usize) {
+    use gpsim::ExecTier;
+    let workloads: [(&str, Position, RedOp, CType); 3] = [
+        (
+            "gang_worker_vector_int_add",
+            Position::GangWorkerVector,
+            RedOp::Add,
+            CType::Int,
+        ),
+        ("vector_int_add", Position::Vector, RedOp::Add, CType::Int),
+        (
+            "worker_double_add",
+            Position::Worker,
+            RedOp::Add,
+            CType::Double,
+        ),
+    ];
+    const REPS: usize = 3;
+    eprintln!("[sim-throughput] racing interpret vs compiled tiers (red_n = {red_n}) ...");
+    println!("Simulator instruction throughput: reference interpreter vs compiled tier");
+    let mut rows = String::new();
+    for (name, pos, op, t) in workloads {
+        // Best-of-REPS per tier; a fresh session every rep so caches and
+        // allocations don't carry over (setup time is excluded either way).
+        let measure = |tier: ExecTier| -> (f64, u64) {
+            let cfg = SuiteConfig {
+                red_n,
+                exec_tier: tier,
+                ..Default::default()
+            };
+            let mut best = f64::INFINITY;
+            let mut insts = 0;
+            for _ in 0..REPS {
+                let tc = time_case(Compiler::OpenUH, pos, op, t, &cfg)
+                    .expect("throughput workloads run cleanly");
+                best = best.min(tc.secs);
+                insts = tc.lane_insts;
+            }
+            (best, insts)
+        };
+        let (int_secs, int_insts) = measure(ExecTier::Interpret);
+        let (cmp_secs, cmp_insts) = measure(ExecTier::Compiled);
+        assert_eq!(
+            int_insts, cmp_insts,
+            "{name}: tiers disagree on simulated instruction count"
+        );
+        let speedup = int_secs / cmp_secs;
+        println!(
+            "  {name:<28} {int_insts:>12} lane-insts  interpret {:>8.1} Minst/s  \
+             compiled {:>8.1} Minst/s  speedup {speedup:>5.2}x",
+            int_insts as f64 / int_secs / 1e6,
+            int_insts as f64 / cmp_secs / 1e6,
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"lane_insts\": {int_insts}, \
+             \"interpret_secs\": {int_secs:.6}, \"compiled_secs\": {cmp_secs:.6}, \
+             \"interpret_minsts_per_sec\": {:.2}, \"compiled_minsts_per_sec\": {:.2}, \
+             \"speedup\": {speedup:.3}}}",
+            int_insts as f64 / int_secs / 1e6,
+            int_insts as f64 / cmp_secs / 1e6,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"red_n\": {red_n},\n  \"reps\": {REPS},\n  \"workloads\": [\n{rows}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_sim_throughput.json", &json).expect("write BENCH_sim_throughput.json");
+    println!("wrote BENCH_sim_throughput.json ({} bytes)\n", json.len());
+}
+
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     let red_n = std::env::args()
@@ -228,6 +306,7 @@ fn main() {
         "fig12c" => fig12c(),
         "ablations" => ablations(),
         "profile" => profile(red_n),
+        "sim-throughput" => sim_throughput(red_n),
         "all" => {
             table2(red_n);
             fig11(red_n);
@@ -236,11 +315,12 @@ fn main() {
             fig12c();
             ablations();
             profile(red_n);
+            sim_throughput(red_n);
         }
         other => {
             eprintln!(
                 "unknown figure `{other}`; expected \
-                 table2|fig11|fig12a|fig12b|fig12c|ablations|profile|all"
+                 table2|fig11|fig12a|fig12b|fig12c|ablations|profile|sim-throughput|all"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,3104 @@
+//! The compiled execution tier: pre-decoded basic-block runs, an SoA
+//! register file, and warp-uniform fast paths.
+//!
+//! The reference interpreter ([`crate::exec`]) dispatches one [`Inst`] per
+//! warp-step: it re-scans the warp for the minimum PC, re-collects the
+//! active mask, clones the instruction, resolves branch labels, and
+//! allocates hash containers for the coalescing model — every step. This
+//! tier removes all of that from the hot path while staying **bit-identical
+//! in every observable output**: memory contents, [`crate::stats::LaunchStats`],
+//! modelled cycles, traces, hazard reports, profiles, and error values.
+//!
+//! # Pre-decoded runs
+//!
+//! [`CompiledKernel::compile`] splits the instruction stream into *runs* —
+//! maximal straight-line spans `[leader, next_leader)` where leaders are
+//! instruction 0, every branch target, and every instruction following a
+//! `Bra`, `Ret`, or `Bar`. Runs are the basic blocks of
+//! [`crate::verify`]'s CFG additionally split after barriers, because a
+//! warp's lanes *rest* at the instruction after a `Bar` while waiting for
+//! the release.
+//!
+//! The scheduling invariant that makes run-at-a-time execution exact:
+//! runnable lanes only ever rest at leaders (initially at 0; a branch
+//! leaves them at its target or fallthrough, both leaders; a barrier
+//! release leaves them one past the `Bar`; a fallthrough leaves them at
+//! the next leader). While a group of lanes executes a run, every other
+//! runnable lane of the warp rests at a leader `>=` the run's end — there
+//! is no leader strictly inside a run — so the interpreter's per-step
+//! min-PC scan would pick this group's PC at every step of the run. The
+//! active mask is therefore constant across the run, and per-instruction
+//! PC updates can be deferred to the run boundary (PCs are only *read* at
+//! run boundaries: the min-PC scan, barrier bookkeeping, and hazard
+//! details all happen when every warp is blocked or between runs).
+//!
+//! # SoA register file
+//!
+//! Registers live in one flat `Vec<Value>` indexed `reg * n_threads +
+//! lane` instead of a per-thread `Vec` each — one allocation per block
+//! and cache-friendly per-register rows for the broadcast paths.
+//!
+//! # Warp-uniform fast paths
+//!
+//! A divergence analysis in the style of kverify's `DivPart` domain runs
+//! at compile time: a register is *uniform* (provably equal across the
+//! lanes executing together) unless it is derived from a per-lane special
+//! register (`tid.x`, `tid.y`, `%linear`), from a value-returning atomic,
+//! from another divergent register, or defined under control dependence
+//! of a branch with a divergent condition (control dependences come from
+//! the shared [`crate::verify`] postdominator machinery; the analysis
+//! iterates to a fixpoint). A run whose instructions read only uniform
+//! registers (and contain no per-lane special reads and no atomics — M
+//! serialized atomic applications are not one application) executes
+//! **once** on the group's first lane and broadcasts register writes:
+//! loads issue one bounds-checked access instead of 32, and stores write
+//! one identical value instead of 32. The cost model sees identical
+//! counts by construction — M identical accesses occupy exactly the
+//! segments/banks of one — and the sanitizer is still fed per-lane.
+//!
+//! # Typed fast mode
+//!
+//! On top of the pre-decoded runs, [`CompiledKernel::specialize`] tries
+//! to assign every virtual register a single static [`Ty`] (a
+//! flow-insensitive merge over all of its definitions; `Mov`/`Select`
+//! propagate to a fixpoint). When that succeeds, the block's registers
+//! become raw `u64` *bit rows* — `I32`/`F32`/`Pred` zero-extended,
+//! `I64`/`U64`/`F64` as their 64-bit representation — and every
+//! instruction is lowered to a [`TOp`] whose operand conversions
+//! ([`Conv`]) are resolved at compile time to mirror [`Value::convert`]
+//! / `as_u64` / `as_i64` / `as_bool` *exactly*, immediates are
+//! pre-converted into broadcast constant rows, and the `(op, ty)`
+//! dispatch is hoisted out of the lane loops. Registers the kernel
+//! never writes hold the interpreter's `Value::I32(0)`; a zero bit row
+//! reproduces that under any static type because zero is a fixed point
+//! of every conversion in the table. Kernels that reuse one register at
+//! several types fall back to the generic [`Value`]-based tier below —
+//! same results, slower.
+//!
+//! # Tier selection
+//!
+//! [`CompiledKernel::compile`] returns `None` for the degenerate shapes
+//! the tier does not model (empty kernels, kernels that can fall or
+//! branch past the end of the instruction stream); the launch path then
+//! uses the interpreter regardless of the configured
+//! [`crate::cost::ExecTier`].
+
+use crate::error::SimError;
+use crate::exec::{alu_cost, eval_bin, eval_cmp, eval_un, mref_addr, BlockExec, MemView};
+use crate::ir::{AtomOp, BinOp, CmpOp, Inst, Kernel, MemRef, Operand, SpecialReg, UnOp};
+use crate::memory::AccessAbort;
+use crate::profile::PcCounters;
+use crate::sanitizer::AccessKind;
+use crate::trace::{MemTouch, TraceEvent, TraceSpace};
+use crate::types::{Ty, Value};
+use crate::verify;
+
+/// A pre-decoded operand: register index or immediate.
+#[derive(Debug, Clone, Copy)]
+enum COpnd {
+    Reg(usize),
+    Imm(Value),
+}
+
+/// A pre-decoded memory reference: operand, index register, scale and
+/// displacement already widened, access size already resolved.
+#[derive(Debug, Clone, Copy)]
+struct CMem {
+    base: COpnd,
+    index: Option<usize>,
+    scale: i64,
+    disp: i64,
+    size: usize,
+}
+
+/// One pre-decoded instruction: branch labels resolved to instruction
+/// indices, registers widened to array indices, SFU/FP64 surcharges
+/// pre-classified.
+#[derive(Debug, Clone)]
+enum COp {
+    MovImm {
+        dst: usize,
+        value: Value,
+    },
+    Mov {
+        dst: usize,
+        src: usize,
+    },
+    ReadSpecial {
+        dst: usize,
+        sr: SpecialReg,
+    },
+    ReadParam {
+        dst: usize,
+        idx: usize,
+    },
+    Bin {
+        op: BinOp,
+        ty: Ty,
+        dst: usize,
+        a: COpnd,
+        b: COpnd,
+        sfu: bool,
+    },
+    Cmp {
+        op: CmpOp,
+        ty: Ty,
+        dst: usize,
+        a: COpnd,
+        b: COpnd,
+    },
+    Un {
+        op: UnOp,
+        ty: Ty,
+        dst: usize,
+        a: COpnd,
+        sfu: bool,
+    },
+    Select {
+        dst: usize,
+        cond: usize,
+        a: COpnd,
+        b: COpnd,
+    },
+    Cvt {
+        dst: usize,
+        ty: Ty,
+        src: COpnd,
+    },
+    LdGlobal {
+        ty: Ty,
+        dst: usize,
+        mem: CMem,
+    },
+    StGlobal {
+        ty: Ty,
+        src: COpnd,
+        mem: CMem,
+    },
+    LdShared {
+        ty: Ty,
+        dst: usize,
+        mem: CMem,
+    },
+    StShared {
+        ty: Ty,
+        src: COpnd,
+        mem: CMem,
+    },
+    AtomGlobal {
+        op: AtomOp,
+        ty: Ty,
+        mem: CMem,
+        src: COpnd,
+        dst: Option<usize>,
+    },
+    Bar,
+    Bra {
+        target: usize,
+        cond: Option<(usize, bool)>,
+    },
+    Ret,
+}
+
+/// A maximal straight-line span `[start, end)`; `end - 1` is a
+/// terminator (`Bra`/`Ret`/`Bar`) or falls through to the leader at
+/// `end`.
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    start: usize,
+    end: usize,
+}
+
+/// A kernel pre-decoded for the compiled execution tier. Compile once per
+/// launch ([`crate::exec::run_kernel_instrumented`]) and share across all
+/// blocks and host worker threads.
+#[derive(Debug)]
+pub struct CompiledKernel {
+    num_regs: usize,
+    ops: Vec<COp>,
+    runs: Vec<Run>,
+    /// `run_of[pc]` = index of the run containing `pc`.
+    run_of: Vec<usize>,
+    /// Per-run warp-uniform flag (see module docs).
+    run_uniform: Vec<bool>,
+    /// Per-register uniformity verdict (exposed via [`Self::describe`]).
+    uniform_regs: Vec<bool>,
+    /// Statically-typed lowering (see module docs); built per launch by
+    /// [`Self::specialize`] because parameter types feed the inference.
+    typed: Option<TypedPlan>,
+}
+
+impl CompiledKernel {
+    /// Pre-decode `kernel`. Returns `None` for shapes the tier does not
+    /// model (empty kernels, kernels whose control flow can leave the
+    /// instruction stream) — the launch path falls back to the
+    /// interpreter, preserving its behavior exactly.
+    pub fn compile(kernel: &Kernel) -> Option<CompiledKernel> {
+        let n = kernel.insts.len();
+        if n == 0 {
+            return None;
+        }
+        // The last instruction must be a hard terminator, otherwise a lane
+        // can advance to pc == n (the interpreter treats that as a
+        // malformed kernel; keep its behavior by falling back).
+        match kernel.insts[n - 1] {
+            Inst::Ret | Inst::Bra { cond: None, .. } => {}
+            _ => return None,
+        }
+        // Resolve every branch target up front; a target of n (one past
+        // the end — the builder permits labels placed after the final
+        // `ret`) is likewise left to the interpreter.
+        let resolve = |l: crate::ir::Label| -> Option<usize> {
+            let t = *kernel.label_targets.get(l.0 as usize)?;
+            (t < n).then_some(t)
+        };
+
+        let mut ops = Vec::with_capacity(n);
+        for inst in &kernel.insts {
+            ops.push(decode(inst, &resolve)?);
+        }
+
+        // Leaders: 0, branch targets, and the instruction after every
+        // Bra/Ret/Bar (lanes rest one past a barrier while waiting).
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (pc, op) in ops.iter().enumerate() {
+            match op {
+                COp::Bra { target, .. } => {
+                    leader[*target] = true;
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                COp::Ret | COp::Bar if pc + 1 < n => leader[pc + 1] = true,
+                _ => {}
+            }
+        }
+        let starts: Vec<usize> = (0..n).filter(|&i| leader[i]).collect();
+        let runs: Vec<Run> = starts
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Run {
+                start: s,
+                end: starts.get(i + 1).copied().unwrap_or(n),
+            })
+            .collect();
+        let mut run_of = vec![0usize; n];
+        for (ri, r) in runs.iter().enumerate() {
+            for slot in &mut run_of[r.start..r.end] {
+                *slot = ri;
+            }
+        }
+
+        let uniform_regs = uniform_registers(kernel);
+        let run_uniform: Vec<bool> = runs
+            .iter()
+            .map(|r| {
+                kernel.insts[r.start..r.end]
+                    .iter()
+                    .all(|inst| inst_uniform(inst, &uniform_regs))
+            })
+            .collect();
+
+        Some(CompiledKernel {
+            num_regs: kernel.num_regs as usize,
+            ops,
+            runs,
+            run_of,
+            run_uniform,
+            uniform_regs,
+            typed: None,
+        })
+    }
+
+    /// Attempt the statically-typed lowering for a concrete parameter
+    /// list (parameter types feed the register type inference). Called
+    /// once per launch; on failure the generic tier runs.
+    pub(crate) fn specialize(&mut self, params: &[Value]) {
+        self.typed = TypedPlan::build(&self.ops, self.num_regs, params);
+    }
+
+    /// Textual dump of the pre-decoded form (run boundaries, terminators,
+    /// uniformity verdicts) for golden tests and debugging.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            ".compiled (regs={}, runs={})",
+            self.num_regs,
+            self.runs.len()
+        );
+        for (i, r) in self.runs.iter().enumerate() {
+            let term = match &self.ops[r.end - 1] {
+                COp::Bra {
+                    target,
+                    cond: Some(_),
+                } => format!("bra.cond -> {target} | {}", r.end),
+                COp::Bra { target, cond: None } => format!("bra -> {target}"),
+                COp::Ret => "ret".to_string(),
+                COp::Bar => format!("bar -> {}", r.end),
+                _ => format!("fallthrough -> {}", r.end),
+            };
+            let _ = writeln!(
+                out,
+                "  run {i}: pc {}..{} {} [{term}]",
+                r.start,
+                r.end,
+                if self.run_uniform[i] {
+                    "uniform"
+                } else {
+                    "per-lane"
+                },
+            );
+        }
+        let uni: Vec<String> = self
+            .uniform_regs
+            .iter()
+            .enumerate()
+            .filter(|(_, &u)| u)
+            .map(|(i, _)| format!("%r{i}"))
+            .collect();
+        let _ = writeln!(out, "  uniform regs: {}", uni.join(" "));
+        out
+    }
+}
+
+fn decode(inst: &Inst, resolve: &dyn Fn(crate::ir::Label) -> Option<usize>) -> Option<COp> {
+    let opnd = |o: &Operand| match o {
+        Operand::Reg(r) => COpnd::Reg(r.0 as usize),
+        Operand::Imm(v) => COpnd::Imm(*v),
+    };
+    let cmem = |m: &MemRef, ty: Ty| CMem {
+        base: opnd(&m.base),
+        index: m.index.map(|r| r.0 as usize),
+        scale: m.scale as i64,
+        disp: m.disp,
+        size: ty.size(),
+    };
+    Some(match inst {
+        Inst::MovImm { dst, value } => COp::MovImm {
+            dst: dst.0 as usize,
+            value: *value,
+        },
+        Inst::Mov { dst, src } => COp::Mov {
+            dst: dst.0 as usize,
+            src: src.0 as usize,
+        },
+        Inst::ReadSpecial { dst, sr } => COp::ReadSpecial {
+            dst: dst.0 as usize,
+            sr: *sr,
+        },
+        Inst::ReadParam { dst, idx } => COp::ReadParam {
+            dst: dst.0 as usize,
+            idx: *idx as usize,
+        },
+        Inst::Bin { op, ty, dst, a, b } => COp::Bin {
+            op: *op,
+            ty: *ty,
+            dst: dst.0 as usize,
+            a: opnd(a),
+            b: opnd(b),
+            sfu: matches!(op, BinOp::Div | BinOp::Rem),
+        },
+        Inst::Cmp { op, ty, dst, a, b } => COp::Cmp {
+            op: *op,
+            ty: *ty,
+            dst: dst.0 as usize,
+            a: opnd(a),
+            b: opnd(b),
+        },
+        Inst::Un { op, ty, dst, a } => COp::Un {
+            op: *op,
+            ty: *ty,
+            dst: dst.0 as usize,
+            a: opnd(a),
+            sfu: matches!(op, UnOp::Sqrt),
+        },
+        Inst::Select { dst, cond, a, b } => COp::Select {
+            dst: dst.0 as usize,
+            cond: cond.0 as usize,
+            a: opnd(a),
+            b: opnd(b),
+        },
+        Inst::Cvt { dst, ty, src } => COp::Cvt {
+            dst: dst.0 as usize,
+            ty: *ty,
+            src: opnd(src),
+        },
+        Inst::LdGlobal { ty, dst, mref } => COp::LdGlobal {
+            ty: *ty,
+            dst: dst.0 as usize,
+            mem: cmem(mref, *ty),
+        },
+        Inst::StGlobal { ty, src, mref } => COp::StGlobal {
+            ty: *ty,
+            src: opnd(src),
+            mem: cmem(mref, *ty),
+        },
+        Inst::LdShared { ty, dst, mref } => COp::LdShared {
+            ty: *ty,
+            dst: dst.0 as usize,
+            mem: cmem(mref, *ty),
+        },
+        Inst::StShared { ty, src, mref } => COp::StShared {
+            ty: *ty,
+            src: opnd(src),
+            mem: cmem(mref, *ty),
+        },
+        Inst::AtomGlobal {
+            op,
+            ty,
+            mref,
+            src,
+            dst,
+        } => COp::AtomGlobal {
+            op: *op,
+            ty: *ty,
+            mem: cmem(mref, *ty),
+            src: opnd(src),
+            dst: dst.map(|r| r.0 as usize),
+        },
+        Inst::Bar => COp::Bar,
+        Inst::Bra { target, cond } => COp::Bra {
+            target: resolve(*target)?,
+            cond: cond.map(|(r, e)| (r.0 as usize, e)),
+        },
+        Inst::Ret => COp::Ret,
+    })
+}
+
+/// Per-lane special registers: different lanes of one warp read different
+/// values. (`tid.z` is always 0; block/grid geometry is warp-invariant.)
+fn divergent_special(sr: SpecialReg) -> bool {
+    matches!(
+        sr,
+        SpecialReg::TidX | SpecialReg::TidY | SpecialReg::LaneLinear
+    )
+}
+
+/// Fixpoint divergence analysis over registers (see module docs).
+fn uniform_registers(kernel: &Kernel) -> Vec<bool> {
+    let cfg = verify::Cfg::build(kernel);
+    let pdom = verify::postdominators(&cfg);
+    let cdeps = verify::control_deps(&cfg, &pdom);
+    let mut uniform = vec![true; kernel.num_regs as usize];
+    loop {
+        let mut changed = false;
+        for (pc, inst) in kernel.insts.iter().enumerate() {
+            let Some(dst) = inst.def() else { continue };
+            let di = dst.0 as usize;
+            if !uniform[di] {
+                continue;
+            }
+            // Divergent sources: per-lane specials, value-returning
+            // atomics (the returned "old" depends on lane serialization
+            // order), any divergent input register.
+            let mut div = match inst {
+                Inst::ReadSpecial { sr, .. } => divergent_special(*sr),
+                Inst::AtomGlobal { .. } => true,
+                _ => false,
+            };
+            if !div {
+                inst.for_each_use(|r| div |= !uniform[r.0 as usize]);
+            }
+            // Control divergence: a def executed by only some lanes
+            // leaves the others holding stale values.
+            if !div {
+                let b = cfg.block_of[pc];
+                div = cdeps[b].iter().any(|&(bb, _)| {
+                    cfg.branch_cond(kernel, bb)
+                        .is_some_and(|(r, _)| !uniform[r.0 as usize])
+                });
+            }
+            if div {
+                uniform[di] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    uniform
+}
+
+/// May `inst` take the one-lane-and-broadcast fast path when every lane
+/// of the group executes it together?
+fn inst_uniform(inst: &Inst, uniform: &[bool]) -> bool {
+    match inst {
+        // M serialized atomic applications are not one application.
+        Inst::AtomGlobal { .. } => return false,
+        Inst::ReadSpecial { sr, .. } if divergent_special(*sr) => return false,
+        _ => {}
+    }
+    let mut ok = true;
+    inst.for_each_use(|r| ok &= uniform[r.0 as usize]);
+    ok
+}
+
+// ---------------------------------------------------------------------------
+// Typed fast mode: static register types over raw bit rows
+// ---------------------------------------------------------------------------
+
+/// Bit encoding of a [`Value`] in a typed register row: `I32`/`F32`/
+/// `Pred` zero-extended, 64-bit types as their representation. Every
+/// writer of a typed row maintains this encoding.
+#[inline(always)]
+fn value_bits(v: Value) -> u64 {
+    match v {
+        Value::I32(x) => x as u32 as u64,
+        Value::I64(x) => x as u64,
+        Value::U64(x) => x,
+        Value::F32(x) => x.to_bits() as u64,
+        Value::F64(x) => x.to_bits(),
+        Value::Pred(x) => x as u64,
+    }
+}
+
+/// Inverse of [`value_bits`] at a static type (used where a [`Value`]
+/// crosses back into shared code: memory writes and atomics).
+#[inline(always)]
+fn bits_value(ty: Ty, b: u64) -> Value {
+    match ty {
+        Ty::I32 => Value::I32(b as u32 as i32),
+        Ty::I64 => Value::I64(b as i64),
+        Ty::U64 => Value::U64(b),
+        Ty::F32 => Value::F32(f32::from_bits(b as u32)),
+        Ty::F64 => Value::F64(f64::from_bits(b)),
+        Ty::Pred => Value::Pred(b != 0),
+    }
+}
+
+/// A compile-time-resolved operand conversion over encoded bits. Each
+/// variant is the bit-level image of one `(source variant, target type)`
+/// arm of [`Value::convert`] (or `as_u64`/`as_i64` for addresses); the
+/// typed tier is bit-identical to the interpreter because this table is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Conv {
+    Id,
+    /// `I64`/`U64` -> `I32`: truncate (`as_i64() as i32`).
+    Low32,
+    /// `I32` -> `I64`/`U64`: sign-extend.
+    SextI32,
+    /// `F32` -> `I32`: saturating `v as i32`.
+    F32ToI32,
+    /// `F64` -> `I32`: saturating `v as i32`.
+    F64ToI32,
+    /// `F32` -> `I64`/`U64`: saturating `v as i64` (then reinterpreted).
+    F32ToI64,
+    /// `F64` -> `I64`/`U64`.
+    F64ToI64,
+    I32ToF32,
+    I64ToF32,
+    U64ToF32,
+    /// `F32` -> `F32` is *not* the identity: `convert` round-trips
+    /// through `f64` (`as_f64() as f32`), which quiets signaling NaNs.
+    F32Round,
+    F64ToF32,
+    PredToF32,
+    I32ToF64,
+    I64ToF64,
+    U64ToF64,
+    F32ToF64,
+    PredToF64,
+    /// Integer-encoded -> `Pred`: bits non-zero.
+    IntPred,
+    /// `F32` -> `Pred`: value non-zero (`-0.0` is false, NaN is true).
+    F32Pred,
+    F64Pred,
+}
+
+impl Conv {
+    #[inline(always)]
+    fn apply(self, b: u64) -> u64 {
+        match self {
+            Conv::Id => b,
+            Conv::Low32 => b as u32 as u64,
+            Conv::SextI32 => (b as u32 as i32) as i64 as u64,
+            Conv::F32ToI32 => (f32::from_bits(b as u32) as i32) as u32 as u64,
+            Conv::F64ToI32 => (f64::from_bits(b) as i32) as u32 as u64,
+            Conv::F32ToI64 => (f32::from_bits(b as u32) as i64) as u64,
+            Conv::F64ToI64 => (f64::from_bits(b) as i64) as u64,
+            Conv::I32ToF32 => (((b as u32 as i32) as f64) as f32).to_bits() as u64,
+            Conv::I64ToF32 => (((b as i64) as f64) as f32).to_bits() as u64,
+            Conv::U64ToF32 => ((b as f64) as f32).to_bits() as u64,
+            Conv::F32Round => ((f32::from_bits(b as u32) as f64) as f32).to_bits() as u64,
+            Conv::F64ToF32 => (f64::from_bits(b) as f32).to_bits() as u64,
+            Conv::PredToF32 => ((b as f64) as f32).to_bits() as u64,
+            Conv::I32ToF64 => ((b as u32 as i32) as f64).to_bits(),
+            Conv::I64ToF64 => ((b as i64) as f64).to_bits(),
+            Conv::U64ToF64 => (b as f64).to_bits(),
+            Conv::F32ToF64 => (f32::from_bits(b as u32) as f64).to_bits(),
+            Conv::PredToF64 => (b as f64).to_bits(),
+            Conv::IntPred => (b != 0) as u64,
+            Conv::F32Pred => (f32::from_bits(b as u32) != 0.0) as u64,
+            Conv::F64Pred => (f64::from_bits(b) != 0.0) as u64,
+        }
+    }
+}
+
+/// The conversion a register of static type `from` needs when used at
+/// type `to`. Exact image of [`Value::convert`]; `(I64, U64)` and
+/// `(U64, I64)` are bit-identities, `(Pred, int)` stays 0/1.
+fn conv_for(from: Ty, to: Ty) -> Conv {
+    use Ty::*;
+    match (from, to) {
+        (I32, I32) | (I64, I64) | (U64, U64) | (F64, F64) | (Pred, Pred) => Conv::Id,
+        (I64, U64) | (U64, I64) => Conv::Id,
+        (Pred, I32) | (Pred, I64) | (Pred, U64) => Conv::Id,
+        (I64, I32) | (U64, I32) => Conv::Low32,
+        (I32, I64) | (I32, U64) => Conv::SextI32,
+        (F32, I32) => Conv::F32ToI32,
+        (F64, I32) => Conv::F64ToI32,
+        (F32, I64) | (F32, U64) => Conv::F32ToI64,
+        (F64, I64) | (F64, U64) => Conv::F64ToI64,
+        (I32, F32) => Conv::I32ToF32,
+        (I64, F32) => Conv::I64ToF32,
+        (U64, F32) => Conv::U64ToF32,
+        (F32, F32) => Conv::F32Round,
+        (F64, F32) => Conv::F64ToF32,
+        (Pred, F32) => Conv::PredToF32,
+        (I32, F64) => Conv::I32ToF64,
+        (I64, F64) => Conv::I64ToF64,
+        (U64, F64) => Conv::U64ToF64,
+        (F32, F64) => Conv::F32ToF64,
+        (Pred, F64) => Conv::PredToF64,
+        (I32, Pred) | (I64, Pred) | (U64, Pred) => Conv::IntPred,
+        (F32, Pred) => Conv::F32Pred,
+        (F64, Pred) => Conv::F64Pred,
+    }
+}
+
+/// How a condition row is tested for truth (`as_bool` over encoded
+/// bits). Integer encodings test bits-non-zero; floats must decode
+/// (`-0.0` has non-zero bits but is false).
+#[derive(Debug, Clone, Copy)]
+enum CondKind {
+    Int,
+    F32,
+    F64,
+}
+
+#[inline(always)]
+fn cond_true(k: CondKind, b: u64) -> bool {
+    match k {
+        CondKind::Int => b != 0,
+        CondKind::F32 => f32::from_bits(b as u32) != 0.0,
+        CondKind::F64 => f64::from_bits(b) != 0.0,
+    }
+}
+
+fn cond_kind(ty: Ty) -> CondKind {
+    match ty {
+        Ty::F32 => CondKind::F32,
+        Ty::F64 => CondKind::F64,
+        _ => CondKind::Int,
+    }
+}
+
+/// A typed memory reference: rows plus pre-resolved conversions for the
+/// base (`as_u64`) and index (`as_i64`) as the interpreter applies them.
+#[derive(Debug, Clone, Copy)]
+struct TMem {
+    base: usize,
+    bc: Conv,
+    index: Option<(usize, Conv)>,
+    scale: i64,
+    disp: i64,
+    size: usize,
+}
+
+/// One instruction of the typed lowering. Operands are row indices
+/// (register rows first, then broadcast constant rows holding
+/// pre-converted immediates) with their conversions resolved.
+#[derive(Debug, Clone)]
+enum TOp {
+    /// Write the same bits to every active lane (`MovImm`, `ReadParam`
+    /// with the parameter present, `Cvt` of an immediate).
+    Broadcast {
+        dst: usize,
+        bits: u64,
+    },
+    /// `ReadParam` past the end of the parameter list: the
+    /// interpreter's `BadParams` error, at the same point.
+    BadParams,
+    ReadSpecial {
+        dst: usize,
+        sr: SpecialReg,
+    },
+    Bin {
+        op: BinOp,
+        ty: Ty,
+        dst: usize,
+        a: usize,
+        b: usize,
+        ca: Conv,
+        cb: Conv,
+        sfu: bool,
+    },
+    Cmp {
+        op: CmpOp,
+        ty: Ty,
+        dst: usize,
+        a: usize,
+        b: usize,
+        ca: Conv,
+        cb: Conv,
+    },
+    Un {
+        op: UnOp,
+        ty: Ty,
+        dst: usize,
+        a: usize,
+        ca: Conv,
+        sfu: bool,
+    },
+    Select {
+        dst: usize,
+        cond: usize,
+        kind: CondKind,
+        a: usize,
+        b: usize,
+    },
+    /// Row-to-row conversion; `Conv::Id` is a plain `Mov`.
+    Cvt {
+        dst: usize,
+        src: usize,
+        cv: Conv,
+    },
+    LdGlobal {
+        ty: Ty,
+        dst: usize,
+        mem: TMem,
+    },
+    StGlobal {
+        ty: Ty,
+        src: usize,
+        sc: Conv,
+        mem: TMem,
+    },
+    LdShared {
+        ty: Ty,
+        dst: usize,
+        mem: TMem,
+    },
+    StShared {
+        ty: Ty,
+        src: usize,
+        sc: Conv,
+        mem: TMem,
+    },
+    AtomGlobal {
+        op: AtomOp,
+        ty: Ty,
+        mem: TMem,
+        src: usize,
+        sc: Conv,
+        dst: Option<usize>,
+    },
+    Bar,
+    Bra {
+        target: usize,
+        cond: Option<(usize, CondKind, bool)>,
+    },
+    Ret,
+}
+
+/// The statically-typed lowering of a kernel for one launch.
+#[derive(Debug)]
+struct TypedPlan {
+    tops: Vec<TOp>,
+    /// Register rows, then `consts.len()` broadcast constant rows.
+    num_regs: usize,
+    /// Bits of each constant row (pre-converted immediates).
+    consts: Vec<u64>,
+}
+
+/// Flow-insensitive register type inference: every definition of a
+/// register must produce one type (`Mov`/`Select` propagate their
+/// source types to a fixpoint; never-written registers keep the
+/// interpreter's `I32` zero). Returns `None` when a register is written
+/// at two types — the kernel falls back to the generic tier.
+fn infer_reg_types(ops: &[COp], num_regs: usize, params: &[Value]) -> Option<Vec<Ty>> {
+    let opnd_ty = |tys: &[Option<Ty>], o: &COpnd| match o {
+        COpnd::Reg(r) => tys[*r],
+        COpnd::Imm(v) => Some(v.ty()),
+    };
+    let mut defined = vec![false; num_regs];
+    for op in ops {
+        match op {
+            COp::MovImm { dst, .. }
+            | COp::Mov { dst, .. }
+            | COp::ReadSpecial { dst, .. }
+            | COp::ReadParam { dst, .. }
+            | COp::Bin { dst, .. }
+            | COp::Cmp { dst, .. }
+            | COp::Un { dst, .. }
+            | COp::Select { dst, .. }
+            | COp::Cvt { dst, .. }
+            | COp::LdGlobal { dst, .. }
+            | COp::LdShared { dst, .. } => defined[*dst] = true,
+            COp::AtomGlobal { dst: Some(d), .. } => defined[*d] = true,
+            _ => {}
+        }
+    }
+    let mut tys: Vec<Option<Ty>> = (0..num_regs)
+        .map(|r| (!defined[r]).then_some(Ty::I32))
+        .collect();
+    // Fixpoint: each pass resolves defs whose inputs are known; `set`
+    // fails on a two-type register. The final validation pass re-checks
+    // every def against the defaulted assignment so unresolved cycles
+    // (only ever holding initial zeros) stay consistent.
+    for validate in [false, false, true] {
+        if validate {
+            for t in tys.iter_mut() {
+                t.get_or_insert(Ty::I32);
+            }
+        }
+        loop {
+            let mut changed = false;
+            for op in ops {
+                let (d, t) = match op {
+                    COp::MovImm { dst, value } => (*dst, Some(value.ty())),
+                    COp::Mov { dst, src } => (*dst, tys[*src]),
+                    COp::ReadSpecial { dst, .. } => (*dst, Some(Ty::I32)),
+                    COp::ReadParam { dst, idx } => {
+                        (*dst, Some(params.get(*idx).map_or(Ty::I32, |v| v.ty())))
+                    }
+                    COp::Bin { ty, dst, .. }
+                    | COp::Un { ty, dst, .. }
+                    | COp::Cvt { dst, ty, .. } => (*dst, Some(*ty)),
+                    COp::Cmp { dst, .. } => (*dst, Some(Ty::Pred)),
+                    COp::Select { dst, a, b, .. } => {
+                        match (opnd_ty(&tys, a), opnd_ty(&tys, b)) {
+                            (Some(x), Some(y)) if x == y => (*dst, Some(x)),
+                            // A select whose arms carry two types passes
+                            // values through unconverted: not typeable.
+                            (Some(_), Some(_)) => return None,
+                            _ => (*dst, None),
+                        }
+                    }
+                    COp::LdGlobal { ty, dst, .. } | COp::LdShared { ty, dst, .. } => {
+                        (*dst, Some(*ty))
+                    }
+                    COp::AtomGlobal {
+                        ty, dst: Some(d), ..
+                    } => (*d, Some(*ty)),
+                    _ => continue,
+                };
+                if let Some(t) = t {
+                    match tys[d] {
+                        None => {
+                            tys[d] = Some(t);
+                            changed = true;
+                        }
+                        Some(u) if u == t => {}
+                        Some(_) => return None,
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    Some(tys.into_iter().map(|t| t.unwrap_or(Ty::I32)).collect())
+}
+
+/// Lowering state: the inferred register types plus the constant-row
+/// pool (deduplicated pre-converted immediates).
+struct Lower {
+    rt: Vec<Ty>,
+    num_regs: usize,
+    consts: Vec<u64>,
+}
+
+impl Lower {
+    fn row_for(&mut self, bits: u64) -> usize {
+        match self.consts.iter().position(|&c| c == bits) {
+            Some(i) => self.num_regs + i,
+            None => {
+                self.consts.push(bits);
+                self.num_regs + self.consts.len() - 1
+            }
+        }
+    }
+
+    /// An operand used at type `to`: register rows get the static
+    /// conversion, immediates are converted now and become constant
+    /// rows (so the lane loops never branch on operand shape).
+    fn row(&mut self, o: &COpnd, to: Option<Ty>) -> (usize, Conv) {
+        match o {
+            COpnd::Reg(r) => (*r, to.map_or(Conv::Id, |t| conv_for(self.rt[*r], t))),
+            COpnd::Imm(v) => {
+                let v = to.map_or(*v, |t| v.convert(t));
+                (self.row_for(value_bits(v)), Conv::Id)
+            }
+        }
+    }
+
+    /// Address rows: base as `as_u64`, index as `as_i64` — exactly the
+    /// conversions [`mem_addr`] applies in the generic tier.
+    fn tmem(&mut self, m: &CMem) -> TMem {
+        let (base, bc) = self.row(&m.base, Some(Ty::U64));
+        TMem {
+            base,
+            bc,
+            index: m.index.map(|r| (r, conv_for(self.rt[r], Ty::I64))),
+            scale: m.scale,
+            disp: m.disp,
+            size: m.size,
+        }
+    }
+}
+
+impl TypedPlan {
+    fn build(ops: &[COp], num_regs: usize, params: &[Value]) -> Option<TypedPlan> {
+        let rt = infer_reg_types(ops, num_regs, params)?;
+        let mut lo = Lower {
+            rt,
+            num_regs,
+            consts: Vec::new(),
+        };
+        let mut tops = Vec::with_capacity(ops.len());
+        for op in ops {
+            tops.push(match op {
+                COp::MovImm { dst, value } => TOp::Broadcast {
+                    dst: *dst,
+                    bits: value_bits(*value),
+                },
+                COp::Mov { dst, src } => TOp::Cvt {
+                    dst: *dst,
+                    src: *src,
+                    cv: Conv::Id,
+                },
+                COp::ReadSpecial { dst, sr } => TOp::ReadSpecial { dst: *dst, sr: *sr },
+                COp::ReadParam { dst, idx } => match params.get(*idx) {
+                    Some(v) => TOp::Broadcast {
+                        dst: *dst,
+                        bits: value_bits(*v),
+                    },
+                    None => TOp::BadParams,
+                },
+                COp::Bin {
+                    op,
+                    ty,
+                    dst,
+                    a,
+                    b,
+                    sfu,
+                } => {
+                    let (a, ca) = lo.row(a, Some(*ty));
+                    let (b, cb) = lo.row(b, Some(*ty));
+                    TOp::Bin {
+                        op: *op,
+                        ty: *ty,
+                        dst: *dst,
+                        a,
+                        b,
+                        ca,
+                        cb,
+                        sfu: *sfu,
+                    }
+                }
+                COp::Cmp { op, ty, dst, a, b } => {
+                    let (a, ca) = lo.row(a, Some(*ty));
+                    let (b, cb) = lo.row(b, Some(*ty));
+                    TOp::Cmp {
+                        op: *op,
+                        ty: *ty,
+                        dst: *dst,
+                        a,
+                        b,
+                        ca,
+                        cb,
+                    }
+                }
+                COp::Un {
+                    op,
+                    ty,
+                    dst,
+                    a,
+                    sfu,
+                } => {
+                    let (a, ca) = lo.row(a, Some(*ty));
+                    TOp::Un {
+                        op: *op,
+                        ty: *ty,
+                        dst: *dst,
+                        a,
+                        ca,
+                        sfu: *sfu,
+                    }
+                }
+                COp::Select { dst, cond, a, b } => {
+                    // Select passes values through unconverted; the
+                    // inference guaranteed both arms are the dst type.
+                    let (a, _) = lo.row(a, None);
+                    let (b, _) = lo.row(b, None);
+                    TOp::Select {
+                        dst: *dst,
+                        cond: *cond,
+                        kind: cond_kind(lo.rt[*cond]),
+                        a,
+                        b,
+                    }
+                }
+                COp::Cvt { dst, ty, src } => match src {
+                    COpnd::Reg(r) => TOp::Cvt {
+                        dst: *dst,
+                        src: *r,
+                        cv: conv_for(lo.rt[*r], *ty),
+                    },
+                    COpnd::Imm(v) => TOp::Broadcast {
+                        dst: *dst,
+                        bits: value_bits(v.convert(*ty)),
+                    },
+                },
+                COp::LdGlobal { ty, dst, mem } => TOp::LdGlobal {
+                    ty: *ty,
+                    dst: *dst,
+                    mem: lo.tmem(mem),
+                },
+                COp::StGlobal { ty, src, mem } => {
+                    let (src, sc) = lo.row(src, Some(*ty));
+                    TOp::StGlobal {
+                        ty: *ty,
+                        src,
+                        sc,
+                        mem: lo.tmem(mem),
+                    }
+                }
+                COp::LdShared { ty, dst, mem } => TOp::LdShared {
+                    ty: *ty,
+                    dst: *dst,
+                    mem: lo.tmem(mem),
+                },
+                COp::StShared { ty, src, mem } => {
+                    let (src, sc) = lo.row(src, Some(*ty));
+                    TOp::StShared {
+                        ty: *ty,
+                        src,
+                        sc,
+                        mem: lo.tmem(mem),
+                    }
+                }
+                COp::AtomGlobal {
+                    op,
+                    ty,
+                    mem,
+                    src,
+                    dst,
+                } => {
+                    let (src, sc) = lo.row(src, Some(*ty));
+                    TOp::AtomGlobal {
+                        op: *op,
+                        ty: *ty,
+                        mem: lo.tmem(mem),
+                        src,
+                        sc,
+                        dst: *dst,
+                    }
+                }
+                COp::Bar => TOp::Bar,
+                COp::Bra { target, cond } => TOp::Bra {
+                    target: *target,
+                    cond: cond.map(|(r, e)| (r, cond_kind(lo.rt[r]), e)),
+                },
+                COp::Ret => TOp::Ret,
+            });
+        }
+        Some(TypedPlan {
+            tops,
+            num_regs,
+            consts: lo.consts,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Per-block mutable state owned by the compiled tier: the SoA register
+/// file plus reusable scratch buffers (the interpreter allocates fresh
+/// containers for these on every warp-step).
+struct BlockState {
+    /// `regs[reg * n + lane]`.
+    regs: Vec<Value>,
+    n: usize,
+    /// Active lanes of the current group (constant across a run).
+    mask: Vec<usize>,
+    /// Segment/word index scratch for the coalescing model.
+    seg_buf: Vec<u64>,
+    /// Per-bank occupancy scratch for the conflict model.
+    bank_counts: Vec<u32>,
+}
+
+/// Control disposition of one executed instruction.
+enum Flow {
+    /// Fall through to the next instruction of the run.
+    Next,
+    /// Terminator executed (PCs already updated); the run is over.
+    Stop,
+}
+
+/// Run one block through the compiled tier. Drives the same
+/// [`BlockExec`] the interpreter uses — barrier bookkeeping, watchdog,
+/// overlap folding, traces, sanitizer shadows, and profiles are shared
+/// code, not re-implementations.
+pub(crate) fn run_block(ck: &CompiledKernel, exec: &mut BlockExec) -> Result<(), AccessAbort> {
+    if let Some(plan) = &ck.typed {
+        return run_block_typed(ck, plan, exec);
+    }
+    let warp = exec.dev.warp_size as usize;
+    let n = exec.threads.len();
+    let num_warps = n.div_ceil(warp);
+    let mut st = BlockState {
+        regs: vec![Value::I32(0); ck.num_regs * n],
+        n,
+        mask: Vec::with_capacity(warp),
+        seg_buf: Vec::with_capacity(2 * warp),
+        bank_counts: vec![0; exec.dev.shared_banks as usize],
+    };
+    loop {
+        for w in 0..num_warps {
+            let lo = w * warp;
+            let hi = ((w + 1) * warp).min(n);
+            let warp_id = w as u32;
+            loop {
+                // Min leader among runnable lanes; the group is every
+                // runnable lane resting there.
+                let mut min_pc = usize::MAX;
+                for l in lo..hi {
+                    let t = &exec.threads[l];
+                    if t.runnable() && t.pc < min_pc {
+                        min_pc = t.pc;
+                    }
+                }
+                if min_pc == usize::MAX {
+                    break; // warp fully blocked or exited
+                }
+                st.mask.clear();
+                for l in lo..hi {
+                    let t = &exec.threads[l];
+                    if t.runnable() && t.pc == min_pc {
+                        st.mask.push(l);
+                    }
+                }
+                run_group(ck, exec, &mut st, warp_id, min_pc)?;
+            }
+        }
+        if !exec.barrier_round()? {
+            break;
+        }
+    }
+    exec.finish_block(num_warps);
+    Ok(())
+}
+
+/// Execute one full run for the current group (constant mask; see module
+/// docs for why this is exact).
+fn run_group(
+    ck: &CompiledKernel,
+    exec: &mut BlockExec,
+    st: &mut BlockState,
+    warp_id: u32,
+    leader: usize,
+) -> Result<(), AccessAbort> {
+    let ri = ck.run_of[leader];
+    let run = ck.runs[ri];
+    debug_assert_eq!(run.start, leader, "groups rest only at leaders");
+    let uniform = ck.run_uniform[ri];
+    for pc in run.start..run.end {
+        let flow = exec_op(ck, exec, st, warp_id, pc, uniform)?;
+        exec.watchdog()?;
+        if let Flow::Stop = flow {
+            return Ok(());
+        }
+    }
+    // Fallthrough into the next run: lanes rest at its leader.
+    for &l in &st.mask {
+        exec.threads[l].pc = run.end;
+    }
+    Ok(())
+}
+
+#[inline]
+fn opnd(regs: &[Value], n: usize, o: COpnd, lane: usize) -> Value {
+    match o {
+        COpnd::Reg(r) => regs[r * n + lane],
+        COpnd::Imm(v) => v,
+    }
+}
+
+#[inline]
+fn mem_addr(regs: &[Value], n: usize, mem: &CMem, lane: usize) -> u64 {
+    let base = opnd(regs, n, mem.base, lane).as_u64();
+    let idx = mem.index.map_or(0, |r| regs[r * n + lane].as_i64());
+    mref_addr(base, idx, mem.scale, mem.disp)
+}
+
+/// Allocation-free twin of [`crate::coalesce::global_transactions`].
+/// Monotonically non-decreasing segment sequences (every coalesced or
+/// strided access pattern the reduction kernels emit) are counted in one
+/// pass; anything else falls back to sort+dedup on a reusable buffer.
+fn transactions(accesses: &[(u64, usize)], segment_bytes: u64, buf: &mut Vec<u64>) -> u64 {
+    let mut distinct = 0u64;
+    let mut have = false;
+    let mut prev = 0u64;
+    for &(addr, len) in accesses {
+        if len == 0 {
+            continue;
+        }
+        let first = addr / segment_bytes;
+        let last = addr.saturating_add(len as u64 - 1) / segment_bytes;
+        if !have {
+            distinct += last - first + 1;
+            prev = last;
+            have = true;
+        } else if first > prev {
+            // Disjoint from everything seen (seen max is `prev`).
+            distinct += last - first + 1;
+            prev = last;
+        } else if first == prev {
+            // Extends the last segment range; only `prev+1..=last` is new.
+            distinct += last - prev;
+            prev = last;
+        } else {
+            return transactions_slow(accesses, segment_bytes, buf);
+        }
+    }
+    distinct
+}
+
+/// General-case twin: distinct aligned segments via sort+dedup.
+fn transactions_slow(accesses: &[(u64, usize)], segment_bytes: u64, buf: &mut Vec<u64>) -> u64 {
+    buf.clear();
+    for &(addr, len) in accesses {
+        if len == 0 {
+            continue;
+        }
+        let first = addr / segment_bytes;
+        let last = addr.saturating_add(len as u64 - 1) / segment_bytes;
+        for s in first..=last {
+            buf.push(s);
+        }
+    }
+    buf.sort_unstable();
+    buf.dedup();
+    buf.len() as u64
+}
+
+/// Allocation-free twin of [`crate::coalesce::bank_conflict_degree`]:
+/// max over banks of *distinct* words. Monotonic word sequences skip the
+/// sort+dedup and count bank occupancy directly.
+fn conflict_ways(
+    accesses: &[(u64, usize)],
+    num_banks: u32,
+    buf: &mut Vec<u64>,
+    counts: &mut [u32],
+) -> u64 {
+    if accesses.is_empty() {
+        return 0;
+    }
+    counts.fill(0);
+    let mut max = 0u32;
+    let mut have = false;
+    let mut prev = 0u64;
+    for &(off, len) in accesses {
+        if len == 0 {
+            continue;
+        }
+        let first = off / 4;
+        let last = off.saturating_add(len as u64 - 1) / 4;
+        // New words in this access: those above `prev` (every seen word
+        // is <= prev in the monotonic case; a range starting below it
+        // could contain unseen words we cannot cheaply distinguish).
+        let start = if !have {
+            have = true;
+            first
+        } else if first > prev {
+            first
+        } else if first == prev {
+            if last == prev {
+                continue;
+            }
+            prev + 1
+        } else {
+            return conflict_ways_slow(accesses, num_banks, buf, counts);
+        };
+        for w in start..=last {
+            let c = &mut counts[(w % num_banks as u64) as usize];
+            *c += 1;
+            max = max.max(*c);
+        }
+        prev = last;
+    }
+    (max as u64).max(1)
+}
+
+/// General-case twin: global sort+dedup, then per-bank occupancy.
+fn conflict_ways_slow(
+    accesses: &[(u64, usize)],
+    num_banks: u32,
+    buf: &mut Vec<u64>,
+    counts: &mut [u32],
+) -> u64 {
+    buf.clear();
+    for &(off, len) in accesses {
+        if len == 0 {
+            continue;
+        }
+        let first = off / 4;
+        let last = off.saturating_add(len as u64 - 1) / 4;
+        for w in first..=last {
+            buf.push(w);
+        }
+    }
+    buf.sort_unstable();
+    buf.dedup();
+    counts.fill(0);
+    let mut max = 0u32;
+    for &w in buf.iter() {
+        let c = &mut counts[(w % num_banks as u64) as usize];
+        *c += 1;
+        max = max.max(*c);
+    }
+    (max as u64).max(1)
+}
+
+/// Trace/sanitizer bookkeeping for a warp-uniform memory access: one
+/// address for every lane. Mirrors [`BlockExec::observe_mem`] exactly —
+/// the annotation span of M identical accesses is the span of one, and
+/// the sanitizer still sees every lane.
+#[allow(clippy::too_many_arguments)]
+fn observe_mem_uniform(
+    exec: &mut BlockExec,
+    space: TraceSpace,
+    mask: &[usize],
+    warp_id: u32,
+    pc: usize,
+    kind: AccessKind,
+    recorded: bool,
+    addr: u64,
+    size: usize,
+) {
+    if recorded {
+        if let Some(t) = exec.trace.as_mut() {
+            t.annotate_mem(MemTouch {
+                space,
+                lo: addr,
+                hi: addr.saturating_add(size as u64),
+            });
+        }
+    }
+    if let Some(s) = exec.san.as_mut() {
+        for &l in mask {
+            match space {
+                TraceSpace::Shared => {
+                    s.shared_access(l as u32, warp_id, pc, addr, size, kind.writes())
+                }
+                TraceSpace::Global => s.global_access(l as u32, warp_id, pc, addr, size, kind),
+            }
+        }
+    }
+}
+
+/// Execute one pre-decoded instruction for the current group. A faithful
+/// port of the interpreter's `step` — same instrumentation in the same
+/// order, same error points — over the SoA register file, with a
+/// one-lane-and-broadcast path for uniform runs.
+fn exec_op(
+    ck: &CompiledKernel,
+    exec: &mut BlockExec,
+    st: &mut BlockState,
+    warp_id: u32,
+    pc: usize,
+    uniform: bool,
+) -> Result<Flow, AccessAbort> {
+    let mlen = st.mask.len();
+    debug_assert!(mlen > 0);
+    let recorded = match exec.trace.as_mut() {
+        Some(t) => t.record(TraceEvent {
+            block: exec.block_idx,
+            warp: warp_id,
+            pc,
+            active: mlen as u32,
+            text: crate::ir::format_inst(&exec.kernel.insts[pc]),
+            mem: None,
+        }),
+        None => false,
+    };
+    exec.stats.warp_insts += 1;
+    exec.stats.lane_insts += mlen as u64;
+    let mut d = PcCounters {
+        warp_insts: 1,
+        lane_insts: mlen as u64,
+        issue_cycles: exec.cost.issue,
+        ..PcCounters::default()
+    };
+    let n = st.n;
+    let l0 = st.mask[0];
+    let mut flow = Flow::Next;
+    match &ck.ops[pc] {
+        COp::MovImm { dst, value } => {
+            for &l in &st.mask {
+                st.regs[dst * n + l] = *value;
+            }
+            d.alu_cycles = exec.cost.alu;
+        }
+        COp::Mov { dst, src } => {
+            if uniform {
+                let v = st.regs[src * n + l0];
+                for &l in &st.mask {
+                    st.regs[dst * n + l] = v;
+                }
+            } else {
+                for &l in &st.mask {
+                    let v = st.regs[src * n + l];
+                    st.regs[dst * n + l] = v;
+                }
+            }
+            d.alu_cycles = exec.cost.alu;
+        }
+        COp::ReadSpecial { dst, sr } => {
+            if uniform {
+                let v = exec.special(l0, *sr);
+                for &l in &st.mask {
+                    st.regs[dst * n + l] = v;
+                }
+            } else {
+                for &l in &st.mask {
+                    let v = exec.special(l, *sr);
+                    st.regs[dst * n + l] = v;
+                }
+            }
+            d.alu_cycles = exec.cost.alu;
+        }
+        COp::ReadParam { dst, idx } => {
+            let v = *exec.params.get(*idx).ok_or(SimError::BadParams {
+                expected: exec.kernel.num_params,
+                got: exec.params.len() as u32,
+            })?;
+            for &l in &st.mask {
+                st.regs[dst * n + l] = v;
+            }
+            d.alu_cycles = exec.cost.alu;
+        }
+        COp::Bin {
+            op,
+            ty,
+            dst,
+            a,
+            b,
+            sfu,
+        } => {
+            if uniform {
+                let r = eval_bin(
+                    *op,
+                    *ty,
+                    opnd(&st.regs, n, *a, l0),
+                    opnd(&st.regs, n, *b, l0),
+                )?;
+                for &l in &st.mask {
+                    st.regs[dst * n + l] = r;
+                }
+            } else {
+                for &l in &st.mask {
+                    let av = opnd(&st.regs, n, *a, l);
+                    let bv = opnd(&st.regs, n, *b, l);
+                    st.regs[dst * n + l] = eval_bin(*op, *ty, av, bv)?;
+                }
+            }
+            d.alu_cycles = alu_cost(exec.cost, *ty, *sfu);
+        }
+        COp::Cmp { op, ty, dst, a, b } => {
+            if uniform {
+                let av = opnd(&st.regs, n, *a, l0).convert(*ty);
+                let bv = opnd(&st.regs, n, *b, l0).convert(*ty);
+                let r = Value::Pred(eval_cmp(*op, *ty, av, bv));
+                for &l in &st.mask {
+                    st.regs[dst * n + l] = r;
+                }
+            } else {
+                for &l in &st.mask {
+                    let av = opnd(&st.regs, n, *a, l).convert(*ty);
+                    let bv = opnd(&st.regs, n, *b, l).convert(*ty);
+                    st.regs[dst * n + l] = Value::Pred(eval_cmp(*op, *ty, av, bv));
+                }
+            }
+            d.alu_cycles = alu_cost(exec.cost, *ty, false);
+        }
+        COp::Un {
+            op,
+            ty,
+            dst,
+            a,
+            sfu,
+        } => {
+            if uniform {
+                let r = eval_un(*op, *ty, opnd(&st.regs, n, *a, l0))?;
+                for &l in &st.mask {
+                    st.regs[dst * n + l] = r;
+                }
+            } else {
+                for &l in &st.mask {
+                    let av = opnd(&st.regs, n, *a, l);
+                    st.regs[dst * n + l] = eval_un(*op, *ty, av)?;
+                }
+            }
+            d.alu_cycles = alu_cost(exec.cost, *ty, *sfu);
+        }
+        COp::Select { dst, cond, a, b } => {
+            if uniform {
+                let c = st.regs[cond * n + l0].as_bool();
+                let v = if c {
+                    opnd(&st.regs, n, *a, l0)
+                } else {
+                    opnd(&st.regs, n, *b, l0)
+                };
+                for &l in &st.mask {
+                    st.regs[dst * n + l] = v;
+                }
+            } else {
+                for &l in &st.mask {
+                    let c = st.regs[cond * n + l].as_bool();
+                    let v = if c {
+                        opnd(&st.regs, n, *a, l)
+                    } else {
+                        opnd(&st.regs, n, *b, l)
+                    };
+                    st.regs[dst * n + l] = v;
+                }
+            }
+            d.alu_cycles = exec.cost.alu;
+        }
+        COp::Cvt { dst, ty, src } => {
+            if uniform {
+                let v = opnd(&st.regs, n, *src, l0).convert(*ty);
+                for &l in &st.mask {
+                    st.regs[dst * n + l] = v;
+                }
+            } else {
+                for &l in &st.mask {
+                    let v = opnd(&st.regs, n, *src, l).convert(*ty);
+                    st.regs[dst * n + l] = v;
+                }
+            }
+            d.alu_cycles = exec.cost.alu;
+        }
+        COp::LdGlobal { ty, dst, mem } => {
+            let tx;
+            if uniform {
+                let a = mem_addr(&st.regs, n, mem, l0);
+                tx = transactions(&[(a, mem.size)], exec.dev.segment_bytes, &mut st.seg_buf);
+                charge_global(exec, &mut d, tx);
+                let v = exec.view.read(*ty, a)?;
+                for &l in &st.mask {
+                    st.regs[dst * n + l] = v;
+                }
+                observe_mem_uniform(
+                    exec,
+                    TraceSpace::Global,
+                    &st.mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Read,
+                    recorded,
+                    a,
+                    mem.size,
+                );
+            } else {
+                exec.scratch_addr.clear();
+                for &l in &st.mask {
+                    exec.scratch_addr
+                        .push((mem_addr(&st.regs, n, mem, l), mem.size));
+                }
+                tx = transactions(&exec.scratch_addr, exec.dev.segment_bytes, &mut st.seg_buf);
+                charge_global(exec, &mut d, tx);
+                for (i, &l) in st.mask.iter().enumerate() {
+                    let v = exec.view.read(*ty, exec.scratch_addr[i].0)?;
+                    st.regs[dst * n + l] = v;
+                }
+                exec.observe_mem(
+                    TraceSpace::Global,
+                    &st.mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Read,
+                    recorded,
+                );
+            }
+        }
+        COp::StGlobal { ty, src, mem } => {
+            if uniform {
+                let a = mem_addr(&st.regs, n, mem, l0);
+                let tx = transactions(&[(a, mem.size)], exec.dev.segment_bytes, &mut st.seg_buf);
+                charge_global(exec, &mut d, tx);
+                let v = opnd(&st.regs, n, *src, l0).convert(*ty);
+                // M identical writes to one address are one write.
+                exec.view.write(a, v)?;
+                observe_mem_uniform(
+                    exec,
+                    TraceSpace::Global,
+                    &st.mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Write,
+                    recorded,
+                    a,
+                    mem.size,
+                );
+            } else {
+                exec.scratch_addr.clear();
+                for &l in &st.mask {
+                    exec.scratch_addr
+                        .push((mem_addr(&st.regs, n, mem, l), mem.size));
+                }
+                let tx = transactions(&exec.scratch_addr, exec.dev.segment_bytes, &mut st.seg_buf);
+                charge_global(exec, &mut d, tx);
+                for (i, &l) in st.mask.iter().enumerate() {
+                    let v = opnd(&st.regs, n, *src, l).convert(*ty);
+                    exec.view.write(exec.scratch_addr[i].0, v)?;
+                }
+                exec.observe_mem(
+                    TraceSpace::Global,
+                    &st.mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Write,
+                    recorded,
+                );
+            }
+        }
+        COp::LdShared { ty, dst, mem } => {
+            if uniform {
+                let a = mem_addr(&st.regs, n, mem, l0);
+                let ways = conflict_ways(
+                    &[(a, mem.size)],
+                    exec.dev.shared_banks,
+                    &mut st.seg_buf,
+                    &mut st.bank_counts,
+                );
+                charge_shared(exec, &mut d, ways);
+                // Observation precedes the access, as in the interpreter
+                // (the sanitizer sees even out-of-bounds shared reads).
+                observe_mem_uniform(
+                    exec,
+                    TraceSpace::Shared,
+                    &st.mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Read,
+                    recorded,
+                    a,
+                    mem.size,
+                );
+                let v = exec.shared.read(*ty, a)?;
+                for &l in &st.mask {
+                    st.regs[dst * n + l] = v;
+                }
+            } else {
+                exec.scratch_addr.clear();
+                for &l in &st.mask {
+                    exec.scratch_addr
+                        .push((mem_addr(&st.regs, n, mem, l), mem.size));
+                }
+                let ways = conflict_ways(
+                    &exec.scratch_addr,
+                    exec.dev.shared_banks,
+                    &mut st.seg_buf,
+                    &mut st.bank_counts,
+                );
+                charge_shared(exec, &mut d, ways);
+                exec.observe_mem(
+                    TraceSpace::Shared,
+                    &st.mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Read,
+                    recorded,
+                );
+                for (i, &l) in st.mask.iter().enumerate() {
+                    let v = exec.shared.read(*ty, exec.scratch_addr[i].0)?;
+                    st.regs[dst * n + l] = v;
+                }
+            }
+        }
+        COp::StShared { ty, src, mem } => {
+            if uniform {
+                let a = mem_addr(&st.regs, n, mem, l0);
+                let ways = conflict_ways(
+                    &[(a, mem.size)],
+                    exec.dev.shared_banks,
+                    &mut st.seg_buf,
+                    &mut st.bank_counts,
+                );
+                charge_shared(exec, &mut d, ways);
+                let v = opnd(&st.regs, n, *src, l0).convert(*ty);
+                exec.shared.write(a, v)?;
+                observe_mem_uniform(
+                    exec,
+                    TraceSpace::Shared,
+                    &st.mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Write,
+                    recorded,
+                    a,
+                    mem.size,
+                );
+            } else {
+                exec.scratch_addr.clear();
+                for &l in &st.mask {
+                    exec.scratch_addr
+                        .push((mem_addr(&st.regs, n, mem, l), mem.size));
+                }
+                let ways = conflict_ways(
+                    &exec.scratch_addr,
+                    exec.dev.shared_banks,
+                    &mut st.seg_buf,
+                    &mut st.bank_counts,
+                );
+                charge_shared(exec, &mut d, ways);
+                for (i, &l) in st.mask.iter().enumerate() {
+                    let v = opnd(&st.regs, n, *src, l).convert(*ty);
+                    exec.shared.write(exec.scratch_addr[i].0, v)?;
+                }
+                exec.observe_mem(
+                    TraceSpace::Shared,
+                    &st.mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Write,
+                    recorded,
+                );
+            }
+        }
+        COp::AtomGlobal {
+            op,
+            ty,
+            mem,
+            src,
+            dst,
+        } => {
+            // Never on the uniform path (serialized applications differ
+            // from one application); faithful port of the interpreter arm.
+            exec.stats.atomics += 1;
+            exec.stats.global_accesses += 1;
+            d.atomics = 1;
+            d.global_accesses = 1;
+            d.global_transactions = mlen as u64;
+            d.atomic_cycles = mlen as u64 * exec.cost.atomic_lane;
+            exec.scratch_addr.clear();
+            for &l in &st.mask {
+                exec.scratch_addr
+                    .push((mem_addr(&st.regs, n, mem, l), mem.size));
+            }
+            exec.observe_mem(
+                TraceSpace::Global,
+                &st.mask,
+                warp_id,
+                pc,
+                AccessKind::Atomic,
+                recorded,
+            );
+            if dst.is_some() && matches!(exec.view, MemView::Overlay(_)) {
+                return Err(AccessAbort::NeedsSequential("atomic with a result operand"));
+            }
+            for (i, &l) in st.mask.iter().enumerate() {
+                let addr = exec.scratch_addr[i].0;
+                let v = opnd(&st.regs, n, *src, l).convert(*ty);
+                if let Some(old) = exec.view.atom(*op, *ty, addr, v)? {
+                    if let Some(dr) = dst {
+                        st.regs[dr * n + l] = old;
+                    }
+                }
+            }
+            exec.stats.global_transactions += mlen as u64;
+        }
+        COp::Bar => {
+            exec.stats.barriers += 1;
+            d.barriers = 1;
+            d.barrier_cycles = exec.cost.barrier;
+            for &l in &st.mask {
+                exec.threads[l].at_barrier = true;
+                exec.threads[l].pc = pc + 1;
+            }
+            flow = Flow::Stop;
+        }
+        COp::Bra { target, cond } => {
+            match cond {
+                None => {
+                    for &l in &st.mask {
+                        exec.threads[l].pc = *target;
+                    }
+                }
+                Some((r, expect)) => {
+                    if uniform {
+                        let take = st.regs[r * n + l0].as_bool() == *expect;
+                        let to = if take { *target } else { pc + 1 };
+                        for &l in &st.mask {
+                            exec.threads[l].pc = to;
+                        }
+                    } else {
+                        for &l in &st.mask {
+                            let take = st.regs[r * n + l].as_bool() == *expect;
+                            exec.threads[l].pc = if take { *target } else { pc + 1 };
+                        }
+                    }
+                }
+            }
+            d.alu_cycles = exec.cost.alu;
+            flow = Flow::Stop;
+        }
+        COp::Ret => {
+            for &l in &st.mask {
+                exec.threads[l].exited = true;
+            }
+            flow = Flow::Stop;
+        }
+    }
+    exec.cycles_raw += d.cycles();
+    if let Some(p) = exec.prof.as_mut() {
+        p.record(pc, warp_id, &d);
+    }
+    Ok(flow)
+}
+
+/// Global-memory charge shared by the load/store arms (identical to the
+/// interpreter's bookkeeping).
+#[inline]
+fn charge_global(exec: &mut BlockExec, d: &mut PcCounters, tx: u64) {
+    exec.stats.global_accesses += 1;
+    exec.stats.global_transactions += tx;
+    d.global_accesses = 1;
+    d.global_transactions = tx;
+    // First transaction is unavoidable; the rest are the serialization
+    // penalty of an uncoalesced access.
+    d.mem_cycles = exec.cost.global_segment;
+    d.mem_serial_cycles = (tx - 1) * exec.cost.global_segment;
+}
+
+/// Shared-memory charge shared by the load/store arms.
+#[inline]
+fn charge_shared(exec: &mut BlockExec, d: &mut PcCounters, ways: u64) {
+    exec.stats.shared_accesses += 1;
+    exec.stats.shared_ways += ways;
+    d.shared_accesses = 1;
+    d.shared_ways = ways;
+    // First way is conflict-free; extra ways are the bank-conflict
+    // serialization penalty.
+    d.shared_cycles = exec.cost.shared_way;
+    d.conflict_cycles = (ways - 1) * exec.cost.shared_way;
+}
+
+// ---------------------------------------------------------------------------
+// Typed execution
+// ---------------------------------------------------------------------------
+
+/// Per-block state of the typed tier: one flat bit row per register and
+/// constant (`bits[row * n + lane]`), plus the scratch buffers.
+struct TypedState {
+    bits: Vec<u64>,
+    n: usize,
+    mask: Vec<usize>,
+    /// `mask` is a contiguous lane range (the overwhelmingly common
+    /// case): lane loops become plain ranges.
+    contig: bool,
+    seg_buf: Vec<u64>,
+    bank_counts: Vec<u32>,
+    /// Conversion scratch for coalesced span stores.
+    tmp: Vec<u64>,
+}
+
+/// Broadcast `v` to the active lanes of row `dst`.
+#[inline(always)]
+fn fill(bits: &mut [u64], n: usize, mask: &[usize], contig: bool, dst: usize, v: u64) {
+    let dr = dst * n;
+    if contig {
+        let lo = mask[0];
+        bits[dr + lo..dr + lo + mask.len()].fill(v);
+    } else {
+        for &l in mask {
+            bits[dr + l] = v;
+        }
+    }
+}
+
+/// Apply `f` lane-wise over two converted source rows into `dst`. The
+/// `(op, ty)` dispatch happens once at the call site; this is the tight
+/// loop. Errors abort mid-loop with earlier lanes already written, in
+/// ascending lane order — exactly the interpreter's partial-write
+/// semantics for faults like division by zero.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn map2<T: Copy, U>(
+    bits: &mut [u64],
+    n: usize,
+    mask: &[usize],
+    contig: bool,
+    dst: usize,
+    a: usize,
+    b: usize,
+    ca: Conv,
+    cb: Conv,
+    dec: impl Fn(u64) -> T,
+    enc: impl Fn(U) -> u64,
+    f: impl Fn(T, T) -> Result<U, SimError>,
+) -> Result<(), SimError> {
+    let (dr, ar, br) = (dst * n, a * n, b * n);
+    if contig {
+        let lo = mask[0];
+        let hi = lo + mask.len();
+        if ca == Conv::Id && cb == Conv::Id {
+            for l in lo..hi {
+                let r = f(dec(bits[ar + l]), dec(bits[br + l]))?;
+                bits[dr + l] = enc(r);
+            }
+        } else {
+            for l in lo..hi {
+                let r = f(dec(ca.apply(bits[ar + l])), dec(cb.apply(bits[br + l])))?;
+                bits[dr + l] = enc(r);
+            }
+        }
+    } else {
+        for &l in mask {
+            let r = f(dec(ca.apply(bits[ar + l])), dec(cb.apply(bits[br + l])))?;
+            bits[dr + l] = enc(r);
+        }
+    }
+    Ok(())
+}
+
+/// Unary twin of [`map2`].
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn map1<T: Copy, U>(
+    bits: &mut [u64],
+    n: usize,
+    mask: &[usize],
+    contig: bool,
+    dst: usize,
+    a: usize,
+    ca: Conv,
+    dec: impl Fn(u64) -> T,
+    enc: impl Fn(U) -> u64,
+    f: impl Fn(T) -> Result<U, SimError>,
+) -> Result<(), SimError> {
+    let (dr, ar) = (dst * n, a * n);
+    if contig {
+        let lo = mask[0];
+        let hi = lo + mask.len();
+        for l in lo..hi {
+            let r = f(dec(ca.apply(bits[ar + l])))?;
+            bits[dr + l] = enc(r);
+        }
+    } else {
+        for &l in mask {
+            let r = f(dec(ca.apply(bits[ar + l])))?;
+            bits[dr + l] = enc(r);
+        }
+    }
+    Ok(())
+}
+
+/// Typed `Bin`: the bit-level image of [`eval_bin`] with the type
+/// dispatch and operand conversions hoisted out of the lane loop.
+#[allow(clippy::too_many_arguments)]
+fn bin_bits(
+    op: BinOp,
+    ty: Ty,
+    bits: &mut [u64],
+    n: usize,
+    mask: &[usize],
+    contig: bool,
+    uniform: bool,
+    dst: usize,
+    a: usize,
+    b: usize,
+    ca: Conv,
+    cb: Conv,
+) -> Result<(), SimError> {
+    macro_rules! go {
+        ($dec:expr, $enc:expr, $f:expr) => {{
+            if uniform {
+                let l0 = mask[0];
+                let r = $f(
+                    $dec(ca.apply(bits[a * n + l0])),
+                    $dec(cb.apply(bits[b * n + l0])),
+                )?;
+                fill(bits, n, mask, contig, dst, $enc(r));
+                Ok(())
+            } else {
+                map2(bits, n, mask, contig, dst, a, b, ca, cb, $dec, $enc, $f)
+            }
+        }};
+    }
+    macro_rules! int_ops {
+        ($dec:expr, $enc:expr, $t:ty) => {
+            match op {
+                BinOp::Add => go!($dec, $enc, |x: $t, y: $t| Ok(x.wrapping_add(y))),
+                BinOp::Sub => go!($dec, $enc, |x: $t, y: $t| Ok(x.wrapping_sub(y))),
+                BinOp::Mul => go!($dec, $enc, |x: $t, y: $t| Ok(x.wrapping_mul(y))),
+                BinOp::Div => go!($dec, $enc, |x: $t, y: $t| if y == 0 {
+                    Err(SimError::DivisionByZero)
+                } else {
+                    Ok(x.wrapping_div(y))
+                }),
+                BinOp::Rem => go!($dec, $enc, |x: $t, y: $t| if y == 0 {
+                    Err(SimError::DivisionByZero)
+                } else {
+                    Ok(x.wrapping_rem(y))
+                }),
+                BinOp::Min => go!($dec, $enc, |x: $t, y: $t| Ok(x.min(y))),
+                BinOp::Max => go!($dec, $enc, |x: $t, y: $t| Ok(x.max(y))),
+                BinOp::And => go!($dec, $enc, |x: $t, y: $t| Ok(x & y)),
+                BinOp::Or => go!($dec, $enc, |x: $t, y: $t| Ok(x | y)),
+                BinOp::Xor => go!($dec, $enc, |x: $t, y: $t| Ok(x ^ y)),
+                BinOp::Shl => go!($dec, $enc, |x: $t, y: $t| Ok(x.wrapping_shl(y as u32))),
+                BinOp::Shr => go!($dec, $enc, |x: $t, y: $t| Ok(x.wrapping_shr(y as u32))),
+            }
+        };
+    }
+    macro_rules! float_ops {
+        ($dec:expr, $enc:expr, $t:ty) => {
+            match op {
+                BinOp::Add => go!($dec, $enc, |x: $t, y: $t| Ok(x + y)),
+                BinOp::Sub => go!($dec, $enc, |x: $t, y: $t| Ok(x - y)),
+                BinOp::Mul => go!($dec, $enc, |x: $t, y: $t| Ok(x * y)),
+                BinOp::Div => go!($dec, $enc, |x: $t, y: $t| Ok(x / y)),
+                BinOp::Rem => go!($dec, $enc, |x: $t, y: $t| Ok(x % y)),
+                BinOp::Min => go!($dec, $enc, |x: $t, y: $t| Ok(x.min(y))),
+                BinOp::Max => go!($dec, $enc, |x: $t, y: $t| Ok(x.max(y))),
+                _ => Err(SimError::TypeError {
+                    context: format!("bitwise {op} on float type {ty}"),
+                }),
+            }
+        };
+    }
+    match ty {
+        Ty::I32 => int_ops!(|b| b as u32 as i32, |r: i32| r as u32 as u64, i32),
+        Ty::I64 => int_ops!(|b| b as i64, |r: i64| r as u64, i64),
+        Ty::U64 => int_ops!(|b| b, |r: u64| r, u64),
+        // Float encoders canonicalize NaN results, the bit-level image of
+        // [`eval_bin`]'s canonicalization (see [`crate::types::canon_f32`]).
+        Ty::F32 => {
+            float_ops!(
+                |b| f32::from_bits(b as u32),
+                |r: f32| crate::types::canon_f32(r).to_bits() as u64,
+                f32
+            )
+        }
+        Ty::F64 => float_ops!(
+            f64::from_bits,
+            |r: f64| crate::types::canon_f64(r).to_bits(),
+            f64
+        ),
+        Ty::Pred => match op {
+            BinOp::And => go!(|b| b != 0, |r: bool| r as u64, |x, y| Ok(x && y)),
+            BinOp::Or => go!(|b| b != 0, |r: bool| r as u64, |x, y| Ok(x || y)),
+            BinOp::Xor => go!(|b| b != 0, |r: bool| r as u64, |x: bool, y: bool| Ok(x ^ y)),
+            _ => Err(SimError::TypeError {
+                context: format!("arithmetic {op} on predicate"),
+            }),
+        },
+    }
+}
+
+/// Typed `Cmp`: the bit-level image of [`eval_cmp`] over pre-converted
+/// operands (native float comparisons reproduce the `partial_cmp` table,
+/// including `Ne` on NaN).
+#[allow(clippy::too_many_arguments)]
+fn cmp_bits(
+    op: CmpOp,
+    ty: Ty,
+    bits: &mut [u64],
+    n: usize,
+    mask: &[usize],
+    contig: bool,
+    uniform: bool,
+    dst: usize,
+    a: usize,
+    b: usize,
+    ca: Conv,
+    cb: Conv,
+) {
+    macro_rules! go {
+        ($dec:expr, $f:expr) => {{
+            let enc = |r: bool| r as u64;
+            let r: Result<(), SimError> = if uniform {
+                let l0 = mask[0];
+                let v = $f(
+                    $dec(ca.apply(bits[a * n + l0])),
+                    $dec(cb.apply(bits[b * n + l0])),
+                );
+                fill(bits, n, mask, contig, dst, enc(v));
+                Ok(())
+            } else {
+                map2(
+                    bits,
+                    n,
+                    mask,
+                    contig,
+                    dst,
+                    a,
+                    b,
+                    ca,
+                    cb,
+                    $dec,
+                    enc,
+                    |x, y| Ok($f(x, y)),
+                )
+            };
+            let _ = r; // comparisons cannot fault
+        }};
+    }
+    macro_rules! cmp_ops {
+        ($dec:expr, $t:ty) => {
+            match op {
+                CmpOp::Eq => go!($dec, |x: $t, y: $t| x == y),
+                CmpOp::Ne => go!($dec, |x: $t, y: $t| x != y),
+                CmpOp::Lt => go!($dec, |x: $t, y: $t| x < y),
+                CmpOp::Le => go!($dec, |x: $t, y: $t| x <= y),
+                CmpOp::Gt => go!($dec, |x: $t, y: $t| x > y),
+                CmpOp::Ge => go!($dec, |x: $t, y: $t| x >= y),
+            }
+        };
+    }
+    match ty {
+        Ty::I32 => cmp_ops!(|b| b as u32 as i32, i32),
+        Ty::I64 => cmp_ops!(|b| b as i64, i64),
+        // `Pred` compares as 0/1 integers (`as_i64`), same order as bits.
+        Ty::U64 | Ty::Pred => cmp_ops!(|b| b, u64),
+        Ty::F32 => cmp_ops!(|b| f32::from_bits(b as u32), f32),
+        Ty::F64 => cmp_ops!(f64::from_bits, f64),
+    }
+}
+
+/// Typed `Un`: the bit-level image of [`eval_un`]. The `F32` arms
+/// round-trip the converted operand through `f64` once more, because
+/// `eval_un` extracts via `as_f64() as f32` after converting.
+#[allow(clippy::too_many_arguments)]
+fn un_bits(
+    op: UnOp,
+    ty: Ty,
+    bits: &mut [u64],
+    n: usize,
+    mask: &[usize],
+    contig: bool,
+    uniform: bool,
+    dst: usize,
+    a: usize,
+    ca: Conv,
+) -> Result<(), SimError> {
+    macro_rules! go {
+        ($dec:expr, $enc:expr, $f:expr) => {{
+            if uniform {
+                let l0 = mask[0];
+                let r = $f($dec(ca.apply(bits[a * n + l0])))?;
+                fill(bits, n, mask, contig, dst, $enc(r));
+                Ok(())
+            } else {
+                map1(bits, n, mask, contig, dst, a, ca, $dec, $enc, $f)
+            }
+        }};
+    }
+    let dec_i32 = |b: u64| b as u32 as i32;
+    let enc_i32 = |r: i32| r as u32 as u64;
+    let dec_i64 = |b: u64| b as i64;
+    let enc_i64 = |r: i64| r as u64;
+    let dec_f32 = |b: u64| (f32::from_bits(b as u32) as f64) as f32;
+    // NaN-canonicalizing encoders, matching [`eval_un`]'s float results.
+    let enc_f32 = |r: f32| crate::types::canon_f32(r).to_bits() as u64;
+    let dec_f64 = f64::from_bits;
+    let enc_f64 = |r: f64| crate::types::canon_f64(r).to_bits();
+    match (op, ty) {
+        (UnOp::Neg, Ty::I32) => go!(dec_i32, enc_i32, |x: i32| Ok(x.wrapping_neg())),
+        (UnOp::Neg, Ty::I64) => go!(dec_i64, enc_i64, |x: i64| Ok(x.wrapping_neg())),
+        (UnOp::Neg, Ty::F32) => go!(dec_f32, enc_f32, |x: f32| Ok(-x)),
+        (UnOp::Neg, Ty::F64) => go!(dec_f64, enc_f64, |x: f64| Ok(-x)),
+        (UnOp::Abs, Ty::I32) => go!(dec_i32, enc_i32, |x: i32| Ok(x.wrapping_abs())),
+        (UnOp::Abs, Ty::I64) => go!(dec_i64, enc_i64, |x: i64| Ok(x.wrapping_abs())),
+        (UnOp::Abs, Ty::F32) => go!(dec_f32, enc_f32, |x: f32| Ok(x.abs())),
+        (UnOp::Abs, Ty::F64) => go!(dec_f64, enc_f64, |x: f64| Ok(x.abs())),
+        (UnOp::Sqrt, Ty::F32) => go!(dec_f32, enc_f32, |x: f32| Ok(x.sqrt())),
+        (UnOp::Sqrt, Ty::F64) => go!(dec_f64, enc_f64, |x: f64| Ok(x.sqrt())),
+        (UnOp::Not, Ty::Pred) => go!(|b: u64| b != 0, |r: bool| r as u64, |x: bool| Ok(!x)),
+        (UnOp::Not, Ty::I32) => go!(dec_i32, enc_i32, |x: i32| Ok(!x)),
+        (UnOp::Not, Ty::I64) => go!(dec_i64, enc_i64, |x: i64| Ok(!x)),
+        (op, ty) => Err(SimError::TypeError {
+            context: format!("unary {op} at type {ty}"),
+        }),
+    }
+}
+
+#[inline(always)]
+fn tmem_addr(bits: &[u64], n: usize, mem: &TMem, lane: usize) -> u64 {
+    let base = mem.bc.apply(bits[mem.base * n + lane]);
+    let idx = mem
+        .index
+        .map_or(0, |(r, c)| c.apply(bits[r * n + lane]) as i64);
+    mref_addr(base, idx, mem.scale, mem.disp)
+}
+
+/// True when the warp's per-lane accesses form one dense ascending span
+/// (`addrs[i] == addrs[0] + i * size`): the perfectly coalesced pattern
+/// that can be served by a single span read/write.
+#[inline]
+fn coalesced(addrs: &[(u64, usize)], size: usize) -> bool {
+    addrs.len() > 1
+        && addrs
+            .iter()
+            .enumerate()
+            .all(|(i, &(a, _))| a == addrs[0].0 + (i * size) as u64)
+}
+
+/// Typed twin of [`run_block`]: same warp scheduling, bit rows instead
+/// of [`Value`] rows.
+fn run_block_typed(
+    ck: &CompiledKernel,
+    plan: &TypedPlan,
+    exec: &mut BlockExec,
+) -> Result<(), AccessAbort> {
+    let warp = exec.dev.warp_size as usize;
+    let n = exec.threads.len();
+    let num_warps = n.div_ceil(warp);
+    let mut st = TypedState {
+        bits: vec![0u64; (plan.num_regs + plan.consts.len()) * n],
+        n,
+        mask: Vec::with_capacity(warp),
+        contig: true,
+        seg_buf: Vec::with_capacity(2 * warp),
+        bank_counts: vec![0; exec.dev.shared_banks as usize],
+        tmp: Vec::with_capacity(warp),
+    };
+    for (i, &c) in plan.consts.iter().enumerate() {
+        let r = (plan.num_regs + i) * n;
+        st.bits[r..r + n].fill(c);
+    }
+    loop {
+        for w in 0..num_warps {
+            let lo = w * warp;
+            let hi = ((w + 1) * warp).min(n);
+            let warp_id = w as u32;
+            loop {
+                let mut min_pc = usize::MAX;
+                let mut runnable = 0usize;
+                for l in lo..hi {
+                    let t = &exec.threads[l];
+                    if t.runnable() {
+                        runnable += 1;
+                        if t.pc < min_pc {
+                            min_pc = t.pc;
+                        }
+                    }
+                }
+                if min_pc == usize::MAX {
+                    break;
+                }
+                st.mask.clear();
+                for l in lo..hi {
+                    let t = &exec.threads[l];
+                    if t.runnable() && t.pc == min_pc {
+                        st.mask.push(l);
+                    }
+                }
+                st.contig = st.mask[st.mask.len() - 1] - st.mask[0] + 1 == st.mask.len();
+                let whole = st.mask.len() == runnable;
+                run_group_typed(ck, plan, exec, &mut st, warp_id, min_pc, whole)?;
+            }
+        }
+        if !exec.barrier_round()? {
+            break;
+        }
+    }
+    exec.finish_block(num_warps);
+    Ok(())
+}
+
+/// Control transfer out of one typed instruction: fall through, stop the
+/// group (barrier, exit, or a divergent branch — the scheduler must
+/// rescan), or jump the *whole intact group* to a new leader (uniform
+/// branch or run fallthrough), which skips the min-pc rescan entirely.
+enum TFlow {
+    Next,
+    Stop,
+    Goto(usize),
+}
+
+/// Typed twin of [`run_group`], extended to chase the group across runs:
+/// as long as every active lane leaves a run together (fallthrough or a
+/// branch every lane takes the same way), keep executing with the same
+/// mask instead of handing back to the per-warp min-pc scan. Thread `pc`s
+/// are only materialized at the points the scheduler can observe them
+/// (barrier, exit, divergence).
+fn run_group_typed(
+    ck: &CompiledKernel,
+    plan: &TypedPlan,
+    exec: &mut BlockExec,
+    st: &mut TypedState,
+    warp_id: u32,
+    leader: usize,
+    whole: bool,
+) -> Result<(), AccessAbort> {
+    let mut leader = leader;
+    loop {
+        let ri = ck.run_of[leader];
+        let run = ck.runs[ri];
+        debug_assert_eq!(run.start, leader, "groups rest only at leaders");
+        let uniform = ck.run_uniform[ri];
+        let mut next = run.end;
+        for pc in run.start..run.end {
+            let flow = exec_top(plan, exec, st, warp_id, pc, uniform)?;
+            exec.watchdog()?;
+            match flow {
+                TFlow::Next => {}
+                TFlow::Stop => return Ok(()),
+                TFlow::Goto(to) => {
+                    next = to;
+                    break;
+                }
+            }
+        }
+        // Chasing past the run is only scheduler-faithful when this group
+        // IS the warp's whole runnable set: with a divergent sibling group
+        // pending, the interpreter would re-pick the min-pc group here.
+        if !whole {
+            for &l in &st.mask {
+                exec.threads[l].pc = next;
+            }
+            return Ok(());
+        }
+        leader = next;
+    }
+}
+
+/// Execute one typed instruction for the current group. The
+/// instrumentation sequence is byte-for-byte the interpreter's (and
+/// [`exec_op`]'s); only the register representation differs.
+fn exec_top(
+    plan: &TypedPlan,
+    exec: &mut BlockExec,
+    st: &mut TypedState,
+    warp_id: u32,
+    pc: usize,
+    uniform: bool,
+) -> Result<TFlow, AccessAbort> {
+    let mlen = st.mask.len();
+    debug_assert!(mlen > 0);
+    let recorded = match exec.trace.as_mut() {
+        Some(t) => t.record(TraceEvent {
+            block: exec.block_idx,
+            warp: warp_id,
+            pc,
+            active: mlen as u32,
+            text: crate::ir::format_inst(&exec.kernel.insts[pc]),
+            mem: None,
+        }),
+        None => false,
+    };
+    exec.stats.warp_insts += 1;
+    exec.stats.lane_insts += mlen as u64;
+    let mut d = PcCounters {
+        warp_insts: 1,
+        lane_insts: mlen as u64,
+        issue_cycles: exec.cost.issue,
+        ..PcCounters::default()
+    };
+    let n = st.n;
+    let l0 = st.mask[0];
+    let mut flow = TFlow::Next;
+    match &plan.tops[pc] {
+        TOp::Broadcast { dst, bits } => {
+            fill(&mut st.bits, n, &st.mask, st.contig, *dst, *bits);
+            d.alu_cycles = exec.cost.alu;
+        }
+        TOp::BadParams => {
+            return Err(SimError::BadParams {
+                expected: exec.kernel.num_params,
+                got: exec.params.len() as u32,
+            }
+            .into());
+        }
+        TOp::ReadSpecial { dst, sr } => {
+            if uniform {
+                let v = value_bits(exec.special(l0, *sr));
+                fill(&mut st.bits, n, &st.mask, st.contig, *dst, v);
+            } else {
+                let dr = dst * n;
+                for &l in &st.mask {
+                    let v = value_bits(exec.special(l, *sr));
+                    st.bits[dr + l] = v;
+                }
+            }
+            d.alu_cycles = exec.cost.alu;
+        }
+        TOp::Bin {
+            op,
+            ty,
+            dst,
+            a,
+            b,
+            ca,
+            cb,
+            sfu,
+        } => {
+            bin_bits(
+                *op,
+                *ty,
+                &mut st.bits,
+                n,
+                &st.mask,
+                st.contig,
+                uniform,
+                *dst,
+                *a,
+                *b,
+                *ca,
+                *cb,
+            )?;
+            d.alu_cycles = alu_cost(exec.cost, *ty, *sfu);
+        }
+        TOp::Cmp {
+            op,
+            ty,
+            dst,
+            a,
+            b,
+            ca,
+            cb,
+        } => {
+            cmp_bits(
+                *op,
+                *ty,
+                &mut st.bits,
+                n,
+                &st.mask,
+                st.contig,
+                uniform,
+                *dst,
+                *a,
+                *b,
+                *ca,
+                *cb,
+            );
+            d.alu_cycles = alu_cost(exec.cost, *ty, false);
+        }
+        TOp::Un {
+            op,
+            ty,
+            dst,
+            a,
+            ca,
+            sfu,
+        } => {
+            un_bits(
+                *op,
+                *ty,
+                &mut st.bits,
+                n,
+                &st.mask,
+                st.contig,
+                uniform,
+                *dst,
+                *a,
+                *ca,
+            )?;
+            d.alu_cycles = alu_cost(exec.cost, *ty, *sfu);
+        }
+        TOp::Select {
+            dst,
+            cond,
+            kind,
+            a,
+            b,
+        } => {
+            let (dr, cr, ar, br) = (dst * n, cond * n, a * n, b * n);
+            if uniform {
+                let src = if cond_true(*kind, st.bits[cr + l0]) {
+                    ar
+                } else {
+                    br
+                };
+                let v = st.bits[src + l0];
+                fill(&mut st.bits, n, &st.mask, st.contig, *dst, v);
+            } else if st.contig {
+                let lo = l0;
+                let hi = lo + mlen;
+                for l in lo..hi {
+                    let src = if cond_true(*kind, st.bits[cr + l]) {
+                        ar
+                    } else {
+                        br
+                    };
+                    st.bits[dr + l] = st.bits[src + l];
+                }
+            } else {
+                for &l in &st.mask {
+                    let src = if cond_true(*kind, st.bits[cr + l]) {
+                        ar
+                    } else {
+                        br
+                    };
+                    st.bits[dr + l] = st.bits[src + l];
+                }
+            }
+            d.alu_cycles = exec.cost.alu;
+        }
+        TOp::Cvt { dst, src, cv } => {
+            let (dr, sr) = (dst * n, src * n);
+            if uniform {
+                let v = cv.apply(st.bits[sr + l0]);
+                fill(&mut st.bits, n, &st.mask, st.contig, *dst, v);
+            } else if st.contig {
+                if *cv == Conv::Id {
+                    st.bits.copy_within(sr + l0..sr + l0 + mlen, dr + l0);
+                } else {
+                    for l in l0..l0 + mlen {
+                        st.bits[dr + l] = cv.apply(st.bits[sr + l]);
+                    }
+                }
+            } else {
+                for &l in &st.mask {
+                    st.bits[dr + l] = cv.apply(st.bits[sr + l]);
+                }
+            }
+            d.alu_cycles = exec.cost.alu;
+        }
+        TOp::LdGlobal { ty, dst, mem } => {
+            let dr = dst * n;
+            if uniform {
+                let a = tmem_addr(&st.bits, n, mem, l0);
+                let tx = transactions(&[(a, mem.size)], exec.dev.segment_bytes, &mut st.seg_buf);
+                charge_global(exec, &mut d, tx);
+                let v = exec.view.read_bits(*ty, a)?;
+                fill(&mut st.bits, n, &st.mask, st.contig, *dst, v);
+                observe_mem_uniform(
+                    exec,
+                    TraceSpace::Global,
+                    &st.mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Read,
+                    recorded,
+                    a,
+                    mem.size,
+                );
+            } else {
+                exec.scratch_addr.clear();
+                for &l in &st.mask {
+                    exec.scratch_addr
+                        .push((tmem_addr(&st.bits, n, mem, l), mem.size));
+                }
+                let tx = transactions(&exec.scratch_addr, exec.dev.segment_bytes, &mut st.seg_buf);
+                charge_global(exec, &mut d, tx);
+                let done = st.contig && coalesced(&exec.scratch_addr, mem.size) && {
+                    let a0 = exec.scratch_addr[0].0;
+                    exec.view
+                        .read_span_bits(*ty, a0, &mut st.bits[dr + l0..dr + l0 + mlen])
+                };
+                if !done {
+                    for (i, &l) in st.mask.iter().enumerate() {
+                        st.bits[dr + l] = exec.view.read_bits(*ty, exec.scratch_addr[i].0)?;
+                    }
+                }
+                exec.observe_mem(
+                    TraceSpace::Global,
+                    &st.mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Read,
+                    recorded,
+                );
+            }
+        }
+        TOp::StGlobal { ty, src, sc, mem } => {
+            let sr = src * n;
+            if uniform {
+                let a = tmem_addr(&st.bits, n, mem, l0);
+                let tx = transactions(&[(a, mem.size)], exec.dev.segment_bytes, &mut st.seg_buf);
+                charge_global(exec, &mut d, tx);
+                exec.view.write_bits(*ty, a, sc.apply(st.bits[sr + l0]))?;
+                observe_mem_uniform(
+                    exec,
+                    TraceSpace::Global,
+                    &st.mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Write,
+                    recorded,
+                    a,
+                    mem.size,
+                );
+            } else {
+                exec.scratch_addr.clear();
+                for &l in &st.mask {
+                    exec.scratch_addr
+                        .push((tmem_addr(&st.bits, n, mem, l), mem.size));
+                }
+                let tx = transactions(&exec.scratch_addr, exec.dev.segment_bytes, &mut st.seg_buf);
+                charge_global(exec, &mut d, tx);
+                let done = st.contig && coalesced(&exec.scratch_addr, mem.size) && {
+                    let a0 = exec.scratch_addr[0].0;
+                    let row = &st.bits[sr + l0..sr + l0 + mlen];
+                    if *sc == Conv::Id {
+                        exec.view.write_span_bits(*ty, a0, row)
+                    } else {
+                        st.tmp.clear();
+                        st.tmp.extend(row.iter().map(|&b| sc.apply(b)));
+                        exec.view.write_span_bits(*ty, a0, &st.tmp)
+                    }
+                };
+                if !done {
+                    for (i, &l) in st.mask.iter().enumerate() {
+                        exec.view.write_bits(
+                            *ty,
+                            exec.scratch_addr[i].0,
+                            sc.apply(st.bits[sr + l]),
+                        )?;
+                    }
+                }
+                exec.observe_mem(
+                    TraceSpace::Global,
+                    &st.mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Write,
+                    recorded,
+                );
+            }
+        }
+        TOp::LdShared { ty, dst, mem } => {
+            let dr = dst * n;
+            if uniform {
+                let a = tmem_addr(&st.bits, n, mem, l0);
+                let ways = conflict_ways(
+                    &[(a, mem.size)],
+                    exec.dev.shared_banks,
+                    &mut st.seg_buf,
+                    &mut st.bank_counts,
+                );
+                charge_shared(exec, &mut d, ways);
+                observe_mem_uniform(
+                    exec,
+                    TraceSpace::Shared,
+                    &st.mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Read,
+                    recorded,
+                    a,
+                    mem.size,
+                );
+                let v = exec.shared.read_bits(*ty, a)?;
+                fill(&mut st.bits, n, &st.mask, st.contig, *dst, v);
+            } else {
+                exec.scratch_addr.clear();
+                for &l in &st.mask {
+                    exec.scratch_addr
+                        .push((tmem_addr(&st.bits, n, mem, l), mem.size));
+                }
+                let ways = conflict_ways(
+                    &exec.scratch_addr,
+                    exec.dev.shared_banks,
+                    &mut st.seg_buf,
+                    &mut st.bank_counts,
+                );
+                charge_shared(exec, &mut d, ways);
+                exec.observe_mem(
+                    TraceSpace::Shared,
+                    &st.mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Read,
+                    recorded,
+                );
+                let done = st.contig && coalesced(&exec.scratch_addr, mem.size) && {
+                    let a0 = exec.scratch_addr[0].0;
+                    exec.shared
+                        .read_span_bits(*ty, a0, &mut st.bits[dr + l0..dr + l0 + mlen])
+                };
+                if !done {
+                    for (i, &l) in st.mask.iter().enumerate() {
+                        st.bits[dr + l] = exec.shared.read_bits(*ty, exec.scratch_addr[i].0)?;
+                    }
+                }
+            }
+        }
+        TOp::StShared { ty, src, sc, mem } => {
+            let sr = src * n;
+            if uniform {
+                let a = tmem_addr(&st.bits, n, mem, l0);
+                let ways = conflict_ways(
+                    &[(a, mem.size)],
+                    exec.dev.shared_banks,
+                    &mut st.seg_buf,
+                    &mut st.bank_counts,
+                );
+                charge_shared(exec, &mut d, ways);
+                exec.shared.write_bits(*ty, a, sc.apply(st.bits[sr + l0]))?;
+                observe_mem_uniform(
+                    exec,
+                    TraceSpace::Shared,
+                    &st.mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Write,
+                    recorded,
+                    a,
+                    mem.size,
+                );
+            } else {
+                exec.scratch_addr.clear();
+                for &l in &st.mask {
+                    exec.scratch_addr
+                        .push((tmem_addr(&st.bits, n, mem, l), mem.size));
+                }
+                let ways = conflict_ways(
+                    &exec.scratch_addr,
+                    exec.dev.shared_banks,
+                    &mut st.seg_buf,
+                    &mut st.bank_counts,
+                );
+                charge_shared(exec, &mut d, ways);
+                let done = st.contig && coalesced(&exec.scratch_addr, mem.size) && {
+                    let a0 = exec.scratch_addr[0].0;
+                    let row = &st.bits[sr + l0..sr + l0 + mlen];
+                    if *sc == Conv::Id {
+                        exec.shared.write_span_bits(*ty, a0, row)
+                    } else {
+                        st.tmp.clear();
+                        st.tmp.extend(row.iter().map(|&b| sc.apply(b)));
+                        exec.shared.write_span_bits(*ty, a0, &st.tmp)
+                    }
+                };
+                if !done {
+                    for (i, &l) in st.mask.iter().enumerate() {
+                        exec.shared.write_bits(
+                            *ty,
+                            exec.scratch_addr[i].0,
+                            sc.apply(st.bits[sr + l]),
+                        )?;
+                    }
+                }
+                exec.observe_mem(
+                    TraceSpace::Shared,
+                    &st.mask,
+                    warp_id,
+                    pc,
+                    AccessKind::Write,
+                    recorded,
+                );
+            }
+        }
+        TOp::AtomGlobal {
+            op,
+            ty,
+            mem,
+            src,
+            sc,
+            dst,
+        } => {
+            let sr = src * n;
+            exec.stats.atomics += 1;
+            exec.stats.global_accesses += 1;
+            d.atomics = 1;
+            d.global_accesses = 1;
+            d.global_transactions = mlen as u64;
+            d.atomic_cycles = mlen as u64 * exec.cost.atomic_lane;
+            exec.scratch_addr.clear();
+            for &l in &st.mask {
+                exec.scratch_addr
+                    .push((tmem_addr(&st.bits, n, mem, l), mem.size));
+            }
+            exec.observe_mem(
+                TraceSpace::Global,
+                &st.mask,
+                warp_id,
+                pc,
+                AccessKind::Atomic,
+                recorded,
+            );
+            if dst.is_some() && matches!(exec.view, MemView::Overlay(_)) {
+                return Err(AccessAbort::NeedsSequential("atomic with a result operand"));
+            }
+            for (i, &l) in st.mask.iter().enumerate() {
+                let addr = exec.scratch_addr[i].0;
+                let v = bits_value(*ty, sc.apply(st.bits[sr + l]));
+                if let Some(old) = exec.view.atom(*op, *ty, addr, v)? {
+                    if let Some(dr) = dst {
+                        st.bits[dr * n + l] = value_bits(old);
+                    }
+                }
+            }
+            exec.stats.global_transactions += mlen as u64;
+        }
+        TOp::Bar => {
+            exec.stats.barriers += 1;
+            d.barriers = 1;
+            d.barrier_cycles = exec.cost.barrier;
+            for &l in &st.mask {
+                exec.threads[l].at_barrier = true;
+                exec.threads[l].pc = pc + 1;
+            }
+            flow = TFlow::Stop;
+        }
+        TOp::Bra { target, cond } => {
+            flow = match cond {
+                None => TFlow::Goto(*target),
+                Some((r, kind, expect)) => {
+                    let cr = r * n;
+                    let take0 = cond_true(*kind, st.bits[cr + l0]) == *expect;
+                    let together = uniform
+                        || st
+                            .mask
+                            .iter()
+                            .all(|&l| (cond_true(*kind, st.bits[cr + l]) == *expect) == take0);
+                    if together {
+                        TFlow::Goto(if take0 { *target } else { pc + 1 })
+                    } else {
+                        for &l in &st.mask {
+                            let take = cond_true(*kind, st.bits[cr + l]) == *expect;
+                            exec.threads[l].pc = if take { *target } else { pc + 1 };
+                        }
+                        TFlow::Stop
+                    }
+                }
+            };
+            d.alu_cycles = exec.cost.alu;
+        }
+        TOp::Ret => {
+            for &l in &st.mask {
+                exec.threads[l].exited = true;
+            }
+            flow = TFlow::Stop;
+        }
+    }
+    exec.cycles_raw += d.cycles();
+    if let Some(p) = exec.prof.as_mut() {
+        p.record(pc, warp_id, &d);
+    }
+    Ok(flow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::coalesce;
+    use crate::ir::MemRef;
+
+    /// A kernel with uniform and divergent runs, a loop, and a barrier:
+    /// tree-reduction-shaped control flow.
+    fn shaped_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("shaped");
+        let p = b.param(0); // uniform
+        let tid = b.special(SpecialReg::TidX); // divergent
+        let t64 = b.cvt(Ty::I64, tid);
+        b.st_shared(Ty::I32, MemRef::indexed(Value::U64(0), t64, 4), tid);
+        b.bar();
+        // Uniform loop: for (s = 1; s < 4; s *= 2) { ... bar; }
+        let s = b.mov_imm(Value::I32(1));
+        let top = b.new_label();
+        b.place(top);
+        let done = b.cmp(CmpOp::Ge, Ty::I32, s, Value::I32(4));
+        let exit = b.new_label();
+        b.bra_if(done, exit);
+        b.bin_to(s, BinOp::Mul, Ty::I32, s, Value::I32(2));
+        b.bar();
+        b.bra(top);
+        b.place(exit);
+        // Divergent tail: out[tid] = tid + s
+        let v = b.bin(BinOp::Add, Ty::I32, tid, s);
+        b.st_global(Ty::I32, MemRef::indexed(p, t64, 4), v);
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn compile_splits_runs_at_branches_and_barriers() {
+        let k = shaped_kernel();
+        let ck = CompiledKernel::compile(&k).expect("compiles");
+        // Every pc belongs to exactly one run; runs tile the stream.
+        assert_eq!(ck.run_of.len(), k.insts.len());
+        let mut covered = 0;
+        for (ri, r) in ck.runs.iter().enumerate() {
+            assert!(r.start < r.end);
+            covered += r.end - r.start;
+            for pc in r.start..r.end {
+                assert_eq!(ck.run_of[pc], ri);
+            }
+            // No Bar/Bra/Ret in the middle of a run.
+            for pc in r.start..r.end - 1 {
+                assert!(
+                    !matches!(k.insts[pc], Inst::Bar | Inst::Bra { .. } | Inst::Ret),
+                    "terminator mid-run at pc {pc}"
+                );
+            }
+        }
+        assert_eq!(covered, k.insts.len());
+    }
+
+    #[test]
+    fn uniformity_analysis_classifies_registers() {
+        let k = shaped_kernel();
+        let ck = CompiledKernel::compile(&k).expect("compiles");
+        // %r0 = param (uniform), %r1 = tid.x (divergent), %r2 = cvt(tid)
+        // (divergent), %r3 = loop counter from constants under uniform
+        // control (uniform), %r4 = loop-exit predicate (uniform),
+        // %r5 = tid + s (divergent).
+        assert!(ck.uniform_regs[0], "param must be uniform");
+        assert!(!ck.uniform_regs[1], "tid.x must be divergent");
+        assert!(!ck.uniform_regs[2], "cvt(tid) must be divergent");
+        assert!(ck.uniform_regs[3], "uniform-loop counter must be uniform");
+        assert!(ck.uniform_regs[4], "loop predicate must be uniform");
+        assert!(!ck.uniform_regs[5], "tid + s must be divergent");
+        // The loop header/body runs are uniform; the tid-indexed store
+        // runs are not.
+        let pretty = ck.describe();
+        assert!(pretty.contains("uniform"), "{pretty}");
+        assert!(pretty.contains("per-lane"), "{pretty}");
+    }
+
+    /// Golden test of the pre-decoded block form for a fixed kernel.
+    #[test]
+    fn describe_golden() {
+        let mut b = KernelBuilder::new("g");
+        let p = b.param(0);
+        let tid = b.special(SpecialReg::TidX);
+        let c = b.cmp(CmpOp::Lt, Ty::I32, tid, Value::I32(16));
+        let out = b.new_label();
+        b.bra_unless(c, out);
+        let t64 = b.cvt(Ty::I64, tid);
+        b.st_global(Ty::I32, MemRef::indexed(p, t64, 4), tid);
+        b.place(out);
+        b.ret();
+        let k = b.finish();
+        let ck = CompiledKernel::compile(&k).expect("compiles");
+        let expect = "\
+.compiled (regs=4, runs=3)
+  run 0: pc 0..4 per-lane [bra.cond -> 6 | 4]
+  run 1: pc 4..6 per-lane [fallthrough -> 6]
+  run 2: pc 6..7 uniform [ret]
+  uniform regs: %r0
+";
+        assert_eq!(ck.describe(), expect);
+    }
+
+    #[test]
+    fn degenerate_kernels_fall_back() {
+        // Empty stream.
+        let k = Kernel {
+            name: "empty".into(),
+            insts: vec![],
+            label_targets: vec![],
+            num_regs: 0,
+            shared_bytes: 0,
+            num_params: 0,
+            lines: vec![],
+        };
+        assert!(CompiledKernel::compile(&k).is_none());
+        // Falls off the end (no hard terminator).
+        let k = Kernel {
+            name: "fall".into(),
+            insts: vec![Inst::MovImm {
+                dst: crate::ir::Reg(0),
+                value: Value::I32(1),
+            }],
+            label_targets: vec![],
+            num_regs: 1,
+            shared_bytes: 0,
+            num_params: 0,
+            lines: vec![],
+        };
+        assert!(CompiledKernel::compile(&k).is_none());
+        // Branch to one past the end.
+        let k = Kernel {
+            name: "off".into(),
+            insts: vec![
+                Inst::Bra {
+                    target: crate::ir::Label(0),
+                    cond: None,
+                },
+                Inst::Ret,
+            ],
+            label_targets: vec![2],
+            num_regs: 0,
+            shared_bytes: 0,
+            num_params: 0,
+            lines: vec![],
+        };
+        assert!(CompiledKernel::compile(&k).is_none());
+    }
+
+    /// The allocation-free coalescing twins agree with the reference
+    /// implementations on representative and adversarial patterns.
+    #[test]
+    fn coalescing_twins_match_reference() {
+        let patterns: Vec<Vec<(u64, usize)>> = vec![
+            (0..32).map(|i| (i * 4, 4)).collect(),
+            (0..32).map(|i| (i * 128, 4)).collect(),
+            (0..32).map(|i| (64 + i * 4, 4)).collect(),
+            (0..32).map(|i| (i * 8, 8)).collect(),
+            std::iter::repeat_n((16, 4), 32).collect(),
+            (0..32).map(|i| (i * 32 * 4, 4)).collect(),
+            (0..32).map(|i| (i * 2 * 4, 4)).collect(),
+            vec![(126, 4)],
+            vec![(100, 0), (0, 4)],
+            vec![(u64::MAX - 1, 4), (u64::MAX, 8)],
+            vec![],
+            // Descending and shuffled sequences: the monotonic fast path
+            // must bail to the sort-and-dedup slow path, not miscount.
+            (0..32).rev().map(|i| (i * 4, 4)).collect(),
+            (0..32).rev().map(|i| (i * 128, 4)).collect(),
+            (0..32).map(|i| ((i * 7 % 32) * 4, 4)).collect(),
+            // Re-descending after an ascending prefix, with duplicates.
+            vec![(0, 4), (4, 4), (4, 4), (0, 4), (512, 4), (8, 4)],
+            // Ranges that restart below the running maximum but above an
+            // earlier start (partial overlap with seen words/segments).
+            vec![(0, 4), (640, 4), (256, 4), (384, 4)],
+        ];
+        let mut buf = Vec::new();
+        let mut counts = vec![0u32; 32];
+        for p in &patterns {
+            assert_eq!(
+                transactions(p, 128, &mut buf),
+                coalesce::global_transactions(p, 128),
+                "tx mismatch for {p:?}"
+            );
+            assert_eq!(
+                conflict_ways(p, 32, &mut buf, &mut counts),
+                coalesce::bank_conflict_degree(p, 32),
+                "ways mismatch for {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn typed_plan_builds_for_single_typed_kernels() {
+        let k = shaped_kernel();
+        let mut ck = CompiledKernel::compile(&k).expect("compiles");
+        ck.specialize(&[Value::U64(0x1000)]);
+        assert!(
+            ck.typed.is_some(),
+            "single-typed kernel should get a typed plan"
+        );
+    }
+
+    #[test]
+    fn typed_plan_rejects_mixed_type_register_reuse() {
+        let mut b = KernelBuilder::new("mixed");
+        let r = b.mov_imm(Value::I32(1));
+        b.bin_to(r, BinOp::Add, Ty::F32, r, Value::F32(1.0));
+        let k = b.finish();
+        let mut ck = CompiledKernel::compile(&k).expect("compiles");
+        ck.specialize(&[]);
+        assert!(
+            ck.typed.is_none(),
+            "a register written at two types must fall back to the generic tier"
+        );
+    }
+}

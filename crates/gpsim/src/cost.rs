@@ -10,6 +10,50 @@
 //! All knobs live in [`CostModel`] so experiments can recalibrate; the
 //! defaults are Kepler-class (K20c) values matching the paper's platform.
 
+/// Which executor runs kernel launches.
+///
+/// Both tiers are **bit-identical** in every observable output — results,
+/// [`crate::stats::LaunchStats`], modelled cycles, traces, hazard reports,
+/// profiles, and error values — so this is purely a speed knob (like
+/// [`DeviceConfig::host_threads`], a simulator property, not a modelled
+/// device property).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecTier {
+    /// Pick the fastest tier that can run the kernel (currently: the
+    /// compiled tier whenever the kernel is non-empty).
+    #[default]
+    Auto,
+    /// Force the reference interpreter (one `Inst` dispatch per warp-step).
+    Interpret,
+    /// Force the compiled tier: pre-decoded basic-block runs, an SoA
+    /// register file, and warp-uniform fast paths (see [`crate::compiled`]).
+    Compiled,
+}
+
+impl std::str::FromStr for ExecTier {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(ExecTier::Auto),
+            "interpret" => Ok(ExecTier::Interpret),
+            "compiled" => Ok(ExecTier::Compiled),
+            other => Err(format!(
+                "invalid execution tier `{other}` (expected auto|interpret|compiled)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExecTier::Auto => "auto",
+            ExecTier::Interpret => "interpret",
+            ExecTier::Compiled => "compiled",
+        })
+    }
+}
+
 /// Static device limits and geometry (K20c-like by default).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeviceConfig {
@@ -44,6 +88,10 @@ pub struct DeviceConfig {
     /// attribution cost). Like `host_threads`, a *simulator* knob:
     /// enabling it never changes modelled cycles.
     pub profile: Option<crate::profile::ProfileConfig>,
+    /// Which executor runs launches (interpreter vs compiled tier). Like
+    /// `host_threads`, a *simulator* knob: every observable output is
+    /// bit-identical across tiers.
+    pub exec_tier: ExecTier,
 }
 
 impl Default for DeviceConfig {
@@ -60,6 +108,7 @@ impl Default for DeviceConfig {
             clock_hz: 706e6,
             host_threads: 0,
             profile: None,
+            exec_tier: ExecTier::Auto,
         }
     }
 }
@@ -232,6 +281,15 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn exec_tier_parse_roundtrip() {
+        for t in [ExecTier::Auto, ExecTier::Interpret, ExecTier::Compiled] {
+            assert_eq!(t.to_string().parse::<ExecTier>(), Ok(t));
+        }
+        assert!("jit".parse::<ExecTier>().is_err());
+        assert_eq!(ExecTier::default(), ExecTier::Auto);
     }
 
     #[test]

@@ -69,6 +69,13 @@ impl Device {
         self.config.host_threads = n;
     }
 
+    /// Select the execution tier for subsequent launches (see
+    /// [`crate::cost::ExecTier`]). Results are bit-identical at any
+    /// setting; this is purely a simulator speed knob.
+    pub fn set_exec_tier(&mut self, tier: crate::cost::ExecTier) {
+        self.config.exec_tier = tier;
+    }
+
     /// Set the sanitizer configuration for subsequent launches (see
     /// [`crate::sanitizer`]). Pass [`SanitizerConfig::default`] to turn
     /// instrumentation back off.
@@ -179,7 +186,15 @@ impl Device {
 
     /// Allocate a buffer for `n` elements of type `ty`.
     pub fn alloc_elems(&mut self, ty: Ty, n: u64) -> Result<BufferHandle, SimError> {
-        self.global.alloc(n * ty.size() as u64)
+        // Checked size: an absurd element count must surface as an
+        // allocation failure, not a debug overflow panic (or a wrapped
+        // release-mode size that "succeeds" tiny).
+        let bytes = n
+            .checked_mul(ty.size() as u64)
+            .ok_or(SimError::OutOfMemory {
+                requested: u64::MAX,
+            })?;
+        self.global.alloc(bytes)
     }
 
     /// Copy host bytes to the device (modelled PCIe transfer).
@@ -342,6 +357,20 @@ mod tests {
     use super::*;
     use crate::builder::KernelBuilder;
     use crate::ir::{BinOp, MemRef, SpecialReg};
+
+    /// Regression: an element count whose byte size overflows `u64` is an
+    /// allocation error, not a debug multiply panic (or a wrapped tiny
+    /// allocation in release).
+    #[test]
+    fn alloc_elems_overflow_is_oom() {
+        let mut d = Device::test_small();
+        assert!(matches!(
+            d.alloc_elems(crate::types::Ty::F64, u64::MAX / 2),
+            Err(SimError::OutOfMemory { .. })
+        ));
+        // A sane allocation still works afterwards.
+        assert!(d.alloc_elems(crate::types::Ty::F64, 8).is_ok());
+    }
 
     #[test]
     fn alloc_and_transfer_roundtrip() {

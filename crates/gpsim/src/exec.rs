@@ -95,14 +95,17 @@ impl LaunchConfig {
         }
     }
 
-    /// Threads per block.
+    /// Threads per block. Saturating: absurd dimensions must reach
+    /// [`LaunchConfig::validate`]'s rejection path, not panic on the
+    /// multiply in debug builds (validate re-checks the exact product).
     pub fn threads_per_block(&self) -> u32 {
-        self.block.0 * self.block.1
+        self.block.0.saturating_mul(self.block.1)
     }
 
-    /// Number of blocks in the grid.
+    /// Number of blocks in the grid (saturating, same rationale as
+    /// [`LaunchConfig::threads_per_block`]).
     pub fn num_blocks(&self) -> u32 {
-        self.grid.0 * self.grid.1
+        self.grid.0.saturating_mul(self.grid.1)
     }
 
     /// Warps per block given `warp_size`.
@@ -123,13 +126,22 @@ impl LaunchConfig {
                 reason: "empty grid or block".into(),
             });
         }
-        if self.threads_per_block() > dev.max_threads_per_block {
+        // Exact (u64) products: the u32 accessors saturate, so re-derive
+        // the true sizes here to reject dimension combinations whose
+        // products overflow `u32` instead of silently clamping them.
+        let threads = self.block.0 as u64 * self.block.1 as u64;
+        if threads > dev.max_threads_per_block as u64 {
             return Err(SimError::InvalidLaunch {
                 reason: format!(
-                    "{} threads per block exceeds device limit {}",
-                    self.threads_per_block(),
+                    "{threads} threads per block exceeds device limit {}",
                     dev.max_threads_per_block
                 ),
+            });
+        }
+        let blocks = self.grid.0 as u64 * self.grid.1 as u64;
+        if blocks > u32::MAX as u64 {
+            return Err(SimError::InvalidLaunch {
+                reason: format!("grid of {blocks} blocks exceeds the u32 block-id space"),
             });
         }
         Ok(())
@@ -137,15 +149,15 @@ impl LaunchConfig {
 }
 
 /// Per-thread execution state.
-struct Thread {
-    pc: usize,
-    exited: bool,
-    at_barrier: bool,
-    regs: Vec<Value>,
+pub(crate) struct Thread {
+    pub(crate) pc: usize,
+    pub(crate) exited: bool,
+    pub(crate) at_barrier: bool,
+    pub(crate) regs: Vec<Value>,
 }
 
 impl Thread {
-    fn runnable(&self) -> bool {
+    pub(crate) fn runnable(&self) -> bool {
         !self.exited && !self.at_barrier
     }
 }
@@ -153,30 +165,64 @@ impl Thread {
 /// A block's view of global memory: direct (sequential executor, mutating
 /// the real memory in place) or buffered through a copy-on-write overlay
 /// (parallel executor; committed later in block-id order).
-enum MemView<'g> {
+pub(crate) enum MemView<'g> {
     Direct(&'g mut GlobalMemory),
     Overlay(BlockOverlay<'g>),
 }
 
 impl MemView<'_> {
-    fn read(&mut self, ty: Ty, addr: u64) -> Result<Value, AccessAbort> {
+    pub(crate) fn read(&mut self, ty: Ty, addr: u64) -> Result<Value, AccessAbort> {
         match self {
             MemView::Direct(g) => Ok(g.read(ty, addr)?),
             MemView::Overlay(o) => o.read(ty, addr),
         }
     }
 
-    fn write(&mut self, addr: u64, v: Value) -> Result<(), AccessAbort> {
+    pub(crate) fn write(&mut self, addr: u64, v: Value) -> Result<(), AccessAbort> {
         match self {
             MemView::Direct(g) => Ok(g.write(addr, v)?),
             MemView::Overlay(o) => o.write(addr, v),
         }
     }
 
+    /// Bit-encoding read for the compiled tier's typed fast mode (identical
+    /// bounds, fallback, and bit semantics to [`MemView::read`]).
+    pub(crate) fn read_bits(&mut self, ty: Ty, addr: u64) -> Result<u64, AccessAbort> {
+        match self {
+            MemView::Direct(g) => Ok(g.read_bits(ty, addr)?),
+            MemView::Overlay(o) => o.read_bits(ty, addr),
+        }
+    }
+
+    /// Bit-encoding write for the compiled tier's typed fast mode.
+    pub(crate) fn write_bits(&mut self, ty: Ty, addr: u64, bits: u64) -> Result<(), AccessAbort> {
+        match self {
+            MemView::Direct(g) => Ok(g.write_bits(ty, addr, bits)?),
+            MemView::Overlay(o) => o.write_bits(ty, addr, bits),
+        }
+    }
+
+    /// Coalesced span read; `false` means the caller must replay per-lane
+    /// (the fast path has then touched nothing).
+    pub(crate) fn read_span_bits(&mut self, ty: Ty, addr: u64, out: &mut [u64]) -> bool {
+        match self {
+            MemView::Direct(g) => g.read_span_bits(ty, addr, out),
+            MemView::Overlay(o) => o.read_span_bits(ty, addr, out),
+        }
+    }
+
+    /// Coalesced span write; `false` means the caller must replay per-lane.
+    pub(crate) fn write_span_bits(&mut self, ty: Ty, addr: u64, src: &[u64]) -> bool {
+        match self {
+            MemView::Direct(g) => g.write_span_bits(ty, addr, src),
+            MemView::Overlay(o) => o.write_span_bits(ty, addr, src),
+        }
+    }
+
     /// Perform (direct) or defer (overlay) one lane's atomic; `v` is
     /// already converted to `ty`. Returns the old value when it is
     /// immediately known, i.e. on the direct path only.
-    fn atom(
+    pub(crate) fn atom(
         &mut self,
         op: AtomOp,
         ty: Ty,
@@ -211,7 +257,7 @@ impl MemView<'_> {
 }
 
 /// Combine one atomic operation; `old` and `v` are already at type `ty`.
-fn apply_atom(op: AtomOp, ty: Ty, old: Value, v: Value) -> Result<Value, SimError> {
+pub(crate) fn apply_atom(op: AtomOp, ty: Ty, old: Value, v: Value) -> Result<Value, SimError> {
     Ok(match op {
         AtomOp::Add => eval_bin(BinOp::Add, ty, old, v)?,
         AtomOp::Min => eval_bin(BinOp::Min, ty, old, v)?,
@@ -225,26 +271,30 @@ fn apply_atom(op: AtomOp, ty: Ty, old: Value, v: Value) -> Result<Value, SimErro
 
 /// Executes one block; owns the block's threads, shared memory, memory
 /// view, and (when enabled) its trace buffer and sanitizer shadow.
-struct BlockExec<'a, 'g> {
-    kernel: &'a Kernel,
-    params: &'a [Value],
-    threads: Vec<Thread>,
-    shared: SharedMemory,
-    block_idx: (u32, u32),
-    cfg: LaunchConfig,
-    dev: &'a DeviceConfig,
-    cost: &'a CostModel,
-    stats: LaunchStats,
-    cycles_raw: u64,
+pub(crate) struct BlockExec<'a, 'g> {
+    pub(crate) kernel: &'a Kernel,
+    pub(crate) params: &'a [Value],
+    pub(crate) threads: Vec<Thread>,
+    pub(crate) shared: SharedMemory,
+    pub(crate) block_idx: (u32, u32),
+    pub(crate) cfg: LaunchConfig,
+    pub(crate) dev: &'a DeviceConfig,
+    pub(crate) cost: &'a CostModel,
+    pub(crate) stats: LaunchStats,
+    pub(crate) cycles_raw: u64,
     // scratch buffers reused across warp steps
-    scratch_addr: Vec<(u64, usize)>,
-    view: MemView<'g>,
-    trace: Option<Trace>,
-    san: Option<BlockSanitizer>,
-    prof: Option<BlockProfile>,
+    pub(crate) scratch_addr: Vec<(u64, usize)>,
+    pub(crate) view: MemView<'g>,
+    pub(crate) trace: Option<Trace>,
+    pub(crate) san: Option<BlockSanitizer>,
+    pub(crate) prof: Option<BlockProfile>,
+    /// Pre-decoded form of `kernel`; `Some` routes [`BlockExec::run`]
+    /// through the compiled tier (see [`crate::compiled`]).
+    pub(crate) ck: Option<&'a crate::compiled::CompiledKernel>,
 }
 
 impl<'a, 'g> BlockExec<'a, 'g> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         kernel: &'a Kernel,
         params: &'a [Value],
@@ -253,14 +303,22 @@ impl<'a, 'g> BlockExec<'a, 'g> {
         dev: &'a DeviceConfig,
         cost: &'a CostModel,
         view: MemView<'g>,
+        ck: Option<&'a crate::compiled::CompiledKernel>,
     ) -> Self {
         let n = cfg.threads_per_block() as usize;
+        // The compiled tier keeps registers in its own SoA file; skip the
+        // per-thread register vectors entirely on that path.
+        let thread_regs = if ck.is_some() {
+            0
+        } else {
+            kernel.num_regs as usize
+        };
         let threads = (0..n)
             .map(|_| Thread {
                 pc: 0,
                 exited: false,
                 at_barrier: false,
-                regs: vec![Value::I32(0); kernel.num_regs as usize],
+                regs: vec![Value::I32(0); thread_regs],
             })
             .collect();
         BlockExec {
@@ -279,6 +337,7 @@ impl<'a, 'g> BlockExec<'a, 'g> {
             trace: None,
             san: None,
             prof: None,
+            ck,
         }
     }
 
@@ -287,7 +346,7 @@ impl<'a, 'g> BlockExec<'a, 'g> {
         (l % self.cfg.block.0, l / self.cfg.block.0)
     }
 
-    fn special(&self, lane: usize, sr: SpecialReg) -> Value {
+    pub(crate) fn special(&self, lane: usize, sr: SpecialReg) -> Value {
         let (tx, ty) = self.lane_tid(lane);
         let v = match sr {
             SpecialReg::TidX => tx,
@@ -317,13 +376,13 @@ impl<'a, 'g> BlockExec<'a, 'g> {
         let idx = m
             .index
             .map_or(0, |r| self.threads[lane].regs[r.0 as usize].as_i64());
-        (base as i64 + idx * m.scale as i64 + m.disp) as u64
+        mref_addr(base, idx, m.scale as i64, m.disp)
     }
 
     /// Post-access bookkeeping shared by the memory arms: annotate the
     /// just-recorded trace event with the warp's touched address range
     /// (`scratch_addr` holds the per-lane accesses) and feed the sanitizer.
-    fn observe_mem(
+    pub(crate) fn observe_mem(
         &mut self,
         space: TraceSpace,
         mask: &[usize],
@@ -333,11 +392,15 @@ impl<'a, 'g> BlockExec<'a, 'g> {
         recorded: bool,
     ) {
         if recorded {
+            // Saturating: a wild pointer near `u64::MAX` must clamp the
+            // annotation, not overflow (the access itself is rejected by
+            // the bounds check — which for shared loads runs *after* this
+            // observation point).
             let lo = self.scratch_addr.iter().map(|&(a, _)| a).min().unwrap_or(0);
             let hi = self
                 .scratch_addr
                 .iter()
-                .map(|&(a, s)| a + s as u64)
+                .map(|&(a, s)| a.saturating_add(s as u64))
                 .max()
                 .unwrap_or(0);
             if let Some(t) = self.trace.as_mut() {
@@ -360,6 +423,9 @@ impl<'a, 'g> BlockExec<'a, 'g> {
     /// Run the block to completion. On success, `stats.cycles` holds the
     /// block's modelled cycle count.
     fn run(&mut self) -> Result<(), AccessAbort> {
+        if let Some(ck) = self.ck {
+            return crate::compiled::run_block(ck, self);
+        }
         let warp = self.dev.warp_size as usize;
         let n = self.threads.len();
         let num_warps = n.div_ceil(warp);
@@ -381,20 +447,41 @@ impl<'a, 'g> BlockExec<'a, 'g> {
                         break; // warp fully blocked or exited
                     }
                     self.step(lo, hi, min_pc)?;
-                    if self.cost.watchdog_warp_insts > 0
-                        && self.stats.warp_insts > self.cost.watchdog_warp_insts
-                    {
-                        return Err(SimError::Watchdog {
-                            executed_insts: self.stats.warp_insts,
-                        }
-                        .into());
-                    }
+                    self.watchdog()?;
                 }
             }
             // All warps are blocked: barrier bookkeeping.
+            if !self.barrier_round()? {
+                break;
+            }
+        }
+        self.finish_block(num_warps);
+        Ok(())
+    }
+
+    /// Abort the launch when the per-block warp-instruction watchdog
+    /// tripped. Checked after every warp-step on both executor tiers.
+    pub(crate) fn watchdog(&self) -> Result<(), AccessAbort> {
+        if self.cost.watchdog_warp_insts > 0
+            && self.stats.warp_insts > self.cost.watchdog_warp_insts
+        {
+            return Err(SimError::Watchdog {
+                executed_insts: self.stats.warp_insts,
+            }
+            .into());
+        }
+        Ok(())
+    }
+
+    /// All warps are blocked: release the barrier if every live thread
+    /// arrived (strictly at one site), or fail. Returns `Ok(false)` when
+    /// every thread has exited (the block is done), `Ok(true)` after a
+    /// successful release.
+    pub(crate) fn barrier_round(&mut self) -> Result<bool, AccessAbort> {
+        {
             let alive = self.threads.iter().filter(|t| !t.exited).count();
             if alive == 0 {
-                break;
+                return Ok(false);
             }
             let arrived = self.threads.iter().filter(|t| t.at_barrier).count();
             if arrived == alive {
@@ -461,13 +548,18 @@ impl<'a, 'g> BlockExec<'a, 'g> {
                 .into());
             }
         }
+        Ok(true)
+    }
+
+    /// Final block bookkeeping shared by both tiers: fold the raw cycle
+    /// accumulator through the warp-overlap divisor into `stats.cycles`.
+    pub(crate) fn finish_block(&mut self, num_warps: usize) {
         self.stats.blocks = 1;
         let overlap = self.cost.overlap(num_warps as u32);
         self.stats.cycles = (self.cycles_raw as f64 / overlap).ceil() as u64;
         if let Some(p) = self.prof.as_mut() {
             p.cycles = self.stats.cycles;
         }
-        Ok(())
     }
 
     /// Execute one warp-instruction: the instruction at `pc` for every lane
@@ -791,7 +883,18 @@ impl<'a, 'g> BlockExec<'a, 'g> {
     }
 }
 
-fn alu_cost(cost: &CostModel, ty: Ty, sfu: bool) -> u64 {
+/// Byte address of a memory operand: `base + index * scale + disp`, with
+/// the wrapping two's-complement arithmetic real address units perform.
+/// Wild pointers are *values* here — bounds enforcement happens at the
+/// access, so overflow must wrap identically in debug and release builds
+/// instead of panicking in one and wrapping in the other.
+pub(crate) fn mref_addr(base: u64, idx: i64, scale: i64, disp: i64) -> u64 {
+    (base as i64)
+        .wrapping_add(idx.wrapping_mul(scale))
+        .wrapping_add(disp) as u64
+}
+
+pub(crate) fn alu_cost(cost: &CostModel, ty: Ty, sfu: bool) -> u64 {
     let mut c = cost.alu;
     if ty == Ty::F64 {
         c += cost.alu_f64_extra;
@@ -837,8 +940,11 @@ pub fn eval_bin(op: BinOp, ty: Ty, a: Value, b: Value) -> Result<Value, SimError
             Ok(Value::$ctor(r))
         }};
     }
+    // Float results are NaN-canonicalized (see [`crate::types::canon_f32`]):
+    // payload propagation would differ between the interpreter and the
+    // compiled tier depending on host codegen operand order.
     macro_rules! float_case {
-        ($av:expr, $bv:expr, $ctor:ident) => {{
+        ($av:expr, $bv:expr, $ctor:ident, $canon:path) => {{
             let (x, y) = ($av, $bv);
             let r = match op {
                 BinOp::Add => x + y,
@@ -854,7 +960,7 @@ pub fn eval_bin(op: BinOp, ty: Ty, a: Value, b: Value) -> Result<Value, SimError
                     })
                 }
             };
-            Ok(Value::$ctor(r))
+            Ok(Value::$ctor($canon(r)))
         }};
     }
     match ty {
@@ -870,9 +976,10 @@ pub fn eval_bin(op: BinOp, ty: Ty, a: Value, b: Value) -> Result<Value, SimError
                 Value::F32(v) => v,
                 o => o.as_f64() as f32,
             },
-            F32
+            F32,
+            crate::types::canon_f32
         ),
-        Ty::F64 => float_case!(a.as_f64(), b.as_f64(), F64),
+        Ty::F64 => float_case!(a.as_f64(), b.as_f64(), F64, crate::types::canon_f64),
         Ty::Pred => {
             let (x, y) = (a.as_bool(), b.as_bool());
             let r = match op {
@@ -911,19 +1018,22 @@ pub fn eval_cmp(op: CmpOp, ty: Ty, a: Value, b: Value) -> bool {
 }
 
 /// Evaluate a typed unary operation.
+///
+/// Float results are NaN-canonicalized like [`eval_bin`]'s.
 pub fn eval_un(op: UnOp, ty: Ty, a: Value) -> Result<Value, SimError> {
+    use crate::types::{canon_f32, canon_f64};
     let a = a.convert(ty);
     Ok(match (op, ty) {
         (UnOp::Neg, Ty::I32) => Value::I32((a.as_i64() as i32).wrapping_neg()),
         (UnOp::Neg, Ty::I64) => Value::I64(a.as_i64().wrapping_neg()),
-        (UnOp::Neg, Ty::F32) => Value::F32(-(a.as_f64() as f32)),
-        (UnOp::Neg, Ty::F64) => Value::F64(-a.as_f64()),
+        (UnOp::Neg, Ty::F32) => Value::F32(canon_f32(-(a.as_f64() as f32))),
+        (UnOp::Neg, Ty::F64) => Value::F64(canon_f64(-a.as_f64())),
         (UnOp::Abs, Ty::I32) => Value::I32((a.as_i64() as i32).wrapping_abs()),
         (UnOp::Abs, Ty::I64) => Value::I64(a.as_i64().wrapping_abs()),
-        (UnOp::Abs, Ty::F32) => Value::F32((a.as_f64() as f32).abs()),
-        (UnOp::Abs, Ty::F64) => Value::F64(a.as_f64().abs()),
-        (UnOp::Sqrt, Ty::F32) => Value::F32((a.as_f64() as f32).sqrt()),
-        (UnOp::Sqrt, Ty::F64) => Value::F64(a.as_f64().sqrt()),
+        (UnOp::Abs, Ty::F32) => Value::F32(canon_f32((a.as_f64() as f32).abs())),
+        (UnOp::Abs, Ty::F64) => Value::F64(canon_f64(a.as_f64().abs())),
+        (UnOp::Sqrt, Ty::F32) => Value::F32(canon_f32((a.as_f64() as f32).sqrt())),
+        (UnOp::Sqrt, Ty::F64) => Value::F64(canon_f64(a.as_f64().sqrt())),
         (UnOp::Not, Ty::Pred) => Value::Pred(!a.as_bool()),
         (UnOp::Not, Ty::I32) => Value::I32(!(a.as_i64() as i32)),
         (UnOp::Not, Ty::I64) => Value::I64(!a.as_i64()),
@@ -1009,6 +1119,22 @@ pub fn run_kernel_instrumented(
             got: params.len() as u32,
         });
     }
+    // Tier selection: pre-decode once per launch and share the compiled
+    // form across every block/worker. `compile` returns `None` for the
+    // (degenerate) kernels the compiled tier does not handle, in which
+    // case the interpreter runs even when the tier was forced.
+    let compiled = match dev.exec_tier {
+        crate::cost::ExecTier::Interpret => None,
+        crate::cost::ExecTier::Auto | crate::cost::ExecTier::Compiled => {
+            crate::compiled::CompiledKernel::compile(kernel).map(|mut ck| {
+                // Parameter types feed the typed tier's register type
+                // inference, so specialization happens per launch.
+                ck.specialize(params);
+                ck
+            })
+        }
+    };
+    let ck = compiled.as_ref();
     let host_threads = dev.resolved_host_threads();
     if host_threads >= 2 && cfg.num_blocks() >= 2 && !kernel_returns_atomics(kernel) {
         if let Some(stats) = run_parallel(
@@ -1019,6 +1145,7 @@ pub fn run_kernel_instrumented(
             dev,
             cost,
             host_threads,
+            ck,
             trace.as_deref_mut(),
             san.as_deref_mut(),
             profile.as_deref_mut(),
@@ -1028,7 +1155,9 @@ pub fn run_kernel_instrumented(
         // Fallback: the parallel attempt detected inter-block communication
         // and aborted without mutating anything; replay sequentially.
     }
-    run_sequential(kernel, cfg, params, global, dev, cost, trace, san, profile)
+    run_sequential(
+        kernel, cfg, params, global, dev, cost, ck, trace, san, profile,
+    )
 }
 
 /// The sequential executor: blocks in linear block-id order, each mutating
@@ -1044,6 +1173,7 @@ fn run_sequential(
     global: &mut GlobalMemory,
     dev: &DeviceConfig,
     cost: &CostModel,
+    ck: Option<&crate::compiled::CompiledKernel>,
     mut trace: Option<&mut Trace>,
     mut san: Option<&mut LaunchSanitizer>,
     mut profile: Option<&mut LaunchProfile>,
@@ -1060,6 +1190,7 @@ fn run_sequential(
             dev,
             cost,
             MemView::Direct(&mut *global),
+            ck,
         );
         if let Some(t) = trace.as_deref() {
             exec.trace = Some(Trace::with_limit(t.limit()));
@@ -1128,6 +1259,7 @@ fn run_block_overlay(
     base: &GlobalMemory,
     dev: &DeviceConfig,
     cost: &CostModel,
+    ck: Option<&crate::compiled::CompiledKernel>,
     block_idx: (u32, u32),
     trace_limit: Option<usize>,
     san_cfg: Option<&SanitizerConfig>,
@@ -1141,6 +1273,7 @@ fn run_block_overlay(
         dev,
         cost,
         MemView::Overlay(BlockOverlay::new(base)),
+        ck,
     );
     exec.trace = trace_limit.map(Trace::with_limit);
     exec.san = san_cfg.map(|c| BlockSanitizer::new(c.clone(), block_idx, kernel.shared_bytes));
@@ -1194,6 +1327,7 @@ fn run_parallel(
     dev: &DeviceConfig,
     cost: &CostModel,
     host_threads: usize,
+    ck: Option<&crate::compiled::CompiledKernel>,
     mut trace: Option<&mut Trace>,
     mut san: Option<&mut LaunchSanitizer>,
     mut profile: Option<&mut LaunchProfile>,
@@ -1237,6 +1371,7 @@ fn run_parallel(
                             base,
                             dev,
                             cost,
+                            ck,
                             cfg.block_coords(id),
                             trace_limit,
                             san_cfg.as_ref(),

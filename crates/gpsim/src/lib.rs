@@ -39,6 +39,7 @@
 
 pub mod builder;
 pub mod coalesce;
+pub mod compiled;
 pub mod cost;
 pub mod device;
 pub mod disasm;
@@ -54,7 +55,8 @@ pub mod types;
 pub mod verify;
 
 pub use builder::KernelBuilder;
-pub use cost::{CostModel, DeviceConfig};
+pub use compiled::CompiledKernel;
+pub use cost::{CostModel, DeviceConfig, ExecTier};
 pub use device::Device;
 pub use disasm::parse_kernel;
 pub use error::SimError;

@@ -128,6 +128,51 @@ impl GlobalMemory {
         out[avail..].fill(0);
     }
 
+    /// Read a typed value as the compiled tier's raw bit encoding without
+    /// materializing a [`Value`] (identical bounds and bit semantics to
+    /// [`GlobalMemory::read`] followed by the row encoding).
+    pub(crate) fn read_bits(&self, ty: Ty, addr: u64) -> Result<u64, SimError> {
+        self.check(addr, ty.size())?;
+        Ok(load_bits(ty, &self.data[addr as usize..]))
+    }
+
+    /// Write a typed value given as the compiled tier's raw bit encoding.
+    pub(crate) fn write_bits(&mut self, ty: Ty, addr: u64, bits: u64) -> Result<(), SimError> {
+        let n = ty.size();
+        self.check(addr, n)?;
+        store_bits(ty, bits, &mut self.data[addr as usize..addr as usize + n]);
+        Ok(())
+    }
+
+    /// Span read for a perfectly coalesced warp access: `out.len()`
+    /// consecutive `ty`-typed values starting at `addr`. Returns `false`
+    /// (having done nothing) when the span cannot be served whole — the
+    /// caller then replays per-lane for exact error semantics.
+    pub(crate) fn read_span_bits(&self, ty: Ty, addr: u64, out: &mut [u64]) -> bool {
+        let n = ty.size();
+        if self.check(addr, out.len() * n).is_err() {
+            return false;
+        }
+        let src = &self.data[addr as usize..];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = load_bits(ty, &src[i * n..]);
+        }
+        true
+    }
+
+    /// Span write twin of [`GlobalMemory::read_span_bits`].
+    pub(crate) fn write_span_bits(&mut self, ty: Ty, addr: u64, src: &[u64]) -> bool {
+        let n = ty.size();
+        if self.check(addr, src.len() * n).is_err() {
+            return false;
+        }
+        let dst = &mut self.data[addr as usize..];
+        for (i, &bits) in src.iter().enumerate() {
+            store_bits(ty, bits, &mut dst[i * n..i * n + n]);
+        }
+        true
+    }
+
     /// Commit one overlay page: copy exactly the dirty bytes into this
     /// memory. All dirty bytes were bounds-checked when written into the
     /// overlay and the mapped range cannot shrink during a launch, so this
@@ -143,6 +188,49 @@ impl GlobalMemory {
                 bits &= bits - 1;
             }
         }
+    }
+}
+
+/// Decode the compiled tier's u64 row encoding for `ty` from little-endian
+/// bytes: the bit-level twin of [`Value::from_bytes`] (4-byte types are
+/// zero-extended, floats carry their IEEE bits, predicates normalize any
+/// non-zero byte to 1 exactly as `bytes[0] != 0` does).
+#[inline(always)]
+pub(crate) fn load_bits(ty: Ty, bytes: &[u8]) -> u64 {
+    match ty.size() {
+        4 => u32::from_le_bytes(bytes[..4].try_into().unwrap()) as u64,
+        8 => u64::from_le_bytes(bytes[..8].try_into().unwrap()),
+        _ => (bytes[0] != 0) as u64,
+    }
+}
+
+/// Encode the compiled tier's u64 row encoding into `ty.size()` little-endian
+/// bytes: the bit-level twin of [`Value::to_bytes`]. Predicate rows only ever
+/// hold 0 or 1, matching `v as u8`.
+#[inline(always)]
+pub(crate) fn store_bits(ty: Ty, bits: u64, out: &mut [u8]) {
+    match ty.size() {
+        4 => out[..4].copy_from_slice(&(bits as u32).to_le_bytes()),
+        8 => out[..8].copy_from_slice(&bits.to_le_bytes()),
+        _ => out[0] = bits as u8,
+    }
+}
+
+/// Set the dirty bits for byte range `[off, off + len)` word-wise.
+fn mark_dirty(dirty: &mut [u64; PAGE_BYTES as usize / 64], off: usize, len: usize) {
+    let end = off + len;
+    let mut b = off;
+    while b < end {
+        let w = b / 64;
+        let lo = b % 64;
+        let take = (64 - lo).min(end - b);
+        let m = if take == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << take) - 1) << lo
+        };
+        dirty[w] |= m;
+        b += take;
     }
 }
 
@@ -237,6 +325,10 @@ pub(crate) struct BlockOverlay<'a> {
     /// Byte addresses targeted by logged atomics; a plain access overlapping
     /// these cannot see the deferred atomic's effect and forces fallback.
     atomic_bytes: AddrSet,
+    /// One-entry cache: a page id already recorded in `read_pages` and known
+    /// absent from `pages`, so repeat reads can hit `base` directly without
+    /// hashing. Invalidated when a write materializes that overlay page.
+    base_page: u64,
 }
 
 impl<'a> BlockOverlay<'a> {
@@ -247,6 +339,7 @@ impl<'a> BlockOverlay<'a> {
             read_pages: AddrSet::default(),
             atomics: Vec::new(),
             atomic_bytes: AddrSet::default(),
+            base_page: u64::MAX,
         }
     }
 
@@ -305,12 +398,24 @@ impl<'a> BlockOverlay<'a> {
                 "plain write to an address this block updated atomically",
             ));
         }
+        self.scatter(addr, &bytes[..n]);
+        Ok(())
+    }
+
+    /// Copy already-bounds-checked bytes into the overlay pages they span,
+    /// marking them dirty (and dropping the base-page read cache for any
+    /// page this write materializes).
+    fn scatter(&mut self, addr: u64, src: &[u8]) {
+        let n = src.len();
         let mut i = 0usize;
         while i < n {
             let a = addr + i as u64;
             let page = a / PAGE_BYTES;
             let off = (a % PAGE_BYTES) as usize;
             let seg = (n - i).min(PAGE_BYTES as usize - off);
+            if page == self.base_page {
+                self.base_page = u64::MAX;
+            }
             let p = self.pages.entry(page).or_insert_with(|| {
                 let mut bytes = Box::new([0u8; PAGE_BYTES as usize]);
                 self.base.copy_page(page, &mut bytes);
@@ -319,12 +424,134 @@ impl<'a> BlockOverlay<'a> {
                     dirty: [0; PAGE_BYTES as usize / 64],
                 }
             });
-            p.bytes[off..off + seg].copy_from_slice(&bytes[i..i + seg]);
+            p.bytes[off..off + seg].copy_from_slice(&src[i..i + seg]);
             for b in off..off + seg {
                 p.dirty[b / 64] |= 1u64 << (b % 64);
             }
             i += seg;
         }
+    }
+
+    /// Bit-encoding twin of [`BlockOverlay::read`]: same bounds checks, same
+    /// atomic-overlap fallback, same observed bytes — minus the `Value`
+    /// round-trip, plus a one-page cache that skips both hash-map probes on
+    /// the common many-reads-per-page pattern.
+    pub(crate) fn read_bits(&mut self, ty: Ty, addr: u64) -> Result<u64, AccessAbort> {
+        let n = ty.size();
+        self.base.check(addr, n)?;
+        if self.overlaps_atomic(addr, n) {
+            return Err(AccessAbort::NeedsSequential(
+                "plain read of an address this block updated atomically",
+            ));
+        }
+        let page = addr / PAGE_BYTES;
+        let off = (addr % PAGE_BYTES) as usize;
+        if off + n <= PAGE_BYTES as usize {
+            if page != self.base_page {
+                self.read_pages.insert(page);
+                if let Some(p) = self.pages.get(&page) {
+                    return Ok(load_bits(ty, &p.bytes[off..]));
+                }
+                self.base_page = page;
+            }
+            Ok(load_bits(ty, &self.base.data[addr as usize..]))
+        } else {
+            let mut buf = [0u8; 8];
+            self.gather(addr, &mut buf[..n]);
+            Ok(load_bits(ty, &buf))
+        }
+    }
+
+    /// Span read for a perfectly coalesced warp access. Returns `false`
+    /// (having touched no tracking state) when the span cannot take the
+    /// fast path — out of bounds, overlapping a logged atomic, or lanes
+    /// straddling a page boundary (only possible unaligned) — and the
+    /// caller replays per-lane for exact error/fallback semantics.
+    pub(crate) fn read_span_bits(&mut self, ty: Ty, addr: u64, out: &mut [u64]) -> bool {
+        let n = ty.size();
+        let count = out.len();
+        if self.base.check(addr, count * n).is_err()
+            || !self.atomic_bytes.is_empty()
+            || !addr.is_multiple_of(n as u64)
+        {
+            return false;
+        }
+        let mut i = 0usize;
+        while i < count {
+            let a = addr + (i * n) as u64;
+            let page = a / PAGE_BYTES;
+            let off = (a % PAGE_BYTES) as usize;
+            // `addr` is element-aligned and PAGE_BYTES is a multiple of
+            // every element size, so lanes never straddle the page edge.
+            let fit = ((PAGE_BYTES as usize - off) / n).min(count - i);
+            let src: &[u8] = if page == self.base_page {
+                &self.base.data[a as usize..]
+            } else {
+                self.read_pages.insert(page);
+                match self.pages.get(&page) {
+                    Some(p) => &p.bytes[off..],
+                    None => {
+                        self.base_page = page;
+                        &self.base.data[a as usize..]
+                    }
+                }
+            };
+            for (l, o) in out[i..i + fit].iter_mut().enumerate() {
+                *o = load_bits(ty, &src[l * n..]);
+            }
+            i += fit;
+        }
+        true
+    }
+
+    /// Span write twin of [`BlockOverlay::read_span_bits`].
+    pub(crate) fn write_span_bits(&mut self, ty: Ty, addr: u64, src: &[u64]) -> bool {
+        let n = ty.size();
+        let count = src.len();
+        if self.base.check(addr, count * n).is_err()
+            || !self.atomic_bytes.is_empty()
+            || !addr.is_multiple_of(n as u64)
+        {
+            return false;
+        }
+        let mut i = 0usize;
+        while i < count {
+            let a = addr + (i * n) as u64;
+            let page = a / PAGE_BYTES;
+            let off = (a % PAGE_BYTES) as usize;
+            let fit = ((PAGE_BYTES as usize - off) / n).min(count - i);
+            if page == self.base_page {
+                self.base_page = u64::MAX;
+            }
+            let p = self.pages.entry(page).or_insert_with(|| {
+                let mut bytes = Box::new([0u8; PAGE_BYTES as usize]);
+                self.base.copy_page(page, &mut bytes);
+                OverlayPage {
+                    bytes,
+                    dirty: [0; PAGE_BYTES as usize / 64],
+                }
+            });
+            for (l, &bits) in src[i..i + fit].iter().enumerate() {
+                store_bits(ty, bits, &mut p.bytes[off + l * n..off + (l + 1) * n]);
+            }
+            mark_dirty(&mut p.dirty, off, fit * n);
+            i += fit;
+        }
+        true
+    }
+
+    /// Bit-encoding twin of [`BlockOverlay::write`].
+    pub(crate) fn write_bits(&mut self, ty: Ty, addr: u64, bits: u64) -> Result<(), AccessAbort> {
+        let n = ty.size();
+        self.base.check(addr, n)?;
+        if self.overlaps_atomic(addr, n) {
+            return Err(AccessAbort::NeedsSequential(
+                "plain write to an address this block updated atomically",
+            ));
+        }
+        let mut buf = [0u8; 8];
+        store_bits(ty, bits, &mut buf[..n]);
+        self.scatter(addr, &buf[..n]);
         Ok(())
     }
 
@@ -417,7 +644,15 @@ impl SharedMemory {
     }
 
     fn check(&self, off: u64, len: usize) -> Result<(), SimError> {
-        if off as usize + len > self.data.len() {
+        // Checked end-of-access: a wild offset near `u64::MAX` must be an
+        // out-of-bounds error, not a debug overflow panic (or, worse, a
+        // release-mode wraparound that *passes* the check and then panics
+        // when slicing).
+        let in_bounds = usize::try_from(off)
+            .ok()
+            .and_then(|o| o.checked_add(len))
+            .is_some_and(|end| end <= self.data.len());
+        if !in_bounds {
             return Err(SimError::SharedOutOfBounds {
                 off,
                 len,
@@ -439,6 +674,47 @@ impl SharedMemory {
         self.check(off, n)?;
         self.data[off as usize..off as usize + n].copy_from_slice(&bytes[..n]);
         Ok(())
+    }
+
+    /// Bit-encoding twin of [`SharedMemory::read`] for the compiled tier.
+    pub(crate) fn read_bits(&self, ty: Ty, off: u64) -> Result<u64, SimError> {
+        self.check(off, ty.size())?;
+        Ok(load_bits(ty, &self.data[off as usize..]))
+    }
+
+    /// Bit-encoding twin of [`SharedMemory::write`] for the compiled tier.
+    pub(crate) fn write_bits(&mut self, ty: Ty, off: u64, bits: u64) -> Result<(), SimError> {
+        let n = ty.size();
+        self.check(off, n)?;
+        store_bits(ty, bits, &mut self.data[off as usize..off as usize + n]);
+        Ok(())
+    }
+
+    /// Span read for a coalesced warp access (see
+    /// [`GlobalMemory::read_span_bits`]); `false` means replay per-lane.
+    pub(crate) fn read_span_bits(&self, ty: Ty, off: u64, out: &mut [u64]) -> bool {
+        let n = ty.size();
+        if self.check(off, out.len() * n).is_err() {
+            return false;
+        }
+        let src = &self.data[off as usize..];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = load_bits(ty, &src[i * n..]);
+        }
+        true
+    }
+
+    /// Span write twin of [`SharedMemory::read_span_bits`].
+    pub(crate) fn write_span_bits(&mut self, ty: Ty, off: u64, src: &[u64]) -> bool {
+        let n = ty.size();
+        if self.check(off, src.len() * n).is_err() {
+            return false;
+        }
+        let dst = &mut self.data[off as usize..];
+        for (i, &bits) in src.iter().enumerate() {
+            store_bits(ty, bits, &mut dst[i * n..i * n + n]);
+        }
+        true
     }
 }
 
@@ -486,6 +762,28 @@ mod tests {
         assert!(matches!(
             m.write(m.used() + 100_000, Value::I32(1)),
             Err(SimError::GlobalOutOfBounds { .. })
+        ));
+    }
+
+    /// Regression: a wild shared-memory offset near `u64::MAX` is an
+    /// out-of-bounds error, not an arithmetic overflow panic (debug) or a
+    /// wrapped check that passes and panics at the slice (release).
+    #[test]
+    fn shared_wild_offset_is_oob_not_overflow() {
+        let mut s = SharedMemory::new(64);
+        assert!(matches!(
+            s.read(Ty::I32, u64::MAX - 1),
+            Err(SimError::SharedOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            s.write(u64::MAX - 2, Value::I32(1)),
+            Err(SimError::SharedOutOfBounds { .. })
+        ));
+        // Boundary still exact: last word is readable, one past is not.
+        assert!(s.read(Ty::I32, 60).is_ok());
+        assert!(matches!(
+            s.read(Ty::I64, 60),
+            Err(SimError::SharedOutOfBounds { .. })
         ));
     }
 

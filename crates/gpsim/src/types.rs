@@ -57,6 +57,34 @@ impl fmt::Display for Ty {
     }
 }
 
+/// Canonicalize an `f32` ALU result: any NaN becomes the canonical quiet
+/// NaN `0x7fc00000`.
+///
+/// GPU float units do not propagate NaN payloads — PTX specifies that
+/// operations producing a NaN return a single canonical quiet NaN — and
+/// the simulator must not either: host codegen is free to commute a
+/// two-NaN `a + b` (x86 `addss` returns the *first* operand's payload),
+/// so payload propagation would make results depend on which execution
+/// tier's machine code the optimizer happened to emit.
+#[inline(always)]
+pub(crate) fn canon_f32(x: f32) -> f32 {
+    if x.is_nan() {
+        f32::from_bits(0x7fc0_0000)
+    } else {
+        x
+    }
+}
+
+/// `f64` counterpart of [`canon_f32`]: NaN results become `0x7ff8…0`.
+#[inline(always)]
+pub(crate) fn canon_f64(x: f64) -> f64 {
+    if x.is_nan() {
+        f64::from_bits(0x7ff8_0000_0000_0000)
+    } else {
+        x
+    }
+}
+
 /// A dynamically typed scalar value held in a virtual register.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Value {

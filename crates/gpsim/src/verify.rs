@@ -172,23 +172,23 @@ pub fn verify_kernel(kernel: &Kernel, cfg: LaunchConfig, vc: &VerifyConfig) -> V
 // CFG
 // ---------------------------------------------------------------------------
 
-struct Block {
-    start: usize,
+pub(crate) struct Block {
+    pub(crate) start: usize,
     /// Exclusive end.
-    end: usize,
+    pub(crate) end: usize,
     /// Successor block indices; `nb` (one past the last block) is the
     /// virtual exit. For a conditional branch, `succs[0]` is the taken
     /// edge and `succs[1]` the fallthrough.
-    succs: Vec<usize>,
+    pub(crate) succs: Vec<usize>,
 }
 
-struct Cfg {
-    blocks: Vec<Block>,
-    block_of: Vec<usize>,
+pub(crate) struct Cfg {
+    pub(crate) blocks: Vec<Block>,
+    pub(crate) block_of: Vec<usize>,
 }
 
 impl Cfg {
-    fn build(k: &Kernel) -> Cfg {
+    pub(crate) fn build(k: &Kernel) -> Cfg {
         let n = k.insts.len();
         let mut leaders = vec![false; n.max(1)];
         if n > 0 {
@@ -248,7 +248,7 @@ impl Cfg {
     }
 
     /// The conditional-branch predicate register of `b`'s terminator.
-    fn branch_cond(&self, k: &Kernel, b: usize) -> Option<(Reg, bool)> {
+    pub(crate) fn branch_cond(&self, k: &Kernel, b: usize) -> Option<(Reg, bool)> {
         match &k.insts[self.blocks[b].end - 1] {
             Inst::Bra {
                 cond: Some((r, expect)),
@@ -264,26 +264,26 @@ impl Cfg {
 // ---------------------------------------------------------------------------
 
 #[derive(Clone, PartialEq)]
-struct BitSet(Vec<u64>);
+pub(crate) struct BitSet(Vec<u64>);
 
 impl BitSet {
-    fn empty(n: usize) -> Self {
+    pub(crate) fn empty(n: usize) -> Self {
         BitSet(vec![0; n.div_ceil(64)])
     }
-    fn full(n: usize) -> Self {
+    pub(crate) fn full(n: usize) -> Self {
         let mut s = BitSet(vec![!0u64; n.div_ceil(64)]);
         if !n.is_multiple_of(64) {
             *s.0.last_mut().unwrap() = (1u64 << (n % 64)) - 1;
         }
         s
     }
-    fn set(&mut self, i: usize) {
+    pub(crate) fn set(&mut self, i: usize) {
         self.0[i / 64] |= 1 << (i % 64);
     }
-    fn has(&self, i: usize) -> bool {
+    pub(crate) fn has(&self, i: usize) -> bool {
         self.0[i / 64] >> (i % 64) & 1 == 1
     }
-    fn intersect(&mut self, other: &BitSet) {
+    pub(crate) fn intersect(&mut self, other: &BitSet) {
         for (a, b) in self.0.iter_mut().zip(&other.0) {
             *a &= b;
         }
@@ -291,7 +291,7 @@ impl BitSet {
 }
 
 /// Iterative postdominator sets over the CFG plus a virtual exit node.
-fn postdominators(cfg: &Cfg) -> Vec<BitSet> {
+pub(crate) fn postdominators(cfg: &Cfg) -> Vec<BitSet> {
     let nb = cfg.blocks.len();
     let n = nb + 1;
     let mut pdom: Vec<BitSet> = (0..n).map(|_| BitSet::full(n)).collect();
@@ -317,7 +317,7 @@ fn postdominators(cfg: &Cfg) -> Vec<BitSet> {
 
 /// `deps[x]` = conditional branches `x` is control-dependent on, as
 /// `(branch_block, edge_index)` with edge 0 = taken, 1 = fallthrough.
-fn control_deps(cfg: &Cfg, pdom: &[BitSet]) -> Vec<Vec<(usize, usize)>> {
+pub(crate) fn control_deps(cfg: &Cfg, pdom: &[BitSet]) -> Vec<Vec<(usize, usize)>> {
     let nb = cfg.blocks.len();
     let mut deps: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nb];
     for b in 0..nb {

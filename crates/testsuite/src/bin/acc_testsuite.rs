@@ -50,7 +50,16 @@ fn main() {
                 cfg.host_threads =
                     parse_count_u32("--host-threads", &v).unwrap_or_else(|e| flag_err(e));
             }
-            "--quick" => cfg = SuiteConfig::quick(),
+            "--exec-tier" => {
+                i += 1;
+                let v = need_val(&args, i, "--exec-tier");
+                cfg.exec_tier = v.parse().unwrap_or_else(|e| flag_err(e));
+            }
+            "--quick" => {
+                let tier = cfg.exec_tier;
+                cfg = SuiteConfig::quick();
+                cfg.exec_tier = tier;
+            }
             "--fig11" => fig11 = true,
             "--all-ops" => all_ops = true,
             "--sanitize" => sanitize = true,
@@ -66,6 +75,8 @@ fn main() {
                      --quick      small sizes for smoke testing\n\
                      --host-threads N  simulator host worker threads (0 = auto, 1 = sequential;\n\
                                        results are bit-identical at any setting)\n\
+                     --exec-tier T  simulator execution tier: auto (default), interpret,\n\
+                                    or compiled; results are bit-identical at any setting\n\
                      --all-ops    run all nine OpenACC reduction operators (not just + and *)\n\
                      --fig11      also print the Figure 11 per-position series\n\
                      --sanitize   run the hazard-sanitizer detection matrix instead\n\

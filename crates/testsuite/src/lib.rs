@@ -22,7 +22,8 @@ pub use cases::{case_source, Position};
 pub use lintsweep::{format_lint_sweep, run_lint_sweep, strip_reduction_clauses, LintSweepRow};
 pub use report::{format_fig11, format_summary, format_table2};
 pub use run::{
-    profile_case, run_case, run_suite, CaseResult, CaseStatus, ProfiledCase, SuiteConfig,
+    profile_case, run_case, run_suite, time_case, CaseResult, CaseStatus, ProfiledCase,
+    SuiteConfig, TimedCase,
 };
 pub use sanitize::{
     format_matrix, format_verify_sweep, run_sanitize_matrix, run_verify_sweep, SanitizeRow,

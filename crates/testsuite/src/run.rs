@@ -25,6 +25,9 @@ pub struct SuiteConfig {
     /// see [`gpsim::DeviceConfig::host_threads`]). Results are bit-identical
     /// at any setting.
     pub host_threads: u32,
+    /// Simulator execution tier (see [`gpsim::ExecTier`]). Results are
+    /// bit-identical at any setting.
+    pub exec_tier: gpsim::ExecTier,
 }
 
 impl Default for SuiteConfig {
@@ -33,6 +36,7 @@ impl Default for SuiteConfig {
             red_n: 16 * 1024,
             dims: LaunchDims::paper(),
             host_threads: 0,
+            exec_tier: gpsim::ExecTier::Auto,
         }
     }
 }
@@ -48,6 +52,7 @@ impl SuiteConfig {
                 vector: 64,
             },
             host_threads: 0,
+            exec_tier: gpsim::ExecTier::Auto,
         }
     }
 }
@@ -217,6 +222,7 @@ fn run_case_inner(
         }
     };
     r.set_host_threads(cfg.host_threads);
+    r.set_exec_tier(cfg.exec_tier);
     if let Err(e) = (|| -> Result<(), AccError> {
         bind_dims(pos, cfg, |n, v| r.bind_int(n, v))?;
         r.bind_array("input", data.input.clone())?;
@@ -315,6 +321,7 @@ pub fn profile_case(
     let mut r = AccRunner::with_options(&src, opts, cfg.dims, Device::default())
         .map_err(|e| e.to_string())?;
     r.set_host_threads(cfg.host_threads);
+    r.set_exec_tier(cfg.exec_tier);
     r.profile(true);
     bind_dims(pos, cfg, |n, v| r.bind_int(n, v)).map_err(|e| e.to_string())?;
     r.bind_array("input", data.input.clone())
@@ -328,6 +335,53 @@ pub fn profile_case(
         report: r.profile_report(),
         json: r.profile_json(),
         trace: r.profile_chrome_trace(),
+    })
+}
+
+/// Wall-clock timing of one case (see [`time_case`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TimedCase {
+    /// Wall-clock seconds spent inside `run()` (setup and input binding
+    /// excluded).
+    pub secs: f64,
+    /// Simulated lane-instructions executed, for instruction-throughput
+    /// rates.
+    pub lane_insts: u64,
+}
+
+/// Wall-clock one case under one compiler personality: build a fresh
+/// session (untimed), bind the deterministic inputs (untimed), then time
+/// `run()` alone. `cfg.exec_tier` and `cfg.host_threads` select the
+/// simulator configuration being measured, so `make-figures
+/// sim-throughput` can race the execution tiers on identical workloads.
+pub fn time_case(
+    compiler: Compiler,
+    pos: Position,
+    op: RedOp,
+    t: CType,
+    cfg: &SuiteConfig,
+) -> Result<TimedCase, String> {
+    let case = ReductionCase::new(pos.levels(), pos.same_loop(), op, t);
+    let opts = compiler.options_for_case(&case)?;
+    let src = case_source(pos, op, t);
+    let data = case_data(pos, op, t, cfg);
+    let mut r = AccRunner::with_options(&src, opts, cfg.dims, Device::default())
+        .map_err(|e| e.to_string())?;
+    r.set_host_threads(cfg.host_threads);
+    r.set_exec_tier(cfg.exec_tier);
+    bind_dims(pos, cfg, |n, v| r.bind_int(n, v)).map_err(|e| e.to_string())?;
+    r.bind_array("input", data.input.clone())
+        .map_err(|e| e.to_string())?;
+    if let Some(n) = data.out_len {
+        r.bind_array("out", HostBuffer::new(t, n))
+            .map_err(|e| e.to_string())?;
+    }
+    let start = std::time::Instant::now();
+    r.run().map_err(|e| e.to_string())?;
+    let secs = start.elapsed().as_secs_f64();
+    Ok(TimedCase {
+        secs,
+        lane_insts: r.device().stats().totals.lane_insts,
     })
 }
 

@@ -389,6 +389,7 @@ impl Daemon {
             dims: req_dims(v)?,
             n: req_count(v, "n")?.unwrap_or(RunRequest::default().n),
             host_threads: req_count_u32(v, "host_threads")?.unwrap_or(0),
+            exec_tier: req_exec_tier(v)?,
         };
         let (prog, key, program_hit) = self
             .get_or_parse(source, &req.opts)
@@ -448,6 +449,18 @@ fn req_count_u32(v: &Json, field: &str) -> Result<Option<u32>, (u16, String)> {
         Some(x) => parse_count_u32(field, &x.literal())
             .map(Some)
             .map_err(|e| (400, e)),
+    }
+}
+
+/// Optional `exec_tier` field, validated exactly like the CLI's
+/// `--exec-tier` flag (same parser, same rendered diagnostic).
+fn req_exec_tier(v: &Json) -> Result<gpsim::ExecTier, (u16, String)> {
+    match v.get("exec_tier") {
+        None | Some(Json::Null) => Ok(gpsim::ExecTier::Auto),
+        Some(x) => match x.as_str() {
+            Some(s) => s.parse().map_err(|e: String| (400, e)),
+            None => Err((400, "field `exec_tier` must be a string".into())),
+        },
     }
 }
 
@@ -570,9 +583,11 @@ pub fn spawn(cfg: DaemonConfig, addr: &str) -> std::io::Result<(SocketAddr, Arc<
     let daemon = Daemon::new(cfg.clone());
     let pool = Arc::new(WorkerPool::new(cfg.workers));
     let d = Arc::clone(&daemon);
+    // Thread spawn can fail (e.g. under resource limits); surface it as
+    // an io::Error like bind failures, so callers render a diagnostic
+    // instead of the process aborting on a panic.
     std::thread::Builder::new()
         .name("uhaccd-accept".into())
-        .spawn(move || serve(d, listener, pool))
-        .expect("spawn accept thread");
+        .spawn(move || serve(d, listener, pool))?;
     Ok((local, daemon))
 }

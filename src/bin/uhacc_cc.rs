@@ -34,6 +34,7 @@ struct Args {
     run: bool,
     n: u64,
     host_threads: u32,
+    exec_tier: gpsim::ExecTier,
 }
 
 fn usage() -> ! {
@@ -70,6 +71,10 @@ fn usage() -> ! {
            --host-threads N    simulator host worker threads for --sanitize,\n\
                                --run and --profile (0 = auto, 1 = sequential;\n\
                                results are bit-identical at any setting)\n\
+           --exec-tier T       simulator execution tier for --sanitize, --run\n\
+                               and --profile: auto (default), interpret, or\n\
+                               compiled; results are bit-identical at any\n\
+                               setting\n\
            -h, --help          this message"
     );
     std::process::exit(2);
@@ -101,6 +106,7 @@ fn parse_args() -> Args {
         run: false,
         n: 65536,
         host_threads: 0,
+        exec_tier: gpsim::ExecTier::Auto,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -190,6 +196,11 @@ fn parse_args() -> Args {
                 args.host_threads =
                     parse_count_u32("--host-threads", &v).unwrap_or_else(|e| flag_err(e));
             }
+            "--exec-tier" => {
+                i += 1;
+                let v = need_val(&argv, i, "--exec-tier");
+                args.exec_tier = v.parse().unwrap_or_else(|e| flag_err(e));
+            }
             f if !f.starts_with('-') || f == "-" => {
                 if have_input {
                     usage();
@@ -250,6 +261,7 @@ fn run_request(args: &Args) -> RunRequest {
         dims: args.dims,
         n: args.n,
         host_threads: args.host_threads,
+        exec_tier: args.exec_tier,
     }
 }
 
@@ -271,6 +283,7 @@ fn run_profile(src: &str, args: &Args, mode: ProfileMode) -> ! {
         Err(e) => fail(&e),
     };
     r.set_host_threads(req.host_threads);
+    r.set_exec_tier(req.exec_tier);
     r.profile(true);
     if let Err(e) = r.bind_deterministic_inputs(req.n) {
         fail(&e);
@@ -291,6 +304,7 @@ fn main() {
     if args.sanitize {
         let mut cfg = uhacc::testsuite::SuiteConfig::quick();
         cfg.host_threads = args.host_threads;
+        cfg.exec_tier = args.exec_tier;
         let rows = uhacc::testsuite::run_sanitize_matrix(&cfg);
         print!("{}", uhacc::testsuite::format_matrix(&rows));
         std::process::exit(if rows.iter().all(|r| r.ok()) { 0 } else { 1 });

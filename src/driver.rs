@@ -175,6 +175,8 @@ pub struct RunRequest {
     /// Simulator host worker threads (0 = auto; results identical at any
     /// setting).
     pub host_threads: u32,
+    /// Simulator execution tier (results identical at any setting).
+    pub exec_tier: gpsim::ExecTier,
 }
 
 impl Default for RunRequest {
@@ -184,6 +186,7 @@ impl Default for RunRequest {
             dims: LaunchDims::paper(),
             n: 65536,
             host_threads: 0,
+            exec_tier: gpsim::ExecTier::Auto,
         }
     }
 }
@@ -195,6 +198,7 @@ impl Default for RunRequest {
 /// identical regardless of how the session was constructed.
 pub fn execute(r: &mut AccRunner, req: &RunRequest, profile: bool) -> Result<(), AccError> {
     r.set_host_threads(req.host_threads);
+    r.set_exec_tier(req.exec_tier);
     if profile {
         r.profile(true);
     }
