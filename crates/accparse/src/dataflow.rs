@@ -45,7 +45,7 @@ pub fn strip_casts(e: &HExpr) -> &HExpr {
     }
 }
 
-fn children(e: &HExpr) -> Vec<&HExpr> {
+pub(crate) fn children(e: &HExpr) -> Vec<&HExpr> {
     match &e.kind {
         HExprKind::Int(_) | HExprKind::Float(_) | HExprKind::Sym(_) => Vec::new(),
         HExprKind::Load { indices, .. } => indices.iter().collect(),
@@ -152,7 +152,8 @@ pub struct UpdateShape<'a> {
     pub span: Span,
 }
 
-fn bin_red_op(op: BinOpKind) -> Option<RedOp> {
+/// The reduction operator a binary operator corresponds to, if any.
+pub fn bin_red_op(op: BinOpKind) -> Option<RedOp> {
     match op {
         BinOpKind::Add => Some(RedOp::Add),
         BinOpKind::Mul => Some(RedOp::Mul),
@@ -650,8 +651,8 @@ pub fn affine_in(e: &HExpr, var: usize) -> Option<AffineForm<'_>> {
                 return None;
             }
             Some(AffineForm {
-                coeff: -a.coeff,
-                offset: -a.offset,
+                coeff: a.coeff.checked_neg()?,
+                offset: a.offset.checked_neg()?,
                 base: None,
             })
         }
@@ -666,9 +667,19 @@ pub fn affine_in(e: &HExpr, var: usize) -> Option<AffineForm<'_>> {
                     (Some(x), Some(y)) if expr_eq(x, y) && *op == BinOpKind::Sub => None,
                     _ => return None,
                 };
+                // Checked arithmetic throughout: a subscript built from
+                // absurd literals must degrade to "not affine" (and thus a
+                // conservative Unanalyzable verdict), never wrap or panic.
+                let add_signed = |x: i64, y: i64| {
+                    if sign == 1 {
+                        x.checked_add(y)
+                    } else {
+                        x.checked_sub(y)
+                    }
+                };
                 Some(AffineForm {
-                    coeff: a.coeff + sign * b.coeff,
-                    offset: a.offset + sign * b.offset,
+                    coeff: add_signed(a.coeff, b.coeff)?,
+                    offset: add_signed(a.offset, b.offset)?,
                     base,
                 })
             }
@@ -685,8 +696,8 @@ pub fn affine_in(e: &HExpr, var: usize) -> Option<AffineForm<'_>> {
                     return None;
                 }
                 Some(AffineForm {
-                    coeff: k * a.coeff,
-                    offset: k * a.offset,
+                    coeff: k.checked_mul(a.coeff)?,
+                    offset: k.checked_mul(a.offset)?,
                     base: None,
                 })
             }
@@ -736,7 +747,11 @@ fn dim_rel(a: &HExpr, b: &HExpr, var: usize, varying: &HashSet<Sym>) -> DimRel {
         // Weak SIV; solvable in principle, out of scope here.
         return DimRel::Unknown;
     }
-    let d = fa.offset - fb.offset; // coeff*(i2 - i1) = d
+    // coeff*(i2 - i1) = d; offsets near the i64 boundary fall back to
+    // Unknown instead of overflowing.
+    let Some(d) = fa.offset.checked_sub(fb.offset) else {
+        return DimRel::Unknown;
+    };
     if fa.coeff == 0 {
         return if d == 0 {
             DimRel::AllIter
@@ -744,10 +759,12 @@ fn dim_rel(a: &HExpr, b: &HExpr, var: usize, varying: &HashSet<Sym>) -> DimRel {
             DimRel::Indep
         };
     }
-    if d % fa.coeff != 0 {
-        return DimRel::Indep;
+    match (d.checked_rem(fa.coeff), d.checked_div(fa.coeff)) {
+        (Some(0), Some(q)) => DimRel::Dist(q),
+        (Some(_), _) => DimRel::Indep,
+        // i64::MIN / -1 style overflow: not analyzable.
+        _ => DimRel::Unknown,
     }
-    DimRel::Dist(d / fa.coeff)
 }
 
 /// Result of a dependence test between two accesses in a parallel loop.
@@ -955,6 +972,93 @@ mod tests {
             loop_dependence(w, w, body.var, &varying),
             DepResult::SameIteration
         );
+    }
+
+    /// Build the (write, other) access pair plus loop var/varying set for a
+    /// single-loop body containing exactly one store.
+    fn dep_of(src: &str) -> DepResult {
+        let p = compile_region(src);
+        let body = match &p.regions[0].body[0] {
+            HStmt::Loop(l) => l,
+            _ => panic!("no loop"),
+        };
+        let mut accs = Vec::new();
+        collect_array_accesses(&body.body, &mut accs);
+        let varying = varying_syms(&body.body);
+        let w = accs.iter().find(|a| a.is_write).expect("write access");
+        let r = accs
+            .iter()
+            .find(|a| !a.is_write && a.array == w.array)
+            .expect("read access");
+        loop_dependence(w, r, body.var, &varying)
+    }
+
+    #[test]
+    fn dependence_negative_distance() {
+        // a[i] = a[i+1]: the write at iteration i conflicts with the read
+        // issued at iteration i+1 — a carried anti-dependence at distance
+        // -1 from the write's perspective.
+        let src = "int N;\ndouble a[N];\n\
+             #pragma acc parallel copy(a)\n{\n\
+             #pragma acc loop gang\nfor (int i = 0; i < N - 1; i++) { a[i] = a[i + 1]; }\n}";
+        assert_eq!(dep_of(src), DepResult::Carried(-1));
+    }
+
+    #[test]
+    fn dependence_zero_distance_with_scaled_subscripts() {
+        // a[2*i] = a[2*i] + 1: same scaled subscript on both sides — a
+        // distance of exactly zero, which is safe to parallelize.
+        let src = "int N;\ndouble a[N];\n\
+             #pragma acc parallel copy(a)\n{\n\
+             #pragma acc loop gang\nfor (int i = 0; i < N / 2; i++) { a[2*i] = a[2*i] + 1.0; }\n}";
+        assert_eq!(dep_of(src), DepResult::SameIteration);
+    }
+
+    #[test]
+    fn dependence_loop_var_on_both_sides_of_subscript() {
+        // a[i + i] = a[2*i]: `i` appears twice in the left subscript; the
+        // affine collector must fold it to coeff 2 and prove distance 0.
+        let src = "int N;\ndouble a[N];\n\
+             #pragma acc parallel copy(a)\n{\n\
+             #pragma acc loop gang\nfor (int i = 0; i < N / 2; i++) { a[i + i] = a[2*i]; }\n}";
+        assert_eq!(dep_of(src), DepResult::SameIteration);
+        // a[i - i] cancels to a constant subscript: every iteration hits
+        // element 0 while reading a varying one — SameElement conflict.
+        let src2 = "int N;\ndouble a[N];\n\
+             #pragma acc parallel copy(a)\n{\n\
+             #pragma acc loop gang\nfor (int i = 0; i < N; i++) { a[i - i] = a[0] + 1.0; }\n}";
+        assert_eq!(dep_of(src2), DepResult::SameElement);
+    }
+
+    #[test]
+    fn dependence_offset_overflow_is_conservative() {
+        // Subscript offsets near the i64 boundary: constant folding and
+        // the affine test must degrade to Unanalyzable (or prove
+        // independence), never wrap or panic in debug builds.
+        let big = i64::MAX;
+        let src = format!(
+            "int N;\ndouble a[N];\n\
+             #pragma acc parallel copy(a)\n{{\n\
+             #pragma acc loop gang\nfor (int i = 0; i < N; i++) {{ a[i + {big}] = a[i - {big}]; }}\n}}"
+        );
+        // `i + MAX` is affine (coeff 1, offset MAX); the distance test
+        // MAX - (-MAX) overflows and must come back Unknown → Unanalyzable.
+        assert_eq!(dep_of(&src), DepResult::Unanalyzable);
+        // Constant-folded subscript overflow: MAX + MAX is not a
+        // representable constant; the whole expression degrades.
+        let src2 = format!(
+            "int N;\ndouble a[N];\n\
+             #pragma acc parallel copy(a)\n{{\n\
+             #pragma acc loop gang\nfor (int i = 0; i < N; i++) {{ a[{big} + {big}] = a[i]; }}\n}}"
+        );
+        assert_eq!(dep_of(&src2), DepResult::Unanalyzable);
+        // Scaled-coefficient overflow: MAX * 2 * i cannot be represented.
+        let src3 = format!(
+            "int N;\ndouble a[N];\n\
+             #pragma acc parallel copy(a)\n{{\n\
+             #pragma acc loop gang\nfor (int i = 0; i < N; i++) {{ a[{big} * i + i] = a[i]; }}\n}}"
+        );
+        assert_eq!(dep_of(&src3), DepResult::Unanalyzable);
     }
 
     #[test]

@@ -119,6 +119,16 @@ impl Diag {
         }
     }
 
+    /// Create an info-level (note severity) diagnostic. Notes report
+    /// proven facts (e.g. L210's relaxation proof) rather than defects;
+    /// `--werror` does not upgrade them.
+    pub fn note(message: impl Into<String>, span: Span) -> Self {
+        Diag {
+            severity: Severity::Note,
+            ..Diag::new(message, span)
+        }
+    }
+
     fn ext_mut(&mut self) -> &mut DiagExt {
         self.ext.get_or_insert_with(Default::default)
     }
@@ -240,12 +250,24 @@ pub fn render_all(diags: &[Diag], src: &str) -> String {
         .iter()
         .filter(|d| d.severity == Severity::Warning)
         .count();
-    out.push_str(&format!("{errors} error(s), {warnings} warning(s)\n"));
+    let notes = ranked
+        .iter()
+        .filter(|d| d.severity == Severity::Note)
+        .count();
+    // The historical two-field summary is pinned by goldens; the note
+    // count only appears once info-level diagnostics (L210) exist.
+    if notes > 0 {
+        out.push_str(&format!(
+            "{errors} error(s), {warnings} warning(s), {notes} note(s)\n"
+        ));
+    } else {
+        out.push_str(&format!("{errors} error(s), {warnings} warning(s)\n"));
+    }
     out
 }
 
 /// Escape `s` for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -311,6 +333,24 @@ pub fn diags_to_json(diags: &[Diag], src: &str) -> String {
         items.push(format!("{{{}}}", fields.join(",")));
     }
     format!("[{}]", items.join(","))
+}
+
+/// Version of the top-level lint-report JSON schema emitted by
+/// [`lint_report_json`]. Bump when the report *envelope* changes shape
+/// (adding diagnostic codes does not bump it; consumers must tolerate
+/// unknown codes). Version history:
+///
+/// * 1 — bare `[...]` diagnostic array (implicit; never carried a marker)
+/// * 2 — `{"schema_version":2,"diagnostics":[...]}` envelope
+pub const LINT_SCHEMA_VERSION: u32 = 2;
+
+/// Serialize a ranked batch of diagnostics as the versioned lint-report
+/// envelope consumed by `uhacc-cc --lint --json` and uhaccd `/lint`.
+pub fn lint_report_json(diags: &[Diag], src: &str) -> String {
+    format!(
+        "{{\"schema_version\":{LINT_SCHEMA_VERSION},\"diagnostics\":{}}}",
+        diags_to_json(diags, src)
+    )
 }
 
 impl fmt::Display for Diag {

@@ -132,22 +132,25 @@ pub enum HExprKind {
 }
 
 impl HExpr {
-    /// Fold a constant integer expression, if it is one.
+    /// Fold a constant integer expression, if it is one. Overflow during
+    /// folding yields `None` (the expression is treated as non-constant)
+    /// rather than wrapping or panicking — downstream analyses must stay
+    /// conservative on absurd literals, not crash on them.
     pub fn const_int(&self) -> Option<i64> {
         match &self.kind {
             HExprKind::Int(v) => Some(*v),
             HExprKind::Un {
                 op: UnOpKind::Neg,
                 operand,
-            } => operand.const_int().map(|v| -v),
+            } => operand.const_int().and_then(i64::checked_neg),
             HExprKind::Cast { operand } if !self.ty.is_float() => operand.const_int(),
             HExprKind::Bin { op, lhs, rhs, .. } => {
                 let (a, b) = (lhs.const_int()?, rhs.const_int()?);
                 match op {
-                    BinOpKind::Add => Some(a + b),
-                    BinOpKind::Sub => Some(a - b),
-                    BinOpKind::Mul => Some(a * b),
-                    BinOpKind::Div if b != 0 => Some(a / b),
+                    BinOpKind::Add => a.checked_add(b),
+                    BinOpKind::Sub => a.checked_sub(b),
+                    BinOpKind::Mul => a.checked_mul(b),
+                    BinOpKind::Div if b != 0 => a.checked_div(b),
                     _ => None,
                 }
             }
@@ -284,6 +287,12 @@ pub struct AnalyzedRegion {
 pub struct HostAssign {
     pub host: usize,
     pub value: HExpr,
+    /// Source span of the assignment statement. The runtime hoists every
+    /// host assignment before the first region, but the *source position*
+    /// matters to the fusion-legality analysis ([`crate::redflow`]): a
+    /// host mutation written between two regions interleaves with the
+    /// chain as authored and disqualifies fusing across it.
+    pub span: Span,
 }
 
 /// A resolved structured data region: residency of `bindings` spans the

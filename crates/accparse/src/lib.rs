@@ -32,6 +32,7 @@ pub mod diag;
 pub mod hir;
 pub mod lint;
 pub mod parser;
+pub mod redflow;
 pub mod sema;
 pub mod token;
 

@@ -12,6 +12,8 @@
 //! | L104 | error    | reduction updates at different parallelism depths (rejected by codegen) |
 //! | L200 | error    | loop-carried dependence on affine array subscripts in a parallel loop |
 //! | L201 | warning  | unanalyzable subscripts — a carried dependence cannot be excluded |
+//! | L210 | note     | carried dependence proven to be a reduction idiom ([`crate::redflow`]) — relaxed; reports the operator, identity and privatization cost |
+//! | L211 | error    | reduction-shaped updates that mix operators, or whose running value escapes mid-loop (scan) |
 //! | L300 | warning  | `copyin` array never read by the region |
 //! | L301 | warning  | `copyout` array never written by the region |
 //! | L304 | warning  | `private` variable read before it is assigned |
@@ -25,7 +27,8 @@ use crate::dataflow::{
     scalar_events, varying_syms, DepResult, Liveness, LoopKey, ScalarEvent, ScalarEventKind,
 };
 use crate::diag::{Diag, Span};
-use crate::hir::{AnalyzedProgram, AnalyzedRegion, HLoop, HStmt, Sym};
+use crate::hir::{visit_loops, AnalyzedProgram, AnalyzedRegion, HLoop, HStmt, Sym};
+use crate::redflow::{self, ArrayRedVerdict};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Machine-readable payload of a lint finding (the diagnostic carries the
@@ -64,6 +67,18 @@ pub enum FindingKind {
     Unanalyzable {
         array: String,
     },
+    /// A carried dependence proven benign by the redflow pass: every
+    /// touch of the array is an `op`-update, so the conflict commutes.
+    ReductionRelaxed {
+        array: String,
+        op: RedOp,
+    },
+    /// A reduction idiom that is *not* legal: operators mix, the running
+    /// value escapes mid-loop, or a plain write clobbers the accumulator.
+    /// `var` names the scalar or array accumulator.
+    ReductionIllegal {
+        var: String,
+    },
     CopyinNeverRead {
         array: String,
     },
@@ -95,6 +110,8 @@ impl FindingKind {
             FindingKind::MixedDepthUpdates { .. } => "L104",
             FindingKind::LoopCarried { .. } => "L200",
             FindingKind::Unanalyzable { .. } => "L201",
+            FindingKind::ReductionRelaxed { .. } => "L210",
+            FindingKind::ReductionIllegal { .. } => "L211",
             FindingKind::CopyinNeverRead { .. } => "L300",
             FindingKind::CopyoutNeverWritten { .. } => "L301",
             FindingKind::PrivateReadBeforeWrite { .. } => "L304",
@@ -134,6 +151,7 @@ pub fn lint_program(p: &AnalyzedProgram) -> Vec<Finding> {
         let cx = RegionCx::new(p, r);
         cx.missing_reduction(&mut out);
         cx.reduction_clause_lints(&mut out);
+        cx.illegal_scalar_reductions(&mut out);
         cx.loop_carried(&mut out);
         cx.data_clause_lints(ri, &mut out);
         cx.private_lints(&mut out);
@@ -569,10 +587,131 @@ impl<'a> RegionCx<'a> {
         }
     }
 
-    // ---- L200 / L201 ----------------------------------------------------
+    // ---- L211 (scalar accumulators) -------------------------------------
+
+    /// Flag illegal scalar reduction idioms: updates of one accumulator
+    /// mixing operators within one parallel loop nest, and clause-less
+    /// accumulators whose running value is consumed inside the updates'
+    /// innermost loop (a scan — `missing_reduction` deliberately stays
+    /// silent on both shapes, since no single `reduction` clause fixes
+    /// them; this pass reports them as errors instead).
+    fn illegal_scalar_reductions(&self, out: &mut Vec<Finding>) {
+        fn sym_key(s: Sym) -> (u8, usize) {
+            match s {
+                Sym::Host(h) => (0, h),
+                Sym::Local(l) => (1, l),
+            }
+        }
+        // Group update events per (sym, outermost loop of the nest): all
+        // updates under one top-level loop combine into one accumulator,
+        // so that is the scope an operator mix corrupts.
+        let mut groups: BTreeMap<((u8, usize), LoopKey), Vec<&ScalarEvent<'a>>> = BTreeMap::new();
+        for ev in &self.events {
+            if !matches!(
+                ev.kind,
+                ScalarEventKind::Update(_) | ScalarEventKind::ClauseUpdate(_)
+            ) {
+                continue;
+            }
+            if ev.chain.is_empty() || levels_of(&ev.chain).is_empty() {
+                continue; // sequential accumulation: any shape is fine
+            }
+            groups
+                .entry((sym_key(ev.sym), loop_key(ev.chain[0])))
+                .or_default()
+                .push(ev);
+        }
+        for evs in groups.values() {
+            let sym = evs[0].sym;
+            let var = self.sym_name(sym).to_string();
+            let op_of = |e: &ScalarEvent<'_>| match e.kind {
+                ScalarEventKind::Update(op) | ScalarEventKind::ClauseUpdate(op) => op,
+                _ => unreachable!(),
+            };
+            let first_op = op_of(evs[0]);
+            if let Some(second) = evs.iter().find(|e| op_of(e) != first_op) {
+                out.push(Finding {
+                    kind: FindingKind::ReductionIllegal { var: var.clone() },
+                    diag: Diag::new(
+                        format!(
+                            "reduction updates of `{var}` mix `{first_op}` and `{}` \
+                             operators in one parallel loop nest",
+                            op_of(second)
+                        ),
+                        second.span,
+                    )
+                    .with_code("L211")
+                    .with_note_at(
+                        format!("the first update uses `{first_op}` here"),
+                        evs[0].span,
+                    )
+                    .with_note(
+                        "mixed operators combine order-sensitively and cannot be \
+                         privatized; use one operator per accumulator",
+                    ),
+                });
+                continue;
+            }
+            // Escape check only for clause-less accumulators (a read
+            // inside a clause's loop is L102's warning).
+            if evs
+                .iter()
+                .any(|e| matches!(e.kind, ScalarEventKind::ClauseUpdate(_)))
+            {
+                continue;
+            }
+            let escape = self
+                .events
+                .iter()
+                .filter(|e| e.sym == sym && e.kind == ScalarEventKind::Read)
+                .find_map(|rd| {
+                    evs.iter()
+                        .find(|u| common_prefix_len(&rd.chain, &u.chain) == u.chain.len())
+                        .map(|u| (rd.span, u.span))
+                });
+            if let Some((read, update)) = escape {
+                out.push(Finding {
+                    kind: FindingKind::ReductionIllegal { var: var.clone() },
+                    diag: Diag::new(
+                        format!(
+                            "the running value of `{var}` is consumed inside the \
+                             parallel loop that accumulates it (a scan, not a reduction)"
+                        ),
+                        read,
+                    )
+                    .with_code("L211")
+                    .with_note_at(format!("`{var}` is accumulated here"), update)
+                    .with_note(
+                        "each iteration observes an unspecified partial value under \
+                         parallel execution; a reduction clause cannot express this — \
+                         mark the loop `seq` or restructure as a scan primitive",
+                    ),
+                });
+            }
+        }
+    }
+
+    // ---- L200 / L201 / L210 / L211 (arrays) ------------------------------
 
     fn loop_carried(&self, out: &mut Vec<Finding>) {
-        let mut seen: HashSet<(LoopKey, usize, &'static str)> = HashSet::new();
+        // Pass 1: per (parallel loop, array), collect every non-benign
+        // dependence pair as evidence, then classify the array against
+        // the redflow reduction lattice.
+        struct DepGroup {
+            /// Loop-nest path of the reporting loop: the keys of every
+            /// enclosing loop, outermost first, ending with the loop
+            /// itself. `a.path` being a proper prefix of `b.path` means
+            /// `a`'s loop encloses `b`'s.
+            path: Vec<LoopKey>,
+            array: usize,
+            /// (dependence, write span, other-access span) pairs.
+            evidence: Vec<(DepResult, Span, Span)>,
+            verdict: ArrayRedVerdict,
+            /// Parallelism levels of the loop and everything nested in it
+            /// (the span a privatized accumulator must cover).
+            levels: Vec<crate::ast::Level>,
+        }
+        let mut groups: Vec<DepGroup> = Vec::new();
         for info in &self.loops {
             if info.l.sched.is_empty() {
                 continue;
@@ -580,89 +719,323 @@ impl<'a> RegionCx<'a> {
             let mut accs = Vec::new();
             collect_array_accesses(&info.l.body, &mut accs);
             let varying = varying_syms(&info.l.body);
+            let mut per_array: BTreeMap<usize, Vec<(DepResult, Span, Span)>> = BTreeMap::new();
             for w in accs.iter().filter(|a| a.is_write) {
                 for o in accs.iter().filter(|a| a.array == w.array) {
                     let dep = loop_dependence(w, o, info.l.var, &varying);
-                    let (code, kind, diag) = match dep {
-                        DepResult::Independent | DepResult::SameIteration => continue,
-                        DepResult::Carried(k) => {
-                            let array = self.array_name(w.array).to_string();
-                            (
-                                "L200",
-                                FindingKind::LoopCarried {
-                                    array: array.clone(),
-                                    distance: Some(k),
-                                },
-                                Diag::new(
-                                    format!(
-                                        "loop-carried dependence on `{array}` in a \
-                                         parallel loop (iteration distance {k})"
-                                    ),
-                                    w.span,
-                                )
-                                .with_code("L200")
-                                .with_note_at(
-                                    format!(
-                                        "this access touches the element written {k} \
-                                         iteration(s) away",
-                                    ),
-                                    o.span,
-                                )
-                                .with_note(
-                                    "parallel iterations execute in arbitrary order; \
-                                     mark the loop `seq` or restructure the recurrence",
-                                ),
-                            )
-                        }
-                        DepResult::SameElement => {
-                            let array = self.array_name(w.array).to_string();
-                            (
-                                "L200",
-                                FindingKind::LoopCarried {
-                                    array: array.clone(),
-                                    distance: None,
-                                },
-                                Diag::new(
-                                    format!(
-                                        "every iteration of this parallel loop accesses \
-                                         the same element of `{array}`"
-                                    ),
-                                    w.span,
-                                )
-                                .with_code("L200")
-                                .with_note(
-                                    "concurrent iterations race on one element; if this \
-                                     is a reduction, accumulate into a scalar",
-                                ),
-                            )
-                        }
-                        DepResult::Unanalyzable => {
-                            let array = self.array_name(w.array).to_string();
-                            (
-                                "L201",
-                                FindingKind::Unanalyzable {
-                                    array: array.clone(),
-                                },
-                                Diag::warning(
-                                    format!(
-                                        "cannot analyze the subscripts of `{array}`; a \
-                                         loop-carried dependence cannot be excluded"
-                                    ),
-                                    w.span,
-                                )
-                                .with_code("L201")
-                                .with_note(
-                                    "subscripts must be affine in the loop variable for \
-                                     the dependence test; verify iterations are independent",
-                                ),
-                            )
-                        }
-                    };
-                    if seen.insert((loop_key(info.l), w.array, code)) {
-                        out.push(Finding { kind, diag });
+                    if matches!(dep, DepResult::Independent | DepResult::SameIteration) {
+                        continue;
                     }
+                    per_array
+                        .entry(w.array)
+                        .or_default()
+                        .push((dep, w.span, o.span));
                 }
             }
+            if per_array.is_empty() {
+                continue;
+            }
+            let mut lvls: BTreeSet<crate::ast::Level> = info.l.sched.iter().copied().collect();
+            visit_loops(&info.l.body, &mut |nl| {
+                lvls.extend(nl.sched.iter().copied());
+            });
+            let levels: Vec<crate::ast::Level> = lvls.into_iter().collect();
+            let mut path: Vec<LoopKey> = info.chain.iter().map(|l| loop_key(l)).collect();
+            path.push(loop_key(info.l));
+            for (array, evidence) in per_array {
+                groups.push(DepGroup {
+                    path: path.clone(),
+                    array,
+                    evidence,
+                    verdict: redflow::classify_array_reduction(&info.l.body, array),
+                    levels: levels.clone(),
+                });
+            }
+        }
+        // Pass 2: cross-nested-loop dedupe. A loop nest often yields the
+        // same story twice (once per enclosing parallel loop); keep the
+        // most informative verdict per array.
+        let encloses = |a: &[LoopKey], b: &[LoopKey]| a.len() < b.len() && b.starts_with(a);
+        let nested = |a: &[LoopKey], b: &[LoopKey]| encloses(a, b) || encloses(b, a);
+        let unana_only = |g: &DepGroup| {
+            matches!(g.verdict, ArrayRedVerdict::NotReduction)
+                && g.evidence
+                    .iter()
+                    .all(|(d, _, _)| matches!(d, DepResult::Unanalyzable))
+        };
+        let keep: Vec<bool> = groups
+            .iter()
+            .map(|g| {
+                // Duplicate proven verdicts across a nest: the outermost
+                // loop's report covers the whole nest.
+                if matches!(g.verdict, ArrayRedVerdict::Proven { .. })
+                    && groups.iter().any(|g2| {
+                        g2.array == g.array
+                            && matches!(g2.verdict, ArrayRedVerdict::Proven { .. })
+                            && encloses(&g2.path, &g.path)
+                    })
+                {
+                    return false;
+                }
+                // An unanalyzable-only finding is noise when a nested (or
+                // enclosing) loop resolves the same array to a definite
+                // verdict.
+                if unana_only(g)
+                    && groups.iter().any(|g2| {
+                        g2.array == g.array && !unana_only(g2) && nested(&g2.path, &g.path)
+                    })
+                {
+                    return false;
+                }
+                true
+            })
+            .collect();
+        for (g, keep) in groups.iter().zip(keep) {
+            if keep {
+                self.report_dep_group(g.array, &g.evidence, &g.verdict, &g.levels, out);
+            }
+        }
+    }
+
+    /// Emit the single finding for one (loop, array) dependence group.
+    fn report_dep_group(
+        &self,
+        array: usize,
+        evidence: &[(DepResult, Span, Span)],
+        verdict: &ArrayRedVerdict,
+        levels: &[crate::ast::Level],
+        out: &mut Vec<Finding>,
+    ) {
+        let array_name = self.array_name(array).to_string();
+        match *verdict {
+            ArrayRedVerdict::Proven { op, update, sites } => {
+                let is_float = self.p.arrays[array].ty.is_float();
+                let witness = match evidence[0].0 {
+                    DepResult::Carried(k) => format!(
+                        "iterations at distance {k} touch the same element of `{array_name}`"
+                    ),
+                    DepResult::SameElement => {
+                        format!("every iteration touches the same element of `{array_name}`")
+                    }
+                    _ => format!(
+                        "the subscripts of `{array_name}` are not analyzable, so a \
+                         carried conflict cannot be excluded"
+                    ),
+                };
+                let mut diag = Diag::note(
+                    format!(
+                        "carried accesses on `{array_name}` form a `{op}` reduction; \
+                         the dependence is relaxed"
+                    ),
+                    update,
+                )
+                .with_code("L210")
+                .with_note(format!(
+                    "proof: all {sites} store(s) to `{array_name}` in this parallel \
+                     loop are `{array_name}[e] {op}= v` updates with no other read or \
+                     write of `{array_name}`, so any interleaving commutes"
+                ))
+                .with_note(format!(
+                    "identity: {}; privatization cost: {}",
+                    redflow::identity_text(op, is_float),
+                    redflow::privatization_cost(levels)
+                ));
+                diag = diag.with_note_at(witness, evidence[0].2);
+                out.push(Finding {
+                    kind: FindingKind::ReductionRelaxed {
+                        array: array_name,
+                        op,
+                    },
+                    diag,
+                });
+            }
+            ArrayRedVerdict::Mixed {
+                first_op,
+                second_op,
+                first,
+                second,
+            } => {
+                out.push(Finding {
+                    kind: FindingKind::ReductionIllegal {
+                        var: array_name.clone(),
+                    },
+                    diag: Diag::new(
+                        format!(
+                            "reduction updates of `{array_name}` mix `{first_op}` and \
+                             `{second_op}` operators in a parallel loop"
+                        ),
+                        second,
+                    )
+                    .with_code("L211")
+                    .with_note_at(format!("the first update uses `{first_op}` here"), first)
+                    .with_note(
+                        "mixed operators combine order-sensitively and cannot be \
+                         privatized; use one operator per accumulator",
+                    ),
+                });
+            }
+            ArrayRedVerdict::Escape { update, read } => {
+                out.push(Finding {
+                    kind: FindingKind::ReductionIllegal {
+                        var: array_name.clone(),
+                    },
+                    diag: Diag::new(
+                        format!(
+                            "`{array_name}` is updated like a reduction but its running \
+                             value is read mid-loop"
+                        ),
+                        read,
+                    )
+                    .with_code("L211")
+                    .with_note_at(
+                        format!("the reduction-shaped update of `{array_name}` is here"),
+                        update,
+                    )
+                    .with_note(
+                        "the partial value observed here is unspecified under parallel \
+                         execution; the dependence cannot be relaxed",
+                    ),
+                });
+            }
+            ArrayRedVerdict::Overwrite { update, write } => {
+                out.push(Finding {
+                    kind: FindingKind::ReductionIllegal {
+                        var: array_name.clone(),
+                    },
+                    diag: Diag::new(
+                        format!(
+                            "`{array_name}` is updated like a reduction but also \
+                             plainly overwritten in the same loop"
+                        ),
+                        write,
+                    )
+                    .with_code("L211")
+                    .with_note_at(
+                        format!("the reduction-shaped update of `{array_name}` is here"),
+                        update,
+                    )
+                    .with_note(
+                        "the overwrite discards concurrent accumulation; every store \
+                         must use the same `op=` update shape",
+                    ),
+                });
+            }
+            ArrayRedVerdict::NotReduction => {
+                self.report_unproven_group(&array_name, evidence, out);
+            }
+        }
+    }
+
+    /// The classic L200/L201 report, deduplicated: one finding per
+    /// (loop, array) with additional access pairs attached as notes.
+    fn report_unproven_group(
+        &self,
+        array: &str,
+        evidence: &[(DepResult, Span, Span)],
+        out: &mut Vec<Finding>,
+    ) {
+        let carried: Vec<&(DepResult, Span, Span)> = evidence
+            .iter()
+            .filter(|(d, _, _)| matches!(d, DepResult::Carried(_) | DepResult::SameElement))
+            .collect();
+        let unana = evidence.len() - carried.len();
+        if let Some((dep, wspan, ospan)) = carried.first() {
+            let (distance, mut diag) = match dep {
+                DepResult::Carried(k) => (
+                    Some(*k),
+                    Diag::new(
+                        format!(
+                            "loop-carried dependence on `{array}` in a \
+                             parallel loop (iteration distance {k})"
+                        ),
+                        *wspan,
+                    )
+                    .with_code("L200")
+                    .with_note_at(
+                        format!(
+                            "this access touches the element written {k} \
+                             iteration(s) away",
+                        ),
+                        *ospan,
+                    )
+                    .with_note(
+                        "parallel iterations execute in arbitrary order; \
+                         mark the loop `seq` or restructure the recurrence",
+                    ),
+                ),
+                _ => (
+                    None,
+                    Diag::new(
+                        format!(
+                            "every iteration of this parallel loop accesses \
+                             the same element of `{array}`"
+                        ),
+                        *wspan,
+                    )
+                    .with_code("L200")
+                    .with_note(
+                        "concurrent iterations race on one element; if this \
+                         is a reduction, accumulate into a scalar",
+                    ),
+                ),
+            };
+            // Remaining conflicting pairs ride along as notes instead of
+            // repeating the diagnostic once per access pair.
+            for (dep, _, ospan) in carried.iter().skip(1).take(3) {
+                let desc = match dep {
+                    DepResult::Carried(k) => format!("iteration distance {k}"),
+                    _ => "same element every iteration".to_string(),
+                };
+                diag = diag.with_note_at(
+                    format!("another conflicting access pair on `{array}` ({desc})"),
+                    *ospan,
+                );
+            }
+            if carried.len() > 4 {
+                diag = diag.with_note(format!(
+                    "{} more conflicting access pair(s) on `{array}` in this loop",
+                    carried.len() - 4
+                ));
+            }
+            if unana > 0 {
+                diag = diag.with_note(format!(
+                    "{unana} further access pair(s) on `{array}` have unanalyzable \
+                     subscripts"
+                ));
+            }
+            out.push(Finding {
+                kind: FindingKind::LoopCarried {
+                    array: array.to_string(),
+                    distance,
+                },
+                diag,
+            });
+        } else {
+            let (_, wspan, _) = evidence[0];
+            let mut diag = Diag::warning(
+                format!(
+                    "cannot analyze the subscripts of `{array}`; a \
+                     loop-carried dependence cannot be excluded"
+                ),
+                wspan,
+            )
+            .with_code("L201")
+            .with_note(
+                "subscripts must be affine in the loop variable for \
+                 the dependence test; verify iterations are independent",
+            );
+            if evidence.len() > 1 {
+                diag = diag.with_note(format!(
+                    "{} more unanalyzable access pair(s) on `{array}` in this loop",
+                    evidence.len() - 1
+                ));
+            }
+            out.push(Finding {
+                kind: FindingKind::Unanalyzable {
+                    array: array.to_string(),
+                },
+                diag,
+            });
         }
     }
 
@@ -991,6 +1364,41 @@ mod tests {
              #pragma acc loop gang\nfor (int i = 0; i < N; i++) { s += a[i]; b[i] = s; }\n}";
         let c = codes(src);
         assert!(!c.contains(&"L100"), "{c:?}");
+        // ...but it is an L211: the running value escapes every iteration.
+        assert!(c.contains(&"L211"), "{c:?}");
+    }
+
+    #[test]
+    fn scalar_mixed_operators_are_l211() {
+        // `s` is accumulated with `+` at gang depth and `*` at vector
+        // depth: no single reduction clause makes this legal.
+        let src = "int N; double s;\ndouble a[N]; double b[N];\ns = 1;\n\
+             #pragma acc parallel copyin(a,b)\n{\n\
+             #pragma acc loop gang\nfor (int i = 0; i < N; i++) {\n\
+             s += a[i];\n\
+             #pragma acc loop vector\nfor (int j = 0; j < N; j++) { s *= b[j]; }\n}\n}";
+        let f = findings(src);
+        let l211: Vec<_> = f.iter().filter(|x| x.code() == "L211").collect();
+        assert_eq!(l211.len(), 1, "{f:?}");
+        assert_eq!(
+            l211[0].kind,
+            FindingKind::ReductionIllegal { var: "s".into() }
+        );
+        // No L100 fix-it should be offered for an unfixable shape.
+        assert!(!codes(src).contains(&"L100"));
+    }
+
+    #[test]
+    fn disjoint_sequential_loops_may_mix_operators() {
+        // Two separate top-level parallel loops each using one operator:
+        // legal (each has its own clause), no L211.
+        let src = "int N; double s; double p;\ndouble a[N];\ns = 0; p = 1;\n\
+             #pragma acc parallel copyin(a)\n{\n\
+             #pragma acc loop gang reduction(+:s)\n\
+             for (int i = 0; i < N; i++) { s += a[i]; }\n\
+             #pragma acc loop gang reduction(*:p)\n\
+             for (int i = 0; i < N; i++) { p *= a[i]; }\n}";
+        assert!(codes(src).is_empty(), "{:?}", codes(src));
     }
 
     #[test]
@@ -1049,6 +1457,146 @@ mod tests {
             FindingKind::LoopCarried {
                 array: "a".into(),
                 distance: Some(1)
+            }
+        );
+    }
+
+    #[test]
+    fn same_element_accumulation_is_relaxed_to_l210() {
+        // Every iteration updates a[0] with `+=`: a race under the naive
+        // test, but a proven reduction — relaxed to an informational note.
+        let src = "int N;\ndouble a[N]; double b[N];\n\
+             #pragma acc parallel copy(a) copyin(b)\n{\n\
+             #pragma acc loop gang\n\
+             for (int i = 0; i < N; i++) { a[0] += b[i]; }\n}";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(
+            f[0].kind,
+            FindingKind::ReductionRelaxed {
+                array: "a".into(),
+                op: RedOp::Add,
+            }
+        );
+        assert_eq!(f[0].diag.severity, crate::diag::Severity::Note);
+        // The note carries the proof, identity and privatization cost.
+        let msg = format!("{:?}", f[0].diag);
+        assert!(msg.contains("identity"), "{msg}");
+    }
+
+    #[test]
+    fn histogram_update_is_relaxed_to_l210() {
+        // Indirect subscript: unanalyzable dependence, but every store is
+        // a `+=` update so the conflict commutes.
+        let src = "int N; int B;\nint hist[B]; int bin[N];\n\
+             #pragma acc parallel copy(hist) copyin(bin)\n{\n\
+             #pragma acc loop gang\n\
+             for (int i = 0; i < N; i++) { hist[bin[i]] += 1; }\n}";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(
+            f[0].kind,
+            FindingKind::ReductionRelaxed {
+                array: "hist".into(),
+                op: RedOp::Add,
+            }
+        );
+        assert!(!codes(src).contains(&"L201"));
+    }
+
+    #[test]
+    fn nested_parallel_loops_report_one_relaxation() {
+        // gang × vector nest over the same accumulator: exactly one L210,
+        // attributed to the nest as a whole, not one per loop level.
+        let src = "int N;\ndouble a[N]; double b[N];\n\
+             #pragma acc parallel copy(a) copyin(b)\n{\n\
+             #pragma acc loop gang\nfor (int i = 0; i < N; i++) {\n\
+             #pragma acc loop vector\nfor (int j = 0; j < N; j++) {\n\
+             a[0] += b[j]; } } }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].code(), "L210");
+    }
+
+    #[test]
+    fn mixed_array_operators_are_l211() {
+        let src = "int N;\ndouble a[N]; double b[N]; double c[N];\n\
+             #pragma acc parallel copy(a) copyin(b) copyin(c)\n{\n\
+             #pragma acc loop gang\n\
+             for (int i = 0; i < N; i++) { a[0] += b[i]; a[0] *= c[i]; }\n}";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].kind, FindingKind::ReductionIllegal { var: "a".into() });
+    }
+
+    #[test]
+    fn array_escape_mid_loop_is_l211() {
+        // The partial histogram value escapes into `last` every iteration.
+        let src = "int N; int B;\nint hist[B]; int bin[N]; int last[N];\n\
+             #pragma acc parallel copy(hist) copyin(bin) copyout(last)\n{\n\
+             #pragma acc loop gang\n\
+             for (int i = 0; i < N; i++) { hist[bin[i]] += 1; last[i] = hist[bin[i]]; }\n}";
+        let f = findings(src);
+        let l211: Vec<_> = f.iter().filter(|x| x.code() == "L211").collect();
+        assert_eq!(l211.len(), 1, "{f:?}");
+        assert_eq!(
+            l211[0].kind,
+            FindingKind::ReductionIllegal { var: "hist".into() }
+        );
+        assert!(!codes(src).contains(&"L210"));
+    }
+
+    #[test]
+    fn array_overwrite_is_l211() {
+        let src = "int N;\ndouble a[N]; double b[N];\n\
+             #pragma acc parallel copy(a) copyin(b)\n{\n\
+             #pragma acc loop gang\n\
+             for (int i = 0; i < N; i++) { a[0] += b[i]; a[0] = 0.0; }\n}";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].code(), "L211");
+    }
+
+    #[test]
+    fn genuine_recurrence_still_fires_l200() {
+        // `a[i] = a[i-1] + b[i]` is not reduction-shaped (subscripts of
+        // the load and store differ): the relaxation must not apply.
+        let src = "int N;\ndouble a[N]; double b[N];\n\
+             #pragma acc parallel copy(a) copyin(b)\n{\n\
+             #pragma acc loop gang\n\
+             for (int i = 1; i < N; i++) { a[i] = a[i - 1] + b[i]; }\n}";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].code(), "L200");
+        assert!(!codes(src).contains(&"L210"));
+    }
+
+    #[test]
+    fn carried_dependences_dedupe_into_one_finding() {
+        // Two distinct recurrences on `a` in one loop: one L200 with the
+        // extra pair attached as a note, not two findings.
+        let src = "int N;\ndouble a[N];\n\
+             #pragma acc parallel copy(a)\n{\n\
+             #pragma acc loop gang\n\
+             for (int i = 2; i < N; i++) { a[i] = a[i - 1] + a[i - 2]; }\n}";
+        let f = findings(src);
+        let l200: Vec<_> = f.iter().filter(|x| x.code() == "L200").collect();
+        assert_eq!(l200.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn max_reduction_via_fmax_is_relaxed() {
+        let src = "int N;\ndouble m[N]; double a[N];\n\
+             #pragma acc parallel copy(m) copyin(a)\n{\n\
+             #pragma acc loop gang\n\
+             for (int i = 0; i < N; i++) { m[0] = fmax(m[0], a[i]); }\n}";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(
+            f[0].kind,
+            FindingKind::ReductionRelaxed {
+                array: "m".into(),
+                op: RedOp::Max,
             }
         );
     }

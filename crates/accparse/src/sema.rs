@@ -52,7 +52,11 @@ pub fn analyze(p: &Program) -> Result<AnalyzedProgram, Diag> {
                             Some(TopSym::Host(i)) => Some(*i),
                             _ => None,
                         })?;
-                        host_assigns.push(HostAssign { host: idx, value });
+                        host_assigns.push(HostAssign {
+                            host: idx,
+                            value,
+                            span: d.span,
+                        });
                     }
                 } else {
                     let mut hdims = Vec::new();
@@ -89,7 +93,11 @@ pub fn analyze(p: &Program) -> Result<AnalyzedProgram, Diag> {
                     Some(TopSym::Host(i)) => Some(*i),
                     _ => None,
                 })?;
-                host_assigns.push(HostAssign { host: idx, value });
+                host_assigns.push(HostAssign {
+                    host: idx,
+                    value,
+                    span: d.span,
+                });
             }
             _ => {
                 return Err(Diag::new(

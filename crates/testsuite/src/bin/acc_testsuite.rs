@@ -6,9 +6,9 @@
 
 use acc_baselines::Compiler;
 use acc_testsuite::{
-    format_fig11, format_lint_sweep, format_matrix, format_summary, format_table2,
-    format_verify_sweep, profile_case, run_lint_sweep, run_sanitize_matrix, run_suite,
-    run_verify_sweep, Position, SuiteConfig,
+    format_fig11, format_lint_sweep, format_matrix, format_redflow_sweep, format_summary,
+    format_table2, format_verify_sweep, profile_case, run_lint_sweep, run_redflow_sweep,
+    run_sanitize_matrix, run_suite, run_verify_sweep, Position, SuiteConfig,
 };
 use accparse::ast::{CType, RedOp};
 use uhacc_core::flags::{host_threads_from_env, parse_count, parse_count_u32};
@@ -30,6 +30,7 @@ fn main() {
     let mut sanitize = false;
     let mut verify = false;
     let mut lint = false;
+    let mut redflow = false;
     let mut profile: Option<&str> = None;
     let mut i = 0;
     let need_val = |args: &[String], i: usize, flag: &str| -> String {
@@ -65,6 +66,7 @@ fn main() {
             "--sanitize" => sanitize = true,
             "--verify" => verify = true,
             "--lint" => lint = true,
+            "--redflow" => redflow = true,
             "--profile" => profile = Some("text"),
             "--profile=json" => profile = Some("json"),
             "--profile=trace" => profile = Some("trace"),
@@ -85,6 +87,10 @@ fn main() {
                      --lint       run the stripped-clause lint sweep over the §6 grid:\n\
                                   intact sources must lint clean and every stripped\n\
                                   reduction clause must be re-suggested exactly\n\
+                     --redflow    run the redflow legality sweep: legal array/scalar\n\
+                                  reduction idioms must be relaxed (L210 only), every\n\
+                                  mutation must re-arm L200/L211 with zero false\n\
+                                  relaxations, and fusion verdicts must hold\n\
                      --profile[=json|trace]  profile the canonical gang-worker-vector\n\
                                   int `+` case under OpenUH and print per-line /\n\
                                   per-pc cycle attribution (text by default, stable\n\
@@ -130,6 +136,15 @@ fn main() {
         let rows = run_lint_sweep();
         print!("{}", format_lint_sweep(&rows));
         if rows.iter().any(|r| !r.ok()) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if redflow {
+        eprintln!("running redflow legality sweep (no simulation) ...");
+        let rows = run_redflow_sweep();
+        print!("{}", format_redflow_sweep(&rows));
+        if rows.iter().any(|r| !r.ok) {
             std::process::exit(1);
         }
         return;

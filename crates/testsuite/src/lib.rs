@@ -14,12 +14,14 @@
 
 pub mod cases;
 pub mod lintsweep;
+pub mod redflowsweep;
 pub mod report;
 pub mod run;
 pub mod sanitize;
 
 pub use cases::{case_source, Position};
 pub use lintsweep::{format_lint_sweep, run_lint_sweep, strip_reduction_clauses, LintSweepRow};
+pub use redflowsweep::{format_redflow_sweep, run_redflow_sweep, RedflowRow};
 pub use report::{format_fig11, format_summary, format_table2};
 pub use run::{
     profile_case, run_case, run_suite, time_case, CaseResult, CaseStatus, ProfiledCase,

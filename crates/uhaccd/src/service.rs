@@ -9,6 +9,7 @@
 //! |------------|----------------------------------------|
 //! | `/compile` | `uhacc-cc <src> [--emit ...]` (text)   |
 //! | `/lint`    | `uhacc-cc <src> --lint --json`         |
+//! | `/analyze` | `uhacc-cc <src> --fusion-plan=json`    |
 //! | `/verify`  | `uhacc-cc <src> --verify` (section)    |
 //! | `/run`     | `uhacc-cc <src> --run`                 |
 //! | `/profile` | `uhacc-cc <src> --profile=json`        |
@@ -166,6 +167,7 @@ impl Daemon {
             ("GET", "/health") => (200, self.health()),
             ("POST", "/compile") => self.json_endpoint(req, Self::ep_compile),
             ("POST", "/lint") => self.json_endpoint(req, Self::ep_lint),
+            ("POST", "/analyze") => self.json_endpoint(req, Self::ep_analyze),
             ("POST", "/verify") => self.json_endpoint(req, Self::ep_verify),
             ("POST", "/run") => self.json_endpoint(req, Self::ep_run),
             ("POST", "/profile") => self.json_endpoint(req, Self::ep_profile),
@@ -303,10 +305,12 @@ impl Daemon {
         ]))
     }
 
-    /// `/lint` — `diagnostics` is byte-identical to
-    /// `uhacc-cc <src> --lint --json` stdout.
+    /// `/lint` — `schema_version` and `diagnostics` are spliced verbatim
+    /// from the same renderers behind `uhacc-cc <src> --lint --json`, so
+    /// the daemon's `diagnostics` array is byte-identical to the CLI
+    /// envelope's and the two surfaces version together.
     fn ep_lint(&self, v: &Json) -> Result<Json, (u16, String)> {
-        use accparse::diag::{diags_to_json, Severity};
+        use accparse::diag::{diags_to_json, Severity, LINT_SCHEMA_VERSION};
         let source = req_source(v)?;
         let werror = req_bool(v, "werror")?.unwrap_or(false);
         let (diags, parse_failed) = match accparse::lint_source(source) {
@@ -326,7 +330,25 @@ impl Daemon {
         let failed = parse_failed || diags.iter().any(|d| d.severity == Severity::Error);
         Ok(obj(vec![
             ("ok", Json::Bool(!failed)),
+            ("schema_version", Json::Num(LINT_SCHEMA_VERSION as f64)),
             ("diagnostics", Json::Raw(diags_to_json(&diags, source))),
+        ]))
+    }
+
+    /// `/analyze` — the redflow fusion plan, byte-identical to
+    /// `uhacc-cc <src> --fusion-plan=json` stdout (both call
+    /// `driver::analyze_json`).
+    fn ep_analyze(&self, v: &Json) -> Result<Json, (u16, String)> {
+        let source = req_source(v)?;
+        let compiler = req_compiler(v)?;
+        let opts = compiler.base_options();
+        let (prog, _, program_hit) = self
+            .get_or_parse(source, &opts)
+            .map_err(|d| (422, d.render(source)))?;
+        Ok(obj(vec![
+            ("ok", Json::Bool(true)),
+            ("analysis", Json::Raw(driver::analyze_json(&prog))),
+            ("cache", obj(vec![("program_hit", Json::Bool(program_hit))])),
         ]))
     }
 

@@ -145,6 +145,42 @@ fn lint_diagnostics_match_cli_json() {
         resp.contains(&format!("\"diagnostics\":{want}")),
         "daemon /lint diagnostics differ from `uhacc-cc --lint --json`:\n{resp}\nwant: {want}"
     );
+    // The envelope version is spliced from the same constant the CLI
+    // prints, so clients can pin one schema for both surfaces.
+    assert!(
+        resp.contains(&format!(
+            "\"schema_version\":{}",
+            accparse::diag::LINT_SCHEMA_VERSION
+        )),
+        "{resp}"
+    );
+}
+
+#[test]
+fn analyze_matches_cli_fusion_plan_json() {
+    // Two cascaded reductions forming a fusable chain.
+    let chain = "int N; double s; double v;\ndouble a[N];\ns = 0; v = 0;\n\
+                 #pragma acc parallel copyin(a)\n{\n\
+                 #pragma acc loop gang reduction(+:s)\n\
+                 for (int i = 0; i < N; i++) { s += a[i]; }\n}\n\
+                 #pragma acc parallel copyin(a)\n{\n\
+                 #pragma acc loop gang reduction(+:v)\n\
+                 for (int i = 0; i < N; i++) { v += (a[i] - s / N) * (a[i] - s / N); }\n}";
+    let addr = spawn_daemon(1);
+    let body = format!("{{\"source\":{}}}", Json::Str(chain.into()));
+    let (status, resp) = http::post(addr, "/analyze", &body).unwrap();
+    assert_eq!(status, 200, "{resp}");
+    let want = driver::analyze_json(&accparse::compile(chain).unwrap());
+    assert!(
+        resp.contains(&format!("\"analysis\":{want}")),
+        "daemon /analyze differs from `uhacc-cc --fusion-plan=json`:\n{resp}\nwant: {want}"
+    );
+    assert!(resp.contains("\"chains\":[[0,1]]"), "{resp}");
+
+    // A source that fails to compile is a 422, like every other endpoint.
+    let bad = format!("{{\"source\":{}}}", Json::Str("int ;".into()));
+    let (status, resp) = http::post(addr, "/analyze", &bad).unwrap();
+    assert_eq!(status, 422, "{resp}");
 }
 
 #[test]

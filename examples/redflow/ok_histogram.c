@@ -1,0 +1,18 @@
+// expect: L210
+// A histogram: the subscript `bin[i]` is data-dependent, so the affine
+// dependence test cannot exclude a carried conflict (classically an
+// L201 warning). The redflow pass proves every store to `hist` is the
+// same commutative `+=` update with no other read or write, so the
+// dependence is *relaxed*: the only finding is the informational L210
+// note carrying the proven operator, identity and privatization cost.
+int N;
+int B;
+int hist[B];
+int bin[N];
+#pragma acc parallel copy(hist) copyin(bin)
+{
+    #pragma acc loop gang vector
+    for (int i = 0; i < N; i++) {
+        hist[bin[i]] += 1;
+    }
+}

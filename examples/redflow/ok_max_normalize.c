@@ -1,0 +1,24 @@
+// A max -> normalize pipeline: region one reduces the peak magnitude
+// into `m`, region two divides every sample by it. The producer's
+// scalar output is fully consumed by the consumer, no host code runs in
+// between, and the shapes agree — a fusable pair under
+// `--fusion-plan`.
+int N;
+double m;
+double a[N];
+double b[N];
+m = 0.0;
+#pragma acc parallel copyin(a)
+{
+    #pragma acc loop gang vector reduction(max:m)
+    for (int i = 0; i < N; i++) {
+        m = fmax(m, a[i]);
+    }
+}
+#pragma acc parallel copyin(a) copyout(b)
+{
+    #pragma acc loop gang vector
+    for (int i = 0; i < N; i++) {
+        b[i] = a[i] / m;
+    }
+}

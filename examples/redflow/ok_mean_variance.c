@@ -1,0 +1,25 @@
+// A cascaded mean -> variance pipeline: the first region reduces the
+// samples into `s`, the second consumes `s / N` inline while reducing
+// the squared deviations into `v`. Both reductions are declared, both
+// lint clean, and the redflow fusion analysis proves the pair fusable
+// (try `uhacc-cc examples/redflow/ok_mean_variance.c --fusion-plan`).
+int N;
+double s;
+double v;
+double a[N];
+s = 0.0;
+v = 0.0;
+#pragma acc parallel copyin(a)
+{
+    #pragma acc loop gang vector reduction(+:s)
+    for (int i = 0; i < N; i++) {
+        s += a[i];
+    }
+}
+#pragma acc parallel copyin(a)
+{
+    #pragma acc loop gang vector reduction(+:v)
+    for (int i = 0; i < N; i++) {
+        v += (a[i] - s / N) * (a[i] - s / N);
+    }
+}

@@ -1,0 +1,18 @@
+// expect: L211
+// Broken variant: the loop still bumps `hist[bin[i]]`, but it also
+// *reads* the freshly-bumped counter into `last[i]`. The value observed
+// is an unspecified partial count under parallel execution, so the
+// relaxation is withdrawn and the idiom is reported as an error.
+int N;
+int B;
+int hist[B];
+int bin[N];
+int last[N];
+#pragma acc parallel copy(hist) copyin(bin) copyout(last)
+{
+    #pragma acc loop gang vector
+    for (int i = 0; i < N; i++) {
+        hist[bin[i]] += 1;
+        last[i] = hist[bin[i]];
+    }
+}

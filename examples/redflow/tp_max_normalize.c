@@ -1,0 +1,21 @@
+// expect: L211
+// Broken variant: the clause was dropped and the loop folds `m` with
+// *two different* combiners — `fmax` on even samples, `fmin` on odd
+// ones. Mixed operators combine order-sensitively: no privatization
+// scheme is exact, so redflow rejects the idiom outright rather than
+// suggesting a clause.
+int N;
+double m;
+double a[N];
+m = 0.0;
+#pragma acc parallel copyin(a)
+{
+    #pragma acc loop gang vector
+    for (int i = 0; i < N; i++) {
+        if (i % 2 == 0) {
+            m = fmax(m, a[i]);
+        } else {
+            m = fmin(m, a[i]);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+// expect: L211
+// Broken variant: the accumulation of `s` leaks its running value into
+// `run[i]` every iteration — a prefix sum (scan), not a reduction. No
+// `reduction` clause can express this, so the lint reports an error
+// instead of suggesting one.
+int N;
+double s;
+double a[N];
+double run[N];
+s = 0.0;
+#pragma acc parallel copyin(a) copyout(run)
+{
+    #pragma acc loop gang vector
+    for (int i = 0; i < N; i++) {
+        s += a[i];
+        run[i] = s;
+    }
+}

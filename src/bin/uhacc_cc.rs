@@ -21,6 +21,13 @@ enum ProfileMode {
     Trace,
 }
 
+/// Output format for `--fusion-plan`.
+#[derive(Clone, Copy, PartialEq)]
+enum FusionMode {
+    Text,
+    Json,
+}
+
 struct Args {
     input: String,
     dims: LaunchDims,
@@ -31,6 +38,7 @@ struct Args {
     werror: bool,
     json: bool,
     profile: Option<ProfileMode>,
+    fusion_plan: Option<FusionMode>,
     run: bool,
     n: u64,
     host_threads: u32,
@@ -56,6 +64,12 @@ fn usage() -> ! {
                                compiling; exit 1 if any error-level finding\n\
            --werror            with --lint: treat warnings as errors\n\
            --json              with --lint: print diagnostics as JSON\n\
+           --fusion-plan[=FMT] run the redflow fusion-legality analysis over\n\
+                               the program's parallel regions and print the\n\
+                               plan (regions, producer→consumer verdicts,\n\
+                               fusable chains) instead of compiling; FMT is\n\
+                               text (default) or json (stable,\n\
+                               machine-readable)\n\
            --run               compile, auto-bind deterministic inputs, run\n\
                                on the simulator, and print scalar results +\n\
                                device statistics as stable JSON (the same\n\
@@ -103,6 +117,7 @@ fn parse_args() -> Args {
         werror: false,
         json: false,
         profile: None,
+        fusion_plan: None,
         run: false,
         n: 65536,
         host_threads: 0,
@@ -182,6 +197,14 @@ fn parse_args() -> Args {
                     _ => usage(),
                 });
             }
+            "--fusion-plan" => args.fusion_plan = Some(FusionMode::Text),
+            s if s.starts_with("--fusion-plan=") => {
+                args.fusion_plan = Some(match &s["--fusion-plan=".len()..] {
+                    "text" => FusionMode::Text,
+                    "json" => FusionMode::Json,
+                    _ => usage(),
+                });
+            }
             "--n" => {
                 i += 1;
                 let v = need_val(&argv, i, "--n");
@@ -225,12 +248,12 @@ fn parse_args() -> Args {
 /// warnings without `--werror`), 1 = error-level findings (or a
 /// parse/sema failure).
 fn run_lint(src: &str, werror: bool, json: bool) -> ! {
-    use accparse::diag::{diags_to_json, render_all, Severity};
+    use accparse::diag::{lint_report_json, render_all, Severity};
     let mut diags: Vec<accparse::Diag> = match accparse::lint_source(src) {
         Ok((_, findings)) => findings.into_iter().map(|f| f.diag).collect(),
         Err(d) => {
             if json {
-                println!("{}", diags_to_json(&[d], src));
+                println!("{}", lint_report_json(&[d], src));
             } else {
                 eprintln!("{}", d.render(src));
             }
@@ -245,7 +268,7 @@ fn run_lint(src: &str, werror: bool, json: bool) -> ! {
         }
     }
     if json {
-        println!("{}", diags_to_json(&diags, src));
+        println!("{}", lint_report_json(&diags, src));
     } else if diags.is_empty() {
         println!("uhacc-cc: lint clean");
     } else {
@@ -356,6 +379,14 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    if let Some(mode) = args.fusion_plan {
+        match mode {
+            FusionMode::Text => print!("{}", driver::analyze_text(&hir)),
+            FusionMode::Json => println!("{}", driver::analyze_json(&hir)),
+        }
+        std::process::exit(0);
+    }
 
     let opts: CompilerOptions = args.compiler.base_options();
     let compile = driver::direct_compiler(&hir, &opts);

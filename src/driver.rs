@@ -257,6 +257,19 @@ pub fn results_json(r: &AccRunner) -> String {
     out
 }
 
+/// Render the redflow fusion-legality analysis of a compiled program as
+/// human-readable text — the `uhacc-cc --fusion-plan` output.
+pub fn analyze_text(hir: &AnalyzedProgram) -> String {
+    accparse::redflow::fusion_plan_text(&accparse::redflow::fusion_plan(hir))
+}
+
+/// Render the redflow fusion plan as stable JSON — byte-identical between
+/// `uhacc-cc --fusion-plan=json` and the daemon `/analyze` endpoint for
+/// the same source, because both call this one function.
+pub fn analyze_json(hir: &AnalyzedProgram) -> String {
+    accparse::redflow::fusion_plan_json(&accparse::redflow::fusion_plan(hir))
+}
+
 /// Shortest-round-trip float rendering that is always a valid JSON
 /// number (`1.0` stays `1.0`, never `1`; non-finite values have no JSON
 /// form and render as null).
@@ -335,6 +348,24 @@ mod tests {
         assert!(a.contains("\"launches\""), "{a}");
         // Floats render as JSON numbers with a decimal point.
         assert!(a.contains("\"s\":"), "{a}");
+    }
+
+    #[test]
+    fn analyze_json_is_byte_stable() {
+        let src = "int N; double s; double v;\ndouble a[N];\ns = 0; v = 0;\n\
+             #pragma acc parallel copyin(a)\n{\n\
+             #pragma acc loop gang reduction(+:s)\n\
+             for (int i = 0; i < N; i++) { s += a[i]; }\n}\n\
+             #pragma acc parallel copyin(a)\n{\n\
+             #pragma acc loop gang reduction(+:v)\n\
+             for (int i = 0; i < N; i++) { v += (a[i] - s / N) * (a[i] - s / N); }\n}";
+        let hir = accparse::compile(src).unwrap();
+        let a = analyze_json(&hir);
+        assert_eq!(a, analyze_json(&hir));
+        assert!(a.starts_with("{\"schema_version\":1,"), "{a}");
+        assert!(a.contains("\"chains\":[[0,1]]"), "{a}");
+        let t = analyze_text(&hir);
+        assert!(t.contains("fusion plan: 2 region(s)"), "{t}");
     }
 
     #[test]

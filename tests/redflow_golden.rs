@@ -1,0 +1,77 @@
+//! Golden-diff test for the redflow fusion plans of the
+//! `examples/redflow/` corpus: the plan JSON is a stable interface (the
+//! CI `redflow` job uploads it as an artifact and fails on verdict
+//! drift), so any change to a region fact, a fusability verdict, or the
+//! rendering itself must show up as an explicit diff against the
+//! committed `FUSION_PLANS.golden.json`.
+//!
+//! To regenerate after an *intended* analysis change:
+//!
+//! ```console
+//! $ for f in examples/redflow/*.c; do uhacc-cc $f --fusion-plan=json; done
+//! ```
+//!
+//! and splice the outputs into the golden file (one `"<file>": <plan>`
+//! entry per example, sorted by filename).
+
+use std::path::PathBuf;
+
+fn redflow_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/redflow")
+}
+
+/// Build the aggregate document in the exact committed layout.
+fn render_aggregate() -> String {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(redflow_dir())
+        .expect("examples/redflow exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "c"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no redflow examples");
+    let mut out = String::from("{\n");
+    for (i, path) in files.iter().enumerate() {
+        let name = path.file_name().unwrap().to_string_lossy();
+        let src = std::fs::read_to_string(path).expect("read example");
+        let hir = uhacc::parse::compile(&src)
+            .unwrap_or_else(|d| panic!("{name}: failed to compile: {}", d.render(&src)));
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  \"{name}\": {}",
+            uhacc::driver::analyze_json(&hir)
+        ));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[test]
+fn fusion_plans_match_committed_golden() {
+    let golden_path = redflow_dir().join("FUSION_PLANS.golden.json");
+    let golden = std::fs::read_to_string(&golden_path).expect("committed golden exists");
+    let got = render_aggregate();
+    assert_eq!(
+        got, golden,
+        "fusion plans drifted from examples/redflow/FUSION_PLANS.golden.json \
+         — if the analysis change is intended, regenerate the golden \
+         (see this test's module docs)"
+    );
+}
+
+#[test]
+fn fusion_plans_are_deterministic() {
+    // Byte-stability across repeated analysis of the same sources — the
+    // property the committed golden (and the CI artifact diff) rests on.
+    assert_eq!(render_aggregate(), render_aggregate());
+}
+
+#[test]
+fn corpus_exercises_both_verdicts() {
+    // The golden must keep at least one fusable chain and at least one
+    // region set with none, or the diff stops guarding anything.
+    let agg = render_aggregate();
+    assert!(agg.contains("\"chains\":[[0,1]]"), "{agg}");
+    assert!(agg.contains("\"chains\":[]"), "{agg}");
+}
