@@ -34,12 +34,14 @@ pub mod lint;
 pub mod parser;
 pub mod redflow;
 pub mod sema;
+pub mod summary;
 pub mod token;
 
 pub use ast::{CType, DataDir, Level, RedOp};
 pub use diag::{Diag, Severity, Span};
 pub use hir::AnalyzedProgram;
 pub use lint::{lint_program, lint_source, Finding, FindingKind};
+pub use summary::{summarize, summarize_region, RegionSummary};
 
 /// Parse and analyze `src` in one step. The result carries a line table
 /// ([`hir::AnalyzedProgram::line_starts`]) so downstream codegen can map

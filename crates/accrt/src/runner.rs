@@ -240,6 +240,28 @@ impl AccRunner {
             .set_verifier(on.then(gpsim::VerifyConfig::default));
     }
 
+    /// Certify every subsequent region execution with the translation
+    /// validator ([`uhacc_core::cert`]) as a pre-launch pass: the compiled
+    /// kernels are symbolically executed over the region's launch plan and
+    /// compared, observable by observable, against a sequential reference
+    /// interpretation of the source HIR at the bound scalar values and
+    /// array extents. Advisory: a `Refuted` verdict never aborts the run;
+    /// harvest reports with [`AccRunner::take_cert_reports`].
+    pub fn certify(&mut self, on: bool) {
+        self.device
+            .set_certifier(on.then(gpsim::cert::CertConfig::default));
+    }
+
+    /// Certification reports accumulated across region executions.
+    pub fn cert_reports(&self) -> &[gpsim::CertReport] {
+        self.device.cert_reports()
+    }
+
+    /// Drain the accumulated certification reports.
+    pub fn take_cert_reports(&mut self) -> Vec<gpsim::CertReport> {
+        self.device.take_cert_reports()
+    }
+
     /// Profile every subsequent transfer and launch — main kernels *and*
     /// gang-reduction finalize kernels — with [`gpsim::profile`]:
     /// per-source-line stall attribution plus a modelled timeline of
@@ -774,6 +796,34 @@ impl AccRunner {
                 })
                 .into_iter()
                 .collect();
+        }
+
+        // Translation validation (redcert), pre-launch: symbolically
+        // execute the plan and compare against the source region at the
+        // current scalar bindings and extents. Observational only.
+        if let Some(ccfg) = self.device.certifier().copied() {
+            let extents: Vec<Vec<u64>> = self
+                .prog
+                .arrays
+                .iter()
+                .map(|a| {
+                    a.dims
+                        .iter()
+                        .map(|e| eval_host_extent(e, &self.scalars, "dimension"))
+                        .collect::<Result<Vec<u64>, _>>()
+                        .unwrap_or_default()
+                })
+                .collect();
+            let report = uhacc_core::certify_region(
+                &self.prog,
+                region,
+                &self.instances[&key].compiled,
+                dims,
+                &self.scalars,
+                &extents,
+                &ccfg,
+            );
+            self.device.push_cert_report(report);
         }
 
         self.device.launch(&main, cfg, &params)?;

@@ -177,13 +177,16 @@ impl<'a> RegionCodegen<'a> {
     }
 }
 
-enum OpClass {
+/// Binary-operator classification shared by codegen and the reference
+/// interpreter of [`crate::cert`] — both sides must agree on which ops
+/// are arithmetic, comparisons, or (non-short-circuit) logic.
+pub(crate) enum OpClass {
     Arith(BinOp),
     Cmp(CmpOp),
     Logic(bool),
 }
 
-fn classify(op: BinOpKind) -> OpClass {
+pub(crate) fn classify(op: BinOpKind) -> OpClass {
     match op {
         BinOpKind::Add => OpClass::Arith(BinOp::Add),
         BinOpKind::Sub => OpClass::Arith(BinOp::Sub),

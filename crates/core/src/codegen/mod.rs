@@ -4,7 +4,7 @@
 //! loops onto the SIMT thread hierarchy (Fig. 3) and the parallelization
 //! of reduction operations at every combination of levels (§3.1–§3.3).
 
-mod expr;
+pub(crate) mod expr;
 mod loops;
 pub(crate) mod prepass;
 mod reduce;

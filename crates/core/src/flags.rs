@@ -40,9 +40,48 @@ pub fn host_threads_from_env() -> Result<Option<u32>, String> {
     }
 }
 
+/// Output format for report-producing switches (`--certify=FMT` on the
+/// CLI, the `format` field of daemon request bodies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    Text,
+    Json,
+}
+
+/// Parse a report format. `what` names the flag or field in the
+/// diagnostic, so `--certify=yaml` on the CLI (exit 2) and
+/// `"format":"yaml"` in a daemon body (HTTP 422) reject with the same
+/// rendered text.
+pub fn parse_report_format(what: &str, s: &str) -> Result<ReportFormat, String> {
+    match s.trim() {
+        "text" => Ok(ReportFormat::Text),
+        "json" => Ok(ReportFormat::Json),
+        _ => Err(format!(
+            "invalid value for {what}: expected `text` or `json`, got `{s}`"
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parses_report_formats() {
+        assert_eq!(
+            parse_report_format("--certify", "text"),
+            Ok(ReportFormat::Text)
+        );
+        assert_eq!(
+            parse_report_format("format", " json "),
+            Ok(ReportFormat::Json)
+        );
+        for bad in ["", "yaml", "JSON", "trace"] {
+            let e = parse_report_format("--certify", bad).unwrap_err();
+            assert!(e.contains("--certify"), "{e}");
+            assert!(e.contains("expected `text` or `json`"), "{e}");
+        }
+    }
 
     #[test]
     fn accepts_valid_counts() {

@@ -22,6 +22,7 @@
 //! | shared vs global staging (§3.3) | [`options::CombineSpace`] |
 //! | §3.2.1 automatic reduction-span detection | `auto_span` |
 
+pub mod cert;
 pub mod codegen;
 pub mod flags;
 pub mod options;
@@ -29,6 +30,7 @@ pub mod plan;
 pub mod stablehash;
 pub mod types;
 
+pub use cert::{apply_host_term, certify_program, certify_region};
 pub use codegen::compile_region;
 pub use options::{
     CombineSpace, CompilerOptions, GangStrategy, InjectedBugs, RejectRule, Schedule, TreeStyle,

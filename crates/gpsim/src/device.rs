@@ -25,6 +25,8 @@ pub struct Device {
     hazards: Vec<HazardReport>,
     verifier: Option<VerifyConfig>,
     verify_reports: Vec<VerifyReport>,
+    certifier: Option<crate::cert::CertConfig>,
+    cert_reports: Vec<crate::cert::CertReport>,
     session_profile: SessionProfile,
 }
 
@@ -58,6 +60,8 @@ impl Device {
             hazards: Vec::new(),
             verifier: None,
             verify_reports: Vec::new(),
+            certifier: None,
+            cert_reports: Vec::new(),
             session_profile: SessionProfile::default(),
         })
     }
@@ -123,6 +127,36 @@ impl Device {
     /// Drain the accumulated verification reports.
     pub fn take_verify_reports(&mut self) -> Vec<VerifyReport> {
         std::mem::take(&mut self.verify_reports)
+    }
+
+    /// Enable (or disable, with `None`) the translation validator for
+    /// subsequent regions. The device only carries the configuration and
+    /// collects reports — certification itself needs the source HIR and
+    /// launch plan, so the runtime runs it pre-launch and pushes the
+    /// report here (mirroring the verifier; verdicts never abort a
+    /// launch).
+    pub fn set_certifier(&mut self, cfg: Option<crate::cert::CertConfig>) {
+        self.certifier = cfg;
+    }
+
+    /// The certifier configuration in effect, when enabled.
+    pub fn certifier(&self) -> Option<&crate::cert::CertConfig> {
+        self.certifier.as_ref()
+    }
+
+    /// Record a certification report for this session.
+    pub fn push_cert_report(&mut self, report: crate::cert::CertReport) {
+        self.cert_reports.push(report);
+    }
+
+    /// Certification reports accumulated across regions, in launch order.
+    pub fn cert_reports(&self) -> &[crate::cert::CertReport] {
+        &self.cert_reports
+    }
+
+    /// Drain the accumulated certification reports.
+    pub fn take_cert_reports(&mut self) -> Vec<crate::cert::CertReport> {
+        std::mem::take(&mut self.cert_reports)
     }
 
     /// Enable (or disable, with `None`) the profiler for subsequent

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod builder;
+pub mod cert;
 pub mod coalesce;
 pub mod compiled;
 pub mod cost;
@@ -55,6 +56,10 @@ pub mod types;
 pub mod verify;
 
 pub use builder::KernelBuilder;
+pub use cert::{
+    run_symbolic, CertConfig, CertObservable, CertReport, CertVerdict, SVal, SymMemory, TermId,
+    TermPool,
+};
 pub use compiled::CompiledKernel;
 pub use cost::{CostModel, DeviceConfig, ExecTier};
 pub use device::Device;

@@ -6,9 +6,10 @@
 
 use acc_baselines::Compiler;
 use acc_testsuite::{
-    format_fig11, format_lint_sweep, format_matrix, format_redflow_sweep, format_summary,
-    format_table2, format_verify_sweep, profile_case, run_lint_sweep, run_redflow_sweep,
-    run_sanitize_matrix, run_suite, run_verify_sweep, Position, SuiteConfig,
+    cert_config, format_cert_sweep, format_fig11, format_lint_sweep, format_matrix,
+    format_redflow_sweep, format_summary, format_table2, format_verify_sweep, profile_case,
+    run_cert_sweep, run_lint_sweep, run_redflow_sweep, run_sanitize_matrix, run_suite,
+    run_verify_sweep, Position, SuiteConfig,
 };
 use accparse::ast::{CType, RedOp};
 use uhacc_core::flags::{host_threads_from_env, parse_count, parse_count_u32};
@@ -31,6 +32,7 @@ fn main() {
     let mut verify = false;
     let mut lint = false;
     let mut redflow = false;
+    let mut certify = false;
     let mut profile: Option<&str> = None;
     let mut i = 0;
     let need_val = |args: &[String], i: usize, flag: &str| -> String {
@@ -67,6 +69,7 @@ fn main() {
             "--verify" => verify = true,
             "--lint" => lint = true,
             "--redflow" => redflow = true,
+            "--certify" => certify = true,
             "--profile" => profile = Some("text"),
             "--profile=json" => profile = Some("json"),
             "--profile=trace" => profile = Some("trace"),
@@ -91,6 +94,11 @@ fn main() {
                                   reduction idioms must be relaxed (L210 only), every\n\
                                   mutation must re-arm L200/L211 with zero false\n\
                                   relaxations, and fusion verdicts must hold\n\
+                     --certify    run the translation-validation (redcert) sweep:\n\
+                                  every legal §6 strategy must certify (exactly for\n\
+                                  int, modulo FP reassociation for double) and every\n\
+                                  injected miscompilation must be refuted or unknown\n\
+                                  — a false Certified fails the sweep\n\
                      --profile[=json|trace]  profile the canonical gang-worker-vector\n\
                                   int `+` case under OpenUH and print per-line /\n\
                                   per-pc cycle attribution (text by default, stable\n\
@@ -135,6 +143,18 @@ fn main() {
         eprintln!("running stripped-clause lint sweep over the \u{00a7}6 grid (no simulation) ...");
         let rows = run_lint_sweep();
         print!("{}", format_lint_sweep(&rows));
+        if rows.iter().any(|r| !r.ok()) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if certify {
+        eprintln!("running translation-validation sweep over the \u{00a7}6 grid ...");
+        let mut ccfg = cert_config();
+        ccfg.host_threads = cfg.host_threads;
+        ccfg.exec_tier = cfg.exec_tier;
+        let rows = run_cert_sweep(&ccfg);
+        print!("{}", format_cert_sweep(&rows));
         if rows.iter().any(|r| !r.ok()) {
             std::process::exit(1);
         }

@@ -13,6 +13,7 @@
 //! as the paper's Table 2 and Figure 11.
 
 pub mod cases;
+pub mod certsweep;
 pub mod lintsweep;
 pub mod redflowsweep;
 pub mod report;
@@ -20,12 +21,13 @@ pub mod run;
 pub mod sanitize;
 
 pub use cases::{case_source, Position};
+pub use certsweep::{cert_config, format_cert_sweep, run_cert_sweep, CertExpect, CertSweepRow};
 pub use lintsweep::{format_lint_sweep, run_lint_sweep, strip_reduction_clauses, LintSweepRow};
 pub use redflowsweep::{format_redflow_sweep, run_redflow_sweep, RedflowRow};
 pub use report::{format_fig11, format_summary, format_table2};
 pub use run::{
-    profile_case, run_case, run_suite, time_case, CaseResult, CaseStatus, ProfiledCase,
-    SuiteConfig, TimedCase,
+    bind_dims, case_data, profile_case, run_case, run_suite, time_case, CaseData, CaseResult,
+    CaseStatus, ProfiledCase, SuiteConfig, TimedCase,
 };
 pub use sanitize::{
     format_matrix, format_verify_sweep, run_sanitize_matrix, run_verify_sweep, SanitizeRow,

@@ -99,13 +99,13 @@ pub struct Expected {
 }
 
 /// Arrays bound for a case: `(input, optional temp, optional out-shape)`.
-pub(crate) struct CaseData {
-    pub(crate) input: HostBuffer,
-    pub(crate) temp_len: Option<usize>,
-    pub(crate) out_len: Option<usize>,
+pub struct CaseData {
+    pub input: HostBuffer,
+    pub temp_len: Option<usize>,
+    pub out_len: Option<usize>,
 }
 
-pub(crate) fn case_data(pos: Position, op: RedOp, t: CType, cfg: &SuiteConfig) -> CaseData {
+pub fn case_data(pos: Position, op: RedOp, t: CType, cfg: &SuiteConfig) -> CaseData {
     let (nk, nj, ni) = extents(pos, cfg.red_n);
     let n = nk * nj * ni;
     let mut input = HostBuffer::new(t, n);
@@ -126,7 +126,7 @@ pub(crate) fn case_data(pos: Position, op: RedOp, t: CType, cfg: &SuiteConfig) -
     }
 }
 
-pub(crate) fn bind_dims(
+pub fn bind_dims(
     pos: Position,
     cfg: &SuiteConfig,
     mut bind: impl FnMut(&str, i64) -> Result<(), AccError>,

@@ -13,6 +13,7 @@
 //! | `/verify`  | `uhacc-cc <src> --verify` (section)    |
 //! | `/run`     | `uhacc-cc <src> --run`                 |
 //! | `/profile` | `uhacc-cc <src> --profile=json`        |
+//! | `/certify` | `uhacc-cc <src> --certify=json`        |
 //!
 //! Caching is two-layer and content-addressed on
 //! `program_key(source, options)` (stable FNV-1a, see
@@ -171,6 +172,7 @@ impl Daemon {
             ("POST", "/verify") => self.json_endpoint(req, Self::ep_verify),
             ("POST", "/run") => self.json_endpoint(req, Self::ep_run),
             ("POST", "/profile") => self.json_endpoint(req, Self::ep_profile),
+            ("POST", "/certify") => self.json_endpoint(req, Self::ep_certify),
             ("POST", _) | ("GET", _) => (404, err_body(&format!("no such endpoint: {}", req.path))),
             _ => (405, err_body(&format!("method {} not allowed", req.method))),
         }
@@ -401,6 +403,46 @@ impl Daemon {
         Ok(obj(vec![("profile", Json::Raw(body)), ("cache", cache)]))
     }
 
+    /// `/certify` — translation validation. `certification` is spliced
+    /// verbatim from `driver::cert_reports_json`, the same function
+    /// behind `uhacc-cc <src> --certify=json` stdout, so the two bodies
+    /// are byte-identical by construction.
+    fn ep_certify(&self, v: &Json) -> Result<Json, (u16, String)> {
+        let source = req_source(v)?;
+        let compiler = req_compiler(v)?;
+        let fmt = req_report_format(v, "format")?.unwrap_or(uhacc_core::flags::ReportFormat::Json);
+        let req = RunRequest {
+            opts: compiler.base_options(),
+            dims: match v.get("dims") {
+                None | Some(Json::Null) => driver::certify_dims(),
+                Some(_) => req_dims(v)?,
+            },
+            n: req_count(v, "n")?.unwrap_or(RunRequest::default().n),
+            host_threads: req_count_u32(v, "host_threads")?.unwrap_or(0),
+            exec_tier: req_exec_tier(v)?,
+        };
+        let key = program_key(source, &req.opts);
+        let regions = Arc::clone(&self.regions);
+        let reports = driver::certify_reports(source, &req, |r| {
+            r.set_source(source);
+            r.set_region_cache(Arc::clone(&regions), key);
+        })
+        .map_err(|e| (422, e.to_string()))?;
+        let ok = !reports
+            .iter()
+            .any(|r| matches!(r.verdict, gpsim::CertVerdict::Refuted { .. }));
+        let body = match fmt {
+            uhacc_core::flags::ReportFormat::Json => (
+                "certification",
+                Json::Raw(driver::cert_reports_json(&reports)),
+            ),
+            uhacc_core::flags::ReportFormat::Text => {
+                ("text", Json::Str(driver::cert_reports_text(&reports)))
+            }
+        };
+        Ok(obj(vec![("ok", Json::Bool(ok)), body]))
+    }
+
     /// Shared `/run`-`/profile` path: cached parse, session over shared
     /// artifacts, deterministic inputs, full device run on this worker.
     fn execute(&self, v: &Json, profile: bool) -> Result<(String, Json), (u16, String)> {
@@ -471,6 +513,25 @@ fn req_count_u32(v: &Json, field: &str) -> Result<Option<u32>, (u16, String)> {
         Some(x) => parse_count_u32(field, &x.literal())
             .map(Some)
             .map_err(|e| (400, e)),
+    }
+}
+
+/// Optional report-format field, validated exactly like the CLI's
+/// `--certify=FMT` value (same parser, same rendered diagnostic) — a
+/// malformed format is a semantically invalid request: HTTP 422, like
+/// a source that fails to parse.
+fn req_report_format(
+    v: &Json,
+    field: &str,
+) -> Result<Option<uhacc_core::flags::ReportFormat>, (u16, String)> {
+    match v.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => match x.as_str() {
+            Some(s) => uhacc_core::flags::parse_report_format(field, s)
+                .map(Some)
+                .map_err(|e| (422, e)),
+            None => Err((422, format!("field `{field}` must be a string"))),
+        },
     }
 }
 

@@ -317,3 +317,49 @@ fn validation_errors_are_strict_and_rendered() {
     assert_eq!(status, 422, "{resp}");
     assert!(resp.contains("error"), "{resp}");
 }
+
+#[test]
+fn certify_body_matches_cli_driver_byte_for_byte() {
+    let addr = spawn_daemon(2);
+    let body = format!("{{\"source\":{}}}", src_json());
+    let (status, resp) = http::post(addr, "/certify", &body).unwrap();
+    assert_eq!(status, 200, "{resp}");
+    let want = driver::cert_reports_json(
+        &driver::certify_reports(
+            SRC,
+            &RunRequest {
+                dims: driver::certify_dims(),
+                ..RunRequest::default()
+            },
+            |_| {},
+        )
+        .unwrap(),
+    );
+    assert!(
+        resp.contains(&format!("\"certification\":{want}")),
+        "daemon /certify body does not embed the CLI --certify=json output verbatim:\n{resp}\nwant: {want}"
+    );
+    let v = parse(&resp).unwrap();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+}
+
+#[test]
+fn certify_text_format_and_format_validation() {
+    let addr = spawn_daemon(2);
+    let body = format!("{{\"source\":{},\"format\":\"text\"}}", src_json());
+    let (status, resp) = http::post(addr, "/certify", &body).unwrap();
+    assert_eq!(status, 200, "{resp}");
+    let v = parse(&resp).unwrap();
+    let txt = v.get("text").and_then(Json::as_str).unwrap();
+    assert!(
+        txt.contains("CERTIFIED (modulo FP reassociation)"),
+        "double `+` reduction should certify modulo reassociation:\n{txt}"
+    );
+
+    // Garbage format: HTTP 422 with the same rendered diagnostic the CLI
+    // prints for `--certify=yaml` (both go through `parse_report_format`).
+    let body = format!("{{\"source\":{},\"format\":\"yaml\"}}", src_json());
+    let (status, resp) = http::post(addr, "/certify", &body).unwrap();
+    assert_eq!(status, 422, "{resp}");
+    assert!(resp.contains("expected `text` or `json`"), "{resp}");
+}

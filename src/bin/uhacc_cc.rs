@@ -8,7 +8,9 @@
 
 use std::io::Read;
 use uhacc::baselines::Compiler;
-use uhacc::core::flags::{host_threads_from_env, parse_count, parse_count_u32};
+use uhacc::core::flags::{
+    host_threads_from_env, parse_count, parse_count_u32, parse_report_format, ReportFormat,
+};
 use uhacc::core::{CompilerOptions, LaunchDims};
 use uhacc::driver::{self, EmitFlags, RunRequest};
 use uhacc::parse as accparse;
@@ -39,10 +41,17 @@ struct Args {
     json: bool,
     profile: Option<ProfileMode>,
     fusion_plan: Option<FusionMode>,
+    certify: Option<ReportFormat>,
     run: bool,
     n: u64,
     host_threads: u32,
     exec_tier: gpsim::ExecTier,
+    /// `--emit` was given explicitly (analysis modes otherwise suppress
+    /// the kernel/plan dump).
+    explicit_emit: bool,
+    /// `--dims` was given explicitly (`--certify` otherwise uses the
+    /// small certification geometry instead of the paper's).
+    explicit_dims: bool,
 }
 
 fn usage() -> ! {
@@ -70,6 +79,14 @@ fn usage() -> ! {
                                fusable chains) instead of compiling; FMT is\n\
                                text (default) or json (stable,\n\
                                machine-readable)\n\
+           --certify[=FMT]     translation validation (redcert): symbolically\n\
+                               execute every generated kernel plan and prove\n\
+                               it computes the source region's reductions and\n\
+                               stores over the exact iteration space (modulo\n\
+                               reassociation for floating-point folds); FMT\n\
+                               is text (default) or json (stable, the same\n\
+                               body the uhaccd /certify endpoint returns);\n\
+                               exit 1 if any region is refuted\n\
            --run               compile, auto-bind deterministic inputs, run\n\
                                on the simulator, and print scalar results +\n\
                                device statistics as stable JSON (the same\n\
@@ -89,7 +106,10 @@ fn usage() -> ! {
                                and --profile: auto (default), interpret, or\n\
                                compiled; results are bit-identical at any\n\
                                setting\n\
-           -h, --help          this message"
+           -h, --help          this message\n\
+         \n\
+         --verify, --lint, --fusion-plan and --certify compose: one invocation\n\
+         renders every requested report and exits with the worst code."
     );
     std::process::exit(2);
 }
@@ -118,10 +138,13 @@ fn parse_args() -> Args {
         json: false,
         profile: None,
         fusion_plan: None,
+        certify: None,
         run: false,
         n: 65536,
         host_threads: 0,
         exec_tier: gpsim::ExecTier::Auto,
+        explicit_emit: false,
+        explicit_dims: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -153,6 +176,7 @@ fn parse_args() -> Args {
                     workers: nums[1],
                     vector: nums[2],
                 };
+                args.explicit_dims = true;
             }
             "--compiler" => {
                 i += 1;
@@ -165,6 +189,7 @@ fn parse_args() -> Args {
             }
             "--emit" => {
                 i += 1;
+                args.explicit_emit = true;
                 args.emit = EmitFlags {
                     hir: false,
                     kernel: false,
@@ -196,6 +221,13 @@ fn parse_args() -> Args {
                     "trace" => ProfileMode::Trace,
                     _ => usage(),
                 });
+            }
+            "--certify" => args.certify = Some(ReportFormat::Text),
+            s if s.starts_with("--certify=") => {
+                args.certify = Some(
+                    parse_report_format("--certify", &s["--certify=".len()..])
+                        .unwrap_or_else(|e| flag_err(e)),
+                );
             }
             "--fusion-plan" => args.fusion_plan = Some(FusionMode::Text),
             s if s.starts_with("--fusion-plan=") => {
@@ -244,10 +276,10 @@ fn parse_args() -> Args {
     args
 }
 
-/// Run the source-level lints and exit. Exit codes: 0 = clean (or
-/// warnings without `--werror`), 1 = error-level findings (or a
-/// parse/sema failure).
-fn run_lint(src: &str, werror: bool, json: bool) -> ! {
+/// Run the source-level lints. Returns the exit code this report earns:
+/// 0 = clean (or warnings without `--werror`), 1 = error-level findings
+/// (or a parse/sema failure).
+fn lint_code(src: &str, werror: bool, json: bool) -> i32 {
     use accparse::diag::{lint_report_json, render_all, Severity};
     let mut diags: Vec<accparse::Diag> = match accparse::lint_source(src) {
         Ok((_, findings)) => findings.into_iter().map(|f| f.diag).collect(),
@@ -257,7 +289,7 @@ fn run_lint(src: &str, werror: bool, json: bool) -> ! {
             } else {
                 eprintln!("{}", d.render(src));
             }
-            std::process::exit(1);
+            return 1;
         }
     };
     if werror {
@@ -275,7 +307,11 @@ fn run_lint(src: &str, werror: bool, json: bool) -> ! {
         eprint!("{}", render_all(&diags, src));
     }
     let failed = diags.iter().any(|d| d.severity == Severity::Error);
-    std::process::exit(if failed { 1 } else { 0 });
+    if failed {
+        1
+    } else {
+        0
+    }
 }
 
 fn run_request(args: &Args) -> RunRequest {
@@ -349,10 +385,6 @@ fn main() {
         }
     };
 
-    if args.lint {
-        run_lint(&src, args.werror, args.json);
-    }
-
     if args.run {
         match driver::run_json(&src, &run_request(&args), |r| {
             r.set_source(&src);
@@ -375,35 +407,100 @@ fn main() {
     let hir = match accparse::compile(&src) {
         Ok(h) => h,
         Err(d) => {
-            eprintln!("{}", d.render(&src));
+            // A broken source fails every requested mode the same way;
+            // render the diagnostic once (as JSON when `--lint --json`
+            // asked for machine-readable findings).
+            if args.lint && args.json {
+                println!("{}", accparse::diag::lint_report_json(&[d], &src));
+            } else {
+                eprintln!("{}", d.render(&src));
+            }
             std::process::exit(1);
         }
     };
+
+    // Analysis modes compose: every requested report renders, the worst
+    // exit code wins.
+    let mut worst = 0i32;
+
+    if args.lint {
+        worst = worst.max(lint_code(&src, args.werror, args.json));
+    }
 
     if let Some(mode) = args.fusion_plan {
         match mode {
             FusionMode::Text => print!("{}", driver::analyze_text(&hir)),
             FusionMode::Json => println!("{}", driver::analyze_json(&hir)),
         }
-        std::process::exit(0);
     }
 
-    let opts: CompilerOptions = args.compiler.base_options();
-    let compile = driver::direct_compiler(&hir, &opts);
-    match driver::compile_text(&hir, args.dims, args.compiler.name(), args.emit, &compile) {
-        Ok(out) => {
-            print!("{}", out.text);
-            if out.verify_errors > 0 {
-                eprintln!(
-                    "uhacc-cc: {} static verification error(s)",
-                    out.verify_errors
-                );
-                std::process::exit(1);
+    if let Some(fmt) = args.certify {
+        let req = RunRequest {
+            opts: args.compiler.base_options(),
+            dims: if args.explicit_dims {
+                args.dims
+            } else {
+                driver::certify_dims()
+            },
+            n: args.n,
+            host_threads: args.host_threads,
+            exec_tier: args.exec_tier,
+        };
+        match driver::certify_reports(&src, &req, |r| {
+            r.set_source(&src);
+        }) {
+            Ok(reports) => {
+                match fmt {
+                    ReportFormat::Text => print!("{}", driver::cert_reports_text(&reports)),
+                    ReportFormat::Json => println!("{}", driver::cert_reports_json(&reports)),
+                }
+                if reports
+                    .iter()
+                    .any(|r| matches!(r.verdict, gpsim::CertVerdict::Refuted { .. }))
+                {
+                    worst = worst.max(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                worst = worst.max(1);
             }
         }
-        Err((region, d)) => {
-            eprintln!("region {region}: {}", d.render(&src));
-            std::process::exit(1);
+    }
+
+    let analysis = args.lint || args.fusion_plan.is_some() || args.certify.is_some();
+    if !analysis || args.explicit_emit || args.emit.verify {
+        // Under analysis modes, only an explicit `--emit` re-enables the
+        // kernel/plan dump; `--verify` alone adds just its section.
+        let emit = if analysis && !args.explicit_emit {
+            EmitFlags {
+                hir: false,
+                kernel: false,
+                plan: false,
+                verify: args.emit.verify,
+            }
+        } else {
+            args.emit
+        };
+        let opts: CompilerOptions = args.compiler.base_options();
+        let compile = driver::direct_compiler(&hir, &opts);
+        match driver::compile_text(&hir, args.dims, args.compiler.name(), emit, &compile) {
+            Ok(out) => {
+                print!("{}", out.text);
+                if out.verify_errors > 0 {
+                    eprintln!(
+                        "uhacc-cc: {} static verification error(s)",
+                        out.verify_errors
+                    );
+                    worst = worst.max(1);
+                }
+            }
+            Err((region, d)) => {
+                eprintln!("region {region}: {}", d.render(&src));
+                worst = worst.max(1);
+            }
         }
     }
+
+    std::process::exit(worst);
 }

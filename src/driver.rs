@@ -270,6 +270,95 @@ pub fn analyze_json(hir: &AnalyzedProgram) -> String {
     accparse::redflow::fusion_plan_json(&accparse::redflow::fusion_plan(hir))
 }
 
+/// Problem sizes the certification driver runs at. Two sizes so a
+/// verdict is never an artifact of one loop-trip count lining up with
+/// the launch shape; per region the *worse* verdict is kept.
+pub const CERT_NS: [u64; 2] = [3, 5];
+
+/// Launch dims the certification driver defaults to: big enough to
+/// exercise gang/worker/vector combining (2 gangs × 2 workers × 64
+/// lanes = two full warps per block), small enough that symbolic
+/// execution of every thread is instant.
+pub fn certify_dims() -> LaunchDims {
+    LaunchDims {
+        gangs: 2,
+        workers: 2,
+        vector: 64,
+    }
+}
+
+/// Certify every region of `src`: run the program under the translation
+/// validator at each problem size in [`CERT_NS`] and keep, per region
+/// execution, the report with the worse verdict. The `session` hook runs
+/// before each execution (cache attachment, etc.).
+pub fn certify_reports(
+    src: &str,
+    req: &RunRequest,
+    session: impl Fn(&mut AccRunner),
+) -> Result<Vec<gpsim::CertReport>, AccError> {
+    let mut merged: Vec<gpsim::CertReport> = Vec::new();
+    for &n in &CERT_NS {
+        let mut r = AccRunner::with_options(src, req.opts.clone(), req.dims, Device::default())?;
+        session(&mut r);
+        r.set_host_threads(req.host_threads);
+        r.set_exec_tier(req.exec_tier);
+        r.certify(true);
+        r.bind_deterministic_inputs(n)?;
+        r.run()?;
+        let reports = r.take_cert_reports();
+        if merged.is_empty() {
+            merged = reports;
+        } else {
+            for (i, rep) in reports.into_iter().enumerate() {
+                if let Some(m) = merged.get_mut(i) {
+                    if rep.verdict.severity() > m.verdict.severity() {
+                        *m = rep;
+                    }
+                } else {
+                    merged.push(rep);
+                }
+            }
+        }
+    }
+    Ok(merged)
+}
+
+/// Human-readable certification rendering — the `uhacc-cc --certify`
+/// output: one line per region report plus a summary line.
+pub fn cert_reports_text(reports: &[gpsim::CertReport]) -> String {
+    let mut out = String::new();
+    let mut counts = [0u64; 4];
+    for r in reports {
+        let _ = writeln!(out, "{}", r.render_text());
+        counts[r.verdict.severity() as usize] += 1;
+    }
+    let _ = writeln!(
+        out,
+        "certify: {} region(s) — {} certified, {} modulo-reassoc, {} unknown, {} refuted",
+        reports.len(),
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3]
+    );
+    out
+}
+
+/// Stable certification JSON — byte-identical between
+/// `uhacc-cc --certify=json` and the daemon `/certify` endpoint for the
+/// same source, because both call this one function.
+pub fn cert_reports_json(reports: &[gpsim::CertReport]) -> String {
+    let mut out = String::from("{\"schema_version\":1,\"reports\":[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&r.to_json());
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Shortest-round-trip float rendering that is always a valid JSON
 /// number (`1.0` stays `1.0`, never `1`; non-finite values have no JSON
 /// form and render as null).

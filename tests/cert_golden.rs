@@ -1,0 +1,110 @@
+//! Golden-diff test for the redcert certification reports of the
+//! example corpus: the report JSON is a stable interface (the CI
+//! `certify` job uploads it as an artifact and fails on verdict drift),
+//! so any change to a verdict, an observable, a reason string, or the
+//! rendering itself must show up as an explicit diff against the
+//! committed `CERT_REPORTS.golden.json`.
+//!
+//! To regenerate after an *intended* validator change:
+//!
+//! ```console
+//! $ for f in examples/*.c examples/redflow/*.c; do uhacc-cc $f --certify=json; done
+//! ```
+//!
+//! and splice the outputs into the golden file (one `"<file>": <reports>`
+//! entry per example, `examples/*.c` first, then `redflow/*.c`, each
+//! group sorted by filename).
+
+use std::path::PathBuf;
+use uhacc::driver::{cert_reports_json, certify_dims, certify_reports, RunRequest};
+
+fn examples_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples")
+}
+
+fn corpus() -> Vec<(String, PathBuf)> {
+    let dir = examples_dir();
+    let mut groups = Vec::new();
+    for sub in [None, Some("redflow")] {
+        let d = match sub {
+            None => dir.clone(),
+            Some(s) => dir.join(s),
+        };
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&d)
+            .expect("examples dir exists")
+            .map(|e| e.expect("dir entry").path())
+            .filter(|p| p.extension().is_some_and(|x| x == "c"))
+            .collect();
+        files.sort();
+        for f in files {
+            let name = match sub {
+                None => f.file_name().unwrap().to_string_lossy().into_owned(),
+                Some(s) => format!("{s}/{}", f.file_name().unwrap().to_string_lossy()),
+            };
+            groups.push((name, f));
+        }
+    }
+    groups
+}
+
+/// Build the aggregate document in the exact committed layout, through
+/// the same driver path the CLI and the daemon share.
+fn render_aggregate() -> String {
+    let files = corpus();
+    assert!(!files.is_empty(), "no examples");
+    let req = RunRequest {
+        dims: certify_dims(),
+        ..Default::default()
+    };
+    let mut out = String::from("{\n");
+    for (i, (name, path)) in files.iter().enumerate() {
+        let src = std::fs::read_to_string(path).expect("read example");
+        let reports = certify_reports(&src, &req, |_| {})
+            .unwrap_or_else(|e| panic!("{name}: certification run failed: {e}"));
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!("  \"{name}\": {}", cert_reports_json(&reports)));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[test]
+fn cert_reports_match_committed_golden() {
+    let golden_path = examples_dir().join("CERT_REPORTS.golden.json");
+    let golden = std::fs::read_to_string(&golden_path).expect("committed golden exists");
+    let got = render_aggregate();
+    assert_eq!(
+        got, golden,
+        "certification reports drifted from examples/CERT_REPORTS.golden.json \
+         — if the validator change is intended, regenerate the golden \
+         (see this test's module docs)"
+    );
+}
+
+#[test]
+fn cert_reports_are_deterministic() {
+    // Byte-stability across repeated validation of the same sources — the
+    // property the committed golden (and the CI artifact diff) rests on.
+    assert_eq!(render_aggregate(), render_aggregate());
+}
+
+#[test]
+fn corpus_exercises_the_whole_verdict_lattice() {
+    // The golden must keep every verdict represented — an exact
+    // certification (grid.c), a modulo-reassociation one (the legal
+    // float reductions), an honest Unknown (pi.c's data-dependent
+    // branch), and a refutation (the redflow true-positive twins, whose
+    // missing reduction clauses the validator refutes independently of
+    // the redflow lint) — or the diff stops guarding the lattice.
+    let agg = render_aggregate();
+    for needle in [
+        "\"verdict\":\"certified\"",
+        "\"verdict\":\"certified-modulo-reassoc\"",
+        "\"verdict\":\"unknown\"",
+        "\"verdict\":\"refuted\"",
+    ] {
+        assert!(agg.contains(needle), "missing {needle} in:\n{agg}");
+    }
+}
