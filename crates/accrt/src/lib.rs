@@ -36,4 +36,4 @@ pub use cache::{CacheCounters, RegionCache, RegionKey};
 pub use error::AccError;
 pub use hostbuf::HostBuffer;
 pub use hosteval::{eval_host_expr, eval_host_extent};
-pub use runner::AccRunner;
+pub use runner::{AccRunner, RunnerObs};

@@ -26,6 +26,20 @@ struct RegionInstance {
     temp_buffers: Vec<BufferHandle>,
 }
 
+/// Observability hook for a session ([`AccRunner::set_obs`]): while
+/// attached, [`AccRunner::run_region`] records one span per phase
+/// (`codegen` when a compile actually happens, `h2d`, `launch`, `d2h`)
+/// into the shared tracer under this request's trace id, and feeds
+/// compile durations into the histogram. With no hook attached the
+/// runner never reads a clock — the zero-cost (and, under the virtual
+/// clock, zero-tick) default.
+#[derive(Clone)]
+pub struct RunnerObs {
+    pub tracer: Arc<uhobs::Tracer>,
+    pub trace_id: u64,
+    pub compile_hist: Option<uhobs::Histogram>,
+}
+
 /// The runner: program + device + data environment.
 ///
 /// A runner is one *session*: it owns every piece of mutable state (host
@@ -59,6 +73,8 @@ pub struct AccRunner {
     /// and uncached compiles both count; warm cache hits do not).
     compiles: u64,
     host_assigns_done: bool,
+    /// Optional observability hook (see [`RunnerObs`]).
+    obs: Option<RunnerObs>,
 }
 
 // The whole session must stay movable across threads: the uhaccd worker
@@ -68,6 +84,7 @@ const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<AccRunner>();
     assert_send::<Device>();
+    assert_send::<RunnerObs>();
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Arc<AnalyzedProgram>>();
     assert_send_sync::<Arc<CompiledRegion>>();
@@ -136,6 +153,7 @@ impl AccRunner {
             region_cache: None,
             compiles: 0,
             host_assigns_done: false,
+            obs: None,
         }
     }
 
@@ -293,6 +311,31 @@ impl AccRunner {
     /// Drain the accumulated session profile.
     pub fn take_profile(&mut self) -> SessionProfile {
         self.device.take_profile()
+    }
+
+    /// Attach the observability hook: subsequent [`AccRunner::run_region`]
+    /// calls record per-phase spans into `obs.tracer` under
+    /// `obs.trace_id`.
+    pub fn set_obs(&mut self, obs: RunnerObs) {
+        self.obs = Some(obs);
+    }
+
+    /// Read the observability clock, if a hook is attached. (Virtual
+    /// clocks advance per read, so this is only called on traced paths.)
+    fn obs_now(&self) -> Option<u64> {
+        self.obs.as_ref().map(|o| o.tracer.now_us())
+    }
+
+    /// Close a span opened by [`Self::obs_now`].
+    fn obs_record(&self, name: &str, start: Option<u64>) -> u64 {
+        match (&self.obs, start) {
+            (Some(o), Some(s)) => {
+                let end = o.tracer.now_us();
+                o.tracer.record(o.trace_id, name, s, end, &[]);
+                end.saturating_sub(s)
+            }
+            _ => 0,
+        }
     }
 
     /// Static verification reports accumulated across launches.
@@ -632,6 +675,7 @@ impl AccRunner {
         // artifact cache (when attached), then actual codegen.
         let key = (region, dims.gangs, dims.workers, dims.vector);
         if !self.instances.contains_key(&key) {
+            let t_codegen = self.obs_now();
             let compiled: Arc<CompiledRegion> = match &self.region_cache {
                 Some((cache, program_key)) => {
                     let ck = RegionKey {
@@ -669,9 +713,14 @@ impl AccRunner {
                     temp_buffers,
                 },
             );
+            let dur = self.obs_record(&format!("codegen.region{region}"), t_codegen);
+            if let Some(h) = self.obs.as_ref().and_then(|o| o.compile_hist.as_ref()) {
+                h.observe(dur);
+            }
         }
 
         // Validate bindings and stage arrays.
+        let t_h2d = self.obs_now();
         let data = self.prog.regions[region].data.clone();
         for db in &data {
             let decl = self.prog.arrays[db.array].clone();
@@ -723,6 +772,7 @@ impl AccRunner {
                 self.device.memcpy_h2d(handle, &bytes)?;
             }
         }
+        self.obs_record(&format!("h2d.region{region}"), t_h2d);
 
         // Check host scalars used are bound (assignments count as binding).
         for &h in &self.prog.regions[region].hosts_used {
@@ -826,6 +876,7 @@ impl AccRunner {
             self.device.push_cert_report(report);
         }
 
+        let t_launch = self.obs_now();
         self.device.launch(&main, cfg, &params)?;
         for fp in &finalize {
             let buf = temp_buffers[fp.buffer];
@@ -859,8 +910,10 @@ impl AccRunner {
                 self.scalar_bound[wb.host] = true;
             }
         }
+        self.obs_record(&format!("launch.region{region}"), t_launch);
 
         // Data out.
+        let t_d2h = self.obs_now();
         for db in &data {
             if self.resident[db.array] > 0 {
                 continue; // device-resident: host copy refreshed at scope exit
@@ -877,6 +930,7 @@ impl AccRunner {
                 host.bytes_mut().copy_from_slice(&bytes);
             }
         }
+        self.obs_record(&format!("d2h.region{region}"), t_d2h);
         Ok(())
     }
 

@@ -514,10 +514,32 @@ impl SessionProfile {
     /// stream (transfers + kernel spans); process 1 carries per-SM tracks
     /// with block spans and (optionally) scaled warp sub-spans.
     pub fn to_chrome_trace(&self) -> String {
+        format!(
+            "{{\"traceEvents\":[{}]}}",
+            self.chrome_trace_events(0, 0, "").join(",")
+        )
+    }
+
+    /// The session timeline as individual Chrome-trace event objects,
+    /// remapped for splicing: `ts_offset` is added to every timestamp,
+    /// `pid_base` to both process ids, and `label` prefixes the process
+    /// names. `(0, 0, "")` reproduces [`Self::to_chrome_trace`]'s event
+    /// list byte-for-byte; the observability layer uses non-zero offsets
+    /// to merge this device timeline into a unified request trace on a
+    /// shared timebase (device durations stay modelled cycles, anchored
+    /// at the request's execution instant).
+    pub fn chrome_trace_events(&self, ts_offset: u64, pid_base: u32, label: &str) -> Vec<String> {
+        let stream_pid = pid_base;
+        let sm_pid = pid_base + 1;
         let mut ev: Vec<String> = vec![
-            meta_event("process_name", 0, None, "accrt runtime"),
-            meta_event("thread_name", 0, Some(0), "stream"),
-            meta_event("process_name", 1, None, "gpsim SMs"),
+            meta_event(
+                "process_name",
+                stream_pid,
+                None,
+                &format!("{label}accrt runtime"),
+            ),
+            meta_event("thread_name", stream_pid, Some(0), "stream"),
+            meta_event("process_name", sm_pid, None, &format!("{label}gpsim SMs")),
         ];
         let mut sms_named = std::collections::BTreeSet::new();
         let mut kernel_idx = 0usize;
@@ -528,9 +550,9 @@ impl SessionProfile {
                 String::new()
             };
             ev.push(format!(
-                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":0{}}}",
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{stream_pid},\"tid\":0{}}}",
                 json_escape(&s.name),
-                s.start,
+                ts_offset + s.start,
                 s.cycles,
                 args
             ));
@@ -543,14 +565,14 @@ impl SessionProfile {
                 if sms_named.insert(bs.sm) {
                     ev.push(meta_event(
                         "thread_name",
-                        1,
+                        sm_pid,
                         Some(bs.sm),
                         &format!("SM {}", bs.sm),
                     ));
                 }
-                let ts = s.start + bs.start;
+                let ts = ts_offset + s.start + bs.start;
                 ev.push(format!(
-                    "{{\"name\":\"{} b{}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+                    "{{\"name\":\"{} b{}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{},\"pid\":{sm_pid},\"tid\":{}}}",
                     json_escape(&lp.kernel),
                     bs.block,
                     bs.cycles,
@@ -569,7 +591,7 @@ impl SessionProfile {
                             continue;
                         }
                         ev.push(format!(
-                            "{{\"name\":\"w{w}\",\"ph\":\"X\",\"ts\":{},\"dur\":{dur},\"pid\":1,\"tid\":{}}}",
+                            "{{\"name\":\"w{w}\",\"ph\":\"X\",\"ts\":{},\"dur\":{dur},\"pid\":{sm_pid},\"tid\":{}}}",
                             ts + off,
                             bs.sm
                         ));
@@ -577,7 +599,7 @@ impl SessionProfile {
                 }
             }
         }
-        format!("{{\"traceEvents\":[{}]}}", ev.join(","))
+        ev
     }
 }
 
@@ -909,5 +931,25 @@ mod tests {
         let ct = s.to_chrome_trace();
         assert!(ct.starts_with("{\"traceEvents\":["));
         assert!(ct.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn chrome_trace_events_remap_and_identity() {
+        let mut s = SessionProfile::default();
+        s.add_transfer(SpanKind::H2d, 128, 7015);
+        // (0, 0, "") must reproduce the standalone trace byte-for-byte.
+        let identity = format!(
+            "{{\"traceEvents\":[{}]}}",
+            s.chrome_trace_events(0, 0, "").join(",")
+        );
+        assert_eq!(identity, s.to_chrome_trace());
+        // Offsets shift timestamps and pids, label prefixes process names.
+        let ev = s.chrome_trace_events(500, 1000, "req 3 ");
+        let joined = ev.join(",");
+        assert!(joined.contains("\"pid\":1000"), "{joined}");
+        assert!(joined.contains("req 3 accrt runtime"), "{joined}");
+        assert!(joined.contains("req 3 gpsim SMs"), "{joined}");
+        assert!(joined.contains("\"ts\":500"), "{joined}");
+        assert!(!joined.contains("\"pid\":0,"), "{joined}");
     }
 }

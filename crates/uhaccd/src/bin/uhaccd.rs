@@ -22,6 +22,10 @@ fn usage() -> ! {
                                sessions (default 4)\n\
            --cache-cap N       program-cache capacity (default 64);\n\
                                region-artifact cache gets 4x this\n\
+           --slow-ms N         log a structured JSON line on stderr for\n\
+                               any request slower than N ms\n\
+           --virtual-clock     deterministic observability clock (also\n\
+                               honoured via UHOBS_VIRTUAL_CLOCK=1)\n\
          \n\
          client modes:\n\
            --loadgen           run the deterministic benchmark matrix\n\
@@ -32,6 +36,8 @@ fn usage() -> ! {
              --concurrency N   client threads (default 4)\n\
              --out FILE        write BENCH_uhaccd.json here (default\n\
                                stdout only)\n\
+             --trace-out FILE  fetch the daemon's unified Chrome trace\n\
+                               after the run and write it here\n\
            -h, --help          this message"
     );
     std::process::exit(2);
@@ -53,6 +59,9 @@ struct Args {
     rounds: usize,
     concurrency: usize,
     out: Option<String>,
+    trace_out: Option<String>,
+    virtual_clock: bool,
+    slow_ms: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -70,6 +79,9 @@ fn parse_args() -> Args {
         rounds: 3,
         concurrency: 4,
         out: None,
+        trace_out: None,
+        virtual_clock: uhobs::clock::env_wants_virtual(),
+        slow_ms: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let need_val = |argv: &[String], i: usize, flag: &str| -> String {
@@ -126,6 +138,16 @@ fn parse_args() -> Args {
                 i += 1;
                 args.out = Some(need_val(&argv, i, "--out"));
             }
+            "--trace-out" => {
+                i += 1;
+                args.trace_out = Some(need_val(&argv, i, "--trace-out"));
+            }
+            "--virtual-clock" => args.virtual_clock = true,
+            "--slow-ms" => {
+                i += 1;
+                let v = need_val(&argv, i, "--slow-ms");
+                args.slow_ms = Some(count("--slow-ms", &v));
+            }
             _ => usage(),
         }
         i += 1;
@@ -144,6 +166,8 @@ fn daemon_config(args: &Args) -> DaemonConfig {
         workers: args.workers,
         program_cache_cap: args.cache_cap,
         region_cache_cap: args.cache_cap * 4,
+        virtual_clock: args.virtual_clock,
+        slow_ms: args.slow_ms,
     }
 }
 
@@ -186,9 +210,28 @@ fn main() {
             }
             eprintln!("uhaccd: wrote {path}");
         }
+        if let Some(path) = &args.trace_out {
+            match uhaccd::http::get(addr, "/trace") {
+                Ok((200, trace)) => {
+                    if let Err(e) = std::fs::write(path, trace) {
+                        eprintln!("error: cannot write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("uhaccd: wrote {path}");
+                }
+                Ok((status, body)) => {
+                    eprintln!("error: GET /trace returned {status}: {body}");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("error: cannot fetch /trace: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         eprintln!(
             "uhaccd: {} requests, {} failures, determinism {}, {:.1} req/s, p50 {:.2} ms, \
-             p99 {:.2} ms, warm speedup {:.2}x",
+             p99 {:.2} ms, warm speedup {:.2}x, queue wait p50 {:.2} ms / p99 {:.2} ms",
             report.requests,
             report.failures,
             if report.determinism_mismatches == 0 {
@@ -199,7 +242,9 @@ fn main() {
             report.throughput_rps,
             report.p50_ms,
             report.p99_ms,
-            report.warm_speedup
+            report.warm_speedup,
+            report.queue_wait_p50_ms,
+            report.queue_wait_p99_ms
         );
         std::process::exit(if report.ok() { 0 } else { 1 });
     }
@@ -217,6 +262,10 @@ fn main() {
         cfg.workers, cfg.program_cache_cap, cfg.region_cache_cap
     );
     let daemon = uhaccd::Daemon::new(cfg.clone());
-    let pool = Arc::new(WorkerPool::new(cfg.workers));
+    let pool = Arc::new(WorkerPool::with_obs(
+        cfg.workers,
+        Arc::clone(&daemon.obs().clock),
+        Some(daemon.obs().queue_wait.clone()),
+    ));
     service::serve(daemon, listener, pool);
 }

@@ -18,10 +18,54 @@ pub struct Request {
     pub body: Vec<u8>,
 }
 
+/// A protocol-level request rejection carrying the HTTP status it
+/// should be answered with, so the service can send a proper diagnostic
+/// response (`431` for oversized headers, `413` for oversized bodies,
+/// `400` for malformed framing) instead of dropping the connection with
+/// a generic io error.
+#[derive(Debug, PartialEq, Eq)]
+pub struct HttpError {
+    pub status: u16,
+    pub msg: String,
+}
+
+impl HttpError {
+    fn new(status: u16, msg: &str) -> Self {
+        HttpError {
+            status,
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}: {}",
+            self.status,
+            status_text(self.status),
+            self.msg
+        )
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::new(400, &format!("io error reading request: {e}"))
+    }
+}
+
 /// Read one request from the stream. `Ok(None)` means the peer closed
-/// before sending anything (a clean no-op).
-pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
-    let mut reader = BufReader::new(stream);
+/// before sending anything (a clean no-op); `Err` carries the status the
+/// rejection should be served with.
+pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError> {
+    read_request_from(&mut BufReader::new(stream))
+}
+
+/// [`read_request`] over any buffered reader (unit-testable without a
+/// socket).
+pub fn read_request_from(reader: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
         return Ok(None);
@@ -30,7 +74,7 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> 
     let method = parts.next().unwrap_or("").to_uppercase();
     let path = parts.next().unwrap_or("").to_string();
     if method.is_empty() || path.is_empty() {
-        return Err(bad("malformed request line"));
+        return Err(HttpError::new(400, "malformed request line"));
     }
 
     let mut content_length = 0usize;
@@ -38,11 +82,11 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> 
     loop {
         let mut h = String::new();
         if reader.read_line(&mut h)? == 0 {
-            return Err(bad("connection closed mid-headers"));
+            return Err(HttpError::new(400, "connection closed mid-headers"));
         }
         header_bytes += h.len();
         if header_bytes > MAX_HEADER_BYTES {
-            return Err(bad("headers too large"));
+            return Err(HttpError::new(431, "headers too large"));
         }
         let h = h.trim_end();
         if h.is_empty() {
@@ -50,15 +94,14 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> 
         }
         if let Some((name, value)) = h.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| bad("invalid Content-Length"))?;
+                content_length = value.trim().parse().map_err(|_| {
+                    HttpError::new(400, &format!("invalid Content-Length: {}", value.trim()))
+                })?;
             }
         }
     }
     if content_length > MAX_BODY_BYTES {
-        return Err(bad("body too large"));
+        return Err(HttpError::new(413, "body too large"));
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
@@ -75,16 +118,29 @@ fn status_text(code: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         _ => "Unknown",
     }
 }
 
-/// Write a complete `Connection: close` response.
+/// Write a complete `Connection: close` JSON response.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &[u8]) -> std::io::Result<()> {
+    write_response_typed(stream, status, "application/json", body)
+}
+
+/// Write a complete `Connection: close` response with an explicit
+/// content type (`/metrics` serves Prometheus text, not JSON).
+pub fn write_response_typed(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         status,
         status_text(status),
         body.len()
@@ -141,6 +197,14 @@ pub fn request(
         Some(n) => {
             let mut buf = vec![0u8; n];
             reader.read_exact(&mut buf)?;
+            // Responses are `Connection: close`: wait for the server to
+            // actually close before returning, so the server has fully
+            // finished the request (spans recorded, counters updated)
+            // once the client moves on. Sequential clients therefore
+            // observe a deterministic server-side event order — the
+            // virtual-clock goldens depend on this.
+            let mut drain = Vec::new();
+            let _ = reader.read_to_end(&mut drain);
             buf
         }
         None => {
@@ -162,4 +226,73 @@ pub fn post(addr: impl ToSocketAddrs, path: &str, body: &str) -> std::io::Result
 /// GET `path`.
 pub fn get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<(u16, String)> {
     request(addr, "GET", path, "")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request_from(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_a_well_formed_request() {
+        let r = read("POST /run HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/run");
+        assert_eq!(r.body, b"{}");
+    }
+
+    #[test]
+    fn empty_stream_is_a_clean_noop() {
+        assert!(read("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_request_line_is_400() {
+        let e = read("garbage\r\n\r\n").unwrap_err();
+        assert_eq!(e.status, 400);
+        assert!(e.msg.contains("malformed request line"), "{e}");
+    }
+
+    #[test]
+    fn invalid_content_length_is_400() {
+        let e = read("POST /run HTTP/1.1\r\nContent-Length: banana\r\n\r\n").unwrap_err();
+        assert_eq!(e.status, 400);
+        assert!(e.msg.contains("invalid Content-Length: banana"), "{e}");
+    }
+
+    #[test]
+    fn oversized_headers_are_431() {
+        let mut raw = String::from("GET /health HTTP/1.1\r\n");
+        while raw.len() <= MAX_HEADER_BYTES {
+            raw.push_str(&format!("X-Pad: {}\r\n", "y".repeat(1000)));
+        }
+        raw.push_str("\r\n");
+        let e = read(&raw).unwrap_err();
+        assert_eq!(e.status, 431);
+        assert!(e.msg.contains("headers too large"), "{e}");
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let e = read(&format!(
+            "POST /run HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        ))
+        .unwrap_err();
+        assert_eq!(e.status, 413);
+        assert!(e.msg.contains("body too large"), "{e}");
+    }
+
+    #[test]
+    fn truncated_headers_are_400() {
+        let e = read("POST /run HTTP/1.1\r\nContent-Length: 2\r\n").unwrap_err();
+        assert_eq!(e.status, 400);
+        assert!(e.msg.contains("mid-headers"), "{e}");
+    }
 }

@@ -11,6 +11,13 @@
 //! response for the same request spec must be byte-identical across all
 //! rounds and interleavings; any divergence is a determinism failure and
 //! the run reports it (CI fails on it).
+//!
+//! After the matrix, the run scrapes `GET /metrics`, parses the
+//! Prometheus exposition with `uhobs`, and fails if any expected series
+//! is missing or the text is malformed — so the benchmark doubles as a
+//! contract test of the daemon's observability surface. Server-side
+//! queue-wait p50/p99 (from the `uhaccd_queue_wait_us` histogram) land
+//! in the report next to the client-side latency percentiles.
 
 use crate::http;
 use crate::json::{obj, parse, Json};
@@ -18,6 +25,7 @@ use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+use uhobs::metrics::{histogram_quantile, parse_exposition};
 
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
@@ -112,6 +120,73 @@ struct Sample {
     body: String,
 }
 
+/// Counter/gauge series the `/metrics` scrape must expose.
+const REQUIRED_SERIES: &[&str] = &[
+    "uhaccd_requests_total",
+    "uhaccd_program_cache_hits_total",
+    "uhaccd_program_cache_misses_total",
+    "uhaccd_program_parses_total",
+    "uhaccd_region_cache_hits_total",
+    "uhaccd_region_compiles_total",
+    "uhaccd_sim_instructions_total",
+    "uhaccd_pool_workers",
+    "uhaccd_queue_depth",
+];
+
+/// Histograms the scrape must expose (checked via their `_count` series).
+const REQUIRED_HISTOGRAMS: &[&str] = &[
+    "uhaccd_request_duration_us",
+    "uhaccd_queue_wait_us",
+    "uhaccd_compile_duration_us",
+];
+
+/// Server-side queue-wait percentiles recovered from the scrape.
+struct QueueWait {
+    count: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Scrape and validate `/metrics`: the exposition must parse, every
+/// expected series must be present, and the queue-wait histogram must
+/// have observed at least one dequeue.
+fn scrape_metrics(addr: SocketAddr) -> Result<QueueWait, String> {
+    let (status, text) =
+        http::get(addr, "/metrics").map_err(|e| format!("metrics scrape failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("metrics scrape returned {status}"));
+    }
+    let samples = parse_exposition(&text).map_err(|e| format!("metrics unparsable: {e}"))?;
+    let present = |name: &str| samples.iter().any(|s| s.name == name);
+    for name in REQUIRED_SERIES {
+        if !present(name) {
+            return Err(format!("metrics missing series {name}"));
+        }
+    }
+    for name in REQUIRED_HISTOGRAMS {
+        let count = format!("{name}_count");
+        if !present(&count) || !present(&format!("{name}_bucket")) {
+            return Err(format!("metrics missing histogram {name}"));
+        }
+    }
+    let count = samples
+        .iter()
+        .find(|s| s.name == "uhaccd_queue_wait_us_count")
+        .map(|s| s.value)
+        .unwrap_or(0.0);
+    if count <= 0.0 {
+        return Err("uhaccd_queue_wait_us observed no dequeues".into());
+    }
+    let q = |p: f64| {
+        histogram_quantile(&samples, "uhaccd_queue_wait_us", &[], p).unwrap_or(0.0) / 1000.0
+    };
+    Ok(QueueWait {
+        count,
+        p50_ms: q(0.50),
+        p99_ms: q(0.99),
+    })
+}
+
 /// The benchmark report (also serialized as `BENCH_uhaccd.json`).
 #[derive(Debug)]
 pub struct BenchReport {
@@ -124,6 +199,9 @@ pub struct BenchReport {
     pub cold_mean_ms: f64,
     pub warm_mean_ms: f64,
     pub warm_speedup: f64,
+    /// Server-side queue-wait percentiles from the `/metrics` scrape.
+    pub queue_wait_p50_ms: f64,
+    pub queue_wait_p99_ms: f64,
     pub json: String,
 }
 
@@ -192,6 +270,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<BenchReport, String> {
     let wall = started.elapsed().as_secs_f64();
     let samples = samples.into_inner().unwrap();
     let health_after = fetch_health(cfg.addr)?;
+    let queue_wait = scrape_metrics(cfg.addr)?;
 
     // Determinism: all responses for a spec must be byte-identical.
     // Cache-visibility fields legitimately differ between cold and warm
@@ -350,6 +429,14 @@ pub fn run(cfg: &LoadgenConfig) -> Result<BenchReport, String> {
         ),
         ("warm_speedup", ms3(warm_speedup)),
         (
+            "queue_wait",
+            obj(vec![
+                ("count", Json::Num(queue_wait.count)),
+                ("p50_ms", ms3(queue_wait.p50_ms)),
+                ("p99_ms", ms3(queue_wait.p99_ms)),
+            ]),
+        ),
+        (
             "endpoints",
             Json::Obj(
                 per_endpoint
@@ -385,6 +472,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<BenchReport, String> {
         cold_mean_ms: cold_mean,
         warm_mean_ms: warm_mean,
         warm_speedup,
+        queue_wait_p50_ms: queue_wait.p50_ms,
+        queue_wait_p99_ms: queue_wait.p99_ms,
         json,
     })
 }

@@ -8,15 +8,37 @@
 //! of the queue discipline: jobs run in strict arrival order
 //! (`pop_front`), so a burst of heavy `/profile` requests cannot
 //! starve a later `/health`-probe beyond the queue it stands in.
+//!
+//! Queue *time* is first-class: every job is stamped at submit and at
+//! dequeue (via a shared [`uhobs::Clock`], so the measurements are
+//! deterministic under the virtual clock), the wait feeds an optional
+//! histogram plus aggregate counters in [`PoolStats`], and the job
+//! itself receives its [`QueueSlip`] so the service can turn the wait
+//! into a per-request trace span.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+type Job = Box<dyn FnOnce(QueueSlip) + Send + 'static>;
+
+/// When a job entered and left the queue (microseconds on the pool's
+/// clock). Handed to the job itself so the wait can become a trace span.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueSlip {
+    pub submit_us: u64,
+    pub dequeue_us: u64,
+}
+
+impl QueueSlip {
+    /// Time spent queued (submit → dequeue).
+    pub fn wait_us(&self) -> u64 {
+        self.dequeue_us.saturating_sub(self.submit_us)
+    }
+}
 
 struct State {
-    queue: VecDeque<Job>,
+    queue: VecDeque<(u64, Job)>,
     shutdown: bool,
     /// Jobs fully executed.
     executed: u64,
@@ -24,14 +46,20 @@ struct State {
     busy: u32,
     /// High-water mark of queue depth (observed at submit).
     peak_depth: usize,
+    /// Aggregate queued-duration (submit → dequeue) accounting.
+    wait_count: u64,
+    wait_total_us: u64,
+    wait_max_us: u64,
 }
 
 struct Shared {
     state: Mutex<State>,
     cv: Condvar,
+    clock: Arc<uhobs::Clock>,
+    wait_hist: Option<uhobs::Histogram>,
 }
 
-/// Counters snapshot for `/health`.
+/// Counters snapshot for `/health` and `/metrics`.
 #[derive(Debug, Clone, Copy)]
 pub struct PoolStats {
     pub workers: u32,
@@ -39,6 +67,19 @@ pub struct PoolStats {
     pub busy: u32,
     pub queued: usize,
     pub peak_depth: usize,
+    /// Dequeued jobs whose queued-duration was measured.
+    pub wait_count: u64,
+    /// Sum of queued-durations in microseconds.
+    pub wait_total_us: u64,
+    /// Worst queued-duration in microseconds.
+    pub wait_max_us: u64,
+}
+
+impl PoolStats {
+    /// Mean queued-duration in microseconds (0 when nothing dequeued).
+    pub fn wait_mean_us(&self) -> u64 {
+        self.wait_total_us.checked_div(self.wait_count).unwrap_or(0)
+    }
 }
 
 pub struct WorkerPool {
@@ -48,8 +89,19 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawn `workers` threads (clamped to at least 1).
+    /// Spawn `workers` threads (clamped to at least 1) with a private
+    /// monotonic clock and no histogram.
     pub fn new(workers: usize) -> Self {
+        Self::with_obs(workers, Arc::new(uhobs::Clock::monotonic()), None)
+    }
+
+    /// Spawn `workers` threads stamping queue times on `clock` and
+    /// feeding each job's queued-duration into `wait_hist`.
+    pub fn with_obs(
+        workers: usize,
+        clock: Arc<uhobs::Clock>,
+        wait_hist: Option<uhobs::Histogram>,
+    ) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -58,8 +110,13 @@ impl WorkerPool {
                 executed: 0,
                 busy: 0,
                 peak_depth: 0,
+                wait_count: 0,
+                wait_total_us: 0,
+                wait_max_us: 0,
             }),
             cv: Condvar::new(),
+            clock,
+            wait_hist,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -79,9 +136,16 @@ impl WorkerPool {
 
     /// Enqueue a job (FIFO). Panics if the pool is shut down.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.submit_timed(move |_slip| job());
+    }
+
+    /// Enqueue a job that receives its own [`QueueSlip`] (FIFO).
+    /// Panics if the pool is shut down.
+    pub fn submit_timed(&self, job: impl FnOnce(QueueSlip) + Send + 'static) {
+        let submit_us = self.shared.clock.now_us();
         let mut st = self.shared.state.lock().unwrap();
         assert!(!st.shutdown, "submit after shutdown");
-        st.queue.push_back(Box::new(job));
+        st.queue.push_back((submit_us, Box::new(job)));
         let depth = st.queue.len();
         st.peak_depth = st.peak_depth.max(depth);
         drop(st);
@@ -96,6 +160,9 @@ impl WorkerPool {
             busy: st.busy,
             queued: st.queue.len(),
             peak_depth: st.peak_depth,
+            wait_count: st.wait_count,
+            wait_total_us: st.wait_total_us,
+            wait_max_us: st.wait_max_us,
         }
     }
 
@@ -119,20 +186,34 @@ impl Drop for WorkerPool {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let job = {
+        let (slip, job) = {
             let mut st = shared.state.lock().unwrap();
-            loop {
-                if let Some(job) = st.queue.pop_front() {
+            let (submit_us, job) = loop {
+                if let Some(entry) = st.queue.pop_front() {
                     st.busy += 1;
-                    break job;
+                    break entry;
                 }
                 if st.shutdown {
                     return;
                 }
                 st = shared.cv.wait(st).unwrap();
-            }
+            };
+            // Stamp the dequeue while still holding the lock so the
+            // aggregate counters and the slip agree.
+            let slip = QueueSlip {
+                submit_us,
+                dequeue_us: shared.clock.now_us(),
+            };
+            let wait = slip.wait_us();
+            st.wait_count += 1;
+            st.wait_total_us += wait;
+            st.wait_max_us = st.wait_max_us.max(wait);
+            (slip, job)
         };
-        job();
+        if let Some(h) = &shared.wait_hist {
+            h.observe(slip.wait_us());
+        }
+        job(slip);
         let mut st = shared.state.lock().unwrap();
         st.busy -= 1;
         st.executed += 1;
@@ -189,5 +270,31 @@ mod tests {
         assert_eq!(s.executed, 10);
         assert_eq!(s.workers, 2);
         assert!(s.peak_depth >= 1);
+        assert_eq!(s.wait_count, 10);
+        assert!(s.wait_max_us >= s.wait_mean_us());
+    }
+
+    #[test]
+    fn queue_wait_is_measured_on_the_shared_clock() {
+        // Virtual clock: submit stamps tick 1, dequeue tick 2, etc. Every
+        // job's slip shows a positive deterministic wait.
+        let clock = Arc::new(uhobs::Clock::virtual_clock(100));
+        let reg = uhobs::Registry::new();
+        let hist = reg.histogram("wait_us", "queue wait", &[], &[1000]);
+        let pool = WorkerPool::with_obs(1, clock, Some(hist.clone()));
+        let waits = Arc::new(Mutex::new(Vec::new()));
+        for _ in 0..5 {
+            let waits = Arc::clone(&waits);
+            pool.submit_timed(move |slip| {
+                assert!(slip.dequeue_us > slip.submit_us);
+                waits.lock().unwrap().push(slip.wait_us());
+            });
+        }
+        drop(pool);
+        assert_eq!(waits.lock().unwrap().len(), 5);
+        assert_eq!(hist.count(), 5);
+        let s = WorkerPool::new(1).stats();
+        assert_eq!(s.wait_count, 0);
+        assert_eq!(s.wait_mean_us(), 0);
     }
 }

@@ -24,21 +24,22 @@
 //! re-compiles nothing — the end-to-end tests pin that with the compile
 //! counters.
 
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request, write_response, write_response_typed, Request};
 use crate::json::{obj, parse, Json};
-use crate::pool::WorkerPool;
+use crate::pool::{QueueSlip, WorkerPool};
 use acc_baselines::Compiler;
 use accparse::hir::AnalyzedProgram;
 use accrt::{AccRunner, RegionCache};
 use gpsim::Device;
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use uhacc::driver::{self, EmitFlags, RunRequest};
 use uhacc_core::flags::parse_count_u32;
 use uhacc_core::{program_key, LaunchDims};
+use uhobs::metrics::LATENCY_BUCKETS_US;
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -49,6 +50,12 @@ pub struct DaemonConfig {
     pub program_cache_cap: usize,
     /// Region-artifact cache capacity (compiled kernels).
     pub region_cache_cap: usize,
+    /// Deterministic virtual observability clock (byte-stable `/metrics`
+    /// and trace output; used by goldens and determinism tests).
+    pub virtual_clock: bool,
+    /// Slow-request log threshold in milliseconds: requests slower than
+    /// this emit one structured JSON line on stderr. `None` disables.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for DaemonConfig {
@@ -57,13 +64,86 @@ impl Default for DaemonConfig {
             workers: 4,
             program_cache_cap: 64,
             region_cache_cap: 256,
+            virtual_clock: false,
+            slow_ms: None,
         }
     }
 }
 
-/// A POST handler: decoded request JSON in, response JSON out, or a
-/// `(status, message)` error.
-type Endpoint = fn(&Daemon, &Json) -> Result<Json, (u16, String)>;
+/// A POST handler: decoded request JSON in (plus the request's trace
+/// id), response JSON out, or a `(status, message)` error.
+type Endpoint = fn(&Daemon, &Json, u64) -> Result<Json, (u16, String)>;
+
+/// The daemon's observability bundle: one clock, one tracer, one metric
+/// registry, shared by the accept loop, the worker pool, every endpoint
+/// handler, and (via `accrt::RunnerObs`) the runtime underneath them.
+pub struct Obs {
+    pub clock: Arc<uhobs::Clock>,
+    pub tracer: Arc<uhobs::Tracer>,
+    pub registry: Arc<uhobs::Registry>,
+    /// Queue-wait histogram, fed by the worker pool at dequeue.
+    pub queue_wait: uhobs::Histogram,
+    /// Region codegen durations, fed by the runtime hook.
+    compile_hist: uhobs::Histogram,
+    slow_total: uhobs::Counter,
+    slow_threshold_us: Option<u64>,
+}
+
+impl Obs {
+    fn new(cfg: &DaemonConfig) -> Self {
+        let clock = Arc::new(if cfg.virtual_clock {
+            uhobs::Clock::virtual_clock(uhobs::clock::VIRTUAL_STEP_US)
+        } else {
+            uhobs::Clock::monotonic()
+        });
+        let tracer = Arc::new(uhobs::Tracer::new(Arc::clone(&clock), "uhaccd requests"));
+        let registry = Arc::new(uhobs::Registry::new());
+        let queue_wait = registry.histogram(
+            "uhaccd_queue_wait_us",
+            "Time jobs spend queued before a worker dequeues them (us)",
+            &[],
+            LATENCY_BUCKETS_US,
+        );
+        let compile_hist = registry.histogram(
+            "uhaccd_compile_duration_us",
+            "Region codegen time observed by the runtime hook (us)",
+            &[],
+            LATENCY_BUCKETS_US,
+        );
+        let slow_total = registry.counter(
+            "uhaccd_slow_requests_total",
+            "Requests slower than the slow-request threshold",
+            &[],
+        );
+        Obs {
+            clock,
+            tracer,
+            registry,
+            queue_wait,
+            compile_hist,
+            slow_total,
+            slow_threshold_us: cfg.slow_ms.map(|ms| ms * 1000),
+        }
+    }
+}
+
+/// Label for the per-endpoint metric series: known paths verbatim,
+/// everything else collapsed to `other` to bound series cardinality.
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/compile" => "/compile",
+        "/lint" => "/lint",
+        "/analyze" => "/analyze",
+        "/verify" => "/verify",
+        "/run" => "/run",
+        "/profile" => "/profile",
+        "/certify" => "/certify",
+        "/health" => "/health",
+        "/metrics" => "/metrics",
+        "/trace" => "/trace",
+        _ => "other",
+    }
+}
 
 /// Daemon-side LRU of analyzed programs, keyed by
 /// `program_key(source, options)`.
@@ -96,11 +176,24 @@ pub struct Daemon {
     served_2xx: AtomicU64,
     served_4xx: AtomicU64,
     served_5xx: AtomicU64,
+    /// Observability bundle (clock, tracer, metric registry).
+    obs: Obs,
+    /// Simulated work accumulated across every `/run`-`/profile`
+    /// execution (warp instructions, modelled cycles) — the service-side
+    /// mirror of uhprof's per-launch numbers.
+    sim_insts: AtomicU64,
+    sim_cycles: AtomicU64,
+    /// Process start, for `/health` uptime.
+    started: std::time::Instant,
+    /// The worker pool serving this daemon, attached by [`serve`] so
+    /// `/health` and `/metrics` can report queue depth and wait times.
+    pool: Mutex<Option<Arc<WorkerPool>>>,
 }
 
 impl Daemon {
     pub fn new(cfg: DaemonConfig) -> Arc<Self> {
         let region_cap = cfg.region_cache_cap;
+        let obs = Obs::new(&cfg);
         Arc::new(Daemon {
             programs: Mutex::new(ProgramCache {
                 cap: cfg.program_cache_cap.max(1),
@@ -116,12 +209,51 @@ impl Daemon {
             served_2xx: AtomicU64::new(0),
             served_4xx: AtomicU64::new(0),
             served_5xx: AtomicU64::new(0),
+            obs,
+            sim_insts: AtomicU64::new(0),
+            sim_cycles: AtomicU64::new(0),
+            started: std::time::Instant::now(),
+            pool: Mutex::new(None),
         })
     }
 
+    /// The daemon's observability bundle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Attach the worker pool serving this daemon (done by [`serve`]) so
+    /// `/health` and `/metrics` can report queue statistics.
+    pub fn attach_pool(&self, pool: &Arc<WorkerPool>) {
+        *self.pool.lock().unwrap() = Some(Arc::clone(pool));
+    }
+
     /// Content-addressed program lookup: parse on miss, share on hit.
-    /// Returns `(program, key, was_hit)`.
+    /// Returns `(program, key, was_hit)`. Records one `cache.lookup`
+    /// span under `trace_id` covering the lookup plus any parse (same
+    /// two clock reads on the hit and miss paths, so virtual-clock
+    /// sequences stay deterministic).
     fn get_or_parse(
+        &self,
+        source: &str,
+        opts: &uhacc_core::CompilerOptions,
+        trace_id: u64,
+    ) -> Result<(Arc<AnalyzedProgram>, u64, bool), accparse::Diag> {
+        let t0 = self.obs.clock.now_us();
+        let result = self.get_or_parse_inner(source, opts);
+        let t1 = self.obs.clock.now_us();
+        let hit = matches!(&result, Ok((_, _, true)));
+        self.obs.tracer.record(
+            trace_id,
+            "cache.lookup",
+            t0,
+            t1,
+            &[("hit", if hit { "true" } else { "false" })],
+        );
+        result
+    }
+
+    fn get_or_parse_inner(
         &self,
         source: &str,
         opts: &uhacc_core::CompilerOptions,
@@ -152,8 +284,15 @@ impl Daemon {
     }
 
     /// Dispatch one request to its handler; returns `(status, body)`.
+    /// (Untraced convenience used by tests; the serving path goes
+    /// through [`Self::handle_traced`] with a minted trace id.)
     pub fn handle(&self, req: &Request) -> (u16, String) {
-        let (status, body) = self.route(req);
+        self.handle_traced(req, 0)
+    }
+
+    /// Dispatch one request under `trace_id`; returns `(status, body)`.
+    pub fn handle_traced(&self, req: &Request, trace_id: u64) -> (u16, String) {
+        let (status, body) = self.route(req, trace_id);
         let class = match status {
             200..=299 => &self.served_2xx,
             400..=499 => &self.served_4xx,
@@ -163,22 +302,36 @@ impl Daemon {
         (status, body)
     }
 
-    fn route(&self, req: &Request) -> (u16, String) {
+    /// [`Self::handle_traced`] plus the response content type
+    /// (`/metrics` serves Prometheus text, everything else JSON).
+    pub fn handle_typed(&self, req: &Request, trace_id: u64) -> (u16, &'static str, String) {
+        let (status, body) = self.handle_traced(req, trace_id);
+        let content_type = if req.method == "GET" && req.path == "/metrics" && status == 200 {
+            "text/plain; version=0.0.4"
+        } else {
+            "application/json"
+        };
+        (status, content_type, body)
+    }
+
+    fn route(&self, req: &Request, trace_id: u64) -> (u16, String) {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/health") => (200, self.health()),
-            ("POST", "/compile") => self.json_endpoint(req, Self::ep_compile),
-            ("POST", "/lint") => self.json_endpoint(req, Self::ep_lint),
-            ("POST", "/analyze") => self.json_endpoint(req, Self::ep_analyze),
-            ("POST", "/verify") => self.json_endpoint(req, Self::ep_verify),
-            ("POST", "/run") => self.json_endpoint(req, Self::ep_run),
-            ("POST", "/profile") => self.json_endpoint(req, Self::ep_profile),
-            ("POST", "/certify") => self.json_endpoint(req, Self::ep_certify),
+            ("GET", "/metrics") => (200, self.metrics()),
+            ("GET", "/trace") => (200, self.obs.tracer.to_chrome_trace()),
+            ("POST", "/compile") => self.json_endpoint(req, trace_id, Self::ep_compile),
+            ("POST", "/lint") => self.json_endpoint(req, trace_id, Self::ep_lint),
+            ("POST", "/analyze") => self.json_endpoint(req, trace_id, Self::ep_analyze),
+            ("POST", "/verify") => self.json_endpoint(req, trace_id, Self::ep_verify),
+            ("POST", "/run") => self.json_endpoint(req, trace_id, Self::ep_run),
+            ("POST", "/profile") => self.json_endpoint(req, trace_id, Self::ep_profile),
+            ("POST", "/certify") => self.json_endpoint(req, trace_id, Self::ep_certify),
             ("POST", _) | ("GET", _) => (404, err_body(&format!("no such endpoint: {}", req.path))),
             _ => (405, err_body(&format!("method {} not allowed", req.method))),
         }
     }
 
-    fn json_endpoint(&self, req: &Request, ep: Endpoint) -> (u16, String) {
+    fn json_endpoint(&self, req: &Request, trace_id: u64, ep: Endpoint) -> (u16, String) {
         let text = match std::str::from_utf8(&req.body) {
             Ok(t) => t,
             Err(_) => return (400, err_body("request body is not UTF-8")),
@@ -187,17 +340,192 @@ impl Daemon {
             Ok(v) => v,
             Err(e) => return (400, err_body(&format!("invalid JSON: {e}"))),
         };
-        match ep(self, &v) {
+        match ep(self, &v, trace_id) {
             Ok(body) => (200, body.to_string()),
             Err((status, msg)) => (status, err_body(&msg)),
         }
     }
 
+    /// Render the Prometheus text exposition. Mirrored counters (cache
+    /// hit/miss, pool queue stats, simulated work, span drops) are
+    /// snapshot into the registry here, at scrape time; request/latency
+    /// series are recorded live as requests finish.
+    fn metrics(&self) -> String {
+        let reg = &self.obs.registry;
+        let snap_ctr = |name: &str, help: &str, v: u64| {
+            reg.counter(name, help, &[]).set(v);
+        };
+        snap_ctr(
+            "uhaccd_program_cache_hits_total",
+            "Analyzed-program cache hits",
+            self.prog_hits.load(Ordering::Relaxed),
+        );
+        snap_ctr(
+            "uhaccd_program_cache_misses_total",
+            "Analyzed-program cache misses",
+            self.prog_misses.load(Ordering::Relaxed),
+        );
+        snap_ctr(
+            "uhaccd_program_cache_evictions_total",
+            "Analyzed-program cache evictions",
+            self.prog_evictions.load(Ordering::Relaxed),
+        );
+        snap_ctr(
+            "uhaccd_program_parses_total",
+            "Full front-end parses performed",
+            self.parses.load(Ordering::Relaxed),
+        );
+        let rc = self.regions.counters();
+        snap_ctr(
+            "uhaccd_region_cache_hits_total",
+            "Compiled-region artifact cache hits",
+            rc.hits,
+        );
+        snap_ctr(
+            "uhaccd_region_cache_misses_total",
+            "Compiled-region artifact cache misses",
+            rc.misses,
+        );
+        snap_ctr(
+            "uhaccd_region_cache_evictions_total",
+            "Compiled-region artifact cache evictions",
+            rc.evictions,
+        );
+        snap_ctr(
+            "uhaccd_region_compiles_total",
+            "Region codegen runs actually performed",
+            rc.compiles,
+        );
+        snap_ctr(
+            "uhaccd_sim_instructions_total",
+            "Simulated warp instructions across all executions",
+            self.sim_insts.load(Ordering::Relaxed),
+        );
+        snap_ctr(
+            "uhaccd_sim_cycles_total",
+            "Simulated modelled cycles across all executions",
+            self.sim_cycles.load(Ordering::Relaxed),
+        );
+        snap_ctr(
+            "uhaccd_trace_spans_dropped_total",
+            "Trace spans dropped on buffer overflow",
+            self.obs.tracer.dropped(),
+        );
+        if let Some(pool) = self.pool.lock().unwrap().as_ref() {
+            let s = pool.stats();
+            let gauge = |name: &str, help: &str, v: u64| {
+                reg.gauge(name, help, &[]).set(v);
+            };
+            gauge(
+                "uhaccd_queue_depth",
+                "Jobs currently queued",
+                s.queued as u64,
+            );
+            gauge(
+                "uhaccd_queue_peak_depth",
+                "High-water mark of queue depth",
+                s.peak_depth as u64,
+            );
+            gauge(
+                "uhaccd_pool_busy",
+                "Jobs currently running on workers",
+                s.busy as u64,
+            );
+            gauge("uhaccd_pool_workers", "Worker threads", s.workers as u64);
+        }
+        reg.render()
+    }
+
+    /// Record one finished request into the metric families and, when it
+    /// crossed the slow threshold, emit a structured JSON log line.
+    pub fn finish_request(&self, endpoint: &str, status: u16, dur_us: u64, trace_id: u64) {
+        let code = status.to_string();
+        self.obs
+            .registry
+            .counter(
+                "uhaccd_requests_total",
+                "Requests served, by endpoint and status code",
+                &[("endpoint", endpoint), ("code", &code)],
+            )
+            .inc();
+        self.obs
+            .registry
+            .histogram(
+                "uhaccd_request_duration_us",
+                "End-to-end request latency, submit to response written (us)",
+                &[("endpoint", endpoint)],
+                LATENCY_BUCKETS_US,
+            )
+            .observe(dur_us);
+        if let Some(threshold) = self.obs.slow_threshold_us {
+            if dur_us > threshold {
+                self.obs.slow_total.inc();
+                eprintln!(
+                    "{{\"slow_request\":true,\"endpoint\":\"{}\",\"status\":{status},\
+                     \"duration_us\":{dur_us},\"threshold_us\":{threshold},\"trace_id\":{trace_id}}}",
+                    uhobs::json_escape(endpoint)
+                );
+            }
+        }
+    }
+
     fn health(&self) -> String {
         let rc = self.regions.counters();
+        let pool = self.pool.lock().unwrap().as_ref().map(|p| p.stats());
+        let pool_json = match pool {
+            Some(s) => obj(vec![
+                ("workers", Json::Num(s.workers as f64)),
+                ("executed", Json::Num(s.executed as f64)),
+                ("busy", Json::Num(s.busy as f64)),
+                ("queued", Json::Num(s.queued as f64)),
+                ("peak_depth", Json::Num(s.peak_depth as f64)),
+                ("wait_count", Json::Num(s.wait_count as f64)),
+                ("wait_mean_us", Json::Num(s.wait_mean_us() as f64)),
+                ("wait_max_us", Json::Num(s.wait_max_us as f64)),
+            ]),
+            None => Json::Null,
+        };
         obj(vec![
             ("status", Json::Str("ok".into())),
+            ("version", Json::Str(env!("CARGO_PKG_VERSION").into())),
+            (
+                "uptime_secs",
+                Json::Num(self.started.elapsed().as_secs() as f64),
+            ),
             ("workers", Json::Num(self.cfg.workers as f64)),
+            (
+                "config",
+                obj(vec![
+                    ("workers", Json::Num(self.cfg.workers as f64)),
+                    (
+                        "program_cache_cap",
+                        Json::Num(self.cfg.program_cache_cap as f64),
+                    ),
+                    (
+                        "region_cache_cap",
+                        Json::Num(self.cfg.region_cache_cap as f64),
+                    ),
+                    ("exec_tier", Json::Str(gpsim::ExecTier::Auto.to_string())),
+                    (
+                        "host_threads",
+                        Json::Num(
+                            uhacc_core::flags::host_threads_from_env()
+                                .ok()
+                                .flatten()
+                                .unwrap_or(0) as f64,
+                        ),
+                    ),
+                    ("virtual_clock", Json::Bool(self.cfg.virtual_clock)),
+                    (
+                        "slow_ms",
+                        match self.cfg.slow_ms {
+                            Some(ms) => Json::Num(ms as f64),
+                            None => Json::Null,
+                        },
+                    ),
+                ]),
+            ),
+            ("pool", pool_json),
             (
                 "programs",
                 obj(vec![
@@ -255,14 +583,14 @@ impl Daemon {
     }
 
     /// `/compile` — body of `uhacc-cc <src> [--emit ...] [--verify]`.
-    fn ep_compile(&self, v: &Json) -> Result<Json, (u16, String)> {
+    fn ep_compile(&self, v: &Json, trace_id: u64) -> Result<Json, (u16, String)> {
         let source = req_source(v)?;
         let compiler = req_compiler(v)?;
         let dims = req_dims(v)?;
         let emit = req_emit(v)?;
         let opts = compiler.base_options();
         let (prog, key, program_hit) = self
-            .get_or_parse(source, &opts)
+            .get_or_parse(source, &opts, trace_id)
             .map_err(|d| (422, d.render(source)))?;
 
         // Per-request artifact accounting (the global counters are
@@ -311,7 +639,7 @@ impl Daemon {
     /// from the same renderers behind `uhacc-cc <src> --lint --json`, so
     /// the daemon's `diagnostics` array is byte-identical to the CLI
     /// envelope's and the two surfaces version together.
-    fn ep_lint(&self, v: &Json) -> Result<Json, (u16, String)> {
+    fn ep_lint(&self, v: &Json, _trace_id: u64) -> Result<Json, (u16, String)> {
         use accparse::diag::{diags_to_json, Severity, LINT_SCHEMA_VERSION};
         let source = req_source(v)?;
         let werror = req_bool(v, "werror")?.unwrap_or(false);
@@ -340,12 +668,12 @@ impl Daemon {
     /// `/analyze` — the redflow fusion plan, byte-identical to
     /// `uhacc-cc <src> --fusion-plan=json` stdout (both call
     /// `driver::analyze_json`).
-    fn ep_analyze(&self, v: &Json) -> Result<Json, (u16, String)> {
+    fn ep_analyze(&self, v: &Json, trace_id: u64) -> Result<Json, (u16, String)> {
         let source = req_source(v)?;
         let compiler = req_compiler(v)?;
         let opts = compiler.base_options();
         let (prog, _, program_hit) = self
-            .get_or_parse(source, &opts)
+            .get_or_parse(source, &opts, trace_id)
             .map_err(|d| (422, d.render(source)))?;
         Ok(obj(vec![
             ("ok", Json::Bool(true)),
@@ -356,13 +684,13 @@ impl Daemon {
 
     /// `/verify` — the static-verification section of
     /// `uhacc-cc <src> --verify`, without the plan/kernel listings.
-    fn ep_verify(&self, v: &Json) -> Result<Json, (u16, String)> {
+    fn ep_verify(&self, v: &Json, trace_id: u64) -> Result<Json, (u16, String)> {
         let source = req_source(v)?;
         let compiler = req_compiler(v)?;
         let dims = req_dims(v)?;
         let opts = compiler.base_options();
         let (prog, key, _) = self
-            .get_or_parse(source, &opts)
+            .get_or_parse(source, &opts, trace_id)
             .map_err(|d| (422, d.render(source)))?;
         let regions = &self.regions;
         let compile = |region: usize, dims: LaunchDims| {
@@ -391,15 +719,15 @@ impl Daemon {
     }
 
     /// `/run` — `results` is byte-identical to `uhacc-cc <src> --run`.
-    fn ep_run(&self, v: &Json) -> Result<Json, (u16, String)> {
-        let (body, cache) = self.execute(v, false)?;
+    fn ep_run(&self, v: &Json, trace_id: u64) -> Result<Json, (u16, String)> {
+        let (body, cache) = self.execute(v, false, trace_id)?;
         Ok(obj(vec![("results", Json::Raw(body)), ("cache", cache)]))
     }
 
     /// `/profile` — `profile` is byte-identical to
     /// `uhacc-cc <src> --profile=json`.
-    fn ep_profile(&self, v: &Json) -> Result<Json, (u16, String)> {
-        let (body, cache) = self.execute(v, true)?;
+    fn ep_profile(&self, v: &Json, trace_id: u64) -> Result<Json, (u16, String)> {
+        let (body, cache) = self.execute(v, true, trace_id)?;
         Ok(obj(vec![("profile", Json::Raw(body)), ("cache", cache)]))
     }
 
@@ -407,7 +735,7 @@ impl Daemon {
     /// verbatim from `driver::cert_reports_json`, the same function
     /// behind `uhacc-cc <src> --certify=json` stdout, so the two bodies
     /// are byte-identical by construction.
-    fn ep_certify(&self, v: &Json) -> Result<Json, (u16, String)> {
+    fn ep_certify(&self, v: &Json, _trace_id: u64) -> Result<Json, (u16, String)> {
         let source = req_source(v)?;
         let compiler = req_compiler(v)?;
         let fmt = req_report_format(v, "format")?.unwrap_or(uhacc_core::flags::ReportFormat::Json);
@@ -444,8 +772,15 @@ impl Daemon {
     }
 
     /// Shared `/run`-`/profile` path: cached parse, session over shared
-    /// artifacts, deterministic inputs, full device run on this worker.
-    fn execute(&self, v: &Json, profile: bool) -> Result<(String, Json), (u16, String)> {
+    /// artifacts, deterministic inputs, full device run on this worker —
+    /// traced end to end (per-region phase spans via the runtime hook,
+    /// device timeline spliced into the unified trace for `/profile`).
+    fn execute(
+        &self,
+        v: &Json,
+        profile: bool,
+        trace_id: u64,
+    ) -> Result<(String, Json), (u16, String)> {
         let source = req_source(v)?;
         let compiler = req_compiler(v)?;
         let req = RunRequest {
@@ -456,12 +791,25 @@ impl Daemon {
             exec_tier: req_exec_tier(v)?,
         };
         let (prog, key, program_hit) = self
-            .get_or_parse(source, &req.opts)
+            .get_or_parse(source, &req.opts, trace_id)
             .map_err(|d| (422, d.render(source)))?;
         let mut r = AccRunner::from_shared(prog, req.opts.clone(), req.dims, Device::default());
         r.set_source(source);
         r.set_region_cache(Arc::clone(&self.regions), key);
-        driver::execute(&mut r, &req, profile).map_err(|e| (422, e.to_string()))?;
+        driver::execute_traced(
+            &mut r,
+            &req,
+            profile,
+            &self.obs.tracer,
+            trace_id,
+            Some(self.obs.compile_hist.clone()),
+        )
+        .map_err(|e| (422, e.to_string()))?;
+        let s = r.device().stats();
+        self.sim_insts
+            .fetch_add(s.totals.warp_insts, Ordering::Relaxed);
+        self.sim_cycles
+            .fetch_add(s.total_cycles(), Ordering::Relaxed);
         let body = if profile {
             r.profile_json()
         } else {
@@ -631,29 +979,71 @@ fn req_emit(v: &Json) -> Result<EmitFlags, (u16, String)> {
 /// Accept loop: every connection becomes one FIFO job on the shared
 /// worker pool. Blocks forever (until the listener errors).
 pub fn serve(daemon: Arc<Daemon>, listener: TcpListener, pool: Arc<WorkerPool>) {
+    daemon.attach_pool(&pool);
     for stream in listener.incoming() {
         let mut stream = match stream {
             Ok(s) => s,
             Err(_) => continue,
         };
         let daemon = Arc::clone(&daemon);
-        pool.submit(move || {
-            let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(120)));
-            match read_request(&mut stream) {
-                Ok(Some(req)) => {
-                    let (status, body) = daemon.handle(&req);
-                    let _ = write_response(&mut stream, status, body.as_bytes());
-                }
-                Ok(None) => {}
-                Err(e) => {
-                    let _ = write_response(
-                        &mut stream,
-                        400,
-                        err_body(&format!("bad request: {e}")).as_bytes(),
-                    );
-                }
-            }
-        });
+        pool.submit_timed(move |slip| handle_connection(&daemon, &mut stream, slip));
+    }
+}
+
+/// One connection, end to end: parse, dispatch, respond — with the full
+/// request-lifecycle spans (`queue.wait` from the pool slip,
+/// `http.parse`, handler-internal spans, `render`, and the enclosing
+/// `request`) recorded under a freshly minted trace id, and the
+/// per-endpoint counters/latency histograms updated at the end.
+fn handle_connection(daemon: &Daemon, stream: &mut TcpStream, slip: QueueSlip) {
+    let obs = daemon.obs();
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(120)));
+    let t_parse0 = obs.clock.now_us();
+    match read_request(stream) {
+        Ok(Some(req)) => {
+            let t_parse1 = obs.clock.now_us();
+            let endpoint = endpoint_label(&req.path);
+            let trace_id = obs.tracer.mint_trace_id();
+            obs.tracer
+                .set_track_name(trace_id, &format!("req {trace_id} {}", req.path));
+            obs.tracer
+                .record(trace_id, "queue.wait", slip.submit_us, slip.dequeue_us, &[]);
+            obs.tracer
+                .record(trace_id, "http.parse", t_parse0, t_parse1, &[]);
+            let (status, content_type, body) = daemon.handle_typed(&req, trace_id);
+            let t_render0 = obs.clock.now_us();
+            let _ = write_response_typed(stream, status, content_type, body.as_bytes());
+            let t_end = obs.clock.now_us();
+            let status_s = status.to_string();
+            obs.tracer.record(trace_id, "render", t_render0, t_end, &[]);
+            obs.tracer.record(
+                trace_id,
+                "request",
+                slip.submit_us,
+                t_end,
+                &[("endpoint", endpoint), ("status", &status_s)],
+            );
+            daemon.finish_request(
+                endpoint,
+                status,
+                t_end.saturating_sub(slip.submit_us),
+                trace_id,
+            );
+        }
+        Ok(None) => {}
+        Err(e) => {
+            // Protocol-level rejection: answer with the status the error
+            // carries (431 oversized headers, 413 oversized body, 400
+            // malformed framing) in the standard diagnostic shape.
+            let _ = write_response(stream, e.status, err_body(&e.msg).as_bytes());
+            let t_end = obs.clock.now_us();
+            daemon.finish_request(
+                "malformed",
+                e.status,
+                t_end.saturating_sub(slip.submit_us),
+                0,
+            );
+        }
     }
 }
 
@@ -664,7 +1054,13 @@ pub fn spawn(cfg: DaemonConfig, addr: &str) -> std::io::Result<(SocketAddr, Arc<
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let daemon = Daemon::new(cfg.clone());
-    let pool = Arc::new(WorkerPool::new(cfg.workers));
+    // The pool stamps queue times on the daemon's clock and feeds the
+    // queue-wait histogram directly.
+    let pool = Arc::new(WorkerPool::with_obs(
+        cfg.workers,
+        Arc::clone(&daemon.obs().clock),
+        Some(daemon.obs().queue_wait.clone()),
+    ));
     let d = Arc::clone(&daemon);
     // Thread spawn can fail (e.g. under resource limits); surface it as
     // an io::Error like bind failures, so callers render a diagnostic

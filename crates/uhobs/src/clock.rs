@@ -1,0 +1,114 @@
+//! The observability clock: monotonic microseconds, or a deterministic
+//! virtual clock for byte-stable test goldens.
+//!
+//! Every span start/end and every latency observation in the stack reads
+//! this clock. In monotonic mode it is `std::time::Instant` against a
+//! process-local origin. In virtual mode each reading advances an atomic
+//! tick counter by a fixed step, so as long as the *sequence* of clock
+//! reads is deterministic (sequential requests, fixed code paths), every
+//! timestamp — and therefore every exported byte — is too. That is the
+//! property the `/metrics` golden and the `obs_prop` determinism
+//! property tests pin.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Environment variable that switches every CLI/daemon entry point into
+/// virtual-clock mode (any non-empty value other than `0`).
+pub const VIRTUAL_CLOCK_ENV: &str = "UHOBS_VIRTUAL_CLOCK";
+
+/// Default virtual-clock step: each observation advances 100 virtual
+/// microseconds. Big enough that derived values (histogram sums, span
+/// durations) are visibly structured, small enough that a golden stays
+/// readable.
+pub const VIRTUAL_STEP_US: u64 = 100;
+
+/// Microsecond clock with a virtual mode. See the module docs.
+#[derive(Debug)]
+pub struct Clock {
+    /// `Some(step)` = virtual mode; `None` = monotonic.
+    step_us: Option<u64>,
+    origin: Instant,
+    ticks: AtomicU64,
+}
+
+impl Clock {
+    /// Real monotonic clock (microseconds since construction).
+    pub fn monotonic() -> Self {
+        Clock {
+            step_us: None,
+            origin: Instant::now(),
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// Deterministic virtual clock: the n-th reading returns
+    /// `n * step_us`.
+    pub fn virtual_clock(step_us: u64) -> Self {
+        Clock {
+            step_us: Some(step_us.max(1)),
+            origin: Instant::now(),
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// Monotonic unless [`VIRTUAL_CLOCK_ENV`] asks for the virtual clock.
+    pub fn from_env() -> Self {
+        if env_wants_virtual() {
+            Clock::virtual_clock(VIRTUAL_STEP_US)
+        } else {
+            Clock::monotonic()
+        }
+    }
+
+    /// Current time in microseconds. In virtual mode this *advances* the
+    /// clock — every reading is a distinct, strictly increasing instant.
+    pub fn now_us(&self) -> u64 {
+        match self.step_us {
+            Some(step) => self.ticks.fetch_add(1, Ordering::SeqCst).wrapping_add(1) * step,
+            None => self.origin.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Is this the deterministic virtual clock?
+    pub fn is_virtual(&self) -> bool {
+        self.step_us.is_some()
+    }
+}
+
+/// Does the environment ask for the virtual clock?
+pub fn env_wants_virtual() -> bool {
+    std::env::var(VIRTUAL_CLOCK_ENV)
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_is_deterministic() {
+        let c = Clock::virtual_clock(100);
+        assert_eq!(c.now_us(), 100);
+        assert_eq!(c.now_us(), 200);
+        assert_eq!(c.now_us(), 300);
+        assert!(c.is_virtual());
+    }
+
+    #[test]
+    fn monotonic_is_nondecreasing() {
+        let c = Clock::monotonic();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+        assert!(!c.is_virtual());
+    }
+
+    #[test]
+    fn virtual_step_is_clamped() {
+        let c = Clock::virtual_clock(0);
+        assert_eq!(c.now_us(), 1);
+        assert_eq!(c.now_us(), 2);
+    }
+}

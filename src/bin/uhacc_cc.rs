@@ -46,6 +46,9 @@ struct Args {
     n: u64,
     host_threads: u32,
     exec_tier: gpsim::ExecTier,
+    /// With `--run`/`--profile`: write the unified Chrome/Perfetto trace
+    /// (request spans + device tracks on one timebase) to this file.
+    trace_out: Option<String>,
     /// `--emit` was given explicitly (analysis modes otherwise suppress
     /// the kernel/plan dump).
     explicit_emit: bool,
@@ -99,6 +102,12 @@ fn usage() -> ! {
                                Chrome/Perfetto timeline)\n\
            --n N               with --run/--profile: problem size bound to\n\
                                every integer host scalar (default 65536)\n\
+           --trace-out FILE    with --run/--profile: write the unified\n\
+                               Chrome/Perfetto trace (execution spans plus,\n\
+                               under --profile, the device stream/SM tracks\n\
+                               on the same timebase) to FILE; stdout output\n\
+                               is unchanged. UHOBS_VIRTUAL_CLOCK=1 makes the\n\
+                               trace byte-stable\n\
            --host-threads N    simulator host worker threads for --sanitize,\n\
                                --run and --profile (0 = auto, 1 = sequential;\n\
                                results are bit-identical at any setting)\n\
@@ -143,6 +152,7 @@ fn parse_args() -> Args {
         n: 65536,
         host_threads: 0,
         exec_tier: gpsim::ExecTier::Auto,
+        trace_out: None,
         explicit_emit: false,
         explicit_dims: false,
     };
@@ -242,6 +252,13 @@ fn parse_args() -> Args {
                 let v = need_val(&argv, i, "--n");
                 args.n = parse_count("--n", &v).unwrap_or_else(|e| flag_err(e));
             }
+            "--trace-out" => {
+                i += 1;
+                args.trace_out = Some(need_val(&argv, i, "--trace-out"));
+            }
+            s if s.starts_with("--trace-out=") => {
+                args.trace_out = Some(s["--trace-out=".len()..].to_string());
+            }
             "--lint" => args.lint = true,
             "--werror" => args.werror = true,
             "--json" => args.json = true,
@@ -272,6 +289,9 @@ fn parse_args() -> Args {
     }
     if (args.werror || args.json) && !args.lint {
         usage();
+    }
+    if args.trace_out.is_some() && !(args.run || args.profile.is_some()) {
+        flag_err("--trace-out only makes sense with --run or --profile".into());
     }
     args
 }
@@ -324,11 +344,26 @@ fn run_request(args: &Args) -> RunRequest {
     }
 }
 
-/// Compile, auto-bind deterministic inputs, run every region on the
-/// simulator, and print the requested profile export (see
-/// [`uhacc::driver`] — the daemon's `/profile` endpoint shares this
-/// path, so outputs agree byte for byte).
-fn run_profile(src: &str, args: &Args, mode: ProfileMode) -> ! {
+/// Build the CLI's tracer on the environment-selected clock
+/// (`UHOBS_VIRTUAL_CLOCK=1` gives a deterministic virtual timebase).
+fn cli_tracer() -> std::sync::Arc<uhacc::obs::Tracer> {
+    let clock = std::sync::Arc::new(uhacc::obs::Clock::from_env());
+    std::sync::Arc::new(uhacc::obs::Tracer::new(clock, "uhacc-cc"))
+}
+
+/// Write the tracer's unified Chrome trace to `path`.
+fn write_trace(path: &str, tracer: &uhacc::obs::Tracer) {
+    if let Err(e) = std::fs::write(path, format!("{}\n", tracer.to_chrome_trace())) {
+        eprintln!("error: cannot write `{path}`: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("uhacc-cc: wrote {path}");
+}
+
+/// Execute a fresh session for `src`, optionally tracing it. The traced
+/// and untraced paths produce byte-identical stdout; tracing only adds
+/// the `--trace-out` file.
+fn execute_cli(src: &str, args: &Args, profile: bool) -> uhacc::rt::AccRunner {
     use uhacc::rt::AccRunner;
     use uhacc::sim::Device;
 
@@ -341,15 +376,37 @@ fn run_profile(src: &str, args: &Args, mode: ProfileMode) -> ! {
         Ok(r) => r,
         Err(e) => fail(&e),
     };
-    r.set_host_threads(req.host_threads);
-    r.set_exec_tier(req.exec_tier);
-    r.profile(true);
-    if let Err(e) = r.bind_deterministic_inputs(req.n) {
+    r.set_source(src);
+    let result = match &args.trace_out {
+        Some(path) => {
+            let tracer = cli_tracer();
+            let trace_id = tracer.mint_trace_id();
+            tracer.set_track_name(
+                trace_id,
+                &format!(
+                    "uhacc-cc {}{}",
+                    args.input,
+                    if profile { " --profile" } else { " --run" }
+                ),
+            );
+            let result = driver::execute_traced(&mut r, &req, profile, &tracer, trace_id, None);
+            write_trace(path, &tracer);
+            result
+        }
+        None => driver::execute(&mut r, &req, profile),
+    };
+    if let Err(e) = result {
         fail(&e);
     }
-    if let Err(e) = r.run() {
-        fail(&e);
-    }
+    r
+}
+
+/// Compile, auto-bind deterministic inputs, run every region on the
+/// simulator, and print the requested profile export (see
+/// [`uhacc::driver`] — the daemon's `/profile` endpoint shares this
+/// path, so outputs agree byte for byte).
+fn run_profile(src: &str, args: &Args, mode: ProfileMode) -> ! {
+    let r = execute_cli(src, args, true);
     match mode {
         ProfileMode::Text => print!("{}", r.profile_report()),
         ProfileMode::Json => println!("{}", r.profile_json()),
@@ -386,18 +443,9 @@ fn main() {
     };
 
     if args.run {
-        match driver::run_json(&src, &run_request(&args), |r| {
-            r.set_source(&src);
-        }) {
-            Ok(body) => {
-                println!("{body}");
-                std::process::exit(0);
-            }
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
-        }
+        let r = execute_cli(&src, &args, false);
+        println!("{}", driver::results_json(&r));
+        std::process::exit(0);
     }
 
     if let Some(mode) = args.profile {

@@ -206,6 +206,44 @@ pub fn execute(r: &mut AccRunner, req: &RunRequest, profile: bool) -> Result<(),
     r.run()
 }
 
+/// [`execute`] with the observability hook attached: the runtime records
+/// per-region phase spans (codegen/h2d/launch/d2h) under `trace_id`, an
+/// enclosing `exec` span brackets the whole run, and — when `profile` is
+/// set — the device's modelled-cycle timeline is spliced into the tracer
+/// as per-request stream/SM tracks anchored at the `exec` span's start,
+/// so daemon request spans and uhprof device tracks land in one Perfetto
+/// view on a shared timebase. Output bytes (results/profile JSON) are
+/// identical to an untraced [`execute`]: observation never feeds back
+/// into execution.
+pub fn execute_traced(
+    r: &mut AccRunner,
+    req: &RunRequest,
+    profile: bool,
+    tracer: &Arc<uhobs::Tracer>,
+    trace_id: u64,
+    compile_hist: Option<uhobs::Histogram>,
+) -> Result<(), AccError> {
+    r.set_obs(accrt::RunnerObs {
+        tracer: Arc::clone(tracer),
+        trace_id,
+        compile_hist,
+    });
+    let t_exec = tracer.now_us();
+    let result = execute(r, req, profile);
+    let t_end = tracer.now_us();
+    tracer.record(trace_id, "exec", t_exec, t_end, &[]);
+    if profile && result.is_ok() {
+        let pid_base =
+            uhobs::trace::DEVICE_PID_BASE.wrapping_add((trace_id as u32).wrapping_mul(2));
+        let events =
+            r.device()
+                .profile()
+                .chrome_trace_events(t_exec, pid_base, &format!("req {trace_id} "));
+        tracer.record_device_events(events);
+    }
+    result
+}
+
 /// Build a session for `req`, bind the deterministic inputs, and run the
 /// whole program. The `session` hook lets callers (the daemon) attach a
 /// shared program/artifact cache before anything executes.

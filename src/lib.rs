@@ -22,6 +22,10 @@
 //!   Fig. 11).
 //! - [`acc_apps`] — 2D heat equation, matrix multiply, Monte Carlo PI
 //!   (Fig. 12).
+//! - [`uhobs`] — dependency-free observability: span tracing with a
+//!   virtual-clock mode, fixed-bucket metrics, Chrome-trace and
+//!   Prometheus-text export (threaded through the CLI, the runtime, and
+//!   the `uhaccd` daemon).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +55,7 @@ pub use accparse as parse;
 pub use accrt as rt;
 pub use gpsim as sim;
 pub use uhacc_core as core;
+pub use uhobs as obs;
 
 /// The most common imports for driving OpenACC programs on the simulator.
 pub mod prelude {
